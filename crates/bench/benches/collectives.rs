@@ -1,0 +1,68 @@
+//! Collective-operation latency/throughput on the threaded runtime —
+//! the substrate costs underlying every checker's `T_coll` term.
+
+use ccheck_net::run;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_collectives(c: &mut Criterion) {
+    let p = 4usize;
+
+    let mut group = c.benchmark_group(format!("collectives_p{p}"));
+    group.bench_function("barrier", |b| {
+        b.iter(|| {
+            run(p, |comm| comm.barrier());
+        })
+    });
+    group.bench_function("allreduce_u64", |b| {
+        b.iter(|| run(p, |comm| comm.allreduce(comm.rank() as u64, |a, b| a + b)))
+    });
+    for bytes in [64usize, 4096] {
+        group.bench_function(BenchmarkId::new("broadcast_vec", bytes), |b| {
+            b.iter(|| {
+                run(p, |comm| {
+                    let v = if comm.rank() == 0 { vec![7u8; bytes] } else { vec![] };
+                    comm.broadcast(0, v).len()
+                })
+            })
+        });
+    }
+    group.bench_function("all_to_all_1k_u64", |b| {
+        b.iter(|| {
+            run(p, |comm| {
+                let outgoing: Vec<Vec<u64>> = (0..p).map(|_| vec![1u64; 1024 / p]).collect();
+                comm.all_to_all(outgoing).len()
+            })
+        })
+    });
+    group.bench_function("all_to_all_hypercube_1k_u64", |b| {
+        b.iter(|| {
+            run(p, |comm| {
+                let outgoing: Vec<Vec<u64>> = (0..p).map(|_| vec![1u64; 1024 / p]).collect();
+                comm.all_to_all_hypercube(outgoing).len()
+            })
+        })
+    });
+    // Tree vs butterfly allreduce on an 8k-word payload: the bandwidth
+    // story behind T_coll (§2).
+    for (name, butterfly) in [("allreduce_tree_8k", false), ("allreduce_butterfly_8k", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run(p, |comm| {
+                    let v: Vec<u64> = vec![comm.rank() as u64; 8192];
+                    if butterfly {
+                        comm.allreduce_butterfly(v, |a, b| a + b).len()
+                    } else {
+                        comm.allreduce(v, |a, b| {
+                            a.iter().zip(&b).map(|(x, y)| x + y).collect()
+                        })
+                        .len()
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Hash-function throughput: the primitives of §7 (CRC-32C, tabulation
+//! hashing, MT19937) plus the field/GF multiplications of Lemma 5.
+
+use ccheck_hashing::field::Mersenne61;
+use ccheck_hashing::gf64::gf_mul;
+use ccheck_hashing::{crc32c, Hasher, HasherKind, Mt19937, Mt19937_64, PartitionedHash};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_hashers(c: &mut Criterion) {
+    let keys: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+    let mut group = c.benchmark_group("hash_u64");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    for kind in [HasherKind::Crc32c, HasherKind::Tab32, HasherKind::Tab64] {
+        let h = Hasher::new(kind, 1);
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &k in std::hint::black_box(&keys) {
+                    acc ^= h.hash(k);
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioned(c: &mut Criterion) {
+    let keys: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+    let mut group = c.benchmark_group("partitioned_hash_all");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    for (label, kind, its, bits) in [
+        ("CRC 5x4bit", HasherKind::Crc32c, 5usize, 4u32),
+        ("Tab64 16x4bit", HasherKind::Tab64, 16, 4),
+        ("CRC 8x8bit(2w)", HasherKind::Crc32c, 8, 8),
+    ] {
+        let p = PartitionedHash::new(kind, 3, its, bits);
+        let mut out = vec![0u64; its];
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                for &k in std::hint::black_box(&keys) {
+                    p.hash_all(k, &mut out);
+                    std::hint::black_box(&out);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_crc(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1 << 16];
+    let mut group = c.benchmark_group("crc32c_bulk");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("64KiB", |b| {
+        b.iter(|| std::hint::black_box(crc32c(std::hint::black_box(&data))))
+    });
+    group.finish();
+}
+
+fn bench_prngs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mt19937");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("mt32", |b| {
+        let mut rng = Mt19937::new(5489);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..10_000 {
+                acc ^= rng.next();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("mt64", |b| {
+        let mut rng = Mt19937_64::new(5489);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc ^= rng.next();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_field_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("field_mul");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("mersenne61", |b| {
+        b.iter(|| {
+            let mut acc = 1u64;
+            for i in 1..10_000u64 {
+                acc = Mersenne61::mul(acc, i | 1);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("gf64_clmul", |b| {
+        b.iter(|| {
+            let mut acc = 1u64;
+            for i in 1..10_000u64 {
+                acc = gf_mul(acc, i | 1);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashers,
+    bench_partitioned,
+    bench_bulk_crc,
+    bench_prngs,
+    bench_field_ops
+);
+criterion_main!(benches);

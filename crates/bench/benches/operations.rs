@@ -1,0 +1,73 @@
+//! Distributed-operation throughput (the systems under test): the
+//! reduce/sort baselines against which checker overhead is judged
+//! (Fig. 4 measures their ratio).
+
+use ccheck::config::table5_configs;
+use ccheck::permutation::{PermCheckConfig, PermChecker};
+use ccheck::sort::check_sorted;
+use ccheck::SumChecker;
+use ccheck_dataflow::{reduce_by_key, sort};
+use ccheck_hashing::{Hasher, HasherKind};
+use ccheck_net::run;
+use ccheck_workloads::{local_range, uniform_ints, zipf_pairs};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const P: usize = 4;
+const N: usize = 40_000;
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_by_key");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            run(P, |comm| {
+                let local = zipf_pairs(11, 100_000, local_range(N, comm.rank(), P));
+                let hasher = Hasher::new(HasherKind::Tab64, 99);
+                reduce_by_key(comm, local, &hasher, |a, b| a.wrapping_add(b)).len()
+            })
+        })
+    });
+    group.bench_function("with_checker_5x16m5", |b| {
+        let cfg = table5_configs()[0];
+        b.iter(|| {
+            run(P, |comm| {
+                let local = zipf_pairs(11, 100_000, local_range(N, comm.rank(), P));
+                let hasher = Hasher::new(HasherKind::Tab64, 99);
+                let out = reduce_by_key(comm, local.clone(), &hasher, |a, b| a.wrapping_add(b));
+                let checker = SumChecker::new(cfg, 5);
+                assert!(checker.check_distributed(comm, &local, &out));
+                out.len()
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_sort");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            run(P, |comm| {
+                let local = uniform_ints(3, 100_000_000, local_range(N, comm.rank(), P));
+                sort(comm, local).len()
+            })
+        })
+    });
+    group.bench_function("with_checker_tab32", |b| {
+        b.iter(|| {
+            run(P, |comm| {
+                let local = uniform_ints(3, 100_000_000, local_range(N, comm.rank(), P));
+                let out = sort(comm, local.clone());
+                let perm =
+                    PermChecker::new(PermCheckConfig::hash_sum(HasherKind::Tab32, 32), 8);
+                assert!(check_sorted(comm, &local, &out, &perm));
+                out.len()
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce, bench_sort);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Reproduce **Table 2** of the paper: numerically determined optimal
+//! bucket count `d` and modulus parameter `r̂` for message budgets `b`
+//! and target failure probabilities `δ`.
+//!
+//! ```text
+//! cargo run -p ccheck-bench --bin table2 --release
+//! ```
+
+use ccheck::params::{optimize, table2_rows};
+
+fn main() {
+    println!("Table 2: optimal (d, r̂, #its) per message budget b and target δ");
+    println!("(paper values in parentheses; achieved δ = (1/r̂ + 1/d)^its)\n");
+    println!(
+        "{:>7} {:>8} {:>6} {:>6} {:>6} {:>14} {:>10}",
+        "b", "δ", "d", "log₂r̂", "#its", "achieved δ", "bits used"
+    );
+    // The paper's published optima, for side-by-side comparison.
+    let paper: Vec<(usize, u32, usize)> = vec![
+        (37, 8, 3),
+        (25, 7, 5),
+        (18, 7, 7),
+        (14, 6, 10),
+        (6, 4, 32),
+        (124, 10, 3),
+        (68, 9, 6),
+        (32, 8, 14),
+        (420, 12, 3),
+        (273, 11, 5),
+        (148, 10, 10),
+        (93, 10, 16),
+        (1170, 13, 4),
+        (630, 12, 8),
+        (420, 12, 12),
+        (321, 11, 17),
+    ];
+    let mut mismatches = 0;
+    for ((b, delta), (pd, pm, pits)) in table2_rows().into_iter().zip(paper) {
+        match optimize(b, delta) {
+            Some(opt) => {
+                let marker = if (opt.buckets, opt.log2_rhat, opt.iterations) == (pd, pm, pits) {
+                    ' '
+                } else {
+                    mismatches += 1;
+                    '!'
+                };
+                println!(
+                    "{:>7} {:>8.0e} {:>6} {:>6} {:>6} {:>14.2e} {:>10}{}  (paper: d={pd} m={pm} its={pits})",
+                    b,
+                    delta,
+                    opt.buckets,
+                    opt.log2_rhat,
+                    opt.iterations,
+                    opt.achieved_delta,
+                    opt.bits_used,
+                    marker,
+                );
+            }
+            None => println!("{b:>7} {delta:>8.0e}  -- infeasible --"),
+        }
+    }
+    println!(
+        "\n{} of 16 rows match the paper's published optima exactly.",
+        16 - mismatches
+    );
+}

@@ -1,0 +1,50 @@
+//! Reproduce **Table 3** of the paper: the configurations tested for the
+//! sum-aggregation checker — table size in bits and failure rate δ for
+//! each `#its×d m⟨log₂r̂⟩` shape.
+//!
+//! ```text
+//! cargo run -p ccheck-bench --bin table3 --release
+//! ```
+
+use ccheck::config::{table3_accuracy_shapes, table5_configs, SumCheckConfig};
+use ccheck_hashing::HasherKind;
+
+fn print_row(cfg: &SumCheckConfig, comment: &str) {
+    println!(
+        "{:>18} {:>12} {:>12.1e}   {}",
+        cfg.label(),
+        cfg.table_bits(),
+        cfg.failure_bound(),
+        comment,
+    );
+}
+
+fn main() {
+    println!("Table 3: configurations tested for the Sum Aggregation checker\n");
+    println!(
+        "{:>18} {:>12} {:>12}   comment",
+        "Configuration", "bits", "δ"
+    );
+
+    println!("-- accuracy-test set (Fig. 3) --");
+    for (its, d, m) in table3_accuracy_shapes() {
+        let cfg = SumCheckConfig::new(its, d, m, HasherKind::Crc32c);
+        let comment = match (its, d, m) {
+            (1, _, 31) => "high r̂ is less effective than multiple iterations",
+            (4, 2, 4) => "lower δ and size than above",
+            (4, 4, 3) => "δ = 2% for 64-bit table",
+            _ => "",
+        };
+        print_row(&cfg, comment);
+    }
+
+    println!("-- scaling-test set (Table 5 / Fig. 4) --");
+    for cfg in table5_configs() {
+        let comment = match cfg.label().as_str() {
+            "8×256 Tab64 m15" => "lower local work, larger size",
+            "16×16 Tab64 m15" => "higher local work, smaller size",
+            _ => "",
+        };
+        print_row(&cfg, comment);
+    }
+}

@@ -1,0 +1,84 @@
+//! # ccheck-bench — experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§7):
+//!
+//! | Binary | Artifact | What it prints |
+//! |---|---|---|
+//! | `table2` | Table 2 | optimal (d, r̂, #its, achieved δ) per (b, δ) |
+//! | `table3` | Table 3 | configuration algebra: table bits & failure rate |
+//! | `table5` | Table 5 | measured ns/element of checker local processing |
+//! | `fig3`   | Fig. 3  | sum-checker failure-rate/δ per manipulator × config |
+//! | `fig4`   | Fig. 4  | weak-scaling overhead, threads + α-β extrapolation |
+//! | `fig5`   | Fig. 5  | permutation-checker failure-rate/δ per manipulator × (hash, log H) |
+//!
+//! Experiment scale is tunable through environment variables
+//! (`CCHECK_TRIALS`, `CCHECK_N`) so CI smoke runs stay fast while full
+//! paper-scale runs remain possible.
+
+use std::time::Instant;
+
+/// Read a scale parameter from the environment with a default.
+pub fn env_param(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Minimum wall-clock seconds of `f` over `reps` runs (minimum, not
+/// mean: the least-interfered-with run best estimates the true cost).
+pub fn time_min_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    assert!(reps > 0);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Mean wall-clock seconds of `f` over `reps` runs.
+pub fn time_mean_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    assert!(reps > 0);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Render a markdown-ish table row.
+pub fn row(cells: &[String]) -> String {
+    cells.join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_param_default_and_parse() {
+        assert_eq!(env_param("CCHECK_DOES_NOT_EXIST", 7), 7);
+        std::env::set_var("CCHECK_TEST_PARAM_XYZ", "42");
+        assert_eq!(env_param("CCHECK_TEST_PARAM_XYZ", 7), 42);
+        std::env::set_var("CCHECK_TEST_PARAM_XYZ", "not-a-number");
+        assert_eq!(env_param("CCHECK_TEST_PARAM_XYZ", 7), 7);
+    }
+
+    #[test]
+    fn timers_return_positive() {
+        let mut x = 0u64;
+        let t = time_min_secs(3, || {
+            for i in 0..1000 {
+                x = x.wrapping_add(i);
+            }
+        });
+        assert!(t >= 0.0);
+        let t = time_mean_secs(3, || {
+            x = x.wrapping_mul(3);
+        });
+        assert!(t >= 0.0);
+        assert!(x < u64::MAX); // keep x observable
+    }
+}

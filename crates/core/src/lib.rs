@@ -1,0 +1,87 @@
+//! # ccheck — communication-efficient checking of big-data operations
+//!
+//! A Rust implementation of the probabilistic result checkers from
+//! **Hübschle-Schneider & Sanders, "Communication Efficient Checking of
+//! Big Data Operations" (2018)**. The checkers verify the output of
+//! distributed data-processing operations (sum/average/median/minimum
+//! aggregation, sorting, permutation, union, merge, zip, and the
+//! redistribution phases of GroupBy and Join) while communicating
+//! **sublinearly** in the input size — no PE sends or receives more than
+//! a configuration-dependent constant, regardless of `n`.
+//!
+//! All checkers have one-sided error: a correct result is never
+//! rejected; an incorrect result is accepted with probability at most a
+//! user-chosen `δ` (Table 1 of the paper).
+//!
+//! ## Module map (paper section → module)
+//!
+//! | Paper | Module | Checker |
+//! |---|---|---|
+//! | §4 Thm 1 | [`sum`] | [`SumChecker`] — sum/count aggregation |
+//! | §4 Table 2 | [`params`] | optimal (d, r̂, #its) for a message budget |
+//! | §5 Thm 6 | [`permutation`] | [`PermChecker`] — hash-sum & polynomial |
+//! | §5 Thm 7 | [`sort`] | [`check_sorted`] |
+//! | §6.1 Cor 8 | [`average`] | [`check_average`] (count certificate) |
+//! | §6.2 Thm 9 | [`minmax`] | [`check_min`] / [`check_max`] (location certificate) |
+//! | §6.3 Thm 10 | [`median`] | [`check_median_unique`] / tie certificates |
+//! | §6.4 Thm 11 | [`zip`] | [`ZipChecker`] |
+//! | §6.5.1 Cor 12 | [`union`] | [`check_union`] |
+//! | §6.5.2 Cor 13 | [`sort`] | [`check_merge`] |
+//! | §6.5.3 Cor 14 | [`redistribution`] | [`check_groupby_redistribution`] |
+//! | §6.5.4 Cor 15 | [`redistribution`] | [`check_join_redistribution`] |
+//! | §2 | [`integrity`] | [`replicated_consistent`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ccheck::{SumChecker, SumCheckConfig};
+//! use ccheck_hashing::HasherKind;
+//!
+//! // Configure: 4 iterations × 8 buckets, moduli in (2^5, 2^6], CRC-32C —
+//! // the paper's "4×8 CRC m5" with failure probability ≈ 6·10⁻⁴.
+//! let cfg = SumCheckConfig::new(4, 8, 5, HasherKind::Crc32c);
+//! let checker = SumChecker::new(cfg, /*seed=*/ 42);
+//!
+//! // The operation under test: SELECT key, SUM(value) GROUP BY key.
+//! let input = vec![(1u64, 10u64), (2, 5), (1, 7), (2, 1)];
+//! let correct = vec![(1u64, 17u64), (2, 6)];
+//! let faulty = vec![(1u64, 18u64), (2, 6)];
+//!
+//! assert!(checker.check_local(&input, &correct)); // never rejects correct
+//! assert!(!checker.check_local(&input, &faulty)); // detects w.p. ≥ 1 − δ
+//! ```
+//!
+//! Distributed use is identical but calls `check_distributed(comm, …)`
+//! inside a [`ccheck_net::run`] SPMD region; see the repository examples.
+
+pub mod average;
+pub mod config;
+pub mod floatsum;
+pub mod integrity;
+pub mod median;
+pub mod minmax;
+pub mod params;
+pub mod permutation;
+pub mod redistribution;
+pub mod sort;
+pub mod sum;
+pub mod union;
+pub mod xorsum;
+pub mod zip;
+
+pub use average::check_average;
+pub use config::SumCheckConfig;
+pub use floatsum::{aggregate_ticks, FixedPoint, FloatSumChecker};
+pub use integrity::replicated_consistent;
+pub use median::{check_median_unique, check_median_with_cert, MedianTieCert};
+pub use minmax::{check_extrema, check_extrema_bitvector, check_max, check_min, Extremum};
+pub use params::{optimize, OptimalConfig};
+pub use permutation::{PermCheckConfig, PermChecker, PermMethod};
+pub use redistribution::{
+    check_groupby_redistribution, check_join_redistribution, check_range_redistribution,
+};
+pub use sort::{check_merge, check_sorted};
+pub use sum::SumChecker;
+pub use union::check_union;
+pub use xorsum::{XorCheckConfig, XorChecker};
+pub use zip::{ZipCheckConfig, ZipChecker};

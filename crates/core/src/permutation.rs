@@ -1,0 +1,457 @@
+//! Permutation checking (§5 of the paper: Lemma 4, Lemma 5, Theorem 6).
+//!
+//! Three interchangeable methods verify that two distributed sequences
+//! are permutations of each other:
+//!
+//! * [`PermMethod::HashSum`] — Wegman–Carter style: compare
+//!   `Σ h(eᵢ)` with `Σ h(oᵢ)` (Lemma 4). We implement the fix for the
+//!   paper's open TODO about duplicate elements: hash values are
+//!   accumulated **exactly** (truncated to `H` bits, summed in 128-bit
+//!   integers with no intermediate modulus), so the failure analysis
+//!   `h(e)·(k−k′) = x` applies and the bound `1/H` holds for multisets,
+//! * [`PermMethod::PolyField`] — Lipton's polynomial identity check
+//!   (Lemma 5): compare `Π(z−eᵢ)` with `Π(z−oᵢ)` in 𝔽_{2⁶¹−1} at a
+//!   random point `z`; needs no random hash function, failure ≤ n/(r−n),
+//! * [`PermMethod::PolyGf64`] — the same check in GF(2⁶⁴) with carry-less
+//!   multiplication (the SIMD-friendly variant §5 suggests).
+//!
+//! All methods run `iterations` independent instances and accept only if
+//! every instance accepts; the global length equality is verified first
+//! (a degenerate mismatch no fingerprint is guaranteed to catch).
+
+use ccheck_hashing::field::Mersenne61;
+use ccheck_hashing::gf64::gf_mul;
+use ccheck_hashing::{Hasher, HasherKind, Mt19937_64};
+use ccheck_net::Comm;
+
+/// Fingerprinting method for permutation checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PermMethod {
+    /// Hash-sum comparison (Lemma 4) with `H = 2^log_h`.
+    HashSum {
+        /// Hash function family.
+        hasher: HasherKind,
+        /// Number of hash bits used (`log₂ H`); 1..=32.
+        log_h: u32,
+    },
+    /// Polynomial identity in 𝔽_{2⁶¹−1} (Lemma 5). Elements must be
+    /// `< 2⁶¹ − 1`.
+    PolyField,
+    /// Polynomial identity in GF(2⁶⁴) via carry-less multiplication.
+    PolyGf64,
+}
+
+/// Configuration: method plus independent repetitions (Theorem 6 boosts
+/// the success probability to `1 − δ` with `log 1/δ` instances).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PermCheckConfig {
+    /// Fingerprinting method.
+    pub method: PermMethod,
+    /// Independent repetitions; overall failure ≤ (per-instance)^iterations.
+    pub iterations: usize,
+}
+
+impl PermCheckConfig {
+    /// Hash-sum config matching the paper's Fig. 5 axis labels
+    /// (`CRC⟨log H⟩` / `Tab⟨log H⟩`).
+    pub fn hash_sum(hasher: HasherKind, log_h: u32) -> Self {
+        assert!((1..=32).contains(&log_h), "log_h must be in 1..=32");
+        Self { method: PermMethod::HashSum { hasher, log_h }, iterations: 1 }
+    }
+
+    /// Upper bound on the failure probability of one instance, for `n`
+    /// elements per side.
+    pub fn single_instance_failure_bound(&self, n: u64) -> f64 {
+        match self.method {
+            PermMethod::HashSum { log_h, .. } => (0.5f64).powi(log_h as i32),
+            // Lemma 5: ≤ n / r for a degree-n polynomial.
+            PermMethod::PolyField => n as f64 / Mersenne61::P as f64,
+            PermMethod::PolyGf64 => n as f64 / 2f64.powi(64),
+        }
+    }
+
+    /// Overall failure bound after all iterations.
+    pub fn failure_bound(&self, n: u64) -> f64 {
+        self.single_instance_failure_bound(n).powi(self.iterations as i32)
+    }
+}
+
+/// A seeded permutation checker.
+#[derive(Debug, Clone)]
+pub struct PermChecker {
+    cfg: PermCheckConfig,
+    seed: u64,
+}
+
+impl PermChecker {
+    /// Create a checker; in SPMD use, all PEs must pass the same
+    /// `(config, seed)`.
+    pub fn new(cfg: PermCheckConfig, seed: u64) -> Self {
+        assert!(cfg.iterations >= 1);
+        Self { cfg, seed }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PermCheckConfig {
+        &self.cfg
+    }
+
+    /// Per-instance derived seed.
+    fn instance_seed(&self, iter: usize) -> u64 {
+        self.seed ^ (iter as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x7065_726D
+    }
+
+    /// The random evaluation point `z` of the polynomial methods
+    /// (identical on every PE since it derives from the shared seed).
+    fn eval_point(&self, iter: usize) -> u64 {
+        let mut rng = Mt19937_64::new(self.instance_seed(iter));
+        rng.next()
+    }
+
+    /// Local additive hash-sum fingerprint (Lemma 4, exact accumulation).
+    fn hash_sum_local(&self, iter: usize, hasher: HasherKind, log_h: u32, data: &[u64]) -> u128 {
+        let h = Hasher::new(hasher, self.instance_seed(iter));
+        let mask = if log_h == 64 { u64::MAX } else { (1u64 << log_h) - 1 };
+        let mut acc: u128 = 0;
+        for &x in data {
+            acc += u128::from(h.hash(x) & mask);
+        }
+        acc
+    }
+
+    /// Local multiplicative fingerprint `Π (z − eᵢ)` in 𝔽_{2⁶¹−1}.
+    ///
+    /// Elements are canonicalized into the field. Lemma 5's bound holds
+    /// for universes below `2⁶¹ − 1`; larger elements (e.g. produced by
+    /// a high-bit flip in faulty data) alias modulo p — the checker then
+    /// still never rejects a correct result, and misses a corruption
+    /// only if the faulty value differs from the original by an exact
+    /// multiple of `2⁶¹ − 1`.
+    fn poly_field_local(&self, z: u64, data: &[u64]) -> u64 {
+        let mut acc = 1u64;
+        for &x in data {
+            acc = Mersenne61::mul(acc, Mersenne61::sub(z, Mersenne61::from_u64(x)));
+        }
+        acc
+    }
+
+    /// Local multiplicative fingerprint `Π (z ⊕ eᵢ)` in GF(2⁶⁴).
+    fn poly_gf64_local(&self, z: u64, data: &[u64]) -> u64 {
+        let mut acc = 1u64;
+        for &x in data {
+            acc = gf_mul(acc, z ^ x);
+        }
+        acc
+    }
+
+    /// Distributed permutation check: is the multiset `output` a
+    /// permutation of the multiset `input`? Both sides are distributed
+    /// arbitrarily; every PE returns the same verdict.
+    pub fn check(&self, comm: &mut Comm, input: &[u64], output: &[u64]) -> bool {
+        self.check_concat(comm, &[input], output)
+    }
+
+    /// Check that `output` is a permutation of the concatenation of
+    /// several input sequences (the Union checker's shape, Corollary 12).
+    pub fn check_concat(&self, comm: &mut Comm, inputs: &[&[u64]], output: &[u64]) -> bool {
+        // Global length equality first.
+        let n_in: u64 = inputs.iter().map(|s| s.len() as u64).sum();
+        let n_out = output.len() as u64;
+        let (tot_in, tot_out) =
+            comm.allreduce((n_in, n_out), |a, b| (a.0 + b.0, a.1 + b.1));
+        if tot_in != tot_out {
+            return false;
+        }
+        let mut ok = true;
+        for iter in 0..self.cfg.iterations {
+            ok &= match self.cfg.method {
+                PermMethod::HashSum { hasher, log_h } => {
+                    let in_sum: u128 = inputs
+                        .iter()
+                        .map(|s| self.hash_sum_local(iter, hasher, log_h, s))
+                        .sum();
+                    let out_sum = self.hash_sum_local(iter, hasher, log_h, output);
+                    let (gi, go) = comm.allreduce((in_sum, out_sum), |a, b| {
+                        (a.0.wrapping_add(b.0), a.1.wrapping_add(b.1))
+                    });
+                    gi == go
+                }
+                PermMethod::PolyField => {
+                    let z = Mersenne61::from_u64(self.eval_point(iter));
+                    let in_prod = inputs
+                        .iter()
+                        .fold(1u64, |acc, s| Mersenne61::mul(acc, self.poly_field_local(z, s)));
+                    let out_prod = self.poly_field_local(z, output);
+                    let (gi, go) = comm.allreduce((in_prod, out_prod), |a, b| {
+                        (Mersenne61::mul(a.0, b.0), Mersenne61::mul(a.1, b.1))
+                    });
+                    gi == go
+                }
+                PermMethod::PolyGf64 => {
+                    let z = self.eval_point(iter) | 1; // nonzero
+                    let in_prod = inputs
+                        .iter()
+                        .fold(1u64, |acc, s| gf_mul(acc, self.poly_gf64_local(z, s)));
+                    let out_prod = self.poly_gf64_local(z, output);
+                    let (gi, go) = comm.allreduce((in_prod, out_prod), |a, b| {
+                        (gf_mul(a.0, b.0), gf_mul(a.1, b.1))
+                    });
+                    gi == go
+                }
+            };
+        }
+        ok
+    }
+
+    /// Local fingerprint of one instance over `data` (the per-PE work of
+    /// the distributed protocol; exposed for the §7.2 overhead
+    /// benchmarks). Additive methods return the exact sum; polynomial
+    /// methods the zero-extended product.
+    pub fn local_fingerprint(&self, iter: usize, data: &[u64]) -> u128 {
+        match self.cfg.method {
+            PermMethod::HashSum { hasher, log_h } => {
+                self.hash_sum_local(iter, hasher, log_h, data)
+            }
+            PermMethod::PolyField => {
+                let z = Mersenne61::from_u64(self.eval_point(iter));
+                u128::from(self.poly_field_local(z, data))
+            }
+            PermMethod::PolyGf64 => {
+                let z = self.eval_point(iter) | 1;
+                u128::from(self.poly_gf64_local(z, data))
+            }
+        }
+    }
+
+    /// Purely local check (p = 1 semantics) for tests and benchmarks.
+    pub fn check_local(&self, input: &[u64], output: &[u64]) -> bool {
+        if input.len() != output.len() {
+            return false;
+        }
+        (0..self.cfg.iterations).all(|iter| match self.cfg.method {
+            PermMethod::HashSum { hasher, log_h } => {
+                self.hash_sum_local(iter, hasher, log_h, input)
+                    == self.hash_sum_local(iter, hasher, log_h, output)
+            }
+            PermMethod::PolyField => {
+                let z = Mersenne61::from_u64(self.eval_point(iter));
+                self.poly_field_local(z, input) == self.poly_field_local(z, output)
+            }
+            PermMethod::PolyGf64 => {
+                let z = self.eval_point(iter) | 1;
+                self.poly_gf64_local(z, input) == self.poly_gf64_local(z, output)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccheck_net::run;
+
+    fn all_methods() -> Vec<PermCheckConfig> {
+        vec![
+            PermCheckConfig::hash_sum(HasherKind::Tab64, 32),
+            PermCheckConfig::hash_sum(HasherKind::Crc32c, 16),
+            PermCheckConfig { method: PermMethod::PolyField, iterations: 1 },
+            PermCheckConfig { method: PermMethod::PolyGf64, iterations: 1 },
+        ]
+    }
+
+    fn shuffled(data: &[u64]) -> Vec<u64> {
+        // Deterministic shuffle: reverse + rotate.
+        let mut v: Vec<u64> = data.iter().rev().copied().collect();
+        v.rotate_left(data.len() / 3);
+        v
+    }
+
+    #[test]
+    fn accepts_true_permutations() {
+        let data: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E3779B9) % 100_000).collect();
+        let perm = shuffled(&data);
+        for cfg in all_methods() {
+            for seed in 0..10 {
+                let checker = PermChecker::new(cfg, seed);
+                assert!(checker.check_local(&data, &perm), "{cfg:?} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_permutations_with_duplicates() {
+        // The paper's TODO case: repeated elements.
+        let data: Vec<u64> = (0..500u64).map(|i| i % 7).collect();
+        let perm = shuffled(&data);
+        for cfg in all_methods() {
+            let checker = PermChecker::new(cfg, 99);
+            assert!(checker.check_local(&data, &perm), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_single_element_change() {
+        let data: Vec<u64> = (0..1000u64).collect();
+        for cfg in all_methods() {
+            let mut detected = 0;
+            let trials = 60;
+            for seed in 0..trials {
+                let checker = PermChecker::new(cfg, seed);
+                let mut bad = shuffled(&data);
+                bad[123] += 1;
+                if !checker.check_local(&data, &bad) {
+                    detected += 1;
+                }
+            }
+            // All methods here have failure prob ≤ 2^-16.
+            assert_eq!(detected, trials, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_multiplicity_change() {
+        // E has element 5 three times, O only twice (plus a 6) — exactly
+        // the multiset case the naive mod-H argument misses.
+        let input = vec![5u64, 5, 5, 1, 2];
+        let output = vec![5u64, 5, 6, 1, 2];
+        for cfg in all_methods() {
+            let checker = PermChecker::new(cfg, 4);
+            assert!(!checker.check_local(&input, &output), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let data: Vec<u64> = (0..100).collect();
+        let shorter: Vec<u64> = (0..99).collect();
+        for cfg in all_methods() {
+            let checker = PermChecker::new(cfg, 1);
+            assert!(!checker.check_local(&data, &shorter), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn low_h_misses_with_plausible_rate() {
+        // With H = 2 (one hash bit) a random corruption escapes ≈ half
+        // the time — the Fig. 5 leftmost column.
+        let cfg = PermCheckConfig::hash_sum(HasherKind::Tab32, 1);
+        let data: Vec<u64> = (0..200u64).collect();
+        let mut accepted_bad = 0;
+        let trials = 600;
+        for seed in 0..trials {
+            let checker = PermChecker::new(cfg, seed);
+            let mut bad = data.clone();
+            bad[50] = 1_000_000 + seed; // randomize an element
+            if checker.check_local(&data, &bad) {
+                accepted_bad += 1;
+            }
+        }
+        let rate = accepted_bad as f64 / trials as f64;
+        assert!((0.4..0.6).contains(&rate), "false-accept rate {rate} ≉ 0.5");
+    }
+
+    #[test]
+    fn iterations_boost_detection() {
+        let single = PermCheckConfig::hash_sum(HasherKind::Tab32, 1);
+        let boosted = PermCheckConfig { iterations: 8, ..single };
+        let data: Vec<u64> = (0..200u64).collect();
+        let mut acc_single = 0;
+        let mut acc_boosted = 0;
+        for seed in 0..300 {
+            let mut bad = data.clone();
+            bad[3] = 777_777 + seed;
+            if PermChecker::new(single, seed).check_local(&data, &bad) {
+                acc_single += 1;
+            }
+            if PermChecker::new(boosted, seed).check_local(&data, &bad) {
+                acc_boosted += 1;
+            }
+        }
+        assert!(acc_boosted * 10 < acc_single, "{acc_boosted} vs {acc_single}");
+    }
+
+    #[test]
+    fn distributed_agrees_with_local() {
+        let cfg = PermCheckConfig::hash_sum(HasherKind::Tab64, 32);
+        for corrupt in [false, true] {
+            let verdicts = run(4, |comm| {
+                let rank = comm.rank() as u64;
+                let input: Vec<u64> = (0..250).map(|i| rank * 250 + i).collect();
+                // Output = global input redistributed: PE r gets elements
+                // congruent r mod 4, reversed.
+                let mut output: Vec<u64> =
+                    (0..1000u64).filter(|x| x % 4 == rank).rev().collect();
+                if corrupt && rank == 3 {
+                    output[7] ^= 0x40;
+                }
+                let checker = PermChecker::new(cfg, 31337);
+                checker.check(comm, &input, &output)
+            });
+            assert!(verdicts.iter().all(|&v| v != corrupt), "corrupt={corrupt}");
+        }
+    }
+
+    #[test]
+    fn distributed_poly_methods() {
+        for method in [PermMethod::PolyField, PermMethod::PolyGf64] {
+            let cfg = PermCheckConfig { method, iterations: 1 };
+            let verdicts = run(3, |comm| {
+                let rank = comm.rank() as u64;
+                let input: Vec<u64> = (0..100).map(|i| rank * 100 + i).collect();
+                let output: Vec<u64> = (0..300u64).filter(|x| x % 3 == rank).collect();
+                let checker = PermChecker::new(cfg, 5);
+                checker.check(comm, &input, &output)
+            });
+            assert!(verdicts.iter().all(|&v| v), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn concat_union_shape() {
+        let cfg = PermCheckConfig::hash_sum(HasherKind::Tab64, 32);
+        let verdicts = run(2, |comm| {
+            let rank = comm.rank() as u64;
+            let s1: Vec<u64> = (0..50).map(|i| rank * 50 + i).collect();
+            let s2: Vec<u64> = (0..30).map(|i| 1000 + rank * 30 + i).collect();
+            // Union output redistributed: everything on PE 0.
+            let output: Vec<u64> = if rank == 0 {
+                (0..100u64).chain(1000..1060).collect()
+            } else {
+                Vec::new()
+            };
+            let checker = PermChecker::new(cfg, 8);
+            checker.check_concat(comm, &[&s1, &s2], &output)
+        });
+        assert!(verdicts.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn communication_volume_constant_in_n() {
+        use ccheck_net::router::run_with_stats;
+        let volume = |n: u64| {
+            let (_, snap) = run_with_stats(4, |comm| {
+                let input: Vec<u64> = (0..n).collect();
+                let output: Vec<u64> = (0..n).rev().collect();
+                let checker =
+                    PermChecker::new(PermCheckConfig::hash_sum(HasherKind::Tab64, 32), 2);
+                checker.check(comm, &input, &output)
+            });
+            snap.total_bytes()
+        };
+        assert_eq!(volume(10), volume(10_000));
+    }
+
+    #[test]
+    fn poly_field_canonicalizes_oversized_elements() {
+        let cfg = PermCheckConfig { method: PermMethod::PolyField, iterations: 1 };
+        let checker = PermChecker::new(cfg, 1);
+        // Never rejects a correct result, even outside the universe bound.
+        assert!(checker.check_local(&[u64::MAX, 5], &[5, u64::MAX]));
+        // A high-bit flip (the faulty-data case) is still detected:
+        // 2^63 mod (2^61 − 1) = 4 ≠ 0.
+        assert!(!checker.check_local(&[1u64, 5], &[1 ^ (1 << 63), 5]));
+        // The documented blind spot: values aliasing mod 2^61 − 1.
+        let p = ccheck_hashing::field::MERSENNE61;
+        assert!(checker.check_local(&[3u64], &[3 + p]));
+    }
+}

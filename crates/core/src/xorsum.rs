@@ -1,0 +1,248 @@
+//! XOR aggregation checking — the second worked instance of Theorem 1.
+//!
+//! §4: "the checker works not only for sum aggregation, but also other
+//! operations on integers that fulfill certain properties. We require
+//! that the reduce operator ⊕ be associative, commutative, and satisfy
+//! x ⊕ y ≠ x for all y ≠ 0. Examples include count aggregation … and
+//! exclusive or (xor)."
+//!
+//! For ⊕ = xor the construction simplifies: values never grow, so no
+//! modulus is needed and the per-iteration failure bound loses its
+//! `1/r̂` term — a single iteration fails with probability at most
+//! `1/d` (only the bucket-collision mode of Lemma 2 remains).
+
+use ccheck_hashing::{HasherKind, PartitionedHash};
+use ccheck_net::Comm;
+
+/// Configuration of the xor-aggregation checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorCheckConfig {
+    /// Number of independent iterations.
+    pub iterations: usize,
+    /// Buckets per iteration (power of two recommended).
+    pub buckets: usize,
+    /// Hash family mapping keys to buckets.
+    pub hasher: HasherKind,
+}
+
+impl XorCheckConfig {
+    /// Create a validated configuration.
+    pub fn new(iterations: usize, buckets: usize, hasher: HasherKind) -> Self {
+        assert!(iterations >= 1 && buckets >= 2);
+        Self { iterations, buckets, hasher }
+    }
+
+    /// Failure bound `(1/d)^its` (no modulus term).
+    pub fn failure_bound(&self) -> f64 {
+        (1.0 / self.buckets as f64).powi(self.iterations as i32)
+    }
+}
+
+/// Checker for `SELECT key, XOR_AGG(value) GROUP BY key`.
+#[derive(Debug, Clone)]
+pub struct XorChecker {
+    cfg: XorCheckConfig,
+    hash: PartitionedHash,
+    mask_pow2: Option<u64>,
+    bits: u32,
+}
+
+impl XorChecker {
+    /// Instantiate from a configuration and a shared seed.
+    pub fn new(cfg: XorCheckConfig, seed: u64) -> Self {
+        let d = cfg.buckets as u64;
+        let needed_bits = 64 - (d - 1).leading_zeros();
+        let width = cfg.hasher.output_bits();
+        let (bits, mask_pow2) = if d.is_power_of_two() {
+            (needed_bits.max(1), Some(d - 1))
+        } else {
+            ((needed_bits + 12).min(width), None)
+        };
+        let hash = PartitionedHash::new(cfg.hasher, seed, cfg.iterations, bits);
+        Self { cfg, hash, mask_pow2, bits }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &XorCheckConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn bucket(&self, hv: u64) -> usize {
+        match self.mask_pow2 {
+            Some(mask) => (hv & mask) as usize,
+            None => ((hv * self.cfg.buckets as u64) >> self.bits) as usize,
+        }
+    }
+
+    /// Condense pairs into an `iterations × buckets` xor table.
+    pub fn condense(&self, pairs: &[(u64, u64)], table: &mut [u64]) {
+        let d = self.cfg.buckets;
+        assert_eq!(table.len(), self.cfg.iterations * d);
+        let mut idx = vec![0u64; self.cfg.iterations];
+        for &(key, value) in pairs {
+            self.hash.hash_all(key, &mut idx);
+            for (segment, &hv) in table.chunks_exact_mut(d).zip(&idx) {
+                segment[self.bucket(hv)] ^= value;
+            }
+        }
+    }
+
+    /// Purely local check (p = 1).
+    pub fn check_local(&self, input: &[(u64, u64)], asserted: &[(u64, u64)]) -> bool {
+        let len = self.cfg.iterations * self.cfg.buckets;
+        let mut t_in = vec![0u64; len];
+        let mut t_out = vec![0u64; len];
+        self.condense(input, &mut t_in);
+        self.condense(asserted, &mut t_out);
+        t_in == t_out
+    }
+
+    /// Distributed check: condensed tables of input and asserted output
+    /// travel in one xor tree reduction; verdict broadcast to all PEs.
+    pub fn check_distributed(
+        &self,
+        comm: &mut Comm,
+        input: &[(u64, u64)],
+        asserted: &[(u64, u64)],
+    ) -> bool {
+        let len = self.cfg.iterations * self.cfg.buckets;
+        let mut both = vec![0u64; 2 * len];
+        {
+            let (t_in, t_out) = both.split_at_mut(len);
+            self.condense(input, t_in);
+            self.condense(asserted, t_out);
+        }
+        let reduced = comm.reduce(0, both, |a, b| {
+            a.iter().zip(&b).map(|(x, y)| x ^ y).collect()
+        });
+        let verdict = reduced
+            .map(|t| t[..len] == t[len..])
+            .unwrap_or(false);
+        comm.broadcast(0, verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccheck_net::run;
+    use std::collections::HashMap;
+
+    fn xor_aggregate(input: &[(u64, u64)]) -> Vec<(u64, u64)> {
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        for &(k, v) in input {
+            *m.entry(k).or_insert(0) ^= v;
+        }
+        let mut out: Vec<(u64, u64)> = m.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn cfg() -> XorCheckConfig {
+        XorCheckConfig::new(4, 16, HasherKind::Tab64)
+    }
+
+    #[test]
+    fn accepts_correct_xor_aggregation() {
+        let input: Vec<(u64, u64)> = (0..500u64).map(|i| (i % 31, i * 0x9E37 + 1)).collect();
+        let output = xor_aggregate(&input);
+        for seed in 0..20 {
+            assert!(XorChecker::new(cfg(), seed).check_local(&input, &output));
+        }
+    }
+
+    #[test]
+    fn detects_value_corruption() {
+        let input: Vec<(u64, u64)> = (0..500u64).map(|i| (i % 31, i * 0x9E37 + 1)).collect();
+        let mut bad = xor_aggregate(&input);
+        bad[5].1 ^= 0x100;
+        let missed = (0..100)
+            .filter(|&seed| XorChecker::new(cfg(), seed).check_local(&input, &bad))
+            .count();
+        assert_eq!(missed, 0, "δ = 16^-4 ≈ 1.5e-5: no misses in 100 trials");
+    }
+
+    #[test]
+    fn detects_forgotten_key() {
+        let input: Vec<(u64, u64)> = (0..100u64).map(|i| (i % 7, i | 1)).collect();
+        let mut bad = xor_aggregate(&input);
+        bad.remove(2);
+        assert!(!XorChecker::new(cfg(), 3).check_local(&input, &bad));
+    }
+
+    #[test]
+    fn zero_values_invisible_by_design() {
+        // x ⊕ 0 = x: exactly the neutral-element caveat of Theorem 1.
+        let input: Vec<(u64, u64)> = vec![(1, 5), (2, 9)];
+        let mut output = xor_aggregate(&input);
+        output.push((777, 0));
+        assert!(XorChecker::new(cfg(), 1).check_local(&input, &output));
+    }
+
+    #[test]
+    fn failure_bound_formula() {
+        let c = XorCheckConfig::new(3, 8, HasherKind::Crc32c);
+        assert!((c.failure_bound() - (1.0f64 / 512.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weak_config_misses_at_predicted_rate() {
+        // d = 2, 1 iteration: swapping the values of two keys goes
+        // unnoticed iff both keys share a bucket — probability 1/2.
+        let input: Vec<(u64, u64)> = (0..100u64).map(|i| (i, i * 3 + 1)).collect();
+        let output = xor_aggregate(&input);
+        let weak = XorCheckConfig::new(1, 2, HasherKind::Tab64);
+        let mut accepted = 0u64;
+        let trials = 400;
+        for seed in 0..trials {
+            let mut bad = output.clone();
+            let (a, b) = (bad[10].1, bad[20].1);
+            bad[10].1 = b;
+            bad[20].1 = a;
+            if XorChecker::new(weak, seed).check_local(&input, &bad) {
+                accepted += 1;
+            }
+        }
+        let rate = accepted as f64 / trials as f64;
+        assert!((0.38..0.62).contains(&rate), "rate {rate} ≉ 0.5");
+    }
+
+    #[test]
+    fn distributed_check_and_detection() {
+        for corrupt in [false, true] {
+            let verdicts = run(4, |comm| {
+                let rank = comm.rank() as u64;
+                let input: Vec<(u64, u64)> =
+                    (0..200u64).map(|i| ((rank * 200 + i) % 23, i | 1)).collect();
+                let all: Vec<(u64, u64)> = (0..4u64)
+                    .flat_map(|r| (0..200u64).map(move |i| ((r * 200 + i) % 23, i | 1)))
+                    .collect();
+                let full = xor_aggregate(&all);
+                let mut shard: Vec<(u64, u64)> = full
+                    .iter()
+                    .copied()
+                    .skip(comm.rank())
+                    .step_by(4)
+                    .collect();
+                if corrupt && comm.rank() == 1 && !shard.is_empty() {
+                    shard[0].1 ^= 0x8000;
+                }
+                XorChecker::new(cfg(), 9).check_distributed(comm, &input, &shard)
+            });
+            assert!(verdicts.iter().all(|&v| v != corrupt), "corrupt={corrupt}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_buckets() {
+        let c = XorCheckConfig::new(3, 37, HasherKind::Tab64);
+        let input: Vec<(u64, u64)> = (0..300u64).map(|i| (i % 41, i | 1)).collect();
+        let output = xor_aggregate(&input);
+        let checker = XorChecker::new(c, 5);
+        assert!(checker.check_local(&input, &output));
+        let mut bad = output.clone();
+        bad[0].1 ^= 1;
+        assert!(!checker.check_local(&input, &bad));
+    }
+}

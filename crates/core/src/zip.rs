@@ -1,0 +1,231 @@
+//! Zip checking (§6.4, Theorem 11).
+//!
+//! Zip must preserve the *order* of both sequences, so a multiset
+//! fingerprint is not enough: the checker needs a hash that is sensitive
+//! to positions yet computable on distributed data regardless of the
+//! split. Following the paper, we use the inner product of the sequence
+//! with a pseudo-random sequence `R = ⟨h′(1), h′(2), …⟩`: since `h′`
+//! is evaluated on *global* indices, each PE computes its partial sum
+//! locally ("computed on the fly and without communication") after one
+//! prefix-sum establishes its global offset.
+//!
+//! The fingerprint lives in 𝔽_{2⁶¹−1}: `F(S) = Σᵢ h′(i)·h(xᵢ) mod p`,
+//! combined across PEs by field addition. Two sequences agreeing on the
+//! fingerprint of every iteration differ with probability ≤ `(1/H)^its`.
+
+use ccheck_hashing::field::Mersenne61;
+use ccheck_hashing::{Hasher, HasherKind};
+use ccheck_net::Comm;
+
+/// Configuration of the Zip checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZipCheckConfig {
+    /// Hash family for element values.
+    pub hasher: HasherKind,
+    /// Independent repetitions.
+    pub iterations: usize,
+}
+
+impl Default for ZipCheckConfig {
+    fn default() -> Self {
+        Self { hasher: HasherKind::Tab64, iterations: 2 }
+    }
+}
+
+/// A seeded Zip checker.
+#[derive(Debug, Clone)]
+pub struct ZipChecker {
+    cfg: ZipCheckConfig,
+    seed: u64,
+}
+
+impl ZipChecker {
+    /// Create a checker; all PEs must pass the same `(config, seed)`.
+    pub fn new(cfg: ZipCheckConfig, seed: u64) -> Self {
+        assert!(cfg.iterations >= 1);
+        Self { cfg, seed }
+    }
+
+    /// Position-sensitive fingerprint of a sequence slice whose first
+    /// element has global index `start`.
+    fn fingerprint<F: Fn(usize) -> u64>(
+        &self,
+        iter: usize,
+        start: u64,
+        len: usize,
+        at: F,
+    ) -> u64 {
+        let h = Hasher::new(self.cfg.hasher, self.seed ^ (iter as u64) << 32 ^ 0x7A69);
+        let h_pos = Hasher::new(
+            self.cfg.hasher,
+            self.seed ^ (iter as u64) << 32 ^ 0x7069_7073,
+        );
+        let mut acc = 0u64;
+        for i in 0..len {
+            let pos_hash = Mersenne61::from_u64(h_pos.hash(start + i as u64));
+            let val_hash = Mersenne61::from_u64(h.hash(at(i)));
+            acc = Mersenne61::add(acc, Mersenne61::mul(pos_hash, val_hash));
+        }
+        acc
+    }
+
+    /// Distributed Zip check: `zipped` must pair `s1[i]` with `s2[i]`
+    /// for every global index `i`, preserving both orders. The three
+    /// sequences may have three different distributions. Every PE
+    /// returns the same verdict.
+    pub fn check(
+        &self,
+        comm: &mut Comm,
+        s1: &[u64],
+        s2: &[u64],
+        zipped: &[(u64, u64)],
+    ) -> bool {
+        let (s1_start, n1) = comm.exclusive_prefix_sum(s1.len() as u64);
+        let (s2_start, n2) = comm.exclusive_prefix_sum(s2.len() as u64);
+        let (z_start, nz) = comm.exclusive_prefix_sum(zipped.len() as u64);
+        if n1 != n2 || n1 != nz {
+            return false;
+        }
+        let mut ok = true;
+        for iter in 0..self.cfg.iterations {
+            // First component stream vs s1.
+            let f1 = self.fingerprint(2 * iter, s1_start, s1.len(), |i| s1[i]);
+            let fz1 = self.fingerprint(2 * iter, z_start, zipped.len(), |i| zipped[i].0);
+            // Second component stream vs s2 (independent hash instance).
+            let f2 = self.fingerprint(2 * iter + 1, s2_start, s2.len(), |i| s2[i]);
+            let fz2 = self.fingerprint(2 * iter + 1, z_start, zipped.len(), |i| zipped[i].1);
+            let (g1, gz1, g2, gz2) = comm.allreduce((f1, fz1, f2, fz2), |a, b| {
+                (
+                    Mersenne61::add(a.0, b.0),
+                    Mersenne61::add(a.1, b.1),
+                    Mersenne61::add(a.2, b.2),
+                    Mersenne61::add(a.3, b.3),
+                )
+            });
+            ok &= g1 == gz1 && g2 == gz2;
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccheck_net::run;
+
+    fn chunk(v: &[u64], rank: usize, p: usize) -> Vec<u64> {
+        let base = v.len() / p;
+        let extra = v.len() % p;
+        let start = rank * base + rank.min(extra);
+        let len = base + usize::from(rank < extra);
+        v[start..start + len].to_vec()
+    }
+
+    /// Distribute zipped pairs with a *different* (skewed) distribution
+    /// than the inputs, preserving the global rank-concatenation order.
+    fn chunk_pairs(v: &[(u64, u64)], rank: usize, p: usize) -> Vec<(u64, u64)> {
+        // PE 0 takes a double share, the last PE the remainder.
+        let n = v.len();
+        let base = n / (p + 1);
+        let bounds: Vec<usize> = (0..=p)
+            .map(|r| if r == 0 { 0 } else { (2 * base + (r - 1) * base).min(n) })
+            .map(|b| if p == 1 { if b == 0 { 0 } else { n } } else { b })
+            .collect();
+        let start = bounds[rank];
+        let end = if rank + 1 == p { n } else { bounds[rank + 1] };
+        v[start..end].to_vec()
+    }
+
+    #[test]
+    fn accepts_correct_zip() {
+        let n = 400usize;
+        let s1: Vec<u64> = (0..n as u64).map(|i| i * 3).collect();
+        let s2: Vec<u64> = (0..n as u64).map(|i| 10_000 + i).collect();
+        let zipped: Vec<(u64, u64)> = s1.iter().copied().zip(s2.iter().copied()).collect();
+        for p in [1, 2, 4] {
+            let verdicts = run(p, |comm| {
+                let checker = ZipChecker::new(ZipCheckConfig::default(), 11);
+                checker.check(
+                    comm,
+                    &chunk(&s1, comm.rank(), p),
+                    &chunk(&s2, comm.rank(), p),
+                    &chunk_pairs(&zipped, comm.rank(), p),
+                )
+            });
+            assert!(verdicts.iter().all(|&v| v), "p={p}");
+        }
+    }
+
+    #[test]
+    fn rejects_swapped_adjacent_pairs() {
+        // Same multiset, wrong order — the case a permutation check
+        // cannot catch but Zip's position-sensitive hash must.
+        let n = 100usize;
+        let s1: Vec<u64> = (0..n as u64).collect();
+        let s2: Vec<u64> = (0..n as u64).map(|i| 1000 + i).collect();
+        let mut zipped: Vec<(u64, u64)> =
+            s1.iter().copied().zip(s2.iter().copied()).collect();
+        zipped.swap(10, 11);
+        let verdicts = run(2, |comm| {
+            let checker = ZipChecker::new(ZipCheckConfig::default(), 3);
+            checker.check(
+                comm,
+                &chunk(&s1, comm.rank(), 2),
+                &chunk(&s2, comm.rank(), 2),
+                &chunk_pairs(&zipped, comm.rank(), 2),
+            )
+        });
+        assert!(verdicts.iter().all(|&v| !v));
+    }
+
+    #[test]
+    fn rejects_misaligned_pairing() {
+        // Pair s1[i] with s2[i+1]: both component multisets survive in
+        // order individually... s2 column shifts — fingerprint of second
+        // component must differ.
+        let n = 50usize;
+        let s1: Vec<u64> = (0..n as u64).collect();
+        let s2: Vec<u64> = (0..n as u64).map(|i| 1000 + i).collect();
+        let zipped: Vec<(u64, u64)> = (0..n)
+            .map(|i| (s1[i], s2[(i + 1) % n]))
+            .collect();
+        let verdicts = run(2, |comm| {
+            let checker = ZipChecker::new(ZipCheckConfig::default(), 5);
+            checker.check(
+                comm,
+                &chunk(&s1, comm.rank(), 2),
+                &chunk(&s2, comm.rank(), 2),
+                &chunk_pairs(&zipped, comm.rank(), 2),
+            )
+        });
+        assert!(verdicts.iter().all(|&v| !v));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let verdicts = run(2, |comm| {
+            let rank = comm.rank() as u64;
+            let s1: Vec<u64> = (0..50).map(|i| rank * 50 + i).collect();
+            let s2: Vec<u64> = (0..50).map(|i| rank * 50 + i).collect();
+            // Zipped output lost an element on PE 1.
+            let zipped: Vec<(u64, u64)> = (0..if rank == 0 { 50 } else { 49 })
+                .map(|i| {
+                    let g = rank * 50 + i;
+                    (g, g)
+                })
+                .collect();
+            let checker = ZipChecker::new(ZipCheckConfig::default(), 1);
+            checker.check(comm, &s1, &s2, &zipped)
+        });
+        assert!(verdicts.iter().all(|&v| !v));
+    }
+
+    #[test]
+    fn accepts_empty_sequences() {
+        let verdicts = run(3, |comm| {
+            let checker = ZipChecker::new(ZipCheckConfig::default(), 9);
+            checker.check(comm, &[], &[], &[])
+        });
+        assert!(verdicts.iter().all(|&v| v));
+    }
+}

@@ -1,0 +1,105 @@
+//! Key-hash redistribution — the data-exchange phase shared by
+//! ReduceByKey, GroupBy, and hash Join, and the phase the paper's
+//! *invasive* checkers (Corollaries 14/15) verify.
+
+use ccheck_hashing::Hasher;
+use ccheck_net::Comm;
+
+use crate::Pair;
+
+/// The PE responsible for `key` under hash partitioning.
+#[inline]
+pub fn key_to_pe(hasher: &Hasher, key: u64, p: usize) -> usize {
+    (hasher.hash(key) % p as u64) as usize
+}
+
+/// Route every pair to the PE owning its key (`h(key) mod p`).
+///
+/// Returns this PE's received pairs, in sender-rank order with each
+/// sender's pairs in their original local order (a stable redistribution;
+/// the GroupBy checker relies on nothing more than the multiset).
+pub fn redistribute_by_key_hash(comm: &mut Comm, data: Vec<Pair>, hasher: &Hasher) -> Vec<Pair> {
+    let p = comm.size();
+    let mut outgoing: Vec<Vec<Pair>> = vec![Vec::new(); p];
+    for pair in data {
+        outgoing[key_to_pe(hasher, pair.0, p)].push(pair);
+    }
+    comm.all_to_all(outgoing).into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccheck_hashing::HasherKind;
+    use ccheck_net::run;
+
+    fn test_hasher() -> Hasher {
+        Hasher::new(HasherKind::Tab64, 12345)
+    }
+
+    #[test]
+    fn all_pairs_arrive_somewhere() {
+        for p in [1, 2, 4, 5] {
+            let results = run(p, |comm| {
+                let rank = comm.rank() as u64;
+                let local: Vec<Pair> = (0..100).map(|i| (rank * 100 + i, i)).collect();
+                let hasher = test_hasher();
+                redistribute_by_key_hash(comm, local, &hasher)
+            });
+            let total: usize = results.iter().map(Vec::len).sum();
+            assert_eq!(total, 100 * p, "p={p}");
+        }
+    }
+
+    #[test]
+    fn each_pe_receives_only_its_keys() {
+        let p = 4;
+        let results = run(p, |comm| {
+            let rank = comm.rank() as u64;
+            let local: Vec<Pair> = (0..200).map(|i| (rank ^ i, i)).collect();
+            let hasher = test_hasher();
+            let received = redistribute_by_key_hash(comm, local, &hasher);
+            (comm.rank(), received)
+        });
+        let hasher = test_hasher();
+        for (rank, received) in results {
+            for (k, _) in received {
+                assert_eq!(key_to_pe(&hasher, k, p), rank, "key {k} misrouted");
+            }
+        }
+    }
+
+    #[test]
+    fn same_key_lands_on_same_pe() {
+        let results = run(3, |comm| {
+            let local: Vec<Pair> = (0..50).map(|i| (i % 10, comm.rank() as u64)).collect();
+            let hasher = test_hasher();
+            redistribute_by_key_hash(comm, local, &hasher)
+        });
+        // Each key appears on exactly one PE.
+        let mut key_owner = std::collections::HashMap::new();
+        for (rank, received) in results.iter().enumerate() {
+            for (k, _) in received {
+                let prev = key_owner.insert(*k, rank);
+                assert!(prev.is_none_or(|r| r == rank), "key {k} on two PEs");
+            }
+        }
+        assert_eq!(key_owner.len(), 10);
+    }
+
+    #[test]
+    fn multiset_preserved() {
+        let p = 3;
+        let results = run(p, |comm| {
+            let rank = comm.rank() as u64;
+            let local: Vec<Pair> = (0..30).map(|i| (i * 7 % 13, rank * 1000 + i)).collect();
+            let hasher = test_hasher();
+            (local.clone(), redistribute_by_key_hash(comm, local, &hasher))
+        });
+        let mut before: Vec<Pair> = results.iter().flat_map(|(b, _)| b.clone()).collect();
+        let mut after: Vec<Pair> = results.iter().flat_map(|(_, a)| a.clone()).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+}

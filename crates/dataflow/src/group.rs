@@ -1,0 +1,146 @@
+//! `GroupByKey` — collect all values of a key on one PE and apply a group
+//! function (§2 "GroupBy" / §6.5.3). The redistribution phase is exposed
+//! separately because the paper's invasive checker (Corollary 14) verifies
+//! exactly that phase.
+
+use std::collections::HashMap;
+
+use ccheck_hashing::Hasher;
+use ccheck_net::Comm;
+
+use crate::exchange::redistribute_by_key_hash;
+use crate::Pair;
+
+/// Group all values per key on the key's owner PE. Returns this PE's
+/// groups sorted by key, with each group's values in arrival order.
+///
+/// `GroupBy` enables "more powerful operators such as computing median"
+/// at the cost of `O(β·w·n + α·p)` communication — the full value sets
+/// move, unlike ReduceByKey.
+pub fn group_by_key(comm: &mut Comm, data: Vec<Pair>, hasher: &Hasher) -> Vec<(u64, Vec<u64>)> {
+    let routed = redistribute_by_key_hash(comm, data, hasher);
+    let mut groups: HashMap<u64, Vec<u64>> = HashMap::new();
+    for (k, v) in routed {
+        groups.entry(k).or_default().push(v);
+    }
+    let mut out: Vec<(u64, Vec<u64>)> = groups.into_iter().collect();
+    out.sort_unstable_by_key(|&(k, _)| k);
+    out
+}
+
+/// Group and immediately fold each group with `g: [Value] → Value`
+/// (the paper's group function signature).
+pub fn group_by_key_apply<F>(
+    comm: &mut Comm,
+    data: Vec<Pair>,
+    hasher: &Hasher,
+    g: F,
+) -> Vec<Pair>
+where
+    F: Fn(&[u64]) -> u64,
+{
+    group_by_key(comm, data, hasher)
+        .into_iter()
+        .map(|(k, values)| (k, g(&values)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccheck_hashing::HasherKind;
+    use ccheck_net::run;
+
+    #[test]
+    fn groups_complete_and_disjoint() {
+        let p = 4;
+        let results = run(p, |comm| {
+            let rank = comm.rank() as u64;
+            let local: Vec<Pair> = (0..60).map(|i| (i % 6, rank * 100 + i)).collect();
+            let hasher = Hasher::new(HasherKind::Tab64, 3);
+            group_by_key(comm, local, &hasher)
+        });
+        let mut seen_keys = std::collections::HashSet::new();
+        let mut total_values = 0usize;
+        for shard in &results {
+            for (k, values) in shard {
+                assert!(seen_keys.insert(*k), "key {k} grouped on two PEs");
+                assert_eq!(values.len(), 10 * p, "key {k} incomplete group");
+                total_values += values.len();
+            }
+        }
+        assert_eq!(seen_keys.len(), 6);
+        assert_eq!(total_values, 60 * p);
+    }
+
+    #[test]
+    fn group_apply_median_like() {
+        let results = run(2, |comm| {
+            let local: Vec<Pair> = vec![(1, 10), (1, 30), (2, 5)];
+            let hasher = Hasher::new(HasherKind::Tab64, 3);
+            group_by_key_apply(comm, local, &hasher, |vals| {
+                let mut v = vals.to_vec();
+                v.sort_unstable();
+                v[v.len() / 2]
+            })
+        });
+        let mut all: Vec<Pair> = results.into_iter().flatten().collect();
+        all.sort_unstable();
+        // key 1: values [10,30,10,30] → upper middle 30; key 2: [5,5] → 5
+        assert_eq!(all, vec![(1, 30), (2, 5)]);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let results = run(3, |comm| {
+            let hasher = Hasher::new(HasherKind::Tab64, 3);
+            group_by_key(comm, Vec::new(), &hasher)
+        });
+        assert!(results.iter().all(Vec::is_empty));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Groups across any PE count match the sequential oracle.
+            #[test]
+            fn prop_groups_match_oracle(
+                pairs in prop::collection::vec((0u64..20, 0u64..1000), 0..150),
+                p in 1usize..5,
+            ) {
+                let all = pairs.clone();
+                let results = ccheck_net::run(p, |comm| {
+                    let local: Vec<Pair> = all
+                        .iter()
+                        .copied()
+                        .skip(comm.rank())
+                        .step_by(p)
+                        .collect();
+                    let hasher = Hasher::new(HasherKind::Tab64, 3);
+                    group_by_key(comm, local, &hasher)
+                });
+                let mut oracle: HashMap<u64, Vec<u64>> = HashMap::new();
+                for &(k, v) in &pairs {
+                    oracle.entry(k).or_default().push(v);
+                }
+                let mut got: HashMap<u64, Vec<u64>> = HashMap::new();
+                for shard in results {
+                    for (k, mut vs) in shard {
+                        prop_assert!(!got.contains_key(&k), "key {k} on two PEs");
+                        vs.sort_unstable();
+                        got.insert(k, vs);
+                    }
+                }
+                for vs in oracle.values_mut() {
+                    vs.sort_unstable();
+                }
+                prop_assert_eq!(got, oracle);
+            }
+        }
+    }
+}

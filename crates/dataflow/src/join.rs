@@ -1,0 +1,184 @@
+//! `Join` (§6.5.4): equi-join of two keyed relations. Both common
+//! algorithms are implemented — hash join and sort-merge join — because
+//! the paper's invasive checker (Corollary 15) covers both: "as far as
+//! data redistribution is concerned, a hash join is essentially a
+//! sort-merge join using the hashes of the keys for sorting".
+
+use std::collections::HashMap;
+
+use ccheck_hashing::Hasher;
+use ccheck_net::Comm;
+
+use crate::exchange::redistribute_by_key_hash;
+use crate::kway::kway_merge;
+use crate::Pair;
+
+/// A joined row: key and the pair of matched values (left, right).
+pub type JoinedRow = (u64, (u64, u64));
+
+/// Local equi-join of two co-located relations (all rows of a key on the
+/// same PE for both inputs). Produces the full cross product per key.
+fn local_join(r: Vec<Pair>, s: Vec<Pair>) -> Vec<JoinedRow> {
+    let mut by_key: HashMap<u64, Vec<u64>> = HashMap::new();
+    for (k, v) in r {
+        by_key.entry(k).or_default().push(v);
+    }
+    let mut out = Vec::new();
+    for (k, sv) in s {
+        if let Some(rvs) = by_key.get(&k) {
+            for &rv in rvs {
+                out.push((k, (rv, sv)));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Distributed hash join: redistribute both relations by key hash, then
+/// join locally. Returns this PE's joined rows (sorted for determinism).
+pub fn hash_join(
+    comm: &mut Comm,
+    r: Vec<Pair>,
+    s: Vec<Pair>,
+    hasher: &Hasher,
+) -> Vec<JoinedRow> {
+    let r_routed = redistribute_by_key_hash(comm, r, hasher);
+    let s_routed = redistribute_by_key_hash(comm, s, hasher);
+    local_join(r_routed, s_routed)
+}
+
+/// Distributed sort-merge join: range-partition both relations by key
+/// using common splitters, sort locally, merge-scan. Returns this PE's
+/// joined rows.
+pub fn sort_merge_join(comm: &mut Comm, r: Vec<Pair>, s: Vec<Pair>) -> Vec<JoinedRow> {
+    let p = comm.size();
+    // Derive splitters from the combined key sample.
+    let sample_keys = |data: &[Pair]| -> Vec<u64> {
+        let n = data.len();
+        let s = 8usize.min(n);
+        (0..s).map(|i| data[(2 * i + 1) * n / (2 * s)].0).collect()
+    };
+    let mut local_sample = sample_keys(&r);
+    local_sample.extend(sample_keys(&s));
+    let mut all_samples: Vec<u64> = comm.allgather(local_sample).into_iter().flatten().collect();
+    all_samples.sort_unstable();
+    let splitters: Vec<u64> = (1..p)
+        .map(|i| {
+            if all_samples.is_empty() {
+                0
+            } else {
+                all_samples[(i * all_samples.len() / p).min(all_samples.len() - 1)]
+            }
+        })
+        .collect();
+
+    let route = |comm: &mut Comm, data: Vec<Pair>| -> Vec<Vec<Pair>> {
+        let mut outgoing: Vec<Vec<Pair>> = vec![Vec::new(); p];
+        for pair in data {
+            let dest = splitters.partition_point(|&sp| sp < pair.0);
+            outgoing[dest].push(pair);
+        }
+        comm.all_to_all(outgoing)
+    };
+    let mut r_runs = route(comm, r);
+    let mut s_runs = route(comm, s);
+    for run in r_runs.iter_mut().chain(s_runs.iter_mut()) {
+        run.sort_unstable();
+    }
+    let r_sorted = kway_merge(r_runs);
+    let s_sorted = kway_merge(s_runs);
+
+    // Merge-scan over the two sorted runs.
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    for &(sk, sv) in &s_sorted {
+        while i < r_sorted.len() && r_sorted[i].0 < sk {
+            i += 1;
+        }
+        let mut j = i;
+        while j < r_sorted.len() && r_sorted[j].0 == sk {
+            out.push((sk, (r_sorted[j].1, sv)));
+            j += 1;
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccheck_hashing::HasherKind;
+    use ccheck_net::run;
+
+    fn oracle(r: &[Pair], s: &[Pair]) -> Vec<JoinedRow> {
+        let mut out = Vec::new();
+        for &(rk, rv) in r {
+            for &(sk, sv) in s {
+                if rk == sk {
+                    out.push((rk, (rv, sv)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn check_both_algorithms(p: usize, all_r: Vec<Pair>, all_s: Vec<Pair>) {
+        let expected = oracle(&all_r, &all_s);
+        let chunk = |v: &[Pair], rank: usize| -> Vec<Pair> {
+            v.iter().copied().skip(rank).step_by(p).collect()
+        };
+        for use_hash in [true, false] {
+            let results = run(p, |comm| {
+                let r = chunk(&all_r, comm.rank());
+                let s = chunk(&all_s, comm.rank());
+                if use_hash {
+                    let hasher = Hasher::new(HasherKind::Tab64, 17);
+                    hash_join(comm, r, s, &hasher)
+                } else {
+                    sort_merge_join(comm, r, s)
+                }
+            });
+            let mut joined: Vec<JoinedRow> = results.into_iter().flatten().collect();
+            joined.sort_unstable();
+            assert_eq!(joined, expected, "hash={use_hash} p={p}");
+        }
+    }
+
+    #[test]
+    fn one_to_one_join() {
+        let r: Vec<Pair> = (0..50).map(|i| (i, i * 10)).collect();
+        let s: Vec<Pair> = (25..75).map(|i| (i, i * 100)).collect();
+        check_both_algorithms(3, r, s);
+    }
+
+    #[test]
+    fn many_to_many_join() {
+        let r: Vec<Pair> = (0..40).map(|i| (i % 4, i)).collect();
+        let s: Vec<Pair> = (0..20).map(|i| (i % 5, 1000 + i)).collect();
+        check_both_algorithms(4, r, s);
+    }
+
+    #[test]
+    fn no_matches() {
+        let r: Vec<Pair> = (0..20).map(|i| (i, i)).collect();
+        let s: Vec<Pair> = (100..120).map(|i| (i, i)).collect();
+        check_both_algorithms(2, r, s);
+    }
+
+    #[test]
+    fn empty_relations() {
+        check_both_algorithms(2, Vec::new(), vec![(1, 1)]);
+        check_both_algorithms(2, vec![(1, 1)], Vec::new());
+        check_both_algorithms(2, Vec::new(), Vec::new());
+    }
+
+    #[test]
+    fn single_pe_matches_oracle() {
+        let r: Vec<Pair> = vec![(1, 1), (1, 2), (2, 3)];
+        let s: Vec<Pair> = vec![(1, 10), (2, 20), (3, 30)];
+        check_both_algorithms(1, r, s);
+    }
+}

@@ -1,0 +1,52 @@
+//! # ccheck-dataflow — a mini data-parallel framework (the system under test)
+//!
+//! The paper integrates its checkers into Thrill; this crate provides the
+//! equivalent substrate: real distributed implementations of the
+//! operations the checkers verify, running on the [`ccheck_net`]
+//! message-passing runtime. Every operation is SPMD: each PE calls the
+//! function with its local share and all PEs return their local share of
+//! the result.
+//!
+//! Operations (Thrill terminology, Table 1 of the paper):
+//!
+//! | Module | Operations |
+//! |---|---|
+//! | [`mod@reduce`] | `reduce_by_key` (sum/count aggregation) |
+//! | [`mod@group`] | `group_by_key` (+ the raw redistribution phase) |
+//! | [`mod@sort`] | distributed sample sort |
+//! | [`mod@merge`] | merge of two globally sorted sequences |
+//! | [`mod@zip`] | index-wise zip with rebalancing |
+//! | [`mod@union`] | multiset union (concatenation) |
+//! | [`mod@join`] | hash join and sort-merge join |
+//! | [`mod@aggregate`] | min/max/median/average aggregation + certificates |
+//!
+//! Keys and values are `u64` (the paper's experiments use integer
+//! workloads; fixed-size elements per §2).
+
+pub mod aggregate;
+pub mod checked;
+pub mod dia;
+pub mod exchange;
+pub mod group;
+pub mod join;
+pub mod kway;
+pub mod merge;
+pub mod reduce;
+pub mod sort;
+pub mod union;
+pub mod zip;
+
+/// A key-value pair, the element type of keyed operations.
+pub type Pair = (u64, u64);
+
+pub use aggregate::{average_by_key, max_by_key, median_by_key, min_by_key};
+pub use checked::{checked_reduce_by_key, checked_sort, CheckedOutcome};
+pub use dia::{CheckRejected, Dia, PipelineCtx};
+pub use exchange::redistribute_by_key_hash;
+pub use group::group_by_key;
+pub use join::{hash_join, sort_merge_join};
+pub use merge::merge_sorted;
+pub use reduce::reduce_by_key;
+pub use sort::sort;
+pub use union::union;
+pub use zip::zip;

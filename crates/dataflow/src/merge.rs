@@ -1,0 +1,124 @@
+//! `Merge` (§6.5.2): combine two globally sorted distributed sequences
+//! into one globally sorted sequence.
+//!
+//! Implementation: each input is already locally sorted, so we merge the
+//! two local runs, then run the splitter/exchange/merge phases of sample
+//! sort on the merged runs — local work stays `O((n/p)·log p)` and no
+//! full re-sort happens.
+
+use ccheck_net::Comm;
+
+use crate::kway::{kway_merge, merge2};
+
+/// Oversampling factor for splitter selection (matches `sort`).
+const OVERSAMPLE: usize = 16;
+
+/// Merge two globally sorted distributed sequences. Each PE passes its
+/// local shares of both inputs (each ascending) and receives its shard of
+/// the merged, globally sorted output.
+///
+/// # Panics
+/// Debug builds assert that the local inputs are ascending.
+pub fn merge_sorted(comm: &mut Comm, a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "input a not sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "input b not sorted");
+    let local = merge2(&a, &b);
+    let p = comm.size();
+    if p == 1 {
+        return local;
+    }
+
+    let s = OVERSAMPLE.min(local.len());
+    let samples: Vec<u64> = (0..s).map(|i| local[(2 * i + 1) * local.len() / (2 * s)]).collect();
+    let mut all_samples: Vec<u64> = comm.allgather(samples).into_iter().flatten().collect();
+    all_samples.sort_unstable();
+
+    let splitters: Vec<u64> = (1..p)
+        .map(|i| {
+            if all_samples.is_empty() {
+                0
+            } else {
+                all_samples[(i * all_samples.len() / p).min(all_samples.len() - 1)]
+            }
+        })
+        .collect();
+
+    let mut outgoing: Vec<Vec<u64>> = Vec::with_capacity(p);
+    let mut start = 0usize;
+    for &sp in &splitters {
+        let end = start + local[start..].partition_point(|&x| x <= sp);
+        outgoing.push(local[start..end].to_vec());
+        start = end;
+    }
+    outgoing.push(local[start..].to_vec());
+
+    let runs = comm.all_to_all(outgoing);
+    kway_merge(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccheck_net::run;
+
+    /// Build globally sorted distributed inputs, merge, compare to oracle.
+    fn check_merge(p: usize, all_a: Vec<u64>, all_b: Vec<u64>) {
+        let mut sorted_a = all_a.clone();
+        sorted_a.sort_unstable();
+        let mut sorted_b = all_b.clone();
+        sorted_b.sort_unstable();
+        let chunk = |v: &[u64], rank: usize| -> Vec<u64> {
+            let base = v.len() / p;
+            let extra = v.len() % p;
+            let start = rank * base + rank.min(extra);
+            let len = base + usize::from(rank < extra);
+            v[start..start + len].to_vec()
+        };
+        let results = run(p, |comm| {
+            let a = chunk(&sorted_a, comm.rank());
+            let b = chunk(&sorted_b, comm.rank());
+            merge_sorted(comm, a, b)
+        });
+        let merged: Vec<u64> = results.iter().flatten().copied().collect();
+        let mut expected = [sorted_a.clone(), sorted_b.clone()].concat();
+        expected.sort_unstable();
+        assert_eq!(merged, expected, "p={p}");
+    }
+
+    #[test]
+    fn merges_interleaved() {
+        for p in [1, 2, 3, 4] {
+            let a: Vec<u64> = (0..200).map(|i| i * 2).collect();
+            let b: Vec<u64> = (0..200).map(|i| i * 2 + 1).collect();
+            check_merge(p, a, b);
+        }
+    }
+
+    #[test]
+    fn merges_disjoint_ranges() {
+        let a: Vec<u64> = (0..100).collect();
+        let b: Vec<u64> = (1000..1100).collect();
+        check_merge(4, a, b);
+    }
+
+    #[test]
+    fn merges_unequal_lengths() {
+        let a: Vec<u64> = (0..317).map(|i| i * 3).collect();
+        let b: Vec<u64> = (0..41).map(|i| i * 7).collect();
+        check_merge(3, a, b);
+    }
+
+    #[test]
+    fn merges_with_duplicates() {
+        let a = vec![5u64; 100];
+        let b: Vec<u64> = (0..100).map(|i| i % 10).collect();
+        check_merge(4, a, b);
+    }
+
+    #[test]
+    fn merges_empty_sides() {
+        check_merge(2, Vec::new(), (0..50).collect());
+        check_merge(2, (0..50).collect(), Vec::new());
+        check_merge(2, Vec::new(), Vec::new());
+    }
+}

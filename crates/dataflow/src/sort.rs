@@ -1,0 +1,138 @@
+//! Distributed sample sort.
+//!
+//! Classic three-phase scheme: local sort → splitter selection from a
+//! gathered oversample → range partition + all-to-all → local k-way merge.
+//! The output is globally sorted: every element on PE i precedes every
+//! element on PE i+1, and each local share is ascending.
+
+use ccheck_net::Comm;
+
+use crate::kway::kway_merge;
+
+/// Oversampling factor: samples taken per PE for splitter selection.
+const OVERSAMPLE: usize = 16;
+
+/// Sort a distributed sequence. Each PE passes its local share and
+/// receives its shard of the globally sorted result.
+pub fn sort(comm: &mut Comm, mut local: Vec<u64>) -> Vec<u64> {
+    local.sort_unstable();
+    let p = comm.size();
+    if p == 1 {
+        return local;
+    }
+
+    // Phase 1: evenly spaced samples of the locally sorted data. All PEs
+    // gather everyone's samples and derive identical splitters.
+    let s = OVERSAMPLE.min(local.len());
+    // Midpoints of s equal strata: index (2i+1)·len/(2s) < len.
+    let samples: Vec<u64> = (0..s).map(|i| local[(2 * i + 1) * local.len() / (2 * s)]).collect();
+    let mut all_samples: Vec<u64> = comm.allgather(samples).into_iter().flatten().collect();
+    all_samples.sort_unstable();
+
+    // p−1 splitters: evenly spaced in the oversample.
+    let splitters: Vec<u64> = (1..p)
+        .map(|i| {
+            if all_samples.is_empty() {
+                0
+            } else {
+                all_samples[(i * all_samples.len() / p).min(all_samples.len() - 1)]
+            }
+        })
+        .collect();
+
+    // Phase 2: partition the sorted local data by splitters. Elements
+    // equal to a splitter go to the lower side (partition_point with <=).
+    let mut outgoing: Vec<Vec<u64>> = Vec::with_capacity(p);
+    let mut start = 0usize;
+    for &sp in &splitters {
+        let end = start + local[start..].partition_point(|&x| x <= sp);
+        outgoing.push(local[start..end].to_vec());
+        start = end;
+    }
+    outgoing.push(local[start..].to_vec());
+
+    // Phase 3: exchange and merge the received sorted runs.
+    let runs = comm.all_to_all(outgoing);
+    kway_merge(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccheck_net::run;
+
+    /// Run a distributed sort and return (global input, concatenated output).
+    fn dsort(p: usize, make_local: impl Fn(usize) -> Vec<u64> + Sync) -> (Vec<u64>, Vec<u64>) {
+        let results = run(p, |comm| {
+            let local = make_local(comm.rank());
+            (local.clone(), sort(comm, local))
+        });
+        let input: Vec<u64> = results.iter().flat_map(|(i, _)| i.clone()).collect();
+        let output: Vec<u64> = results.iter().flat_map(|(_, o)| o.clone()).collect();
+        (input, output)
+    }
+
+    #[test]
+    fn sorts_random_data() {
+        for p in [1, 2, 3, 4, 8] {
+            let (mut input, output) = dsort(p, |rank| {
+                (0..500u64)
+                    .map(|i| {
+                        let x = (rank as u64) * 1_000_003 + i;
+                        x.wrapping_mul(0x2545_F491_4F6C_DD1D) % 100_000
+                    })
+                    .collect()
+            });
+            input.sort_unstable();
+            assert_eq!(output, input, "p={p}");
+        }
+    }
+
+    #[test]
+    fn globally_sorted_across_pe_boundaries() {
+        let results = run(4, |comm| {
+            let rank = comm.rank() as u64;
+            let local: Vec<u64> = (0..100).map(|i| (i * 17 + rank * 31) % 1000).collect();
+            sort(comm, local)
+        });
+        // Concatenation in rank order must already be sorted.
+        let concat: Vec<u64> = results.iter().flatten().copied().collect();
+        assert!(concat.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn handles_duplicates_heavy_input() {
+        let (mut input, output) = dsort(4, |_| vec![5u64; 200]);
+        input.sort_unstable();
+        assert_eq!(output, input);
+    }
+
+    #[test]
+    fn handles_empty_and_skewed_input() {
+        // PE 0 holds everything, the rest nothing.
+        let (mut input, output) = dsort(4, |rank| {
+            if rank == 0 {
+                (0..400u64).rev().collect()
+            } else {
+                Vec::new()
+            }
+        });
+        input.sort_unstable();
+        assert_eq!(output, input);
+    }
+
+    #[test]
+    fn all_empty() {
+        let (_, output) = dsort(3, |_| Vec::new());
+        assert!(output.is_empty());
+    }
+
+    #[test]
+    fn already_sorted_input() {
+        let (mut input, output) = dsort(3, |rank| {
+            ((rank as u64) * 100..(rank as u64) * 100 + 100).collect()
+        });
+        input.sort_unstable();
+        assert_eq!(output, input);
+    }
+}

@@ -1,0 +1,34 @@
+//! Multiset `Union` (§6.5.1): the union of two distributed sequences is
+//! their concatenation — no communication at all; each PE concatenates
+//! its local shares. Only the multiset matters to downstream operations
+//! (and to the checker, Corollary 12).
+
+/// Concatenate the local shares of two distributed sequences.
+pub fn union(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+    let mut out = a;
+    out.extend(b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concatenates() {
+        assert_eq!(union(vec![1, 2], vec![3]), vec![1, 2, 3]);
+        assert_eq!(union(vec![], vec![]), Vec::<u64>::new());
+        assert_eq!(union(vec![7], vec![]), vec![7]);
+    }
+
+    #[test]
+    fn multiset_is_sum_of_parts() {
+        let a = vec![1u64, 1, 2];
+        let b = vec![2u64, 3];
+        let mut u = union(a.clone(), b.clone());
+        u.sort_unstable();
+        let mut expected = [a, b].concat();
+        expected.sort_unstable();
+        assert_eq!(u, expected);
+    }
+}

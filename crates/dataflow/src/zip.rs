@@ -1,0 +1,166 @@
+//! `Zip` (§6.4): combine two equal-length distributed sequences
+//! index-wise. The sequences need not share a distribution, so elements
+//! of the second sequence are routed to match the first sequence's
+//! layout before pairing — the data movement the Zip checker verifies.
+
+use ccheck_net::Comm;
+
+use crate::Pair;
+
+/// Zip two distributed sequences of equal global length. The output
+/// adopts the distribution of `a`: PE i returns one pair per local
+/// element of `a`.
+///
+/// # Panics
+/// Panics (on every PE) if the global lengths differ.
+pub fn zip(comm: &mut Comm, a: Vec<u64>, b: Vec<u64>) -> Vec<Pair> {
+    let p = comm.size();
+    let (a_start, a_total) = comm.exclusive_prefix_sum(a.len() as u64);
+    let (b_start, b_total) = comm.exclusive_prefix_sum(b.len() as u64);
+    assert_eq!(a_total, b_total, "Zip requires equal global lengths");
+
+    // Everyone learns every PE's a-range start so each b-holder can route
+    // its elements to the PEs owning those global indices in `a`.
+    let a_starts: Vec<u64> = comm.allgather(a_start);
+    let owner_of = |global_idx: u64| -> usize {
+        // Last PE whose a-range starts at or before the index.
+        match a_starts.binary_search(&global_idx) {
+            Ok(mut i) => {
+                // Ranges of empty PEs share a start; the owner is the last
+                // PE with this start that actually has elements — routing
+                // to the first match is still correct because empty PEs
+                // own empty ranges; advance past them.
+                while i + 1 < p && a_starts[i + 1] == global_idx {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        }
+    };
+
+    // Route b elements (tagged with their global index) to a-owners.
+    let mut outgoing: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+    for (offset, &val) in b.iter().enumerate() {
+        let gidx = b_start + offset as u64;
+        outgoing[owner_of(gidx)].push((gidx, val));
+    }
+    let incoming = comm.all_to_all(outgoing);
+
+    // Place received b values at their position within the local a range.
+    let mut b_aligned: Vec<u64> = vec![0; a.len()];
+    let mut filled = vec![false; a.len()];
+    for (gidx, val) in incoming.into_iter().flatten() {
+        let local = (gidx - a_start) as usize;
+        b_aligned[local] = val;
+        filled[local] = true;
+    }
+    assert!(filled.iter().all(|&f| f), "zip alignment left holes");
+
+    a.into_iter().zip(b_aligned).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccheck_net::run;
+
+    fn check_zip(p: usize, a_sizes: &[usize], b_sizes: &[usize]) {
+        assert_eq!(a_sizes.len(), p);
+        assert_eq!(b_sizes.len(), p);
+        let total_a: usize = a_sizes.iter().sum();
+        let total_b: usize = b_sizes.iter().sum();
+        assert_eq!(total_a, total_b);
+        let a_sizes = a_sizes.to_vec();
+        let b_sizes = b_sizes.to_vec();
+        let results = run(p, |comm| {
+            let rank = comm.rank();
+            let a_start: usize = a_sizes[..rank].iter().sum();
+            let b_start: usize = b_sizes[..rank].iter().sum();
+            // Global sequence a: 0,1,2,...; b: 1000,1001,1002,...
+            let a: Vec<u64> = (0..a_sizes[rank]).map(|i| (a_start + i) as u64).collect();
+            let b: Vec<u64> = (0..b_sizes[rank]).map(|i| 1000 + (b_start + i) as u64).collect();
+            zip(comm, a, b)
+        });
+        let zipped: Vec<Pair> = results.into_iter().flatten().collect();
+        assert_eq!(zipped.len(), total_a);
+        for &(x, y) in &zipped {
+            assert_eq!(y, 1000 + x, "element {x} paired with {y}");
+        }
+    }
+
+    #[test]
+    fn equal_distributions() {
+        check_zip(4, &[25, 25, 25, 25], &[25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn skewed_distributions() {
+        check_zip(4, &[100, 0, 0, 0], &[0, 0, 0, 100]);
+        check_zip(3, &[10, 50, 40], &[40, 50, 10]);
+    }
+
+    #[test]
+    fn with_empty_pes() {
+        check_zip(4, &[0, 30, 0, 30], &[15, 15, 15, 15]);
+    }
+
+    #[test]
+    fn single_pe() {
+        check_zip(1, &[42], &[42]);
+    }
+
+    #[test]
+    fn all_empty() {
+        check_zip(3, &[0, 0, 0], &[0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal global lengths")]
+    fn unequal_lengths_rejected() {
+        // Run a single-PE instance to get a clean panic in this thread.
+        let mut comms = ccheck_net::router::Router::build(1).into_comms();
+        let comm = &mut comms[0];
+        let _ = zip(comm, vec![1, 2, 3], vec![1]);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Zip pairs global index i of a with global index i of b,
+            /// for arbitrary (matching-total) distributions.
+            #[test]
+            fn prop_zip_aligns_global_indices(
+                sizes_a in prop::collection::vec(0usize..40, 1..5),
+                seed: u64,
+            ) {
+                let p = sizes_a.len();
+                let total: usize = sizes_a.iter().sum();
+                // b gets a rotated distribution of the same total.
+                let mut sizes_b = sizes_a.clone();
+                sizes_b.rotate_left(1.min(p - 1));
+                let results = ccheck_net::run(p, |comm| {
+                    let r = comm.rank();
+                    let a_start: usize = sizes_a[..r].iter().sum();
+                    let b_start: usize = sizes_b[..r].iter().sum();
+                    let a: Vec<u64> = (0..sizes_a[r])
+                        .map(|i| (a_start + i) as u64 ^ seed)
+                        .collect();
+                    let b: Vec<u64> = (0..sizes_b[r])
+                        .map(|i| 1_000_000 + (b_start + i) as u64)
+                        .collect();
+                    zip(comm, a, b)
+                });
+                let zipped: Vec<Pair> = results.into_iter().flatten().collect();
+                prop_assert_eq!(zipped.len(), total);
+                for (x, y) in zipped {
+                    prop_assert_eq!(y - 1_000_000, x ^ seed);
+                }
+            }
+        }
+    }
+}

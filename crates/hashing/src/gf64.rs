@@ -1,0 +1,197 @@
+//! Arithmetic in GF(2⁶⁴) via carry-less multiplication.
+//!
+//! §5 of the paper suggests replacing the `2n` multiplications-modulo-prime
+//! of the polynomial permutation check by carry-less multiplication in a
+//! Galois field with an irreducible polynomial (citing Plank et al.'s SIMD
+//! GF arithmetic). This module implements GF(2⁶⁴) with the standard
+//! irreducible polynomial x⁶⁴ + x⁴ + x³ + x + 1 in portable software
+//! (4-bit windowed shift-and-xor; the hardware `PCLMULQDQ` path would be a
+//! drop-in replacement).
+
+/// Low 64 bits of the reduction polynomial x⁶⁴ + x⁴ + x³ + x + 1.
+/// (The folds in [`reduce`] encode it as the shift set {4, 3, 1, 0}.)
+pub const POLY_LOW: u64 = 0x1B;
+
+/// Carry-less multiply of two 64-bit operands, full 128-bit result.
+#[inline]
+pub fn clmul(a: u64, b: u64) -> u128 {
+    // 4-bit windowed: precompute a * w for w in 0..16, then combine 16
+    // nibbles of b. Keeps the loop short without hardware support.
+    let mut table = [0u128; 16];
+    let wide = a as u128;
+    for (w, entry) in table.iter_mut().enumerate().skip(1) {
+        // entry = clmul(a, w) built from shifts of `a`.
+        let mut acc = 0u128;
+        for bit in 0..4 {
+            if w & (1 << bit) != 0 {
+                acc ^= wide << bit;
+            }
+        }
+        *entry = acc;
+    }
+    let mut result = 0u128;
+    for nibble in (0..16u32).rev() {
+        result <<= 4;
+        let w = ((b >> (nibble * 4)) & 0xF) as usize;
+        result ^= table[w];
+    }
+    result
+}
+
+/// Reduce a 128-bit carry-less product modulo x⁶⁴ + x⁴ + x³ + x + 1.
+#[inline]
+pub fn reduce(x: u128) -> u64 {
+    // Fold the high half down twice: x^64 ≡ x^4 + x^3 + x + 1 (deg 4),
+    // so one fold leaves at most 64+4 bits, a second finishes.
+    let lo = x as u64;
+    let hi = (x >> 64) as u64;
+    // hi * (x^4 + x^3 + x + 1), computed with shifts (sparse polynomial).
+    let folded: u128 = ((hi as u128) << 4) ^ ((hi as u128) << 3) ^ ((hi as u128) << 1) ^ (hi as u128);
+    let lo2 = folded as u64;
+    let hi2 = (folded >> 64) as u64; // ≤ 4 bits
+    let folded2 = (hi2 << 4) ^ (hi2 << 3) ^ (hi2 << 1) ^ hi2;
+    lo ^ lo2 ^ folded2
+}
+
+/// Multiplication in GF(2⁶⁴).
+#[inline]
+pub fn gf_mul(a: u64, b: u64) -> u64 {
+    reduce(clmul(a, b))
+}
+
+/// Addition in GF(2⁶⁴) is XOR; provided for readability.
+#[inline]
+pub fn gf_add(a: u64, b: u64) -> u64 {
+    a ^ b
+}
+
+/// Exponentiation by squaring in GF(2⁶⁴).
+pub fn gf_pow(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            acc = gf_mul(acc, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse in GF(2⁶⁴): a^(2⁶⁴−2). Panics on zero.
+pub fn gf_inv(a: u64) -> u64 {
+    assert!(a != 0, "zero has no inverse in GF(2^64)");
+    // 2^64 - 2 = u64::MAX - 1
+    gf_pow(a, u64::MAX - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in [1u64, 2, 3, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(1, a), a);
+            assert_eq!(gf_mul(a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn mul_small_polynomials() {
+        // x * x = x^2
+        assert_eq!(gf_mul(2, 2), 4);
+        // (x+1)(x+1) = x^2 + 1 (carry-less)
+        assert_eq!(gf_mul(3, 3), 5);
+        // x^63 * x = x^64 ≡ x^4+x^3+x+1 = 0x1B
+        assert_eq!(gf_mul(1 << 63, 2), POLY_LOW);
+    }
+
+    #[test]
+    fn clmul_matches_schoolbook() {
+        // Slow bit-by-bit reference.
+        fn clmul_ref(a: u64, b: u64) -> u128 {
+            let mut acc = 0u128;
+            for i in 0..64 {
+                if b & (1 << i) != 0 {
+                    acc ^= (a as u128) << i;
+                }
+            }
+            acc
+        }
+        let cases = [
+            (0u64, 0u64),
+            (1, u64::MAX),
+            (0xFFFF_0000_FFFF_0000, 0x1234_5678_9ABC_DEF0),
+            (u64::MAX, u64::MAX),
+        ];
+        for (a, b) in cases {
+            assert_eq!(clmul(a, b), clmul_ref(a, b), "a={a:#x} b={b:#x}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for a in [1u64, 2, 3, 7, 0xABCD_EF01_2345_6789, u64::MAX] {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a={a:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn zero_inverse_panics() {
+        let _ = gf_inv(0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = 0x1357_9BDF_2468_ACE0u64;
+        let mut acc = 1u64;
+        for e in 0..20u64 {
+            assert_eq!(gf_pow(a, e), acc);
+            acc = gf_mul(acc, a);
+        }
+    }
+
+    #[test]
+    fn field_has_no_zero_divisors_samples() {
+        let mut x = 0x9E37_79B9u64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
+            let y = x.rotate_left(17) | 1;
+            if x != 0 {
+                assert_ne!(gf_mul(x, y), 0, "x={x:#x} y={y:#x}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_commutative(a: u64, b: u64) {
+            prop_assert_eq!(gf_mul(a, b), gf_mul(b, a));
+        }
+
+        #[test]
+        fn prop_associative(a: u64, b: u64, c: u64) {
+            prop_assert_eq!(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)));
+        }
+
+        #[test]
+        fn prop_distributive(a: u64, b: u64, c: u64) {
+            prop_assert_eq!(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c));
+        }
+
+        #[test]
+        fn prop_clmul_linear(a: u64, b: u64, c: u64) {
+            prop_assert_eq!(clmul(a, b ^ c), clmul(a, b) ^ clmul(a, c));
+        }
+
+        #[test]
+        fn prop_nonzero_product(a in 1u64.., b in 1u64..) {
+            // A field has no zero divisors.
+            prop_assert_ne!(gf_mul(a, b), 0);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Bit-parallel multi-instance hashing (§7.1 of the paper).
+//!
+//! "Multiple instances of this algorithm can be executed concurrently by
+//! using a hash function that computes c·⌈log d⌉ bits. Its value can then
+//! be interpreted as c concatenated hash values for separate instances."
+//!
+//! [`PartitionedHash`] implements exactly that, *generically over any
+//! partition* of the hash output: given `c` instances needing `b` bits
+//! each, it evaluates `⌈c·b / W⌉` underlying hash words (W = 32 or 64
+//! depending on the hasher) and slices them into bit groups. Groups never
+//! straddle word boundaries, so each word serves `⌊W/b⌋` instances — with
+//! 64 hash bits and 4-bit groups one evaluation serves 16 instances, which
+//! is why "evaluating a single hash function suffices in all practically
+//! relevant configurations".
+
+use crate::traits::Hasher;
+
+/// One hash evaluation feeding `instances` independent `bits`-wide values.
+#[derive(Clone)]
+pub struct PartitionedHash {
+    /// One seeded hasher per required word.
+    words: Vec<Hasher>,
+    /// Number of logical instances.
+    instances: usize,
+    /// Bits per instance (group width).
+    bits: u32,
+    /// Instances served per hash word.
+    per_word: usize,
+    /// Mask with `bits` low bits set.
+    mask: u64,
+}
+
+impl PartitionedHash {
+    /// Plan a partition of `instances` groups of `bits` bits over hashers
+    /// of kind `kind`, seeding words from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or exceeds the hasher's output width, or if
+    /// `instances` is 0.
+    pub fn new(kind: crate::traits::HasherKind, seed: u64, instances: usize, bits: u32) -> Self {
+        assert!(instances > 0, "need at least one instance");
+        let width = kind.output_bits();
+        assert!(
+            bits > 0 && bits <= width,
+            "group width {bits} must be in 1..={width}"
+        );
+        let per_word = (width / bits) as usize;
+        let num_words = instances.div_ceil(per_word);
+        let words = (0..num_words)
+            .map(|w| Hasher::new(kind, seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1))))
+            .collect();
+        Self {
+            words,
+            instances,
+            bits,
+            per_word,
+            mask: if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 },
+        }
+    }
+
+    /// Number of logical instances.
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+
+    /// Bits per instance.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of underlying hash evaluations per key.
+    pub fn words_per_key(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The hash value of instance `i` for key `x`, in `0 .. 2^bits`.
+    #[inline]
+    pub fn hash(&self, i: usize, x: u64) -> u64 {
+        debug_assert!(i < self.instances);
+        let word = self.words[i / self.per_word].hash(x);
+        let slot = (i % self.per_word) as u32;
+        (word >> (slot * self.bits)) & self.mask
+    }
+
+    /// Evaluate all instances for one key into `out` (length must equal
+    /// `instances`). Evaluates each underlying word exactly once — the hot
+    /// path of the sum-aggregation checker.
+    #[inline]
+    pub fn hash_all(&self, x: u64, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.instances);
+        // Fast path: one hash word feeds every instance (true for all of
+        // the paper's practically relevant configurations, §7.1).
+        if let [hasher] = self.words.as_slice() {
+            let mut word = hasher.hash(x);
+            for slot in out.iter_mut() {
+                *slot = word & self.mask;
+                word >>= self.bits;
+            }
+            return;
+        }
+        let mut i = 0;
+        for hasher in &self.words {
+            let mut word = hasher.hash(x);
+            let in_this_word = self.per_word.min(self.instances - i);
+            for slot in out[i..i + in_this_word].iter_mut() {
+                *slot = word & self.mask;
+                word >>= self.bits;
+            }
+            i += in_this_word;
+        }
+    }
+}
+
+impl std::fmt::Debug for PartitionedHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionedHash")
+            .field("instances", &self.instances)
+            .field("bits", &self.bits)
+            .field("words", &self.words.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::HasherKind;
+
+    #[test]
+    fn word_count_minimal() {
+        // 8 instances × 4 bits = 32 bits → one CRC word suffices.
+        let p = PartitionedHash::new(HasherKind::Crc32c, 1, 8, 4);
+        assert_eq!(p.words_per_key(), 1);
+        // 16 instances × 4 bits = 64 → one Tab64 word.
+        let p = PartitionedHash::new(HasherKind::Tab64, 1, 16, 4);
+        assert_eq!(p.words_per_key(), 1);
+        // 16 instances × 4 bits over 32-bit CRC → two words.
+        let p = PartitionedHash::new(HasherKind::Crc32c, 1, 16, 4);
+        assert_eq!(p.words_per_key(), 2);
+        // 5 instances × 9 bits over 32-bit words: 3 groups/word → 2 words.
+        let p = PartitionedHash::new(HasherKind::Crc32c, 1, 5, 9);
+        assert_eq!(p.words_per_key(), 2);
+    }
+
+    #[test]
+    fn values_within_range() {
+        let p = PartitionedHash::new(HasherKind::Tab64, 7, 10, 5);
+        for x in 0..1000u64 {
+            for i in 0..10 {
+                assert!(p.hash(i, x) < 32);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_all_matches_hash() {
+        for kind in [HasherKind::Crc32c, HasherKind::Tab32, HasherKind::Tab64] {
+            let p = PartitionedHash::new(kind, 99, 7, 6);
+            let mut out = vec![0u64; 7];
+            for x in [0u64, 1, 42, u64::MAX] {
+                p.hash_all(x, &mut out);
+                for (i, &v) in out.iter().enumerate() {
+                    assert_eq!(v, p.hash(i, x), "kind={kind:?} x={x} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instances_are_decorrelated() {
+        // Two instances from the same word must not be equal for most keys.
+        let p = PartitionedHash::new(HasherKind::Tab64, 3, 2, 8);
+        let equal = (0..10_000u64).filter(|&x| p.hash(0, x) == p.hash(1, x)).count();
+        // Expected ~10000/256 ≈ 39; be generous.
+        assert!(equal < 120, "instances too correlated: {equal} equal values");
+    }
+
+    #[test]
+    fn uniformity_per_instance() {
+        let p = PartitionedHash::new(HasherKind::Crc32c, 5, 4, 4);
+        for i in 0..4 {
+            let mut counts = [0u32; 16];
+            for x in 0..16_000u64 {
+                counts[p.hash(i, x) as usize] += 1;
+            }
+            for (bucket, &c) in counts.iter().enumerate() {
+                assert!((800..=1200).contains(&c), "instance {i} bucket {bucket}: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_width_group() {
+        let p = PartitionedHash::new(HasherKind::Tab64, 11, 3, 64);
+        assert_eq!(p.words_per_key(), 3);
+        // Distinct instances use distinct words → different values.
+        assert_ne!(p.hash(0, 123), p.hash(1, 123));
+    }
+
+    #[test]
+    #[should_panic(expected = "group width")]
+    fn oversized_group_rejected() {
+        let _ = PartitionedHash::new(HasherKind::Crc32c, 1, 4, 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn zero_instances_rejected() {
+        let _ = PartitionedHash::new(HasherKind::Crc32c, 1, 0, 4);
+    }
+}

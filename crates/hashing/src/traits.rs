@@ -1,0 +1,150 @@
+//! Unified, seeded hash-function interface used by the checkers.
+//!
+//! The checkers are generic over the hash function *kind* so experiments
+//! can compare CRC-32C against tabulation hashing exactly as the paper
+//! does. Enum dispatch (rather than trait objects) keeps the per-element
+//! hot path free of virtual calls.
+
+use crate::crc32c::Crc32cHash;
+use crate::tabulation::{Tab32, Tab64};
+
+/// Which hash function family to instantiate. Names follow the paper's
+/// abbreviations ("CRC", "Tab", "Tab64", §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HasherKind {
+    /// CRC-32C (Castagnoli), 32-bit output.
+    Crc32c,
+    /// Simple tabulation, 32-bit output.
+    Tab32,
+    /// Simple tabulation, 64-bit output.
+    Tab64,
+}
+
+impl HasherKind {
+    /// Output width in bits.
+    pub fn output_bits(self) -> u32 {
+        match self {
+            HasherKind::Crc32c | HasherKind::Tab32 => 32,
+            HasherKind::Tab64 => 64,
+        }
+    }
+
+    /// The paper's abbreviation for this hash function.
+    pub fn label(self) -> &'static str {
+        match self {
+            HasherKind::Crc32c => "CRC",
+            HasherKind::Tab32 => "Tab",
+            HasherKind::Tab64 => "Tab64",
+        }
+    }
+}
+
+impl std::str::FromStr for HasherKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "CRC" | "crc" | "crc32c" => Ok(HasherKind::Crc32c),
+            "Tab" | "tab" | "tab32" => Ok(HasherKind::Tab32),
+            "Tab64" | "tab64" => Ok(HasherKind::Tab64),
+            other => Err(format!("unknown hasher kind: {other}")),
+        }
+    }
+}
+
+/// A seeded hash function over `u64` keys.
+#[derive(Clone)]
+pub enum Hasher {
+    /// CRC-32C with seed-derived initial state.
+    Crc32c(Crc32cHash),
+    /// 32-bit tabulation hashing.
+    Tab32(Tab32),
+    /// 64-bit tabulation hashing.
+    Tab64(Tab64),
+}
+
+impl Hasher {
+    /// Instantiate a hasher of the given kind from a 64-bit seed.
+    pub fn new(kind: HasherKind, seed: u64) -> Self {
+        match kind {
+            HasherKind::Crc32c => Hasher::Crc32c(Crc32cHash::new(seed)),
+            HasherKind::Tab32 => Hasher::Tab32(Tab32::new(seed)),
+            HasherKind::Tab64 => Hasher::Tab64(Tab64::new(seed)),
+        }
+    }
+
+    /// The kind of this hasher.
+    pub fn kind(&self) -> HasherKind {
+        match self {
+            Hasher::Crc32c(_) => HasherKind::Crc32c,
+            Hasher::Tab32(_) => HasherKind::Tab32,
+            Hasher::Tab64(_) => HasherKind::Tab64,
+        }
+    }
+
+    /// Output width in bits (32 for CRC/Tab32, 64 for Tab64). Outputs of
+    /// 32-bit hashers are zero-extended.
+    pub fn output_bits(&self) -> u32 {
+        self.kind().output_bits()
+    }
+
+    /// Hash a 64-bit key.
+    #[inline(always)]
+    pub fn hash(&self, x: u64) -> u64 {
+        match self {
+            Hasher::Crc32c(h) => u64::from(h.hash(x)),
+            Hasher::Tab32(h) => u64::from(h.hash(x)),
+            Hasher::Tab64(h) => h.hash(x),
+        }
+    }
+}
+
+impl std::fmt::Debug for Hasher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Hasher::{}", self.kind().label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_roundtrip_labels() {
+        for kind in [HasherKind::Crc32c, HasherKind::Tab32, HasherKind::Tab64] {
+            let parsed: HasherKind = kind.label().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("bogus".parse::<HasherKind>().is_err());
+    }
+
+    #[test]
+    fn output_bits_respected() {
+        let crc = Hasher::new(HasherKind::Crc32c, 1);
+        let tab32 = Hasher::new(HasherKind::Tab32, 1);
+        let tab64 = Hasher::new(HasherKind::Tab64, 1);
+        for x in 0..1000u64 {
+            assert!(crc.hash(x) <= u64::from(u32::MAX));
+            assert!(tab32.hash(x) <= u64::from(u32::MAX));
+        }
+        // Tab64 should produce values above 2^32 fairly quickly.
+        assert!((0..100u64).any(|x| tab64.hash(x) > u64::from(u32::MAX)));
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        for kind in [HasherKind::Crc32c, HasherKind::Tab32, HasherKind::Tab64] {
+            let a = Hasher::new(kind, 5);
+            let b = Hasher::new(kind, 5);
+            let c = Hasher::new(kind, 6);
+            assert_eq!(a.hash(12345), b.hash(12345));
+            let diff = (0..100u64).filter(|&x| a.hash(x) != c.hash(x)).count();
+            assert!(diff > 90, "{kind:?}: seeds barely change outputs");
+        }
+    }
+
+    #[test]
+    fn debug_format_names_kind() {
+        let h = Hasher::new(HasherKind::Tab64, 0);
+        assert_eq!(format!("{h:?}"), "Hasher::Tab64");
+    }
+}

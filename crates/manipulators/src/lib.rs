@@ -1,0 +1,40 @@
+//! # ccheck-manip — deterministic fault injectors ("manipulators")
+//!
+//! §7 of the paper: "To test the efficacy of our checkers, we implemented
+//! manipulators that purposefully interfere with the computation and
+//! deliberately introduce faults. \[…\] our manipulators focus on
+//! \[subtle\] changes in the data."
+//!
+//! Two families, exactly as in the paper:
+//!
+//! * [`sum`] — Table 4, applied to (key, value) pairs of an aggregation:
+//!   `Bitflip`, `RandKey`, `SwitchValues`, `IncKey`, `IncDec(n)`,
+//! * [`perm`] — Table 6, applied to plain element sequences before
+//!   sorting: `Bitflip`, `Increment`, `Randomize`, `Reset`, `SetEqual`.
+//!
+//! All manipulators are deterministic under a seed so experiments are
+//! reproducible, and they report whether they actually changed the data
+//! (a manipulation can be a no-op, e.g. a bitflip on a key that leaves
+//! the aggregate equivalent — experiments must not count those trials).
+
+pub mod perm;
+pub mod sum;
+
+pub use perm::PermManipulator;
+pub use sum::SumManipulator;
+
+/// Splitmix64 — the seed-expansion mix used by all manipulators.
+#[inline]
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draw a value in `0..bound` from the seed stream (bound > 0).
+#[inline]
+pub(crate) fn bounded(seed: u64, stream: u64, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    splitmix64(seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F)) % bound
+}

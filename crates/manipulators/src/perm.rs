@@ -1,0 +1,183 @@
+//! Manipulators for the permutation/sort checker (Table 6 of the paper).
+//!
+//! Applied to a plain element sequence *before sorting* "in order to test
+//! the permutation checker and not the trivial sortedness check" (§7.2).
+//! `apply` returns whether the multiset of elements actually changed.
+
+use crate::{bounded, splitmix64};
+
+/// The manipulators of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PermManipulator {
+    /// Flip a random bit in a random element.
+    Bitflip,
+    /// Increment some element's value.
+    Increment,
+    /// Set some element to a random value.
+    Randomize,
+    /// Reset some element to the default value (0).
+    Reset,
+    /// Set some element equal to a different one.
+    SetEqual,
+}
+
+impl PermManipulator {
+    /// The five manipulators evaluated in Fig. 5.
+    pub fn all() -> Vec<PermManipulator> {
+        vec![
+            PermManipulator::Bitflip,
+            PermManipulator::Increment,
+            PermManipulator::Randomize,
+            PermManipulator::Reset,
+            PermManipulator::SetEqual,
+        ]
+    }
+
+    /// The paper's name for this manipulator.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PermManipulator::Bitflip => "Bitflip",
+            PermManipulator::Increment => "Increment",
+            PermManipulator::Randomize => "Randomize",
+            PermManipulator::Reset => "Reset",
+            PermManipulator::SetEqual => "SetEqual",
+        }
+    }
+
+    /// Apply to `data`, deterministically under `seed`. Returns whether
+    /// the multiset changed (e.g. `Reset` on an element that is already
+    /// 0 is a no-op and reports `false`).
+    pub fn apply(&self, data: &mut [u64], seed: u64) -> bool {
+        if data.is_empty() {
+            return false;
+        }
+        let n = data.len() as u64;
+        let idx = bounded(seed, 1, n) as usize;
+        match self {
+            PermManipulator::Bitflip => {
+                let bit = bounded(seed, 2, 64);
+                data[idx] ^= 1u64 << bit;
+                true
+            }
+            PermManipulator::Increment => {
+                data[idx] = data[idx].wrapping_add(1);
+                true
+            }
+            PermManipulator::Randomize => {
+                let new = splitmix64(seed ^ 0x5241_4E44);
+                let changed = data[idx] != new;
+                data[idx] = new;
+                changed
+            }
+            PermManipulator::Reset => {
+                let changed = data[idx] != 0;
+                data[idx] = 0;
+                changed
+            }
+            PermManipulator::SetEqual => {
+                let mut other = bounded(seed, 3, n) as usize;
+                if other == idx {
+                    other = (other + 1) % n as usize;
+                }
+                if other == idx {
+                    return false; // n == 1
+                }
+                let changed = data[idx] != data[other];
+                data[idx] = data[other];
+                changed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Vec<u64> {
+        (0..500u64).map(|i| i.wrapping_mul(0x9E3779B9) % 100_000_000).collect()
+    }
+
+    fn multiset(data: &[u64]) -> Vec<u64> {
+        let mut v = data.to_vec();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        for manip in PermManipulator::all() {
+            let mut a = dataset();
+            let mut b = dataset();
+            assert_eq!(manip.apply(&mut a, 42), manip.apply(&mut b, 42));
+            assert_eq!(a, b, "{manip:?}");
+        }
+    }
+
+    #[test]
+    fn change_flag_matches_multiset_change() {
+        let clean = multiset(&dataset());
+        for manip in PermManipulator::all() {
+            for seed in 0..200 {
+                let mut data = dataset();
+                let changed = manip.apply(&mut data, seed);
+                let now = multiset(&data);
+                if changed {
+                    assert_ne!(now, clean, "{manip:?} seed={seed}");
+                } else {
+                    assert_eq!(now, clean, "{manip:?} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_element_modified() {
+        for manip in PermManipulator::all() {
+            let orig = dataset();
+            let mut data = dataset();
+            manip.apply(&mut data, 9);
+            let diffs = (0..data.len()).filter(|&i| data[i] != orig[i]).count();
+            assert!(diffs <= 1, "{manip:?} changed {diffs} elements");
+        }
+    }
+
+    #[test]
+    fn increment_is_off_by_one() {
+        let orig = dataset();
+        let mut data = dataset();
+        PermManipulator::Increment.apply(&mut data, 5);
+        let i = (0..data.len()).find(|&i| data[i] != orig[i]).unwrap();
+        assert_eq!(data[i], orig[i].wrapping_add(1));
+    }
+
+    #[test]
+    fn set_equal_duplicates_existing_value() {
+        let orig = dataset();
+        let mut data = dataset();
+        if PermManipulator::SetEqual.apply(&mut data, 17) {
+            let i = (0..data.len()).find(|&i| data[i] != orig[i]).unwrap();
+            assert!(orig.contains(&data[i]));
+        }
+    }
+
+    #[test]
+    fn reset_on_zero_is_noop() {
+        let mut data = vec![0u64; 8];
+        assert!(!PermManipulator::Reset.apply(&mut data, 3));
+    }
+
+    #[test]
+    fn empty_data_is_noop() {
+        for manip in PermManipulator::all() {
+            let mut data: Vec<u64> = Vec::new();
+            assert!(!manip.apply(&mut data, 1), "{manip:?}");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<&str> = PermManipulator::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["Bitflip", "Increment", "Randomize", "Reset", "SetEqual"]);
+    }
+}

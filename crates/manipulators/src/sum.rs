@@ -1,0 +1,302 @@
+//! Manipulators for the sum-aggregation checker (Table 4 of the paper).
+//!
+//! Each manipulator mutates a (key, value)-pair dataset in place. They
+//! are applied to the checker's view of the data (input or asserted
+//! output), emulating a faulty aggregation. `apply` returns `true` iff
+//! the dataset's *aggregate semantics* actually changed — trials where
+//! the manipulation is a semantic no-op must be excluded from
+//! detection-rate statistics.
+
+use crate::{bounded, splitmix64};
+
+/// The manipulators of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SumManipulator {
+    /// Flip a random bit in a random element (key or value word).
+    Bitflip,
+    /// Randomize the key of a random element.
+    RandKey,
+    /// Switch the values of two random elements.
+    SwitchValues,
+    /// Increment the key of a random element.
+    IncKey,
+    /// Act on `2n` elements with distinct keys: increment the keys of
+    /// `n` elements and decrement those of `n` others.
+    IncDec(usize),
+}
+
+impl SumManipulator {
+    /// The five manipulators evaluated in Fig. 3.
+    pub fn all() -> Vec<SumManipulator> {
+        vec![
+            SumManipulator::Bitflip,
+            SumManipulator::RandKey,
+            SumManipulator::SwitchValues,
+            SumManipulator::IncKey,
+            SumManipulator::IncDec(1),
+            SumManipulator::IncDec(2),
+        ]
+    }
+
+    /// The paper's name for this manipulator.
+    pub fn label(&self) -> String {
+        match self {
+            SumManipulator::Bitflip => "Bitflip".into(),
+            SumManipulator::RandKey => "RandKey".into(),
+            SumManipulator::SwitchValues => "SwitchValues".into(),
+            SumManipulator::IncKey => "IncKey".into(),
+            SumManipulator::IncDec(n) => format!("IncDec{n}"),
+        }
+    }
+
+    /// Apply to `data`, deterministically under `seed`. Returns whether
+    /// the manipulation actually changed the aggregation result — the
+    /// exact per-key delta of the touched elements is computed, so a
+    /// semantically invisible mutation (e.g. `IncDec` shifting two
+    /// equal-valued elements onto each other's keys) reports `false`.
+    pub fn apply(&self, data: &mut [(u64, u64)], seed: u64) -> bool {
+        if data.is_empty() {
+            return false;
+        }
+        let n = data.len() as u64;
+        // Record the touched indices and their prior contents; compute
+        // the exact aggregate delta afterwards.
+        let mut touched: Vec<(usize, (u64, u64))> = Vec::new();
+        let touch = |data: &[(u64, u64)], t: &mut Vec<(usize, (u64, u64))>, idx: usize| {
+            t.push((idx, data[idx]));
+        };
+        match self {
+            SumManipulator::Bitflip => {
+                let idx = bounded(seed, 1, n) as usize;
+                let bit = bounded(seed, 2, 128);
+                touch(data, &mut touched, idx);
+                if bit < 64 {
+                    data[idx].0 ^= 1u64 << bit;
+                } else {
+                    data[idx].1 ^= 1u64 << (bit - 64);
+                }
+            }
+            SumManipulator::RandKey => {
+                let idx = bounded(seed, 1, n) as usize;
+                touch(data, &mut touched, idx);
+                data[idx].0 = splitmix64(seed ^ 0x4B_4559);
+            }
+            SumManipulator::SwitchValues => {
+                let a = bounded(seed, 1, n) as usize;
+                let mut b = bounded(seed, 2, n) as usize;
+                if a == b {
+                    b = (b + 1) % n as usize;
+                }
+                if a == b {
+                    return false; // n == 1: nothing to switch
+                }
+                touch(data, &mut touched, a);
+                touch(data, &mut touched, b);
+                let (va, vb) = (data[a].1, data[b].1);
+                data[a].1 = vb;
+                data[b].1 = va;
+            }
+            SumManipulator::IncKey => {
+                let idx = bounded(seed, 1, n) as usize;
+                touch(data, &mut touched, idx);
+                data[idx].0 = data[idx].0.wrapping_add(1);
+            }
+            SumManipulator::IncDec(count) => {
+                // Pick 2·count elements with pairwise distinct keys;
+                // increment the keys of the first count, decrement the
+                // rest. Scan from a random start to find distinct keys.
+                let needed = 2 * count;
+                let mut chosen: Vec<usize> = Vec::with_capacity(needed);
+                let mut seen = std::collections::HashSet::new();
+                let start = bounded(seed, 1, n) as usize;
+                for off in 0..data.len() {
+                    let idx = (start + off) % data.len();
+                    if seen.insert(data[idx].0) {
+                        chosen.push(idx);
+                        if chosen.len() == needed {
+                            break;
+                        }
+                    }
+                }
+                if chosen.len() < needed {
+                    return false; // not enough distinct keys
+                }
+                for (j, &idx) in chosen.iter().enumerate() {
+                    touch(data, &mut touched, idx);
+                    if j < *count {
+                        data[idx].0 = data[idx].0.wrapping_add(1);
+                    } else {
+                        data[idx].0 = data[idx].0.wrapping_sub(1);
+                    }
+                }
+            }
+        }
+        // Exact semantic-change test: per-key wrapping delta over the
+        // touched elements (removal of the old pair, insertion of the new).
+        let mut delta: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for &(idx, (old_k, old_v)) in &touched {
+            let e = delta.entry(old_k).or_insert(0);
+            *e = e.wrapping_sub(old_v);
+            let (new_k, new_v) = data[idx];
+            let e = delta.entry(new_k).or_insert(0);
+            *e = e.wrapping_add(new_v);
+        }
+        delta.values().any(|&d| d != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn dataset() -> Vec<(u64, u64)> {
+        (0..200u64).map(|i| (i % 23 + 100, i + 1)).collect()
+    }
+
+    fn aggregate(data: &[(u64, u64)]) -> HashMap<u64, u64> {
+        let mut m = HashMap::new();
+        for &(k, v) in data {
+            *m.entry(k).or_insert(0u64) = m.get(&k).copied().unwrap_or(0).wrapping_add(v);
+        }
+        m
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        for manip in SumManipulator::all() {
+            let mut a = dataset();
+            let mut b = dataset();
+            let ra = manip.apply(&mut a, 12345);
+            let rb = manip.apply(&mut b, 12345);
+            assert_eq!(a, b, "{manip:?}");
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_hit_different_places() {
+        for manip in SumManipulator::all() {
+            let mut a = dataset();
+            let mut b = dataset();
+            manip.apply(&mut a, 1);
+            manip.apply(&mut b, 2);
+            assert_ne!(a, b, "{manip:?} ignored the seed");
+        }
+    }
+
+    #[test]
+    fn reported_change_matches_aggregate_change() {
+        // Whenever apply() returns true, the aggregate must differ from
+        // the clean aggregate; when false, it must be identical.
+        let clean_agg = aggregate(&dataset());
+        for manip in SumManipulator::all() {
+            for seed in 0..100 {
+                let mut data = dataset();
+                let changed = manip.apply(&mut data, seed);
+                let now = aggregate(&data);
+                if changed {
+                    assert_ne!(now, clean_agg, "{manip:?} seed={seed} claimed change");
+                } else {
+                    assert_eq!(now, clean_agg, "{manip:?} seed={seed} claimed no-op");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitflip_changes_exactly_one_word_bit() {
+        let mut data = dataset();
+        let orig = dataset();
+        SumManipulator::Bitflip.apply(&mut data, 7);
+        let diffs: Vec<usize> = (0..data.len())
+            .filter(|&i| data[i] != orig[i])
+            .collect();
+        assert_eq!(diffs.len(), 1);
+        let i = diffs[0];
+        let key_diff = (data[i].0 ^ orig[i].0).count_ones();
+        let val_diff = (data[i].1 ^ orig[i].1).count_ones();
+        assert_eq!(key_diff + val_diff, 1);
+    }
+
+    #[test]
+    fn switch_values_preserves_value_multiset() {
+        let mut data = dataset();
+        let mut before: Vec<u64> = data.iter().map(|&(_, v)| v).collect();
+        SumManipulator::SwitchValues.apply(&mut data, 3);
+        let mut after: Vec<u64> = data.iter().map(|&(_, v)| v).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn incdec_touches_2n_distinct_keys() {
+        for n in [1usize, 2, 3] {
+            let orig = dataset();
+            let mut data = dataset();
+            assert!(SumManipulator::IncDec(n).apply(&mut data, 11));
+            let touched: Vec<usize> =
+                (0..data.len()).filter(|&i| data[i] != orig[i]).collect();
+            assert_eq!(touched.len(), 2 * n, "n={n}");
+            let incremented = touched
+                .iter()
+                .filter(|&&i| data[i].0 == orig[i].0.wrapping_add(1))
+                .count();
+            let decremented = touched
+                .iter()
+                .filter(|&&i| data[i].0 == orig[i].0.wrapping_sub(1))
+                .count();
+            assert_eq!((incremented, decremented), (n, n), "n={n}");
+            // Original keys pairwise distinct.
+            let keys: std::collections::HashSet<u64> =
+                touched.iter().map(|&i| orig[i].0).collect();
+            assert_eq!(keys.len(), 2 * n);
+        }
+    }
+
+    #[test]
+    fn incdec_gives_up_without_enough_keys() {
+        let mut data = vec![(1u64, 5u64), (1, 6)]; // one distinct key
+        assert!(!SumManipulator::IncDec(1).apply(&mut data, 1));
+        assert_eq!(data, vec![(1, 5), (1, 6)]);
+    }
+
+    #[test]
+    fn incdec_cancellation_reported_as_noop() {
+        // Adjacent keys with equal values: incrementing key 10 and
+        // decrementing key 11 swaps the two unit contributions — the
+        // aggregate is unchanged and apply() must say so (the wordcount
+        // workload of Fig. 3 has all-1 values, making this case real).
+        let mut hit_noop = false;
+        for seed in 0..200 {
+            let mut data = vec![(10u64, 1u64), (11, 1)];
+            let changed = SumManipulator::IncDec(1).apply(&mut data, seed);
+            let mut agg: Vec<(u64, u64)> = data.clone();
+            agg.sort_unstable();
+            if agg == vec![(10, 1), (11, 1)] {
+                assert!(!changed, "seed {seed}: no-op misreported as change");
+                hit_noop = true;
+            }
+        }
+        assert!(hit_noop, "expected at least one cancellation case");
+    }
+
+    #[test]
+    fn empty_data_is_noop() {
+        for manip in SumManipulator::all() {
+            let mut data: Vec<(u64, u64)> = Vec::new();
+            assert!(!manip.apply(&mut data, 1), "{manip:?}");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<String> =
+            SumManipulator::all().iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Bitflip", "RandKey", "SwitchValues", "IncKey", "IncDec1", "IncDec2"]
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Bandwidth-optimal allreduce: recursive-halving reduce-scatter followed
+//! by recursive-doubling allgather.
+//!
+//! The binomial-tree allreduce of [`crate::collectives`] funnels the
+//! whole k-word payload through the root `log p` times — bottleneck
+//! volume and critical path `O(β·k·log p)`. The butterfly algorithm
+//! implemented here achieves the `T_coll(k) = O(β·k + α·log p)` the
+//! paper's analysis assumes (§2, citing the full-bandwidth collectives
+//! literature): **every** PE sends and receives `2·k·(1 − 1/p)` words,
+//! independent of `p`, and the rounds move geometrically shrinking
+//! halves so the critical path is `O(β·k)`.
+//!
+//! Restricted to power-of-two `p` (the classic hypercube form);
+//! [`crate::comm::Comm::allreduce`] covers general `p` and non-vector
+//! payloads.
+
+use crate::comm::Comm;
+use crate::wire::Wire;
+
+impl Comm {
+    /// Element-wise allreduce of equal-length vectors over all PEs, with
+    /// associative commutative `op`, using the butterfly algorithm.
+    ///
+    /// All PEs must pass vectors of the same length. Requires
+    /// power-of-two `p`; panics otherwise (use [`Comm::allreduce`] for
+    /// general `p`).
+    pub fn allreduce_butterfly<T, F>(&mut self, mut data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Wire + Clone,
+        F: Fn(&T, &T) -> T,
+    {
+        let p = self.size();
+        assert!(p.is_power_of_two(), "butterfly allreduce requires power-of-two p");
+        if p == 1 {
+            return data;
+        }
+        let tag = self.next_coll_tag(64 - 2); // dedicated op slot below the tag block size
+        let r = self.rank();
+        let n = data.len();
+
+        // Segment boundaries: segment i of p covers [bound(i), bound(i+1)).
+        let bound = |i: usize| -> usize { i * n / p };
+
+        // Phase 1: recursive halving reduce-scatter. Invariant: at the
+        // start of a round the PE owns the (still un-scattered) segment
+        // range [seg_lo, seg_hi) of *segments*; after log p rounds it
+        // owns exactly one fully-reduced segment.
+        let mut seg_lo = 0usize;
+        let mut seg_hi = p;
+        let mut mask = p / 2;
+        while mask > 0 {
+            let partner = r ^ mask;
+            let seg_mid = (seg_lo + seg_hi) / 2;
+            // The half we keep is the one containing our rank's segment.
+            let keep_upper = r & mask != 0;
+            let (send_range, keep_range) = if keep_upper {
+                ((seg_lo, seg_mid), (seg_mid, seg_hi))
+            } else {
+                ((seg_mid, seg_hi), (seg_lo, seg_mid))
+            };
+            let payload: Vec<T> =
+                data[bound(send_range.0)..bound(send_range.1)].to_vec();
+            self.send(partner, tag, &payload);
+            let received: Vec<T> = self.recv(partner, tag);
+            let keep_slice = &mut data[bound(keep_range.0)..bound(keep_range.1)];
+            debug_assert_eq!(received.len(), keep_slice.len());
+            for (mine, theirs) in keep_slice.iter_mut().zip(&received) {
+                *mine = op(mine, theirs);
+            }
+            seg_lo = keep_range.0;
+            seg_hi = keep_range.1;
+            mask >>= 1;
+        }
+        debug_assert_eq!(seg_lo + 1, seg_hi);
+        debug_assert_eq!(seg_lo, r);
+
+        // Phase 2: recursive doubling allgather — reverse the halving,
+        // exchanging the owned range with the partner each round.
+        let mut mask = 1usize;
+        while mask < p {
+            let partner = r ^ mask;
+            let payload: Vec<T> = data[bound(seg_lo)..bound(seg_hi)].to_vec();
+            self.send(partner, tag, &payload);
+            let received: Vec<T> = self.recv(partner, tag);
+            // The partner owns the mirror range within the doubled block.
+            let (new_lo, new_hi) = if r & mask != 0 {
+                (seg_lo - (seg_hi - seg_lo), seg_hi)
+            } else {
+                (seg_lo, seg_hi + (seg_hi - seg_lo))
+            };
+            let recv_range = if r & mask != 0 {
+                (new_lo, seg_lo)
+            } else {
+                (seg_hi, new_hi)
+            };
+            data[bound(recv_range.0)..bound(recv_range.1)].clone_from_slice(&received);
+            seg_lo = new_lo;
+            seg_hi = new_hi;
+            mask <<= 1;
+        }
+        debug_assert_eq!((seg_lo, seg_hi), (0, p));
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::router::{run, run_with_stats};
+
+    #[test]
+    fn matches_tree_allreduce() {
+        for p in [1usize, 2, 4, 8, 16] {
+            for n in [0usize, 1, 7, 64, 100] {
+                let expected = run(p, |comm| {
+                    let v: Vec<u64> =
+                        (0..n as u64).map(|i| i * 10 + comm.rank() as u64).collect();
+                    comm.allreduce(v, |a, b| {
+                        a.iter().zip(&b).map(|(x, y)| x + y).collect()
+                    })
+                });
+                let butterfly = run(p, |comm| {
+                    let v: Vec<u64> =
+                        (0..n as u64).map(|i| i * 10 + comm.rank() as u64).collect();
+                    comm.allreduce_butterfly(v, |a, b| a + b)
+                });
+                assert_eq!(expected, butterfly, "p={p} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_commutative_safe_ops_still_elementwise() {
+        // max is idempotent/commutative; verify per-element semantics.
+        let p = 8;
+        let out = run(p, |comm| {
+            let r = comm.rank() as u64;
+            let v: Vec<u64> = (0..32).map(|i| (r * 7 + i) % 19).collect();
+            comm.allreduce_butterfly(v, |a, b| *a.max(b))
+        });
+        for results in out.windows(2) {
+            assert_eq!(results[0], results[1]);
+        }
+        // Spot-check against brute force.
+        let expected: Vec<u64> = (0..32u64)
+            .map(|i| (0..8u64).map(|r| (r * 7 + i) % 19).max().unwrap())
+            .collect();
+        assert_eq!(out[0], expected);
+    }
+
+    #[test]
+    fn bottleneck_advantage_over_tree() {
+        // p=8, 8000 u64s. Both algorithms move ≈2k(p−1) bytes in TOTAL,
+        // but the tree funnels k·log p through the root while the
+        // butterfly spreads the load: every PE handles ≈2k(1−1/p).
+        let n = 8_000usize;
+        let (_, tree) = run_with_stats(8, |comm| {
+            let v: Vec<u64> = vec![comm.rank() as u64; n];
+            comm.allreduce(v, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect())
+        });
+        let (_, butterfly) = run_with_stats(8, |comm| {
+            let v: Vec<u64> = vec![comm.rank() as u64; n];
+            comm.allreduce_butterfly(v, |a, b| a + b)
+        });
+        let k_bytes = (n * 8) as u64;
+        // Tree root: log₂(8) = 3 payloads each way → ≈3k bottleneck.
+        assert!(tree.bottleneck_volume() > 2 * k_bytes + k_bytes / 2);
+        // Butterfly: ≈2k(1−1/p) = 1.75k per PE (+ framing).
+        assert!(butterfly.bottleneck_volume() < 2 * k_bytes);
+        assert!(
+            butterfly.bottleneck_volume() < tree.bottleneck_volume(),
+            "butterfly {} vs tree {}",
+            butterfly.bottleneck_volume(),
+            tree.bottleneck_volume()
+        );
+        // Totals are in the same ballpark for both (≈2k(p−1)).
+        let ratio = butterfly.total_bytes() as f64 / tree.total_bytes() as f64;
+        assert!((0.8..1.2).contains(&ratio), "total ratio {ratio}");
+    }
+
+    #[test]
+    fn uneven_length_segments() {
+        // n not divisible by p: segment bounds i·n/p still partition.
+        let p = 4;
+        let n = 10;
+        let out = run(p, |comm| {
+            let v: Vec<u64> = (0..n as u64).map(|i| i + comm.rank() as u64).collect();
+            comm.allreduce_butterfly(v, |a, b| a + b)
+        });
+        let expected: Vec<u64> = (0..n as u64).map(|i| 4 * i + 6).collect();
+        assert!(out.iter().all(|v| v == &expected));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        let mut comms = crate::router::Router::build(3).into_comms();
+        let _ = comms[0].allreduce_butterfly(vec![1u64], |a, b| a + b);
+    }
+}

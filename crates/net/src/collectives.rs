@@ -1,0 +1,582 @@
+//! Collective communication operations.
+//!
+//! All collectives are built from point-to-point messages using the
+//! classical algorithms (binomial trees, dissemination, Hillis–Steele
+//! scan), so the byte/message/round counters observe the true costs:
+//! broadcast, reduce, allreduce, gather, scan run in `O(β·k + α·log p)`;
+//! allgather and all-to-all in `O(β·k·p + α·log p)` / `O(β·k + α·p)`,
+//! matching `T_coll` of §2 of the paper.
+//!
+//! Every collective is an SPMD call: **all** PEs of the run must invoke the
+//! same collective in the same order (enforced probabilistically through
+//! per-`Comm` sequence-numbered tags; a mismatch typically manifests as a
+//! decode panic naming both ends).
+
+use crate::comm::Comm;
+use crate::wire::Wire;
+
+/// Op codes distinguishing concurrent collectives within one sequence slot.
+mod op {
+    pub const BARRIER: u64 = 0;
+    pub const BROADCAST: u64 = 1;
+    pub const REDUCE: u64 = 2;
+    pub const GATHER: u64 = 3;
+    pub const SCAN: u64 = 4;
+    pub const ALLTOALL: u64 = 5;
+    pub const SHIFT: u64 = 6;
+    pub const ALLTOALL_HC: u64 = 7;
+}
+
+/// `⌈log₂ p⌉` for `p ≥ 1` — round count of tree collectives.
+#[inline]
+pub fn ceil_log2(p: usize) -> u32 {
+    debug_assert!(p >= 1);
+    usize::BITS - (p - 1).leading_zeros()
+}
+
+impl Comm {
+    /// Dissemination barrier: `⌈log₂ p⌉` rounds, O(1) bytes per round.
+    pub fn barrier(&mut self) {
+        let tag = self.next_coll_tag(op::BARRIER);
+        let p = self.size();
+        let r = self.rank();
+        let mut k = 1usize;
+        while k < p {
+            let to = (r + k) % p;
+            let from = (r + p - k % p) % p;
+            self.send(to, tag, &());
+            let () = self.recv(from, tag);
+            k <<= 1;
+        }
+    }
+
+    /// Binomial-tree broadcast from `root`. Every PE returns the value.
+    ///
+    /// Non-roots pass their (ignored) local `value`; use
+    /// [`Comm::broadcast_from`] for the common "root computes it" pattern.
+    pub fn broadcast<T: Wire + Clone>(&mut self, root: usize, value: T) -> T {
+        assert!(root < self.size());
+        let tag = self.next_coll_tag(op::BROADCAST);
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p; // virtual rank: root ↦ 0
+        let mut data = value;
+
+        // Receive from parent (the highest set bit of vr).
+        let mut mask = 1usize;
+        while mask < p {
+            if vr & mask != 0 {
+                let src = (vr - mask + root) % p;
+                data = self.recv(src, tag);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children.
+        mask >>= 1;
+        while mask > 0 {
+            if vr + mask < p {
+                let dest = (vr + mask + root) % p;
+                self.send(dest, tag, &data);
+            }
+            mask >>= 1;
+        }
+        data
+    }
+
+    /// Broadcast where only the root's closure runs to produce the value.
+    pub fn broadcast_from<T, F>(&mut self, root: usize, make: F) -> T
+    where
+        T: Wire + Clone + Default,
+        F: FnOnce() -> T,
+    {
+        let value = if self.rank() == root { make() } else { T::default() };
+        self.broadcast(root, value)
+    }
+
+    /// Binomial-tree reduction to `root` with associative, commutative `op`.
+    /// Returns `Some(result)` at the root and `None` elsewhere.
+    pub fn reduce<T, F>(&mut self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Wire,
+        F: Fn(T, T) -> T,
+    {
+        assert!(root < self.size());
+        let tag = self.next_coll_tag(op::REDUCE);
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p;
+        let mut acc = value;
+        let mut mask = 1usize;
+        while mask < p {
+            if vr & mask == 0 {
+                let partner = vr | mask;
+                if partner < p {
+                    let src = (partner + root) % p;
+                    let other: T = self.recv(src, tag);
+                    acc = op(acc, other);
+                }
+            } else {
+                let dest = (vr - mask + root) % p;
+                self.send(dest, tag, &acc);
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// All-reduction: reduce to PE 0 followed by a broadcast
+    /// (`O(β·k + α·log p)`, 2·⌈log p⌉ rounds). All PEs return the result.
+    pub fn allreduce<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Wire + Clone + Default,
+        F: Fn(T, T) -> T,
+    {
+        let reduced = self.reduce(0, value, op);
+        self.broadcast(0, reduced.unwrap_or_default())
+    }
+
+    /// Logical-AND all-reduction of a verdict bit; the idiom every checker
+    /// uses so all PEs learn whether any PE rejected.
+    pub fn all_agree(&mut self, local_ok: bool) -> bool {
+        self.allreduce(local_ok, |a, b| a && b)
+    }
+
+    /// Binomial-tree gather to `root`: returns `Some(values)` (rank order,
+    /// length p) at the root and `None` elsewhere.
+    pub fn gather<T: Wire>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        let tag = self.next_coll_tag(op::GATHER);
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p;
+        // Accumulate (original_rank, value) pairs up the binomial tree.
+        let mut acc: Vec<(u64, T)> = vec![(self.rank() as u64, value)];
+        let mut mask = 1usize;
+        while mask < p {
+            if vr & mask == 0 {
+                let partner = vr | mask;
+                if partner < p {
+                    let src = (partner + root) % p;
+                    let mut other: Vec<(u64, T)> = self.recv(src, tag);
+                    acc.append(&mut other);
+                }
+            } else {
+                let dest = (vr - mask + root) % p;
+                self.send(dest, tag, &acc);
+                return None;
+            }
+            mask <<= 1;
+        }
+        acc.sort_by_key(|(rank, _)| *rank);
+        debug_assert_eq!(acc.len(), p);
+        Some(acc.into_iter().map(|(_, v)| v).collect())
+    }
+
+    /// Gather followed by broadcast: every PE gets all values in rank order.
+    pub fn allgather<T: Wire + Clone>(&mut self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.broadcast(0, gathered.unwrap_or_default())
+    }
+
+    /// Hillis–Steele inclusive scan over ranks with associative `op`:
+    /// PE i returns `value₀ ⊕ value₁ ⊕ … ⊕ valueᵢ`. `⌈log p⌉` rounds.
+    pub fn scan<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Wire + Clone,
+        F: Fn(T, T) -> T,
+    {
+        let tag = self.next_coll_tag(op::SCAN);
+        let p = self.size();
+        let r = self.rank();
+        // Invariant: after step j, `running` covers ranks
+        // max(0, r−2^(j+1)+1) ..= r (a contiguous block), so plain
+        // associativity suffices — `op` need not be commutative.
+        let mut running = value;
+        let mut d = 1usize;
+        while d < p {
+            if r + d < p {
+                self.send(r + d, tag, &running);
+            }
+            if r >= d {
+                let left: T = self.recv(r - d, tag);
+                running = op(left, running);
+            }
+            d <<= 1;
+        }
+        running
+    }
+
+    /// Exclusive prefix sum of `u64` values plus the global total:
+    /// returns `(Σ_{j<i} value_j, Σ_j value_j)`. The workhorse for global
+    /// element indexing in the dataflow layer and the Zip checker.
+    pub fn exclusive_prefix_sum(&mut self, value: u64) -> (u64, u64) {
+        let inclusive = self.scan(value, |a, b| a + b);
+        let exclusive = inclusive - value;
+        // Total = inclusive sum at the last PE.
+        let total = self.broadcast(self.size() - 1, inclusive);
+        (exclusive, total)
+    }
+
+    /// Personalized all-to-all: `outgoing[j]` is delivered to PE j, and the
+    /// return value's entry `j` is what PE j sent here. Direct delivery:
+    /// `p−1` messages per PE (`O(β·k + α·p)`).
+    pub fn all_to_all<T: Wire>(&mut self, outgoing: Vec<T>) -> Vec<T> {
+        assert_eq!(
+            outgoing.len(),
+            self.size(),
+            "all_to_all requires exactly one entry per PE"
+        );
+        let tag = self.next_coll_tag(op::ALLTOALL);
+        let p = self.size();
+        let r = self.rank();
+        let mut outgoing: Vec<Option<T>> = outgoing.into_iter().map(Some).collect();
+        let mut incoming: Vec<Option<T>> = Vec::new();
+        incoming.resize_with(p, || None);
+        // Keep own slice locally.
+        incoming[r] = outgoing[r].take();
+        // Send in a schedule that staggers targets to avoid hot spots.
+        for offset in 1..p {
+            let dest = (r + offset) % p;
+            let item = outgoing[dest].take().expect("each dest used once");
+            self.send(dest, tag, &item);
+        }
+        for offset in 1..p {
+            let src = (r + p - offset) % p;
+            incoming[src] = Some(self.recv(src, tag));
+        }
+        incoming.into_iter().map(|v| v.expect("all received")).collect()
+    }
+
+    /// Personalized all-to-all via hypercube (store-and-forward) indirect
+    /// delivery: `log₂ p` rounds of pairwise exchanges instead of `p−1`
+    /// direct messages — the `O(β·k·log p + α·log p)` alternative of §2,
+    /// preferable when per-PE payloads are small and latency dominates.
+    ///
+    /// Requires `p` to be a power of two (the classic hypercube
+    /// restriction; [`Comm::all_to_all`] covers general `p`).
+    pub fn all_to_all_hypercube<T: Wire>(&mut self, outgoing: Vec<T>) -> Vec<T> {
+        let p = self.size();
+        assert!(p.is_power_of_two(), "hypercube all-to-all requires power-of-two p");
+        assert_eq!(outgoing.len(), p, "one entry per PE required");
+        let tag = self.next_coll_tag(op::ALLTOALL_HC);
+        let r = self.rank();
+        // In-flight payloads as (source, destination, value); each round
+        // forwards across one hypercube dimension every payload whose
+        // destination differs from this PE's rank in that bit.
+        let mut buffer: Vec<(u64, u64, T)> = outgoing
+            .into_iter()
+            .enumerate()
+            .map(|(dest, v)| (r as u64, dest as u64, v))
+            .collect();
+        let mut dim = 1usize;
+        while dim < p {
+            let partner = r ^ dim;
+            let (ship, keep): (Vec<_>, Vec<_>) = buffer
+                .into_iter()
+                .partition(|&(_, dest, _)| (dest as usize) & dim != r & dim);
+            self.send(partner, tag, &ship);
+            buffer = keep;
+            let received: Vec<(u64, u64, T)> = self.recv(partner, tag);
+            buffer.extend(received);
+            dim <<= 1;
+        }
+        debug_assert!(buffer.iter().all(|&(_, dest, _)| dest as usize == r));
+        buffer.sort_by_key(|&(src, _, _)| src);
+        debug_assert_eq!(buffer.len(), p);
+        buffer.into_iter().map(|(_, _, v)| v).collect()
+    }
+
+    /// Cyclic shift: send `value` to `(rank+offset) mod p`, receive from
+    /// `(rank−offset) mod p`. With `offset == 1` this is the neighbor
+    /// exchange used by the sort checker's boundary test.
+    pub fn shift<T: Wire>(&mut self, offset: isize, value: &T) -> T {
+        let tag = self.next_coll_tag(op::SHIFT);
+        let p = self.size() as isize;
+        let r = self.rank() as isize;
+        let dest = ((r + offset).rem_euclid(p)) as usize;
+        let src = ((r - offset).rem_euclid(p)) as usize;
+        self.send(dest, tag, value);
+        self.recv(src, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{run, run_with_stats};
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+    }
+
+    #[test]
+    fn barrier_completes_all_sizes() {
+        for p in [1, 2, 3, 4, 5, 8, 13] {
+            run(p, |comm| {
+                comm.barrier();
+                comm.barrier();
+            });
+        }
+    }
+
+    #[test]
+    fn broadcast_all_roots_all_sizes() {
+        for p in [1, 2, 3, 4, 7, 8] {
+            for root in 0..p {
+                let out = run(p, |comm| {
+                    let v = if comm.rank() == root { 4242u64 } else { 0 };
+                    comm.broadcast(root, v)
+                });
+                assert!(out.iter().all(|&v| v == 4242), "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_vectors() {
+        let out = run(4, |comm| {
+            let v = if comm.rank() == 2 { vec![1u32, 2, 3] } else { vec![] };
+            comm.broadcast(2, v)
+        });
+        assert!(out.iter().all(|v| v == &vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn reduce_sum_all_roots() {
+        for p in [1, 2, 3, 5, 8] {
+            for root in 0..p {
+                let out = run(p, |comm| {
+                    comm.reduce(root, comm.rank() as u64 + 1, |a, b| a + b)
+                });
+                let expected: u64 = (1..=p as u64).sum();
+                for (rank, r) in out.iter().enumerate() {
+                    if rank == root {
+                        assert_eq!(*r, Some(expected));
+                    } else {
+                        assert_eq!(*r, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let out = run(6, |comm| {
+            let v = comm.rank() as u64;
+            let mn = comm.allreduce(v, |a, b| a.min(b));
+            let mx = comm.allreduce(v, |a, b| a.max(b));
+            (mn, mx)
+        });
+        assert!(out.iter().all(|&(mn, mx)| mn == 0 && mx == 5));
+    }
+
+    #[test]
+    fn all_agree_detects_single_dissent() {
+        for p in [2, 3, 4, 7] {
+            for dissent in 0..p {
+                let out = run(p, |comm| comm.all_agree(comm.rank() != dissent));
+                assert!(out.iter().all(|&v| !v), "p={p} dissent={dissent}");
+            }
+            let out = run(p, |comm| {
+                let _ = comm;
+                true
+            });
+            assert!(out.iter().all(|&v| v));
+        }
+    }
+
+    #[test]
+    fn gather_rank_order() {
+        for p in [1, 2, 3, 4, 6, 9] {
+            let out = run(p, |comm| comm.gather(0, comm.rank() as u64 * 3));
+            let expected: Vec<u64> = (0..p as u64).map(|r| r * 3).collect();
+            assert_eq!(out[0], Some(expected));
+            for r in out.iter().skip(1) {
+                assert_eq!(*r, None);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_everyone_has_everything() {
+        let out = run(5, |comm| comm.allgather(comm.rank() as u32));
+        for got in &out {
+            assert_eq!(*got, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn scan_inclusive_sums() {
+        for p in [1, 2, 3, 4, 5, 8, 11] {
+            let out = run(p, |comm| comm.scan(comm.rank() as u64 + 1, |a, b| a + b));
+            for (rank, got) in out.iter().enumerate() {
+                let expected: u64 = (1..=rank as u64 + 1).sum();
+                assert_eq!(*got, expected, "p={p} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_non_commutative_string_concat() {
+        // String concatenation is associative but not commutative; scan
+        // must preserve rank order.
+        let out = run(4, |comm| {
+            comm.scan(comm.rank().to_string(), |a, b| format!("{a}{b}"))
+        });
+        assert_eq!(out, vec!["0", "01", "012", "0123"]);
+    }
+
+    #[test]
+    fn exclusive_prefix_sum_with_total() {
+        let out = run(4, |comm| comm.exclusive_prefix_sum(10 * (comm.rank() as u64 + 1)));
+        // values: 10, 20, 30, 40 → prefixes 0, 10, 30, 60; total 100
+        assert_eq!(out, vec![(0, 100), (10, 100), (30, 100), (60, 100)]);
+    }
+
+    #[test]
+    fn all_to_all_personalized() {
+        let p = 4;
+        let out = run(p, |comm| {
+            let r = comm.rank() as u64;
+            // PE r sends value 100*r + j to PE j.
+            let outgoing: Vec<u64> = (0..p as u64).map(|j| 100 * r + j).collect();
+            comm.all_to_all(outgoing)
+        });
+        for (j, incoming) in out.iter().enumerate() {
+            for (r, v) in incoming.iter().enumerate() {
+                assert_eq!(*v, 100 * r as u64 + j as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_vectors() {
+        let p = 3;
+        let out = run(p, |comm| {
+            let r = comm.rank();
+            let outgoing: Vec<Vec<u64>> = (0..p).map(|j| vec![r as u64; j + 1]).collect();
+            comm.all_to_all(outgoing)
+        });
+        for (j, incoming) in out.iter().enumerate() {
+            for (r, v) in incoming.iter().enumerate() {
+                assert_eq!(v, &vec![r as u64; j + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn shift_ring() {
+        let out = run(5, |comm| comm.shift(1, &(comm.rank() as u64)));
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+        let out = run(5, |comm| comm.shift(-1, &(comm.rank() as u64)));
+        assert_eq!(out, vec![1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn broadcast_volume_is_logarithmic_per_pe() {
+        // With p = 8 and an 800-byte payload, a binomial broadcast moves the
+        // payload 7 times total, but no PE sends more than 3 copies.
+        let (_, snap) = run_with_stats(8, |comm| {
+            let v = if comm.rank() == 0 { vec![0u8; 792] } else { vec![] };
+            comm.broadcast(0, v)
+        });
+        let payload = 800; // 792 bytes + 8-byte length prefix
+        assert_eq!(snap.total_bytes(), 7 * payload);
+        assert!(snap.bottleneck_volume() <= 3 * payload);
+    }
+
+    #[test]
+    fn collectives_interleave_with_p2p() {
+        use crate::comm::Tag;
+        let out = run(3, |comm| {
+            let s1 = comm.allreduce(1u64, |a, b| a + b);
+            if comm.rank() == 0 {
+                comm.send(1, Tag::user(77), &9u64);
+            }
+            let s2 = comm.allreduce(2u64, |a, b| a + b);
+            let extra = if comm.rank() == 1 {
+                comm.recv::<u64>(0, Tag::user(77))
+            } else {
+                0
+            };
+            s1 + s2 + extra
+        });
+        assert_eq!(out, vec![9, 18, 9]);
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let out = run(4, |comm| {
+            let mut total = 0u64;
+            for i in 0..50 {
+                total = total.wrapping_add(comm.allreduce(i + comm.rank() as u64, |a, b| a + b));
+            }
+            total
+        });
+        assert!(out.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn hypercube_all_to_all_matches_direct() {
+        for p in [1usize, 2, 4, 8, 16] {
+            let direct = run(p, |comm| {
+                let r = comm.rank() as u64;
+                let outgoing: Vec<u64> = (0..p as u64).map(|j| 1000 * r + j).collect();
+                comm.all_to_all(outgoing)
+            });
+            let hypercube = run(p, |comm| {
+                let r = comm.rank() as u64;
+                let outgoing: Vec<u64> = (0..p as u64).map(|j| 1000 * r + j).collect();
+                comm.all_to_all_hypercube(outgoing)
+            });
+            assert_eq!(direct, hypercube, "p={p}");
+        }
+    }
+
+    #[test]
+    fn hypercube_all_to_all_vectors() {
+        let p = 8;
+        let out = run(p, |comm| {
+            let r = comm.rank();
+            let outgoing: Vec<Vec<u64>> = (0..p).map(|j| vec![r as u64; j + 1]).collect();
+            comm.all_to_all_hypercube(outgoing)
+        });
+        for (j, incoming) in out.iter().enumerate() {
+            for (r, v) in incoming.iter().enumerate() {
+                assert_eq!(v, &vec![r as u64; j + 1], "j={j} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_message_count_is_logarithmic() {
+        use crate::router::run_with_stats;
+        // Direct delivery: p·(p−1) messages; hypercube: p·log₂p.
+        let p = 16;
+        let (_, direct) = run_with_stats(p, |comm| {
+            comm.all_to_all(vec![0u8; comm.size()])
+        });
+        let (_, hc) = run_with_stats(p, |comm| {
+            comm.all_to_all_hypercube(vec![0u8; comm.size()])
+        });
+        assert_eq!(direct.total_messages(), (p * (p - 1)) as u64);
+        assert_eq!(hc.total_messages(), (p * p.ilog2() as usize) as u64);
+        // The latency trade-off of §2: fewer messages, more volume.
+        assert!(hc.total_messages() < direct.total_messages());
+        assert!(hc.total_bytes() > direct.total_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn hypercube_rejects_non_power_of_two() {
+        // The assert fires before any communication, so a bare
+        // communicator suffices (no peer threads needed).
+        let mut comms = crate::router::Router::build(3).into_comms();
+        let _ = comms[0].all_to_all_hypercube(vec![0u8; 3]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Per-PE communicator: tagged point-to-point messaging with selective
+//! receive, modeled after MPI two-sided semantics.
+//!
+//! A [`Comm`] is owned by exactly one PE thread. Messages are byte buffers
+//! (encoded through [`crate::wire`]) tagged with `(source, Tag)`; `recv`
+//! performs *selective* receive — out-of-order arrivals are stashed in a
+//! pending queue until a matching `recv` is posted. Channels are unbounded,
+//! so sends never block and the tree collectives in
+//! [`crate::collectives`] cannot deadlock.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::stats::CommStats;
+use crate::wire::{self, Wire};
+
+/// Message tag. User code may use any value below [`Tag::COLLECTIVE_BASE`];
+/// the collectives reserve the range above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u64);
+
+impl Tag {
+    /// First tag value reserved for internal collective traffic.
+    pub const COLLECTIVE_BASE: u64 = 1 << 48;
+
+    /// A user tag; panics if the value intrudes on the reserved range.
+    pub fn user(value: u64) -> Self {
+        assert!(
+            value < Self::COLLECTIVE_BASE,
+            "user tags must be below 2^48 (got {value})"
+        );
+        Tag(value)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Packet {
+    pub src: usize,
+    pub tag: Tag,
+    pub payload: Vec<u8>,
+}
+
+/// Communicator handle for one PE.
+///
+/// Obtained from [`crate::run`] (or [`crate::router::Router::build`]); the
+/// closure passed to `run` receives a `&mut Comm` per spawned PE thread.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Sender<Packet>>>,
+    receiver: Receiver<Packet>,
+    pending: VecDeque<Packet>,
+    stats: Arc<CommStats>,
+    /// Monotone counter for collective invocations: SPMD programs invoke
+    /// collectives in the same order on every PE, so equal sequence numbers
+    /// identify the same logical collective across PEs.
+    pub(crate) coll_seq: u64,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Arc<Vec<Sender<Packet>>>,
+        receiver: Receiver<Packet>,
+        stats: Arc<CommStats>,
+    ) -> Self {
+        Self {
+            rank,
+            size,
+            senders,
+            receiver,
+            pending: VecDeque::new(),
+            stats,
+            coll_seq: 0,
+        }
+    }
+
+    /// Rank of this PE, in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of PEs in the run.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The shared statistics registry for this run.
+    pub fn stats(&self) -> &Arc<CommStats> {
+        &self.stats
+    }
+
+    /// Send an already-encoded payload to `dest` with `tag`.
+    ///
+    /// Sends are counted against this PE's `bytes_sent`/`msgs_sent` and one
+    /// latency round. Sending to self is allowed (delivered through the
+    /// pending queue, not counted as network traffic).
+    pub fn send_raw(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) {
+        assert!(dest < self.size, "dest {dest} out of range 0..{}", self.size);
+        if dest == self.rank {
+            self.pending.push_back(Packet { src: dest, tag, payload });
+            return;
+        }
+        let pe = self.stats.pe(self.rank);
+        pe.record_send(payload.len());
+        pe.record_rounds(1);
+        self.senders[dest]
+            .send(Packet { src: self.rank, tag, payload })
+            .expect("receiver mailbox dropped: peer PE thread exited early");
+    }
+
+    /// Encode `value` and send it to `dest` with `tag`.
+    pub fn send<T: Wire>(&mut self, dest: usize, tag: Tag, value: &T) {
+        self.send_raw(dest, tag, wire::encode(value));
+    }
+
+    /// Receive the raw payload of the next message matching `(src, tag)`.
+    /// Blocks until such a message arrives; non-matching arrivals are queued.
+    pub fn recv_raw(&mut self, src: usize, tag: Tag) -> Vec<u8> {
+        assert!(src < self.size, "src {src} out of range 0..{}", self.size);
+        // Check the stash first.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|p| p.src == src && p.tag == tag)
+        {
+            let pkt = self.pending.remove(pos).expect("position valid");
+            if src != self.rank {
+                self.stats.pe(self.rank).record_recv(pkt.payload.len());
+            }
+            return pkt.payload;
+        }
+        loop {
+            let pkt = self
+                .receiver
+                .recv()
+                .expect("all sender handles dropped: run torn down during recv");
+            if pkt.src == src && pkt.tag == tag {
+                self.stats.pe(self.rank).record_recv(pkt.payload.len());
+                return pkt.payload;
+            }
+            self.pending.push_back(pkt);
+        }
+    }
+
+    /// Receive and decode a message matching `(src, tag)`.
+    ///
+    /// # Panics
+    /// Panics if the payload does not decode as `T` — a type mismatch
+    /// between sender and receiver is a programming error in SPMD code.
+    pub fn recv<T: Wire>(&mut self, src: usize, tag: Tag) -> T {
+        let payload = self.recv_raw(src, tag);
+        wire::decode(&payload).unwrap_or_else(|| {
+            panic!(
+                "PE {}: message from PE {src} (tag {:?}) failed to decode as {}",
+                self.rank,
+                tag,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Combined send+receive with a partner (full-duplex exchange, one
+    /// round on the critical path — the model of §2 of the paper).
+    pub fn exchange<T: Wire>(&mut self, partner: usize, tag: Tag, value: &T) -> T {
+        self.send(partner, tag, value);
+        self.recv(partner, tag)
+    }
+
+    /// Allocate a fresh tag block for the next collective invocation.
+    pub(crate) fn next_coll_tag(&mut self, op: u64) -> Tag {
+        let seq = self.coll_seq;
+        self.coll_seq += 1;
+        Tag(Tag::COLLECTIVE_BASE + seq * 64 + op)
+    }
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    #[test]
+    fn ping_pong() {
+        let out = run(2, |comm| {
+            let tag = Tag::user(1);
+            if comm.rank() == 0 {
+                comm.send(1, tag, &42u64);
+                comm.recv::<u64>(1, tag)
+            } else {
+                let v: u64 = comm.recv(0, tag);
+                comm.send(0, tag, &(v + 1));
+                v
+            }
+        });
+        assert_eq!(out, vec![43, 42]);
+    }
+
+    #[test]
+    fn selective_receive_out_of_order() {
+        let out = run(2, |comm| {
+            if comm.rank() == 0 {
+                // Send tag 2 first, then tag 1; receiver asks for 1 first.
+                comm.send(1, Tag::user(2), &222u64);
+                comm.send(1, Tag::user(1), &111u64);
+                0
+            } else {
+                let first: u64 = comm.recv(0, Tag::user(1));
+                let second: u64 = comm.recv(0, Tag::user(2));
+                assert_eq!((first, second), (111, 222));
+                first + second
+            }
+        });
+        assert_eq!(out[1], 333);
+    }
+
+    #[test]
+    fn self_send_not_counted_as_traffic() {
+        let stats_holder = std::sync::Mutex::new(None);
+        run(1, |comm| {
+            comm.send(0, Tag::user(9), &7u32);
+            let v: u32 = comm.recv(0, Tag::user(9));
+            assert_eq!(v, 7);
+            *stats_holder.lock().unwrap() = Some(comm.stats().snapshot());
+        });
+        let snap = stats_holder.into_inner().unwrap().unwrap();
+        assert_eq!(snap.total_bytes(), 0);
+        assert_eq!(snap.total_messages(), 0);
+    }
+
+    #[test]
+    fn byte_accounting_exact() {
+        let stats_holder = std::sync::Mutex::new(None);
+        run(2, |comm| {
+            let tag = Tag::user(0);
+            if comm.rank() == 0 {
+                comm.send(1, tag, &vec![1u64, 2, 3]); // 8 (len) + 24 payload
+            } else {
+                let _: Vec<u64> = comm.recv(0, tag);
+                *stats_holder.lock().unwrap() = Some(comm.stats().snapshot());
+            }
+        });
+        let snap = stats_holder.into_inner().unwrap().unwrap();
+        assert_eq!(snap.per_pe()[0].bytes_sent, 32);
+        assert_eq!(snap.per_pe()[1].bytes_recv, 32);
+        assert_eq!(snap.total_messages(), 1);
+    }
+
+    #[test]
+    fn exchange_swaps_values() {
+        let out = run(2, |comm| {
+            let partner = 1 - comm.rank();
+            comm.exchange(partner, Tag::user(5), &(comm.rank() as u64))
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "user tags must be below")]
+    fn reserved_tag_rejected() {
+        let _ = Tag::user(Tag::COLLECTIVE_BASE);
+    }
+
+    #[test]
+    fn many_pes_ring() {
+        let p = 8;
+        let out = run(p, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, Tag::user(3), &(comm.rank() as u64));
+            comm.recv::<u64>(prev, Tag::user(3))
+        });
+        for (rank, got) in out.iter().enumerate() {
+            assert_eq!(*got as usize, (rank + p - 1) % p);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! α-β (latency/bandwidth) cost model.
+//!
+//! The paper analyzes running times as `O(x + β·y + α·z)` where `x` is
+//! local work, `y` communication volume (bits), and `z` message rounds
+//! (§2). The threaded runtime measures `y` and `z` exactly
+//! ([`crate::stats`]) and local work can be timed per element; this module
+//! turns those three measured quantities into predicted wall-clock times
+//! for arbitrary machine parameters and PE counts — the mechanism behind
+//! the weak-scaling extrapolation (Fig. 4 reproduction).
+
+/// Machine parameters of the α-β model.
+///
+/// Defaults approximate a commodity cluster interconnect of the paper's
+/// era (bwUniCluster: ~1.5 µs MPI latency, ~10 Gbit/s effective per-node
+/// bandwidth ≈ 0.8 ns/byte).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Seconds to initiate one message (startup cost α).
+    pub alpha: f64,
+    /// Seconds to move one byte on an established connection (β, per byte
+    /// rather than the paper's per bit; a constant factor of 8).
+    pub beta_per_byte: f64,
+    /// Effective minimum message size in bytes: messages smaller than this
+    /// cost the same as one of this size (§4's parameter `b`, in bytes).
+    pub min_message_bytes: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            alpha: 1.5e-6,
+            beta_per_byte: 0.8e-9,
+            min_message_bytes: 0,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model with the given latency (seconds) and bandwidth (bytes/sec).
+    pub fn new(alpha: f64, bandwidth_bytes_per_sec: f64) -> Self {
+        assert!(alpha >= 0.0 && bandwidth_bytes_per_sec > 0.0);
+        Self {
+            alpha,
+            beta_per_byte: 1.0 / bandwidth_bytes_per_sec,
+            min_message_bytes: 0,
+        }
+    }
+
+    /// Builder: set the effective minimum message size in bytes.
+    pub fn with_min_message(mut self, bytes: u64) -> Self {
+        self.min_message_bytes = bytes;
+        self
+    }
+
+    /// Predicted time for one message of `bytes` payload: `α + β·max(b,min)`.
+    pub fn message_time(&self, bytes: u64) -> f64 {
+        self.alpha + self.beta_per_byte * bytes.max(self.min_message_bytes) as f64
+    }
+
+    /// Predicted time of a phase given its critical-path profile:
+    /// `local_work_secs + β·bottleneck_bytes + α·rounds`.
+    pub fn phase_time(&self, local_work_secs: f64, bottleneck_bytes: u64, rounds: u64) -> f64 {
+        local_work_secs
+            + self.beta_per_byte * bottleneck_bytes.max(self.min_message_bytes * rounds.min(1)) as f64
+            + self.alpha * rounds as f64
+    }
+
+    /// Predicted time of a collective on a `k`-byte payload over `p` PEs
+    /// using a binomial tree: `(α + β·k)·⌈log₂ p⌉` (the `T_coll` of §2).
+    pub fn tree_collective_time(&self, payload_bytes: u64, p: usize) -> f64 {
+        let rounds = usize::BITS - p.saturating_sub(1).leading_zeros();
+        self.message_time(payload_bytes) * f64::from(rounds)
+    }
+
+    /// Predicted time of a direct-delivery all-to-all moving `k` bytes to
+    /// each of the `p−1` peers: `(p−1)·(α + β·k)`.
+    pub fn all_to_all_time(&self, payload_bytes_per_peer: u64, p: usize) -> f64 {
+        self.message_time(payload_bytes_per_peer) * (p.saturating_sub(1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_time_is_affine() {
+        let m = CostModel::new(1e-6, 1e9);
+        let t0 = m.message_time(0);
+        let t1 = m.message_time(1000);
+        assert!((t0 - 1e-6).abs() < 1e-12);
+        assert!((t1 - (1e-6 + 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_message_size_floors_cost() {
+        let m = CostModel::new(0.0, 1e9).with_min_message(1024);
+        assert_eq!(m.message_time(10), m.message_time(1024));
+        assert!(m.message_time(2048) > m.message_time(1024));
+    }
+
+    #[test]
+    fn tree_collective_scales_logarithmically() {
+        let m = CostModel::new(1e-6, 1e9);
+        let t2 = m.tree_collective_time(100, 2);
+        let t1024 = m.tree_collective_time(100, 1024);
+        assert!((t1024 / t2 - 10.0).abs() < 1e-9); // log2(1024)/log2(2) = 10
+    }
+
+    #[test]
+    fn tree_collective_single_pe_is_free() {
+        let m = CostModel::default();
+        assert_eq!(m.tree_collective_time(100, 1), 0.0);
+    }
+
+    #[test]
+    fn all_to_all_scales_linearly() {
+        let m = CostModel::new(1e-6, 1e9);
+        let t4 = m.all_to_all_time(100, 4);
+        let t8 = m.all_to_all_time(100, 8);
+        assert!((t8 / t4 - 7.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_time_combines_terms() {
+        let m = CostModel::new(2.0, 0.5); // α=2s, β=2 s/byte
+        let t = m.phase_time(1.0, 3, 4);
+        assert!((t - (1.0 + 6.0 + 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_sane() {
+        let m = CostModel::default();
+        assert!(m.alpha > 0.0 && m.beta_per_byte > 0.0);
+        // Latency-dominated small message, bandwidth-dominated big one.
+        assert!(m.message_time(8) < 2.0 * m.alpha);
+        assert!(m.message_time(100_000_000) > 0.01);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types for the networking substrate.
+
+use std::fmt;
+
+/// Errors surfaced by the message-passing layer.
+///
+/// Most APIs in this crate panic on programmer errors (rank out of bounds,
+/// collective call-order mismatch) because an SPMD program that violates
+/// them is unrecoverable, mirroring MPI semantics. `NetError` is reserved
+/// for conditions a caller can meaningfully handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A message payload failed to decode as the expected type.
+    Decode {
+        /// Rank of the sender of the malformed message.
+        from: usize,
+        /// Tag of the malformed message.
+        tag: u64,
+    },
+    /// The peer's channel endpoint was dropped (a PE thread panicked).
+    Disconnected {
+        /// Rank whose mailbox is gone.
+        peer: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Decode { from, tag } => {
+                write!(f, "failed to decode message from PE {from} (tag {tag})")
+            }
+            NetError::Disconnected { peer } => {
+                write!(f, "PE {peer} disconnected (thread exited early)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Result alias for fallible networking operations.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetError::Decode { from: 3, tag: 7 };
+        assert!(e.to_string().contains("PE 3"));
+        let e = NetError::Disconnected { peer: 1 };
+        assert!(e.to_string().contains("PE 1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&NetError::Disconnected { peer: 0 });
+    }
+}

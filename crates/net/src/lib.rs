@@ -1,0 +1,46 @@
+//! # ccheck-net — message-passing substrate with exact communication accounting
+//!
+//! This crate stands in for the MPI/cluster environment used by the paper
+//! "Communication Efficient Checking of Big Data Operations"
+//! (Hübschle-Schneider & Sanders, 2018). It provides:
+//!
+//! * a multi-threaded **message-passing runtime**: `p` processing elements
+//!   (PEs) run as threads and communicate through tagged point-to-point
+//!   channels ([`Comm`]),
+//! * **collective operations** (broadcast, reduce, allreduce — tree and
+//!   bandwidth-optimal butterfly — gather, allgather, scan, all-to-all —
+//!   direct and hypercube — barrier, neighbor exchange) built from
+//!   point-to-point messages using the classical algorithms, so that
+//!   message and byte counts match the textbook cost `O(β·k + α·log p)`,
+//! * **exact per-PE accounting** of bytes and messages sent/received
+//!   ([`CommStats`]) — the paper's optimization target is *bottleneck
+//!   communication volume*, which we therefore measure rather than estimate,
+//! * an **α-β cost model** ([`cost::CostModel`]) to extrapolate running
+//!   times to PE counts beyond the host's core count (used for the weak
+//!   scaling experiment, Fig. 4 of the paper).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ccheck_net::run;
+//!
+//! // Sum the ranks of 4 PEs with an allreduce.
+//! let results = run(4, |comm| comm.allreduce(comm.rank() as u64, |a, b| a + b));
+//! assert!(results.iter().all(|&r| r == 0 + 1 + 2 + 3));
+//! ```
+
+pub mod butterfly;
+pub mod collectives;
+pub mod comm;
+pub mod cost;
+pub mod error;
+pub mod router;
+pub mod stats;
+pub mod wire;
+
+pub use comm::{Comm, Tag};
+pub use cost::CostModel;
+pub use error::{NetError, Result};
+pub use router::run;
+pub use stats::{CommStats, StatsSnapshot};
+pub use wire::Wire;

@@ -1,0 +1,161 @@
+//! Run harness: spawn `p` PE threads wired together through a shared
+//! router (one unbounded mailbox per PE).
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+
+use crate::comm::{Comm, Packet};
+use crate::stats::CommStats;
+
+/// Builder for a `p`-PE communication domain.
+///
+/// Most users call [`run`]; `Router` is useful when the caller wants to
+/// keep the [`CommStats`] handle to inspect traffic after the run, or to
+/// drive PE threads with custom scheduling.
+pub struct Router {
+    comms: Vec<Comm>,
+    stats: Arc<CommStats>,
+}
+
+impl Router {
+    /// Create communicators for `p` PEs sharing one statistics registry.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn build(p: usize) -> Self {
+        assert!(p > 0, "need at least one PE");
+        let stats = CommStats::new(p);
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded::<Packet>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders: Arc<Vec<Sender<Packet>>> = Arc::new(senders);
+        let comms = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| Comm::new(rank, p, Arc::clone(&senders), rx, Arc::clone(&stats)))
+            .collect();
+        Self { comms, stats }
+    }
+
+    /// The statistics registry shared by all communicators.
+    pub fn stats(&self) -> Arc<CommStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Take ownership of the per-PE communicators (rank order).
+    pub fn into_comms(self) -> Vec<Comm> {
+        self.comms
+    }
+
+    /// Run `f` on every PE, each on its own OS thread, and collect the
+    /// per-rank results in rank order.
+    pub fn run<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        let f = &f;
+        let mut results: Vec<Option<R>> = Vec::new();
+        results.resize_with(self.comms.len(), || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for mut comm in self.comms {
+                handles.push(scope.spawn(move || {
+                    let r = f(&mut comm);
+                    (comm.rank(), r)
+                }));
+            }
+            for handle in handles {
+                let (rank, r) = handle.join().expect("PE thread panicked");
+                results[rank] = Some(r);
+            }
+        });
+        results.into_iter().map(|r| r.expect("all ranks ran")).collect()
+    }
+}
+
+/// Spawn `p` PE threads, run `f` on each, and return the per-rank results.
+///
+/// This is the main entry point of the crate:
+///
+/// ```
+/// let sums = ccheck_net::run(3, |comm| {
+///     comm.allreduce(1u64, |a, b| a + b)
+/// });
+/// assert_eq!(sums, vec![3, 3, 3]);
+/// ```
+pub fn run<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    Router::build(p).run(f)
+}
+
+/// Like [`run`], but also returns the final communication statistics.
+pub fn run_with_stats<R, F>(p: usize, f: F) -> (Vec<R>, crate::stats::StatsSnapshot)
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    let router = Router::build(p);
+    let stats = router.stats();
+    let results = router.run(f);
+    (results, stats.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Tag;
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = run(5, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn single_pe_runs() {
+        let out = run(1, |comm| comm.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_rejected() {
+        let _ = Router::build(0);
+    }
+
+    #[test]
+    fn run_with_stats_reports_traffic() {
+        let (_, snap) = run_with_stats(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, Tag::user(0), &1u8);
+            } else {
+                let _: u8 = comm.recv(0, Tag::user(0));
+            }
+        });
+        assert_eq!(snap.total_bytes(), 1);
+        assert_eq!(snap.total_messages(), 1);
+    }
+
+    #[test]
+    fn stats_handle_outlives_run() {
+        let router = Router::build(2);
+        let stats = router.stats();
+        router.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, Tag::user(0), &7u64);
+            } else {
+                let _: u64 = comm.recv(0, Tag::user(0));
+            }
+        });
+        assert_eq!(stats.snapshot().total_bytes(), 8);
+    }
+}

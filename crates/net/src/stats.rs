@@ -1,0 +1,223 @@
+//! Exact communication accounting.
+//!
+//! Every byte that crosses the simulated network is recorded here, per PE,
+//! with relaxed atomics (the counters are monotone and only read after a
+//! barrier / at teardown, so no ordering is required). The paper's central
+//! optimization criterion is *bottleneck communication volume* — the
+//! maximum number of bytes sent or received by any single PE — so
+//! [`StatsSnapshot`] exposes exactly that, alongside message counts and
+//! collective round counts (the α term of the cost model).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-PE monotone counters. Updated by [`crate::Comm`] on every send and
+/// receive, and by the collectives for latency rounds.
+#[derive(Debug, Default)]
+pub struct PeStats {
+    /// Total payload bytes sent by this PE.
+    pub bytes_sent: AtomicU64,
+    /// Total payload bytes received by this PE.
+    pub bytes_recv: AtomicU64,
+    /// Number of point-to-point messages sent.
+    pub msgs_sent: AtomicU64,
+    /// Number of point-to-point messages received.
+    pub msgs_recv: AtomicU64,
+    /// Latency rounds attributed to this PE (each collective adds its
+    /// critical-path round count; a single p2p message counts as one round).
+    pub rounds: AtomicU64,
+}
+
+impl PeStats {
+    #[inline]
+    pub(crate) fn record_send(&self, bytes: usize) {
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_recv(&self, bytes: usize) {
+        self.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.msgs_recv.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_rounds(&self, rounds: u64) {
+        self.rounds.fetch_add(rounds, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> PeStatsSnapshot {
+        PeStatsSnapshot {
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            msgs_recv: self.msgs_recv.load(Ordering::Relaxed),
+            rounds: self.rounds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of one PE's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeStatsSnapshot {
+    pub bytes_sent: u64,
+    pub bytes_recv: u64,
+    pub msgs_sent: u64,
+    pub msgs_recv: u64,
+    pub rounds: u64,
+}
+
+impl PeStatsSnapshot {
+    /// Communication volume of this PE: max(sent, received) bytes, per the
+    /// single-ported full-duplex model of the paper (§2).
+    pub fn volume(&self) -> u64 {
+        self.bytes_sent.max(self.bytes_recv)
+    }
+}
+
+/// Shared registry of all PEs' counters for one run.
+#[derive(Debug)]
+pub struct CommStats {
+    per_pe: Vec<PeStats>,
+}
+
+impl CommStats {
+    /// Create a registry for `p` PEs, all counters zero.
+    pub fn new(p: usize) -> Arc<Self> {
+        Arc::new(Self {
+            per_pe: (0..p).map(|_| PeStats::default()).collect(),
+        })
+    }
+
+    /// Number of PEs tracked.
+    pub fn num_pes(&self) -> usize {
+        self.per_pe.len()
+    }
+
+    /// Counters of one PE.
+    pub fn pe(&self, rank: usize) -> &PeStats {
+        &self.per_pe[rank]
+    }
+
+    /// Capture a consistent-enough snapshot (call after all PE threads have
+    /// joined, or after a barrier, for exact numbers).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            per_pe: self.per_pe.iter().map(PeStats::load).collect(),
+        }
+    }
+}
+
+/// Immutable snapshot of a whole run's communication accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    per_pe: Vec<PeStatsSnapshot>,
+}
+
+impl StatsSnapshot {
+    /// Per-PE values, indexed by rank.
+    pub fn per_pe(&self) -> &[PeStatsSnapshot] {
+        &self.per_pe
+    }
+
+    /// Total bytes sent across all PEs (equals total bytes received).
+    pub fn total_bytes(&self) -> u64 {
+        self.per_pe.iter().map(|s| s.bytes_sent).sum()
+    }
+
+    /// Total number of point-to-point messages.
+    pub fn total_messages(&self) -> u64 {
+        self.per_pe.iter().map(|s| s.msgs_sent).sum()
+    }
+
+    /// Bottleneck communication volume: `max_i max(sent_i, recv_i)`.
+    /// This is the quantity the paper's checkers keep sublinear in `n/p`.
+    pub fn bottleneck_volume(&self) -> u64 {
+        self.per_pe.iter().map(PeStatsSnapshot::volume).max().unwrap_or(0)
+    }
+
+    /// Maximum latency rounds on any PE (critical path for the α term).
+    pub fn max_rounds(&self) -> u64 {
+        self.per_pe.iter().map(|s| s.rounds).max().unwrap_or(0)
+    }
+
+    /// Element-wise difference (`self` minus `earlier`); panics if the PE
+    /// counts differ. Useful to attribute traffic to a program phase.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        assert_eq!(self.per_pe.len(), earlier.per_pe.len());
+        StatsSnapshot {
+            per_pe: self
+                .per_pe
+                .iter()
+                .zip(&earlier.per_pe)
+                .map(|(now, before)| PeStatsSnapshot {
+                    bytes_sent: now.bytes_sent - before.bytes_sent,
+                    bytes_recv: now.bytes_recv - before.bytes_recv,
+                    msgs_sent: now.msgs_sent - before.msgs_sent,
+                    msgs_recv: now.msgs_recv - before.msgs_recv,
+                    rounds: now.rounds - before.rounds,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = CommStats::new(2);
+        stats.pe(0).record_send(100);
+        stats.pe(0).record_send(50);
+        stats.pe(1).record_recv(150);
+        stats.pe(0).record_rounds(3);
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.per_pe()[0].bytes_sent, 150);
+        assert_eq!(snap.per_pe()[0].msgs_sent, 2);
+        assert_eq!(snap.per_pe()[1].bytes_recv, 150);
+        assert_eq!(snap.per_pe()[1].msgs_recv, 1);
+        assert_eq!(snap.total_bytes(), 150);
+        assert_eq!(snap.total_messages(), 2);
+        assert_eq!(snap.max_rounds(), 3);
+    }
+
+    #[test]
+    fn bottleneck_is_max_of_sent_and_received() {
+        let stats = CommStats::new(3);
+        stats.pe(0).record_send(10);
+        stats.pe(1).record_recv(500);
+        stats.pe(2).record_send(300);
+        let snap = stats.snapshot();
+        assert_eq!(snap.bottleneck_volume(), 500);
+    }
+
+    #[test]
+    fn since_subtracts_phases() {
+        let stats = CommStats::new(1);
+        stats.pe(0).record_send(10);
+        let a = stats.snapshot();
+        stats.pe(0).record_send(32);
+        let b = stats.snapshot();
+        let delta = b.since(&a);
+        assert_eq!(delta.per_pe()[0].bytes_sent, 32);
+        assert_eq!(delta.per_pe()[0].msgs_sent, 1);
+    }
+
+    #[test]
+    fn empty_snapshot_defaults() {
+        let stats = CommStats::new(0);
+        let snap = stats.snapshot();
+        assert_eq!(snap.bottleneck_volume(), 0);
+        assert_eq!(snap.max_rounds(), 0);
+        assert_eq!(snap.total_bytes(), 0);
+    }
+
+    #[test]
+    fn volume_is_max_direction() {
+        let s = PeStatsSnapshot { bytes_sent: 7, bytes_recv: 9, ..Default::default() };
+        assert_eq!(s.volume(), 9);
+    }
+}

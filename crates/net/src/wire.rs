@@ -1,0 +1,372 @@
+//! Binary codec used for every message on the simulated network.
+//!
+//! All traffic is encoded into byte buffers before it is handed to the
+//! router, so the per-PE byte counters in [`crate::stats`] observe the exact
+//! communication volume — the quantity the paper optimizes for. The
+//! encoding is little-endian and self-delimiting for variable-length types.
+//!
+//! The codec is deliberately hand-rolled (rather than pulling in `serde`):
+//! the framing must be predictable down to the byte for the communication
+//! volume measurements to be meaningful.
+
+/// Types that can be serialized onto the wire.
+///
+/// Implementations must roundtrip: `T::read(&mut encode(v)) == Some(v)`.
+/// This invariant is property-tested in this module's test suite.
+pub trait Wire: Sized {
+    /// Append the encoding of `self` to `buf`.
+    fn write(&self, buf: &mut Vec<u8>);
+    /// Decode a value from the front of `input`, advancing it past the
+    /// consumed bytes. Returns `None` on malformed/truncated input.
+    fn read(input: &mut &[u8]) -> Option<Self>;
+    /// Exact number of bytes `write` will append. Used to pre-size buffers.
+    fn wire_size(&self) -> usize;
+}
+
+/// Encode a value into a fresh, exactly-sized buffer.
+pub fn encode<T: Wire>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(value.wire_size());
+    value.write(&mut buf);
+    debug_assert_eq!(buf.len(), value.wire_size());
+    buf
+}
+
+/// Decode a value from a buffer, requiring that the buffer is consumed
+/// entirely.
+pub fn decode<T: Wire>(mut input: &[u8]) -> Option<T> {
+    let v = T::read(&mut input)?;
+    if input.is_empty() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if input.len() < n {
+        return None;
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Some(head)
+}
+
+macro_rules! impl_wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            #[inline]
+            fn write(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read(input: &mut &[u8]) -> Option<Self> {
+                let bytes = take(input, std::mem::size_of::<$t>())?;
+                Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
+            }
+            #[inline]
+            fn wire_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_wire_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+impl Wire for usize {
+    #[inline]
+    fn write(&self, buf: &mut Vec<u8>) {
+        (*self as u64).write(buf);
+    }
+    #[inline]
+    fn read(input: &mut &[u8]) -> Option<Self> {
+        u64::read(input).map(|v| v as usize)
+    }
+    #[inline]
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for bool {
+    #[inline]
+    fn write(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    #[inline]
+    fn read(input: &mut &[u8]) -> Option<Self> {
+        match u8::read(input)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+    #[inline]
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for f64 {
+    #[inline]
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.to_bits().write(buf);
+    }
+    #[inline]
+    fn read(input: &mut &[u8]) -> Option<Self> {
+        u64::read(input).map(f64::from_bits)
+    }
+    #[inline]
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for () {
+    #[inline]
+    fn write(&self, _buf: &mut Vec<u8>) {}
+    #[inline]
+    fn read(_input: &mut &[u8]) -> Option<Self> {
+        Some(())
+    }
+    #[inline]
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+macro_rules! impl_wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            #[inline]
+            fn write(&self, buf: &mut Vec<u8>) {
+                $(self.$idx.write(buf);)+
+            }
+            #[inline]
+            fn read(input: &mut &[u8]) -> Option<Self> {
+                Some(($($name::read(input)?,)+))
+            }
+            #[inline]
+            fn wire_size(&self) -> usize {
+                0 $(+ self.$idx.wire_size())+
+            }
+        }
+    };
+}
+
+impl_wire_tuple!(A: 0);
+impl_wire_tuple!(A: 0, B: 1);
+impl_wire_tuple!(A: 0, B: 1, C: 2);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+impl<T: Wire> Wire for Option<T> {
+    fn write(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.write(buf);
+            }
+        }
+    }
+    fn read(input: &mut &[u8]) -> Option<Self> {
+        match u8::read(input)? {
+            0 => Some(None),
+            1 => Some(Some(T::read(input)?)),
+            _ => None,
+        }
+    }
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::wire_size)
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn write(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).write(buf);
+        for item in self {
+            item.write(buf);
+        }
+    }
+    fn read(input: &mut &[u8]) -> Option<Self> {
+        let len = u64::read(input)? as usize;
+        // Guard against adversarial lengths: a T encodes to >= 0 bytes, but
+        // the remaining input bounds the plausible element count when the
+        // element size is nonzero.
+        let mut out = Vec::with_capacity(len.min(input.len().max(16)));
+        for _ in 0..len {
+            out.push(T::read(input)?);
+        }
+        Some(out)
+    }
+    fn wire_size(&self) -> usize {
+        8 + self.iter().map(Wire::wire_size).sum::<usize>()
+    }
+}
+
+impl<T: Wire, const N: usize> Wire for [T; N] {
+    fn write(&self, buf: &mut Vec<u8>) {
+        for item in self {
+            item.write(buf);
+        }
+    }
+    fn read(input: &mut &[u8]) -> Option<Self> {
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::read(input)?);
+        }
+        items.try_into().ok()
+    }
+    fn wire_size(&self) -> usize {
+        self.iter().map(Wire::wire_size).sum()
+    }
+}
+
+impl Wire for String {
+    fn write(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).write(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn read(input: &mut &[u8]) -> Option<Self> {
+        let len = u64::read(input)? as usize;
+        let bytes = take(input, len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+    fn wire_size(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let buf = encode(&v);
+        assert_eq!(buf.len(), v.wire_size());
+        let back: T = decode(&buf).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn roundtrip_primitives() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(u128::MAX);
+        roundtrip(i8::MIN);
+        roundtrip(i16::MIN);
+        roundtrip(i32::MIN);
+        roundtrip(i64::MIN);
+        roundtrip(i128::MIN);
+        roundtrip(-1i64);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(1.5f64);
+        roundtrip(f64::NEG_INFINITY);
+        roundtrip(());
+    }
+
+    #[test]
+    fn roundtrip_compounds() {
+        roundtrip((1u32, 2u64));
+        roundtrip((1u8, 2u16, 3u32, 4u64, 5i64));
+        roundtrip(Some(42u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip([7u32; 4]);
+        roundtrip("hello wörld".to_string());
+        roundtrip(String::new());
+        roundtrip(vec![(1u64, -2i64), (3, -4)]);
+        roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let buf = encode(&0xDEADBEEFu32);
+        assert_eq!(decode::<u32>(&buf[..3]), None);
+        let buf = encode(&vec![1u64, 2, 3]);
+        assert_eq!(decode::<Vec<u64>>(&buf[..buf.len() - 1]), None);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = encode(&7u32);
+        buf.push(0);
+        assert_eq!(decode::<u32>(&buf), None);
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        assert_eq!(decode::<bool>(&[2]), None);
+    }
+
+    #[test]
+    fn invalid_option_tag_rejected() {
+        assert_eq!(decode::<Option<u8>>(&[7, 0]), None);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        (2u64).write(&mut buf);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(decode::<String>(&buf), None);
+    }
+
+    #[test]
+    fn adversarial_vec_length_does_not_allocate() {
+        // Claims 2^60 elements but supplies none: must fail, not OOM.
+        let mut buf = Vec::new();
+        (1u64 << 60).write(&mut buf);
+        assert_eq!(decode::<Vec<u64>>(&buf), None);
+    }
+
+    #[test]
+    fn nan_roundtrips_bitwise() {
+        let v = f64::from_bits(0x7FF8_0000_0000_1234);
+        let buf = encode(&v);
+        let back: f64 = decode(&buf).unwrap();
+        assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_u64(v: u64) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_i64(v: i64) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_pairs(v: Vec<(u64, i64)>) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_nested(v: Vec<Vec<u32>>) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_string(v: String) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_options(v: Vec<Option<u64>>) { roundtrip(v); }
+
+        #[test]
+        fn prop_wire_size_matches(v: Vec<(u64, Option<i32>)>) {
+            let buf = encode(&v);
+            prop_assert_eq!(buf.len(), v.wire_size());
+        }
+
+        #[test]
+        fn prop_garbage_never_panics(bytes: Vec<u8>) {
+            // Decoding arbitrary bytes must never panic (may return None).
+            let _ = decode::<Vec<(u64, u32)>>(&bytes);
+            let _ = decode::<String>(&bytes);
+            let _ = decode::<Vec<Option<u64>>>(&bytes);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Deterministic, PE-partitionable workload generation.
+//!
+//! All generators derive their randomness from a splitmix64 stream over
+//! `(seed, global_index)`, so the element at global position `i` is the
+//! same no matter how many PEs generate the data or in which order —
+//! distributed experiments stay bit-reproducible across PE counts.
+
+use crate::zipf::Zipf;
+
+/// Splitmix64: the statelessly indexable PRNG used for generation.
+#[inline]
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A counter-mode RNG over `(seed, index)` implementing `rand`'s traits.
+pub struct IndexedRng {
+    seed: u64,
+    counter: u64,
+}
+
+impl IndexedRng {
+    /// Stream for `seed`, starting at `index` (usually a global element
+    /// index, so each element owns a disjoint part of the stream).
+    pub fn new(seed: u64, index: u64) -> Self {
+        Self { seed, counter: index.wrapping_mul(0x2545_F491_4F6C_DD1D) }
+    }
+}
+
+impl rand::rand_core::TryRng for IndexedRng {
+    type Error = std::convert::Infallible;
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+        Ok((self.try_next_u64()? >> 32) as u32)
+    }
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+        let v = splitmix64(self.seed ^ self.counter);
+        self.counter = self.counter.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        Ok(v)
+    }
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error> {
+        for chunk in dst.chunks_mut(8) {
+            let b = self.try_next_u64()?.to_le_bytes();
+            chunk.copy_from_slice(&b[..chunk.len()]);
+        }
+        Ok(())
+    }
+}
+
+/// Block-partition `total` items over `p` PEs: the index range owned by
+/// `rank`. Sizes differ by at most one.
+pub fn local_range(total: usize, rank: usize, p: usize) -> std::ops::Range<usize> {
+    assert!(rank < p && p > 0);
+    let base = total / p;
+    let extra = total % p;
+    let start = rank * base + rank.min(extra);
+    let len = base + usize::from(rank < extra);
+    start..start + len
+}
+
+/// (key, value) pairs with Zipf-distributed keys over `1..=num_keys`
+/// (exponent 1, the paper's power-law workload) and value 1 — the
+/// wordcount shape. Generates positions `range` of a conceptual global
+/// sequence of pairs.
+pub fn zipf_pairs(
+    seed: u64,
+    num_keys: u64,
+    range: std::ops::Range<usize>,
+) -> Vec<(u64, u64)> {
+    let zipf = Zipf::power_law(num_keys);
+    range
+        .map(|i| {
+            let mut rng = IndexedRng::new(seed, i as u64);
+            (zipf.sample(&mut rng), 1u64)
+        })
+        .collect()
+}
+
+/// (key, value) pairs with Zipf-distributed keys over `1..=num_keys`
+/// and values uniform in `1..=value_max` — the shape of the paper's sum
+/// aggregation accuracy workload, where value-level manipulators
+/// (`SwitchValues`) need non-constant values to be meaningful.
+pub fn zipf_valued_pairs(
+    seed: u64,
+    num_keys: u64,
+    value_max: u64,
+    range: std::ops::Range<usize>,
+) -> Vec<(u64, u64)> {
+    assert!(value_max >= 1);
+    let zipf = Zipf::power_law(num_keys);
+    range
+        .map(|i| {
+            let mut rng = IndexedRng::new(seed, i as u64);
+            let key = zipf.sample(&mut rng);
+            let value = 1 + splitmix64(seed ^ 0x56414C ^ (i as u64).wrapping_mul(0x9E37_79B9))
+                % value_max;
+            (key, value)
+        })
+        .collect()
+}
+
+/// Uniform integers in `0..max` at positions `range` of the global
+/// sequence (the §7.2 sort/permutation workload with `max = 10⁸`).
+pub fn uniform_ints(seed: u64, max: u64, range: std::ops::Range<usize>) -> Vec<u64> {
+    assert!(max > 0);
+    range
+        .map(|i| {
+            // One splitmix call per element; modulo bias is ≤ max/2^64,
+            // irrelevant for max ≤ 2^40 as used in the experiments.
+            splitmix64(seed ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)) % max
+        })
+        .collect()
+}
+
+/// A named workload description used by the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Zipf keys over `num_keys` values, value = 1.
+    PowerLawPairs {
+        /// Number of distinct possible keys (N in the paper's f(k; N)).
+        num_keys: u64,
+    },
+    /// Uniform integers in `0..max`.
+    UniformInts {
+        /// Exclusive upper bound of the value range.
+        max: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_range_partitions_exactly() {
+        for total in [0usize, 1, 7, 100, 101, 1024] {
+            for p in [1usize, 2, 3, 7, 16] {
+                let mut covered = 0usize;
+                let mut next_start = 0usize;
+                for rank in 0..p {
+                    let r = local_range(total, rank, p);
+                    assert_eq!(r.start, next_start, "gap at rank {rank}");
+                    next_start = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, total, "total={total} p={p}");
+                assert_eq!(next_start, total);
+            }
+        }
+    }
+
+    #[test]
+    fn local_range_balanced() {
+        let sizes: Vec<usize> = (0..7).map(|r| local_range(100, r, 7).len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn generation_independent_of_partitioning() {
+        // Generating [0,100) at once equals concatenating 4 PE shares.
+        let whole = zipf_pairs(42, 1000, 0..100);
+        let mut parts = Vec::new();
+        for rank in 0..4 {
+            parts.extend(zipf_pairs(42, 1000, local_range(100, rank, 4)));
+        }
+        assert_eq!(whole, parts);
+
+        let whole = uniform_ints(7, 1_000_000, 0..100);
+        let mut parts = Vec::new();
+        for rank in 0..3 {
+            parts.extend(uniform_ints(7, 1_000_000, local_range(100, rank, 3)));
+        }
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn zipf_pairs_have_unit_values_and_ranged_keys() {
+        let pairs = zipf_pairs(1, 50, 0..5000);
+        assert!(pairs.iter().all(|&(k, v)| (1..=50).contains(&k) && v == 1));
+        // Rank 1 must be the most frequent key for a power law.
+        let count_1 = pairs.iter().filter(|&&(k, _)| k == 1).count();
+        let count_25 = pairs.iter().filter(|&&(k, _)| k == 25).count();
+        assert!(count_1 > count_25);
+    }
+
+    #[test]
+    fn uniform_ints_in_range_and_spread() {
+        let vals = uniform_ints(3, 1000, 0..10_000);
+        assert!(vals.iter().all(|&v| v < 1000));
+        let distinct: std::collections::HashSet<u64> = vals.iter().copied().collect();
+        assert!(distinct.len() > 900, "only {} distinct values", distinct.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(uniform_ints(1, 1 << 40, 0..50), uniform_ints(2, 1 << 40, 0..50));
+        assert_ne!(zipf_pairs(1, 1 << 20, 0..50), zipf_pairs(2, 1 << 20, 0..50));
+    }
+
+    #[test]
+    fn valued_pairs_have_varying_values() {
+        let pairs = zipf_valued_pairs(5, 1000, 1 << 32, 0..1000);
+        assert!(pairs.iter().all(|&(k, v)| (1..=1000).contains(&k) && v >= 1));
+        let distinct: std::collections::HashSet<u64> =
+            pairs.iter().map(|&(_, v)| v).collect();
+        assert!(distinct.len() > 990, "values must vary for SwitchValues");
+        // Keys share the zipf stream shape with zipf_pairs.
+        let keys_only = zipf_pairs(5, 1000, 0..1000);
+        assert!(pairs.iter().zip(&keys_only).all(|(&(k1, _), &(k2, _))| k1 == k2));
+    }
+
+    #[test]
+    fn valued_pairs_partition_independent() {
+        let whole = zipf_valued_pairs(9, 100, 1000, 0..60);
+        let mut parts = Vec::new();
+        for rank in 0..3 {
+            parts.extend(zipf_valued_pairs(9, 100, 1000, local_range(60, rank, 3)));
+        }
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn indexed_rng_disjoint_streams() {
+        use rand::rand_core::Rng as _;
+        let mut a = IndexedRng::new(9, 0);
+        let mut b = IndexedRng::new(9, 1);
+        let va: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,25 @@
+//! # ccheck-workloads — workload generators for the checker experiments
+//!
+//! The paper's evaluation uses two synthetic workloads:
+//!
+//! * **power-law (Zipf) keys** for the sum-aggregation experiments
+//!   (frequency `f(k; N) = 1/(k·H_N)` for the element of rank `k`, §7.1 —
+//!   "naturally models many workloads, e.g. wordcount over natural
+//!   languages"), and
+//! * **uniform integers** for the permutation/sort experiments
+//!   (10⁶ values drawn from `0..10⁸`, §7.2).
+//!
+//! [`zipf::Zipf`] implements O(1) rejection-inversion sampling
+//! (Hörmann & Derflinger 1996) for arbitrary exponent ≥ 0, with the
+//! paper's exponent-1 distribution as the default. Generators are
+//! deterministic under a seed and support block-partitioned per-PE
+//! generation so distributed experiments are reproducible regardless of
+//! PE count.
+
+pub mod generate;
+pub mod text;
+pub mod zipf;
+
+pub use generate::{local_range, uniform_ints, zipf_pairs, zipf_valued_pairs, Workload};
+pub use text::{word_key, word_stream, Vocabulary};
+pub use zipf::Zipf;

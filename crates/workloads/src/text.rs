@@ -1,0 +1,171 @@
+//! Synthetic natural-language text — the paper's motivating workload
+//! ("wordcount over natural languages", §7.1) with actual string words.
+//!
+//! A [`Vocabulary`] deterministically maps Zipf ranks to pronounceable
+//! pseudo-words (frequent words are short, rare words long — Zipf's law
+//! of abbreviation), and [`word_stream`] draws words with the power-law
+//! frequencies of §7.1. [`word_key`] digests a word into the `u64` key
+//! space the checkers operate on (seeded; collision probability ≈
+//! `vocab²/2⁶⁵`).
+
+use crate::generate::IndexedRng;
+use crate::zipf::Zipf;
+
+/// Deterministic rank → pseudo-word mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct Vocabulary {
+    seed: u64,
+    size: u64,
+}
+
+const CONSONANTS: &[u8] = b"bcdfghjklmnprstvwz";
+const VOWELS: &[u8] = b"aeiou";
+
+impl Vocabulary {
+    /// A vocabulary of `size` distinct words derived from `seed`.
+    pub fn new(seed: u64, size: u64) -> Self {
+        assert!(size >= 1);
+        Self { seed, size }
+    }
+
+    /// Number of words.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The word of Zipf rank `rank` (1-based). Deterministic; distinct
+    /// ranks produce distinct words (the rank is baked into the suffix
+    /// syllables).
+    pub fn word(&self, rank: u64) -> String {
+        assert!((1..=self.size).contains(&rank));
+        // Zipf's law of abbreviation: length grows with log rank.
+        let syllables = 1 + (64 - rank.leading_zeros() as u64) / 3;
+        let mut out = String::with_capacity(3 * syllables as usize + 4);
+        let mut mix = self.seed ^ rank.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for _ in 0..syllables {
+            mix ^= mix >> 27;
+            mix = mix.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let c = CONSONANTS[(mix % CONSONANTS.len() as u64) as usize];
+            let v = VOWELS[((mix >> 8) % VOWELS.len() as u64) as usize];
+            out.push(c as char);
+            out.push(v as char);
+        }
+        // Uniqueness suffix: base-26 rank tail keeps distinct ranks
+        // distinct even when syllables collide.
+        let mut tail = rank;
+        while tail > 0 {
+            out.push((b'a' + (tail % 26) as u8) as char);
+            tail /= 26;
+        }
+        out
+    }
+}
+
+/// Seeded digest of a word into the checkers' `u64` key space
+/// (FNV-1a with a seeded basis, finalized splitmix-style).
+pub fn word_key(seed: u64, word: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ seed;
+    for &b in word.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Positions `range` of an endless Zipf-distributed word stream over
+/// `vocab` (the global wordcount input). Deterministic and
+/// partitioning-independent, like the other generators.
+pub fn word_stream(
+    seed: u64,
+    vocab: &Vocabulary,
+    range: std::ops::Range<usize>,
+) -> Vec<String> {
+    let zipf = Zipf::power_law(vocab.size());
+    range
+        .map(|i| {
+            let mut rng = IndexedRng::new(seed, i as u64);
+            vocab.word(zipf.sample(&mut rng))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_distinct_per_rank() {
+        let vocab = Vocabulary::new(1, 5_000);
+        let words: HashSet<String> = (1..=5_000).map(|r| vocab.word(r)).collect();
+        assert_eq!(words.len(), 5_000);
+    }
+
+    #[test]
+    fn frequent_words_are_short() {
+        let vocab = Vocabulary::new(2, 1_000_000);
+        let short = vocab.word(1).len();
+        let long = vocab.word(999_999).len();
+        assert!(short < long, "rank 1: {short} chars, rank 999999: {long}");
+    }
+
+    #[test]
+    fn words_deterministic_per_seed() {
+        let a = Vocabulary::new(7, 100);
+        let b = Vocabulary::new(7, 100);
+        let c = Vocabulary::new(8, 100);
+        assert_eq!(a.word(42), b.word(42));
+        assert_ne!(a.word(42), c.word(42));
+    }
+
+    #[test]
+    fn stream_partitioning_independent() {
+        let vocab = Vocabulary::new(3, 1_000);
+        let whole = word_stream(9, &vocab, 0..90);
+        let mut parts = Vec::new();
+        for rank in 0..3 {
+            parts.extend(word_stream(9, &vocab, crate::local_range(90, rank, 3)));
+        }
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn stream_is_power_law() {
+        let vocab = Vocabulary::new(4, 10_000);
+        let words = word_stream(11, &vocab, 0..20_000);
+        let top = vocab.word(1);
+        let count_top = words.iter().filter(|w| **w == top).count();
+        // Rank 1 frequency ≈ 1/H_10000 ≈ 10%; be generous.
+        assert!(
+            (1_200..=2_800).contains(&count_top),
+            "rank-1 word appeared {count_top} times"
+        );
+    }
+
+    #[test]
+    fn word_keys_collision_free_at_scale() {
+        let vocab = Vocabulary::new(5, 50_000);
+        let keys: HashSet<u64> =
+            (1..=50_000).map(|r| word_key(13, &vocab.word(r))).collect();
+        assert_eq!(keys.len(), 50_000, "unexpected digest collision");
+    }
+
+    #[test]
+    fn word_key_seed_sensitive() {
+        assert_ne!(word_key(1, "hello"), word_key(2, "hello"));
+        assert_ne!(word_key(1, "hello"), word_key(1, "hellp"));
+    }
+
+    #[test]
+    fn words_are_lowercase_ascii() {
+        let vocab = Vocabulary::new(6, 1_000);
+        for r in [1u64, 9, 99, 999] {
+            let w = vocab.word(r);
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()), "{w}");
+            assert!(!w.is_empty());
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Zipf / power-law sampling via rejection inversion.
+//!
+//! Samples ranks `k ∈ 1..=n` with probability proportional to `k^−s`.
+//! The implementation follows Hörmann & Derflinger, "Rejection-inversion
+//! to generate variates from monotone discrete distributions" (1996) —
+//! O(1) expected time per sample, no tables, exact for all `n` and all
+//! exponents `s ≥ 0` (including the paper's `s = 1`).
+
+use rand::rand_core::Rng;
+use rand::RngExt;
+
+/// Zipf distribution over `1..=n` with exponent `s ≥ 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// H(1.5) − h(1): lower bound of the inversion interval.
+    h_x1: f64,
+    /// H(n + 0.5): upper bound of the inversion interval.
+    h_n: f64,
+    /// Acceptance shortcut threshold.
+    threshold: f64,
+}
+
+impl Zipf {
+    /// Create a sampler for ranks `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0` or `s` is not finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one element");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        let mut z = Zipf { n, s, h_x1: 0.0, h_n: 0.0, threshold: 0.0 };
+        z.h_x1 = z.h_integral(1.5) - 1.0; // h(1) = 1 for every s
+        z.h_n = z.h_integral(n as f64 + 0.5);
+        z.threshold = 2.0 - z.h_integral_inverse(z.h_integral(2.5) - z.h(2.0));
+        z
+    }
+
+    /// The paper's workload: exponent 1 over `n` possible values.
+    pub fn power_law(n: u64) -> Self {
+        Self::new(n, 1.0)
+    }
+
+    /// Number of possible ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// `H(x) = ∫ t^−s dt`, normalized so the formulas below line up:
+    /// `(x^(1−s) − 1)/(1−s)` for `s ≠ 1`, `ln x` for `s = 1`.
+    fn h_integral(&self, x: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - self.s) * log_x) * log_x
+    }
+
+    /// `h(x) = x^−s`.
+    fn h(&self, x: f64) -> f64 {
+        (-self.s * x.ln()).exp()
+    }
+
+    /// Inverse of `h_integral`.
+    fn h_integral_inverse(&self, x: f64) -> f64 {
+        let mut t = x * (1.0 - self.s);
+        if t < -1.0 {
+            // Rounding can push t slightly below the pole; clamp.
+            t = -1.0;
+        }
+        (helper1(t) * x).exp()
+    }
+
+    /// Draw one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            // u uniform in (h_x1, h_n]; the interval is oriented with
+            // h_n > h_x1 for every s ≥ 0 and n ≥ 1.
+            let u = self.h_n + rng.random::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.h_integral_inverse(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            // Fast acceptance: x close enough to k.
+            if k - x <= self.threshold
+                || u >= self.h_integral(k + 0.5) - self.h(k)
+            {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Exact probability of rank `k` (for tests / expected-frequency
+    /// computations; O(n) normalization on first principles).
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!((1..=self.n).contains(&k));
+        let norm: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
+        (k as f64).powf(-self.s) / norm
+    }
+}
+
+/// `(exp(x) − 1)/x`, stable near 0.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `(exp(x) − 1)/x` variant used by `h_integral`, stable near 0.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccheck_hashing_stub::Mt64;
+
+    /// Minimal local MT64 stand-in to avoid a circular dev-dependency:
+    /// the workloads crate must not depend on ccheck-hashing, so tests use
+    /// a splitmix-based RNG implementing `rand`'s traits.
+    mod ccheck_hashing_stub {
+        use std::convert::Infallible;
+
+        pub struct Mt64(pub u64);
+
+        impl rand::rand_core::TryRng for Mt64 {
+            type Error = Infallible;
+            fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+                Ok((self.try_next_u64()? >> 32) as u32)
+            }
+            fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+                // splitmix64
+                self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                Ok(z ^ (z >> 31))
+            }
+            fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Infallible> {
+                for chunk in dst.chunks_mut(8) {
+                    let b = self.try_next_u64()?.to_le_bytes();
+                    chunk.copy_from_slice(&b[..chunk.len()]);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn samples_within_range() {
+        let z = Zipf::power_law(100);
+        let mut rng = Mt64(1);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn n_equals_one_always_returns_one() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = Mt64(2);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = Mt64(3);
+        let mut counts = [0u32; 10];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[(z.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let expected = trials as f64 / 10.0;
+            assert!(
+                (c as f64 - expected).abs() < 0.08 * expected,
+                "rank {}: {c} vs {expected}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_one_matches_pmf() {
+        let z = Zipf::power_law(8);
+        let mut rng = Mt64(4);
+        let trials = 400_000u32;
+        let mut counts = [0u32; 8];
+        for _ in 0..trials {
+            counts[(z.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for k in 1..=8u64 {
+            let expected = z.pmf(k) * f64::from(trials);
+            let got = f64::from(counts[(k - 1) as usize]);
+            assert!(
+                (got - expected).abs() < 0.05 * expected + 3.0 * expected.sqrt(),
+                "rank {k}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_two_heavier_head() {
+        let z1 = Zipf::new(1000, 1.0);
+        let z2 = Zipf::new(1000, 2.0);
+        let mut rng = Mt64(5);
+        let ones_s1 = (0..50_000).filter(|_| z1.sample(&mut rng) == 1).count();
+        let ones_s2 = (0..50_000).filter(|_| z2.sample(&mut rng) == 1).count();
+        assert!(ones_s2 > ones_s1, "higher exponent concentrates mass at rank 1");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for s in [0.0, 0.5, 1.0, 2.0] {
+            let z = Zipf::new(50, s);
+            let total: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "s={s}: {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_monotone_decreasing() {
+        let z = Zipf::power_law(20);
+        for k in 1..20 {
+            assert!(z.pmf(k) > z.pmf(k + 1));
+        }
+    }
+
+    #[test]
+    fn large_n_does_not_overflow_or_hang() {
+        let z = Zipf::power_law(100_000_000);
+        let mut rng = Mt64(6);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100_000_000).contains(&k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_elements_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be finite")]
+    fn negative_exponent_rejected() {
+        let _ = Zipf::new(5, -1.0);
+    }
+}

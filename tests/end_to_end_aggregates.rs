@@ -1,0 +1,124 @@
+//! End-to-end: min/max/median/average aggregations computed by the
+//! dataflow layer (with their natural certificates) and verified by the
+//! corresponding checkers — plus corruption of results *and*
+//! certificates.
+
+use ccheck::config::SumCheckConfig;
+use ccheck::{check_average, check_max, check_median_unique, check_min};
+use ccheck_dataflow::{average_by_key, max_by_key, median_by_key, min_by_key};
+use ccheck_hashing::{Hasher, HasherKind};
+use ccheck_net::run;
+use ccheck_workloads::{local_range, zipf_valued_pairs};
+
+const P: usize = 4;
+const N: usize = 6_000;
+
+fn sum_cfg() -> SumCheckConfig {
+    SumCheckConfig::new(6, 16, 9, HasherKind::Tab64)
+}
+
+fn workload(rank: usize) -> Vec<(u64, u64)> {
+    // 1 << 40 value range: collisions (non-unique values) are ~absent,
+    // satisfying the median checker's uniqueness requirement.
+    zipf_valued_pairs(13, 200, 1 << 40, local_range(N, rank, P))
+}
+
+#[test]
+fn min_max_verified_and_corruptions_caught() {
+    let verdicts = run(P, |comm| {
+        let data = workload(comm.rank());
+        let mins = min_by_key(comm, data.clone());
+        let maxs = max_by_key(comm, data.clone());
+        let ok_min = check_min(comm, &data, &mins.optima, &mins.locations);
+        let ok_max = check_max(comm, &data, &maxs.optima, &maxs.locations);
+
+        // Corrupt one asserted minimum (same corruption on every PE —
+        // replica consistency holds, the *value* is wrong).
+        let mut bad = mins.optima.clone();
+        bad[3].1 += 1;
+        let caught_value = !check_min(comm, &data, &bad, &mins.locations);
+
+        // Corrupt the certificate on one PE only (replica divergence).
+        let mut bad_loc = mins.locations.clone();
+        if comm.rank() == 2 {
+            bad_loc[0].1 = (bad_loc[0].1 + 1) % P as u64;
+        }
+        let caught_replica = !check_min(comm, &data, &mins.optima, &bad_loc);
+
+        ok_min && ok_max && caught_value && caught_replica
+    });
+    assert!(verdicts.iter().all(|&v| v));
+}
+
+#[test]
+fn median_verified_and_corruption_caught() {
+    let verdicts = run(P, |comm| {
+        let data = workload(comm.rank());
+        let hasher = Hasher::new(HasherKind::Tab64, 7);
+        let medians = median_by_key(comm, data.clone(), &hasher);
+        let ok = check_median_unique(comm, &data, &medians, sum_cfg(), 31);
+
+        // Swap two keys' medians — a subtle, structure-preserving fault.
+        let mut bad = medians.clone();
+        let (m0, m1) = (bad[0].1, bad[1].1);
+        bad[0].1 = m1;
+        bad[1].1 = m0;
+        let caught = !check_median_unique(comm, &data, &bad, sum_cfg(), 31);
+        ok && caught
+    });
+    assert!(verdicts.iter().all(|&v| v));
+}
+
+#[test]
+fn average_verified_and_certificate_attacks_caught() {
+    let verdicts = run(P, |comm| {
+        // Smaller value range than the other aggregate tests: average
+        // reconstruction (avg·count) must stay in the f64-exact domain.
+        let data = zipf_valued_pairs(13, 200, 1 << 20, local_range(N, comm.rank(), P));
+        let hasher = Hasher::new(HasherKind::Tab64, 7);
+        let avg = average_by_key(comm, data.clone(), &hasher);
+        let ok = check_average(comm, &data, &avg.averages, &avg.counts, sum_cfg(), 41);
+
+        // Attack 1: halve a count, double the average (reconstructed sum
+        // unchanged) — must be caught by the count check. Every PE calls
+        // check_average (SPMD); PEs without an even count leave their
+        // shard clean, and we assert that at least one PE attacked.
+        let mut bad_avgs = avg.averages.clone();
+        let mut bad_counts = avg.counts.clone();
+        let target = bad_counts.iter().position(|&(_, c)| c % 2 == 0 && c > 0);
+        if let Some(i) = target {
+            bad_counts[i].1 /= 2;
+            bad_avgs[i].1 *= 2.0;
+        }
+        let anyone_attacked = comm.allreduce(target.is_some(), |a, b| a || b);
+        assert!(anyone_attacked, "workload produced no even counts");
+        let caught_scaling =
+            !check_average(comm, &data, &bad_avgs, &bad_counts, sum_cfg(), 41);
+
+        // Attack 2: nudge an average by 1/count (keeps integrality).
+        let mut bad_avgs2 = avg.averages.clone();
+        assert!(!bad_avgs2.is_empty(), "every PE owns some keys here");
+        let c = avg.counts[0].1 as f64;
+        bad_avgs2[0].1 += 1.0 / c;
+        let caught_value =
+            !check_average(comm, &data, &bad_avgs2, &avg.counts, sum_cfg(), 41);
+
+        ok && caught_scaling && caught_value
+    });
+    assert!(verdicts.iter().all(|&v| v));
+}
+
+#[test]
+fn aggregates_work_on_single_pe() {
+    let verdicts = run(1, |comm| {
+        let data = workload(0);
+        let hasher = Hasher::new(HasherKind::Tab64, 7);
+        let mins = min_by_key(comm, data.clone());
+        let medians = median_by_key(comm, data.clone(), &hasher);
+        let avg = average_by_key(comm, data.clone(), &hasher);
+        check_min(comm, &data, &mins.optima, &mins.locations)
+            && check_median_unique(comm, &data, &medians, sum_cfg(), 1)
+            && check_average(comm, &data, &avg.averages, &avg.counts, sum_cfg(), 2)
+    });
+    assert!(verdicts[0]);
+}

@@ -1,0 +1,122 @@
+//! End-to-end: distributed sample sort / merge / union (dataflow) +
+//! their checkers, with Table 6 fault injection applied before sorting.
+
+use ccheck::permutation::{PermCheckConfig, PermChecker, PermMethod};
+use ccheck::sort::{check_merge, check_sorted};
+use ccheck::union::check_union;
+use ccheck_dataflow::{merge_sorted, sort, union};
+use ccheck_hashing::HasherKind;
+use ccheck_manip::PermManipulator;
+use ccheck_net::run;
+use ccheck_workloads::{local_range, uniform_ints};
+
+fn strong_perm() -> PermChecker {
+    PermChecker::new(PermCheckConfig::hash_sum(HasherKind::Tab64, 32), 55)
+}
+
+fn sort_pipeline(p: usize, n: usize, manip: Option<(PermManipulator, u64)>) -> Vec<bool> {
+    run(p, |comm| {
+        let input = uniform_ints(31, 100_000_000, local_range(n, comm.rank(), p));
+        let mut working = input.clone();
+        if let Some((m, seed)) = manip {
+            if comm.rank() == 0 {
+                let mut s = seed;
+                while !m.apply(&mut working, s) {
+                    s += 1;
+                }
+            }
+        }
+        let output = sort(comm, working);
+        check_sorted(comm, &input, &output, &strong_perm())
+    })
+}
+
+#[test]
+fn clean_sort_accepted_all_pe_counts() {
+    for p in [1, 2, 3, 4, 8] {
+        let verdicts = sort_pipeline(p, 4_000, None);
+        assert!(verdicts.iter().all(|&v| v), "p={p}");
+    }
+}
+
+#[test]
+fn every_perm_manipulator_detected() {
+    for manip in PermManipulator::all() {
+        let verdicts = sort_pipeline(4, 4_000, Some((manip, 7)));
+        assert!(
+            verdicts.iter().all(|&v| !v),
+            "{}: pre-sort corruption not detected",
+            manip.label()
+        );
+    }
+}
+
+#[test]
+fn polynomial_checkers_detect_too() {
+    for method in [PermMethod::PolyField, PermMethod::PolyGf64] {
+        let verdicts = run(3, |comm| {
+            let input = uniform_ints(8, 100_000_000, local_range(3_000, comm.rank(), 3));
+            let mut working = input.clone();
+            if comm.rank() == 1 {
+                let mut s = 0;
+                while !PermManipulator::Increment.apply(&mut working, s) {
+                    s += 1;
+                }
+            }
+            let output = sort(comm, working);
+            let perm = PermChecker::new(PermCheckConfig { method, iterations: 1 }, 9);
+            check_sorted(comm, &input, &output, &perm)
+        });
+        assert!(verdicts.iter().all(|&v| !v), "{method:?}");
+    }
+}
+
+#[test]
+fn merge_pipeline_checked() {
+    let verdicts = run(4, |comm| {
+        let a = uniform_ints(1, 1 << 30, local_range(2_000, comm.rank(), 4));
+        let b = uniform_ints(2, 1 << 30, local_range(3_000, comm.rank(), 4));
+        let sa = sort(comm, a);
+        let sb = sort(comm, b);
+        let merged = merge_sorted(comm, sa.clone(), sb.clone());
+        check_merge(comm, &sa, &sb, &merged, &strong_perm())
+    });
+    assert!(verdicts.iter().all(|&v| v));
+}
+
+#[test]
+fn merge_detects_dropped_run() {
+    let verdicts = run(2, |comm| {
+        let a = uniform_ints(1, 1 << 30, local_range(1_000, comm.rank(), 2));
+        let b = uniform_ints(2, 1 << 30, local_range(1_000, comm.rank(), 2));
+        let sa = sort(comm, a);
+        let sb = sort(comm, b);
+        let mut merged = merge_sorted(comm, sa.clone(), sb.clone());
+        if comm.rank() == 1 {
+            merged.pop(); // lose the largest element
+        }
+        check_merge(comm, &sa, &sb, &merged, &strong_perm())
+    });
+    assert!(verdicts.iter().all(|&v| !v));
+}
+
+#[test]
+fn union_pipeline_checked() {
+    let verdicts = run(3, |comm| {
+        let a = uniform_ints(5, 1 << 30, local_range(1_500, comm.rank(), 3));
+        let b = uniform_ints(6, 1 << 30, local_range(2_500, comm.rank(), 3));
+        let u = union(a.clone(), b.clone());
+        check_union(comm, &a, &b, &u, &strong_perm())
+    });
+    assert!(verdicts.iter().all(|&v| v));
+}
+
+#[test]
+fn sort_checker_catches_unsorted_but_permuted() {
+    // Bypass the sort: output = input (a valid permutation, not sorted).
+    let verdicts = run(3, |comm| {
+        let input = uniform_ints(31, 1 << 30, local_range(3_000, comm.rank(), 3));
+        check_sorted(comm, &input, &input, &strong_perm())
+    });
+    assert!(verdicts.iter().all(|&v| !v));
+}

@@ -1,0 +1,118 @@
+//! End-to-end: real distributed sum aggregation (dataflow) + the sum
+//! checker, across PE counts, with fault injection into the distributed
+//! result and communication-volume assertions.
+
+use ccheck::config::SumCheckConfig;
+use ccheck::SumChecker;
+use ccheck_dataflow::reduce_by_key;
+use ccheck_hashing::{Hasher, HasherKind};
+use ccheck_manip::SumManipulator;
+use ccheck_net::router::run_with_stats;
+use ccheck_net::run;
+use ccheck_workloads::{local_range, zipf_valued_pairs};
+
+fn cfg() -> SumCheckConfig {
+    SumCheckConfig::new(6, 16, 9, HasherKind::Tab64)
+}
+
+fn run_pipeline(p: usize, n: usize, manip: Option<(SumManipulator, u64)>) -> Vec<bool> {
+    run(p, |comm| {
+        let local = zipf_valued_pairs(21, 10_000, 1 << 32, local_range(n, comm.rank(), p));
+        let hasher = Hasher::new(HasherKind::Tab64, 5);
+        let mut output = reduce_by_key(comm, local.clone(), &hasher, |a, b| a.wrapping_add(b));
+        if let Some((m, seed)) = manip {
+            if comm.rank() == p - 1 {
+                // Retry seeds until the manipulation is semantic.
+                let mut s = seed;
+                while !m.apply(&mut output, s) {
+                    s += 1;
+                }
+            }
+        }
+        let checker = SumChecker::new(cfg(), 777);
+        checker.check_distributed(comm, &local, &output)
+    })
+}
+
+#[test]
+fn clean_pipeline_accepted_all_pe_counts() {
+    for p in [1, 2, 3, 4, 8] {
+        let verdicts = run_pipeline(p, 4_000, None);
+        assert!(verdicts.iter().all(|&v| v), "p={p}: {verdicts:?}");
+    }
+}
+
+#[test]
+fn every_manipulator_detected() {
+    // δ ≈ 9e-8 for 6×16 m9: one trial per manipulator suffices.
+    for manip in SumManipulator::all() {
+        let verdicts = run_pipeline(4, 4_000, Some((manip, 1)));
+        assert!(
+            verdicts.iter().all(|&v| !v),
+            "{}: corruption not detected",
+            manip.label()
+        );
+    }
+}
+
+#[test]
+fn all_pes_agree_on_verdict() {
+    for manip in [None, Some((SumManipulator::IncKey, 3))] {
+        let verdicts = run_pipeline(4, 2_000, manip);
+        assert!(verdicts.windows(2).all(|w| w[0] == w[1]));
+    }
+}
+
+#[test]
+fn checker_volume_sublinear_in_input() {
+    // Doubling n must not change the checker's communication volume.
+    let volume = |n: usize| {
+        let (_, snap) = run_with_stats(4, |comm| {
+            let local = zipf_valued_pairs(9, 10_000, 1 << 20, local_range(n, comm.rank(), 4));
+            let hasher = Hasher::new(HasherKind::Tab64, 5);
+            let output = reduce_by_key(comm, local.clone(), &hasher, |a, b| a.wrapping_add(b));
+            let before = comm.stats().snapshot();
+            let checker = SumChecker::new(cfg(), 1);
+            assert!(checker.check_distributed(comm, &local, &output));
+            comm.stats().snapshot().since(&before).bottleneck_volume()
+        });
+        snap.total_bytes() // total including operation; per-phase below
+    };
+    // Measure the checker phase precisely via the per-PE deltas.
+    let checker_volume = |n: usize| {
+        let (deltas, _) = run_with_stats(4, |comm| {
+            let local = zipf_valued_pairs(9, 10_000, 1 << 20, local_range(n, comm.rank(), 4));
+            let hasher = Hasher::new(HasherKind::Tab64, 5);
+            let output = reduce_by_key(comm, local.clone(), &hasher, |a, b| a.wrapping_add(b));
+            let before = comm.stats().snapshot();
+            let checker = SumChecker::new(cfg(), 1);
+            assert!(checker.check_distributed(comm, &local, &output));
+            comm.stats().snapshot().since(&before).per_pe()[comm.rank()].bytes_sent
+        });
+        deltas.iter().sum::<u64>()
+    };
+    let small = checker_volume(1_000);
+    let large = checker_volume(16_000);
+    assert_eq!(small, large, "checker traffic grew with n");
+    // While the operation's traffic does grow:
+    assert!(volume(16_000) > volume(1_000));
+}
+
+#[test]
+fn works_with_xor_reduction() {
+    // xor satisfies the ⊕ requirements of Theorem 1 as well.
+    let verdicts = run(3, |comm| {
+        let local = zipf_valued_pairs(4, 1_000, 1 << 30, local_range(3_000, comm.rank(), 3));
+        let hasher = Hasher::new(HasherKind::Tab64, 5);
+        let output = reduce_by_key(comm, local.clone(), &hasher, |a, b| a ^ b);
+        // Build a checker over the xor-aggregation by checking sums of
+        // xor is NOT valid; instead verify the checker rejects when fed
+        // mismatched semantics — i.e. this documents that the checker
+        // must be instantiated per reduce operator. Here: compare the
+        // xor output against a sum checker — should reject (almost
+        // surely) because the asserted "sums" are xors.
+        let checker = SumChecker::new(cfg(), 3);
+        checker.check_distributed(comm, &local, &output)
+    });
+    assert!(verdicts.iter().all(|&v| !v), "xor output must not pass a sum check");
+}
