@@ -20,7 +20,11 @@ fn bench_collectives(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("broadcast_vec", bytes), |b| {
             b.iter(|| {
                 run(p, |comm| {
-                    let v = if comm.rank() == 0 { vec![7u8; bytes] } else { vec![] };
+                    let v = if comm.rank() == 0 {
+                        vec![7u8; bytes]
+                    } else {
+                        vec![]
+                    };
                     comm.broadcast(0, v).len()
                 })
             })
@@ -44,7 +48,10 @@ fn bench_collectives(c: &mut Criterion) {
     });
     // Tree vs butterfly allreduce on an 8k-word payload: the bandwidth
     // story behind T_coll (§2).
-    for (name, butterfly) in [("allreduce_tree_8k", false), ("allreduce_butterfly_8k", true)] {
+    for (name, butterfly) in [
+        ("allreduce_tree_8k", false),
+        ("allreduce_butterfly_8k", true),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 run(p, |comm| {
@@ -52,10 +59,8 @@ fn bench_collectives(c: &mut Criterion) {
                     if butterfly {
                         comm.allreduce_butterfly(v, |a, b| a + b).len()
                     } else {
-                        comm.allreduce(v, |a, b| {
-                            a.iter().zip(&b).map(|(x, y)| x + y).collect()
-                        })
-                        .len()
+                        comm.allreduce(v, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect())
+                            .len()
                     }
                 })
             })

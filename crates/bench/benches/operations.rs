@@ -59,8 +59,7 @@ fn bench_sort(c: &mut Criterion) {
             run(P, |comm| {
                 let local = uniform_ints(3, 100_000_000, local_range(N, comm.rank(), P));
                 let out = sort(comm, local.clone());
-                let perm =
-                    PermChecker::new(PermCheckConfig::hash_sum(HasherKind::Tab32, 32), 8);
+                let perm = PermChecker::new(PermCheckConfig::hash_sum(HasherKind::Tab32, 32), 8);
                 assert!(check_sorted(comm, &local, &out, &perm));
                 out.len()
             })

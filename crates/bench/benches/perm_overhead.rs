@@ -19,8 +19,20 @@ fn bench_fingerprints(c: &mut Criterion) {
         ("CRC32", PermCheckConfig::hash_sum(HasherKind::Crc32c, 32)),
         ("Tab32", PermCheckConfig::hash_sum(HasherKind::Tab32, 32)),
         ("Tab64", PermCheckConfig::hash_sum(HasherKind::Tab64, 32)),
-        ("PolyF61", PermCheckConfig { method: PermMethod::PolyField, iterations: 1 }),
-        ("PolyGF64", PermCheckConfig { method: PermMethod::PolyGf64, iterations: 1 }),
+        (
+            "PolyF61",
+            PermCheckConfig {
+                method: PermMethod::PolyField,
+                iterations: 1,
+            },
+        ),
+        (
+            "PolyGF64",
+            PermCheckConfig {
+                method: PermMethod::PolyGf64,
+                iterations: 1,
+            },
+        ),
     ];
     for (name, cfg) in configs {
         let checker = PermChecker::new(cfg, 9);

@@ -41,7 +41,11 @@ fn main() {
     let reps = env_param("CCHECK_REPS", 10);
     let keys = zipf_pairs(42, 1_000_000, 0..n);
     let values = uniform_ints(43, 1 << 32, 0..n);
-    let pairs: Vec<(u64, u64)> = keys.into_iter().zip(values).map(|((k, _), v)| (k, v)).collect();
+    let pairs: Vec<(u64, u64)> = keys
+        .into_iter()
+        .zip(values)
+        .map(|((k, _), v)| (k, v))
+        .collect();
 
     println!("Ablation 1: iterations × buckets at a ~2048-bit table ({n} elements)\n");
     println!(
@@ -61,7 +65,12 @@ fn main() {
         );
     }
     let opt = optimize(2048, 1e-10).expect("feasible");
-    let opt_cfg = SumCheckConfig::new(opt.iterations, opt.buckets, opt.log2_rhat, HasherKind::Crc32c);
+    let opt_cfg = SumCheckConfig::new(
+        opt.iterations,
+        opt.buckets,
+        opt.log2_rhat,
+        HasherKind::Crc32c,
+    );
     println!(
         "{:>18} {:>8} {:>12.1e} {:>14.1}   ← Table 2 optimizer (δ target 1e-10)",
         opt_cfg.label(),

@@ -58,7 +58,9 @@ fn make_data(p: usize, n_per_pe: usize) -> Vec<Vec<(u64, u64)>> {
 fn main() {
     let n_per_pe = env_param("CCHECK_N_PER_PE", 125_000);
     let reps = env_param("CCHECK_REPS", 3);
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4);
     let configs = table5_configs();
 
     println!(
@@ -101,7 +103,10 @@ fn main() {
     // per-PE bandwidth ≈ 0.25 GB/s) — the setting in which the paper's
     // reduction traffic dominates from 4 nodes on.
     let models = [
-        ("dedicated NIC per PE: α=1.5µs, 1.25 GB/s", CostModel::default()),
+        (
+            "dedicated NIC per PE: α=1.5µs, 1.25 GB/s",
+            CostModel::default(),
+        ),
         (
             "node-shared NIC (28 PEs/node): α=1.5µs, 0.045 GB/s per PE",
             CostModel::new(1.5e-6, 1.25e9 / 28.0),

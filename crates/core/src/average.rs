@@ -87,7 +87,11 @@ mod tests {
 
     /// Per-PE inputs plus the correct (averages, counts) shards
     /// (round-robin distributed).
-    type Instance = (Vec<Vec<(u64, u64)>>, Vec<Vec<(u64, f64)>>, Vec<Vec<(u64, u64)>>);
+    type Instance = (
+        Vec<Vec<(u64, u64)>>,
+        Vec<Vec<(u64, f64)>>,
+        Vec<Vec<(u64, u64)>>,
+    );
 
     fn make_instance(p: usize) -> Instance {
         let inputs: Vec<Vec<(u64, u64)>> = (0..p as u64)

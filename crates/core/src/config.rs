@@ -34,7 +34,12 @@ impl SumCheckConfig {
             (1..=62).contains(&log2_rhat),
             "log2_rhat must be in 1..=62 (got {log2_rhat})"
         );
-        Self { iterations, buckets, log2_rhat, hasher }
+        Self {
+            iterations,
+            buckets,
+            log2_rhat,
+            hasher,
+        }
     }
 
     /// `r̂ = 2^m`.
@@ -51,7 +56,8 @@ impl SumCheckConfig {
     /// Overall failure probability bound `δ = (1/r̂ + 1/d)^its` — the
     /// "achieved δ" / "failure rate" column of Tables 2 and 3.
     pub fn failure_bound(&self) -> f64 {
-        self.single_iteration_failure_bound().powi(self.iterations as i32)
+        self.single_iteration_failure_bound()
+            .powi(self.iterations as i32)
     }
 
     /// Size of the minireduction table in bits: `its · d · ⌈log₂ 2r̂⌉`
@@ -92,7 +98,12 @@ impl SumCheckConfig {
         if iterations < 1 || buckets < 2 || !(1..=62).contains(&log2_rhat) {
             return Err(format!("parameters out of range in '{label}'"));
         }
-        Ok(Self { iterations, buckets, log2_rhat, hasher })
+        Ok(Self {
+            iterations,
+            buckets,
+            log2_rhat,
+            hasher,
+        })
     }
 }
 
@@ -193,8 +204,16 @@ mod tests {
     #[test]
     fn parse_rejects_malformed() {
         for bad in [
-            "", "4×8", "4×8 CRC", "4×8 BOGUS m5", "0×8 CRC m5", "4×1 CRC m5",
-            "4×8 CRC m0", "4×8 CRC m63", "4×8 CRC 5", "a×8 CRC m5",
+            "",
+            "4×8",
+            "4×8 CRC",
+            "4×8 BOGUS m5",
+            "0×8 CRC m5",
+            "4×1 CRC m5",
+            "4×8 CRC m0",
+            "4×8 CRC m63",
+            "4×8 CRC 5",
+            "a×8 CRC m5",
         ] {
             assert!(SumCheckConfig::parse(bad).is_err(), "accepted '{bad}'");
         }
@@ -205,9 +224,7 @@ mod tests {
         let base = SumCheckConfig::new(1, 8, 5, HasherKind::Crc32c);
         let more = SumCheckConfig::new(4, 8, 5, HasherKind::Crc32c);
         assert!(more.failure_bound() < base.failure_bound());
-        assert!(
-            (base.failure_bound().powi(4) - more.failure_bound()).abs() < 1e-15
-        );
+        assert!((base.failure_bound().powi(4) - more.failure_bound()).abs() < 1e-15);
     }
 
     #[test]

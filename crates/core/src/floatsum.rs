@@ -35,7 +35,10 @@ impl FixedPoint {
     /// Create a codec; `frac_bits ≤ 52` (beyond f64 mantissa precision
     /// the extra bits are meaningless).
     pub fn new(frac_bits: u32) -> Self {
-        assert!(frac_bits <= 52, "more than 52 fractional bits is meaningless for f64");
+        assert!(
+            frac_bits <= 52,
+            "more than 52 fractional bits is meaningless for f64"
+        );
         Self { frac_bits }
     }
 
@@ -85,7 +88,10 @@ impl FloatSumChecker {
     /// Build from a sum-checker configuration, a codec, and the shared
     /// seed.
     pub fn new(cfg: SumCheckConfig, codec: FixedPoint, seed: u64) -> Self {
-        Self { codec, inner: SumChecker::new(cfg, seed) }
+        Self {
+            codec,
+            inner: SumChecker::new(cfg, seed),
+        }
     }
 
     /// The codec in use.
@@ -223,11 +229,7 @@ mod tests {
         // The motivating instability: a+b−a computed naively in f64 loses
         // b's low bits; on the tick grid it cannot.
         let c = FixedPoint::new(20);
-        let input: Vec<(u64, f64)> = vec![
-            (1, 1.0e9),
-            (1, 0.25),
-            (1, -1.0e9),
-        ];
+        let input: Vec<(u64, f64)> = vec![(1, 1.0e9), (1, 0.25), (1, -1.0e9)];
         let exact = aggregate_ticks(c, &input).unwrap();
         assert_eq!(exact, vec![(1, 0.25)]);
         // A faulty implementation that summed in f32 would report 0.0.

@@ -84,14 +84,18 @@ fn check_median_impl(
     let encodable: Replicated = (
         asserted.iter().map(|&(k, m)| (k, m.to_bits())).collect(),
         certs
-            .map(|cs| cs.iter().map(|c| (c.eq_below, c.eq_above, c.eq_at)).collect())
+            .map(|cs| {
+                cs.iter()
+                    .map(|c| (c.eq_below, c.eq_above, c.eq_at))
+                    .collect()
+            })
             .unwrap_or_default(),
     );
     let replicas_ok = replicated_consistent(comm, &encodable, seed ^ 0x6D65_6469_616E);
 
-    let mut local_ok = certs.is_none_or(|cs| {
-        asserted.len() == cs.len() && cs.iter().all(|c| c.eq_at <= 1)
-    }) && asserted.windows(2).all(|w| w[0].0 < w[1].0);
+    let mut local_ok = certs
+        .is_none_or(|cs| asserted.len() == cs.len() && cs.iter().all(|c| c.eq_at <= 1))
+        && asserted.windows(2).all(|w| w[0].0 < w[1].0);
 
     // Map elements to the two signed streams of Algorithm 2 (extended
     // with the equality stream for tie-breaking).
@@ -138,25 +142,22 @@ fn check_median_impl(
             // PE; fed to the checker only from PE 0 so the replicas are not
             // counted p times).
             type SignedPairs = Vec<(u64, i64)>;
-            let (balance_target, equals_target): (SignedPairs, SignedPairs) =
-                if comm.rank() == 0 {
-                    (
-                        asserted
-                            .iter()
-                            .zip(cs)
-                            .map(|(&(k, _), c)| (k, c.eq_below as i64 - c.eq_above as i64))
-                            .collect(),
-                        asserted
-                            .iter()
-                            .zip(cs)
-                            .map(|(&(k, _), c)| {
-                                (k, (c.eq_below + c.eq_above + c.eq_at) as i64)
-                            })
-                            .collect(),
-                    )
-                } else {
-                    (Vec::new(), Vec::new())
-                };
+            let (balance_target, equals_target): (SignedPairs, SignedPairs) = if comm.rank() == 0 {
+                (
+                    asserted
+                        .iter()
+                        .zip(cs)
+                        .map(|(&(k, _), c)| (k, c.eq_below as i64 - c.eq_above as i64))
+                        .collect(),
+                    asserted
+                        .iter()
+                        .zip(cs)
+                        .map(|(&(k, _), c)| (k, (c.eq_below + c.eq_above + c.eq_at) as i64))
+                        .collect(),
+                )
+            } else {
+                (Vec::new(), Vec::new())
+            };
 
             // Two sum checks with independent seeds: the per-key balance
             // (#above − #below = eq_below − eq_above ⟺
@@ -167,8 +168,7 @@ fn check_median_impl(
             let ok_balance =
                 balance_checker.check_distributed_signed(comm, &balance, &balance_target);
             let equals_checker = SumChecker::new(cfg, seed ^ 0xE9A1);
-            let ok_equals =
-                equals_checker.check_distributed_signed(comm, &equals, &equals_target);
+            let ok_equals = equals_checker.check_distributed_signed(comm, &equals, &equals_target);
             replicas_ok && ok_balance && ok_equals
         }
     }
@@ -310,14 +310,14 @@ mod tests {
         // Tie-breaking: one 5 below the cut, one above, one at the cut.
         let input: Vec<(u64, u64)> = vec![(1, 3), (1, 5), (1, 5), (1, 5), (1, 9)];
         let asserted = vec![(1u64, 5.0f64)];
-        let certs = vec![MedianTieCert { eq_below: 1, eq_above: 1, eq_at: 1 }];
+        let certs = vec![MedianTieCert {
+            eq_below: 1,
+            eq_above: 1,
+            eq_at: 1,
+        }];
         let verdicts = run(2, |comm| {
-            let local: Vec<(u64, u64)> = input
-                .iter()
-                .copied()
-                .skip(comm.rank())
-                .step_by(2)
-                .collect();
+            let local: Vec<(u64, u64)> =
+                input.iter().copied().skip(comm.rank()).step_by(2).collect();
             check_median_with_cert(comm, &local, &asserted, &certs, cfg(), 5)
         });
         assert!(verdicts.iter().all(|&v| v));
@@ -332,14 +332,14 @@ mod tests {
         // Cheating cert: claims the one "3" sits at the cut with two
         // below — but only one element equals 3, so the equality-count
         // stream disagrees.
-        let certs = vec![MedianTieCert { eq_below: 2, eq_above: 0, eq_at: 1 }];
+        let certs = vec![MedianTieCert {
+            eq_below: 2,
+            eq_above: 0,
+            eq_at: 1,
+        }];
         let verdicts = run(2, |comm| {
-            let local: Vec<(u64, u64)> = input
-                .iter()
-                .copied()
-                .skip(comm.rank())
-                .step_by(2)
-                .collect();
+            let local: Vec<(u64, u64)> =
+                input.iter().copied().skip(comm.rank()).step_by(2).collect();
             check_median_with_cert(comm, &local, &asserted, &certs, cfg(), 5)
         });
         assert!(verdicts.iter().all(|&v| !v));

@@ -67,7 +67,10 @@ pub fn check_extrema(
         local_ok = false;
     }
     // Certificate ranks must be valid PE ids.
-    if locations.iter().any(|&(_, rank)| rank >= comm.size() as u64) {
+    if locations
+        .iter()
+        .any(|&(_, rank)| rank >= comm.size() as u64)
+    {
         local_ok = false;
     }
 
@@ -116,8 +119,7 @@ pub fn check_extrema(
             })
             .collect();
         if !mine.is_empty() {
-            let local_set: std::collections::HashSet<(u64, u64)> =
-                input.iter().copied().collect();
+            let local_set: std::collections::HashSet<(u64, u64)> = input.iter().copied().collect();
             if mine.iter().any(|pair| !local_set.contains(pair)) {
                 local_ok = false;
             }
@@ -145,8 +147,7 @@ pub fn check_extrema_bitvector(
     input: &[(u64, u64)],
     asserted: &[(u64, u64)],
 ) -> bool {
-    let replicas_ok =
-        replicated_consistent(comm, &asserted.to_vec(), 0x6269_7476_6563);
+    let replicas_ok = replicated_consistent(comm, &asserted.to_vec(), 0x6269_7476_6563);
     let sorted_ok = asserted.windows(2).all(|w| w[0].0 < w[1].0);
 
     // Property (a) + key coverage, locally.
@@ -443,8 +444,7 @@ mod tests {
         // Volume tracks k (output keys), not n (input size).
         let volume = |n: u64, k: u64| {
             let (_, snap) = run_with_stats(2, |comm| {
-                let input: Vec<(u64, u64)> =
-                    (0..n).map(|i| (i % k, 100 + (i / k) % 50)).collect();
+                let input: Vec<(u64, u64)> = (0..n).map(|i| (i % k, 100 + (i / k) % 50)).collect();
                 let mut best: HashMap<u64, u64> = HashMap::new();
                 for &(key, v) in &input {
                     best.entry(key).and_modify(|b| *b = v.min(*b)).or_insert(v);

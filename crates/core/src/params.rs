@@ -40,7 +40,10 @@ pub fn achieved_delta(iterations: usize, buckets: usize, log2_rhat: u32) -> f64 
 /// configuration within `b` bits reaches the target δ (only possible for
 /// tiny budgets and extreme δ).
 pub fn optimize(budget_bits: u64, target_delta: f64) -> Option<OptimalConfig> {
-    assert!(budget_bits >= 8, "budget below a single byte is meaningless");
+    assert!(
+        budget_bits >= 8,
+        "budget below a single byte is meaningless"
+    );
     assert!(
         target_delta > 0.0 && target_delta < 1.0,
         "δ must be in (0, 1)"
@@ -72,9 +75,7 @@ pub fn optimize(budget_bits: u64, target_delta: f64) -> Option<OptimalConfig> {
                     achieved_delta: delta,
                     bits_used: d as u64 * bits_per_bucket * its as u64,
                 };
-                let better = best
-                    .map(|b| delta < b.achieved_delta)
-                    .unwrap_or(true);
+                let better = best.map(|b| delta < b.achieved_delta).unwrap_or(true);
                 if better {
                     best = Some(candidate);
                 }

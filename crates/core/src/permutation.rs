@@ -56,7 +56,10 @@ impl PermCheckConfig {
     /// (`CRC⟨log H⟩` / `Tab⟨log H⟩`).
     pub fn hash_sum(hasher: HasherKind, log_h: u32) -> Self {
         assert!((1..=32).contains(&log_h), "log_h must be in 1..=32");
-        Self { method: PermMethod::HashSum { hasher, log_h }, iterations: 1 }
+        Self {
+            method: PermMethod::HashSum { hasher, log_h },
+            iterations: 1,
+        }
     }
 
     /// Upper bound on the failure probability of one instance, for `n`
@@ -72,7 +75,8 @@ impl PermCheckConfig {
 
     /// Overall failure bound after all iterations.
     pub fn failure_bound(&self, n: u64) -> f64 {
-        self.single_instance_failure_bound(n).powi(self.iterations as i32)
+        self.single_instance_failure_bound(n)
+            .powi(self.iterations as i32)
     }
 }
 
@@ -111,7 +115,11 @@ impl PermChecker {
     /// Local additive hash-sum fingerprint (Lemma 4, exact accumulation).
     fn hash_sum_local(&self, iter: usize, hasher: HasherKind, log_h: u32, data: &[u64]) -> u128 {
         let h = Hasher::new(hasher, self.instance_seed(iter));
-        let mask = if log_h == 64 { u64::MAX } else { (1u64 << log_h) - 1 };
+        let mask = if log_h == 64 {
+            u64::MAX
+        } else {
+            (1u64 << log_h) - 1
+        };
         let mut acc: u128 = 0;
         for &x in data {
             acc += u128::from(h.hash(x) & mask);
@@ -157,8 +165,7 @@ impl PermChecker {
         // Global length equality first.
         let n_in: u64 = inputs.iter().map(|s| s.len() as u64).sum();
         let n_out = output.len() as u64;
-        let (tot_in, tot_out) =
-            comm.allreduce((n_in, n_out), |a, b| (a.0 + b.0, a.1 + b.1));
+        let (tot_in, tot_out) = comm.allreduce((n_in, n_out), |a, b| (a.0 + b.0, a.1 + b.1));
         if tot_in != tot_out {
             return false;
         }
@@ -178,9 +185,9 @@ impl PermChecker {
                 }
                 PermMethod::PolyField => {
                     let z = Mersenne61::from_u64(self.eval_point(iter));
-                    let in_prod = inputs
-                        .iter()
-                        .fold(1u64, |acc, s| Mersenne61::mul(acc, self.poly_field_local(z, s)));
+                    let in_prod = inputs.iter().fold(1u64, |acc, s| {
+                        Mersenne61::mul(acc, self.poly_field_local(z, s))
+                    });
                     let out_prod = self.poly_field_local(z, output);
                     let (gi, go) = comm.allreduce((in_prod, out_prod), |a, b| {
                         (Mersenne61::mul(a.0, b.0), Mersenne61::mul(a.1, b.1))
@@ -209,9 +216,7 @@ impl PermChecker {
     /// methods the zero-extended product.
     pub fn local_fingerprint(&self, iter: usize, data: &[u64]) -> u128 {
         match self.cfg.method {
-            PermMethod::HashSum { hasher, log_h } => {
-                self.hash_sum_local(iter, hasher, log_h, data)
-            }
+            PermMethod::HashSum { hasher, log_h } => self.hash_sum_local(iter, hasher, log_h, data),
             PermMethod::PolyField => {
                 let z = Mersenne61::from_u64(self.eval_point(iter));
                 u128::from(self.poly_field_local(z, data))
@@ -254,8 +259,14 @@ mod tests {
         vec![
             PermCheckConfig::hash_sum(HasherKind::Tab64, 32),
             PermCheckConfig::hash_sum(HasherKind::Crc32c, 16),
-            PermCheckConfig { method: PermMethod::PolyField, iterations: 1 },
-            PermCheckConfig { method: PermMethod::PolyGf64, iterations: 1 },
+            PermCheckConfig {
+                method: PermMethod::PolyField,
+                iterations: 1,
+            },
+            PermCheckConfig {
+                method: PermMethod::PolyGf64,
+                iterations: 1,
+            },
         ]
     }
 
@@ -268,7 +279,9 @@ mod tests {
 
     #[test]
     fn accepts_true_permutations() {
-        let data: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E3779B9) % 100_000).collect();
+        let data: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B9) % 100_000)
+            .collect();
         let perm = shuffled(&data);
         for cfg in all_methods() {
             for seed in 0..10 {
@@ -353,7 +366,10 @@ mod tests {
     #[test]
     fn iterations_boost_detection() {
         let single = PermCheckConfig::hash_sum(HasherKind::Tab32, 1);
-        let boosted = PermCheckConfig { iterations: 8, ..single };
+        let boosted = PermCheckConfig {
+            iterations: 8,
+            ..single
+        };
         let data: Vec<u64> = (0..200u64).collect();
         let mut acc_single = 0;
         let mut acc_boosted = 0;
@@ -367,7 +383,10 @@ mod tests {
                 acc_boosted += 1;
             }
         }
-        assert!(acc_boosted * 10 < acc_single, "{acc_boosted} vs {acc_single}");
+        assert!(
+            acc_boosted * 10 < acc_single,
+            "{acc_boosted} vs {acc_single}"
+        );
     }
 
     #[test]
@@ -379,8 +398,7 @@ mod tests {
                 let input: Vec<u64> = (0..250).map(|i| rank * 250 + i).collect();
                 // Output = global input redistributed: PE r gets elements
                 // congruent r mod 4, reversed.
-                let mut output: Vec<u64> =
-                    (0..1000u64).filter(|x| x % 4 == rank).rev().collect();
+                let mut output: Vec<u64> = (0..1000u64).filter(|x| x % 4 == rank).rev().collect();
                 if corrupt && rank == 3 {
                     output[7] ^= 0x40;
                 }
@@ -394,7 +412,10 @@ mod tests {
     #[test]
     fn distributed_poly_methods() {
         for method in [PermMethod::PolyField, PermMethod::PolyGf64] {
-            let cfg = PermCheckConfig { method, iterations: 1 };
+            let cfg = PermCheckConfig {
+                method,
+                iterations: 1,
+            };
             let verdicts = run(3, |comm| {
                 let rank = comm.rank() as u64;
                 let input: Vec<u64> = (0..100).map(|i| rank * 100 + i).collect();
@@ -432,8 +453,7 @@ mod tests {
             let (_, snap) = run_with_stats(4, |comm| {
                 let input: Vec<u64> = (0..n).collect();
                 let output: Vec<u64> = (0..n).rev().collect();
-                let checker =
-                    PermChecker::new(PermCheckConfig::hash_sum(HasherKind::Tab64, 32), 2);
+                let checker = PermChecker::new(PermCheckConfig::hash_sum(HasherKind::Tab64, 32), 2);
                 checker.check(comm, &input, &output)
             });
             snap.total_bytes()
@@ -443,7 +463,10 @@ mod tests {
 
     #[test]
     fn poly_field_canonicalizes_oversized_elements() {
-        let cfg = PermCheckConfig { method: PermMethod::PolyField, iterations: 1 };
+        let cfg = PermCheckConfig {
+            method: PermMethod::PolyField,
+            iterations: 1,
+        };
         let checker = PermChecker::new(cfg, 1);
         // Never rejects a correct result, even outside the universe bound.
         assert!(checker.check_local(&[u64::MAX, 5], &[5, u64::MAX]));

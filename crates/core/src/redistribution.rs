@@ -34,7 +34,10 @@ pub fn pair_digest(seed: u64, key: u64, value: u64) -> u64 {
 }
 
 fn digest_all(seed: u64, pairs: &[(u64, u64)]) -> Vec<u64> {
-    pairs.iter().map(|&(k, v)| pair_digest(seed, k, v)).collect()
+    pairs
+        .iter()
+        .map(|&(k, v)| pair_digest(seed, k, v))
+        .collect()
 }
 
 /// Check the redistribution phase of GroupBy (Corollary 14).
@@ -116,24 +119,16 @@ pub fn check_range_redistribution(
     // partition_point convention: dest = #splitters < key).
     if local_ok {
         let in_range = |k: u64| splitters.partition_point(|&sp| sp < k) == my_rank;
-        local_ok = r_post.iter().all(|&(k, _)| in_range(k))
-            && s_post.iter().all(|&(k, _)| in_range(k));
+        local_ok =
+            r_post.iter().all(|&(k, _)| in_range(k)) && s_post.iter().all(|&(k, _)| in_range(k));
     }
     // Splitters must be replicated consistently.
     let splitters_ok =
         crate::integrity::replicated_consistent(comm, &splitters.to_vec(), seed ^ 0x53504C);
 
     // Boundary exchange over the combined key range of both relations.
-    let local_min = r_post
-        .iter()
-        .chain(s_post)
-        .map(|&(k, _)| k)
-        .min();
-    let local_max = r_post
-        .iter()
-        .chain(s_post)
-        .map(|&(k, _)| k)
-        .max();
+    let local_min = r_post.iter().chain(s_post).map(|&(k, _)| k).min();
+    let local_max = r_post.iter().chain(s_post).map(|&(k, _)| k).max();
     let summary = local_min.zip(local_max);
     let all: Vec<Option<(u64, u64)>> = comm.allgather(summary);
     let mut boundary_ok = true;
@@ -148,7 +143,11 @@ pub fn check_range_redistribution(
     }
 
     let digest_seed = seed ^ 0x736F_7274_6A6E;
-    let ok_r = perm.check(comm, &digest_all(digest_seed, r_pre), &digest_all(digest_seed, r_post));
+    let ok_r = perm.check(
+        comm,
+        &digest_all(digest_seed, r_pre),
+        &digest_all(digest_seed, r_post),
+    );
     let ok_s = perm.check(
         comm,
         &digest_all(digest_seed ^ 1, s_pre),
@@ -174,11 +173,7 @@ mod tests {
     }
 
     /// Simulate a correct redistribution of `pre` shares.
-    fn redistribute(
-        pres: &[Vec<(u64, u64)>],
-        hasher: &Hasher,
-        p: usize,
-    ) -> Vec<Vec<(u64, u64)>> {
+    fn redistribute(pres: &[Vec<(u64, u64)>], hasher: &Hasher, p: usize) -> Vec<Vec<(u64, u64)>> {
         let mut posts = vec![Vec::new(); p];
         for pre in pres {
             for &(k, v) in pre {
@@ -197,14 +192,7 @@ mod tests {
         let posts = redistribute(&pres, &partition_hasher(), p);
         let verdicts = run(p, |comm| {
             let r = comm.rank();
-            check_groupby_redistribution(
-                comm,
-                &pres[r],
-                &posts[r],
-                &partition_hasher(),
-                &perm(),
-                1,
-            )
+            check_groupby_redistribution(comm, &pres[r], &posts[r], &partition_hasher(), &perm(), 1)
         });
         assert!(verdicts.iter().all(|&v| v));
     }
@@ -221,14 +209,7 @@ mod tests {
         posts[1].push(pair);
         let verdicts = run(p, |comm| {
             let r = comm.rank();
-            check_groupby_redistribution(
-                comm,
-                &pres[r],
-                &posts[r],
-                &partition_hasher(),
-                &perm(),
-                1,
-            )
+            check_groupby_redistribution(comm, &pres[r], &posts[r], &partition_hasher(), &perm(), 1)
         });
         assert!(verdicts.iter().all(|&v| !v));
     }
@@ -243,14 +224,7 @@ mod tests {
         posts[2][0].1 ^= 0x8; // bitflip during transit
         let verdicts = run(p, |comm| {
             let r = comm.rank();
-            check_groupby_redistribution(
-                comm,
-                &pres[r],
-                &posts[r],
-                &partition_hasher(),
-                &perm(),
-                1,
-            )
+            check_groupby_redistribution(comm, &pres[r], &posts[r], &partition_hasher(), &perm(), 1)
         });
         assert!(verdicts.iter().all(|&v| !v));
     }
@@ -265,14 +239,7 @@ mod tests {
         posts[0].pop();
         let verdicts = run(p, |comm| {
             let r = comm.rank();
-            check_groupby_redistribution(
-                comm,
-                &pres[r],
-                &posts[r],
-                &partition_hasher(),
-                &perm(),
-                1,
-            )
+            check_groupby_redistribution(comm, &pres[r], &posts[r], &partition_hasher(), &perm(), 1)
         });
         assert!(verdicts.iter().all(|&v| !v));
     }

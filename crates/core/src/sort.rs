@@ -47,12 +47,7 @@ pub fn check_boundaries(comm: &mut Comm, data: &[u64]) -> bool {
 /// One-sided error: correct results are always accepted; an unsorted or
 /// non-permutation output is accepted with probability at most the
 /// permutation checker's failure bound.
-pub fn check_sorted(
-    comm: &mut Comm,
-    input: &[u64],
-    output: &[u64],
-    perm: &PermChecker,
-) -> bool {
+pub fn check_sorted(comm: &mut Comm, input: &[u64], output: &[u64], perm: &PermChecker) -> bool {
     let is_perm = perm.check(comm, input, output);
     let local_ok = locally_sorted(output);
     let boundaries_ok = check_boundaries(comm, output);
@@ -146,9 +141,17 @@ mod tests {
     fn accepts_with_empty_pes() {
         let verdicts = run(4, |comm| {
             let rank = comm.rank() as u64;
-            let input: Vec<u64> = if rank == 0 { (0..100).collect() } else { vec![] };
+            let input: Vec<u64> = if rank == 0 {
+                (0..100).collect()
+            } else {
+                vec![]
+            };
             // All data ends up on PE 3 after "sorting".
-            let output: Vec<u64> = if rank == 3 { (0..100).collect() } else { vec![] };
+            let output: Vec<u64> = if rank == 3 {
+                (0..100).collect()
+            } else {
+                vec![]
+            };
             let perm = PermChecker::new(perm_cfg(), 7);
             check_sorted(comm, &input, &output, &perm)
         });

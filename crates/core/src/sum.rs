@@ -84,7 +84,12 @@ impl SumChecker {
         let moduli = (0..cfg.iterations)
             .map(|_| rhat + 1 + rng.next() % rhat)
             .collect();
-        Self { cfg, hash, moduli, bucket_map }
+        Self {
+            cfg,
+            hash,
+            moduli,
+            bucket_map,
+        }
     }
 
     /// The configuration this checker was built with.
@@ -494,23 +499,18 @@ mod tests {
         for corrupt in [false, true] {
             let verdicts = run(4, |comm| {
                 let rank = comm.rank() as u64;
-                let input: Vec<(u64, u64)> =
-                    (0..250u64).map(|i| ((rank * 250 + i) % 37, i + 1)).collect();
+                let input: Vec<(u64, u64)> = (0..250u64)
+                    .map(|i| ((rank * 250 + i) % 37, i + 1))
+                    .collect();
                 // Correct global aggregation computed redundantly per PE
                 // (cheap here; it is the checker under test, not the op).
                 let all_input: Vec<(u64, u64)> = (0..4u64)
-                    .flat_map(|r| {
-                        (0..250u64).map(move |i| ((r * 250 + i) % 37, i + 1))
-                    })
+                    .flat_map(|r| (0..250u64).map(move |i| ((r * 250 + i) % 37, i + 1)))
                     .collect();
                 let full = aggregate(&all_input);
                 // Distribute output shards round-robin.
-                let mut shard: Vec<(u64, u64)> = full
-                    .iter()
-                    .copied()
-                    .skip(comm.rank())
-                    .step_by(4)
-                    .collect();
+                let mut shard: Vec<(u64, u64)> =
+                    full.iter().copied().skip(comm.rank()).step_by(4).collect();
                 if corrupt && comm.rank() == 2 && !shard.is_empty() {
                     shard[0].1 += 5;
                 }
@@ -575,7 +575,11 @@ mod tests {
                 }
             }
             let asserted: Vec<(u64, u64)> = if comm.rank() == 0 {
-                counts.iter().enumerate().map(|(k, &c)| (k as u64, c)).collect()
+                counts
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &c)| (k as u64, c))
+                    .collect()
             } else {
                 Vec::new()
             };

@@ -29,7 +29,11 @@ impl XorCheckConfig {
     /// Create a validated configuration.
     pub fn new(iterations: usize, buckets: usize, hasher: HasherKind) -> Self {
         assert!(iterations >= 1 && buckets >= 2);
-        Self { iterations, buckets, hasher }
+        Self {
+            iterations,
+            buckets,
+            hasher,
+        }
     }
 
     /// Failure bound `(1/d)^its` (no modulus term).
@@ -59,7 +63,12 @@ impl XorChecker {
             ((needed_bits + 12).min(width), None)
         };
         let hash = PartitionedHash::new(cfg.hasher, seed, cfg.iterations, bits);
-        Self { cfg, hash, mask_pow2, bits }
+        Self {
+            cfg,
+            hash,
+            mask_pow2,
+            bits,
+        }
     }
 
     /// The configuration.
@@ -116,9 +125,7 @@ impl XorChecker {
         let reduced = comm.reduce(0, both, |a, b| {
             a.iter().zip(&b).map(|(x, y)| x ^ y).collect()
         });
-        let verdict = reduced
-            .map(|t| t[..len] == t[len..])
-            .unwrap_or(false);
+        let verdict = reduced.map(|t| t[..len] == t[len..]).unwrap_or(false);
         comm.broadcast(0, verdict)
     }
 }
@@ -213,18 +220,15 @@ mod tests {
         for corrupt in [false, true] {
             let verdicts = run(4, |comm| {
                 let rank = comm.rank() as u64;
-                let input: Vec<(u64, u64)> =
-                    (0..200u64).map(|i| ((rank * 200 + i) % 23, i | 1)).collect();
+                let input: Vec<(u64, u64)> = (0..200u64)
+                    .map(|i| ((rank * 200 + i) % 23, i | 1))
+                    .collect();
                 let all: Vec<(u64, u64)> = (0..4u64)
                     .flat_map(|r| (0..200u64).map(move |i| ((r * 200 + i) % 23, i | 1)))
                     .collect();
                 let full = xor_aggregate(&all);
-                let mut shard: Vec<(u64, u64)> = full
-                    .iter()
-                    .copied()
-                    .skip(comm.rank())
-                    .step_by(4)
-                    .collect();
+                let mut shard: Vec<(u64, u64)> =
+                    full.iter().copied().skip(comm.rank()).step_by(4).collect();
                 if corrupt && comm.rank() == 1 && !shard.is_empty() {
                     shard[0].1 ^= 0x8000;
                 }

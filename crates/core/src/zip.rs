@@ -28,7 +28,10 @@ pub struct ZipCheckConfig {
 
 impl Default for ZipCheckConfig {
     fn default() -> Self {
-        Self { hasher: HasherKind::Tab64, iterations: 2 }
+        Self {
+            hasher: HasherKind::Tab64,
+            iterations: 2,
+        }
     }
 }
 
@@ -48,13 +51,7 @@ impl ZipChecker {
 
     /// Position-sensitive fingerprint of a sequence slice whose first
     /// element has global index `start`.
-    fn fingerprint<F: Fn(usize) -> u64>(
-        &self,
-        iter: usize,
-        start: u64,
-        len: usize,
-        at: F,
-    ) -> u64 {
+    fn fingerprint<F: Fn(usize) -> u64>(&self, iter: usize, start: u64, len: usize, at: F) -> u64 {
         let h = Hasher::new(self.cfg.hasher, self.seed ^ (iter as u64) << 32 ^ 0x7A69);
         let h_pos = Hasher::new(
             self.cfg.hasher,
@@ -73,13 +70,7 @@ impl ZipChecker {
     /// for every global index `i`, preserving both orders. The three
     /// sequences may have three different distributions. Every PE
     /// returns the same verdict.
-    pub fn check(
-        &self,
-        comm: &mut Comm,
-        s1: &[u64],
-        s2: &[u64],
-        zipped: &[(u64, u64)],
-    ) -> bool {
+    pub fn check(&self, comm: &mut Comm, s1: &[u64], s2: &[u64], zipped: &[(u64, u64)]) -> bool {
         let (s1_start, n1) = comm.exclusive_prefix_sum(s1.len() as u64);
         let (s2_start, n2) = comm.exclusive_prefix_sum(s2.len() as u64);
         let (z_start, nz) = comm.exclusive_prefix_sum(zipped.len() as u64);
@@ -128,8 +119,24 @@ mod tests {
         let n = v.len();
         let base = n / (p + 1);
         let bounds: Vec<usize> = (0..=p)
-            .map(|r| if r == 0 { 0 } else { (2 * base + (r - 1) * base).min(n) })
-            .map(|b| if p == 1 { if b == 0 { 0 } else { n } } else { b })
+            .map(|r| {
+                if r == 0 {
+                    0
+                } else {
+                    (2 * base + (r - 1) * base).min(n)
+                }
+            })
+            .map(|b| {
+                if p == 1 {
+                    if b == 0 {
+                        0
+                    } else {
+                        n
+                    }
+                } else {
+                    b
+                }
+            })
             .collect();
         let start = bounds[rank];
         let end = if rank + 1 == p { n } else { bounds[rank + 1] };
@@ -163,8 +170,7 @@ mod tests {
         let n = 100usize;
         let s1: Vec<u64> = (0..n as u64).collect();
         let s2: Vec<u64> = (0..n as u64).map(|i| 1000 + i).collect();
-        let mut zipped: Vec<(u64, u64)> =
-            s1.iter().copied().zip(s2.iter().copied()).collect();
+        let mut zipped: Vec<(u64, u64)> = s1.iter().copied().zip(s2.iter().copied()).collect();
         zipped.swap(10, 11);
         let verdicts = run(2, |comm| {
             let checker = ZipChecker::new(ZipCheckConfig::default(), 3);
@@ -186,9 +192,7 @@ mod tests {
         let n = 50usize;
         let s1: Vec<u64> = (0..n as u64).collect();
         let s2: Vec<u64> = (0..n as u64).map(|i| 1000 + i).collect();
-        let zipped: Vec<(u64, u64)> = (0..n)
-            .map(|i| (s1[i], s2[(i + 1) % n]))
-            .collect();
+        let zipped: Vec<(u64, u64)> = (0..n).map(|i| (s1[i], s2[(i + 1) % n])).collect();
         let verdicts = run(2, |comm| {
             let checker = ZipChecker::new(ZipCheckConfig::default(), 5);
             checker.check(

@@ -104,7 +104,11 @@ pub fn median_by_key(comm: &mut Comm, data: Vec<Pair>, hasher: &Hasher) -> Vec<(
             (k, median_of_sorted(&values))
         })
         .collect();
-    let mut all: Vec<(u64, f64)> = comm.allgather(local_medians).into_iter().flatten().collect();
+    let mut all: Vec<(u64, f64)> = comm
+        .allgather(local_medians)
+        .into_iter()
+        .flatten()
+        .collect();
     all.sort_unstable_by_key(|&(k, _)| k);
     all
 }
@@ -163,8 +167,14 @@ mod tests {
         let mut expected_min: HashMap<u64, u64> = HashMap::new();
         let mut expected_max: HashMap<u64, u64> = HashMap::new();
         for &(k, v) in &all {
-            expected_min.entry(k).and_modify(|c| *c = v.min(*c)).or_insert(v);
-            expected_max.entry(k).and_modify(|c| *c = v.max(*c)).or_insert(v);
+            expected_min
+                .entry(k)
+                .and_modify(|c| *c = v.min(*c))
+                .or_insert(v);
+            expected_max
+                .entry(k)
+                .and_modify(|c| *c = v.max(*c))
+                .or_insert(v);
         }
         for (_, mins, maxs) in &results {
             assert_eq!(mins.optima.len(), expected_min.len());
@@ -201,7 +211,10 @@ mod tests {
         for &(k, rank) in &res.locations {
             let min_v = res.optima.iter().find(|&&(ok, _)| ok == k).unwrap().1;
             let holder_data = &results[rank as usize].0;
-            assert!(holder_data.contains(&(k, min_v)), "key {k} not at PE {rank}");
+            assert!(
+                holder_data.contains(&(k, min_v)),
+                "key {k} not at PE {rank}"
+            );
         }
     }
 
@@ -233,9 +246,10 @@ mod tests {
             let hasher = Hasher::new(HasherKind::Tab64, 5);
             average_by_key(comm, local, &hasher)
         });
-        let shard: Vec<_> = results.into_iter().flat_map(|r| {
-            r.averages.into_iter().zip(r.counts).collect::<Vec<_>>()
-        }).collect();
+        let shard: Vec<_> = results
+            .into_iter()
+            .flat_map(|r| r.averages.into_iter().zip(r.counts).collect::<Vec<_>>())
+            .collect();
         assert_eq!(shard.len(), 1);
         let ((k, avg), (k2, count)) = shard[0];
         assert_eq!((k, k2), (9, 9));
@@ -246,7 +260,11 @@ mod tests {
     #[test]
     fn median_single_value_key() {
         let results = run(2, |comm| {
-            let local: Vec<Pair> = if comm.rank() == 0 { vec![(7, 42)] } else { vec![] };
+            let local: Vec<Pair> = if comm.rank() == 0 {
+                vec![(7, 42)]
+            } else {
+                vec![]
+            };
             let hasher = Hasher::new(HasherKind::Tab64, 5);
             median_by_key(comm, local, &hasher)
         });

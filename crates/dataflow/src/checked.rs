@@ -176,10 +176,7 @@ mod tests {
         let outcomes = run(3, |comm| {
             let rank = comm.rank() as u64;
             let data: Vec<u64> = (0..200).map(|i| (rank * 200 + i) * 7 % 1000).collect();
-            let perm = PermChecker::new(
-                PermCheckConfig::hash_sum(HasherKind::Tab64, 32),
-                9,
-            );
+            let perm = PermChecker::new(PermCheckConfig::hash_sum(HasherKind::Tab64, 32), 9);
             let (out, outcome) = checked_sort(comm, data.clone(), &perm, 1);
             // Output is globally sorted.
             (out, outcome)

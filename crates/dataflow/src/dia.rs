@@ -117,18 +117,21 @@ impl<T> Dia<T> {
 
     /// Global element count (one allreduce).
     pub fn global_len(&self, ctx: &mut PipelineCtx<'_>) -> u64 {
-        ctx.comm
-            .allreduce(self.local.len() as u64, |a, b| a + b)
+        ctx.comm.allreduce(self.local.len() as u64, |a, b| a + b)
     }
 
     /// Map every element (purely local).
     pub fn map<U, F: FnMut(T) -> U>(self, f: F) -> Dia<U> {
-        Dia { local: self.local.into_iter().map(f).collect() }
+        Dia {
+            local: self.local.into_iter().map(f).collect(),
+        }
     }
 
     /// Keep elements satisfying the predicate (purely local).
     pub fn filter<F: FnMut(&T) -> bool>(self, f: F) -> Dia<T> {
-        Dia { local: self.local.into_iter().filter(f).collect() }
+        Dia {
+            local: self.local.into_iter().filter(f).collect(),
+        }
     }
 
     /// Multiset union with another DIA (local concatenation, §6.5.1).
@@ -163,7 +166,9 @@ impl Dia<Pair> {
         if checker.check_distributed(ctx.comm, &self.local, &out) {
             Ok(Dia { local: out })
         } else {
-            Err(CheckRejected { operation: "reduce_by_key" })
+            Err(CheckRejected {
+                operation: "reduce_by_key",
+            })
         }
     }
 
@@ -177,7 +182,9 @@ impl Dia<Pair> {
         if ccheck::check_min(ctx.comm, &self.local, &result.optima, &result.locations) {
             Ok(result)
         } else {
-            Err(CheckRejected { operation: "min_by_key" })
+            Err(CheckRejected {
+                operation: "min_by_key",
+            })
         }
     }
 
@@ -194,7 +201,9 @@ impl Dia<Pair> {
         if ccheck::check_median_unique(ctx.comm, &self.local, &medians, cfg, seed) {
             Ok(medians)
         } else {
-            Err(CheckRejected { operation: "median_by_key" })
+            Err(CheckRejected {
+                operation: "median_by_key",
+            })
         }
     }
 
@@ -210,7 +219,9 @@ impl Dia<Pair> {
         if ccheck::check_average(ctx.comm, &self.local, &avg.averages, &avg.counts, cfg, seed) {
             Ok(avg)
         } else {
-            Err(CheckRejected { operation: "average_by_key" })
+            Err(CheckRejected {
+                operation: "average_by_key",
+            })
         }
     }
 }
@@ -218,7 +229,9 @@ impl Dia<Pair> {
 impl Dia<u64> {
     /// Distributed sample sort, unchecked.
     pub fn sort(self, ctx: &mut PipelineCtx<'_>) -> Dia<u64> {
-        Dia { local: sort(ctx.comm, self.local) }
+        Dia {
+            local: sort(ctx.comm, self.local),
+        }
     }
 
     /// Sort with verification (Theorem 7).
@@ -287,9 +300,8 @@ mod tests {
         let results = run(4, |comm| {
             let mut ctx = PipelineCtx::new(comm, 7);
             let rank = ctx.comm().rank() as u64;
-            let words = Dia::from_local(
-                (0..100u64).map(|i| ((rank * 100 + i) % 9, 1u64)).collect(),
-            );
+            let words =
+                Dia::from_local((0..100u64).map(|i| ((rank * 100 + i) % 9, 1u64)).collect());
             let counts = words
                 .reduce_by_key_checked(&mut ctx, sum_cfg())
                 .expect("verified");

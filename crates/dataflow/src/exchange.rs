@@ -94,7 +94,10 @@ mod tests {
             let rank = comm.rank() as u64;
             let local: Vec<Pair> = (0..30).map(|i| (i * 7 % 13, rank * 1000 + i)).collect();
             let hasher = test_hasher();
-            (local.clone(), redistribute_by_key_hash(comm, local, &hasher))
+            (
+                local.clone(),
+                redistribute_by_key_hash(comm, local, &hasher),
+            )
         });
         let mut before: Vec<Pair> = results.iter().flat_map(|(b, _)| b.clone()).collect();
         let mut after: Vec<Pair> = results.iter().flat_map(|(_, a)| a.clone()).collect();

@@ -30,12 +30,7 @@ pub fn group_by_key(comm: &mut Comm, data: Vec<Pair>, hasher: &Hasher) -> Vec<(u
 
 /// Group and immediately fold each group with `g: [Value] → Value`
 /// (the paper's group function signature).
-pub fn group_by_key_apply<F>(
-    comm: &mut Comm,
-    data: Vec<Pair>,
-    hasher: &Hasher,
-    g: F,
-) -> Vec<Pair>
+pub fn group_by_key_apply<F>(comm: &mut Comm, data: Vec<Pair>, hasher: &Hasher, g: F) -> Vec<Pair>
 where
     F: Fn(&[u64]) -> u64,
 {

@@ -37,12 +37,7 @@ fn local_join(r: Vec<Pair>, s: Vec<Pair>) -> Vec<JoinedRow> {
 
 /// Distributed hash join: redistribute both relations by key hash, then
 /// join locally. Returns this PE's joined rows (sorted for determinism).
-pub fn hash_join(
-    comm: &mut Comm,
-    r: Vec<Pair>,
-    s: Vec<Pair>,
-    hasher: &Hasher,
-) -> Vec<JoinedRow> {
+pub fn hash_join(comm: &mut Comm, r: Vec<Pair>, s: Vec<Pair>, hasher: &Hasher) -> Vec<JoinedRow> {
     let r_routed = redistribute_by_key_hash(comm, r, hasher);
     let s_routed = redistribute_by_key_hash(comm, s, hasher);
     local_join(r_routed, s_routed)

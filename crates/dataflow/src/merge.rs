@@ -29,7 +29,9 @@ pub fn merge_sorted(comm: &mut Comm, a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
     }
 
     let s = OVERSAMPLE.min(local.len());
-    let samples: Vec<u64> = (0..s).map(|i| local[(2 * i + 1) * local.len() / (2 * s)]).collect();
+    let samples: Vec<u64> = (0..s)
+        .map(|i| local[(2 * i + 1) * local.len() / (2 * s)])
+        .collect();
     let mut all_samples: Vec<u64> = comm.allgather(samples).into_iter().flatten().collect();
     all_samples.sort_unstable();
 

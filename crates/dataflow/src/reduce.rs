@@ -66,7 +66,10 @@ mod tests {
                 .map(|i| ((rank * per_pe as u64 + i) % key_mod, i + 1))
                 .collect();
             let hasher = Hasher::new(HasherKind::Tab64, 7);
-            (local.clone(), reduce_by_key(comm, local, &hasher, |a, b| a + b))
+            (
+                local.clone(),
+                reduce_by_key(comm, local, &hasher, |a, b| a + b),
+            )
         });
         let input: Vec<Pair> = results.iter().flat_map(|(i, _)| i.clone()).collect();
         let output: Vec<Pair> = results.iter().flat_map(|(_, o)| o.clone()).collect();

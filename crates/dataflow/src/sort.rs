@@ -25,7 +25,9 @@ pub fn sort(comm: &mut Comm, mut local: Vec<u64>) -> Vec<u64> {
     // gather everyone's samples and derive identical splitters.
     let s = OVERSAMPLE.min(local.len());
     // Midpoints of s equal strata: index (2i+1)·len/(2s) < len.
-    let samples: Vec<u64> = (0..s).map(|i| local[(2 * i + 1) * local.len() / (2 * s)]).collect();
+    let samples: Vec<u64> = (0..s)
+        .map(|i| local[(2 * i + 1) * local.len() / (2 * s)])
+        .collect();
     let mut all_samples: Vec<u64> = comm.allgather(samples).into_iter().flatten().collect();
     all_samples.sort_unstable();
 

@@ -79,7 +79,9 @@ mod tests {
             let b_start: usize = b_sizes[..rank].iter().sum();
             // Global sequence a: 0,1,2,...; b: 1000,1001,1002,...
             let a: Vec<u64> = (0..a_sizes[rank]).map(|i| (a_start + i) as u64).collect();
-            let b: Vec<u64> = (0..b_sizes[rank]).map(|i| 1000 + (b_start + i) as u64).collect();
+            let b: Vec<u64> = (0..b_sizes[rank])
+                .map(|i| 1000 + (b_start + i) as u64)
+                .collect();
             zip(comm, a, b)
         });
         let zipped: Vec<Pair> = results.into_iter().flatten().collect();

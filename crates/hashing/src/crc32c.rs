@@ -19,7 +19,11 @@ const fn build_tables() -> [[u32; 256]; 8] {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
         tables[0][i] = crc;
@@ -91,7 +95,9 @@ impl Crc32cHash {
         let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        Self { init: (z ^ (z >> 31)) as u32 }
+        Self {
+            init: (z ^ (z >> 31)) as u32,
+        }
     }
 
     /// Hash a 64-bit key to a 32-bit value.
@@ -145,7 +151,10 @@ mod tests {
         let h1 = Crc32cHash::new(1);
         let h2 = Crc32cHash::new(2);
         let same = (0..1000u64).filter(|&x| h1.hash(x) == h2.hash(x)).count();
-        assert!(same < 5, "seeds should decorrelate instances ({same} collisions)");
+        assert!(
+            same < 5,
+            "seeds should decorrelate instances ({same} collisions)"
+        );
     }
 
     #[test]
@@ -165,10 +174,7 @@ mod tests {
         let a = 0x0123_4567_89AB_CDEFu64.to_le_bytes();
         let b = 0xFEDC_BA98_7654_3210u64.to_le_bytes();
         let x: Vec<u8> = a.iter().zip(b).map(|(&p, q)| p ^ q).collect();
-        assert_eq!(
-            crc32c(&a) ^ crc32c(&b) ^ crc32c(&[0u8; 8]),
-            crc32c(&x)
-        );
+        assert_eq!(crc32c(&a) ^ crc32c(&b) ^ crc32c(&[0u8; 8]), crc32c(&x));
     }
 
     proptest! {

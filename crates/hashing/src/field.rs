@@ -212,7 +212,10 @@ mod tests {
     fn field_ops_small_values() {
         assert_eq!(Mersenne61::add(MERSENNE61 - 1, 1), 0);
         assert_eq!(Mersenne61::sub(0, 1), MERSENNE61 - 1);
-        assert_eq!(Mersenne61::mul(1 << 31, 1 << 31), Mersenne61::from_u64(1 << 62));
+        assert_eq!(
+            Mersenne61::mul(1 << 31, 1 << 31),
+            Mersenne61::from_u64(1 << 62)
+        );
     }
 
     #[test]

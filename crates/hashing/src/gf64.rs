@@ -46,7 +46,8 @@ pub fn reduce(x: u128) -> u64 {
     let lo = x as u64;
     let hi = (x >> 64) as u64;
     // hi * (x^4 + x^3 + x + 1), computed with shifts (sparse polynomial).
-    let folded: u128 = ((hi as u128) << 4) ^ ((hi as u128) << 3) ^ ((hi as u128) << 1) ^ (hi as u128);
+    let folded: u128 =
+        ((hi as u128) << 4) ^ ((hi as u128) << 3) ^ ((hi as u128) << 1) ^ (hi as u128);
     let lo2 = folded as u64;
     let hi2 = (folded >> 64) as u64; // ≤ 4 bits
     let folded2 = (hi2 << 4) ^ (hi2 << 3) ^ (hi2 << 1) ^ hi2;

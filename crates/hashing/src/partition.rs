@@ -47,14 +47,23 @@ impl PartitionedHash {
         let per_word = (width / bits) as usize;
         let num_words = instances.div_ceil(per_word);
         let words = (0..num_words)
-            .map(|w| Hasher::new(kind, seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1))))
+            .map(|w| {
+                Hasher::new(
+                    kind,
+                    seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1)),
+                )
+            })
             .collect();
         Self {
             words,
             instances,
             bits,
             per_word,
-            mask: if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 },
+            mask: if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            },
         }
     }
 
@@ -170,9 +179,14 @@ mod tests {
     fn instances_are_decorrelated() {
         // Two instances from the same word must not be equal for most keys.
         let p = PartitionedHash::new(HasherKind::Tab64, 3, 2, 8);
-        let equal = (0..10_000u64).filter(|&x| p.hash(0, x) == p.hash(1, x)).count();
+        let equal = (0..10_000u64)
+            .filter(|&x| p.hash(0, x) == p.hash(1, x))
+            .count();
         // Expected ~10000/256 ≈ 39; be generous.
-        assert!(equal < 120, "instances too correlated: {equal} equal values");
+        assert!(
+            equal < 120,
+            "instances too correlated: {equal} equal values"
+        );
     }
 
     #[test]
@@ -184,7 +198,10 @@ mod tests {
                 counts[p.hash(i, x) as usize] += 1;
             }
             for (bucket, &c) in counts.iter().enumerate() {
-                assert!((800..=1200).contains(&c), "instance {i} bucket {bucket}: {c}");
+                assert!(
+                    (800..=1200).contains(&c),
+                    "instance {i} bucket {bucket}: {c}"
+                );
             }
         }
     }

@@ -95,7 +95,9 @@ mod tests {
     use super::*;
 
     fn dataset() -> Vec<u64> {
-        (0..500u64).map(|i| i.wrapping_mul(0x9E3779B9) % 100_000_000).collect()
+        (0..500u64)
+            .map(|i| i.wrapping_mul(0x9E3779B9) % 100_000_000)
+            .collect()
     }
 
     fn multiset(data: &[u64]) -> Vec<u64> {
@@ -178,6 +180,9 @@ mod tests {
     #[test]
     fn labels_match_paper() {
         let labels: Vec<&str> = PermManipulator::all().iter().map(|m| m.label()).collect();
-        assert_eq!(labels, vec!["Bitflip", "Increment", "Randomize", "Reset", "SetEqual"]);
+        assert_eq!(
+            labels,
+            vec!["Bitflip", "Increment", "Randomize", "Reset", "SetEqual"]
+        );
     }
 }

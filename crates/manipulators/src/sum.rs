@@ -209,9 +209,7 @@ mod tests {
         let mut data = dataset();
         let orig = dataset();
         SumManipulator::Bitflip.apply(&mut data, 7);
-        let diffs: Vec<usize> = (0..data.len())
-            .filter(|&i| data[i] != orig[i])
-            .collect();
+        let diffs: Vec<usize> = (0..data.len()).filter(|&i| data[i] != orig[i]).collect();
         assert_eq!(diffs.len(), 1);
         let i = diffs[0];
         let key_diff = (data[i].0 ^ orig[i].0).count_ones();
@@ -236,8 +234,7 @@ mod tests {
             let orig = dataset();
             let mut data = dataset();
             assert!(SumManipulator::IncDec(n).apply(&mut data, 11));
-            let touched: Vec<usize> =
-                (0..data.len()).filter(|&i| data[i] != orig[i]).collect();
+            let touched: Vec<usize> = (0..data.len()).filter(|&i| data[i] != orig[i]).collect();
             assert_eq!(touched.len(), 2 * n, "n={n}");
             let incremented = touched
                 .iter()
@@ -249,8 +246,7 @@ mod tests {
                 .count();
             assert_eq!((incremented, decremented), (n, n), "n={n}");
             // Original keys pairwise distinct.
-            let keys: std::collections::HashSet<u64> =
-                touched.iter().map(|&i| orig[i].0).collect();
+            let keys: std::collections::HashSet<u64> = touched.iter().map(|&i| orig[i].0).collect();
             assert_eq!(keys.len(), 2 * n);
         }
     }
@@ -292,11 +288,17 @@ mod tests {
 
     #[test]
     fn labels_match_paper() {
-        let labels: Vec<String> =
-            SumManipulator::all().iter().map(|m| m.label()).collect();
+        let labels: Vec<String> = SumManipulator::all().iter().map(|m| m.label()).collect();
         assert_eq!(
             labels,
-            vec!["Bitflip", "RandKey", "SwitchValues", "IncKey", "IncDec1", "IncDec2"]
+            vec![
+                "Bitflip",
+                "RandKey",
+                "SwitchValues",
+                "IncKey",
+                "IncDec1",
+                "IncDec2"
+            ]
         );
     }
 }

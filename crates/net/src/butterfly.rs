@@ -30,7 +30,10 @@ impl Comm {
         F: Fn(&T, &T) -> T,
     {
         let p = self.size();
-        assert!(p.is_power_of_two(), "butterfly allreduce requires power-of-two p");
+        assert!(
+            p.is_power_of_two(),
+            "butterfly allreduce requires power-of-two p"
+        );
         if p == 1 {
             return data;
         }
@@ -58,8 +61,7 @@ impl Comm {
             } else {
                 ((seg_mid, seg_hi), (seg_lo, seg_mid))
             };
-            let payload: Vec<T> =
-                data[bound(send_range.0)..bound(send_range.1)].to_vec();
+            let payload: Vec<T> = data[bound(send_range.0)..bound(send_range.1)].to_vec();
             self.send(partner, tag, &payload);
             let received: Vec<T> = self.recv(partner, tag);
             let keep_slice = &mut data[bound(keep_range.0)..bound(keep_range.1)];
@@ -112,15 +114,11 @@ mod tests {
         for p in [1usize, 2, 4, 8, 16] {
             for n in [0usize, 1, 7, 64, 100] {
                 let expected = run(p, |comm| {
-                    let v: Vec<u64> =
-                        (0..n as u64).map(|i| i * 10 + comm.rank() as u64).collect();
-                    comm.allreduce(v, |a, b| {
-                        a.iter().zip(&b).map(|(x, y)| x + y).collect()
-                    })
+                    let v: Vec<u64> = (0..n as u64).map(|i| i * 10 + comm.rank() as u64).collect();
+                    comm.allreduce(v, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect())
                 });
                 let butterfly = run(p, |comm| {
-                    let v: Vec<u64> =
-                        (0..n as u64).map(|i| i * 10 + comm.rank() as u64).collect();
+                    let v: Vec<u64> = (0..n as u64).map(|i| i * 10 + comm.rank() as u64).collect();
                     comm.allreduce_butterfly(v, |a, b| a + b)
                 });
                 assert_eq!(expected, butterfly, "p={p} n={n}");

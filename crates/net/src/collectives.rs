@@ -89,7 +89,11 @@ impl Comm {
         T: Wire + Clone + Default,
         F: FnOnce() -> T,
     {
-        let value = if self.rank() == root { make() } else { T::default() };
+        let value = if self.rank() == root {
+            make()
+        } else {
+            T::default()
+        };
         self.broadcast(root, value)
     }
 
@@ -242,7 +246,10 @@ impl Comm {
             let src = (r + p - offset) % p;
             incoming[src] = Some(self.recv(src, tag));
         }
-        incoming.into_iter().map(|v| v.expect("all received")).collect()
+        incoming
+            .into_iter()
+            .map(|v| v.expect("all received"))
+            .collect()
     }
 
     /// Personalized all-to-all via hypercube (store-and-forward) indirect
@@ -254,7 +261,10 @@ impl Comm {
     /// restriction; [`Comm::all_to_all`] covers general `p`).
     pub fn all_to_all_hypercube<T: Wire>(&mut self, outgoing: Vec<T>) -> Vec<T> {
         let p = self.size();
-        assert!(p.is_power_of_two(), "hypercube all-to-all requires power-of-two p");
+        assert!(
+            p.is_power_of_two(),
+            "hypercube all-to-all requires power-of-two p"
+        );
         assert_eq!(outgoing.len(), p, "one entry per PE required");
         let tag = self.next_coll_tag(op::ALLTOALL_HC);
         let r = self.rank();
@@ -339,7 +349,11 @@ mod tests {
     #[test]
     fn broadcast_vectors() {
         let out = run(4, |comm| {
-            let v = if comm.rank() == 2 { vec![1u32, 2, 3] } else { vec![] };
+            let v = if comm.rank() == 2 {
+                vec![1u32, 2, 3]
+            } else {
+                vec![]
+            };
             comm.broadcast(2, v)
         });
         assert!(out.iter().all(|v| v == &vec![1, 2, 3]));
@@ -433,7 +447,9 @@ mod tests {
 
     #[test]
     fn exclusive_prefix_sum_with_total() {
-        let out = run(4, |comm| comm.exclusive_prefix_sum(10 * (comm.rank() as u64 + 1)));
+        let out = run(4, |comm| {
+            comm.exclusive_prefix_sum(10 * (comm.rank() as u64 + 1))
+        });
         // values: 10, 20, 30, 40 → prefixes 0, 10, 30, 60; total 100
         assert_eq!(out, vec![(0, 100), (10, 100), (30, 100), (60, 100)]);
     }
@@ -482,7 +498,11 @@ mod tests {
         // With p = 8 and an 800-byte payload, a binomial broadcast moves the
         // payload 7 times total, but no PE sends more than 3 copies.
         let (_, snap) = run_with_stats(8, |comm| {
-            let v = if comm.rank() == 0 { vec![0u8; 792] } else { vec![] };
+            let v = if comm.rank() == 0 {
+                vec![0u8; 792]
+            } else {
+                vec![]
+            };
             comm.broadcast(0, v)
         });
         let payload = 800; // 792 bytes + 8-byte length prefix
@@ -558,12 +578,8 @@ mod tests {
         use crate::router::run_with_stats;
         // Direct delivery: p·(p−1) messages; hypercube: p·log₂p.
         let p = 16;
-        let (_, direct) = run_with_stats(p, |comm| {
-            comm.all_to_all(vec![0u8; comm.size()])
-        });
-        let (_, hc) = run_with_stats(p, |comm| {
-            comm.all_to_all_hypercube(vec![0u8; comm.size()])
-        });
+        let (_, direct) = run_with_stats(p, |comm| comm.all_to_all(vec![0u8; comm.size()]));
+        let (_, hc) = run_with_stats(p, |comm| comm.all_to_all_hypercube(vec![0u8; comm.size()]));
         assert_eq!(direct.total_messages(), (p * (p - 1)) as u64);
         assert_eq!(hc.total_messages(), (p * p.ilog2() as usize) as u64);
         // The latency trade-off of §2: fewer messages, more volume.

@@ -101,16 +101,28 @@ impl Comm {
     /// latency round. Sending to self is allowed (delivered through the
     /// pending queue, not counted as network traffic).
     pub fn send_raw(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) {
-        assert!(dest < self.size, "dest {dest} out of range 0..{}", self.size);
+        assert!(
+            dest < self.size,
+            "dest {dest} out of range 0..{}",
+            self.size
+        );
         if dest == self.rank {
-            self.pending.push_back(Packet { src: dest, tag, payload });
+            self.pending.push_back(Packet {
+                src: dest,
+                tag,
+                payload,
+            });
             return;
         }
         let pe = self.stats.pe(self.rank);
         pe.record_send(payload.len());
         pe.record_rounds(1);
         self.senders[dest]
-            .send(Packet { src: self.rank, tag, payload })
+            .send(Packet {
+                src: self.rank,
+                tag,
+                payload,
+            })
             .expect("receiver mailbox dropped: peer PE thread exited early");
     }
 

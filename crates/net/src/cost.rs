@@ -61,7 +61,8 @@ impl CostModel {
     /// `local_work_secs + β·bottleneck_bytes + α·rounds`.
     pub fn phase_time(&self, local_work_secs: f64, bottleneck_bytes: u64, rounds: u64) -> f64 {
         local_work_secs
-            + self.beta_per_byte * bottleneck_bytes.max(self.min_message_bytes * rounds.min(1)) as f64
+            + self.beta_per_byte
+                * bottleneck_bytes.max(self.min_message_bytes * rounds.min(1)) as f64
             + self.alpha * rounds as f64
     }
 

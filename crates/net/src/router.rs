@@ -75,7 +75,10 @@ impl Router {
                 results[rank] = Some(r);
             }
         });
-        results.into_iter().map(|r| r.expect("all ranks ran")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("all ranks ran"))
+            .collect()
     }
 }
 

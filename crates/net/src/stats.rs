@@ -133,7 +133,11 @@ impl StatsSnapshot {
     /// Bottleneck communication volume: `max_i max(sent_i, recv_i)`.
     /// This is the quantity the paper's checkers keep sublinear in `n/p`.
     pub fn bottleneck_volume(&self) -> u64 {
-        self.per_pe.iter().map(PeStatsSnapshot::volume).max().unwrap_or(0)
+        self.per_pe
+            .iter()
+            .map(PeStatsSnapshot::volume)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum latency rounds on any PE (critical path for the α term).
@@ -217,7 +221,11 @@ mod tests {
 
     #[test]
     fn volume_is_max_direction() {
-        let s = PeStatsSnapshot { bytes_sent: 7, bytes_recv: 9, ..Default::default() };
+        let s = PeStatsSnapshot {
+            bytes_sent: 7,
+            bytes_recv: 9,
+            ..Default::default()
+        };
         assert_eq!(s.volume(), 9);
     }
 }

@@ -26,7 +26,10 @@ impl IndexedRng {
     /// Stream for `seed`, starting at `index` (usually a global element
     /// index, so each element owns a disjoint part of the stream).
     pub fn new(seed: u64, index: u64) -> Self {
-        Self { seed, counter: index.wrapping_mul(0x2545_F491_4F6C_DD1D) }
+        Self {
+            seed,
+            counter: index.wrapping_mul(0x2545_F491_4F6C_DD1D),
+        }
     }
 }
 
@@ -64,11 +67,7 @@ pub fn local_range(total: usize, rank: usize, p: usize) -> std::ops::Range<usize
 /// (exponent 1, the paper's power-law workload) and value 1 — the
 /// wordcount shape. Generates positions `range` of a conceptual global
 /// sequence of pairs.
-pub fn zipf_pairs(
-    seed: u64,
-    num_keys: u64,
-    range: std::ops::Range<usize>,
-) -> Vec<(u64, u64)> {
+pub fn zipf_pairs(seed: u64, num_keys: u64, range: std::ops::Range<usize>) -> Vec<(u64, u64)> {
     let zipf = Zipf::power_law(num_keys);
     range
         .map(|i| {
@@ -94,8 +93,8 @@ pub fn zipf_valued_pairs(
         .map(|i| {
             let mut rng = IndexedRng::new(seed, i as u64);
             let key = zipf.sample(&mut rng);
-            let value = 1 + splitmix64(seed ^ 0x56414C ^ (i as u64).wrapping_mul(0x9E37_79B9))
-                % value_max;
+            let value =
+                1 + splitmix64(seed ^ 0x56414C ^ (i as u64).wrapping_mul(0x9E37_79B9)) % value_max;
             (key, value)
         })
         .collect()
@@ -192,25 +191,36 @@ mod tests {
         let vals = uniform_ints(3, 1000, 0..10_000);
         assert!(vals.iter().all(|&v| v < 1000));
         let distinct: std::collections::HashSet<u64> = vals.iter().copied().collect();
-        assert!(distinct.len() > 900, "only {} distinct values", distinct.len());
+        assert!(
+            distinct.len() > 900,
+            "only {} distinct values",
+            distinct.len()
+        );
     }
 
     #[test]
     fn different_seeds_differ() {
-        assert_ne!(uniform_ints(1, 1 << 40, 0..50), uniform_ints(2, 1 << 40, 0..50));
+        assert_ne!(
+            uniform_ints(1, 1 << 40, 0..50),
+            uniform_ints(2, 1 << 40, 0..50)
+        );
         assert_ne!(zipf_pairs(1, 1 << 20, 0..50), zipf_pairs(2, 1 << 20, 0..50));
     }
 
     #[test]
     fn valued_pairs_have_varying_values() {
         let pairs = zipf_valued_pairs(5, 1000, 1 << 32, 0..1000);
-        assert!(pairs.iter().all(|&(k, v)| (1..=1000).contains(&k) && v >= 1));
-        let distinct: std::collections::HashSet<u64> =
-            pairs.iter().map(|&(_, v)| v).collect();
+        assert!(pairs
+            .iter()
+            .all(|&(k, v)| (1..=1000).contains(&k) && v >= 1));
+        let distinct: std::collections::HashSet<u64> = pairs.iter().map(|&(_, v)| v).collect();
         assert!(distinct.len() > 990, "values must vary for SwitchValues");
         // Keys share the zipf stream shape with zipf_pairs.
         let keys_only = zipf_pairs(5, 1000, 0..1000);
-        assert!(pairs.iter().zip(&keys_only).all(|(&(k1, _), &(k2, _))| k1 == k2));
+        assert!(pairs
+            .iter()
+            .zip(&keys_only)
+            .all(|(&(k1, _), &(k2, _))| k1 == k2));
     }
 
     #[test]

@@ -15,6 +15,18 @@
 //! deterministic under a seed and support block-partitioned per-PE
 //! generation so distributed experiments are reproducible regardless of
 //! PE count.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ccheck_workloads::{local_range, zipf_pairs};
+//!
+//! // PE 1 of 4 generates its share of a 1000-pair power-law workload —
+//! // bit-identical to the corresponding slice of a single-PE generation.
+//! let share = zipf_pairs(42, 1 << 20, local_range(1000, 1, 4));
+//! let whole = zipf_pairs(42, 1 << 20, 0..1000);
+//! assert_eq!(share, whole[250..500]);
+//! ```
 
 pub mod generate;
 pub mod text;

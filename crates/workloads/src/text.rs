@@ -78,11 +78,7 @@ pub fn word_key(seed: u64, word: &str) -> u64 {
 /// Positions `range` of an endless Zipf-distributed word stream over
 /// `vocab` (the global wordcount input). Deterministic and
 /// partitioning-independent, like the other generators.
-pub fn word_stream(
-    seed: u64,
-    vocab: &Vocabulary,
-    range: std::ops::Range<usize>,
-) -> Vec<String> {
+pub fn word_stream(seed: u64, vocab: &Vocabulary, range: std::ops::Range<usize>) -> Vec<String> {
     let zipf = Zipf::power_law(vocab.size());
     range
         .map(|i| {
@@ -148,8 +144,7 @@ mod tests {
     #[test]
     fn word_keys_collision_free_at_scale() {
         let vocab = Vocabulary::new(5, 50_000);
-        let keys: HashSet<u64> =
-            (1..=50_000).map(|r| word_key(13, &vocab.word(r))).collect();
+        let keys: HashSet<u64> = (1..=50_000).map(|r| word_key(13, &vocab.word(r))).collect();
         assert_eq!(keys.len(), 50_000, "unexpected digest collision");
     }
 

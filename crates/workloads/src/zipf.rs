@@ -29,8 +29,17 @@ impl Zipf {
     /// Panics if `n == 0` or `s < 0` or `s` is not finite.
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n >= 1, "Zipf needs at least one element");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
-        let mut z = Zipf { n, s, h_x1: 0.0, h_n: 0.0, threshold: 0.0 };
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
+        let mut z = Zipf {
+            n,
+            s,
+            h_x1: 0.0,
+            h_n: 0.0,
+            threshold: 0.0,
+        };
         z.h_x1 = z.h_integral(1.5) - 1.0; // h(1) = 1 for every s
         z.h_n = z.h_integral(n as f64 + 0.5);
         z.threshold = 2.0 - z.h_integral_inverse(z.h_integral(2.5) - z.h(2.0));
@@ -83,9 +92,7 @@ impl Zipf {
             let x = self.h_integral_inverse(u);
             let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
             // Fast acceptance: x close enough to k.
-            if k - x <= self.threshold
-                || u >= self.h_integral(k + 0.5) - self.h(k)
-            {
+            if k - x <= self.threshold || u >= self.h_integral(k + 0.5) - self.h(k) {
                 return k as u64;
             }
         }
@@ -121,43 +128,19 @@ fn helper2(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccheck_hashing_stub::Mt64;
+    // The real MT19937-64 from ccheck-hashing (a dev-dependency only:
+    // the workloads library itself must stay independent of it), the
+    // same generator the paper's experiments draw from.
+    use ccheck_hashing::Mt19937_64;
 
-    /// Minimal local MT64 stand-in to avoid a circular dev-dependency:
-    /// the workloads crate must not depend on ccheck-hashing, so tests use
-    /// a splitmix-based RNG implementing `rand`'s traits.
-    mod ccheck_hashing_stub {
-        use std::convert::Infallible;
-
-        pub struct Mt64(pub u64);
-
-        impl rand::rand_core::TryRng for Mt64 {
-            type Error = Infallible;
-            fn try_next_u32(&mut self) -> Result<u32, Infallible> {
-                Ok((self.try_next_u64()? >> 32) as u32)
-            }
-            fn try_next_u64(&mut self) -> Result<u64, Infallible> {
-                // splitmix64
-                self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                let mut z = self.0;
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                Ok(z ^ (z >> 31))
-            }
-            fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Infallible> {
-                for chunk in dst.chunks_mut(8) {
-                    let b = self.try_next_u64()?.to_le_bytes();
-                    chunk.copy_from_slice(&b[..chunk.len()]);
-                }
-                Ok(())
-            }
-        }
+    fn mt(seed: u64) -> Mt19937_64 {
+        Mt19937_64::new(seed)
     }
 
     #[test]
     fn samples_within_range() {
         let z = Zipf::power_law(100);
-        let mut rng = Mt64(1);
+        let mut rng = mt(1);
         for _ in 0..10_000 {
             let k = z.sample(&mut rng);
             assert!((1..=100).contains(&k));
@@ -167,7 +150,7 @@ mod tests {
     #[test]
     fn n_equals_one_always_returns_one() {
         let z = Zipf::new(1, 1.0);
-        let mut rng = Mt64(2);
+        let mut rng = mt(2);
         for _ in 0..100 {
             assert_eq!(z.sample(&mut rng), 1);
         }
@@ -176,7 +159,7 @@ mod tests {
     #[test]
     fn exponent_zero_is_uniform() {
         let z = Zipf::new(10, 0.0);
-        let mut rng = Mt64(3);
+        let mut rng = mt(3);
         let mut counts = [0u32; 10];
         let trials = 100_000;
         for _ in 0..trials {
@@ -195,7 +178,7 @@ mod tests {
     #[test]
     fn exponent_one_matches_pmf() {
         let z = Zipf::power_law(8);
-        let mut rng = Mt64(4);
+        let mut rng = mt(4);
         let trials = 400_000u32;
         let mut counts = [0u32; 8];
         for _ in 0..trials {
@@ -215,10 +198,13 @@ mod tests {
     fn exponent_two_heavier_head() {
         let z1 = Zipf::new(1000, 1.0);
         let z2 = Zipf::new(1000, 2.0);
-        let mut rng = Mt64(5);
+        let mut rng = mt(5);
         let ones_s1 = (0..50_000).filter(|_| z1.sample(&mut rng) == 1).count();
         let ones_s2 = (0..50_000).filter(|_| z2.sample(&mut rng) == 1).count();
-        assert!(ones_s2 > ones_s1, "higher exponent concentrates mass at rank 1");
+        assert!(
+            ones_s2 > ones_s1,
+            "higher exponent concentrates mass at rank 1"
+        );
     }
 
     #[test]
@@ -241,7 +227,7 @@ mod tests {
     #[test]
     fn large_n_does_not_overflow_or_hang() {
         let z = Zipf::power_law(100_000_000);
-        let mut rng = Mt64(6);
+        let mut rng = mt(6);
         for _ in 0..10_000 {
             let k = z.sample(&mut rng);
             assert!((1..=100_000_000).contains(&k));

@@ -18,8 +18,8 @@ use ccheck::{
     check_min, check_union, SumCheckConfig,
 };
 use ccheck_dataflow::{
-    average_by_key, max_by_key, median_by_key, merge_sorted, min_by_key,
-    redistribute_by_key_hash, sort, union, zip,
+    average_by_key, max_by_key, median_by_key, merge_sorted, min_by_key, redistribute_by_key_hash,
+    sort, union, zip,
 };
 use ccheck_hashing::{Hasher, HasherKind};
 use ccheck_net::run;
@@ -101,7 +101,11 @@ fn main() {
 
     println!("certified analytics pipeline over {N} sales records on {PES} PEs\n");
     for (name, ok) in &results[0] {
-        println!("  {:<32} {}", name, if *ok { "VERIFIED" } else { "REJECTED" });
+        println!(
+            "  {:<32} {}",
+            name,
+            if *ok { "VERIFIED" } else { "REJECTED" }
+        );
     }
     assert!(
         results.iter().all(|r| r.iter().all(|&(_, ok)| ok)),

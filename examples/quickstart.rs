@@ -52,7 +52,14 @@ fn main() {
     });
 
     println!("verdicts       : {verdicts:?}");
-    println!("total traffic  : {} bytes over {} messages", stats.total_bytes(), stats.total_messages());
-    assert!(verdicts.iter().all(|&v| v), "correct computation must be accepted");
+    println!(
+        "total traffic  : {} bytes over {} messages",
+        stats.total_bytes(),
+        stats.total_messages()
+    );
+    assert!(
+        verdicts.iter().all(|&v| v),
+        "correct computation must be accepted"
+    );
     println!("OK — correct aggregation accepted on every PE.");
 }

@@ -43,16 +43,31 @@ fn main() {
     println!("distributed sample sort of {N} uniform integers on {PES} PEs\n");
 
     let configs: Vec<(String, PermCheckConfig)> = vec![
-        ("CRC H=2^4".into(), PermCheckConfig::hash_sum(HasherKind::Crc32c, 4)),
-        ("Tab H=2^4".into(), PermCheckConfig::hash_sum(HasherKind::Tab32, 4)),
-        ("Tab H=2^32".into(), PermCheckConfig::hash_sum(HasherKind::Tab32, 32)),
+        (
+            "CRC H=2^4".into(),
+            PermCheckConfig::hash_sum(HasherKind::Crc32c, 4),
+        ),
+        (
+            "Tab H=2^4".into(),
+            PermCheckConfig::hash_sum(HasherKind::Tab32, 4),
+        ),
+        (
+            "Tab H=2^32".into(),
+            PermCheckConfig::hash_sum(HasherKind::Tab32, 32),
+        ),
         (
             "Lipton poly (F_2^61-1)".into(),
-            PermCheckConfig { method: PermMethod::PolyField, iterations: 1 },
+            PermCheckConfig {
+                method: PermMethod::PolyField,
+                iterations: 1,
+            },
         ),
         (
             "GF(2^64) clmul".into(),
-            PermCheckConfig { method: PermMethod::PolyGf64, iterations: 1 },
+            PermCheckConfig {
+                method: PermMethod::PolyGf64,
+                iterations: 1,
+            },
         ),
     ];
 

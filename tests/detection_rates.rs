@@ -123,7 +123,10 @@ fn perm_iterations_square_the_failure_probability() {
     let input = uniform_ints(3, 1 << 30, 0..2_000);
     let measure = |iterations: usize, trials: u64| -> f64 {
         let cfg = PermCheckConfig {
-            method: ccheck::PermMethod::HashSum { hasher: HasherKind::Tab32, log_h: 1 },
+            method: ccheck::PermMethod::HashSum {
+                hasher: HasherKind::Tab32,
+                log_h: 1,
+            },
             iterations,
         };
         let mut failures = 0;

@@ -92,16 +92,14 @@ fn average_verified_and_certificate_attacks_caught() {
         }
         let anyone_attacked = comm.allreduce(target.is_some(), |a, b| a || b);
         assert!(anyone_attacked, "workload produced no even counts");
-        let caught_scaling =
-            !check_average(comm, &data, &bad_avgs, &bad_counts, sum_cfg(), 41);
+        let caught_scaling = !check_average(comm, &data, &bad_avgs, &bad_counts, sum_cfg(), 41);
 
         // Attack 2: nudge an average by 1/count (keeps integrality).
         let mut bad_avgs2 = avg.averages.clone();
         assert!(!bad_avgs2.is_empty(), "every PE owns some keys here");
         let c = avg.counts[0].1 as f64;
         bad_avgs2[0].1 += 1.0 / c;
-        let caught_value =
-            !check_average(comm, &data, &bad_avgs2, &avg.counts, sum_cfg(), 41);
+        let caught_value = !check_average(comm, &data, &bad_avgs2, &avg.counts, sum_cfg(), 41);
 
         ok && caught_scaling && caught_value
     });

@@ -49,9 +49,7 @@ fn real_join_redistribution_verified() {
         let hasher = Hasher::new(HasherKind::Tab64, 9);
         let r_post = redistribute_by_key_hash(comm, r_pre.clone(), &hasher);
         let s_post = redistribute_by_key_hash(comm, s_pre.clone(), &hasher);
-        check_join_redistribution(
-            comm, &r_pre, &r_post, &s_pre, &s_post, &hasher, &perm(), 11,
-        )
+        check_join_redistribution(comm, &r_pre, &r_post, &s_pre, &s_post, &hasher, &perm(), 11)
     });
     assert!(verdicts.iter().all(|&v| v));
 }
@@ -84,8 +82,16 @@ fn real_zip_verified_and_corruption_caught() {
             let b_range = {
                 // PE 0 holds 2 shares of b, last PE correspondingly less.
                 let base = n / (p + 1);
-                let start = if comm.rank() == 0 { 0 } else { (comm.rank() + 1) * base };
-                let end = if comm.rank() + 1 == p { n } else { (comm.rank() + 2) * base };
+                let start = if comm.rank() == 0 {
+                    0
+                } else {
+                    (comm.rank() + 1) * base
+                };
+                let end = if comm.rank() + 1 == p {
+                    n
+                } else {
+                    (comm.rank() + 2) * base
+                };
                 start..end
             };
             let b = uniform_ints(5, 1 << 30, b_range);

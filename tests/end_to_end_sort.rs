@@ -64,7 +64,13 @@ fn polynomial_checkers_detect_too() {
                 }
             }
             let output = sort(comm, working);
-            let perm = PermChecker::new(PermCheckConfig { method, iterations: 1 }, 9);
+            let perm = PermChecker::new(
+                PermCheckConfig {
+                    method,
+                    iterations: 1,
+                },
+                9,
+            );
             check_sorted(comm, &input, &output, &perm)
         });
         assert!(verdicts.iter().all(|&v| !v), "{method:?}");

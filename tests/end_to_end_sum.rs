@@ -114,5 +114,8 @@ fn works_with_xor_reduction() {
         let checker = SumChecker::new(cfg(), 3);
         checker.check_distributed(comm, &local, &output)
     });
-    assert!(verdicts.iter().all(|&v| !v), "xor output must not pass a sum check");
+    assert!(
+        verdicts.iter().all(|&v| !v),
+        "xor output must not pass a sum check"
+    );
 }

@@ -64,10 +64,9 @@ fn pipeline_rejects_injected_fault() {
         // checked stage on manipulated data vs clean output via the
         // low-level API.
         let hasher = ccheck_hashing::Hasher::new(HasherKind::Tab64, 7 ^ 0x7061_7274);
-        let mut out =
-            ccheck_dataflow::reduce_by_key(ctx.comm(), pairs.clone(), &hasher, |a, b| {
-                a.wrapping_add(b)
-            });
+        let mut out = ccheck_dataflow::reduce_by_key(ctx.comm(), pairs.clone(), &hasher, |a, b| {
+            a.wrapping_add(b)
+        });
         if rank == 1 {
             let mut s = 0;
             while !SumManipulator::IncKey.apply(&mut out, s) {

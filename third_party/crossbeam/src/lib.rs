@@ -1,0 +1,118 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is
+//! provided, as thin newtypes over `std::sync::mpsc` (whose `Sender`
+//! has implemented `Sync` since Rust 1.72, which is all the ccheck-net
+//! router needs: an `Arc<Vec<Sender<_>>>` shared across PE threads with
+//! one receiver owned per PE).
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel. Cloneable and `Sync`.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent value like crossbeam's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`; never blocks (the channel is unbounded).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Create an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError, Sender};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn senders_shared_across_threads() {
+        // The exact shape ccheck-net uses: Arc<Vec<Sender>> + one
+        // receiver per thread.
+        let p = 4usize;
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..p {
+            let (tx, rx) = unbounded::<(usize, u64)>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders: Arc<Vec<Sender<(usize, u64)>>> = Arc::new(senders);
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| {
+                let senders = Arc::clone(&senders);
+                thread::spawn(move || {
+                    for dest in 0..p {
+                        senders[dest].send((rank, rank as u64 * 10)).unwrap();
+                    }
+                    let mut sum = 0u64;
+                    for _ in 0..p {
+                        let (_, v) = rx.recv().unwrap();
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 10 + 20 + 30);
+        }
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_dropped() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

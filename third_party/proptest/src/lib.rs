@@ -1,0 +1,640 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! Supports the subset this workspace uses:
+//!
+//! * the [`proptest!`] macro with `name in strategy` and `name: Type`
+//!   parameters (optionally `mut`), doc comments, and an optional
+//!   `#![proptest_config(...)]` header,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//! * strategies: integer/float ranges (`a..b`, `a..=b`, `a..`), tuples
+//!   of strategies, [`collection::vec`], and [`arbitrary::any`] for the
+//!   common scalar/compound types,
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Cases are generated from a **deterministic** per-test seed (derived
+//! from the test's module path, name, and case index), so failures
+//! reproduce exactly across runs and machines. There is no shrinking:
+//! a failing case reports its case index and the assertion message.
+
+pub mod test_runner {
+    /// Runtime configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Failure raised by the `prop_assert*` macros inside a test case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failed property with an explanatory message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic splitmix64-based generator driving all strategies.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test identifier and case index, so every case of
+        /// every test draws from its own reproducible stream.
+        pub fn deterministic(test_id: &str, case: u32) -> Self {
+            // FNV-1a over the identifier, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_id.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: h ^ (u64::from(case) << 32) ^ u64::from(case),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Modulo bias ≤ bound/2^64 — irrelevant at test scales.
+            self.next_u64() % bound
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategies {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    (self.start as $wide).wrapping_add(rng.below(span) as $wide) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (start as $wide).wrapping_add(rng.below(span + 1) as $wide) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    (self.start..=<$t>::MAX).generate(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategies!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4)
+    );
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count bounds for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: r.end().saturating_add(1),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values with a length
+    /// drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec` — vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy (`name: Type`
+    /// parameters in `proptest!`).
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy for any value of `T` (the `any::<T>()` entry point).
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    /// `proptest::arbitrary::any` / `prelude::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Bias towards boundary values, which find edge-case
+                    // bugs far more often than uniform draws.
+                    match rng.below(8) {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 => 1 as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.below(2) == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            match rng.below(8) {
+                0 => 0.0,
+                1 => -1.5,
+                2 => f64::MAX,
+                _ => rng.unit_f64() * 1e6,
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            match rng.below(4) {
+                0 => char::from_u32(rng.below(0x80) as u32).unwrap(),
+                1 => 'é',
+                2 => '🦀',
+                _ => char::from_u32((0x20 + rng.below(0x7E - 0x20)) as u32).unwrap(),
+            }
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let len = rng.below(33) as usize;
+            (0..len).map(|_| char::arbitrary(rng)).collect()
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(T::arbitrary(rng))
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Vec<T> {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let len = rng.below(33) as usize;
+            (0..len).map(|_| T::arbitrary(rng)).collect()
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($(($($t:ident),+)),+) => {$(
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($t::arbitrary(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_tuple!((A), (A, B), (A, B, C), (A, B, C, D));
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    /// `prop::collection::vec(...)` etc., as in the real prelude.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Parameters may be `name in strategy` or
+/// `name: Type` (each optionally `mut`); an optional
+/// `#![proptest_config(expr)]` header sets the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$attr:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $crate::__proptest_case! {
+            ($config) $(#[$attr])* fn $name;
+            params = [ $($params)* , ];
+            acc = ();
+            $body
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters consumed (allowing for the normalization comma
+    // having produced a dangling one) — emit the test function.
+    ( ($config:expr) $(#[$attr:meta])* fn $name:ident;
+      params = [ $(,)? ];
+      acc = ( $( ($($mut_:tt)?) $p:ident = $strategy:expr ; )* );
+      $body:block
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(
+                    let $($mut_)? $p =
+                        $crate::strategy::Strategy::generate(&($strategy), &mut __rng);
+                )*
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case,
+                        __config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    };
+    // `mut name in strategy, ...`
+    ( ($config:expr) $(#[$attr:meta])* fn $name:ident;
+      params = [ mut $p:ident in $strategy:expr , $($rest:tt)* ];
+      acc = ( $($acc:tt)* );
+      $body:block
+    ) => {
+        $crate::__proptest_case! {
+            ($config) $(#[$attr])* fn $name;
+            params = [ $($rest)* ];
+            acc = ( $($acc)* (mut) $p = $strategy ; );
+            $body
+        }
+    };
+    // `name in strategy, ...`
+    ( ($config:expr) $(#[$attr:meta])* fn $name:ident;
+      params = [ $p:ident in $strategy:expr , $($rest:tt)* ];
+      acc = ( $($acc:tt)* );
+      $body:block
+    ) => {
+        $crate::__proptest_case! {
+            ($config) $(#[$attr])* fn $name;
+            params = [ $($rest)* ];
+            acc = ( $($acc)* () $p = $strategy ; );
+            $body
+        }
+    };
+    // `mut name: Type, ...`
+    ( ($config:expr) $(#[$attr:meta])* fn $name:ident;
+      params = [ mut $p:ident : $ty:ty , $($rest:tt)* ];
+      acc = ( $($acc:tt)* );
+      $body:block
+    ) => {
+        $crate::__proptest_case! {
+            ($config) $(#[$attr])* fn $name;
+            params = [ $($rest)* ];
+            acc = ( $($acc)* (mut) $p = $crate::arbitrary::any::<$ty>() ; );
+            $body
+        }
+    };
+    // `name: Type, ...`
+    ( ($config:expr) $(#[$attr:meta])* fn $name:ident;
+      params = [ $p:ident : $ty:ty , $($rest:tt)* ];
+      acc = ( $($acc:tt)* );
+      $body:block
+    ) => {
+        $crate::__proptest_case! {
+            ($config) $(#[$attr])* fn $name;
+            params = [ $($rest)* ];
+            acc = ( $($acc)* () $p = $crate::arbitrary::any::<$ty>() ; );
+            $body
+        }
+    };
+}
+
+/// Assert a boolean property, failing the current case with an
+/// optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // `{}` + argument (not a bare literal) so stringified conditions
+        // containing braces can never be misread as format directives.
+        $crate::prop_assert!($cond, "{}", concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert two expressions are equal (by `PartialEq`), reporting both
+/// values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Assert two expressions are unequal, reporting the shared value on
+/// failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u64..10, b in 1u8..=255, c in -5i64..5, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b >= 1);
+            prop_assert!((-5..5).contains(&c));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        /// Doc comments and `mut` bindings must both parse.
+        #[test]
+        fn mut_and_arbitrary_params(mut v: Vec<u32>, seed: u64, mut w in prop::collection::vec(0u64..7, 0..10)) {
+            v.push(seed as u32);
+            w.push(3);
+            prop_assert!(!v.is_empty());
+            prop_assert!(w.iter().all(|&x| x < 8));
+            prop_assert_eq!(w.last().copied(), Some(3));
+            prop_assert_ne!(v.len(), 0);
+        }
+
+        #[test]
+        fn tuple_and_nested_strategies(
+            pairs in prop::collection::vec((0u64..50, 0u64..1000), 0..40),
+            n in 1usize..4,
+        ) {
+            prop_assert!(pairs.len() < 40);
+            prop_assert!(pairs.iter().all(|&(k, v)| k < 50 && v < 1000));
+            prop_assert!((1..4).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        #[test]
+        fn config_header_is_honoured(x: u64) {
+            // The body runs; determinism of the stream is checked below.
+            let _ = x;
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        use crate::test_runner::TestRng;
+        let a: Vec<u64> = {
+            let mut rng = TestRng::deterministic("me", 3);
+            (0..5).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::deterministic("me", 3);
+            (0..5).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut rng = TestRng::deterministic("me", 4);
+            (0..5).map(|_| rng.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn prop_assert_failure_reports_case() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(2))]
+                #[allow(unused)]
+                fn always_fails(x: u64) {
+                    prop_assert!(false, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("always_fails"), "got: {msg}");
+        assert!(msg.contains("x was"), "got: {msg}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the post-0.9 trait split the workspace sources target:
+//! a fallible core trait ([`rand_core::TryRng`]), an infallible
+//! convenience trait ([`rand_core::Rng`]) blanket-implemented for every
+//! `TryRng<Error = Infallible>`, plus [`SeedableRng`] and the
+//! high-level [`RngExt`] adapters (`random`, `random_range`).
+//!
+//! Only the surface used by this workspace is provided; see
+//! `third_party/README.md`.
+
+pub mod rand_core {
+    use core::convert::Infallible;
+
+    /// A fallible random number generator.
+    pub trait TryRng {
+        /// Error produced when the generator cannot yield output.
+        type Error;
+
+        /// Next 32 bits of randomness.
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+        /// Next 64 bits of randomness.
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+        /// Fill `dest` with random bytes.
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+    }
+
+    /// An infallible random number generator.
+    pub trait Rng {
+        /// Next 32 bits of randomness.
+        fn next_u32(&mut self) -> u32;
+        /// Next 64 bits of randomness.
+        fn next_u64(&mut self) -> u64;
+        /// Fill `dest` with random bytes.
+        fn fill_bytes(&mut self, dest: &mut [u8]);
+    }
+
+    impl<T: TryRng<Error = Infallible> + ?Sized> Rng for T {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            match self.try_next_u32() {
+                Ok(v) => v,
+                Err(e) => match e {},
+            }
+        }
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            match self.try_next_u64() {
+                Ok(v) => v,
+                Err(e) => match e {},
+            }
+        }
+        #[inline]
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            match self.try_fill_bytes(dest) {
+                Ok(()) => (),
+                Err(e) => match e {},
+            }
+        }
+    }
+}
+
+pub use rand_core::Rng;
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed type, typically a byte array.
+    type Seed;
+
+    /// Construct the generator from `seed`.
+    fn from_seed(seed: Self::Seed) -> Self;
+}
+
+/// Types that can be sampled uniformly from an RNG via [`RngExt::random`].
+pub trait Random {
+    /// Draw one value from `rng`.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u32 {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Random for u64 {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for bool {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Ranges that [`RngExt::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value in the range from `rng`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is ≤ span/2^64: negligible for the
+                // experiment-scale ranges this workspace samples.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::random(rng) * (self.end - self.start)
+    }
+}
+
+/// High-level sampling adapters, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draw a uniformly distributed value of type `T`.
+    #[inline]
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Draw a value uniformly from `range`.
+    #[inline]
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::convert::Infallible;
+
+    struct Sm(u64);
+
+    impl rand_core::TryRng for Sm {
+        type Error = Infallible;
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.try_next_u64()? >> 32) as u32)
+        }
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            Ok(z ^ (z >> 31))
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.try_next_u64()?.to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn blanket_rng_and_ext() {
+        let mut rng = Sm(1);
+        let _: u64 = rng.next_u64();
+        let f: f64 = rng.random();
+        assert!((0.0..1.0).contains(&f));
+        for _ in 0..1000 {
+            let v: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u8 = rng.random_range(1u8..=255);
+            assert!(w >= 1);
+            let x: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+            let y: f64 = rng.random_range(2.0f64..3.0);
+            assert!((2.0..3.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_buffer() {
+        let mut rng = Sm(7);
+        let mut buf = [0u8; 33];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn dyn_rng_is_object_safe_enough() {
+        // `Rng` must be usable through `&mut dyn` like the real crate.
+        let mut rng = Sm(3);
+        let r: &mut dyn Rng = &mut rng;
+        let _ = r.next_u32();
+    }
+}
