@@ -12,15 +12,22 @@
 //! with `CCHECK_TRIALS`). Trials whose manipulation is a semantic no-op
 //! are re-drawn, as they carry no information about detection.
 //!
+//! Trials are partitioned across PEs (each rank draws from a disjoint
+//! seed stream) and failure counts merge with an allreduce, so the
+//! experiment parallelizes with `--pes N` and distributes across
+//! processes with `--transport tcp`:
+//!
 //! ```text
-//! cargo run -p ccheck-bench --bin fig3 --release
+//! cargo run -p ccheck-bench --bin fig3 --release [-- --pes 4]
 //! [CCHECK_TRIALS=100000 CCHECK_N=50000]
+//! ccheck-launch -p 4 -- target/release/fig3 --transport tcp
 //! ```
 
 use std::collections::HashMap;
 
 use ccheck::config::{table3_accuracy_shapes, SumCheckConfig};
 use ccheck::SumChecker;
+use ccheck_bench::cli::{partition_trials, run_cell, run_opts, run_spmd};
 use ccheck_bench::env_param;
 use ccheck_hashing::HasherKind;
 use ccheck_manip::SumManipulator;
@@ -38,63 +45,79 @@ fn aggregate(input: &[(u64, u64)]) -> Vec<(u64, u64)> {
 }
 
 fn main() {
+    let opts = run_opts();
     let n = env_param("CCHECK_N", 50_000);
     let trials = env_param("CCHECK_TRIALS", 1_000);
-    println!(
-        "Fig. 3: Sum-aggregation checker accuracy — {n} power-law elements \
-         (10⁶ possible values), {trials} effective trials/cell"
-    );
-    println!("Cells: measured failure rate ÷ δ (≤ 1 ⇒ meets theoretical guarantee)\n");
 
-    // Power-law keys with varying values (SwitchValues needs them).
-    let input = zipf_valued_pairs(1, 1_000_000, 1 << 32, 0..n);
-    let correct = aggregate(&input);
-    let manipulators = SumManipulator::all();
+    run_spmd(&opts, |comm| {
+        let p = comm.size();
+        if comm.rank() == 0 {
+            println!(
+                "Fig. 3: Sum-aggregation checker accuracy — {n} power-law elements \
+                 (10⁶ possible values), {trials} effective trials/cell on {p} PE(s)"
+            );
+            println!("Cells: measured failure rate ÷ δ (≤ 1 ⇒ meets theoretical guarantee)\n");
+        }
 
-    // Header.
-    print!("{:>16} {:>10}", "Config", "δ");
-    for m in &manipulators {
-        print!(" {:>13}", m.label());
-    }
-    println!();
+        // Power-law keys with varying values (SwitchValues needs them);
+        // the generator is deterministic, so every rank holds the same
+        // workload and only the trial seeds differ.
+        let input = zipf_valued_pairs(1, 1_000_000, 1 << 32, 0..n);
+        let correct = aggregate(&input);
+        let manipulators = SumManipulator::all();
 
-    for (its, d, m_exp) in table3_accuracy_shapes() {
-        for hasher in [HasherKind::Crc32c, HasherKind::Tab32] {
-            let cfg = SumCheckConfig::new(its, d, m_exp, hasher);
-            let delta = cfg.failure_bound();
-            print!("{:>16} {:>10.1e}", cfg.label(), delta);
-            for manip in &manipulators {
-                let mut failures = 0u64;
-                let mut effective = 0u64;
-                let mut trial_seed = 0u64;
-                let attempt_cap = 100 * trials as u64;
-                while effective < trials as u64 {
-                    assert!(
-                        trial_seed < attempt_cap,
-                        "manipulator {} produced only no-ops — workload unsuitable",
-                        manip.label()
-                    );
-                    let mut bad = input.clone();
-                    let changed = manip.apply(&mut bad, trial_seed ^ 0xF163);
-                    let seed = trial_seed;
-                    trial_seed += 1;
-                    if !changed {
-                        continue; // semantic no-op: re-draw
-                    }
-                    effective += 1;
-                    let checker = SumChecker::new(cfg, seed);
-                    if checker.check_local(&bad, &correct) {
-                        failures += 1; // accepted an incorrect computation
-                    }
-                }
-                let rate = failures as f64 / effective as f64;
-                print!(" {:>13.3}", rate / delta);
+        // This rank's share of the trials and its private seed stream
+        // (disjoint streams: with p = 1 this reproduces the original
+        // single-threaded experiment seed for seed).
+        let share = partition_trials(comm, trials);
+
+        // Header.
+        if comm.rank() == 0 {
+            print!("{:>16} {:>10}", "Config", "δ");
+            for m in &manipulators {
+                print!(" {:>13}", m.label());
             }
             println!();
         }
-    }
-    println!(
-        "\nNote: cells for low-δ configurations carry limited significance at \
-         {trials} trials (expected failures ≈ δ·trials), as in the paper's own caveat."
-    );
+
+        for (its, d, m_exp) in table3_accuracy_shapes() {
+            for hasher in [HasherKind::Crc32c, HasherKind::Tab32] {
+                let cfg = SumCheckConfig::new(its, d, m_exp, hasher);
+                let delta = cfg.failure_bound();
+                if comm.rank() == 0 {
+                    print!("{:>16} {:>10.1e}", cfg.label(), delta);
+                }
+                for manip in &manipulators {
+                    let (failures, effective) = run_cell(comm, share, &manip.label(), |seed| {
+                        let mut bad = input.clone();
+                        if !manip.apply(&mut bad, seed ^ 0xF163) {
+                            return None; // semantic no-op: re-draw
+                        }
+                        let checker = SumChecker::new(cfg, seed);
+                        // "failure" = accepted an incorrect computation.
+                        Some(checker.check_local(&bad, &correct))
+                    });
+                    if comm.rank() == 0 {
+                        let rate = failures as f64 / effective as f64;
+                        print!(" {:>13.3}", rate / delta);
+                    }
+                }
+                if comm.rank() == 0 {
+                    println!();
+                }
+            }
+        }
+        let stats = comm.gather_stats();
+        if comm.rank() == 0 {
+            println!(
+                "\nNote: cells for low-δ configurations carry limited significance at \
+                 {trials} trials (expected failures ≈ δ·trials), as in the paper's own caveat."
+            );
+            if let Some(stats) = stats {
+                if comm.size() > 1 {
+                    println!("\nCommunication summary:\n{}", stats.render_table());
+                }
+            }
+        }
+    });
 }

@@ -12,67 +12,87 @@
 //! `Increment` manipulator (ratios ≫ 1), tabulation hashing is uniformly
 //! fine — watch the CRC/Increment column.
 //!
+//! Like `fig3`, trials are partitioned across PEs and merged with an
+//! allreduce (`--pes N` / `--transport tcp` under `ccheck-launch`):
+//!
 //! ```text
-//! cargo run -p ccheck-bench --bin fig5 --release
+//! cargo run -p ccheck-bench --bin fig5 --release [-- --pes 4]
 //! [CCHECK_TRIALS=100000 CCHECK_N=1000000]
 //! ```
 
 use ccheck::permutation::{PermCheckConfig, PermChecker};
+use ccheck_bench::cli::{partition_trials, run_cell, run_opts, run_spmd};
 use ccheck_bench::env_param;
 use ccheck_hashing::HasherKind;
 use ccheck_manip::PermManipulator;
 use ccheck_workloads::uniform_ints;
 
 fn main() {
+    let opts = run_opts();
     let n = env_param("CCHECK_N", 100_000);
     let trials = env_param("CCHECK_TRIALS", 400);
-    println!(
-        "Fig. 5: Permutation/Sort checker accuracy — {n} uniform elements \
-         (10⁸ possible values), {trials} effective trials/cell"
-    );
-    println!("Cells: measured failure rate ÷ δ (δ = 2^-logH)\n");
 
-    let input = uniform_ints(2, 100_000_000, 0..n);
-    let log_hs = [1u32, 2, 3, 4, 6, 8, 12];
-    let manipulators = PermManipulator::all();
+    run_spmd(&opts, |comm| {
+        let p = comm.size();
+        if comm.rank() == 0 {
+            println!(
+                "Fig. 5: Permutation/Sort checker accuracy — {n} uniform elements \
+                 (10⁸ possible values), {trials} effective trials/cell on {p} PE(s)"
+            );
+            println!("Cells: measured failure rate ÷ δ (δ = 2^-logH)\n");
+        }
 
-    print!("{:>8}", "Config");
-    for m in &manipulators {
-        print!(" {:>11}", m.label());
-    }
-    println!();
+        let input = uniform_ints(2, 100_000_000, 0..n);
+        let log_hs = [1u32, 2, 3, 4, 6, 8, 12];
+        let manipulators = PermManipulator::all();
 
-    for hasher in [HasherKind::Crc32c, HasherKind::Tab32] {
-        for &log_h in &log_hs {
-            let cfg = PermCheckConfig::hash_sum(hasher, log_h);
-            let delta = (0.5f64).powi(log_h as i32);
-            print!("{:>5}{:<3}", hasher.label(), log_h);
-            for manip in &manipulators {
-                let mut failures = 0u64;
-                let mut effective = 0u64;
-                let mut trial_seed = 0u64;
-                while effective < trials as u64 {
-                    let mut bad = input.clone();
-                    let changed = manip.apply(&mut bad, trial_seed ^ 0xF165);
-                    let seed = trial_seed;
-                    trial_seed += 1;
-                    if !changed {
-                        continue;
-                    }
-                    effective += 1;
-                    let checker = PermChecker::new(cfg, seed);
-                    if checker.check_local(&input, &bad) {
-                        failures += 1;
-                    }
-                }
-                let rate = failures as f64 / effective as f64;
-                print!(" {:>11.3}", rate / delta);
+        let share = partition_trials(comm, trials);
+
+        if comm.rank() == 0 {
+            print!("{:>8}", "Config");
+            for m in &manipulators {
+                print!(" {:>11}", m.label());
             }
             println!();
         }
-    }
-    println!(
-        "\nExpected shape (paper): Tab ratios ≈ 1 everywhere; CRC shows \
-         elevated ratios for Increment (insufficient randomness in low bits)."
-    );
+
+        for hasher in [HasherKind::Crc32c, HasherKind::Tab32] {
+            for &log_h in &log_hs {
+                let cfg = PermCheckConfig::hash_sum(hasher, log_h);
+                let delta = (0.5f64).powi(log_h as i32);
+                if comm.rank() == 0 {
+                    print!("{:>5}{:<3}", hasher.label(), log_h);
+                }
+                for manip in &manipulators {
+                    let (failures, effective) = run_cell(comm, share, manip.label(), |seed| {
+                        let mut bad = input.clone();
+                        if !manip.apply(&mut bad, seed ^ 0xF165) {
+                            return None;
+                        }
+                        let checker = PermChecker::new(cfg, seed);
+                        Some(checker.check_local(&input, &bad))
+                    });
+                    if comm.rank() == 0 {
+                        let rate = failures as f64 / effective as f64;
+                        print!(" {:>11.3}", rate / delta);
+                    }
+                }
+                if comm.rank() == 0 {
+                    println!();
+                }
+            }
+        }
+        let stats = comm.gather_stats();
+        if comm.rank() == 0 {
+            println!(
+                "\nExpected shape (paper): Tab ratios ≈ 1 everywhere; CRC shows \
+                 elevated ratios for Increment (insufficient randomness in low bits)."
+            );
+            if let Some(stats) = stats {
+                if comm.size() > 1 {
+                    println!("\nCommunication summary:\n{}", stats.render_table());
+                }
+            }
+        }
+    });
 }

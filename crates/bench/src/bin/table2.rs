@@ -2,65 +2,105 @@
 //! bucket count `d` and modulus parameter `r̂` for message budgets `b`
 //! and target failure probabilities `δ`.
 //!
+//! The 16 optimization rows are partitioned across PEs and merged with
+//! an allgather, so the search parallelizes with `--pes N` and runs
+//! unmodified across OS processes with `--transport tcp`:
+//!
 //! ```text
-//! cargo run -p ccheck-bench --bin table2 --release
+//! cargo run -p ccheck-bench --bin table2 --release [-- --pes 4]
+//! ccheck-launch -p 4 -- target/release/table2 --transport tcp
 //! ```
 
 use ccheck::params::{optimize, table2_rows};
+use ccheck_bench::cli::{run_opts, run_spmd};
+
+/// One solved row, flattened to `Wire`-encodable primitives:
+/// `(row index, Some((d, log₂r̂, #its, achieved δ, bits)))`.
+type SolvedRow = (u64, Option<(u64, u32, u64, f64, u64)>);
 
 fn main() {
-    println!("Table 2: optimal (d, r̂, #its) per message budget b and target δ");
-    println!("(paper values in parentheses; achieved δ = (1/r̂ + 1/d)^its)\n");
-    println!(
-        "{:>7} {:>8} {:>6} {:>6} {:>6} {:>14} {:>10}",
-        "b", "δ", "d", "log₂r̂", "#its", "achieved δ", "bits used"
-    );
-    // The paper's published optima, for side-by-side comparison.
-    let paper: Vec<(usize, u32, usize)> = vec![
-        (37, 8, 3),
-        (25, 7, 5),
-        (18, 7, 7),
-        (14, 6, 10),
-        (6, 4, 32),
-        (124, 10, 3),
-        (68, 9, 6),
-        (32, 8, 14),
-        (420, 12, 3),
-        (273, 11, 5),
-        (148, 10, 10),
-        (93, 10, 16),
-        (1170, 13, 4),
-        (630, 12, 8),
-        (420, 12, 12),
-        (321, 11, 17),
-    ];
-    let mut mismatches = 0;
-    for ((b, delta), (pd, pm, pits)) in table2_rows().into_iter().zip(paper) {
-        match optimize(b, delta) {
-            Some(opt) => {
-                let marker = if (opt.buckets, opt.log2_rhat, opt.iterations) == (pd, pm, pits) {
-                    ' '
-                } else {
-                    mismatches += 1;
-                    '!'
-                };
-                println!(
-                    "{:>7} {:>8.0e} {:>6} {:>6} {:>6} {:>14.2e} {:>10}{}  (paper: d={pd} m={pm} its={pits})",
-                    b,
-                    delta,
-                    opt.buckets,
-                    opt.log2_rhat,
-                    opt.iterations,
-                    opt.achieved_delta,
-                    opt.bits_used,
-                    marker,
-                );
-            }
-            None => println!("{b:>7} {delta:>8.0e}  -- infeasible --"),
+    let opts = run_opts();
+    run_spmd(&opts, |comm| {
+        let rows = table2_rows();
+        // Round-robin partition of the optimization work.
+        let mine: Vec<SolvedRow> = rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % comm.size() == comm.rank())
+            .map(|(i, &(b, delta))| {
+                let solved = optimize(b, delta).map(|opt| {
+                    (
+                        opt.buckets as u64,
+                        opt.log2_rhat,
+                        opt.iterations as u64,
+                        opt.achieved_delta,
+                        opt.bits_used,
+                    )
+                });
+                (i as u64, solved)
+            })
+            .collect();
+        let mut solved: Vec<SolvedRow> = comm.allgather(mine).into_iter().flatten().collect();
+        solved.sort_by_key(|(i, _)| *i);
+        // Collective: every rank participates, only rank 0 gets the table.
+        let stats = comm.gather_stats();
+
+        if comm.rank() != 0 {
+            return;
         }
-    }
-    println!(
-        "\n{} of 16 rows match the paper's published optima exactly.",
-        16 - mismatches
-    );
+        println!("Table 2: optimal (d, r̂, #its) per message budget b and target δ");
+        println!(
+            "(paper values in parentheses; achieved δ = (1/r̂ + 1/d)^its; \
+             solved on {} PE(s))\n",
+            comm.size()
+        );
+        println!(
+            "{:>7} {:>8} {:>6} {:>6} {:>6} {:>14} {:>10}",
+            "b", "δ", "d", "log₂r̂", "#its", "achieved δ", "bits used"
+        );
+        // The paper's published optima, for side-by-side comparison.
+        let paper: Vec<(u64, u32, u64)> = vec![
+            (37, 8, 3),
+            (25, 7, 5),
+            (18, 7, 7),
+            (14, 6, 10),
+            (6, 4, 32),
+            (124, 10, 3),
+            (68, 9, 6),
+            (32, 8, 14),
+            (420, 12, 3),
+            (273, 11, 5),
+            (148, 10, 10),
+            (93, 10, 16),
+            (1170, 13, 4),
+            (630, 12, 8),
+            (420, 12, 12),
+            (321, 11, 17),
+        ];
+        let mut mismatches = 0;
+        for (((b, delta), (_, solved)), (pd, pm, pits)) in rows.into_iter().zip(solved).zip(paper) {
+            match solved {
+                Some((d, log2_rhat, its, achieved, bits)) => {
+                    let marker = if (d, log2_rhat, its) == (pd, pm, pits) {
+                        ' '
+                    } else {
+                        mismatches += 1;
+                        '!'
+                    };
+                    println!(
+                        "{b:>7} {delta:>8.0e} {d:>6} {log2_rhat:>6} {its:>6} {achieved:>14.2e} \
+                         {bits:>10}{marker}  (paper: d={pd} m={pm} its={pits})",
+                    );
+                }
+                None => println!("{b:>7} {delta:>8.0e}  -- infeasible --"),
+            }
+        }
+        println!(
+            "\n{} of 16 rows match the paper's published optima exactly.",
+            16 - mismatches
+        );
+        if let Some(stats) = stats {
+            println!("\nCommunication summary:\n{}", stats.render_table());
+        }
+    });
 }

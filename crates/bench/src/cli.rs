@@ -1,0 +1,277 @@
+//! Shared command-line handling for the experiment binaries: the
+//! `--transport {local,tcp}` option and the SPMD entry point behind it.
+//!
+//! * `local` (default): PEs run as threads of this process, exactly as
+//!   before — `./table2 --pes 4` is a self-contained 4-PE run.
+//! * `tcp`: this process is **one rank** of a multi-process world wired
+//!   over TCP; rank/world/rendezvous come from the environment set by
+//!   `ccheck-launch`:
+//!
+//!   ```text
+//!   ccheck-launch -p 4 -- target/release/table2 --transport tcp
+//!   ```
+//!
+//! The experiment closures are ordinary SPMD code (they print on rank 0
+//! only), so they run unmodified on either backend.
+
+use ccheck_net::bootstrap;
+use ccheck_net::Comm;
+
+/// Which transport backend an experiment binary should run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportArg {
+    /// In-process threads over channels (the default).
+    Local,
+    /// One process per PE over TCP; requires the `ccheck-launch`
+    /// bootstrap environment.
+    Tcp,
+}
+
+/// Parsed experiment options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOpts {
+    /// Selected backend.
+    pub transport: TransportArg,
+    /// PE count for `local` runs (under `tcp` the world size comes from
+    /// the launcher environment). `None` when `--pes` was not given, so
+    /// binaries can pick their own default without mistaking an explicit
+    /// `--pes 1` for "unset".
+    pub pes: Option<usize>,
+}
+
+impl RunOpts {
+    /// The local-backend PE count: `--pes` if given, else 1.
+    pub fn pes(&self) -> usize {
+        self.pes.unwrap_or(1)
+    }
+}
+
+/// Parse `--transport {local,tcp}` and `--pes N` from `std::env::args`.
+///
+/// Defaults: `--pes 1`, and `local` unless the process was started by
+/// `ccheck-launch` (which exports `CCHECK_TRANSPORT=tcp`), so
+/// `ccheck-launch -p 4 -- ./table2` works without repeating the flag.
+/// Unknown arguments abort with a usage message — the experiment
+/// binaries take their scale parameters from `CCHECK_*` env vars.
+pub fn run_opts() -> RunOpts {
+    parse_opts(std::env::args().skip(1))
+}
+
+fn parse_opts(args: impl Iterator<Item = String>) -> RunOpts {
+    let mut transport = match std::env::var("CCHECK_TRANSPORT").as_deref() {
+        Ok("tcp") => TransportArg::Tcp,
+        _ => TransportArg::Local,
+    };
+    let mut pes = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--transport" => match args.next().as_deref() {
+                Some("local") => transport = TransportArg::Local,
+                Some("tcp") => transport = TransportArg::Tcp,
+                other => usage(&format!("--transport expects local|tcp, got {other:?}")),
+            },
+            "--pes" | "-p" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => pes = Some(v),
+                _ => usage("--pes expects a positive integer"),
+            },
+            other => usage(&format!("unknown option {other:?}")),
+        }
+    }
+    RunOpts { transport, pes }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!(
+        "error: {problem}\n\
+         \n\
+         usage: <experiment> [--transport local|tcp] [--pes N]\n\
+         \n\
+         --transport local   run N PEs as threads in this process (default)\n\
+         --transport tcp     run as one rank of a multi-process TCP world;\n\
+         \u{20}                    start via: ccheck-launch -p N -- <experiment> --transport tcp\n\
+         --pes N             PE count for local runs (default 1)\n\
+         \n\
+         Experiment scale is controlled by CCHECK_* environment variables."
+    );
+    std::process::exit(2);
+}
+
+/// Run `f` as an SPMD region on the configured backend and return the
+/// per-rank results *this process* observed: all ranks for `local`, just
+/// our own rank's for `tcp` (each process is one rank).
+///
+/// `f` must behave like well-formed SPMD code: same collective sequence
+/// on every rank, side effects (printing) gated on `comm.rank() == 0`.
+pub fn run_spmd<R, F>(opts: &RunOpts, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    match opts.transport {
+        TransportArg::Local => ccheck_net::run(opts.pes(), f),
+        TransportArg::Tcp => {
+            let comm = bootstrap::init_from_env().unwrap_or_else(|e| {
+                eprintln!("error: TCP transport bootstrap failed: {e}");
+                std::process::exit(1);
+            });
+            let Some(mut comm) = comm else {
+                eprintln!(
+                    "error: --transport tcp but no bootstrap environment found.\n\
+                     Start this binary under the launcher:\n\
+                     \n\
+                     \u{20}   ccheck-launch -p 4 -- <this binary> --transport tcp"
+                );
+                std::process::exit(2);
+            };
+            vec![f(&mut comm)]
+        }
+    }
+}
+
+/// One rank's share of a Monte-Carlo experiment: its trial count, the
+/// base of its private (disjoint) seed stream, and the per-rank cap on
+/// redraw attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialShare {
+    /// Effective trials this rank must contribute.
+    pub my_trials: u64,
+    /// First seed of this rank's stream; streams of different ranks
+    /// never overlap (they are `attempt_cap` apart).
+    pub seed_base: u64,
+    /// Maximum seeds this rank may consume before the experiment is
+    /// declared unsuitable (too many semantic no-ops).
+    pub attempt_cap: u64,
+}
+
+/// Split `trials` evenly across the PEs of `comm` (remainder to the
+/// lowest ranks). With one PE this reproduces the original sequential
+/// experiments seed for seed.
+pub fn partition_trials(comm: &Comm, trials: usize) -> TrialShare {
+    let p = comm.size() as u64;
+    let rank = comm.rank() as u64;
+    let trials = trials as u64;
+    let attempt_cap = 100 * trials.max(1);
+    TrialShare {
+        my_trials: trials / p + u64::from(rank < trials % p),
+        seed_base: rank * attempt_cap,
+        attempt_cap,
+    }
+}
+
+/// Run one experiment cell SPMD-style and merge it across ranks.
+///
+/// `trial(seed)` returns `None` when the drawn manipulation was a
+/// semantic no-op (the seed is redrawn) and `Some(failed)` otherwise,
+/// where `failed` means the checker wrongly accepted. Returns the
+/// global `(failures, effective_trials)` — identical on every rank.
+/// This is a collective: all ranks must call it for the same cell.
+pub fn run_cell(
+    comm: &mut Comm,
+    share: TrialShare,
+    label: &str,
+    mut trial: impl FnMut(u64) -> Option<bool>,
+) -> (u64, u64) {
+    let mut failures = 0u64;
+    let mut effective = 0u64;
+    let mut offset = 0u64;
+    while effective < share.my_trials {
+        assert!(
+            offset < share.attempt_cap,
+            "manipulator {label} produced only no-ops — workload unsuitable"
+        );
+        let seed = share.seed_base + offset;
+        offset += 1;
+        match trial(seed) {
+            None => continue, // semantic no-op: re-draw
+            Some(failed) => {
+                effective += 1;
+                failures += u64::from(failed);
+            }
+        }
+    }
+    comm.allreduce((failures, effective), |a, b| (a.0 + b.0, a.1 + b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> RunOpts {
+        parse_opts(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_local_single_pe() {
+        std::env::remove_var("CCHECK_TRANSPORT");
+        let opts = parse(&[]);
+        assert_eq!(
+            opts,
+            RunOpts {
+                transport: TransportArg::Local,
+                pes: None
+            }
+        );
+        assert_eq!(opts.pes(), 1);
+    }
+
+    #[test]
+    fn flags_parse() {
+        std::env::remove_var("CCHECK_TRANSPORT");
+        let opts = parse(&["--transport", "local", "--pes", "8"]);
+        assert_eq!(opts.pes, Some(8));
+        assert_eq!(opts.transport, TransportArg::Local);
+        let opts = parse(&["--transport", "tcp"]);
+        assert_eq!(opts.transport, TransportArg::Tcp);
+        let opts = parse(&["-p", "3"]);
+        assert_eq!(opts.pes, Some(3));
+        // An explicit `--pes 1` is an override, not the parser default.
+        assert_eq!(parse(&["--pes", "1"]).pes, Some(1));
+    }
+
+    #[test]
+    fn spmd_local_runs_all_ranks() {
+        let opts = RunOpts {
+            transport: TransportArg::Local,
+            pes: Some(3),
+        };
+        let out = run_spmd(&opts, |comm| comm.allreduce(1u64, |a, b| a + b));
+        assert_eq!(out, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn trials_partition_evenly_with_disjoint_seeds() {
+        let shares = ccheck_net::run(3, |comm| partition_trials(comm, 10));
+        assert_eq!(
+            shares.iter().map(|s| s.my_trials).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        // Streams must not overlap even if a rank consumes its full cap.
+        for pair in shares.windows(2) {
+            assert!(pair[0].seed_base + pair[0].attempt_cap <= pair[1].seed_base);
+        }
+        // Single PE: the original sequential seed stream, from 0.
+        let solo = ccheck_net::run(1, |comm| partition_trials(comm, 10));
+        assert_eq!((solo[0].my_trials, solo[0].seed_base), (10, 0));
+    }
+
+    #[test]
+    fn run_cell_merges_across_ranks() {
+        let out = ccheck_net::run(2, |comm| {
+            let share = partition_trials(comm, 9);
+            // Odd seeds are no-ops; every third effective trial "fails".
+            let mut n = 0u64;
+            run_cell(comm, share, "test", |seed| {
+                if seed % 2 == 1 {
+                    return None;
+                }
+                n += 1;
+                Some(n.is_multiple_of(3))
+            })
+        });
+        assert_eq!(out[0], out[1], "collective result must agree");
+        let (failures, effective) = out[0];
+        assert_eq!(effective, 9);
+        assert!(failures > 0 && failures < effective);
+    }
+}

@@ -14,6 +14,14 @@
 //! Experiment scale is tunable through environment variables
 //! (`CCHECK_TRIALS`, `CCHECK_N`) so CI smoke runs stay fast while full
 //! paper-scale runs remain possible.
+//!
+//! The Monte-Carlo binaries (`table2`, `fig3`, `fig5`) are SPMD programs
+//! over [`cli::run_spmd`]: trials are partitioned across PEs and merged
+//! with collectives, so `--pes N` parallelizes locally and
+//! `--transport tcp` distributes the same code across OS processes under
+//! `ccheck-launch` (see [`cli`]).
+
+pub mod cli;
 
 use std::time::Instant;
 

@@ -1,0 +1,227 @@
+//! `ccheck-launch` — run an SPMD binary as `p` local processes over the
+//! TCP transport backend.
+//!
+//! ```text
+//! ccheck-launch -p 4 [--timeout 60] [--run-timeout 600] -- <command> [args...]
+//! ```
+//!
+//! The launcher binds a rendezvous socket on loopback, spawns `p` copies
+//! of `<command>` with the bootstrap environment set
+//! (`CCHECK_RANK`, `CCHECK_WORLD`, `CCHECK_RENDEZVOUS`,
+//! `CCHECK_TRANSPORT=tcp`, `CCHECK_TIMEOUT`), serves the rank/address
+//! exchange, and waits for all workers. The exit code is 0 only if every
+//! worker exited 0; if a worker dies during rendezvous the launcher
+//! kills the rest and reports it instead of hanging. `--timeout` bounds
+//! the bootstrap phase (rendezvous and mesh construction, worker side
+//! included via `CCHECK_TIMEOUT`); `--run-timeout`, when given, bounds
+//! the workers' run after bootstrap, so a collective deadlock kills the
+//! world instead of hanging a CI job forever.
+//!
+//! Workers obtain their communicator with
+//! [`ccheck_net::bootstrap::init_from_env`] (the `ccheck-bench`
+//! experiment binaries do this when given `--transport tcp`).
+
+use std::net::TcpListener;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+
+use ccheck_net::bootstrap::{self, ENV_RANK, ENV_RENDEZVOUS, ENV_TIMEOUT, ENV_WORLD};
+
+struct Options {
+    procs: usize,
+    timeout: Duration,
+    /// Bound on the run *after* bootstrap; `None` = wait forever.
+    run_timeout: Option<Duration>,
+    command: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ccheck-launch [-p N | --procs N] [--timeout SECS] [--run-timeout SECS]\n\
+         \u{20}                    -- <command> [args...]\n\
+         \n\
+         Runs <command> as N rank-numbered processes wired together over\n\
+         loopback TCP (default N = 2). --timeout bounds bootstrap\n\
+         (default 120s); --run-timeout additionally bounds the run after\n\
+         bootstrap (default: unbounded). Example:\n\
+         \n\
+             ccheck-launch -p 4 -- target/release/table2 --transport tcp"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut procs = 2usize;
+    let mut timeout = Duration::from_secs(120);
+    let mut run_timeout = None;
+    let mut command = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-p" | "--procs" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                procs = v;
+            }
+            "--timeout" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                timeout = Duration::from_secs(v);
+            }
+            "--run-timeout" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                run_timeout = Some(Duration::from_secs(v));
+            }
+            "--" => {
+                command = it.cloned().collect();
+                break;
+            }
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("ccheck-launch: unknown option {other:?}");
+                usage();
+            }
+        }
+    }
+    if command.is_empty() || procs == 0 {
+        usage();
+    }
+    Options {
+        procs,
+        timeout,
+        run_timeout,
+        command,
+    }
+}
+
+/// Check all children; `Some(reason)` if any has already exited. ANY
+/// exit — even a clean one — during rendezvous is fatal: the table is
+/// only broadcast once every rank has joined, so a rank that is gone
+/// can never join and waiting out the full timeout would be pointless.
+fn failed_child(children: &mut [(usize, Child)]) -> Option<String> {
+    for (rank, child) in children.iter_mut() {
+        if let Ok(Some(status)) = child.try_wait() {
+            return Some(format!(
+                "worker {rank} exited with {status} before rendezvous completed"
+            ));
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args);
+
+    let listener = match TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("ccheck-launch: cannot bind rendezvous socket: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendezvous = listener
+        .local_addr()
+        .expect("listener has a local address")
+        .to_string();
+
+    let mut children: Vec<(usize, Child)> = Vec::with_capacity(opts.procs);
+    for rank in 0..opts.procs {
+        let spawned = Command::new(&opts.command[0])
+            .args(&opts.command[1..])
+            .env("CCHECK_TRANSPORT", "tcp")
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_WORLD, opts.procs.to_string())
+            .env(ENV_RENDEZVOUS, &rendezvous)
+            .env(ENV_TIMEOUT, opts.timeout.as_secs().to_string())
+            .stdin(Stdio::null())
+            .spawn();
+        match spawned {
+            Ok(child) => children.push((rank, child)),
+            Err(e) => {
+                eprintln!(
+                    "ccheck-launch: failed to spawn worker {rank} ({}): {e}",
+                    opts.command[0]
+                );
+                for (_, mut child) in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let deadline = Instant::now() + opts.timeout;
+    if let Err(e) = bootstrap::serve_rendezvous(&listener, opts.procs, deadline, || {
+        failed_child(&mut children)
+    }) {
+        eprintln!("ccheck-launch: rendezvous failed: {e}");
+        for (_, child) in children.iter_mut() {
+            let _ = child.kill();
+        }
+        for (_, mut child) in children {
+            let _ = child.wait();
+        }
+        return ExitCode::FAILURE;
+    }
+
+    // Bootstrap is done; wait for the workers' run, bounded by
+    // --run-timeout when given so a collective deadlock in the workers
+    // kills the world instead of hanging the launcher (and any CI job
+    // above it) forever.
+    let run_deadline = opts.run_timeout.map(|t| Instant::now() + t);
+    let mut failures = 0usize;
+    let mut pending = children;
+    while !pending.is_empty() {
+        let mut still_running = Vec::with_capacity(pending.len());
+        for (rank, mut child) in pending {
+            match child.try_wait() {
+                Ok(Some(status)) if status.success() => {}
+                Ok(Some(status)) => {
+                    eprintln!("ccheck-launch: worker {rank} failed: {status}");
+                    failures += 1;
+                }
+                Ok(None) => still_running.push((rank, child)),
+                Err(e) => {
+                    eprintln!("ccheck-launch: waiting for worker {rank}: {e}");
+                    failures += 1;
+                }
+            }
+        }
+        pending = still_running;
+        if pending.is_empty() {
+            break;
+        }
+        if let Some(deadline) = run_deadline {
+            if Instant::now() >= deadline {
+                eprintln!(
+                    "ccheck-launch: run timed out after {}s with {} workers still \
+                     running; killing them",
+                    opts.run_timeout
+                        .expect("deadline implies timeout")
+                        .as_secs(),
+                    pending.len()
+                );
+                failures += pending.len();
+                for (_, child) in pending.iter_mut() {
+                    let _ = child.kill();
+                }
+                for (_, mut child) in pending {
+                    let _ = child.wait();
+                }
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if failures > 0 {
+        eprintln!("ccheck-launch: {failures}/{} workers failed", opts.procs);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

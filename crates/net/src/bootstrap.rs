@@ -1,0 +1,450 @@
+//! Multi-process bootstrap: how `p` OS processes find each other and
+//! become one TCP communication domain.
+//!
+//! Two rendezvous styles, both env/flag driven:
+//!
+//! 1. **Launcher rendezvous** (the default; what `ccheck-launch` does).
+//!    The launcher binds one TCP rendezvous socket and exports
+//!    [`ENV_RANK`], [`ENV_WORLD`], [`ENV_RENDEZVOUS`] to each child.
+//!    Every child binds its own data listener on an ephemeral port,
+//!    reports `(rank, data_addr)` to the rendezvous socket, and receives
+//!    the complete rank-ordered address table back. No port guessing, no
+//!    bind races.
+//! 2. **Static peer table** ([`ENV_PEERS`]): a comma-separated,
+//!    rank-ordered list of `host:port` addresses, for manual multi-host
+//!    deployment. Each process binds the address at its own rank.
+//!
+//! After rendezvous, [`connect`] wires the socket mesh
+//! ([`TcpTransport::connect_mesh`]) and returns a ready [`Comm`]. The
+//! process's [`crate::CommStats`] registry covers all `p` ranks but only
+//! the local rank's counters move; use [`Comm::gather_stats`] for the
+//! global table.
+//!
+//! All failures surface as [`NetError::Bootstrap`]/[`NetError::Io`] —
+//! a missing peer or a malformed handshake must produce a diagnosable
+//! error, not a panic or a hang (rendezvous serving is deadline-bounded).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::comm::Comm;
+use crate::error::{NetError, Result};
+use crate::stats::CommStats;
+use crate::transport::tcp::TcpTransport;
+use crate::wire::{self, Wire};
+
+/// Env var: this process's rank, `0..world`.
+pub const ENV_RANK: &str = "CCHECK_RANK";
+/// Env var: total number of processes in the run.
+pub const ENV_WORLD: &str = "CCHECK_WORLD";
+/// Env var: `host:port` of the launcher's rendezvous socket.
+pub const ENV_RENDEZVOUS: &str = "CCHECK_RENDEZVOUS";
+/// Env var: comma-separated rank-ordered peer `host:port` list
+/// (alternative to [`ENV_RENDEZVOUS`] for static deployments).
+pub const ENV_PEERS: &str = "CCHECK_PEERS";
+/// Env var: handshake timeout in seconds for the worker side of
+/// bootstrap (rendezvous reply and mesh construction). `ccheck-launch`
+/// exports its `--timeout` here so workers wait exactly as long as the
+/// launcher does, instead of a hard-coded 30s undercutting a longer
+/// `--timeout` on a slow or loaded machine.
+pub const ENV_TIMEOUT: &str = "CCHECK_TIMEOUT";
+
+/// How long a process waits for the rendezvous handshake.
+const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Worker-side handshake timeout: [`ENV_TIMEOUT`] seconds when set (and
+/// parseable), else the 30s default.
+pub fn handshake_timeout() -> Duration {
+    std::env::var(ENV_TIMEOUT)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(RENDEZVOUS_TIMEOUT)
+}
+
+/// Configuration of one process's place in a TCP world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// This process's rank.
+    pub rank: usize,
+    /// Total number of processes.
+    pub world: usize,
+    /// Launcher rendezvous address (style 1).
+    pub rendezvous: Option<String>,
+    /// Static rank-ordered peer table (style 2).
+    pub peers: Option<Vec<String>>,
+}
+
+impl TcpConfig {
+    /// Read the configuration from the environment.
+    ///
+    /// Returns `Ok(None)` when [`ENV_RANK`] is unset (the process was not
+    /// started under a launcher), `Err` when the variables are present
+    /// but inconsistent.
+    pub fn from_env() -> Result<Option<TcpConfig>> {
+        let Ok(rank) = std::env::var(ENV_RANK) else {
+            return Ok(None);
+        };
+        let rank: usize = rank
+            .parse()
+            .map_err(|_| NetError::bootstrap(format!("{ENV_RANK} is not a number: {rank:?}")))?;
+        let world: usize = std::env::var(ENV_WORLD)
+            .map_err(|_| NetError::bootstrap(format!("{ENV_WORLD} unset while {ENV_RANK} is set")))?
+            .parse()
+            .map_err(|_| NetError::bootstrap(format!("{ENV_WORLD} is not a number")))?;
+        if world == 0 || rank >= world {
+            return Err(NetError::bootstrap(format!(
+                "rank {rank} out of range for world size {world}"
+            )));
+        }
+        let rendezvous = std::env::var(ENV_RENDEZVOUS).ok();
+        let peers = std::env::var(ENV_PEERS).ok().map(|s| {
+            s.split(',')
+                .map(|a| a.trim().to_string())
+                .collect::<Vec<_>>()
+        });
+        if let Some(ref peers) = peers {
+            if peers.len() != world {
+                return Err(NetError::bootstrap(format!(
+                    "{ENV_PEERS} lists {} addresses for world size {world}",
+                    peers.len()
+                )));
+            }
+        }
+        if rendezvous.is_none() && peers.is_none() {
+            return Err(NetError::bootstrap(format!(
+                "neither {ENV_RENDEZVOUS} nor {ENV_PEERS} is set"
+            )));
+        }
+        Ok(Some(TcpConfig {
+            rank,
+            world,
+            rendezvous,
+            peers,
+        }))
+    }
+}
+
+/// Length-prefixed control message on a rendezvous connection:
+/// `u64 length ++ wire payload`.
+fn send_msg<T: Wire>(stream: &mut TcpStream, value: &T) -> Result<()> {
+    let payload = wire::encode(value);
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    (payload.len() as u64).write(&mut buf);
+    buf.extend_from_slice(&payload);
+    stream
+        .write_all(&buf)
+        .map_err(|e| NetError::io("sending rendezvous message", &e))
+}
+
+fn recv_msg<T: Wire>(stream: &mut TcpStream) -> Result<T> {
+    let mut len = [0u8; 8];
+    stream
+        .read_exact(&mut len)
+        .map_err(|e| NetError::io("reading rendezvous message length", &e))?;
+    let len = u64::from_le_bytes(len);
+    if len > 1 << 20 {
+        return Err(NetError::bootstrap(format!(
+            "rendezvous message of {len} bytes exceeds the 1 MiB cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream
+        .read_exact(&mut payload)
+        .map_err(|e| NetError::io("reading rendezvous message", &e))?;
+    wire::decode(&payload).ok_or_else(|| NetError::bootstrap("undecodable rendezvous message"))
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr> {
+    addr.to_socket_addrs()
+        .map_err(|e| NetError::io(format!("resolving {addr}"), &e))?
+        .next()
+        .ok_or_else(|| NetError::bootstrap(format!("address {addr} resolves to nothing")))
+}
+
+/// Establish this process's communicator according to `config`.
+///
+/// Blocks until all `world` processes have joined (bounded by the
+/// rendezvous/connect timeouts). The returned [`Comm`] owns a fresh
+/// [`CommStats`] registry; its handle is reachable via [`Comm::stats`].
+pub fn connect(config: &TcpConfig) -> Result<Comm> {
+    let (listener, peer_addrs) = if let Some(ref peers) = config.peers {
+        // Static table: bind our preassigned address.
+        let mine = resolve(&peers[config.rank])?;
+        let listener = TcpListener::bind(mine)
+            .map_err(|e| NetError::io(format!("binding data listener on {mine}"), &e))?;
+        let addrs = peers
+            .iter()
+            .map(|a| resolve(a))
+            .collect::<Result<Vec<_>>>()?;
+        (listener, addrs)
+    } else {
+        let rendezvous = config
+            .rendezvous
+            .as_deref()
+            .ok_or_else(|| NetError::bootstrap("no rendezvous address and no peer table"))?;
+        // Ephemeral data listener on the same interface family as the
+        // rendezvous server (loopback for ccheck-launch).
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| NetError::io("binding ephemeral data listener", &e))?;
+        let my_addr = listener
+            .local_addr()
+            .map_err(|e| NetError::io("reading data listener address", &e))?;
+        let mut stream = TcpStream::connect(resolve(rendezvous)?)
+            .map_err(|e| NetError::io(format!("connecting to rendezvous at {rendezvous}"), &e))?;
+        stream
+            .set_read_timeout(Some(handshake_timeout()))
+            .map_err(|e| NetError::io("setting rendezvous timeout", &e))?;
+        send_msg(&mut stream, &(config.rank as u64, my_addr.to_string()))?;
+        let table: Vec<String> = recv_msg(&mut stream)?;
+        if table.len() != config.world {
+            return Err(NetError::bootstrap(format!(
+                "rendezvous returned {} addresses for world size {}",
+                table.len(),
+                config.world
+            )));
+        }
+        let addrs = table
+            .iter()
+            .map(|a| resolve(a))
+            .collect::<Result<Vec<_>>>()?;
+        (listener, addrs)
+    };
+    let transport = TcpTransport::connect_mesh_with_timeout(
+        config.rank,
+        config.world,
+        listener,
+        &peer_addrs,
+        handshake_timeout(),
+    )?;
+    Ok(Comm::over(
+        Box::new(transport),
+        CommStats::new(config.world),
+    ))
+}
+
+/// Initialize from the environment: `Ok(Some(comm))` when launched under
+/// `ccheck-launch` (or with the bootstrap env set manually), `Ok(None)`
+/// for plain single-process invocations.
+pub fn init_from_env() -> Result<Option<Comm>> {
+    match TcpConfig::from_env()? {
+        Some(config) => connect(&config).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// Launcher side of rendezvous style 1: collect `(rank, addr)` from all
+/// `world` processes on `listener`, then send every one of them the
+/// complete rank-ordered address table.
+///
+/// `abort` is polled between accepts (e.g. "has any child died?"); when
+/// it returns true, serving stops with an error instead of hanging until
+/// `deadline`.
+pub fn serve_rendezvous(
+    listener: &TcpListener,
+    world: usize,
+    deadline: Instant,
+    mut abort: impl FnMut() -> Option<String>,
+) -> Result<()> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| NetError::io("making rendezvous listener nonblocking", &e))?;
+    let mut joined: Vec<Option<(TcpStream, String)>> = Vec::new();
+    joined.resize_with(world, || None);
+    let mut count = 0usize;
+    while count < world {
+        if let Some(reason) = abort() {
+            return Err(NetError::bootstrap(format!(
+                "aborted while waiting for workers ({count}/{world} joined): {reason}"
+            )));
+        }
+        if Instant::now() >= deadline {
+            return Err(NetError::bootstrap(format!(
+                "timed out waiting for workers ({count}/{world} joined)"
+            )));
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| NetError::io("configuring rendezvous connection", &e))?;
+                // Never block a handshake read past the caller's
+                // deadline (a connected-but-silent client must not
+                // stretch a 5s --timeout to 30s).
+                let remaining = deadline
+                    .saturating_duration_since(Instant::now())
+                    .min(RENDEZVOUS_TIMEOUT)
+                    .max(Duration::from_millis(10));
+                stream
+                    .set_read_timeout(Some(remaining))
+                    .map_err(|e| NetError::io("setting rendezvous timeout", &e))?;
+                let (rank, addr): (u64, String) = recv_msg(&mut stream)?;
+                let rank = rank as usize;
+                if rank >= world {
+                    return Err(NetError::bootstrap(format!(
+                        "worker announced rank {rank}, world size is {world}"
+                    )));
+                }
+                if joined[rank].is_some() {
+                    return Err(NetError::bootstrap(format!(
+                        "two workers announced rank {rank}"
+                    )));
+                }
+                joined[rank] = Some((stream, addr));
+                count += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(NetError::io("accepting rendezvous connection", &e)),
+        }
+    }
+    let table: Vec<String> = joined
+        .iter()
+        .map(|j| j.as_ref().expect("all joined").1.clone())
+        .collect();
+    for (rank, slot) in joined.into_iter().enumerate() {
+        let (mut stream, _) = slot.expect("all joined");
+        send_msg(&mut stream, &table)
+            .map_err(|_| NetError::bootstrap(format!("worker {rank} left before the table")))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Tag;
+
+    /// Full in-process rehearsal of the multi-process flow: a rendezvous
+    /// server plus `p` worker threads, each bootstrapping its own `Comm`
+    /// via the same code path real processes use, then exchanging a ring
+    /// of messages and tearing down gracefully.
+    #[test]
+    fn rendezvous_bootstrap_end_to_end() {
+        let p = 4;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            serve_rendezvous(
+                &listener,
+                p,
+                Instant::now() + Duration::from_secs(30),
+                || None,
+            )
+        });
+        let workers: Vec<_> = (0..p)
+            .map(|rank| {
+                let config = TcpConfig {
+                    rank,
+                    world: p,
+                    rendezvous: Some(addr.clone()),
+                    peers: None,
+                };
+                std::thread::spawn(move || {
+                    let mut comm = connect(&config).unwrap();
+                    let next = (comm.rank() + 1) % comm.size();
+                    let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                    comm.send(next, Tag::user(1), &(comm.rank() as u64));
+                    let got: u64 = comm.recv(prev, Tag::user(1));
+                    (comm.rank(), got)
+                })
+            })
+            .collect();
+        server.join().unwrap().unwrap();
+        for w in workers {
+            let (rank, got) = w.join().unwrap();
+            assert_eq!(got as usize, (rank + p - 1) % p);
+        }
+    }
+
+    #[test]
+    fn static_peer_table_bootstrap() {
+        let p = 2;
+        // Reserve two ephemeral ports, then re-bind them as the static
+        // table. (Tiny race, fine for a test.)
+        let probes: Vec<TcpListener> = (0..p)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let peers: Vec<String> = probes
+            .iter()
+            .map(|l| l.local_addr().unwrap().to_string())
+            .collect();
+        drop(probes);
+        let workers: Vec<_> = (0..p)
+            .map(|rank| {
+                let config = TcpConfig {
+                    rank,
+                    world: p,
+                    rendezvous: None,
+                    peers: Some(peers.clone()),
+                };
+                std::thread::spawn(move || {
+                    let mut comm = connect(&config).unwrap();
+                    let partner = 1 - comm.rank();
+                    comm.exchange(partner, Tag::user(2), &(comm.rank() as u64))
+                })
+            })
+            .collect();
+        let results: Vec<u64> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        assert_eq!(results, vec![1, 0]);
+    }
+
+    #[test]
+    fn serve_rendezvous_honors_abort() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let err = serve_rendezvous(
+            &listener,
+            2,
+            Instant::now() + Duration::from_secs(30),
+            || Some("worker 1 exited with code 1".into()),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("worker 1 exited"), "{err}");
+    }
+
+    #[test]
+    fn serve_rendezvous_times_out() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let err = serve_rendezvous(&listener, 1, Instant::now(), || None).unwrap_err();
+        assert!(err.to_string().contains("timed out"), "{err}");
+    }
+
+    #[test]
+    fn config_from_env_roundtrip() {
+        // Env-var tests must not run concurrently with each other; this
+        // single test covers all the parse branches sequentially.
+        let clear = || {
+            for k in [ENV_RANK, ENV_WORLD, ENV_RENDEZVOUS, ENV_PEERS] {
+                std::env::remove_var(k);
+            }
+        };
+        clear();
+        assert_eq!(TcpConfig::from_env().unwrap(), None);
+
+        std::env::set_var(ENV_RANK, "1");
+        std::env::set_var(ENV_WORLD, "4");
+        std::env::set_var(ENV_RENDEZVOUS, "127.0.0.1:9999");
+        let cfg = TcpConfig::from_env().unwrap().unwrap();
+        assert_eq!((cfg.rank, cfg.world), (1, 4));
+        assert_eq!(cfg.rendezvous.as_deref(), Some("127.0.0.1:9999"));
+
+        std::env::set_var(ENV_PEERS, "a:1,b:2,c:3");
+        assert!(TcpConfig::from_env().is_err()); // 3 peers, world 4
+
+        std::env::set_var(ENV_PEERS, "a:1, b:2, c:3, d:4");
+        let cfg = TcpConfig::from_env().unwrap().unwrap();
+        assert_eq!(cfg.peers.unwrap()[1], "b:2");
+
+        std::env::set_var(ENV_RANK, "9");
+        assert!(TcpConfig::from_env().is_err()); // rank >= world
+
+        std::env::set_var(ENV_RANK, "0");
+        std::env::remove_var(ENV_RENDEZVOUS);
+        std::env::remove_var(ENV_PEERS);
+        assert!(TcpConfig::from_env().is_err()); // no rendezvous style
+
+        clear();
+    }
+}

@@ -107,7 +107,7 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
-    use crate::router::{run, run_with_stats};
+    use crate::testing::{run_both as run, run_both_with_stats as run_with_stats};
 
     #[test]
     fn matches_tree_allreduce() {

@@ -306,12 +306,51 @@ impl Comm {
         self.send(dest, tag, value);
         self.recv(src, tag)
     }
+
+    /// Gather every PE's *own* communication counters to rank 0 and
+    /// assemble the global [`crate::StatsSnapshot`]: `Some(snapshot)` at
+    /// rank 0, `None` elsewhere.
+    ///
+    /// On the in-process backends all PEs share one registry and a plain
+    /// [`crate::CommStats::snapshot`] already sees everything; in
+    /// multi-process TCP runs each process only populates its own rank's
+    /// counters, and this collective is how the experiment binaries
+    /// rebuild the full per-PE table before printing. The snapshot is
+    /// taken *before* the gather's own traffic is counted.
+    pub fn gather_stats(&mut self) -> Option<crate::stats::StatsSnapshot> {
+        let mine = self.stats().snapshot().per_pe()[self.rank()];
+        let row = (
+            mine.bytes_sent,
+            mine.bytes_recv,
+            mine.msgs_sent,
+            mine.msgs_recv,
+            mine.rounds,
+        );
+        self.gather(0, row).map(|rows| {
+            crate::stats::StatsSnapshot::from_rows(
+                rows.into_iter()
+                    .map(|(bytes_sent, bytes_recv, msgs_sent, msgs_recv, rounds)| {
+                        crate::stats::PeStatsSnapshot {
+                            bytes_sent,
+                            bytes_recv,
+                            msgs_sent,
+                            msgs_recv,
+                            rounds,
+                        }
+                    })
+                    .collect(),
+            )
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::router::{run, run_with_stats};
+    // The whole collectives suite runs on every backend: results and
+    // exact byte/message accounting must match between the in-process
+    // channels and the real TCP socket path.
+    use crate::testing::{run_both as run, run_both_with_stats as run_with_stats};
 
     #[test]
     fn ceil_log2_values() {
@@ -575,7 +614,6 @@ mod tests {
 
     #[test]
     fn hypercube_message_count_is_logarithmic() {
-        use crate::router::run_with_stats;
         // Direct delivery: p·(p−1) messages; hypercube: p·log₂p.
         let p = 16;
         let (_, direct) = run_with_stats(p, |comm| comm.all_to_all(vec![0u8; comm.size()]));
@@ -585,6 +623,31 @@ mod tests {
         // The latency trade-off of §2: fewer messages, more volume.
         assert!(hc.total_messages() < direct.total_messages());
         assert!(hc.total_bytes() > direct.total_bytes());
+    }
+
+    #[test]
+    fn gather_stats_assembles_global_table() {
+        let out = run(4, |comm| {
+            // Some asymmetric traffic first.
+            if comm.rank() == 0 {
+                comm.send(1, crate::comm::Tag::user(1), &vec![0u8; 92]);
+            } else if comm.rank() == 1 {
+                let _: Vec<u8> = comm.recv(0, crate::comm::Tag::user(1));
+            }
+            comm.barrier();
+            let snap = comm.gather_stats();
+            assert_eq!(snap.is_some(), comm.rank() == 0);
+            snap.map(|s| {
+                (
+                    s.per_pe()[0].bytes_sent,
+                    s.per_pe()[1].bytes_recv,
+                    s.per_pe().len(),
+                )
+            })
+        });
+        // 92 payload bytes + 8-byte Vec length prefix.
+        assert_eq!(out[0], Some((100, 100, 4)));
+        assert!(out[1..].iter().all(|o| o.is_none()));
     }
 
     #[test]

@@ -1,19 +1,25 @@
 //! Per-PE communicator: tagged point-to-point messaging with selective
 //! receive, modeled after MPI two-sided semantics.
 //!
-//! A [`Comm`] is owned by exactly one PE thread. Messages are byte buffers
-//! (encoded through [`crate::wire`]) tagged with `(source, Tag)`; `recv`
-//! performs *selective* receive — out-of-order arrivals are stashed in a
-//! pending queue until a matching `recv` is posted. Channels are unbounded,
-//! so sends never block and the tree collectives in
-//! [`crate::collectives`] cannot deadlock.
+//! A [`Comm`] is owned by exactly one PE thread (or process, on the TCP
+//! backend). Messages are byte buffers (encoded through [`crate::wire`])
+//! tagged with `(source, Tag)`; `recv` performs *selective* receive —
+//! out-of-order arrivals are stashed in a pending queue until a matching
+//! `recv` is posted, and deliveries within one `(source, tag)` pair are
+//! FIFO. The physical data path is pluggable: any
+//! [`crate::transport::Transport`] backend works, and because all
+//! [`CommStats`] accounting happens here (on payload bytes, above the
+//! transport), measured communication volume is identical across
+//! backends. Sends never block on either built-in backend (unbounded
+//! queues / kernel socket buffers drained by dedicated reader threads),
+//! so the tree collectives in [`crate::collectives`] cannot deadlock.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use crossbeam::channel::{Receiver, Sender};
-
+use crate::error::NetError;
 use crate::stats::CommStats;
+use crate::transport::{Packet, Transport};
 use crate::wire::{self, Wire};
 
 /// Message tag. User code may use any value below [`Tag::COLLECTIVE_BASE`];
@@ -35,22 +41,16 @@ impl Tag {
     }
 }
 
-#[derive(Debug)]
-pub(crate) struct Packet {
-    pub src: usize,
-    pub tag: Tag,
-    pub payload: Vec<u8>,
-}
-
 /// Communicator handle for one PE.
 ///
-/// Obtained from [`crate::run`] (or [`crate::router::Router::build`]); the
-/// closure passed to `run` receives a `&mut Comm` per spawned PE thread.
+/// Obtained from [`crate::run`] (or [`crate::router::Router::build`]) for
+/// in-process runs, or from [`crate::bootstrap`] for multi-process TCP
+/// runs; the closure passed to `run` receives a `&mut Comm` per spawned
+/// PE thread.
 pub struct Comm {
     rank: usize,
     size: usize,
-    senders: Arc<Vec<Sender<Packet>>>,
-    receiver: Receiver<Packet>,
+    transport: Box<dyn Transport>,
     pending: VecDeque<Packet>,
     stats: Arc<CommStats>,
     /// Monotone counter for collective invocations: SPMD programs invoke
@@ -60,18 +60,22 @@ pub struct Comm {
 }
 
 impl Comm {
-    pub(crate) fn new(
-        rank: usize,
-        size: usize,
-        senders: Arc<Vec<Sender<Packet>>>,
-        receiver: Receiver<Packet>,
-        stats: Arc<CommStats>,
-    ) -> Self {
+    /// Wrap a transport endpoint into a full communicator.
+    ///
+    /// `stats` must track `transport.size()` PEs. For in-process runs all
+    /// communicators share one registry; in multi-process runs each
+    /// process holds its own (only its rank's counters move — use
+    /// [`Comm::gather_stats`] to assemble the global view).
+    pub fn over(transport: Box<dyn Transport>, stats: Arc<CommStats>) -> Self {
+        assert_eq!(
+            stats.num_pes(),
+            transport.size(),
+            "stats registry must cover every PE"
+        );
         Self {
-            rank,
-            size,
-            senders,
-            receiver,
+            rank: transport.rank(),
+            size: transport.size(),
+            transport,
             pending: VecDeque::new(),
             stats,
             coll_seq: 0,
@@ -100,6 +104,10 @@ impl Comm {
     /// Sends are counted against this PE's `bytes_sent`/`msgs_sent` and one
     /// latency round. Sending to self is allowed (delivered through the
     /// pending queue, not counted as network traffic).
+    ///
+    /// # Panics
+    /// Panics if the transport reports the peer gone — an SPMD program
+    /// whose partner died is unrecoverable, mirroring MPI semantics.
     pub fn send_raw(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) {
         assert!(
             dest < self.size,
@@ -117,13 +125,9 @@ impl Comm {
         let pe = self.stats.pe(self.rank);
         pe.record_send(payload.len());
         pe.record_rounds(1);
-        self.senders[dest]
-            .send(Packet {
-                src: self.rank,
-                tag,
-                payload,
-            })
-            .expect("receiver mailbox dropped: peer PE thread exited early");
+        if let Err(err) = self.transport.send(dest, tag, payload) {
+            panic!("PE {}: send to PE {dest} failed: {err}", self.rank);
+        }
     }
 
     /// Encode `value` and send it to `dest` with `tag`.
@@ -147,16 +151,33 @@ impl Comm {
             }
             return pkt.payload;
         }
+        if self.transport.is_closed(src) {
+            // The peer's sending side is gone and nothing matching is
+            // stashed: this message can never arrive.
+            panic!(
+                "PE {}: waiting on PE {src} (tag {:?}): {}",
+                self.rank,
+                tag,
+                NetError::Disconnected { peer: src }
+            );
+        }
         loop {
-            let pkt = self
-                .receiver
-                .recv()
-                .expect("all sender handles dropped: run torn down during recv");
-            if pkt.src == src && pkt.tag == tag {
-                self.stats.pe(self.rank).record_recv(pkt.payload.len());
-                return pkt.payload;
+            match self.transport.recv() {
+                Ok(pkt) => {
+                    if pkt.src == src && pkt.tag == tag {
+                        self.stats.pe(self.rank).record_recv(pkt.payload.len());
+                        return pkt.payload;
+                    }
+                    self.pending.push_back(pkt);
+                }
+                // Another peer finishing early is normal in SPMD programs
+                // whose ranks do different amounts of work.
+                Err(NetError::Disconnected { peer }) if peer != src => continue,
+                Err(err) => panic!(
+                    "PE {}: waiting on PE {src} (tag {:?}): {err}",
+                    self.rank, tag
+                ),
             }
-            self.pending.push_back(pkt);
         }
     }
 
@@ -169,10 +190,14 @@ impl Comm {
         let payload = self.recv_raw(src, tag);
         wire::decode(&payload).unwrap_or_else(|| {
             panic!(
-                "PE {}: message from PE {src} (tag {:?}) failed to decode as {}",
+                "PE {}: message from PE {src} (tag {:?}) failed to decode as {}: {}",
                 self.rank,
                 tag,
-                std::any::type_name::<T>()
+                std::any::type_name::<T>(),
+                NetError::Decode {
+                    from: src,
+                    tag: tag.0
+                }
             )
         })
     }
@@ -206,10 +231,11 @@ impl std::fmt::Debug for Comm {
 mod tests {
     use super::*;
     use crate::run;
+    use crate::testing::run_both;
 
     #[test]
     fn ping_pong() {
-        let out = run(2, |comm| {
+        let out = run_both(2, |comm| {
             let tag = Tag::user(1);
             if comm.rank() == 0 {
                 comm.send(1, tag, &42u64);
@@ -225,7 +251,7 @@ mod tests {
 
     #[test]
     fn selective_receive_out_of_order() {
-        let out = run(2, |comm| {
+        let out = run_both(2, |comm| {
             if comm.rank() == 0 {
                 // Send tag 2 first, then tag 1; receiver asks for 1 first.
                 comm.send(1, Tag::user(2), &222u64);
@@ -239,6 +265,49 @@ mod tests {
             }
         });
         assert_eq!(out[1], 333);
+    }
+
+    /// Regression test: out-of-order arrivals across tags *and* sources
+    /// are stashed and must come back in per-(source, tag) FIFO order —
+    /// on both backends. Each sender emits interleaved sequences on two
+    /// tags; the receiver drains them in a scrambled order relative to
+    /// arrival and checks every (source, tag) stream individually.
+    #[test]
+    fn selective_receive_fifo_per_source_and_tag() {
+        const MSGS: u64 = 8;
+        let out = run_both(4, |comm| {
+            let receiver = 3;
+            if comm.rank() == receiver {
+                let mut streams = Vec::new();
+                // Drain in an order unrelated to arrival: by tag, then by
+                // descending source, interleaving the sequence reads.
+                for tag in [Tag::user(2), Tag::user(1)] {
+                    for src in (0..receiver).rev() {
+                        let seq: Vec<u64> = (0..MSGS).map(|_| comm.recv::<u64>(src, tag)).collect();
+                        streams.push(seq);
+                    }
+                }
+                // Every (source, tag) stream must be exactly 0..MSGS in
+                // order: FIFO within the pair, no cross-talk between
+                // pairs.
+                let expected: Vec<u64> = (0..MSGS).collect();
+                assert!(
+                    streams.iter().all(|s| *s == expected),
+                    "per-(source, tag) FIFO violated: {streams:?}"
+                );
+                streams.len() as u64
+            } else {
+                for i in 0..MSGS {
+                    // Interleave the two tag streams so arrivals at the
+                    // receiver are thoroughly out of order relative to
+                    // the drain order above.
+                    comm.send(receiver, Tag::user(1), &i);
+                    comm.send(receiver, Tag::user(2), &i);
+                }
+                0
+            }
+        });
+        assert_eq!(out[3], 6); // 3 sources × 2 tags
     }
 
     #[test]
@@ -275,7 +344,7 @@ mod tests {
 
     #[test]
     fn exchange_swaps_values() {
-        let out = run(2, |comm| {
+        let out = run_both(2, |comm| {
             let partner = 1 - comm.rank();
             comm.exchange(partner, Tag::user(5), &(comm.rank() as u64))
         });
@@ -291,7 +360,7 @@ mod tests {
     #[test]
     fn many_pes_ring() {
         let p = 8;
-        let out = run(p, |comm| {
+        let out = run_both(p, |comm| {
             let next = (comm.rank() + 1) % comm.size();
             let prev = (comm.rank() + comm.size() - 1) % comm.size();
             comm.send(next, Tag::user(3), &(comm.rank() as u64));
@@ -300,5 +369,15 @@ mod tests {
         for (rank, got) in out.iter().enumerate() {
             assert_eq!(*got as usize, (rank + p - 1) % p);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "stats registry must cover every PE")]
+    fn mismatched_stats_rejected() {
+        let transports = crate::transport::local::LocalTransport::world(2);
+        let _ = Comm::over(
+            Box::new(transports.into_iter().next().unwrap()),
+            CommStats::new(3),
+        );
     }
 }

@@ -7,7 +7,11 @@ use std::fmt;
 /// Most APIs in this crate panic on programmer errors (rank out of bounds,
 /// collective call-order mismatch) because an SPMD program that violates
 /// them is unrecoverable, mirroring MPI semantics. `NetError` is reserved
-/// for conditions a caller can meaningfully handle.
+/// for conditions a caller can meaningfully handle — in particular
+/// everything that can go wrong at the transport boundary (malformed
+/// frames from a remote peer, sockets closing, bootstrap failures), which
+/// must *never* panic inside the transport itself: a remote process is
+/// untrusted input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
     /// A message payload failed to decode as the expected type.
@@ -17,11 +21,63 @@ pub enum NetError {
         /// Tag of the malformed message.
         tag: u64,
     },
-    /// The peer's channel endpoint was dropped (a PE thread panicked).
+    /// The peer's endpoint was dropped (a PE thread panicked, or a remote
+    /// process closed its socket while messages were still expected).
     Disconnected {
         /// Rank whose mailbox is gone.
         peer: usize,
     },
+    /// A malformed, truncated, or oversized frame arrived on a transport
+    /// connection. Carries the rank of the peer the frame came from so
+    /// multi-process runs can name the faulty process.
+    Frame {
+        /// Rank of the peer whose connection produced the bad frame.
+        peer: usize,
+        /// Human-readable description of what was wrong with the frame.
+        reason: String,
+    },
+    /// An I/O error on a transport socket. The kind and message are
+    /// captured as strings so the error stays `Clone + PartialEq`.
+    Io {
+        /// What the transport was doing when the error occurred.
+        context: String,
+        /// `std::io::Error` rendered to text.
+        source: String,
+    },
+    /// Rank-rendezvous bootstrap failed (bad environment, handshake
+    /// violation, or a peer that never showed up).
+    Bootstrap {
+        /// What went wrong.
+        reason: String,
+    },
+    /// Every transport endpoint is gone: the run was torn down while a
+    /// receive was still outstanding.
+    TornDown,
+}
+
+impl NetError {
+    /// Helper: wrap an `std::io::Error` with context.
+    pub(crate) fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
+        NetError::Io {
+            context: context.into(),
+            source: err.to_string(),
+        }
+    }
+
+    /// Helper: a malformed-frame error attributed to `peer`.
+    pub(crate) fn frame(peer: usize, reason: impl Into<String>) -> Self {
+        NetError::Frame {
+            peer,
+            reason: reason.into(),
+        }
+    }
+
+    /// Helper: a bootstrap failure.
+    pub(crate) fn bootstrap(reason: impl Into<String>) -> Self {
+        NetError::Bootstrap {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for NetError {
@@ -31,7 +87,19 @@ impl fmt::Display for NetError {
                 write!(f, "failed to decode message from PE {from} (tag {tag})")
             }
             NetError::Disconnected { peer } => {
-                write!(f, "PE {peer} disconnected (thread exited early)")
+                write!(f, "PE {peer} disconnected (thread or process exited early)")
+            }
+            NetError::Frame { peer, reason } => {
+                write!(f, "bad frame from PE {peer}: {reason}")
+            }
+            NetError::Io { context, source } => {
+                write!(f, "transport I/O error while {context}: {source}")
+            }
+            NetError::Bootstrap { reason } => {
+                write!(f, "bootstrap failed: {reason}")
+            }
+            NetError::TornDown => {
+                write!(f, "communication domain torn down during receive")
             }
         }
     }
@@ -52,11 +120,29 @@ mod tests {
         assert!(e.to_string().contains("PE 3"));
         let e = NetError::Disconnected { peer: 1 };
         assert!(e.to_string().contains("PE 1"));
+        let e = NetError::frame(2, "truncated header");
+        assert!(e.to_string().contains("PE 2"));
+        assert!(e.to_string().contains("truncated header"));
+        let e = NetError::io(
+            "reading frame payload",
+            &std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof"),
+        );
+        assert!(e.to_string().contains("reading frame payload"));
+        let e = NetError::bootstrap("rank 3 never connected");
+        assert!(e.to_string().contains("rank 3"));
+        assert!(NetError::TornDown.to_string().contains("torn down"));
     }
 
     #[test]
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error>(_: &E) {}
         assert_err(&NetError::Disconnected { peer: 0 });
+    }
+
+    #[test]
+    fn errors_compare_and_clone() {
+        let e = NetError::frame(1, "oversized");
+        assert_eq!(e.clone(), e);
+        assert_ne!(e, NetError::frame(2, "oversized"));
     }
 }

@@ -1,43 +1,58 @@
-//! Run harness: spawn `p` PE threads wired together through a shared
-//! router (one unbounded mailbox per PE).
+//! Run harness: spawn `p` PE threads wired together through a pluggable
+//! transport backend (crossbeam channels by default, real TCP loopback
+//! sockets on request).
 
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Sender};
-
-use crate::comm::{Comm, Packet};
-use crate::stats::CommStats;
+use crate::comm::Comm;
+use crate::stats::{CommStats, StatsSnapshot};
+use crate::transport::local::LocalTransport;
+use crate::transport::tcp::TcpTransport;
+use crate::transport::{Backend, Transport};
 
 /// Builder for a `p`-PE communication domain.
 ///
 /// Most users call [`run`]; `Router` is useful when the caller wants to
-/// keep the [`CommStats`] handle to inspect traffic after the run, or to
-/// drive PE threads with custom scheduling.
+/// keep the [`CommStats`] handle to inspect traffic after the run, to
+/// pick a non-default [`Backend`], or to drive PE threads with custom
+/// scheduling.
 pub struct Router {
     comms: Vec<Comm>,
     stats: Arc<CommStats>,
 }
 
 impl Router {
-    /// Create communicators for `p` PEs sharing one statistics registry.
+    /// Create communicators for `p` PEs on the default in-process
+    /// backend, sharing one statistics registry.
     ///
     /// # Panics
     /// Panics if `p == 0`.
     pub fn build(p: usize) -> Self {
+        Self::build_on(Backend::Local, p)
+    }
+
+    /// Create communicators for `p` PEs on the chosen backend.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`, or if the TCP loopback backend cannot set up
+    /// its socket mesh (no loopback networking available).
+    pub fn build_on(backend: Backend, p: usize) -> Self {
         assert!(p > 0, "need at least one PE");
         let stats = CommStats::new(p);
-        let mut senders = Vec::with_capacity(p);
-        let mut receivers = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = unbounded::<Packet>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let senders: Arc<Vec<Sender<Packet>>> = Arc::new(senders);
-        let comms = receivers
+        let transports: Vec<Box<dyn Transport>> = match backend {
+            Backend::Local => LocalTransport::world(p)
+                .into_iter()
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+                .collect(),
+            Backend::TcpLoopback => TcpTransport::loopback_world(p)
+                .expect("failed to build TCP loopback world")
+                .into_iter()
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+                .collect(),
+        };
+        let comms = transports
             .into_iter()
-            .enumerate()
-            .map(|(rank, rx)| Comm::new(rank, p, Arc::clone(&senders), rx, Arc::clone(&stats)))
+            .map(|t| Comm::over(t, Arc::clone(&stats)))
             .collect();
         Self { comms, stats }
     }
@@ -100,32 +115,102 @@ where
     Router::build(p).run(f)
 }
 
-/// Like [`run`], but also returns the final communication statistics.
-pub fn run_with_stats<R, F>(p: usize, f: F) -> (Vec<R>, crate::stats::StatsSnapshot)
+/// Like [`run`], but on an explicit [`Backend`].
+pub fn run_on<R, F>(backend: Backend, p: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(&mut Comm) -> R + Sync,
 {
-    let router = Router::build(p);
+    Router::build_on(backend, p).run(f)
+}
+
+/// Like [`run`], but also returns the final communication statistics.
+pub fn run_with_stats<R, F>(p: usize, f: F) -> (Vec<R>, StatsSnapshot)
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    run_with_stats_on(Backend::Local, p, f)
+}
+
+/// Like [`run_on`], but also returns the final communication statistics.
+pub fn run_with_stats_on<R, F>(backend: Backend, p: usize, f: F) -> (Vec<R>, StatsSnapshot)
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    let router = Router::build_on(backend, p);
     let stats = router.stats();
     let results = router.run(f);
     (results, stats.snapshot())
 }
 
+/// Test support: run workloads on **every** in-process backend and insist
+/// the observable behavior — results *and* exact per-PE communication
+/// accounting — is identical.
+///
+/// This module is `pub` (not `#[cfg(test)]`) so integration tests across
+/// the workspace can parameterize over backends; it is not intended for
+/// production use.
+pub mod testing {
+    use super::*;
+
+    /// All backends [`run_both`] exercises.
+    pub const ALL_BACKENDS: [Backend; 2] = [Backend::Local, Backend::TcpLoopback];
+
+    /// Run `f` on the local and the TCP loopback backend; assert the
+    /// per-rank results agree, then return them.
+    pub fn run_both<R, F>(p: usize, f: F) -> Vec<R>
+    where
+        R: Send + PartialEq + std::fmt::Debug,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        let (results, _) = run_both_with_stats(p, f);
+        results
+    }
+
+    /// Run `f` on both backends; assert that per-rank results *and*
+    /// per-PE byte/message/round counters are identical, then return the
+    /// (shared) outcome.
+    ///
+    /// The stats assertion is the contract the paper's measurements rely
+    /// on: moving from simulated channels to real sockets must not change
+    /// a single counted byte.
+    pub fn run_both_with_stats<R, F>(p: usize, f: F) -> (Vec<R>, StatsSnapshot)
+    where
+        R: Send + PartialEq + std::fmt::Debug,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        let (local_results, local_stats) = run_with_stats_on(Backend::Local, p, &f);
+        let (tcp_results, tcp_stats) = run_with_stats_on(Backend::TcpLoopback, p, &f);
+        assert_eq!(
+            local_results, tcp_results,
+            "local and tcp backends disagree on results (p={p})"
+        );
+        assert_eq!(
+            local_stats.per_pe(),
+            tcp_stats.per_pe(),
+            "local and tcp backends disagree on communication accounting (p={p})"
+        );
+        (local_results, local_stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::testing::{run_both, run_both_with_stats};
     use super::*;
     use crate::comm::Tag;
 
     #[test]
     fn results_in_rank_order() {
-        let out = run(5, |comm| comm.rank() * 10);
+        let out = run_both(5, |comm| comm.rank() * 10);
         assert_eq!(out, vec![0, 10, 20, 30, 40]);
     }
 
     #[test]
     fn single_pe_runs() {
-        let out = run(1, |comm| comm.size());
+        let out = run_both(1, |comm| comm.size());
         assert_eq!(out, vec![1]);
     }
 
@@ -137,7 +222,7 @@ mod tests {
 
     #[test]
     fn run_with_stats_reports_traffic() {
-        let (_, snap) = run_with_stats(2, |comm| {
+        let (_, snap) = run_both_with_stats(2, |comm| {
             if comm.rank() == 0 {
                 comm.send(1, Tag::user(0), &1u8);
             } else {
@@ -150,15 +235,17 @@ mod tests {
 
     #[test]
     fn stats_handle_outlives_run() {
-        let router = Router::build(2);
-        let stats = router.stats();
-        router.run(|comm| {
-            if comm.rank() == 0 {
-                comm.send(1, Tag::user(0), &7u64);
-            } else {
-                let _: u64 = comm.recv(0, Tag::user(0));
-            }
-        });
-        assert_eq!(stats.snapshot().total_bytes(), 8);
+        for backend in testing::ALL_BACKENDS {
+            let router = Router::build_on(backend, 2);
+            let stats = router.stats();
+            router.run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, Tag::user(0), &7u64);
+                } else {
+                    let _: u64 = comm.recv(0, Tag::user(0));
+                }
+            });
+            assert_eq!(stats.snapshot().total_bytes(), 8);
+        }
     }
 }

@@ -115,6 +115,13 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Assemble a snapshot from per-PE rows in rank order. Used by
+    /// [`crate::Comm::gather_stats`] to rebuild the global view from
+    /// counters gathered across processes.
+    pub fn from_rows(per_pe: Vec<PeStatsSnapshot>) -> Self {
+        StatsSnapshot { per_pe }
+    }
+
     /// Per-PE values, indexed by rank.
     pub fn per_pe(&self) -> &[PeStatsSnapshot] {
         &self.per_pe
@@ -143,6 +150,54 @@ impl StatsSnapshot {
     /// Maximum latency rounds on any PE (critical path for the α term).
     pub fn max_rounds(&self) -> u64 {
         self.per_pe.iter().map(|s| s.rounds).max().unwrap_or(0)
+    }
+
+    /// Render the whole snapshot as the standard communication-summary
+    /// table: one row per PE (bytes/messages sent and received, rounds,
+    /// volume) plus the totals and the paper's headline figure, the
+    /// bottleneck communication volume. The experiment binaries and
+    /// examples share this printer so their output stays comparable.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:>6} {:>14} {:>14} {:>10} {:>10} {:>8} {:>14}",
+            "PE", "bytes sent", "bytes recv", "msgs sent", "msgs recv", "rounds", "volume"
+        )
+        .expect("write to String");
+        for (rank, pe) in self.per_pe.iter().enumerate() {
+            writeln!(
+                out,
+                "{:>6} {:>14} {:>14} {:>10} {:>10} {:>8} {:>14}",
+                rank,
+                pe.bytes_sent,
+                pe.bytes_recv,
+                pe.msgs_sent,
+                pe.msgs_recv,
+                pe.rounds,
+                pe.volume()
+            )
+            .expect("write to String");
+        }
+        writeln!(
+            out,
+            "{:>6} {:>14} {:>14} {:>10} {:>10} {:>8}",
+            "total",
+            self.total_bytes(),
+            self.per_pe.iter().map(|s| s.bytes_recv).sum::<u64>(),
+            self.total_messages(),
+            self.per_pe.iter().map(|s| s.msgs_recv).sum::<u64>(),
+            self.max_rounds(),
+        )
+        .expect("write to String");
+        writeln!(
+            out,
+            "bottleneck communication volume: {} bytes (max over PEs of max(sent, recv))",
+            self.bottleneck_volume()
+        )
+        .expect("write to String");
+        out
     }
 
     /// Element-wise difference (`self` minus `earlier`); panics if the PE
@@ -217,6 +272,38 @@ mod tests {
         assert_eq!(snap.bottleneck_volume(), 0);
         assert_eq!(snap.max_rounds(), 0);
         assert_eq!(snap.total_bytes(), 0);
+    }
+
+    #[test]
+    fn from_rows_roundtrips() {
+        let rows = vec![
+            PeStatsSnapshot {
+                bytes_sent: 1,
+                ..Default::default()
+            },
+            PeStatsSnapshot {
+                bytes_recv: 2,
+                ..Default::default()
+            },
+        ];
+        let snap = StatsSnapshot::from_rows(rows.clone());
+        assert_eq!(snap.per_pe(), &rows[..]);
+    }
+
+    #[test]
+    fn render_table_lists_every_pe_and_totals() {
+        let stats = CommStats::new(2);
+        stats.pe(0).record_send(100);
+        stats.pe(1).record_recv(100);
+        stats.pe(0).record_rounds(2);
+        let table = stats.snapshot().render_table();
+        // Header, one row per PE, totals row, bottleneck line.
+        assert_eq!(table.lines().count(), 5);
+        assert!(table.contains("bytes sent"));
+        assert!(table.contains("bottleneck communication volume: 100 bytes"));
+        let totals = table.lines().nth(3).unwrap();
+        assert!(totals.trim_start().starts_with("total"));
+        assert!(totals.contains("100"));
     }
 
     #[test]

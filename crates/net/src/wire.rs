@@ -336,12 +336,95 @@ mod tests {
         assert_eq!(back.to_bits(), v.to_bits());
     }
 
+    // Round-trip properties covering EVERY `Wire` impl in this module —
+    // the invariant promised in the trait docs: for all v,
+    // `decode(encode(v)) == Some(v)` and `encode(v).len() == wire_size(v)`
+    // (both checked by `roundtrip`).
     proptest! {
+        // Fixed-width integers.
+        #[test]
+        fn prop_roundtrip_u8(v: u8) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_u16(v: u16) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_u32(v: u32) { roundtrip(v); }
+
         #[test]
         fn prop_roundtrip_u64(v: u64) { roundtrip(v); }
 
         #[test]
+        fn prop_roundtrip_u128(v: u128) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_i8(v: i8) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_i16(v: i16) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_i32(v: i32) { roundtrip(v); }
+
+        #[test]
         fn prop_roundtrip_i64(v: i64) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_i128(v: i128) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_usize(v: usize) { roundtrip(v); }
+
+        // Scalars with non-trivial encodings.
+        #[test]
+        fn prop_roundtrip_bool(v: bool) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_f64_bitwise(v: f64) {
+            // Bit-level comparison so NaN payloads count too.
+            let back: f64 = decode(&encode(&v)).expect("decode");
+            prop_assert_eq!(back.to_bits(), v.to_bits());
+        }
+
+        #[test]
+        fn prop_roundtrip_unit(v: ()) { roundtrip(v); }
+
+        // Tuples, every arity the module implements.
+        #[test]
+        fn prop_roundtrip_tuple1(v: (u64,)) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_tuple2(v: (u32, i64)) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_tuple3(v: (u8, u16, i128)) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_tuple4(v: (bool, u64, i8, u128)) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_tuple5(v: (u64, u64, u32, i16, bool)) { roundtrip(v); }
+
+        // Containers.
+        #[test]
+        fn prop_roundtrip_option(v: Option<i64>) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_vec(v: Vec<u64>) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_array(v: [u32; 7]) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_array_of_tuples(v: [(u8, i16); 3]) { roundtrip(v); }
+
+        #[test]
+        fn prop_roundtrip_string(v: String) { roundtrip(v); }
+
+        // Composites nesting multiple impls, including the
+        // `Vec<(u64, u64)>` shape the collectives put on the wire.
+        #[test]
+        fn prop_roundtrip_rank_value_pairs(v: Vec<(u64, u64)>) { roundtrip(v); }
 
         #[test]
         fn prop_roundtrip_pairs(v: Vec<(u64, i64)>) { roundtrip(v); }
@@ -350,10 +433,12 @@ mod tests {
         fn prop_roundtrip_nested(v: Vec<Vec<u32>>) { roundtrip(v); }
 
         #[test]
-        fn prop_roundtrip_string(v: String) { roundtrip(v); }
+        fn prop_roundtrip_options(v: Vec<Option<u64>>) { roundtrip(v); }
 
         #[test]
-        fn prop_roundtrip_options(v: Vec<Option<u64>>) { roundtrip(v); }
+        fn prop_roundtrip_deep_composite(v: Vec<(u64, Option<Vec<(u32, bool)>>, String)>) {
+            roundtrip(v);
+        }
 
         #[test]
         fn prop_wire_size_matches(v: Vec<(u64, Option<i32>)>) {
@@ -367,6 +452,24 @@ mod tests {
             let _ = decode::<Vec<(u64, u32)>>(&bytes);
             let _ = decode::<String>(&bytes);
             let _ = decode::<Vec<Option<u64>>>(&bytes);
+            let _ = decode::<(u64, u64, u64)>(&bytes);
+            let _ = decode::<[u64; 4]>(&bytes);
+        }
+
+        #[test]
+        fn prop_concatenated_encodings_stream_decode(a: Vec<u64>, b: (u32, bool), c: String) {
+            // `read` must consume exactly `wire_size` bytes, so values
+            // written back to back decode back out in order — the
+            // property the TCP frame codec relies on.
+            let mut buf = Vec::new();
+            a.write(&mut buf);
+            b.write(&mut buf);
+            c.write(&mut buf);
+            let mut input = &buf[..];
+            prop_assert_eq!(Vec::<u64>::read(&mut input), Some(a));
+            prop_assert_eq!(<(u32, bool)>::read(&mut input), Some(b));
+            prop_assert_eq!(String::read(&mut input), Some(c));
+            prop_assert!(input.is_empty());
         }
     }
 }

@@ -1,0 +1,119 @@
+//! True multi-process integration: spawn `ccheck-launch`, which spawns
+//! rank-numbered worker *processes* that rendezvous over loopback TCP
+//! and run the collective self-test. This is the path real cluster
+//! deployments use; everything in-process is covered elsewhere.
+
+use std::process::Command;
+
+fn launch(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ccheck-launch"))
+        .args(args)
+        .output()
+        .expect("run ccheck-launch")
+}
+
+#[test]
+fn four_process_selftest_over_tcp() {
+    let selftest = env!("CARGO_BIN_EXE_ccheck-net-selftest");
+    let out = launch(&["-p", "4", "--timeout", "120", "--", selftest]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "launcher failed: {}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        out.status
+    );
+    // Rank 0 reports success and prints the gathered accounting table
+    // covering all four ranks.
+    assert!(
+        stdout.contains("4 ranks") && stdout.contains("OK over TCP"),
+        "unexpected stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("bottleneck communication volume:"),
+        "missing stats table:\n{stdout}"
+    );
+}
+
+#[test]
+fn single_process_world_works() {
+    let selftest = env!("CARGO_BIN_EXE_ccheck-net-selftest");
+    let out = launch(&["-p", "1", "--", selftest]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn worker_failure_fails_the_launch() {
+    // A worker that exits nonzero immediately: the launcher must not
+    // hang in rendezvous and must forward the failure.
+    let out = launch(&["-p", "2", "--timeout", "30", "--", "/bin/false"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("rendezvous failed") || stderr.contains("workers failed"),
+        "unexpected stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn clean_early_exit_aborts_promptly() {
+    // Workers that exit 0 without ever joining the rendezvous can never
+    // complete the world; the launcher must abort right away instead of
+    // sitting out the full --timeout.
+    let started = std::time::Instant::now();
+    let out = launch(&["-p", "2", "--timeout", "60", "--", "/bin/true"]);
+    assert!(!out.status.success());
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(20),
+        "launcher waited out the timeout instead of aborting"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("before rendezvous completed"),
+        "unexpected stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn run_timeout_kills_deadlocked_workers() {
+    // The selftest's hang hook deadlocks the world after bootstrap
+    // (rank 0 parks, the rest block in a barrier) — exactly the failure
+    // --run-timeout exists to catch. The launcher must kill the workers
+    // and fail instead of waiting forever.
+    let selftest = env!("CARGO_BIN_EXE_ccheck-net-selftest");
+    let started = std::time::Instant::now();
+    let out = Command::new(env!("CARGO_BIN_EXE_ccheck-launch"))
+        .args([
+            "-p",
+            "2",
+            "--timeout",
+            "60",
+            "--run-timeout",
+            "2",
+            "--",
+            selftest,
+        ])
+        .env("CCHECK_SELFTEST_HANG", "1")
+        .output()
+        .expect("run ccheck-launch");
+    assert!(!out.status.success());
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "launcher did not enforce --run-timeout"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("run timed out") && stderr.contains("workers failed"),
+        "unexpected stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = launch(&["-p", "2"]); // no -- command
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -5,61 +5,75 @@
 //! of how large the input is.
 //!
 //! ```text
-//! cargo run --example quickstart --release
+//! cargo run --example quickstart --release [-- --pes 8]
+//! ```
+//!
+//! The same SPMD body runs as one process per PE over real TCP sockets:
+//!
+//! ```text
+//! cargo build --release --example quickstart -p ccheck-suite
+//! ccheck-launch -p 4 -- target/release/examples/quickstart --transport tcp
 //! ```
 
 use ccheck::{SumCheckConfig, SumChecker};
+use ccheck_bench::cli::{run_opts, run_spmd, TransportArg};
 use ccheck_dataflow::reduce_by_key;
 use ccheck_hashing::{Hasher, HasherKind};
-use ccheck_net::router::run_with_stats;
 use ccheck_workloads::{local_range, zipf_pairs};
 
 fn main() {
-    const PES: usize = 4;
+    let mut opts = run_opts();
+    if opts.transport == TransportArg::Local && opts.pes.is_none() {
+        opts.pes = Some(4); // the classic 4-PE quickstart unless overridden
+    }
     const N: usize = 100_000;
 
     // "5×16 CRC m5": δ ≈ 7.2·10⁻⁶ with a 480-bit minireduction table.
     let cfg = SumCheckConfig::new(5, 16, 5, HasherKind::Crc32c);
-    println!("checker config : {cfg} (δ ≤ {:.1e})", cfg.failure_bound());
 
-    let (verdicts, stats) = run_with_stats(PES, |comm| {
+    run_spmd(&opts, |comm| {
+        let pes = comm.size();
+        if comm.rank() == 0 {
+            println!("checker config : {cfg} (δ ≤ {:.1e})", cfg.failure_bound());
+        }
+
         // Each PE generates its share of a power-law wordcount workload.
-        let local = zipf_pairs(42, 1_000_000, local_range(N, comm.rank(), PES));
+        let local = zipf_pairs(42, 1_000_000, local_range(N, comm.rank(), pes));
 
         // The operation under test: SELECT key, SUM(value) GROUP BY key.
         let hasher = Hasher::new(HasherKind::Tab64, 7);
         let before = comm.stats().snapshot();
         let output = reduce_by_key(comm, local.clone(), &hasher, |a, b| a + b);
-        let op_traffic = comm.stats().snapshot().since(&before);
+        let op_delta = comm.stats().snapshot().since(&before);
 
         // The checker: sublinear communication, one-sided error.
         let before = comm.stats().snapshot();
         let checker = SumChecker::new(cfg, 12345);
         let ok = checker.check_distributed(comm, &local, &output);
-        let check_traffic = comm.stats().snapshot().since(&before);
+        let check_delta = comm.stats().snapshot().since(&before);
+
+        // Bottleneck volume = max over PEs; computed with a collective so
+        // it is exact on the multi-process backend too (where each
+        // process only sees its own counters).
+        let my_op = op_delta.per_pe()[comm.rank()].volume();
+        let my_check = check_delta.per_pe()[comm.rank()].volume();
+        let op_volume = comm.allreduce(my_op, u64::max);
+        let check_volume = comm.allreduce(my_check, u64::max);
+        let all_ok = comm.all_agree(ok);
+        let stats = comm.gather_stats();
 
         if comm.rank() == 0 {
+            println!("operation      : {op_volume} bytes bottleneck volume");
+            println!("checker        : {check_volume} bytes bottleneck volume");
+            println!("verdict        : accepted on every PE = {all_ok}");
             println!(
-                "operation      : {} bytes bottleneck volume",
-                op_traffic.bottleneck_volume()
-            );
-            println!(
-                "checker        : {} bytes bottleneck volume",
-                check_traffic.bottleneck_volume()
+                "\nCommunication summary ({pes} PEs):\n{}",
+                stats.expect("rank 0 gathers").render_table()
             );
         }
-        ok
+        assert!(all_ok, "correct computation must be accepted");
+        if comm.rank() == 0 {
+            println!("OK — correct aggregation accepted on every PE.");
+        }
     });
-
-    println!("verdicts       : {verdicts:?}");
-    println!(
-        "total traffic  : {} bytes over {} messages",
-        stats.total_bytes(),
-        stats.total_messages()
-    );
-    assert!(
-        verdicts.iter().all(|&v| v),
-        "correct computation must be accepted"
-    );
-    println!("OK — correct aggregation accepted on every PE.");
 }

@@ -294,6 +294,22 @@ pub mod arbitrary {
         }
     }
 
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for () {
+        fn arbitrary(_rng: &mut TestRng) -> Self {}
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> Self {
             rng.below(2) == 1
@@ -362,7 +378,7 @@ pub mod arbitrary {
         )+};
     }
 
-    impl_arbitrary_tuple!((A), (A, B), (A, B, C), (A, B, C, D));
+    impl_arbitrary_tuple!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
 }
 
 /// The glob-import surface: `use proptest::prelude::*;`.
