@@ -1,0 +1,107 @@
+//! Criterion microbenchmark for the streaming sketch core: elements/sec
+//! of `Sketch::update` for every sketch-backed checker, plus the cost of
+//! a chunked fold (update + merge) relative to the one-shot fold — the
+//! number that certifies chunking is free.
+
+use ccheck::config::SumCheckConfig;
+use ccheck::permutation::PermCheckConfig;
+use ccheck::sketch::{digest_chunked, Sketch};
+use ccheck::{PermChecker, SumChecker, XorCheckConfig, XorChecker, ZipCheckConfig, ZipChecker};
+use ccheck_hashing::HasherKind;
+use ccheck_workloads::{uniform_ints, zipf_pairs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const N: usize = 100_000;
+
+fn pair_workload() -> Vec<(u64, u64)> {
+    let keys = zipf_pairs(42, 1_000_000, 0..N);
+    let values = uniform_ints(43, u64::MAX, 0..N);
+    keys.into_iter()
+        .zip(values)
+        .map(|((k, _), v)| (k, v))
+        .collect()
+}
+
+fn bench_sketch_update(c: &mut Criterion) {
+    let pairs = pair_workload();
+    let ints = uniform_ints(7, 100_000_000, 0..N);
+
+    let mut group = c.benchmark_group("sketch_update");
+    group.throughput(Throughput::Elements(N as u64));
+
+    let sum = SumChecker::new(SumCheckConfig::new(4, 8, 5, HasherKind::Crc32c), 1);
+    group.bench_function(BenchmarkId::from_parameter("sum 4x8 CRC m5"), |b| {
+        b.iter(|| {
+            let mut sk = sum.sketch();
+            for &pair in std::hint::black_box(&pairs) {
+                sk.update(pair);
+            }
+            std::hint::black_box(sk.finalize())
+        })
+    });
+
+    let xor = XorChecker::new(XorCheckConfig::new(4, 16, HasherKind::Tab64), 1);
+    group.bench_function(BenchmarkId::from_parameter("xor 4x16 Tab64"), |b| {
+        b.iter(|| {
+            let mut sk = xor.sketch();
+            for &pair in std::hint::black_box(&pairs) {
+                sk.update(pair);
+            }
+            std::hint::black_box(sk.finalize())
+        })
+    });
+
+    let perm = PermChecker::new(PermCheckConfig::hash_sum(HasherKind::Tab64, 32), 1);
+    group.bench_function(BenchmarkId::from_parameter("perm hash-sum Tab32bit"), |b| {
+        b.iter(|| {
+            let mut sk = perm.sketch();
+            for &x in std::hint::black_box(&ints) {
+                sk.update(x);
+            }
+            std::hint::black_box(sk.finalize())
+        })
+    });
+
+    let zip = ZipChecker::new(ZipCheckConfig::default(), 1);
+    group.bench_function(BenchmarkId::from_parameter("zip 2-iter Tab64"), |b| {
+        b.iter(|| {
+            let mut sk = zip.sketch(0, 0);
+            for &x in std::hint::black_box(&ints) {
+                sk.update(x);
+            }
+            std::hint::black_box(sk.finalize())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_chunked_vs_one_shot(c: &mut Criterion) {
+    // The merge overhead of chunked folding must be negligible: one
+    // table merge per chunk amortized over `chunk` updates.
+    let pairs = pair_workload();
+    let sum = SumChecker::new(SumCheckConfig::new(4, 8, 5, HasherKind::Crc32c), 1);
+
+    let mut group = c.benchmark_group("sum_sketch_chunked_fold");
+    group.throughput(Throughput::Elements(N as u64));
+    for chunk in [1usize << 10, 1 << 14, usize::MAX] {
+        let label = if chunk == usize::MAX {
+            "one-shot".to_string()
+        } else {
+            format!("chunk {chunk}")
+        };
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                std::hint::black_box(digest_chunked(
+                    || sum.sketch(),
+                    std::hint::black_box(&pairs).iter().copied(),
+                    chunk,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch_update, bench_chunked_vs_one_shot);
+criterion_main!(benches);

@@ -31,6 +31,9 @@ fn main() {
     let opts = run_opts();
     let n = env_param("CCHECK_N", 100_000);
     let trials = env_param("CCHECK_TRIALS", 400);
+    // `--chunk`: fold both sides through the streaming sketch path in
+    // chunks (verdicts identical by chunking invariance).
+    let chunk = opts.chunk;
 
     run_spmd(&opts, |comm| {
         let p = comm.size();
@@ -39,6 +42,10 @@ fn main() {
                 "Fig. 5: Permutation/Sort checker accuracy — {n} uniform elements \
                  (10⁸ possible values), {trials} effective trials/cell on {p} PE(s)"
             );
+            match chunk {
+                Some(c) => println!("Checker execution: streaming sketches, {c}-element chunks"),
+                None => println!("Checker execution: materialized slices (use --chunk to stream)"),
+            }
             println!("Cells: measured failure rate ÷ δ (δ = 2^-logH)\n");
         }
 
@@ -70,7 +77,10 @@ fn main() {
                             return None;
                         }
                         let checker = PermChecker::new(cfg, seed);
-                        Some(checker.check_local(&input, &bad))
+                        Some(match chunk {
+                            Some(c) => checker.check_local_chunked(&input, &bad, c),
+                            None => checker.check_local(&input, &bad),
+                        })
                     });
                     if comm.rank() == 0 {
                         let rate = failures as f64 / effective as f64;

@@ -10,6 +10,11 @@
 //! cargo run -p ccheck-bench --bin table2 --release [-- --pes 4]
 //! ccheck-launch -p 4 -- target/release/table2 --transport tcp
 //! ```
+//!
+//! Accepts the shared `--chunk` knob like every experiment binary; the
+//! parameter search itself has no per-element data to stream, so the
+//! flag is a no-op here (see `fig3`/`fig5`/`streaming_sum` for binaries
+//! where it switches execution modes).
 
 use ccheck::params::{optimize, table2_rows};
 use ccheck_bench::cli::{run_opts, run_spmd};

@@ -37,12 +37,23 @@ pub struct RunOpts {
     /// binaries can pick their own default without mistaking an explicit
     /// `--pes 1` for "unset".
     pub pes: Option<usize>,
+    /// Streaming chunk size in elements (`--chunk`). `None` means
+    /// materialized (slice-based) execution; `Some(c)` switches the
+    /// experiment binaries onto the sketch/chunked streaming paths with
+    /// batches of `c` elements, so streaming vs. materialized execution
+    /// is benchmarkable from the CLI.
+    pub chunk: Option<usize>,
 }
 
 impl RunOpts {
     /// The local-backend PE count: `--pes` if given, else 1.
     pub fn pes(&self) -> usize {
         self.pes.unwrap_or(1)
+    }
+
+    /// The streaming chunk size: `--chunk` if given, else `default`.
+    pub fn chunk_or(&self, default: usize) -> usize {
+        self.chunk.unwrap_or(default)
     }
 }
 
@@ -63,6 +74,7 @@ fn parse_opts(args: impl Iterator<Item = String>) -> RunOpts {
         _ => TransportArg::Local,
     };
     let mut pes = None;
+    let mut chunk = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,22 +87,32 @@ fn parse_opts(args: impl Iterator<Item = String>) -> RunOpts {
                 Some(v) if v > 0 => pes = Some(v),
                 _ => usage("--pes expects a positive integer"),
             },
+            "--chunk" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => chunk = Some(v),
+                _ => usage("--chunk expects a positive element count"),
+            },
             other => usage(&format!("unknown option {other:?}")),
         }
     }
-    RunOpts { transport, pes }
+    RunOpts {
+        transport,
+        pes,
+        chunk,
+    }
 }
 
 fn usage(problem: &str) -> ! {
     eprintln!(
         "error: {problem}\n\
          \n\
-         usage: <experiment> [--transport local|tcp] [--pes N]\n\
+         usage: <experiment> [--transport local|tcp] [--pes N] [--chunk ELEMS]\n\
          \n\
          --transport local   run N PEs as threads in this process (default)\n\
          --transport tcp     run as one rank of a multi-process TCP world;\n\
          \u{20}                    start via: ccheck-launch -p N -- <experiment> --transport tcp\n\
          --pes N             PE count for local runs (default 1)\n\
+         --chunk ELEMS       stream data through the checkers in ELEMS-sized\n\
+         \u{20}                    chunks (bounded memory) instead of whole slices\n\
          \n\
          Experiment scale is controlled by CCHECK_* environment variables."
     );
@@ -209,10 +231,12 @@ mod tests {
             opts,
             RunOpts {
                 transport: TransportArg::Local,
-                pes: None
+                pes: None,
+                chunk: None
             }
         );
         assert_eq!(opts.pes(), 1);
+        assert_eq!(opts.chunk_or(4096), 4096);
     }
 
     #[test]
@@ -227,6 +251,9 @@ mod tests {
         assert_eq!(opts.pes, Some(3));
         // An explicit `--pes 1` is an override, not the parser default.
         assert_eq!(parse(&["--pes", "1"]).pes, Some(1));
+        let opts = parse(&["--chunk", "1024"]);
+        assert_eq!(opts.chunk, Some(1024));
+        assert_eq!(opts.chunk_or(4096), 1024);
     }
 
     #[test]
@@ -234,6 +261,7 @@ mod tests {
         let opts = RunOpts {
             transport: TransportArg::Local,
             pes: Some(3),
+            chunk: None,
         };
         let out = run_spmd(&opts, |comm| comm.allreduce(1u64, |a, b| a + b));
         assert_eq!(out, vec![3, 3, 3]);

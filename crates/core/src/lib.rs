@@ -30,6 +30,7 @@
 //! | §6.5.3 Cor 14 | [`redistribution`] | [`check_groupby_redistribution`] |
 //! | §6.5.4 Cor 15 | [`redistribution`] | [`check_join_redistribution`] |
 //! | §2 | [`integrity`] | [`replicated_consistent`] |
+//! | (streaming core) | [`sketch`] | [`Sketch`] — `update`/`merge`/`finalize` behind every checker |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,42 @@
 //!
 //! Distributed use is identical but calls `check_distributed(comm, …)`
 //! inside a [`ccheck_net::run`] SPMD region; see the repository examples.
+//!
+//! ## Streaming (out-of-core) checking
+//!
+//! Every checker is a mergeable one-pass [`Sketch`] underneath: instead
+//! of handing it slices, feed elements with [`Sketch::update`], combine
+//! per-chunk sketches with [`Sketch::merge`], and compare
+//! [`Sketch::finalize`] digests — memory stays constant no matter how
+//! large `n` grows, and any chunking produces bit-identical digests:
+//!
+//! ```
+//! use ccheck::sketch::Sketch;
+//! use ccheck::{SumChecker, SumCheckConfig};
+//! use ccheck_hashing::HasherKind;
+//!
+//! let checker = SumChecker::new(SumCheckConfig::new(4, 8, 5, HasherKind::Crc32c), 42);
+//!
+//! // The same check as above, element-at-a-time: no input slice, no
+//! // asserted-output slice, just two O(its·d) sketches.
+//! let mut input = checker.sketch();
+//! for pair in [(1u64, 10u64), (2, 5), (1, 7), (2, 1)] {
+//!     input.update(pair); // stream from disk / generator / network
+//! }
+//! let mut asserted = checker.sketch();
+//! asserted.update_iter([(1u64, 17u64), (2, 6)]);
+//! assert_eq!(input.finalize(), asserted.finalize());
+//!
+//! // Chunked folding merges to the identical digest.
+//! let mut a = checker.sketch();
+//! a.update_iter([(1u64, 10u64), (2, 5)]);
+//! let mut b = checker.sketch();
+//! b.update_iter([(1u64, 7u64), (2, 1)]);
+//! a.merge(b);
+//! let mut whole = checker.sketch();
+//! whole.update_iter([(1u64, 10u64), (2, 5), (1, 7), (2, 1)]);
+//! assert_eq!(a.finalize(), whole.finalize());
+//! ```
 
 pub mod average;
 pub mod config;
@@ -63,6 +100,7 @@ pub mod minmax;
 pub mod params;
 pub mod permutation;
 pub mod redistribution;
+pub mod sketch;
 pub mod sort;
 pub mod sum;
 pub mod union;
@@ -76,12 +114,13 @@ pub use integrity::replicated_consistent;
 pub use median::{check_median_unique, check_median_with_cert, MedianTieCert};
 pub use minmax::{check_extrema, check_extrema_bitvector, check_max, check_min, Extremum};
 pub use params::{optimize, OptimalConfig};
-pub use permutation::{PermCheckConfig, PermChecker, PermMethod};
+pub use permutation::{PermCheckConfig, PermChecker, PermMethod, PermSketch};
 pub use redistribution::{
     check_groupby_redistribution, check_join_redistribution, check_range_redistribution,
 };
+pub use sketch::Sketch;
 pub use sort::{check_merge, check_sorted};
-pub use sum::SumChecker;
+pub use sum::{SumChecker, SumSketch};
 pub use union::check_union;
-pub use xorsum::{XorCheckConfig, XorChecker};
-pub use zip::{ZipCheckConfig, ZipChecker};
+pub use xorsum::{XorCheckConfig, XorChecker, XorSketch};
+pub use zip::{ZipCheckConfig, ZipChecker, ZipPairSketch, ZipSketch};

@@ -24,6 +24,8 @@ use ccheck_hashing::gf64::gf_mul;
 use ccheck_hashing::{Hasher, HasherKind, Mt19937_64};
 use ccheck_net::Comm;
 
+use crate::sketch::Sketch;
+
 /// Fingerprinting method for permutation checking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PermMethod {
@@ -112,44 +114,40 @@ impl PermChecker {
         rng.next()
     }
 
-    /// Local additive hash-sum fingerprint (Lemma 4, exact accumulation).
-    fn hash_sum_local(&self, iter: usize, hasher: HasherKind, log_h: u32, data: &[u64]) -> u128 {
-        let h = Hasher::new(hasher, self.instance_seed(iter));
-        let mask = if log_h == 64 {
-            u64::MAX
-        } else {
-            (1u64 << log_h) - 1
-        };
-        let mut acc: u128 = 0;
-        for &x in data {
-            acc += u128::from(h.hash(x) & mask);
+    /// The prepared per-iteration instance (seeded hasher or evaluation
+    /// point) every fingerprint fold runs over.
+    fn instance(&self, iter: usize) -> PermInstance {
+        match self.cfg.method {
+            PermMethod::HashSum { hasher, log_h } => PermInstance::HashSum {
+                h: Hasher::new(hasher, self.instance_seed(iter)),
+                mask: if log_h == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << log_h) - 1
+                },
+            },
+            PermMethod::PolyField => PermInstance::PolyField {
+                z: Mersenne61::from_u64(self.eval_point(iter)),
+            },
+            PermMethod::PolyGf64 => PermInstance::PolyGf64 {
+                z: self.eval_point(iter) | 1, // nonzero
+            },
         }
-        acc
     }
 
-    /// Local multiplicative fingerprint `Π (z − eᵢ)` in 𝔽_{2⁶¹−1}.
-    ///
-    /// Elements are canonicalized into the field. Lemma 5's bound holds
-    /// for universes below `2⁶¹ − 1`; larger elements (e.g. produced by
-    /// a high-bit flip in faulty data) alias modulo p — the checker then
-    /// still never rejects a correct result, and misses a corruption
-    /// only if the faulty value differs from the original by an exact
-    /// multiple of `2⁶¹ − 1`.
-    fn poly_field_local(&self, z: u64, data: &[u64]) -> u64 {
-        let mut acc = 1u64;
-        for &x in data {
-            acc = Mersenne61::mul(acc, Mersenne61::sub(z, Mersenne61::from_u64(x)));
+    /// A fresh, empty streaming sketch for this checker (see
+    /// [`crate::sketch::Sketch`]): all iterations' fingerprints advance
+    /// in one pass over the data.
+    pub fn sketch(&self) -> PermSketch<'_> {
+        let instances: Vec<PermInstance> =
+            (0..self.cfg.iterations).map(|i| self.instance(i)).collect();
+        let accs = instances.iter().map(PermInstance::identity).collect();
+        PermSketch {
+            checker: self,
+            instances,
+            accs,
+            count: 0,
         }
-        acc
-    }
-
-    /// Local multiplicative fingerprint `Π (z ⊕ eᵢ)` in GF(2⁶⁴).
-    fn poly_gf64_local(&self, z: u64, data: &[u64]) -> u64 {
-        let mut acc = 1u64;
-        for &x in data {
-            acc = gf_mul(acc, z ^ x);
-        }
-        acc
     }
 
     /// Distributed permutation check: is the multiset `output` a
@@ -162,47 +160,73 @@ impl PermChecker {
     /// Check that `output` is a permutation of the concatenation of
     /// several input sequences (the Union checker's shape, Corollary 12).
     pub fn check_concat(&self, comm: &mut Comm, inputs: &[&[u64]], output: &[u64]) -> bool {
-        // Global length equality first.
-        let n_in: u64 = inputs.iter().map(|s| s.len() as u64).sum();
-        let n_out = output.len() as u64;
-        let (tot_in, tot_out) = comm.allreduce((n_in, n_out), |a, b| (a.0 + b.0, a.1 + b.1));
+        let mut in_sk = self.sketch();
+        for s in inputs {
+            in_sk.update_iter(s.iter().copied());
+        }
+        let mut out_sk = self.sketch();
+        out_sk.update_iter(output.iter().copied());
+        self.check_distributed_sketches(comm, in_sk, out_sk)
+    }
+
+    /// Streaming form of [`PermChecker::check`]: both sides consumed
+    /// element-at-a-time, O(iterations) memory per PE.
+    pub fn check_stream<I, J>(&self, comm: &mut Comm, input: I, output: J) -> bool
+    where
+        I: IntoIterator<Item = u64>,
+        J: IntoIterator<Item = u64>,
+    {
+        let mut in_sk = self.sketch();
+        in_sk.update_iter(input);
+        let mut out_sk = self.sketch();
+        out_sk.update_iter(output);
+        self.check_distributed_sketches(comm, in_sk, out_sk)
+    }
+
+    /// Distributed check over pre-folded sketches — the collective
+    /// driver of every permutation check: one length allreduce, then one
+    /// fingerprint-pair allreduce per iteration (byte-identical to the
+    /// historical slice-based implementation).
+    ///
+    /// # Panics
+    /// Panics if either sketch belongs to a different checker instance.
+    pub fn check_distributed_sketches(
+        &self,
+        comm: &mut Comm,
+        input: PermSketch<'_>,
+        output: PermSketch<'_>,
+    ) -> bool {
+        assert!(
+            std::ptr::eq(input.checker, self) && std::ptr::eq(output.checker, self),
+            "sketches must come from this checker instance"
+        );
+        // Global length equality first (a degenerate mismatch no
+        // fingerprint is guaranteed to catch).
+        let (tot_in, tot_out) =
+            comm.allreduce((input.count, output.count), |a, b| (a.0 + b.0, a.1 + b.1));
         if tot_in != tot_out {
             return false;
         }
         let mut ok = true;
         for iter in 0..self.cfg.iterations {
             ok &= match self.cfg.method {
-                PermMethod::HashSum { hasher, log_h } => {
-                    let in_sum: u128 = inputs
-                        .iter()
-                        .map(|s| self.hash_sum_local(iter, hasher, log_h, s))
-                        .sum();
-                    let out_sum = self.hash_sum_local(iter, hasher, log_h, output);
-                    let (gi, go) = comm.allreduce((in_sum, out_sum), |a, b| {
+                PermMethod::HashSum { .. } => {
+                    let (gi, go) = comm.allreduce((input.accs[iter], output.accs[iter]), |a, b| {
                         (a.0.wrapping_add(b.0), a.1.wrapping_add(b.1))
                     });
                     gi == go
                 }
                 PermMethod::PolyField => {
-                    let z = Mersenne61::from_u64(self.eval_point(iter));
-                    let in_prod = inputs.iter().fold(1u64, |acc, s| {
-                        Mersenne61::mul(acc, self.poly_field_local(z, s))
-                    });
-                    let out_prod = self.poly_field_local(z, output);
-                    let (gi, go) = comm.allreduce((in_prod, out_prod), |a, b| {
+                    let pair = (input.accs[iter] as u64, output.accs[iter] as u64);
+                    let (gi, go) = comm.allreduce(pair, |a, b| {
                         (Mersenne61::mul(a.0, b.0), Mersenne61::mul(a.1, b.1))
                     });
                     gi == go
                 }
                 PermMethod::PolyGf64 => {
-                    let z = self.eval_point(iter) | 1; // nonzero
-                    let in_prod = inputs
-                        .iter()
-                        .fold(1u64, |acc, s| gf_mul(acc, self.poly_gf64_local(z, s)));
-                    let out_prod = self.poly_gf64_local(z, output);
-                    let (gi, go) = comm.allreduce((in_prod, out_prod), |a, b| {
-                        (gf_mul(a.0, b.0), gf_mul(a.1, b.1))
-                    });
+                    let pair = (input.accs[iter] as u64, output.accs[iter] as u64);
+                    let (gi, go) =
+                        comm.allreduce(pair, |a, b| (gf_mul(a.0, b.0), gf_mul(a.1, b.1)));
                     gi == go
                 }
             };
@@ -215,38 +239,133 @@ impl PermChecker {
     /// benchmarks). Additive methods return the exact sum; polynomial
     /// methods the zero-extended product.
     pub fn local_fingerprint(&self, iter: usize, data: &[u64]) -> u128 {
-        match self.cfg.method {
-            PermMethod::HashSum { hasher, log_h } => self.hash_sum_local(iter, hasher, log_h, data),
-            PermMethod::PolyField => {
-                let z = Mersenne61::from_u64(self.eval_point(iter));
-                u128::from(self.poly_field_local(z, data))
-            }
-            PermMethod::PolyGf64 => {
-                let z = self.eval_point(iter) | 1;
-                u128::from(self.poly_gf64_local(z, data))
-            }
+        let inst = self.instance(iter);
+        let mut acc = inst.identity();
+        for &x in data {
+            acc = inst.fold(acc, x);
         }
+        acc
     }
 
     /// Purely local check (p = 1 semantics) for tests and benchmarks.
     pub fn check_local(&self, input: &[u64], output: &[u64]) -> bool {
-        if input.len() != output.len() {
-            return false;
+        self.check_local_stream(input.iter().copied(), output.iter().copied())
+    }
+
+    /// Streaming form of [`PermChecker::check_local`].
+    pub fn check_local_stream<I, J>(&self, input: I, output: J) -> bool
+    where
+        I: IntoIterator<Item = u64>,
+        J: IntoIterator<Item = u64>,
+    {
+        let mut in_sk = self.sketch();
+        in_sk.update_iter(input);
+        let mut out_sk = self.sketch();
+        out_sk.update_iter(output);
+        in_sk.finalize() == out_sk.finalize()
+    }
+
+    /// Chunked form of [`PermChecker::check_local`]: both sides folded
+    /// in `chunk`-sized batches and merged; the verdict is identical for
+    /// every chunk size.
+    pub fn check_local_chunked(&self, input: &[u64], output: &[u64], chunk: usize) -> bool {
+        let digest = |side: &[u64]| {
+            crate::sketch::digest_chunked(|| self.sketch(), side.iter().copied(), chunk)
+        };
+        digest(input) == digest(output)
+    }
+}
+
+/// One prepared fingerprint instance: the seeded hash function or the
+/// fixed evaluation point of the polynomial methods.
+enum PermInstance {
+    /// Additive Wegman–Carter fingerprint (Lemma 4).
+    HashSum { h: Hasher, mask: u64 },
+    /// `Π (z − eᵢ)` in 𝔽_{2⁶¹−1} (Lemma 5). Elements are canonicalized
+    /// into the field; the documented aliasing caveat for values
+    /// ≥ 2⁶¹ − 1 applies.
+    PolyField { z: u64 },
+    /// `Π (z ⊕ eᵢ)` in GF(2⁶⁴) with carry-less multiplication.
+    PolyGf64 { z: u64 },
+}
+
+impl PermInstance {
+    /// The fold's neutral element (0 for sums, 1 for products).
+    fn identity(&self) -> u128 {
+        match self {
+            PermInstance::HashSum { .. } => 0,
+            PermInstance::PolyField { .. } | PermInstance::PolyGf64 { .. } => 1,
         }
-        (0..self.cfg.iterations).all(|iter| match self.cfg.method {
-            PermMethod::HashSum { hasher, log_h } => {
-                self.hash_sum_local(iter, hasher, log_h, input)
-                    == self.hash_sum_local(iter, hasher, log_h, output)
-            }
-            PermMethod::PolyField => {
-                let z = Mersenne61::from_u64(self.eval_point(iter));
-                self.poly_field_local(z, input) == self.poly_field_local(z, output)
-            }
-            PermMethod::PolyGf64 => {
-                let z = self.eval_point(iter) | 1;
-                self.poly_gf64_local(z, input) == self.poly_gf64_local(z, output)
-            }
-        })
+    }
+
+    /// Fold one element into an accumulator. Hash sums accumulate
+    /// exactly in 128 bits (no intermediate modulus — the multiset fix);
+    /// products stay in the low 64 bits.
+    #[inline]
+    fn fold(&self, acc: u128, x: u64) -> u128 {
+        match *self {
+            PermInstance::HashSum { ref h, mask } => acc + u128::from(h.hash(x) & mask),
+            PermInstance::PolyField { z } => u128::from(Mersenne61::mul(
+                acc as u64,
+                Mersenne61::sub(z, Mersenne61::from_u64(x)),
+            )),
+            PermInstance::PolyGf64 { z } => u128::from(gf_mul(acc as u64, z ^ x)),
+        }
+    }
+
+    /// Combine two partial accumulators (sketch merge).
+    #[inline]
+    fn combine(&self, a: u128, b: u128) -> u128 {
+        match self {
+            PermInstance::HashSum { .. } => a.wrapping_add(b),
+            PermInstance::PolyField { .. } => u128::from(Mersenne61::mul(a as u64, b as u64)),
+            PermInstance::PolyGf64 { .. } => u128::from(gf_mul(a as u64, b as u64)),
+        }
+    }
+}
+
+/// Streaming sketch of the permutation checker: element count plus one
+/// fingerprint accumulator per iteration, all advanced in a single pass.
+/// Obtained from [`PermChecker::sketch`].
+pub struct PermSketch<'a> {
+    checker: &'a PermChecker,
+    instances: Vec<PermInstance>,
+    accs: Vec<u128>,
+    count: u64,
+}
+
+impl PermSketch<'_> {
+    /// Number of elements folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Sketch for PermSketch<'_> {
+    type Item = u64;
+    /// `(element count, per-iteration fingerprints)`.
+    type Digest = (u64, Vec<u128>);
+
+    fn update(&mut self, item: u64) {
+        for (acc, inst) in self.accs.iter_mut().zip(&self.instances) {
+            *acc = inst.fold(*acc, item);
+        }
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert!(
+            std::ptr::eq(self.checker, other.checker),
+            "cannot merge sketches of different checker instances"
+        );
+        for ((acc, &badd), inst) in self.accs.iter_mut().zip(&other.accs).zip(&self.instances) {
+            *acc = inst.combine(*acc, badd);
+        }
+        self.count += other.count;
+    }
+
+    fn finalize(self) -> (u64, Vec<u128>) {
+        (self.count, self.accs)
     }
 }
 

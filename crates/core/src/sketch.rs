@@ -1,0 +1,170 @@
+//! The streaming sketch core every checker is built on.
+//!
+//! All of the paper's checkers share one structure: each PE folds its
+//! local elements into a **constant-size commutative summary** (a
+//! hash-sum table, a fingerprint, a field product) and only the summary
+//! is communicated. That makes them *mergeable one-pass sketches* in the
+//! sense of the annotated-data-streams literature (Chakrabarti et al.):
+//! verification state is updatable element-at-a-time and mergeable
+//! across arbitrary splits of the input.
+//!
+//! [`Sketch`] captures that contract. Every implementation guarantees
+//! **chunking invariance**: for any partition of a multiset of items
+//! into chunks, folding each chunk into a fresh sketch and merging the
+//! sketches yields a [`Sketch::finalize`] digest bit-identical to
+//! feeding all items into one sketch — and therefore to the digest the
+//! slice-based `check_local`/`check_distributed` drivers compute. Input
+//! size `n` never appears in the sketch's memory footprint, so checking
+//! works out-of-core: stream the data through in chunks of any size.
+//!
+//! Implementations:
+//!
+//! | Sketch | Checker | State |
+//! |---|---|---|
+//! | [`crate::sum::SumSketch`] | [`crate::SumChecker`] | `its × d` bucket sums in ℤ/rᵢℤ |
+//! | [`crate::xorsum::XorSketch`] | [`crate::XorChecker`] | `its × d` bucket xors |
+//! | [`crate::permutation::PermSketch`] | [`crate::PermChecker`] | per-iteration hash sum / poly product |
+//! | [`crate::zip::ZipSketch`] | [`crate::ZipChecker`] | per-iteration inner-product fingerprint |
+//!
+//! ```
+//! use ccheck::sketch::Sketch;
+//! use ccheck::{SumCheckConfig, SumChecker};
+//! use ccheck_hashing::HasherKind;
+//!
+//! let checker = SumChecker::new(SumCheckConfig::new(4, 8, 5, HasherKind::Tab64), 42);
+//!
+//! // Stream the input through in two chunks instead of one slice...
+//! let mut first = checker.sketch();
+//! first.update((1, 10));
+//! first.update((2, 5));
+//! let mut second = checker.sketch();
+//! second.update((1, 7));
+//!
+//! // ...merge, and the digest is identical to the one-shot fold.
+//! let mut one_shot = checker.sketch();
+//! one_shot.update_iter([(1u64, 10u64), (2, 5), (1, 7)]);
+//! first.merge(second);
+//! assert_eq!(first.finalize(), one_shot.finalize());
+//! ```
+
+/// A mergeable one-pass summary of a stream of items.
+///
+/// Implementations are created by their checker (e.g.
+/// [`crate::SumChecker::sketch`]) so that every sketch of one checker
+/// instance shares the same hash functions and moduli; merging sketches
+/// from *different* checker instances is a programming error and
+/// panics.
+pub trait Sketch: Sized {
+    /// Element type folded into the sketch.
+    type Item;
+
+    /// The finalized, canonical summary. Two digests compare equal iff
+    /// the checker would accept the two streams as equivalent.
+    type Digest: PartialEq + Clone + std::fmt::Debug;
+
+    /// Fold one item into the sketch. O(its) time, no allocation.
+    fn update(&mut self, item: Self::Item);
+
+    /// Absorb another sketch of the same checker instance.
+    ///
+    /// Merging is commutative and associative, so any chunking of the
+    /// input — across threads, PEs, or time — produces the same digest.
+    fn merge(&mut self, other: Self);
+
+    /// Reduce to the canonical digest (e.g. take residues mod rᵢ).
+    fn finalize(self) -> Self::Digest;
+
+    /// Fold every item of an iterator (the streaming `condense`).
+    fn update_iter<I: IntoIterator<Item = Self::Item>>(&mut self, items: I) {
+        for item in items {
+            self.update(item);
+        }
+    }
+}
+
+/// Fold `items` through a fresh sketch per `chunk`-sized batch, merging
+/// as it goes — the reference driver for chunked execution, and the
+/// harness the chunking-invariance tests exercise.
+///
+/// `make` is called once per chunk to obtain an empty sketch (all calls
+/// must come from the same checker instance). With `chunk == usize::MAX`
+/// this degenerates to a single one-shot fold; an empty stream yields
+/// the empty sketch's digest.
+///
+/// # Panics
+/// Panics if `chunk == 0`.
+pub fn digest_chunked<S: Sketch, I>(make: impl Fn() -> S, items: I, chunk: usize) -> S::Digest
+where
+    I: IntoIterator<Item = S::Item>,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let mut acc: Option<S> = None;
+    let mut current = make();
+    let mut filled = 0usize;
+    for item in items {
+        current.update(item);
+        filled += 1;
+        if filled == chunk {
+            match &mut acc {
+                Some(a) => a.merge(std::mem::replace(&mut current, make())),
+                None => acc = Some(std::mem::replace(&mut current, make())),
+            }
+            filled = 0;
+        }
+    }
+    match acc {
+        Some(mut a) => {
+            if filled > 0 {
+                a.merge(current);
+            }
+            a.finalize()
+        }
+        None => current.finalize(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy sketch (sum of items) to test the generic driver.
+    struct Adder(u64);
+    impl Sketch for Adder {
+        type Item = u64;
+        type Digest = u64;
+        fn update(&mut self, item: u64) {
+            self.0 = self.0.wrapping_add(item);
+        }
+        fn merge(&mut self, other: Self) {
+            self.0 = self.0.wrapping_add(other.0);
+        }
+        fn finalize(self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn digest_chunked_matches_one_shot() {
+        let items: Vec<u64> = (0..100).collect();
+        let one_shot = digest_chunked(|| Adder(0), items.iter().copied(), usize::MAX);
+        for chunk in [1, 2, 3, 7, 50, 99, 100, 1000] {
+            assert_eq!(
+                digest_chunked(|| Adder(0), items.iter().copied(), chunk),
+                one_shot,
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_chunked_empty_stream_is_empty_sketch_digest() {
+        let empty = digest_chunked(|| Adder(0), std::iter::empty(), 4);
+        assert_eq!(empty, Adder(0).finalize());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn digest_chunked_rejects_zero_chunk() {
+        let _ = digest_chunked(|| Adder(0), [1u64], 0);
+    }
+}

@@ -27,6 +27,7 @@ use ccheck_hashing::{Mt19937_64, PartitionedHash};
 use ccheck_net::Comm;
 
 use crate::config::SumCheckConfig;
+use crate::sketch::Sketch;
 
 /// How bucket indices are derived from the partitioned hash value.
 #[derive(Debug, Clone, Copy)]
@@ -125,26 +126,68 @@ impl SumChecker {
         };
     }
 
+    /// The shared bucket loop of every condense variant (the one place
+    /// the `cRed` inner loop lives): hash `key` once, then add a
+    /// per-iteration residue into each iteration's bucket. `residue_for`
+    /// maps the iteration's modulus to the value to add — the identity
+    /// for unsigned values, the positive-residue embedding for signed
+    /// ones.
+    #[inline]
+    fn fold_into(
+        &self,
+        table: &mut [u64],
+        idx_scratch: &mut [u64],
+        key: u64,
+        residue_for: impl Fn(u64) -> u64,
+    ) {
+        self.hash.hash_all(key, idx_scratch);
+        // Iterate per-iteration table segments in lockstep with the
+        // hash groups and moduli: one bounds check per segment.
+        for ((segment, &hv), &r) in table
+            .chunks_exact_mut(self.cfg.buckets)
+            .zip(idx_scratch.iter())
+            .zip(&self.moduli)
+        {
+            Self::bucket_add(&mut segment[self.bucket_map.map(hv)], residue_for(r), r);
+        }
+    }
+
+    /// The positive residue (`< r`) representing signed `value` in ℤ/rℤ.
+    #[inline]
+    fn signed_residue(value: i64, r: u64) -> u64 {
+        if value >= 0 {
+            value as u64
+        } else {
+            let neg = (value.unsigned_abs()) % r;
+            if neg == 0 {
+                0
+            } else {
+                r - neg
+            }
+        }
+    }
+
+    /// A fresh, empty streaming sketch for this checker (see
+    /// [`crate::sketch::Sketch`]). Feed items with `update`, combine
+    /// partial sketches with `merge`; the finalized digest is identical
+    /// for every chunking of the same multiset.
+    pub fn sketch(&self) -> SumSketch<'_> {
+        SumSketch {
+            checker: self,
+            table: self.new_table(),
+            idx_scratch: vec![0u64; self.cfg.iterations],
+        }
+    }
+
     /// Condense unsigned (key, value) pairs into `table` (the `cRed` of
     /// Algorithm 1, all iterations at once). `table` must come from
     /// [`SumChecker::new_table`] or a previous `condense` call; values
     /// accumulate.
     pub fn condense(&self, pairs: &[(u64, u64)], table: &mut [u64]) {
         assert_eq!(table.len(), self.table_len());
-        let d = self.cfg.buckets;
-        let its = self.cfg.iterations;
-        let mut idx_scratch = vec![0u64; its];
+        let mut idx_scratch = vec![0u64; self.cfg.iterations];
         for &(key, value) in pairs {
-            self.hash.hash_all(key, &mut idx_scratch);
-            // Iterate per-iteration table segments in lockstep with the
-            // hash groups and moduli: one bounds check per segment.
-            for ((segment, &hv), &r) in table
-                .chunks_exact_mut(d)
-                .zip(&idx_scratch)
-                .zip(&self.moduli)
-            {
-                Self::bucket_add(&mut segment[self.bucket_map.map(hv)], value, r);
-            }
+            self.fold_into(table, &mut idx_scratch, key, |_| value);
         }
     }
 
@@ -153,26 +196,11 @@ impl SumChecker {
     /// positive residue `r − (−v mod r)`.
     pub fn condense_signed(&self, pairs: &[(u64, i64)], table: &mut [u64]) {
         assert_eq!(table.len(), self.table_len());
-        let d = self.cfg.buckets;
-        let its = self.cfg.iterations;
-        let mut idx_scratch = vec![0u64; its];
+        let mut idx_scratch = vec![0u64; self.cfg.iterations];
         for &(key, value) in pairs {
-            self.hash.hash_all(key, &mut idx_scratch);
-            for (i, &hv) in idx_scratch.iter().enumerate() {
-                let r = self.moduli[i];
-                let residue = if value >= 0 {
-                    value as u64
-                } else {
-                    let neg = (value.unsigned_abs()) % r;
-                    if neg == 0 {
-                        0
-                    } else {
-                        r - neg
-                    }
-                };
-                let bucket = self.bucket_map.map(hv);
-                Self::bucket_add(&mut table[i * d + bucket], residue, r);
-            }
+            self.fold_into(table, &mut idx_scratch, key, |r| {
+                Self::signed_residue(value, r)
+            });
         }
     }
 
@@ -204,13 +232,37 @@ impl SumChecker {
     /// Purely local check (p = 1): condense input and asserted output,
     /// compare. Exposed for unit tests and the overhead benchmarks.
     pub fn check_local(&self, input: &[(u64, u64)], asserted: &[(u64, u64)]) -> bool {
-        let mut t_in = self.new_table();
-        let mut t_out = self.new_table();
-        self.condense(input, &mut t_in);
-        self.condense(asserted, &mut t_out);
-        self.finalize(&mut t_in);
-        self.finalize(&mut t_out);
-        t_in == t_out
+        self.check_local_stream(input.iter().copied(), asserted.iter().copied())
+    }
+
+    /// Streaming form of [`SumChecker::check_local`]: consumes the input
+    /// and asserted-output streams element-at-a-time, so `n` never needs
+    /// to be materialized — memory stays O(its · d).
+    pub fn check_local_stream<I, J>(&self, input: I, asserted: J) -> bool
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+        J: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut t_in = self.sketch();
+        t_in.update_iter(input);
+        let mut t_out = self.sketch();
+        t_out.update_iter(asserted);
+        t_in.finalize() == t_out.finalize()
+    }
+
+    /// Chunked form of [`SumChecker::check_local`]: folds each side in
+    /// `chunk`-sized batches through fresh sketches and merges them —
+    /// the digest (and verdict) is identical for every chunk size.
+    pub fn check_local_chunked(
+        &self,
+        input: &[(u64, u64)],
+        asserted: &[(u64, u64)],
+        chunk: usize,
+    ) -> bool {
+        let digest = |side: &[(u64, u64)]| {
+            crate::sketch::digest_chunked(|| self.sketch(), side.iter().copied(), chunk)
+        };
+        digest(input) == digest(asserted)
     }
 
     /// Distributed check of a sum aggregation (Algorithm 1).
@@ -232,12 +284,45 @@ impl SumChecker {
         input: &[(u64, u64)],
         asserted: &[(u64, u64)],
     ) -> bool {
-        let mut both = vec![0u64; 2 * self.table_len()];
-        let (t_in, t_out) = both.split_at_mut(self.table_len());
-        self.condense(input, t_in);
-        self.condense(asserted, t_out);
-        self.finalize(t_in);
-        self.finalize(t_out);
+        self.check_distributed_stream(comm, input.iter().copied(), asserted.iter().copied())
+    }
+
+    /// Streaming form of [`SumChecker::check_distributed`]: each PE folds
+    /// its input and asserted-output streams into constant-size sketches,
+    /// then the digests travel in the usual single tree reduction. The
+    /// communication volume is byte-identical to the slice-based path —
+    /// only the local memory drops from O(n/p) to O(its · d).
+    pub fn check_distributed_stream<I, J>(&self, comm: &mut Comm, input: I, asserted: J) -> bool
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+        J: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut t_in = self.sketch();
+        t_in.update_iter(input);
+        let mut t_out = self.sketch();
+        t_out.update_iter(asserted);
+        self.check_distributed_sketches(comm, t_in, t_out)
+    }
+
+    /// Distributed check over pre-folded sketches — the driver behind
+    /// every distributed sum check. Use this directly when the two
+    /// streams were folded incrementally (e.g. chunk-merged across
+    /// threads) before the collective phase.
+    ///
+    /// # Panics
+    /// Panics if either sketch belongs to a different checker instance.
+    pub fn check_distributed_sketches(
+        &self,
+        comm: &mut Comm,
+        input: SumSketch<'_>,
+        asserted: SumSketch<'_>,
+    ) -> bool {
+        assert!(
+            std::ptr::eq(input.checker, self) && std::ptr::eq(asserted.checker, self),
+            "sketches must come from this checker instance"
+        );
+        let mut both = input.finalize();
+        both.extend(asserted.finalize());
         self.reduce_and_compare(comm, both)
     }
 
@@ -251,8 +336,11 @@ impl SumChecker {
         input_keys: &[u64],
         asserted_counts: &[(u64, u64)],
     ) -> bool {
-        let ones: Vec<(u64, u64)> = input_keys.iter().map(|&k| (k, 1)).collect();
-        self.check_distributed(comm, &ones, asserted_counts)
+        self.check_distributed_stream(
+            comm,
+            input_keys.iter().map(|&k| (k, 1)),
+            asserted_counts.iter().copied(),
+        )
     }
 
     /// Signed-value variant of [`SumChecker::check_distributed`] (median
@@ -263,13 +351,15 @@ impl SumChecker {
         input: &[(u64, i64)],
         asserted: &[(u64, i64)],
     ) -> bool {
-        let mut both = vec![0u64; 2 * self.table_len()];
-        let (t_in, t_out) = both.split_at_mut(self.table_len());
-        self.condense_signed(input, t_in);
-        self.condense_signed(asserted, t_out);
-        self.finalize(t_in);
-        self.finalize(t_out);
-        self.reduce_and_compare(comm, both)
+        let mut t_in = self.sketch();
+        let mut t_out = self.sketch();
+        for &pair in input {
+            t_in.update_signed(pair);
+        }
+        for &pair in asserted {
+            t_out.update_signed(pair);
+        }
+        self.check_distributed_sketches(comm, t_in, t_out)
     }
 
     /// Reduce concatenated (input ‖ output) tables to PE 0, compare
@@ -295,6 +385,67 @@ impl SumChecker {
             })
             .unwrap_or(false);
         comm.broadcast(0, verdict_at_root)
+    }
+}
+
+/// Streaming sketch of the sum-aggregation checker: the `its × d`
+/// condensed table, fed one pair at a time. Obtained from
+/// [`SumChecker::sketch`]; see [`crate::sketch`] for the contract.
+///
+/// Memory is O(its · d) regardless of how many items are folded in, and
+/// any chunking of the input yields a bit-identical
+/// [`Sketch::finalize`] digest.
+#[derive(Clone)]
+pub struct SumSketch<'a> {
+    checker: &'a SumChecker,
+    table: Vec<u64>,
+    idx_scratch: Vec<u64>,
+}
+
+impl SumSketch<'_> {
+    /// Fold a signed pair (the median checker's ±1 streams): the value
+    /// enters as its positive residue in each iteration's ℤ/rᵢℤ.
+    pub fn update_signed(&mut self, (key, value): (u64, i64)) {
+        self.checker
+            .fold_into(&mut self.table, &mut self.idx_scratch, key, |r| {
+                SumChecker::signed_residue(value, r)
+            });
+    }
+
+    /// The raw (unfinalized) condensed table — bucket sums with lazy
+    /// modulo reduction, as communicated nowhere; finalize before
+    /// comparing.
+    pub fn table(&self) -> &[u64] {
+        &self.table
+    }
+}
+
+impl Sketch for SumSketch<'_> {
+    type Item = (u64, u64);
+    /// The finalized condensed table: canonical residues `< rᵢ`.
+    type Digest = Vec<u64>;
+
+    fn update(&mut self, (key, value): (u64, u64)) {
+        self.checker
+            .fold_into(&mut self.table, &mut self.idx_scratch, key, |_| value);
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert!(
+            std::ptr::eq(self.checker, other.checker),
+            "cannot merge sketches of different checker instances"
+        );
+        let d = self.checker.cfg.buckets;
+        for ((i, slot), &add) in self.table.iter_mut().enumerate().zip(&other.table) {
+            let r = self.checker.moduli[i / d];
+            SumChecker::bucket_add(slot, add, r);
+        }
+    }
+
+    fn finalize(self) -> Vec<u64> {
+        let mut table = self.table;
+        self.checker.finalize(&mut table);
+        table
     }
 }
 
@@ -616,6 +767,83 @@ mod tests {
             (wrong, right)
         });
         assert!(verdicts.iter().all(|&(w, r)| !w && r));
+    }
+
+    #[test]
+    fn sketch_chunking_invariance() {
+        // Any chunking of the input folds to the same finalized digest
+        // as the one-shot condense path.
+        let input = example_input(777);
+        let checker = SumChecker::new(cfg(4, 37, 7), 21); // fast-range path too
+        let mut one_shot = checker.new_table();
+        checker.condense(&input, &mut one_shot);
+        checker.finalize(&mut one_shot);
+        for chunk in [1usize, 3, 10, 100, 776, 777, 10_000] {
+            let digest =
+                crate::sketch::digest_chunked(|| checker.sketch(), input.iter().copied(), chunk);
+            assert_eq!(digest, one_shot, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn sketch_merge_handles_overflow_buckets() {
+        // Values near u64::MAX in both halves force the merge's lazy
+        // modulo path; the digest must match the one-shot fold.
+        let checker = SumChecker::new(cfg(2, 4, 5), 3);
+        let input: Vec<(u64, u64)> = (0..64).map(|i| (i % 4, u64::MAX - i)).collect();
+        let mut whole = checker.sketch();
+        whole.update_iter(input.iter().copied());
+        let mut left = checker.sketch();
+        left.update_iter(input[..32].iter().copied());
+        let mut right = checker.sketch();
+        right.update_iter(input[32..].iter().copied());
+        left.merge(right);
+        assert_eq!(left.finalize(), whole.finalize());
+    }
+
+    #[test]
+    fn streaming_local_check_matches_slice_path() {
+        let input = example_input(500);
+        let output = aggregate(&input);
+        let checker = SumChecker::new(cfg(4, 8, 5), 7);
+        assert!(checker.check_local_stream(input.iter().copied(), output.iter().copied()));
+        assert!(checker.check_local_chunked(&input, &output, 13));
+        let mut bad = output.clone();
+        bad[1].1 += 3;
+        assert!(!checker.check_local_stream(input.iter().copied(), bad.iter().copied()));
+        assert!(!checker.check_local_chunked(&input, &bad, 13));
+    }
+
+    #[test]
+    fn streaming_distributed_volume_identical_to_slice_path() {
+        use ccheck_net::router::run_with_stats;
+        // The sketch path must not move a single extra byte.
+        let run_variant = |streaming: bool| {
+            run_with_stats(4, move |comm| {
+                let rank = comm.rank() as u64;
+                let input: Vec<(u64, u64)> = (0..300u64).map(|i| ((rank + i) % 23, i)).collect();
+                let all: Vec<(u64, u64)> = (0..4u64)
+                    .flat_map(|r| (0..300u64).map(move |i| ((r + i) % 23, i)))
+                    .collect();
+                let full = aggregate(&all);
+                let shard = if comm.rank() == 0 { full } else { Vec::new() };
+                let checker = SumChecker::new(cfg(4, 16, 7), 9);
+                if streaming {
+                    checker.check_distributed_stream(
+                        comm,
+                        input.iter().copied(),
+                        shard.iter().copied(),
+                    )
+                } else {
+                    checker.check_distributed(comm, &input, &shard)
+                }
+            })
+        };
+        let (slice_verdicts, slice_stats) = run_variant(false);
+        let (stream_verdicts, stream_stats) = run_variant(true);
+        assert_eq!(slice_verdicts, stream_verdicts);
+        assert!(slice_verdicts.iter().all(|&v| v));
+        assert_eq!(slice_stats.per_pe(), stream_stats.per_pe());
     }
 
     #[test]

@@ -14,6 +14,8 @@
 use ccheck_hashing::{HasherKind, PartitionedHash};
 use ccheck_net::Comm;
 
+use crate::sketch::Sketch;
+
 /// Configuration of the xor-aggregation checker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct XorCheckConfig {
@@ -84,27 +86,57 @@ impl XorChecker {
         }
     }
 
+    /// A fresh, empty streaming sketch for this checker (see
+    /// [`crate::sketch::Sketch`]). Xor is its own inverse and merge, so
+    /// this is the simplest sketch in the family: the digest is the raw
+    /// table.
+    pub fn sketch(&self) -> XorSketch<'_> {
+        XorSketch {
+            checker: self,
+            table: vec![0u64; self.cfg.iterations * self.cfg.buckets],
+            idx_scratch: vec![0u64; self.cfg.iterations],
+        }
+    }
+
     /// Condense pairs into an `iterations × buckets` xor table.
     pub fn condense(&self, pairs: &[(u64, u64)], table: &mut [u64]) {
         let d = self.cfg.buckets;
         assert_eq!(table.len(), self.cfg.iterations * d);
         let mut idx = vec![0u64; self.cfg.iterations];
         for &(key, value) in pairs {
-            self.hash.hash_all(key, &mut idx);
-            for (segment, &hv) in table.chunks_exact_mut(d).zip(&idx) {
-                segment[self.bucket(hv)] ^= value;
-            }
+            self.fold_into(table, &mut idx, key, value);
+        }
+    }
+
+    /// The per-item bucket loop shared by `condense` and [`XorSketch`].
+    #[inline]
+    fn fold_into(&self, table: &mut [u64], idx_scratch: &mut [u64], key: u64, value: u64) {
+        self.hash.hash_all(key, idx_scratch);
+        for (segment, &hv) in table
+            .chunks_exact_mut(self.cfg.buckets)
+            .zip(idx_scratch.iter())
+        {
+            segment[self.bucket(hv)] ^= value;
         }
     }
 
     /// Purely local check (p = 1).
     pub fn check_local(&self, input: &[(u64, u64)], asserted: &[(u64, u64)]) -> bool {
-        let len = self.cfg.iterations * self.cfg.buckets;
-        let mut t_in = vec![0u64; len];
-        let mut t_out = vec![0u64; len];
-        self.condense(input, &mut t_in);
-        self.condense(asserted, &mut t_out);
-        t_in == t_out
+        self.check_local_stream(input.iter().copied(), asserted.iter().copied())
+    }
+
+    /// Streaming form of [`XorChecker::check_local`]: consumes both
+    /// streams element-at-a-time in O(its · d) memory.
+    pub fn check_local_stream<I, J>(&self, input: I, asserted: J) -> bool
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+        J: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut t_in = self.sketch();
+        t_in.update_iter(input);
+        let mut t_out = self.sketch();
+        t_out.update_iter(asserted);
+        t_in.finalize() == t_out.finalize()
     }
 
     /// Distributed check: condensed tables of input and asserted output
@@ -115,18 +147,80 @@ impl XorChecker {
         input: &[(u64, u64)],
         asserted: &[(u64, u64)],
     ) -> bool {
+        self.check_distributed_stream(comm, input.iter().copied(), asserted.iter().copied())
+    }
+
+    /// Streaming form of [`XorChecker::check_distributed`]; communication
+    /// is byte-identical to the slice-based path.
+    pub fn check_distributed_stream<I, J>(&self, comm: &mut Comm, input: I, asserted: J) -> bool
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+        J: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut t_in = self.sketch();
+        t_in.update_iter(input);
+        let mut t_out = self.sketch();
+        t_out.update_iter(asserted);
+        self.check_distributed_sketches(comm, t_in, t_out)
+    }
+
+    /// Distributed check over pre-folded sketches (the collective
+    /// driver: one xor tree reduction plus a verdict broadcast).
+    ///
+    /// # Panics
+    /// Panics if either sketch belongs to a different checker instance.
+    pub fn check_distributed_sketches(
+        &self,
+        comm: &mut Comm,
+        input: XorSketch<'_>,
+        asserted: XorSketch<'_>,
+    ) -> bool {
+        assert!(
+            std::ptr::eq(input.checker, self) && std::ptr::eq(asserted.checker, self),
+            "sketches must come from this checker instance"
+        );
         let len = self.cfg.iterations * self.cfg.buckets;
-        let mut both = vec![0u64; 2 * len];
-        {
-            let (t_in, t_out) = both.split_at_mut(len);
-            self.condense(input, t_in);
-            self.condense(asserted, t_out);
-        }
+        let mut both = input.finalize();
+        both.extend(asserted.finalize());
         let reduced = comm.reduce(0, both, |a, b| {
             a.iter().zip(&b).map(|(x, y)| x ^ y).collect()
         });
         let verdict = reduced.map(|t| t[..len] == t[len..]).unwrap_or(false);
         comm.broadcast(0, verdict)
+    }
+}
+
+/// Streaming sketch of the xor-aggregation checker: the `its × d` xor
+/// table. Obtained from [`XorChecker::sketch`].
+#[derive(Clone)]
+pub struct XorSketch<'a> {
+    checker: &'a XorChecker,
+    table: Vec<u64>,
+    idx_scratch: Vec<u64>,
+}
+
+impl Sketch for XorSketch<'_> {
+    type Item = (u64, u64);
+    /// The xor table itself — xor needs no canonicalization.
+    type Digest = Vec<u64>;
+
+    fn update(&mut self, (key, value): (u64, u64)) {
+        self.checker
+            .fold_into(&mut self.table, &mut self.idx_scratch, key, value);
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert!(
+            std::ptr::eq(self.checker, other.checker),
+            "cannot merge sketches of different checker instances"
+        );
+        for (slot, &add) in self.table.iter_mut().zip(&other.table) {
+            *slot ^= add;
+        }
+    }
+
+    fn finalize(self) -> Vec<u64> {
+        self.table
     }
 }
 
@@ -236,6 +330,30 @@ mod tests {
             });
             assert!(verdicts.iter().all(|&v| v != corrupt), "corrupt={corrupt}");
         }
+    }
+
+    #[test]
+    fn sketch_chunking_invariance() {
+        let input: Vec<(u64, u64)> = (0..400u64).map(|i| (i % 29, i * 0x9E37 + 1)).collect();
+        let checker = XorChecker::new(cfg(), 6);
+        let mut one_shot = vec![0u64; 4 * 16];
+        checker.condense(&input, &mut one_shot);
+        for chunk in [1usize, 7, 64, 399, 400, 5000] {
+            let digest =
+                crate::sketch::digest_chunked(|| checker.sketch(), input.iter().copied(), chunk);
+            assert_eq!(digest, one_shot, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn streaming_check_matches_slice_path() {
+        let input: Vec<(u64, u64)> = (0..300u64).map(|i| (i % 19, i | 1)).collect();
+        let output = xor_aggregate(&input);
+        let checker = XorChecker::new(cfg(), 2);
+        assert!(checker.check_local_stream(input.iter().copied(), output.iter().copied()));
+        let mut bad = output.clone();
+        bad[0].1 ^= 2;
+        assert!(!checker.check_local_stream(input.iter().copied(), bad.iter().copied()));
     }
 
     #[test]

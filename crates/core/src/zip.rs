@@ -17,6 +17,8 @@ use ccheck_hashing::field::Mersenne61;
 use ccheck_hashing::{Hasher, HasherKind};
 use ccheck_net::Comm;
 
+use crate::sketch::Sketch;
+
 /// Configuration of the Zip checker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ZipCheckConfig {
@@ -49,21 +51,43 @@ impl ZipChecker {
         Self { cfg, seed }
     }
 
-    /// Position-sensitive fingerprint of a sequence slice whose first
-    /// element has global index `start`.
-    fn fingerprint<F: Fn(usize) -> u64>(&self, iter: usize, start: u64, len: usize, at: F) -> u64 {
-        let h = Hasher::new(self.cfg.hasher, self.seed ^ (iter as u64) << 32 ^ 0x7A69);
-        let h_pos = Hasher::new(
-            self.cfg.hasher,
-            self.seed ^ (iter as u64) << 32 ^ 0x7069_7073,
-        );
-        let mut acc = 0u64;
-        for i in 0..len {
-            let pos_hash = Mersenne61::from_u64(h_pos.hash(start + i as u64));
-            let val_hash = Mersenne61::from_u64(h.hash(at(i)));
-            acc = Mersenne61::add(acc, Mersenne61::mul(pos_hash, val_hash));
+    /// The two hash instances of one (iteration, lane) fingerprint.
+    /// Lane 0 covers the first components (vs `s1`), lane 1 the second
+    /// (vs `s2`); instance index `2·iter + lane` matches the historical
+    /// per-slice implementation bit for bit.
+    fn hashers(&self, iter: usize, lane: usize) -> (Hasher, Hasher) {
+        let instance = (2 * iter + lane) as u64;
+        let h_val = Hasher::new(self.cfg.hasher, self.seed ^ instance << 32 ^ 0x7A69);
+        let h_pos = Hasher::new(self.cfg.hasher, self.seed ^ instance << 32 ^ 0x7069_7073);
+        (h_val, h_pos)
+    }
+
+    /// A fresh streaming sketch fingerprinting one component lane
+    /// (`lane` 0 or 1) of a sequence whose next element has **global**
+    /// index `start`. See [`crate::sketch::Sketch`]; merging requires the
+    /// other sketch to continue exactly where this one stopped, because
+    /// the fingerprint is position-sensitive.
+    pub fn sketch(&self, lane: usize, start: u64) -> ZipSketch<'_> {
+        assert!(lane < 2, "zip sequences have two component lanes");
+        let (pairs, accs) = (0..self.cfg.iterations)
+            .map(|iter| (self.hashers(iter, lane), 0u64))
+            .unzip();
+        ZipSketch {
+            checker: self,
+            hashers: pairs,
+            accs,
+            start,
+            next: start,
         }
-        acc
+    }
+
+    /// A pair sketch covering both lanes of an already-zipped stream of
+    /// `(first, second)` pairs starting at global index `start`.
+    pub fn sketch_pairs(&self, start: u64) -> ZipPairSketch<'_> {
+        ZipPairSketch {
+            first: self.sketch(0, start),
+            second: self.sketch(1, start),
+        }
     }
 
     /// Distributed Zip check: `zipped` must pair `s1[i]` with `s2[i]`
@@ -71,31 +95,169 @@ impl ZipChecker {
     /// sequences may have three different distributions. Every PE
     /// returns the same verdict.
     pub fn check(&self, comm: &mut Comm, s1: &[u64], s2: &[u64], zipped: &[(u64, u64)]) -> bool {
-        let (s1_start, n1) = comm.exclusive_prefix_sum(s1.len() as u64);
-        let (s2_start, n2) = comm.exclusive_prefix_sum(s2.len() as u64);
-        let (z_start, nz) = comm.exclusive_prefix_sum(zipped.len() as u64);
+        self.check_stream(
+            comm,
+            (s1.len() as u64, s1.iter().copied()),
+            (s2.len() as u64, s2.iter().copied()),
+            (zipped.len() as u64, zipped.iter().copied()),
+        )
+    }
+
+    /// Streaming form of [`ZipChecker::check`]: each sequence arrives as
+    /// `(local_len, stream)` — the length is needed *before* the stream
+    /// is consumed because the position-sensitive hash must know this
+    /// PE's global offset (one prefix sum), which is exactly why a
+    /// slice-free API must declare it. Memory is O(iterations) per PE;
+    /// communication is byte-identical to the slice path.
+    ///
+    /// # Panics
+    /// Panics if a stream yields a different number of elements than
+    /// declared — that is a corrupt SPMD program, not checkable data.
+    pub fn check_stream<I, J, Z>(
+        &self,
+        comm: &mut Comm,
+        s1: (u64, I),
+        s2: (u64, J),
+        zipped: (u64, Z),
+    ) -> bool
+    where
+        I: IntoIterator<Item = u64>,
+        J: IntoIterator<Item = u64>,
+        Z: IntoIterator<Item = (u64, u64)>,
+    {
+        let (s1_start, n1) = comm.exclusive_prefix_sum(s1.0);
+        let (s2_start, n2) = comm.exclusive_prefix_sum(s2.0);
+        let (z_start, nz) = comm.exclusive_prefix_sum(zipped.0);
         if n1 != n2 || n1 != nz {
             return false;
         }
+        let mut f1 = self.sketch(0, s1_start);
+        f1.update_iter(s1.1);
+        let mut f2 = self.sketch(1, s2_start);
+        f2.update_iter(s2.1);
+        let mut fz = self.sketch_pairs(z_start);
+        fz.update_iter(zipped.1);
+        assert_eq!(f1.count(), s1.0, "s1 stream shorter/longer than declared");
+        assert_eq!(f2.count(), s2.0, "s2 stream shorter/longer than declared");
+        assert_eq!(
+            fz.first.count(),
+            zipped.0,
+            "zipped stream shorter/longer than declared"
+        );
         let mut ok = true;
         for iter in 0..self.cfg.iterations {
-            // First component stream vs s1.
-            let f1 = self.fingerprint(2 * iter, s1_start, s1.len(), |i| s1[i]);
-            let fz1 = self.fingerprint(2 * iter, z_start, zipped.len(), |i| zipped[i].0);
-            // Second component stream vs s2 (independent hash instance).
-            let f2 = self.fingerprint(2 * iter + 1, s2_start, s2.len(), |i| s2[i]);
-            let fz2 = self.fingerprint(2 * iter + 1, z_start, zipped.len(), |i| zipped[i].1);
-            let (g1, gz1, g2, gz2) = comm.allreduce((f1, fz1, f2, fz2), |a, b| {
+            let (g1, gz1, g2, gz2) = comm.allreduce(
                 (
-                    Mersenne61::add(a.0, b.0),
-                    Mersenne61::add(a.1, b.1),
-                    Mersenne61::add(a.2, b.2),
-                    Mersenne61::add(a.3, b.3),
-                )
-            });
+                    f1.accs[iter],
+                    fz.first.accs[iter],
+                    f2.accs[iter],
+                    fz.second.accs[iter],
+                ),
+                |a, b| {
+                    (
+                        Mersenne61::add(a.0, b.0),
+                        Mersenne61::add(a.1, b.1),
+                        Mersenne61::add(a.2, b.2),
+                        Mersenne61::add(a.3, b.3),
+                    )
+                },
+            );
             ok &= g1 == gz1 && g2 == gz2;
         }
         ok
+    }
+}
+
+/// Streaming sketch of one component lane of the Zip checker: the
+/// inner-product fingerprint `Σ h′(i)·h(xᵢ)` in 𝔽_{2⁶¹−1}, advanced
+/// element-at-a-time with an internal global-index cursor. Obtained
+/// from [`ZipChecker::sketch`].
+pub struct ZipSketch<'a> {
+    checker: &'a ZipChecker,
+    /// One `(value hasher, position hasher)` pair per iteration.
+    hashers: Vec<(Hasher, Hasher)>,
+    accs: Vec<u64>,
+    start: u64,
+    next: u64,
+}
+
+impl ZipSketch<'_> {
+    /// Number of elements folded in so far.
+    pub fn count(&self) -> u64 {
+        self.next - self.start
+    }
+
+    /// The global index the next [`Sketch::update`] will fingerprint.
+    pub fn next_index(&self) -> u64 {
+        self.next
+    }
+}
+
+impl Sketch for ZipSketch<'_> {
+    type Item = u64;
+    /// `(start index, element count, per-iteration fingerprints)`.
+    type Digest = (u64, u64, Vec<u64>);
+
+    fn update(&mut self, item: u64) {
+        for ((h_val, h_pos), acc) in self.hashers.iter().zip(&mut self.accs) {
+            let pos_hash = Mersenne61::from_u64(h_pos.hash(self.next));
+            let val_hash = Mersenne61::from_u64(h_val.hash(item));
+            *acc = Mersenne61::add(*acc, Mersenne61::mul(pos_hash, val_hash));
+        }
+        self.next += 1;
+    }
+
+    /// Absorb the sketch of the **immediately following** index range:
+    /// position-sensitivity makes merging of non-adjacent chunks
+    /// meaningless, so adjacency is enforced.
+    ///
+    /// # Panics
+    /// Panics if `other` does not start at this sketch's next index or
+    /// belongs to a different checker instance.
+    fn merge(&mut self, other: Self) {
+        assert!(
+            std::ptr::eq(self.checker, other.checker),
+            "cannot merge sketches of different checker instances"
+        );
+        assert_eq!(
+            other.start, self.next,
+            "zip sketches merge only over adjacent index ranges"
+        );
+        for (acc, &badd) in self.accs.iter_mut().zip(&other.accs) {
+            *acc = Mersenne61::add(*acc, badd);
+        }
+        self.next = other.next;
+    }
+
+    fn finalize(self) -> (u64, u64, Vec<u64>) {
+        (self.start, self.next - self.start, self.accs)
+    }
+}
+
+/// Both lanes of an already-zipped `(first, second)` stream, advanced in
+/// lockstep. Obtained from [`ZipChecker::sketch_pairs`].
+pub struct ZipPairSketch<'a> {
+    first: ZipSketch<'a>,
+    second: ZipSketch<'a>,
+}
+
+impl Sketch for ZipPairSketch<'_> {
+    type Item = (u64, u64);
+    /// The two lanes' digests.
+    type Digest = ((u64, u64, Vec<u64>), (u64, u64, Vec<u64>));
+
+    fn update(&mut self, (a, b): (u64, u64)) {
+        self.first.update(a);
+        self.second.update(b);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.first.merge(other.first);
+        self.second.merge(other.second);
+    }
+
+    fn finalize(self) -> Self::Digest {
+        (self.first.finalize(), self.second.finalize())
     }
 }
 
@@ -222,6 +384,66 @@ mod tests {
             checker.check(comm, &s1, &s2, &zipped)
         });
         assert!(verdicts.iter().all(|&v| !v));
+    }
+
+    #[test]
+    fn sketch_chunking_invariance() {
+        // Adjacent chunk sketches merge to the one-shot digest.
+        let checker = ZipChecker::new(ZipCheckConfig::default(), 77);
+        let data: Vec<u64> = (0..200u64).map(|i| i * 31 + 5).collect();
+        let mut one_shot = checker.sketch(0, 40);
+        one_shot.update_iter(data.iter().copied());
+        let expected = one_shot.finalize();
+        for chunk in [1usize, 3, 50, 199, 200, 999] {
+            let mut acc = checker.sketch(0, 40);
+            for batch in data.chunks(chunk) {
+                let mut s = checker.sketch(0, acc.next_index());
+                s.update_iter(batch.iter().copied());
+                acc.merge(s);
+            }
+            assert_eq!(acc.finalize(), expected, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent index ranges")]
+    fn sketch_rejects_non_adjacent_merge() {
+        let checker = ZipChecker::new(ZipCheckConfig::default(), 1);
+        let mut a = checker.sketch(0, 0);
+        a.update(9);
+        let b = checker.sketch(0, 5); // gap: indices 1..5 missing
+        a.merge(b);
+    }
+
+    #[test]
+    fn streaming_check_matches_slice_path() {
+        let n = 120usize;
+        let s1: Vec<u64> = (0..n as u64).map(|i| i * 3).collect();
+        let s2: Vec<u64> = (0..n as u64).map(|i| 7_000 + i).collect();
+        let zipped: Vec<(u64, u64)> = s1.iter().copied().zip(s2.iter().copied()).collect();
+        for corrupt in [false, true] {
+            let verdicts = run(3, |comm| {
+                let mut z = chunk_pairs(&zipped, comm.rank(), 3);
+                if corrupt && comm.rank() == 0 && !z.is_empty() {
+                    z[0].1 ^= 1;
+                }
+                let a = chunk(&s1, comm.rank(), 3);
+                let b = chunk(&s2, comm.rank(), 3);
+                let checker = ZipChecker::new(ZipCheckConfig::default(), 11);
+                let slice = checker.check(comm, &a, &b, &z);
+                let stream = checker.check_stream(
+                    comm,
+                    (a.len() as u64, a.iter().copied()),
+                    (b.len() as u64, b.iter().copied()),
+                    (z.len() as u64, z.iter().copied()),
+                );
+                (slice, stream)
+            });
+            assert!(
+                verdicts.iter().all(|&(s, t)| s == t && s != corrupt),
+                "corrupt={corrupt}: {verdicts:?}"
+            );
+        }
     }
 
     #[test]

@@ -27,6 +27,52 @@ pub fn redistribute_by_key_hash(comm: &mut Comm, data: Vec<Pair>, hasher: &Hashe
     comm.all_to_all(outgoing).into_iter().flatten().collect()
 }
 
+/// Streaming form of [`redistribute_by_key_hash`]: consumes the local
+/// pairs from an iterator and ships them in `chunk`-sized batches per
+/// destination ([`Comm::all_to_all_chunked`]), so sender-side memory is
+/// O(chunk · p) instead of O(n/p). The received pairs are folded into
+/// `on_recv` chunk by chunk — pass a collector to materialize them, or
+/// a table/sketch fold to retain less than the raw stream. Received
+/// volume itself is unchanged from the slice path (up to O(n/p) of
+/// transport queueing for raw data; see [`Comm::all_to_all_chunked`]) —
+/// pre-reduce before exchanging, as [`crate::reduce_by_key_chunked`]
+/// does, when the end-to-end footprint must stay small.
+///
+/// The multiset delivered to each PE is identical to the slice-based
+/// path; arrival interleaving between sources is unspecified (per-source
+/// order is preserved).
+pub fn redistribute_by_key_hash_chunked<I, F>(
+    comm: &mut Comm,
+    data: I,
+    hasher: &Hasher,
+    chunk: usize,
+    on_recv: F,
+) where
+    I: IntoIterator<Item = Pair>,
+    F: FnMut(usize, Vec<Pair>),
+{
+    let p = comm.size();
+    comm.all_to_all_chunked(data, chunk, |pair| key_to_pe(hasher, pair.0, p), on_recv);
+}
+
+/// Convenience wrapper collecting the chunked redistribution into a
+/// `Vec` (receiver memory is then O(received), as with the slice path).
+pub fn redistribute_by_key_hash_chunked_collect<I>(
+    comm: &mut Comm,
+    data: I,
+    hasher: &Hasher,
+    chunk: usize,
+) -> Vec<Pair>
+where
+    I: IntoIterator<Item = Pair>,
+{
+    let mut received = Vec::new();
+    redistribute_by_key_hash_chunked(comm, data, hasher, chunk, |_, batch| {
+        received.extend(batch);
+    });
+    received
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +131,29 @@ mod tests {
             }
         }
         assert_eq!(key_owner.len(), 10);
+    }
+
+    #[test]
+    fn chunked_redistribution_matches_slice_path() {
+        for p in [1, 2, 4] {
+            for chunk in [1usize, 5, 64, 10_000] {
+                let results = run(p, move |comm| {
+                    let rank = comm.rank() as u64;
+                    let local: Vec<Pair> =
+                        (0..120).map(|i| (i * 11 % 31, rank * 120 + i)).collect();
+                    let hasher = test_hasher();
+                    let mut slice = redistribute_by_key_hash(comm, local.clone(), &hasher);
+                    let mut chunked =
+                        redistribute_by_key_hash_chunked_collect(comm, local, &hasher, chunk);
+                    slice.sort_unstable();
+                    chunked.sort_unstable();
+                    (slice, chunked)
+                });
+                for (slice, chunked) in results {
+                    assert_eq!(slice, chunked, "p={p} chunk={chunk}");
+                }
+            }
+        }
     }
 
     #[test]

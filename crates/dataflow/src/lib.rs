@@ -22,6 +22,17 @@
 //!
 //! Keys and values are `u64` (the paper's experiments use integer
 //! workloads; fixed-size elements per §2).
+//!
+//! The keyed operations also ship **chunked streaming entry points**
+//! (`reduce_by_key_chunked`, `sort_chunked`, `zip_chunked`,
+//! `union_iter`, `redistribute_by_key_hash_chunked`) that consume
+//! `impl Iterator` inputs in fixed-size batches over
+//! [`ccheck_net::Comm::all_to_all_chunked`]: ingest and send-side
+//! exchange buffers are O(chunk · p) instead of per-destination vectors
+//! of the whole share, and operations that shrink data before
+//! exchanging (`reduce_by_key_chunked` pre-reduces to distinct keys)
+//! keep the *entire* pipeline's footprint independent of n — the
+//! substrate for checking workloads with n ≫ RAM.
 
 pub mod aggregate;
 pub mod checked;
@@ -42,11 +53,14 @@ pub type Pair = (u64, u64);
 pub use aggregate::{average_by_key, max_by_key, median_by_key, min_by_key};
 pub use checked::{checked_reduce_by_key, checked_sort, CheckedOutcome};
 pub use dia::{CheckRejected, Dia, PipelineCtx};
-pub use exchange::redistribute_by_key_hash;
+pub use exchange::{
+    redistribute_by_key_hash, redistribute_by_key_hash_chunked,
+    redistribute_by_key_hash_chunked_collect,
+};
 pub use group::group_by_key;
 pub use join::{hash_join, sort_merge_join};
 pub use merge::merge_sorted;
-pub use reduce::reduce_by_key;
-pub use sort::sort;
-pub use union::union;
-pub use zip::zip;
+pub use reduce::{reduce_by_key, reduce_by_key_chunked};
+pub use sort::{sort, sort_chunked};
+pub use union::{union, union_iter};
+pub use zip::{zip, zip_chunked};

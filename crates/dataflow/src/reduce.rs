@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use ccheck_hashing::Hasher;
 use ccheck_net::Comm;
 
-use crate::exchange::redistribute_by_key_hash;
+use crate::exchange::{redistribute_by_key_hash, redistribute_by_key_hash_chunked};
 use crate::Pair;
 
 /// Reduce all values sharing a key with the associative, commutative
@@ -40,6 +40,51 @@ where
             .or_insert(v);
     }
     let mut out: Vec<Pair> = table.into_iter().collect();
+    out.sort_unstable_by_key(|&(k, _)| k);
+    out
+}
+
+/// Streaming form of [`reduce_by_key`]: consumes the input from an
+/// iterator — the data is **never** materialized as a slice. Memory is
+/// O(local distinct keys + chunk · p): phase 1 folds the stream directly
+/// into the pre-reduction table, phase 2 ships the pre-reduced pairs in
+/// `chunk`-sized batches with bounded per-peer buffers, and phase 3
+/// folds arriving batches straight into the final table.
+///
+/// The result (each key on exactly one PE, shard sorted by key) equals
+/// [`reduce_by_key`] on the materialized stream for any commutative
+/// `reduce`, for every chunk size.
+pub fn reduce_by_key_chunked<I, F>(
+    comm: &mut Comm,
+    data: I,
+    hasher: &Hasher,
+    chunk: usize,
+    reduce: F,
+) -> Vec<Pair>
+where
+    I: IntoIterator<Item = Pair>,
+    F: Fn(u64, u64) -> u64,
+{
+    // Phase 1: stream the input into the local pre-reduction table.
+    let mut table: HashMap<u64, u64> = HashMap::new();
+    for (k, v) in data {
+        table
+            .entry(k)
+            .and_modify(|acc| *acc = reduce(*acc, v))
+            .or_insert(v);
+    }
+    // Phases 2+3 fused: route pre-reduced pairs in bounded batches and
+    // fold each arriving batch into the final table as it lands.
+    let mut out_table: HashMap<u64, u64> = HashMap::new();
+    redistribute_by_key_hash_chunked(comm, table, hasher, chunk, |_, batch| {
+        for (k, v) in batch {
+            out_table
+                .entry(k)
+                .and_modify(|acc| *acc = reduce(*acc, v))
+                .or_insert(v);
+        }
+    });
+    let mut out: Vec<Pair> = out_table.into_iter().collect();
     out.sort_unstable_by_key(|&(k, _)| k);
     out
 }
@@ -83,6 +128,27 @@ mod tests {
             assert_eq!(output.len(), expected.len(), "p={p}: key count");
             for (k, v) in output {
                 assert_eq!(expected.get(&k), Some(&v), "p={p} key={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_matches_slice_path() {
+        for p in [1, 2, 4] {
+            for chunk in [1usize, 7, 4096] {
+                let results = run(p, move |comm| {
+                    let rank = comm.rank() as u64;
+                    let local: Vec<Pair> = (0..150u64)
+                        .map(|i| ((rank * 150 + i) % 23, i + 1))
+                        .collect();
+                    let hasher = Hasher::new(HasherKind::Tab64, 7);
+                    let slice = reduce_by_key(comm, local.clone(), &hasher, |a, b| a + b);
+                    let chunked = reduce_by_key_chunked(comm, local, &hasher, chunk, |a, b| a + b);
+                    (slice, chunked)
+                });
+                for (slice, chunked) in results {
+                    assert_eq!(slice, chunked, "p={p} chunk={chunk}");
+                }
             }
         }
     }

@@ -12,6 +12,30 @@ use crate::kway::kway_merge;
 /// Oversampling factor: samples taken per PE for splitter selection.
 const OVERSAMPLE: usize = 16;
 
+/// Splitter selection (the collective phase 1 shared by [`sort`] and
+/// [`sort_chunked`]): evenly spaced samples of the locally sorted data,
+/// allgathered so all PEs derive the identical `p − 1` splitters.
+fn select_splitters(comm: &mut Comm, local: &[u64]) -> Vec<u64> {
+    let p = comm.size();
+    let s = OVERSAMPLE.min(local.len());
+    // Midpoints of s equal strata: index (2i+1)·len/(2s) < len.
+    let samples: Vec<u64> = (0..s)
+        .map(|i| local[(2 * i + 1) * local.len() / (2 * s)])
+        .collect();
+    let mut all_samples: Vec<u64> = comm.allgather(samples).into_iter().flatten().collect();
+    all_samples.sort_unstable();
+    // p−1 splitters: evenly spaced in the oversample.
+    (1..p)
+        .map(|i| {
+            if all_samples.is_empty() {
+                0
+            } else {
+                all_samples[(i * all_samples.len() / p).min(all_samples.len() - 1)]
+            }
+        })
+        .collect()
+}
+
 /// Sort a distributed sequence. Each PE passes its local share and
 /// receives its shard of the globally sorted result.
 pub fn sort(comm: &mut Comm, mut local: Vec<u64>) -> Vec<u64> {
@@ -21,26 +45,8 @@ pub fn sort(comm: &mut Comm, mut local: Vec<u64>) -> Vec<u64> {
         return local;
     }
 
-    // Phase 1: evenly spaced samples of the locally sorted data. All PEs
-    // gather everyone's samples and derive identical splitters.
-    let s = OVERSAMPLE.min(local.len());
-    // Midpoints of s equal strata: index (2i+1)·len/(2s) < len.
-    let samples: Vec<u64> = (0..s)
-        .map(|i| local[(2 * i + 1) * local.len() / (2 * s)])
-        .collect();
-    let mut all_samples: Vec<u64> = comm.allgather(samples).into_iter().flatten().collect();
-    all_samples.sort_unstable();
-
-    // p−1 splitters: evenly spaced in the oversample.
-    let splitters: Vec<u64> = (1..p)
-        .map(|i| {
-            if all_samples.is_empty() {
-                0
-            } else {
-                all_samples[(i * all_samples.len() / p).min(all_samples.len() - 1)]
-            }
-        })
-        .collect();
+    // Phase 1: identical splitters on every PE.
+    let splitters = select_splitters(comm, &local);
 
     // Phase 2: partition the sorted local data by splitters. Elements
     // equal to a splitter go to the lower side (partition_point with <=).
@@ -56,6 +62,63 @@ pub fn sort(comm: &mut Comm, mut local: Vec<u64>) -> Vec<u64> {
     // Phase 3: exchange and merge the received sorted runs.
     let runs = comm.all_to_all(outgoing);
     kway_merge(runs)
+}
+
+/// Streaming-ingest form of [`sort`]: consumes the local input from an
+/// iterator in `chunk`-sized batches, sorting each batch into a run and
+/// k-way merging the runs — the input is never materialized unsorted,
+/// and the exchange ships range partitions in bounded `chunk`-sized
+/// batches ([`Comm::all_to_all_chunked`]) instead of one `Vec` per
+/// destination.
+///
+/// The *local data* is still O(n/p) — sorting has a linear-space lower
+/// bound without spilling to disk, and the received shard is the output
+/// — but ingest and send-side exchange buffers are bounded by `chunk`,
+/// which is what lets this entry point run against generators or files
+/// rather than pre-materialized unsorted slices. The result is
+/// element-for-element identical to [`sort`] on the materialized input
+/// (same samples, same splitters, same stable partition).
+pub fn sort_chunked<I>(comm: &mut Comm, data: I, chunk: usize) -> Vec<u64>
+where
+    I: IntoIterator<Item = u64>,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    // Ingest: sorted runs of at most `chunk` elements, then one k-way
+    // merge — the same totally sorted local sequence `sort` starts from.
+    let mut runs: Vec<Vec<u64>> = Vec::new();
+    let mut current: Vec<u64> = Vec::with_capacity(chunk.min(1 << 20));
+    for x in data {
+        current.push(x);
+        if current.len() == chunk {
+            current.sort_unstable();
+            runs.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        current.sort_unstable();
+        runs.push(current);
+    }
+    let local = kway_merge(runs);
+    let p = comm.size();
+    if p == 1 {
+        return local;
+    }
+
+    // Splitter selection is identical to `sort` (same samples, since the
+    // merged ingest equals the sorted slice).
+    let splitters = select_splitters(comm, &local);
+
+    // Exchange: each element's destination is its splitter interval;
+    // batches of `chunk` per destination, collected per source so the
+    // received streams are sorted runs we can k-way merge.
+    let mut received: Vec<Vec<u64>> = vec![Vec::new(); p];
+    comm.all_to_all_chunked(
+        local,
+        chunk,
+        |&x| splitters.partition_point(|&sp| sp < x),
+        |src, batch| received[src].extend(batch),
+    );
+    kway_merge(received)
 }
 
 #[cfg(test)]
@@ -87,6 +150,26 @@ mod tests {
             });
             input.sort_unstable();
             assert_eq!(output, input, "p={p}");
+        }
+    }
+
+    #[test]
+    fn chunked_matches_slice_path() {
+        for p in [1, 2, 4] {
+            for chunk in [1usize, 13, 100, 10_000] {
+                let results = run(p, move |comm| {
+                    let rank = comm.rank() as u64;
+                    let local: Vec<u64> = (0..300u64)
+                        .map(|i| (rank * 300 + i).wrapping_mul(0x9E37_79B9) % 5000)
+                        .collect();
+                    let slice = sort(comm, local.clone());
+                    let chunked = sort_chunked(comm, local, chunk);
+                    (slice, chunked)
+                });
+                for (slice, chunked) in results {
+                    assert_eq!(slice, chunked, "p={p} chunk={chunk}");
+                }
+            }
         }
     }
 

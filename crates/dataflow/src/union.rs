@@ -10,6 +10,17 @@ pub fn union(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
     out
 }
 
+/// Streaming form of [`union`]: the union of two streams is their
+/// chained stream — nothing is materialized, nothing is communicated.
+/// Feed the result straight into a sketch fold or a chunked operation.
+pub fn union_iter<A, B>(a: A, b: B) -> impl Iterator<Item = u64>
+where
+    A: IntoIterator<Item = u64>,
+    B: IntoIterator<Item = u64>,
+{
+    a.into_iter().chain(b)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -19,6 +30,14 @@ mod tests {
         assert_eq!(union(vec![1, 2], vec![3]), vec![1, 2, 3]);
         assert_eq!(union(vec![], vec![]), Vec::<u64>::new());
         assert_eq!(union(vec![7], vec![]), vec![7]);
+    }
+
+    #[test]
+    fn union_iter_matches_union() {
+        let a = vec![1u64, 2, 3];
+        let b = vec![9u64, 8];
+        let streamed: Vec<u64> = union_iter(a.iter().copied(), b.iter().copied()).collect();
+        assert_eq!(streamed, union(a, b));
     }
 
     #[test]

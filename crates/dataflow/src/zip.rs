@@ -7,6 +7,24 @@ use ccheck_net::Comm;
 
 use crate::Pair;
 
+/// The PE owning global index `global_idx` of sequence `a`, given the
+/// allgathered per-PE range starts: the last PE whose a-range starts at
+/// or before the index. Ranges of empty PEs share a start; the owner is
+/// the last PE with this start that actually has elements — routing to
+/// the first match would still target an empty range, so advance past
+/// them.
+fn owner_of(a_starts: &[u64], global_idx: u64) -> usize {
+    match a_starts.binary_search(&global_idx) {
+        Ok(mut i) => {
+            while i + 1 < a_starts.len() && a_starts[i + 1] == global_idx {
+                i += 1;
+            }
+            i
+        }
+        Err(i) => i - 1,
+    }
+}
+
 /// Zip two distributed sequences of equal global length. The output
 /// adopts the distribution of `a`: PE i returns one pair per local
 /// element of `a`.
@@ -22,28 +40,12 @@ pub fn zip(comm: &mut Comm, a: Vec<u64>, b: Vec<u64>) -> Vec<Pair> {
     // Everyone learns every PE's a-range start so each b-holder can route
     // its elements to the PEs owning those global indices in `a`.
     let a_starts: Vec<u64> = comm.allgather(a_start);
-    let owner_of = |global_idx: u64| -> usize {
-        // Last PE whose a-range starts at or before the index.
-        match a_starts.binary_search(&global_idx) {
-            Ok(mut i) => {
-                // Ranges of empty PEs share a start; the owner is the last
-                // PE with this start that actually has elements — routing
-                // to the first match is still correct because empty PEs
-                // own empty ranges; advance past them.
-                while i + 1 < p && a_starts[i + 1] == global_idx {
-                    i += 1;
-                }
-                i
-            }
-            Err(i) => i - 1,
-        }
-    };
 
     // Route b elements (tagged with their global index) to a-owners.
     let mut outgoing: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
     for (offset, &val) in b.iter().enumerate() {
         let gidx = b_start + offset as u64;
-        outgoing[owner_of(gidx)].push((gidx, val));
+        outgoing[owner_of(&a_starts, gidx)].push((gidx, val));
     }
     let incoming = comm.all_to_all(outgoing);
 
@@ -55,6 +57,54 @@ pub fn zip(comm: &mut Comm, a: Vec<u64>, b: Vec<u64>) -> Vec<Pair> {
         b_aligned[local] = val;
         filled[local] = true;
     }
+    assert!(filled.iter().all(|&f| f), "zip alignment left holes");
+
+    a.into_iter().zip(b_aligned).collect()
+}
+
+/// Streaming-ingest form of [`zip`]: the second sequence arrives as
+/// `(local_len, stream)` and is routed to the first sequence's owners in
+/// `chunk`-sized batches with bounded per-peer buffers
+/// ([`Comm::all_to_all_chunked`]) — no per-destination `Vec` of the
+/// whole share is ever built. The output (one pair per local element of
+/// `a`, adopting `a`'s distribution) is identical to [`zip`].
+///
+/// `b`'s length must be declared up front because the owner of a `b`
+/// element is determined by its *global* index, which requires the
+/// prefix sum before the stream is consumed.
+///
+/// # Panics
+/// Panics if the global lengths differ, or if `b`'s stream yields a
+/// different number of elements than declared.
+pub fn zip_chunked<I>(comm: &mut Comm, a: Vec<u64>, b: (u64, I), chunk: usize) -> Vec<Pair>
+where
+    I: IntoIterator<Item = u64>,
+{
+    let (a_start, a_total) = comm.exclusive_prefix_sum(a.len() as u64);
+    let (b_start, b_total) = comm.exclusive_prefix_sum(b.0);
+    assert_eq!(a_total, b_total, "Zip requires equal global lengths");
+
+    let a_starts: Vec<u64> = comm.allgather(a_start);
+
+    let mut b_aligned: Vec<u64> = vec![0; a.len()];
+    let mut filled = vec![false; a.len()];
+    let mut sent = 0u64;
+    comm.all_to_all_chunked(
+        b.1.into_iter().enumerate().map(|(offset, val)| {
+            sent += 1;
+            (b_start + offset as u64, val)
+        }),
+        chunk,
+        |&(gidx, _)| owner_of(&a_starts, gidx),
+        |_, batch| {
+            for (gidx, val) in batch {
+                let local = (gidx - a_start) as usize;
+                b_aligned[local] = val;
+                filled[local] = true;
+            }
+        },
+    );
+    assert_eq!(sent, b.0, "b stream shorter/longer than declared");
     assert!(filled.iter().all(|&f| f), "zip alignment left holes");
 
     a.into_iter().zip(b_aligned).collect()
@@ -105,6 +155,36 @@ mod tests {
     #[test]
     fn with_empty_pes() {
         check_zip(4, &[0, 30, 0, 30], &[15, 15, 15, 15]);
+    }
+
+    #[test]
+    fn chunked_matches_slice_path() {
+        for (a_sizes, b_sizes) in [
+            (vec![25usize, 25, 25, 25], vec![25usize, 25, 25, 25]),
+            (vec![100, 0, 0, 0], vec![0, 0, 0, 100]),
+            (vec![0, 30, 0, 30], vec![15, 15, 15, 15]),
+        ] {
+            for chunk in [1usize, 9, 4096] {
+                let p = a_sizes.len();
+                let a_sizes = a_sizes.clone();
+                let b_sizes = b_sizes.clone();
+                let results = run(p, move |comm| {
+                    let rank = comm.rank();
+                    let a_start: usize = a_sizes[..rank].iter().sum();
+                    let b_start: usize = b_sizes[..rank].iter().sum();
+                    let a: Vec<u64> = (0..a_sizes[rank]).map(|i| (a_start + i) as u64).collect();
+                    let b: Vec<u64> = (0..b_sizes[rank])
+                        .map(|i| 1000 + (b_start + i) as u64)
+                        .collect();
+                    let slice = zip(comm, a.clone(), b.clone());
+                    let chunked = zip_chunked(comm, a, (b.len() as u64, b.into_iter()), chunk);
+                    (slice, chunked)
+                });
+                for (slice, chunked) in results {
+                    assert_eq!(slice, chunked, "chunk={chunk}");
+                }
+            }
+        }
     }
 
     #[test]

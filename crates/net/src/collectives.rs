@@ -25,6 +25,7 @@ mod op {
     pub const ALLTOALL: u64 = 5;
     pub const SHIFT: u64 = 6;
     pub const ALLTOALL_HC: u64 = 7;
+    pub const ALLTOALL_CHUNKED: u64 = 8;
 }
 
 /// `⌈log₂ p⌉` for `p ≥ 1` — round count of tree collectives.
@@ -292,6 +293,99 @@ impl Comm {
         buffer.sort_by_key(|&(src, _, _)| src);
         debug_assert_eq!(buffer.len(), p);
         buffer.into_iter().map(|(_, _, v)| v).collect()
+    }
+
+    /// Streaming personalized all-to-all over an item stream: route each
+    /// item of `items` to PE `dest_of(&item)`, buffering at most `chunk`
+    /// items per destination; a full buffer is flushed as one message,
+    /// so no "one giant `Vec` per destination" is ever materialized.
+    /// Received chunks are handed to `on_recv(src, chunk)` as they are
+    /// drained, letting the caller fold them away (into a sketch, a
+    /// hash table, …) without collecting first.
+    ///
+    /// Sender-side memory is O(chunk · p) regardless of the stream
+    /// length. On the receive side, arriving chunks are folded through
+    /// `on_recv` rather than collected — but note that both built-in
+    /// transports enqueue incoming packets independently of application
+    /// receives, so a PE's transient footprint additionally includes
+    /// whatever peers send it before its drain phase: O(bytes received)
+    /// in the worst case. The bounded end-to-end pipelines built on this
+    /// primitive therefore shrink data *before* exchanging (pre-reduced
+    /// tables, constant-size sketches); a chunked exchange of raw n-sized
+    /// data still receives O(n/p) like its slice-based counterpart.
+    /// Items routed to this PE's own rank short-circuit through
+    /// `on_recv` without touching the network (matching
+    /// [`Comm::all_to_all`], whose own slice is not counted as traffic).
+    ///
+    /// Chunks from one source arrive at `on_recv` in sending order;
+    /// interleaving *between* sources is unspecified. The message
+    /// pattern (and therefore the byte accounting) is deterministic for
+    /// a fixed `(items, chunk, p)`, identical on every transport: each
+    /// peer receives `⌈k_j / chunk⌉` data messages plus one empty
+    /// terminator, where `k_j` is the number of items routed to it.
+    ///
+    /// This is a collective: every PE must call it in the same slot of
+    /// the collective sequence (streams may of course differ).
+    ///
+    /// # Panics
+    /// Panics if `chunk == 0` or `dest_of` returns an out-of-range rank.
+    pub fn all_to_all_chunked<T, I, D, F>(&mut self, items: I, chunk: usize, dest_of: D, on_recv: F)
+    where
+        T: Wire,
+        I: IntoIterator<Item = T>,
+        D: Fn(&T) -> usize,
+        F: FnMut(usize, Vec<T>),
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        let tag = self.next_coll_tag(op::ALLTOALL_CHUNKED);
+        let p = self.size();
+        let r = self.rank();
+        let mut on_recv = on_recv;
+        let mut buffers: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        // Phase 1: route, flushing any buffer that reaches `chunk` items.
+        // Sends never block on the built-in backends, so all flushes can
+        // precede the drain phase without deadlock.
+        for item in items {
+            let dest = dest_of(&item);
+            assert!(dest < p, "dest_of returned {dest}, but p = {p}");
+            let buf = &mut buffers[dest];
+            buf.push(item);
+            if buf.len() == chunk {
+                let full = std::mem::take(buf);
+                if dest == r {
+                    on_recv(r, full);
+                } else {
+                    self.send(dest, tag, &full);
+                }
+            }
+        }
+        // Phase 2: flush remainders, then terminate every peer stream
+        // with an empty chunk (data chunks are never empty).
+        for (dest, buf) in buffers.into_iter().enumerate() {
+            if dest == r {
+                if !buf.is_empty() {
+                    on_recv(r, buf);
+                }
+            } else {
+                if !buf.is_empty() {
+                    self.send(dest, tag, &buf);
+                }
+                self.send(dest, tag, &Vec::<T>::new());
+            }
+        }
+        // Phase 3: drain every peer's stream to its terminator. The
+        // selective-receive queue preserves per-(source, tag) FIFO
+        // order, so chunks arrive in sending order per source.
+        for offset in 1..p {
+            let src = (r + p - offset) % p;
+            loop {
+                let batch: Vec<T> = self.recv(src, tag);
+                if batch.is_empty() {
+                    break;
+                }
+                on_recv(src, batch);
+            }
+        }
     }
 
     /// Cyclic shift: send `value` to `(rank+offset) mod p`, receive from
@@ -623,6 +717,94 @@ mod tests {
         // The latency trade-off of §2: fewer messages, more volume.
         assert!(hc.total_messages() < direct.total_messages());
         assert!(hc.total_bytes() > direct.total_bytes());
+    }
+
+    #[test]
+    fn chunked_all_to_all_delivers_everything_in_order() {
+        for p in [1usize, 2, 3, 5] {
+            for chunk in [1usize, 3, 16, 1000] {
+                let out = run(p, move |comm| {
+                    let r = comm.rank() as u64;
+                    // 40 items per PE, round-robin destinations, values
+                    // encode (src, seq) for order checking.
+                    let items = (0..40u64).map(move |i| (i % p as u64, r * 1000 + i));
+                    let mut received: Vec<Vec<u64>> = vec![Vec::new(); p];
+                    comm.all_to_all_chunked(
+                        items,
+                        chunk,
+                        |&(dest, _)| dest as usize,
+                        |src, batch| received[src].extend(batch.iter().map(|&(_, v)| v)),
+                    );
+                    received
+                });
+                for (dest, received) in out.iter().enumerate() {
+                    for (src, stream) in received.iter().enumerate() {
+                        let expected: Vec<u64> = (0..40u64)
+                            .filter(|i| i % p as u64 == dest as u64)
+                            .map(|i| src as u64 * 1000 + i)
+                            .collect();
+                        assert_eq!(stream, &expected, "p={p} chunk={chunk} {src}->{dest}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_all_to_all_matches_direct_multiset() {
+        // Same routing as redistribute-style usage: arbitrary dest fn.
+        let p = 4;
+        let out = run(p, |comm| {
+            let r = comm.rank() as u64;
+            let items: Vec<u64> = (0..100).map(|i| r * 100 + i).collect();
+            let mut via_chunked: Vec<u64> = Vec::new();
+            comm.all_to_all_chunked(
+                items.iter().copied(),
+                7,
+                |&x| (x % 4) as usize,
+                |_, batch| via_chunked.extend(batch),
+            );
+            let mut outgoing: Vec<Vec<u64>> = vec![Vec::new(); 4];
+            for &x in &items {
+                outgoing[(x % 4) as usize].push(x);
+            }
+            let mut via_direct: Vec<u64> =
+                comm.all_to_all(outgoing).into_iter().flatten().collect();
+            via_chunked.sort_unstable();
+            via_direct.sort_unstable();
+            (via_chunked, via_direct)
+        });
+        for (chunked, direct) in out {
+            assert_eq!(chunked, direct);
+        }
+    }
+
+    #[test]
+    fn chunked_all_to_all_send_buffers_bounded() {
+        // Byte accounting: every data message carries ≤ chunk items, so
+        // the largest single message is bounded by the chunk size, not
+        // by the stream length.
+        let (_, snap) = run_with_stats(2, |comm| {
+            let r = comm.rank();
+            // Only PE 0 has data; PE 1 contributes an empty stream.
+            let items = 0..if r == 0 { 1000u64 } else { 0 };
+            let mut n = 0usize;
+            comm.all_to_all_chunked(items, 10, |_| 1 - r, |_, b| n += b.len());
+            n
+        });
+        // PE0 → PE1: 1000 items in 100 chunks of 10 (88 bytes each:
+        // 8-byte len prefix + 80 payload) + 8-byte terminator; PE1 → PE0
+        // just its terminator.
+        assert_eq!(snap.per_pe()[0].bytes_sent, 100 * 88 + 8);
+        assert_eq!(snap.per_pe()[0].msgs_sent, 101);
+        assert_eq!(snap.per_pe()[1].bytes_sent, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn chunked_all_to_all_rejects_zero_chunk() {
+        let mut comms = crate::router::Router::build(1).into_comms();
+        comms[0].all_to_all_chunked(std::iter::empty::<u64>(), 0, |_| 0, |_, _| {});
     }
 
     #[test]

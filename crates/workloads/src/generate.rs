@@ -63,54 +63,80 @@ pub fn local_range(total: usize, rank: usize, p: usize) -> std::ops::Range<usize
     start..start + len
 }
 
-/// (key, value) pairs with Zipf-distributed keys over `1..=num_keys`
-/// (exponent 1, the paper's power-law workload) and value 1 — the
-/// wordcount shape. Generates positions `range` of a conceptual global
-/// sequence of pairs.
-pub fn zipf_pairs(seed: u64, num_keys: u64, range: std::ops::Range<usize>) -> Vec<(u64, u64)> {
+/// Lazy stream of (key, value) pairs with Zipf-distributed keys over
+/// `1..=num_keys` (exponent 1, the paper's power-law workload) and
+/// value 1 — the wordcount shape. Yields positions `range` of a
+/// conceptual global sequence **without materializing it**: each
+/// element costs one indexed-PRNG draw, so the stream can be regenerated
+/// (e.g. once for the operation, once for the checker) at any scale.
+pub fn zipf_pairs_iter(
+    seed: u64,
+    num_keys: u64,
+    range: std::ops::Range<usize>,
+) -> impl Iterator<Item = (u64, u64)> + Clone {
     let zipf = Zipf::power_law(num_keys);
-    range
-        .map(|i| {
-            let mut rng = IndexedRng::new(seed, i as u64);
-            (zipf.sample(&mut rng), 1u64)
-        })
-        .collect()
+    range.map(move |i| {
+        let mut rng = IndexedRng::new(seed, i as u64);
+        (zipf.sample(&mut rng), 1u64)
+    })
 }
 
-/// (key, value) pairs with Zipf-distributed keys over `1..=num_keys`
-/// and values uniform in `1..=value_max` — the shape of the paper's sum
-/// aggregation accuracy workload, where value-level manipulators
-/// (`SwitchValues`) need non-constant values to be meaningful.
+/// Materialized form of [`zipf_pairs_iter`] for slice-based callers.
+pub fn zipf_pairs(seed: u64, num_keys: u64, range: std::ops::Range<usize>) -> Vec<(u64, u64)> {
+    zipf_pairs_iter(seed, num_keys, range).collect()
+}
+
+/// Lazy stream of (key, value) pairs with Zipf-distributed keys over
+/// `1..=num_keys` and values uniform in `1..=value_max` — the shape of
+/// the paper's sum aggregation accuracy workload, where value-level
+/// manipulators (`SwitchValues`) need non-constant values to be
+/// meaningful. Never materialized; see [`zipf_pairs_iter`].
+pub fn zipf_valued_pairs_iter(
+    seed: u64,
+    num_keys: u64,
+    value_max: u64,
+    range: std::ops::Range<usize>,
+) -> impl Iterator<Item = (u64, u64)> + Clone {
+    assert!(value_max >= 1);
+    let zipf = Zipf::power_law(num_keys);
+    range.map(move |i| {
+        let mut rng = IndexedRng::new(seed, i as u64);
+        let key = zipf.sample(&mut rng);
+        let value =
+            1 + splitmix64(seed ^ 0x56414C ^ (i as u64).wrapping_mul(0x9E37_79B9)) % value_max;
+        (key, value)
+    })
+}
+
+/// Materialized form of [`zipf_valued_pairs_iter`].
 pub fn zipf_valued_pairs(
     seed: u64,
     num_keys: u64,
     value_max: u64,
     range: std::ops::Range<usize>,
 ) -> Vec<(u64, u64)> {
-    assert!(value_max >= 1);
-    let zipf = Zipf::power_law(num_keys);
-    range
-        .map(|i| {
-            let mut rng = IndexedRng::new(seed, i as u64);
-            let key = zipf.sample(&mut rng);
-            let value =
-                1 + splitmix64(seed ^ 0x56414C ^ (i as u64).wrapping_mul(0x9E37_79B9)) % value_max;
-            (key, value)
-        })
-        .collect()
+    zipf_valued_pairs_iter(seed, num_keys, value_max, range).collect()
 }
 
-/// Uniform integers in `0..max` at positions `range` of the global
-/// sequence (the §7.2 sort/permutation workload with `max = 10⁸`).
-pub fn uniform_ints(seed: u64, max: u64, range: std::ops::Range<usize>) -> Vec<u64> {
+/// Lazy stream of uniform integers in `0..max` at positions `range` of
+/// the global sequence (the §7.2 sort/permutation workload with
+/// `max = 10⁸`). Never materialized; see [`zipf_pairs_iter`].
+pub fn uniform_ints_iter(
+    seed: u64,
+    max: u64,
+    range: std::ops::Range<usize>,
+) -> impl Iterator<Item = u64> + Clone {
     assert!(max > 0);
-    range
-        .map(|i| {
-            // One splitmix call per element; modulo bias is ≤ max/2^64,
-            // irrelevant for max ≤ 2^40 as used in the experiments.
-            splitmix64(seed ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)) % max
-        })
-        .collect()
+    range.map(move |i| {
+        // One splitmix call per element; modulo bias is ≤ max/2^64,
+        // irrelevant for max ≤ 2^40 as used in the experiments.
+        splitmix64(seed ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)) % max
+    })
+}
+
+/// Materialized form of [`uniform_ints_iter`].
+pub fn uniform_ints(seed: u64, max: u64, range: std::ops::Range<usize>) -> Vec<u64> {
+    uniform_ints_iter(seed, max, range).collect()
 }
 
 /// A named workload description used by the experiment harness.
@@ -195,6 +221,28 @@ mod tests {
             distinct.len() > 900,
             "only {} distinct values",
             distinct.len()
+        );
+    }
+
+    #[test]
+    fn lazy_iterators_match_materialized_forms() {
+        // The Vec forms are defined as collected iterators; pin the
+        // equivalence (and the iterators' restartability) explicitly.
+        let it = zipf_valued_pairs_iter(3, 500, 1000, 10..60);
+        assert_eq!(
+            it.clone().collect::<Vec<_>>(),
+            zipf_valued_pairs(3, 500, 1000, 10..60)
+        );
+        // A cloned iterator replays the identical stream — the property
+        // the streaming checker relies on to traverse the input twice.
+        assert_eq!(it.clone().collect::<Vec<_>>(), it.collect::<Vec<_>>());
+        assert_eq!(
+            uniform_ints_iter(7, 1 << 30, 0..40).collect::<Vec<_>>(),
+            uniform_ints(7, 1 << 30, 0..40)
+        );
+        assert_eq!(
+            zipf_pairs_iter(9, 100, 5..25).collect::<Vec<_>>(),
+            zipf_pairs(9, 100, 5..25)
         );
     }
 

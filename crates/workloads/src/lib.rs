@@ -32,6 +32,9 @@ pub mod generate;
 pub mod text;
 pub mod zipf;
 
-pub use generate::{local_range, uniform_ints, zipf_pairs, zipf_valued_pairs, Workload};
+pub use generate::{
+    local_range, uniform_ints, uniform_ints_iter, zipf_pairs, zipf_pairs_iter, zipf_valued_pairs,
+    zipf_valued_pairs_iter, Workload,
+};
 pub use text::{word_key, word_stream, Vocabulary};
 pub use zipf::Zipf;
