@@ -1,0 +1,161 @@
+//! Service throughput: jobs/second through a `ccheck-service` world at
+//! a mixed workload — the headline number for the checking-as-a-service
+//! runtime (and the baseline recorded in `BENCH_service.json`).
+//!
+//! Spins up an in-process service world (threads over the local or the
+//! TCP-loopback backend — the full service stack: control plane, scoped
+//! communicators, client socket, receipts), then drives it with
+//! `CCHECK_CLIENTS` concurrent client connections submitting a
+//! round-robin mix of reduce / sort / zip jobs (one-shot and chunked)
+//! until `CCHECK_JOBS` receipts are in. Every receipt must verify.
+//!
+//! ```text
+//! CCHECK_JOBS=48 CCHECK_N=100000 target/release/service_throughput --pes 4
+//! ```
+//!
+//! Scale knobs: `CCHECK_JOBS` (total jobs, default 24), `CCHECK_N`
+//! (elements per job, default 50 000), `CCHECK_CLIENTS` (concurrent
+//! client connections, default 4), `--pes` (world size, default 4),
+//! `--transport local|tcp` (tcp = loopback sockets, still one process).
+//! Prints one `SERVICE_JSON {...}` line on completion.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use ccheck_bench::env_param;
+use ccheck_net::Backend;
+use ccheck_service::{
+    run_service_world, JobOp, JobSpec, Receipt, ServiceClient, ServiceConfig, Verdict,
+};
+
+fn mixed_spec(i: u64, n: u64) -> JobSpec {
+    let op = match i % 3 {
+        0 => JobOp::Reduce,
+        1 => JobOp::Sort,
+        _ => JobOp::Zip,
+    };
+    JobSpec {
+        op,
+        n,
+        keys: 1 + n / 10,
+        seed: 0x5EED ^ i,
+        // Alternate one-shot and chunked execution.
+        chunk: if i.is_multiple_of(2) { 0 } else { 4096 },
+        ..JobSpec::default()
+    }
+}
+
+fn main() {
+    let mut pes = 4usize;
+    let mut backend = Backend::Local;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pes" | "-p" => {
+                pes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--pes expects a positive integer");
+                        std::process::exit(2);
+                    })
+            }
+            "--transport" => match args.next().as_deref() {
+                Some("local") => backend = Backend::Local,
+                Some("tcp") => backend = Backend::TcpLoopback,
+                other => {
+                    eprintln!("--transport expects local|tcp, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown option {other:?} (service_throughput [--pes N] [--transport local|tcp])");
+                std::process::exit(2);
+            }
+        }
+    }
+    let jobs = env_param("CCHECK_JOBS", 24) as u64;
+    let n = env_param("CCHECK_N", 50_000) as u64;
+    let clients = env_param("CCHECK_CLIENTS", 4).max(1) as u64;
+
+    let (tx, rx) = mpsc::channel();
+    let cfg = ServiceConfig {
+        announce: Some(tx),
+        max_inflight: 4,
+        queue_cap: jobs as usize + 8,
+        ..ServiceConfig::default()
+    };
+    let world = {
+        let cfg = cfg.clone();
+        std::thread::spawn(move || run_service_world(backend, pes, &cfg))
+    };
+    let addr = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("service address");
+
+    // Drive: `clients` connections, each pulling the next job index off
+    // a shared counter, submitting it, and blocking for the receipt.
+    let next = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let receipts: Vec<Receipt> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect_with_retry(
+                        &addr.to_string(),
+                        Duration::from_secs(10),
+                    )
+                    .expect("connect");
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            return mine;
+                        }
+                        mine.push(client.run(&mixed_spec(i, n)).expect("receipt"));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    ServiceClient::connect_with_retry(&addr.to_string(), Duration::from_secs(10))
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    let summaries = world.join().expect("world exits");
+
+    let verified = receipts
+        .iter()
+        .filter(|r| r.verdict == Verdict::Verified)
+        .count();
+    assert_eq!(verified as u64, jobs, "every clean job must verify");
+    let total_bytes: u64 = summaries[0]
+        .stats
+        .as_ref()
+        .map(|s| s.total_bytes())
+        .unwrap_or(0);
+    let jobs_per_sec = jobs as f64 / wall;
+    let elems_per_sec = (jobs * n) as f64 / wall;
+
+    println!(
+        "Service throughput: {jobs} mixed jobs x {n} elems on {pes} PE(s) \
+         ({backend:?}), {clients} client(s)"
+    );
+    println!("  wall: {wall:.3} s -> {jobs_per_sec:.1} jobs/s ({elems_per_sec:.2e} elems/s)");
+    println!("  service total communication: {total_bytes} bytes");
+    println!(
+        "SERVICE_JSON {{\"pes\": {pes}, \"backend\": \"{backend:?}\", \"jobs\": {jobs}, \
+         \"n\": {n}, \"clients\": {clients}, \"jobs_per_sec\": {jobs_per_sec:.2}, \
+         \"elems_per_sec\": {elems_per_sec:.0}, \"verified\": {verified}, \
+         \"total_bytes\": {total_bytes}}}"
+    );
+}

@@ -118,8 +118,24 @@ pub fn checked_sort(
     perm: &PermChecker,
     max_retries: usize,
 ) -> (Vec<u64>, CheckedOutcome) {
+    checked_sort_with(comm, data, perm, max_retries, sort)
+}
+
+/// Generic form of [`checked_sort`] taking the (possibly faulty) sort
+/// implementation as a closure — the hook for tests, chaos experiments,
+/// and the `ccheck-service` fault-injected jobs.
+pub fn checked_sort_with<F>(
+    comm: &mut Comm,
+    data: Vec<u64>,
+    perm: &PermChecker,
+    max_retries: usize,
+    mut operation: F,
+) -> (Vec<u64>, CheckedOutcome)
+where
+    F: FnMut(&mut Comm, Vec<u64>) -> Vec<u64>,
+{
     for attempt in 0..=max_retries {
-        let output = sort(comm, data.clone());
+        let output = operation(comm, data.clone());
         if check_sorted(comm, &data, &output, perm) {
             let outcome = if attempt == 0 {
                 CheckedOutcome::FastPath
@@ -223,6 +239,32 @@ mod tests {
         let mut merged: Vec<Pair> = results.into_iter().flat_map(|(o, _)| o).collect();
         merged.sort_unstable();
         assert_eq!(merged, oracle_for(3));
+    }
+
+    #[test]
+    fn checked_sort_with_persistent_fault_falls_back() {
+        // A sort whose output is corrupted on every attempt (via the
+        // sorted-output manipulator model: duplicate a neighbor) must
+        // fall back to the reference sort and still deliver the correct
+        // global order.
+        let results = run(3, |comm| {
+            let rank = comm.rank() as u64;
+            let data: Vec<u64> = (0..90).map(|i| (rank * 90 + i) * 13 % 500).collect();
+            let perm = PermChecker::new(PermCheckConfig::hash_sum(HasherKind::Tab64, 32), 9);
+            checked_sort_with(comm, data, &perm, 1, |comm, d| {
+                let mut out = crate::sort::sort(comm, d);
+                if comm.rank() == 0 && out.len() >= 2 {
+                    out[0] = out[1].wrapping_add(1); // persistent corruption
+                }
+                out
+            })
+        });
+        for (_, outcome) in &results {
+            assert_eq!(*outcome, CheckedOutcome::FellBack);
+        }
+        let concat: Vec<u64> = results.into_iter().flat_map(|(o, _)| o).collect();
+        assert_eq!(concat.len(), 270);
+        assert!(concat.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub mod zip;
 pub type Pair = (u64, u64);
 
 pub use aggregate::{average_by_key, max_by_key, median_by_key, min_by_key};
-pub use checked::{checked_reduce_by_key, checked_sort, CheckedOutcome};
+pub use checked::{
+    checked_reduce_by_key, checked_reduce_with, checked_sort, checked_sort_with, CheckedOutcome,
+};
 pub use dia::{CheckRejected, Dia, PipelineCtx};
 pub use exchange::{
     redistribute_by_key_hash, redistribute_by_key_hash_chunked,

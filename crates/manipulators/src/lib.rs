@@ -5,12 +5,20 @@
 //! deliberately introduce faults. \[…\] our manipulators focus on
 //! \[subtle\] changes in the data."
 //!
-//! Two families, exactly as in the paper:
+//! Two families exactly as in the paper, plus two more covering the
+//! remaining checked operations (used by the `ccheck-service`
+//! fault-injection tests):
 //!
 //! * [`sum`] — Table 4, applied to (key, value) pairs of an aggregation:
 //!   `Bitflip`, `RandKey`, `SwitchValues`, `IncKey`, `IncDec(n)`,
 //! * [`perm`] — Table 6, applied to plain element sequences before
-//!   sorting: `Bitflip`, `Increment`, `Randomize`, `Reset`, `SetEqual`.
+//!   sorting: `Bitflip`, `Increment`, `Randomize`, `Reset`, `SetEqual`,
+//! * [`sort`] — applied to sorted (or merged) *outputs*: `SwapAdjacent`,
+//!   `DupNeighbor`, `Bitflip`, `Randomize` — each targeting one of the
+//!   sort checker's two lines of defense (sortedness vs. fingerprint),
+//! * [`zip`] — applied to zipped outputs: `Bitflip`, `SwapComponents`,
+//!   `SwapPairs`, `Randomize` — order- and lane-damage the Zip
+//!   checker's position-sensitive fingerprint must catch.
 //!
 //! All manipulators are deterministic under a seed so experiments are
 //! reproducible, and they report whether they actually changed the data
@@ -18,10 +26,14 @@
 //! the aggregate equivalent — experiments must not count those trials).
 
 pub mod perm;
+pub mod sort;
 pub mod sum;
+pub mod zip;
 
 pub use perm::PermManipulator;
+pub use sort::SortManipulator;
 pub use sum::SumManipulator;
+pub use zip::ZipManipulator;
 
 /// Splitmix64 — the seed-expansion mix used by all manipulators.
 #[inline]

@@ -1,0 +1,194 @@
+//! Manipulators for sort and merge *outputs*.
+//!
+//! The perm-family manipulators ([`crate::PermManipulator`]) damage the
+//! sequence *before* sorting, to exercise the permutation fingerprint in
+//! isolation. These manipulators instead damage the asserted **sorted
+//! output** — the fault model of a buggy sort/merge implementation or a
+//! corrupted exchange. A sorted-output checker has two independent
+//! lines of defense (Theorem 7 / Corollary 13): the local+boundary
+//! sortedness test and the permutation fingerprint; each variant here
+//! targets one of them.
+//!
+//! `apply` returns whether the output is no longer the sorted
+//! permutation of the input, i.e. whether the *order* or the *multiset*
+//! actually changed.
+
+use crate::{bounded, splitmix64};
+
+/// Faults against a sorted output sequence (applies equally to merge
+/// outputs, which share the checker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortManipulator {
+    /// Swap two adjacent elements — multiset intact, order broken
+    /// (caught by the sortedness test, invisible to the fingerprint).
+    SwapAdjacent,
+    /// Overwrite an element with its successor's value — sortedness
+    /// intact, multiset broken (caught *only* by the permutation
+    /// fingerprint; the trivial sortedness check accepts it).
+    DupNeighbor,
+    /// Flip a random bit of a random element — may break either
+    /// property, the generic soft-error model.
+    Bitflip,
+    /// Overwrite a random element with a random value.
+    Randomize,
+}
+
+impl SortManipulator {
+    /// All sorted-output manipulators.
+    pub fn all() -> Vec<SortManipulator> {
+        vec![
+            SortManipulator::SwapAdjacent,
+            SortManipulator::DupNeighbor,
+            SortManipulator::Bitflip,
+            SortManipulator::Randomize,
+        ]
+    }
+
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SortManipulator::SwapAdjacent => "SwapAdjacent",
+            SortManipulator::DupNeighbor => "DupNeighbor",
+            SortManipulator::Bitflip => "Bitflip",
+            SortManipulator::Randomize => "Randomize",
+        }
+    }
+
+    /// Apply to `data` (a locally sorted shard), deterministically under
+    /// `seed`. Returns whether order or multiset actually changed.
+    pub fn apply(&self, data: &mut [u64], seed: u64) -> bool {
+        if data.is_empty() {
+            return false;
+        }
+        let n = data.len() as u64;
+        match self {
+            SortManipulator::SwapAdjacent => {
+                if data.len() < 2 {
+                    return false;
+                }
+                let idx = bounded(seed, 1, n - 1) as usize;
+                let changed = data[idx] != data[idx + 1];
+                data.swap(idx, idx + 1);
+                changed
+            }
+            SortManipulator::DupNeighbor => {
+                if data.len() < 2 {
+                    return false;
+                }
+                let idx = bounded(seed, 1, n - 1) as usize;
+                let changed = data[idx] != data[idx + 1];
+                data[idx] = data[idx + 1];
+                changed
+            }
+            SortManipulator::Bitflip => {
+                let idx = bounded(seed, 1, n) as usize;
+                let bit = bounded(seed, 2, 64);
+                data[idx] ^= 1u64 << bit;
+                true
+            }
+            SortManipulator::Randomize => {
+                let idx = bounded(seed, 1, n) as usize;
+                let new = splitmix64(seed ^ 0x534F_5254);
+                let changed = data[idx] != new;
+                data[idx] = new;
+                changed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_dataset() -> Vec<u64> {
+        let mut v: Vec<u64> = (0..400u64)
+            .map(|i| i.wrapping_mul(0x9E3779B9) % 100_000)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn multiset(data: &[u64]) -> Vec<u64> {
+        let mut v = data.to_vec();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        for manip in SortManipulator::all() {
+            let mut a = sorted_dataset();
+            let mut b = sorted_dataset();
+            assert_eq!(manip.apply(&mut a, 23), manip.apply(&mut b, 23));
+            assert_eq!(a, b, "{manip:?}");
+        }
+    }
+
+    #[test]
+    fn change_flag_matches_semantic_change() {
+        let clean = sorted_dataset();
+        for manip in SortManipulator::all() {
+            for seed in 0..200 {
+                let mut data = sorted_dataset();
+                let changed = manip.apply(&mut data, seed);
+                // Semantic change = no longer the sorted permutation of
+                // the input = differs from the (unique) sorted sequence.
+                assert_eq!(data != clean, changed, "{manip:?} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_adjacent_keeps_multiset_breaks_order() {
+        let clean = sorted_dataset();
+        let mut data = sorted_dataset();
+        // Find a seed whose swap touches two distinct values.
+        let mut seed = 0;
+        while !SortManipulator::SwapAdjacent.apply(&mut data, seed) {
+            data = sorted_dataset();
+            seed += 1;
+        }
+        assert_eq!(multiset(&data), clean);
+        assert!(!data.windows(2).all(|w| w[0] <= w[1]), "order must break");
+    }
+
+    #[test]
+    fn dup_neighbor_keeps_order_breaks_multiset() {
+        let clean = sorted_dataset();
+        let mut data = sorted_dataset();
+        let mut seed = 0;
+        while !SortManipulator::DupNeighbor.apply(&mut data, seed) {
+            data = sorted_dataset();
+            seed += 1;
+        }
+        assert!(data.windows(2).all(|w| w[0] <= w[1]), "must stay sorted");
+        assert_ne!(multiset(&data), clean, "multiset must change");
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs_are_safe() {
+        for manip in SortManipulator::all() {
+            let mut empty: Vec<u64> = Vec::new();
+            assert!(!manip.apply(&mut empty, 1), "{manip:?} on empty");
+            let mut one = vec![7u64];
+            // Single-element shards: the pairwise variants are no-ops.
+            let changed = manip.apply(&mut one, 1);
+            match manip {
+                SortManipulator::SwapAdjacent | SortManipulator::DupNeighbor => {
+                    assert!(!changed, "{manip:?} on singleton")
+                }
+                _ => assert!(changed, "{manip:?} on singleton"),
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<&str> = SortManipulator::all().iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["SwapAdjacent", "DupNeighbor", "Bitflip", "Randomize"]
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Manipulators for the Zip checker (§6.4 of the paper).
+//!
+//! Applied to the asserted *zipped output* `⟨(aᵢ, bᵢ)⟩`: the Zip checker
+//! fingerprints each component lane against its input sequence with a
+//! position-sensitive hash, so the interesting faults are the ones a
+//! plain multiset fingerprint would miss — swapped components, swapped
+//! positions, and single-bit damage. `apply` returns whether either
+//! lane's *sequence* actually changed (a manipulation can be a no-op,
+//! e.g. swapping two equal pairs).
+
+use crate::{bounded, splitmix64};
+
+/// Faults against a zipped output sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipManipulator {
+    /// Flip a random bit in a random component of a random pair.
+    Bitflip,
+    /// Swap the two components of a random pair (`(a, b)` → `(b, a)`).
+    SwapComponents,
+    /// Swap two random pairs — order damage that preserves the pair
+    /// multiset, invisible to any order-insensitive check.
+    SwapPairs,
+    /// Overwrite one component with a random value.
+    Randomize,
+}
+
+impl ZipManipulator {
+    /// All zip manipulators.
+    pub fn all() -> Vec<ZipManipulator> {
+        vec![
+            ZipManipulator::Bitflip,
+            ZipManipulator::SwapComponents,
+            ZipManipulator::SwapPairs,
+            ZipManipulator::Randomize,
+        ]
+    }
+
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ZipManipulator::Bitflip => "Bitflip",
+            ZipManipulator::SwapComponents => "SwapComponents",
+            ZipManipulator::SwapPairs => "SwapPairs",
+            ZipManipulator::Randomize => "Randomize",
+        }
+    }
+
+    /// Apply to `data`, deterministically under `seed`. Returns whether
+    /// the (position-sensitive) content of either lane changed.
+    pub fn apply(&self, data: &mut [(u64, u64)], seed: u64) -> bool {
+        if data.is_empty() {
+            return false;
+        }
+        let n = data.len() as u64;
+        let idx = bounded(seed, 1, n) as usize;
+        match self {
+            ZipManipulator::Bitflip => {
+                let bit = bounded(seed, 2, 128);
+                if bit < 64 {
+                    data[idx].0 ^= 1u64 << bit;
+                } else {
+                    data[idx].1 ^= 1u64 << (bit - 64);
+                }
+                true
+            }
+            ZipManipulator::SwapComponents => {
+                let (a, b) = data[idx];
+                data[idx] = (b, a);
+                a != b
+            }
+            ZipManipulator::SwapPairs => {
+                let mut other = bounded(seed, 3, n) as usize;
+                if other == idx {
+                    other = (other + 1) % n as usize;
+                }
+                if other == idx {
+                    return false; // n == 1
+                }
+                let changed = data[idx] != data[other];
+                data.swap(idx, other);
+                changed
+            }
+            ZipManipulator::Randomize => {
+                let new = splitmix64(seed ^ 0x5A49_5052);
+                let lane = bounded(seed, 4, 2);
+                let slot = if lane == 0 {
+                    &mut data[idx].0
+                } else {
+                    &mut data[idx].1
+                };
+                let changed = *slot != new;
+                *slot = new;
+                changed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Vec<(u64, u64)> {
+        (0..300u64)
+            .map(|i| (i.wrapping_mul(0x9E3779B9) % 10_000, 1000 + i))
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        for manip in ZipManipulator::all() {
+            let mut a = dataset();
+            let mut b = dataset();
+            assert_eq!(manip.apply(&mut a, 17), manip.apply(&mut b, 17));
+            assert_eq!(a, b, "{manip:?}");
+        }
+    }
+
+    #[test]
+    fn change_flag_matches_sequence_change() {
+        let clean = dataset();
+        for manip in ZipManipulator::all() {
+            for seed in 0..200 {
+                let mut data = dataset();
+                let changed = manip.apply(&mut data, seed);
+                assert_eq!(data != clean, changed, "{manip:?} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_pairs_preserves_pair_multiset() {
+        let mut data = dataset();
+        let mut before = data.clone();
+        ZipManipulator::SwapPairs.apply(&mut data, 5);
+        let mut after = data.clone();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn swap_components_touches_one_pair() {
+        let orig = dataset();
+        let mut data = dataset();
+        ZipManipulator::SwapComponents.apply(&mut data, 7);
+        let diffs: Vec<usize> = (0..data.len()).filter(|&i| data[i] != orig[i]).collect();
+        assert_eq!(diffs.len(), 1);
+        let i = diffs[0];
+        assert_eq!(data[i], (orig[i].1, orig[i].0));
+    }
+
+    #[test]
+    fn swap_equal_pairs_is_noop() {
+        let mut hit = false;
+        for seed in 0..300 {
+            let mut data = vec![(1u64, 2u64); 4];
+            let changed = ZipManipulator::SwapPairs.apply(&mut data, seed);
+            assert!(!changed, "seed {seed}: swapping equal pairs is a no-op");
+            hit = true;
+        }
+        assert!(hit);
+    }
+
+    #[test]
+    fn empty_data_is_noop() {
+        for manip in ZipManipulator::all() {
+            let mut data: Vec<(u64, u64)> = Vec::new();
+            assert!(!manip.apply(&mut data, 1), "{manip:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<&str> = ZipManipulator::all().iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Bitflip", "SwapComponents", "SwapPairs", "Randomize"]
+        );
+    }
+}

@@ -82,6 +82,39 @@ impl Comm {
         }
     }
 
+    /// Rebuild a communicator around `transport` carrying over state from
+    /// a predecessor: its stashed out-of-order packets and its collective
+    /// sequence counter. Used by [`crate::scope::CommMux`] so the control
+    /// communicator continues the wrapped communicator's tag stream
+    /// seamlessly (SPMD programs may multiplex mid-run).
+    pub(crate) fn over_resumed(
+        transport: Box<dyn Transport>,
+        stats: Arc<CommStats>,
+        pending: VecDeque<Packet>,
+        coll_seq: u64,
+    ) -> Self {
+        let mut comm = Self::over(transport, stats);
+        comm.pending = pending;
+        comm.coll_seq = coll_seq;
+        comm
+    }
+
+    /// Tear this communicator apart: `(transport, stats, pending stash,
+    /// collective sequence counter)`. The inverse of
+    /// [`Comm::over_resumed`], used to wrap a live communicator into a
+    /// [`crate::scope::CommMux`].
+    pub(crate) fn into_parts(self) -> (Box<dyn Transport>, Arc<CommStats>, VecDeque<Packet>, u64) {
+        (self.transport, self.stats, self.pending, self.coll_seq)
+    }
+
+    /// Consume this communicator into a scoped-communicator multiplexer:
+    /// the entry point of the [`crate::scope`] subsystem. All PEs of an
+    /// SPMD program must call this at the same point of the collective
+    /// sequence.
+    pub fn into_mux(self) -> crate::scope::CommMux {
+        crate::scope::CommMux::new(self)
+    }
+
     /// Rank of this PE, in `0..size`.
     #[inline]
     pub fn rank(&self) -> usize {

@@ -59,6 +59,7 @@ pub mod comm;
 pub mod cost;
 pub mod error;
 pub mod router;
+pub mod scope;
 pub mod stats;
 pub mod transport;
 pub mod wire;
@@ -68,6 +69,7 @@ pub use cost::CostModel;
 pub use error::{NetError, Result};
 pub use router::testing;
 pub use router::{run, run_on, run_with_stats, run_with_stats_on};
+pub use scope::CommMux;
 pub use stats::{CommStats, StatsSnapshot};
-pub use transport::{Backend, Packet, Transport};
+pub use transport::{Backend, Packet, Transport, TransportSender};
 pub use wire::Wire;

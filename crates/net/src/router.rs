@@ -194,6 +194,65 @@ pub mod testing {
         );
         (local_results, local_stats)
     }
+
+    /// Like [`run_with_stats_on`], but every PE *owns* its communicator
+    /// (`Fn(Comm)`, not `Fn(&mut Comm)`) — required to move it into a
+    /// [`crate::scope::CommMux`]. The returned snapshot is taken from the
+    /// shared registry after all PEs finish, so it includes any scoped
+    /// children created during the run.
+    pub fn run_owned_with_stats_on<R, F>(
+        backend: Backend,
+        p: usize,
+        f: F,
+    ) -> (Vec<R>, StatsSnapshot)
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        let router = Router::build_on(backend, p);
+        let stats = router.stats();
+        let comms = router.into_comms();
+        let f = &f;
+        let mut results: Vec<Option<R>> = Vec::new();
+        results.resize_with(p, || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for comm in comms {
+                let rank = comm.rank();
+                handles.push(scope.spawn(move || (rank, f(comm))));
+            }
+            for handle in handles {
+                let (rank, r) = handle.join().expect("PE thread panicked");
+                results[rank] = Some(r);
+            }
+        });
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("all ranks ran"))
+            .collect();
+        (results, stats.snapshot())
+    }
+
+    /// [`run_both_with_stats`] for owned-communicator workloads: runs on
+    /// both backends and asserts results *and* full statistics snapshots
+    /// (including per-scope breakdowns) are identical.
+    pub fn run_both_owned_with_stats<R, F>(p: usize, f: F) -> (Vec<R>, StatsSnapshot)
+    where
+        R: Send + PartialEq + std::fmt::Debug,
+        F: Fn(Comm) -> R + Sync,
+    {
+        let (local_results, local_stats) = run_owned_with_stats_on(Backend::Local, p, &f);
+        let (tcp_results, tcp_stats) = run_owned_with_stats_on(Backend::TcpLoopback, p, &f);
+        assert_eq!(
+            local_results, tcp_results,
+            "local and tcp backends disagree on results (p={p})"
+        );
+        assert_eq!(
+            local_stats, tcp_stats,
+            "local and tcp backends disagree on communication accounting (p={p})"
+        );
+        (local_results, local_stats)
+    }
 }
 
 #[cfg(test)]

@@ -7,9 +7,20 @@
 //! maximum number of bytes sent or received by any single PE — so
 //! [`StatsSnapshot`] exposes exactly that, alongside message counts and
 //! collective round counts (the α term of the cost model).
+//!
+//! ## Scoped registries
+//!
+//! A registry can have labeled **child scopes** ([`CommStats::scoped`]):
+//! independent registries whose counters are attributed to one unit of
+//! work (a checking job of the `ccheck-service` runtime, a pipeline
+//! phase, …). A parent [`CommStats::snapshot`] aggregates its children
+//! into the per-PE totals *and* carries the per-scope breakdown, which
+//! [`StatsSnapshot::render_table`] prints as one sub-table per scope —
+//! so a multi-tenant run reports both the whole-world volume and each
+//! job's own traffic, exactly as if the job had run alone.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Per-PE monotone counters. Updated by [`crate::Comm`] on every send and
 /// receive, and by the collectives for latency rounds.
@@ -79,6 +90,9 @@ impl PeStatsSnapshot {
 #[derive(Debug)]
 pub struct CommStats {
     per_pe: Vec<PeStats>,
+    /// Labeled child registries (one per scope of a multiplexed run),
+    /// aggregated into this registry's [`CommStats::snapshot`].
+    scopes: Mutex<Vec<(String, Arc<CommStats>)>>,
 }
 
 impl CommStats {
@@ -86,6 +100,7 @@ impl CommStats {
     pub fn new(p: usize) -> Arc<Self> {
         Arc::new(Self {
             per_pe: (0..p).map(|_| PeStats::default()).collect(),
+            scopes: Mutex::new(Vec::new()),
         })
     }
 
@@ -99,12 +114,80 @@ impl CommStats {
         &self.per_pe[rank]
     }
 
-    /// Capture a consistent-enough snapshot (call after all PE threads have
-    /// joined, or after a barrier, for exact numbers).
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            per_pe: self.per_pe.iter().map(PeStats::load).collect(),
+    /// Get-or-create the child registry labeled `label` (same PE count as
+    /// the parent). All callers passing the same label share one child —
+    /// in in-process runs every PE's scoped communicator for one job
+    /// therefore records into the same registry, mirroring how the PEs
+    /// share the parent.
+    pub fn scoped(self: &Arc<Self>, label: &str) -> Arc<CommStats> {
+        let mut scopes = self.scopes.lock().expect("stats scope registry poisoned");
+        if let Some((_, child)) = scopes.iter().find(|(l, _)| l == label) {
+            return Arc::clone(child);
         }
+        let child = CommStats::new(self.num_pes());
+        scopes.push((label.to_string(), Arc::clone(&child)));
+        child
+    }
+
+    /// Fold the child registry labeled `label` into this registry's own
+    /// counters and drop it from the per-scope breakdown. Per-PE totals
+    /// are preserved exactly; only the per-scope attribution is given
+    /// up. Returns whether the scope existed.
+    ///
+    /// This is how a long-lived multi-tenant run (one scope per job,
+    /// unbounded jobs) keeps the registry bounded: every worker calls it
+    /// after dropping its scoped communicator, and the call only takes
+    /// effect once the registry itself holds the last reference — so no
+    /// still-live communicator can record into a retired child (returns
+    /// `false`, leaving the scope in place, while any handle remains).
+    pub fn retire_scope(&self, label: &str) -> bool {
+        let mut scopes = self.scopes.lock().expect("stats scope registry poisoned");
+        let Some(pos) = scopes.iter().position(|(l, _)| l == label) else {
+            return false;
+        };
+        if Arc::strong_count(&scopes[pos].1) > 1 {
+            return false; // a communicator still records into it
+        }
+        let (_, child) = scopes.remove(pos);
+        drop(scopes);
+        // The child snapshot aggregates its own children recursively, so
+        // one fold per PE suffices.
+        let snapshot = child.snapshot();
+        for (pe, row) in self.per_pe.iter().zip(snapshot.per_pe()) {
+            pe.bytes_sent.fetch_add(row.bytes_sent, Ordering::Relaxed);
+            pe.bytes_recv.fetch_add(row.bytes_recv, Ordering::Relaxed);
+            pe.msgs_sent.fetch_add(row.msgs_sent, Ordering::Relaxed);
+            pe.msgs_recv.fetch_add(row.msgs_recv, Ordering::Relaxed);
+            pe.rounds.fetch_add(row.rounds, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Capture a consistent-enough snapshot (call after all PE threads have
+    /// joined, or after a barrier, for exact numbers). Child scopes are
+    /// folded into the per-PE totals and reported individually in
+    /// [`StatsSnapshot::scopes`], sorted by label so the breakdown is
+    /// deterministic regardless of registration order.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut per_pe: Vec<PeStatsSnapshot> = self.per_pe.iter().map(PeStats::load).collect();
+        let mut scopes: Vec<(String, StatsSnapshot)> = self
+            .scopes
+            .lock()
+            .expect("stats scope registry poisoned")
+            .iter()
+            .map(|(label, child)| (label.clone(), child.snapshot()))
+            .collect();
+        scopes.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, child) in &scopes {
+            for (total, part) in per_pe.iter_mut().zip(child.per_pe()) {
+                total.bytes_sent += part.bytes_sent;
+                total.bytes_recv += part.bytes_recv;
+                total.msgs_sent += part.msgs_sent;
+                total.msgs_recv += part.msgs_recv;
+                total.rounds += part.rounds;
+            }
+        }
+        StatsSnapshot { per_pe, scopes }
     }
 }
 
@@ -112,6 +195,7 @@ impl CommStats {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsSnapshot {
     per_pe: Vec<PeStatsSnapshot>,
+    scopes: Vec<(String, StatsSnapshot)>,
 }
 
 impl StatsSnapshot {
@@ -119,12 +203,26 @@ impl StatsSnapshot {
     /// [`crate::Comm::gather_stats`] to rebuild the global view from
     /// counters gathered across processes.
     pub fn from_rows(per_pe: Vec<PeStatsSnapshot>) -> Self {
-        StatsSnapshot { per_pe }
+        StatsSnapshot {
+            per_pe,
+            scopes: Vec::new(),
+        }
     }
 
-    /// Per-PE values, indexed by rank.
+    /// Per-PE values, indexed by rank. For a registry with child scopes
+    /// these rows are the *totals* (own traffic plus every scope's).
     pub fn per_pe(&self) -> &[PeStatsSnapshot] {
         &self.per_pe
+    }
+
+    /// Per-scope breakdown, sorted by label (empty for unscoped runs).
+    pub fn scopes(&self) -> &[(String, StatsSnapshot)] {
+        &self.scopes
+    }
+
+    /// The snapshot of one labeled scope, if present.
+    pub fn scope(&self, label: &str) -> Option<&StatsSnapshot> {
+        self.scopes.iter().find(|(l, _)| l == label).map(|(_, s)| s)
     }
 
     /// Total bytes sent across all PEs (equals total bytes received).
@@ -197,11 +295,18 @@ impl StatsSnapshot {
             self.bottleneck_volume()
         )
         .expect("write to String");
+        for (label, scope) in &self.scopes {
+            writeln!(out, "\nscope [{label}]:").expect("write to String");
+            out.push_str(&scope.render_table());
+        }
         out
     }
 
     /// Element-wise difference (`self` minus `earlier`); panics if the PE
     /// counts differ. Useful to attribute traffic to a program phase.
+    /// The result is a flat diff of the *totals* — per-scope breakdowns
+    /// are not carried over (scopes may appear or vanish between the two
+    /// snapshots; use [`StatsSnapshot::scope`] to diff one scope).
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         assert_eq!(self.per_pe.len(), earlier.per_pe.len());
         StatsSnapshot {
@@ -217,6 +322,7 @@ impl StatsSnapshot {
                     rounds: now.rounds - before.rounds,
                 })
                 .collect(),
+            scopes: Vec::new(),
         }
     }
 }
@@ -304,6 +410,75 @@ mod tests {
         let totals = table.lines().nth(3).unwrap();
         assert!(totals.trim_start().starts_with("total"));
         assert!(totals.contains("100"));
+    }
+
+    #[test]
+    fn scoped_children_aggregate_into_parent() {
+        let root = CommStats::new(2);
+        root.pe(0).record_send(10);
+        let job_a = root.scoped("job-a");
+        let job_b = root.scoped("job-b");
+        job_a.pe(0).record_send(100);
+        job_a.pe(1).record_recv(100);
+        job_b.pe(1).record_send(7);
+        job_b.pe(1).record_rounds(2);
+
+        let snap = root.snapshot();
+        // Totals = own + children.
+        assert_eq!(snap.per_pe()[0].bytes_sent, 110);
+        assert_eq!(snap.per_pe()[1].bytes_sent, 7);
+        assert_eq!(snap.per_pe()[1].bytes_recv, 100);
+        assert_eq!(snap.max_rounds(), 2);
+        // Per-scope breakdown, sorted by label.
+        let labels: Vec<&str> = snap.scopes().iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["job-a", "job-b"]);
+        assert_eq!(snap.scope("job-a").unwrap().per_pe()[0].bytes_sent, 100);
+        assert_eq!(snap.scope("job-b").unwrap().per_pe()[1].bytes_sent, 7);
+        assert!(snap.scope("job-c").is_none());
+    }
+
+    #[test]
+    fn scoped_is_get_or_create() {
+        let root = CommStats::new(1);
+        let a1 = root.scoped("a");
+        let a2 = root.scoped("a");
+        a1.pe(0).record_send(5);
+        // Same registry: the second handle observes the first's traffic.
+        assert_eq!(a2.snapshot().per_pe()[0].bytes_sent, 5);
+        assert_eq!(root.snapshot().scopes().len(), 1);
+    }
+
+    #[test]
+    fn retire_scope_folds_into_parent_totals() {
+        let root = CommStats::new(2);
+        root.pe(0).record_send(5);
+        let job = root.scoped("job-9");
+        job.pe(0).record_send(100);
+        job.pe(1).record_recv(100);
+        let before = root.snapshot();
+
+        // While a handle is live, retirement is refused (it could still
+        // record) and the breakdown stays.
+        assert!(!root.retire_scope("job-9"));
+        assert_eq!(root.snapshot().scopes().len(), 1);
+
+        drop(job);
+        assert!(root.retire_scope("job-9"));
+        let after = root.snapshot();
+        // Totals unchanged, breakdown gone, registry bounded again.
+        assert_eq!(after.per_pe(), before.per_pe());
+        assert!(after.scopes().is_empty());
+        assert!(!root.retire_scope("job-9"), "second retire is a no-op");
+    }
+
+    #[test]
+    fn render_table_includes_scope_sections() {
+        let root = CommStats::new(1);
+        root.scoped("job-3").pe(0).record_send(42);
+        let table = root.snapshot().render_table();
+        assert!(table.contains("scope [job-3]:"), "{table}");
+        // Both the totals table and the scope table mention the traffic.
+        assert!(table.matches("42").count() >= 2, "{table}");
     }
 
     #[test]

@@ -74,6 +74,31 @@ pub trait Transport: Send {
     /// teardown is barrier-safe: no in-flight message is cut off by an
     /// early `close()` on the receiving end.
     fn shutdown(&mut self) -> Result<()>;
+
+    /// Detach this transport's **sending side** as an independently
+    /// usable handle, leaving only the receiving side (`recv`,
+    /// `is_closed`) with the transport. After detaching, `send` on the
+    /// transport itself fails; a second detach fails too.
+    ///
+    /// This is the primitive behind [`crate::scope::CommMux`]: one pump
+    /// thread owns the receive side while any number of scoped
+    /// communicators share the detached sender (behind a mutex).
+    /// Teardown inverts accordingly — the *sender* half-closes
+    /// ([`TransportSender::close`]) and the receive side drains until
+    /// every peer has done the same.
+    fn split_sender(&mut self) -> Result<Box<dyn TransportSender>>;
+}
+
+/// The detached sending side of a [`Transport`]
+/// (see [`Transport::split_sender`]).
+pub trait TransportSender: Send {
+    /// Deliver `payload` to `dest` under `tag`. Same contract as
+    /// [`Transport::send`].
+    fn send(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<()>;
+
+    /// Half-close every sending side (the peer observes end-of-stream
+    /// after all in-flight data). Idempotent; subsequent `send`s fail.
+    fn close(&mut self);
 }
 
 /// Selector for the built-in backends usable within a single OS process.

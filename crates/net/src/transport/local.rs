@@ -12,7 +12,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::comm::Tag;
 use crate::error::{NetError, Result};
-use crate::transport::{Packet, Transport};
+use crate::transport::{Packet, Transport, TransportSender};
 
 /// Channel-backed transport for one PE of an in-process run.
 pub struct LocalTransport {
@@ -20,6 +20,7 @@ pub struct LocalTransport {
     size: usize,
     senders: Vec<Option<Sender<Packet>>>,
     receiver: Receiver<Packet>,
+    detached: bool,
 }
 
 impl LocalTransport {
@@ -48,8 +49,38 @@ impl LocalTransport {
                     .map(|(peer, tx)| (peer != rank).then(|| tx.clone()))
                     .collect(),
                 receiver,
+                detached: false,
             })
             .collect()
+    }
+}
+
+/// The detached sending side of a [`LocalTransport`]: the per-peer
+/// channel senders, moved out of the transport. Closing drops them,
+/// which (once every PE does the same) disconnects the peers' receivers.
+struct LocalSender {
+    rank: usize,
+    senders: Vec<Option<Sender<Packet>>>,
+}
+
+impl TransportSender for LocalSender {
+    fn send(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<()> {
+        let sender = self.senders[dest]
+            .as_ref()
+            .ok_or(NetError::Disconnected { peer: dest })?;
+        sender
+            .send(Packet {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .map_err(|_| NetError::Disconnected { peer: dest })
+    }
+
+    fn close(&mut self) {
+        for sender in &mut self.senders {
+            *sender = None;
+        }
     }
 }
 
@@ -63,6 +94,11 @@ impl Transport for LocalTransport {
     }
 
     fn send(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<()> {
+        if self.detached {
+            return Err(NetError::bootstrap(
+                "send side detached via split_sender; send through the handle",
+            ));
+        }
         let sender = self.senders[dest]
             .as_ref()
             .expect("self-sends are handled in Comm, never by the transport");
@@ -91,6 +127,17 @@ impl Transport for LocalTransport {
         // Nothing to flush: unbounded channels deliver synchronously and
         // the Arc'd senders drop with the transport.
         Ok(())
+    }
+
+    fn split_sender(&mut self) -> Result<Box<dyn TransportSender>> {
+        if self.detached {
+            return Err(NetError::bootstrap("send side already detached"));
+        }
+        self.detached = true;
+        Ok(Box::new(LocalSender {
+            rank: self.rank,
+            senders: std::mem::take(&mut self.senders),
+        }))
     }
 }
 

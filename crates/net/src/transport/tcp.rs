@@ -36,7 +36,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::comm::Tag;
 use crate::error::{NetError, Result};
-use crate::transport::{Packet, Transport};
+use crate::transport::{Packet, Transport, TransportSender};
 use crate::wire::{self, Wire};
 
 /// Encoded size of a frame header: `(src, tag, len)` as three `u64`s.
@@ -172,6 +172,40 @@ pub struct TcpTransport {
     closed: Vec<bool>,
     readers: Vec<JoinHandle<()>>,
     down: bool,
+    detached: bool,
+}
+
+/// The detached sending side of a [`TcpTransport`]: the write halves of
+/// the socket mesh, moved out of the transport. Closing half-closes
+/// every socket (`Shutdown::Write`), which the peers' reader threads
+/// observe as clean end-of-stream after all in-flight frames.
+struct TcpSender {
+    rank: usize,
+    writers: Vec<Option<TcpStream>>,
+}
+
+impl TransportSender for TcpSender {
+    fn send(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<()> {
+        let frame = frame_bytes(self.rank, tag, &payload);
+        let writer = self.writers[dest]
+            .as_mut()
+            .ok_or(NetError::Disconnected { peer: dest })?;
+        writer.write_all(&frame).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                NetError::Disconnected { peer: dest }
+            } else {
+                NetError::io(format!("sending frame to PE {dest}"), &e)
+            }
+        })
+    }
+
+    fn close(&mut self) {
+        for writer in &mut self.writers {
+            if let Some(writer) = writer.take() {
+                let _ = writer.shutdown(Shutdown::Write);
+            }
+        }
+    }
 }
 
 impl TcpTransport {
@@ -303,6 +337,7 @@ impl TcpTransport {
             closed: vec![false; size],
             readers,
             down: false,
+            detached: false,
         })
     }
 
@@ -381,6 +416,11 @@ impl Transport for TcpTransport {
     }
 
     fn send(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<()> {
+        if self.detached {
+            return Err(NetError::bootstrap(
+                "send side detached via split_sender; send through the handle",
+            ));
+        }
         let frame = frame_bytes(self.rank, tag, &payload);
         let writer = self.writers[dest]
             .as_mut()
@@ -427,6 +467,17 @@ impl Transport for TcpTransport {
             let _ = reader.join();
         }
         Ok(())
+    }
+
+    fn split_sender(&mut self) -> Result<Box<dyn TransportSender>> {
+        if self.detached {
+            return Err(NetError::bootstrap("send side already detached"));
+        }
+        self.detached = true;
+        Ok(Box::new(TcpSender {
+            rank: self.rank,
+            writers: std::mem::take(&mut self.writers),
+        }))
     }
 }
 

@@ -1,0 +1,143 @@
+//! `ccheck-serve` — the checking-service daemon.
+//!
+//! Runs the SPMD service loop on every PE of a world. Two launch modes:
+//!
+//! * **Multi-process** (production shape): one process per PE under the
+//!   launcher —
+//!   `ccheck-launch -p 4 -- ccheck-serve --transport tcp --addr-file F`
+//! * **In-process** (development): `ccheck-serve --pes 4` runs all PEs
+//!   as threads of this process.
+//!
+//! Rank 0 binds the client socket (`--listen`, default ephemeral) and
+//! publishes the bound address via `--addr-file`. The daemon runs until
+//! a client sends `{"cmd":"shutdown"}`, then drains, prints the service
+//! communication summary, and exits 0.
+
+use std::path::PathBuf;
+
+use ccheck_net::{bootstrap, Backend};
+use ccheck_service::{run_service, run_service_world, ServiceConfig, ServiceSummary};
+
+struct Args {
+    transport_tcp: bool,
+    pes: usize,
+    cfg: ServiceConfig,
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!(
+        "error: {problem}\n\
+         \n\
+         usage: ccheck-serve [--transport local|tcp] [--pes N]\n\
+         \u{20}                   [--listen ADDR] [--addr-file PATH]\n\
+         \u{20}                   [--max-inflight N] [--queue N]\n\
+         \n\
+         --transport local   all PEs as threads of this process (default)\n\
+         --transport tcp     this process is one rank of a ccheck-launch world\n\
+         --pes N             PE count for local mode (default 4)\n\
+         --listen ADDR       client listener bind address (default 127.0.0.1:0)\n\
+         --addr-file PATH    write the bound client address to PATH\n\
+         --max-inflight N    concurrent jobs (default 4)\n\
+         --queue N           submission queue capacity (default 64)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        transport_tcp: matches!(std::env::var("CCHECK_TRANSPORT").as_deref(), Ok("tcp")),
+        pes: 4,
+        cfg: ServiceConfig::default(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--transport" => match iter.next().as_deref() {
+                Some("local") => args.transport_tcp = false,
+                Some("tcp") => args.transport_tcp = true,
+                other => usage(&format!("--transport expects local|tcp, got {other:?}")),
+            },
+            "--pes" | "-p" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => args.pes = v,
+                _ => usage("--pes expects a positive integer"),
+            },
+            "--listen" => match iter.next() {
+                Some(addr) => args.cfg.listen = addr,
+                None => usage("--listen expects an address"),
+            },
+            "--addr-file" => match iter.next() {
+                Some(path) => args.cfg.addr_file = Some(PathBuf::from(path)),
+                None => usage("--addr-file expects a path"),
+            },
+            "--max-inflight" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => args.cfg.max_inflight = v,
+                _ => usage("--max-inflight expects a positive integer"),
+            },
+            "--queue" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => args.cfg.queue_cap = v,
+                _ => usage("--queue expects a positive integer"),
+            },
+            other => usage(&format!("unknown option {other:?}")),
+        }
+    }
+    args
+}
+
+fn report(summary: &ServiceSummary) {
+    println!(
+        "ccheck-serve: clean shutdown after {} job(s)",
+        summary.jobs_run
+    );
+    if !summary.receipts.is_empty() {
+        println!(
+            "\n{:>6} {:>8} {:>10} {:>12} {:>14} {:>14} {:>8}",
+            "job", "op", "verdict", "elems", "total bytes", "bottleneck", "ms"
+        );
+        for r in &summary.receipts {
+            let comm = r.comm.unwrap_or_default();
+            println!(
+                "{:>6} {:>8} {:>10} {:>12} {:>14} {:>14} {:>8}",
+                r.job_id,
+                r.op.name(),
+                r.verdict.name(),
+                r.elems,
+                comm.total_bytes,
+                comm.bottleneck_bytes,
+                r.wall_ms
+            );
+        }
+    }
+    if let Some(stats) = &summary.stats {
+        println!("\nService communication summary:\n{}", stats.render_table());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.transport_tcp {
+        let comm = match bootstrap::init_from_env() {
+            Ok(Some(comm)) => comm,
+            Ok(None) => {
+                eprintln!(
+                    "error: --transport tcp but no bootstrap environment found.\n\
+                     Start this binary under the launcher:\n\
+                     \n\
+                     \u{20}   ccheck-launch -p 4 -- ccheck-serve --transport tcp"
+                );
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("error: TCP transport bootstrap failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let rank = comm.rank();
+        let summary = run_service(comm, &args.cfg);
+        if rank == 0 {
+            report(&summary);
+        }
+    } else {
+        let summaries = run_service_world(Backend::Local, args.pes, &args.cfg);
+        report(&summaries[0]);
+    }
+}

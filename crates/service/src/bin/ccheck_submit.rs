@@ -1,0 +1,191 @@
+//! `ccheck-submit` — submit checking jobs to a running `ccheck-serve`
+//! world and print verdict receipts.
+//!
+//! ```text
+//! ccheck-submit --addr-file /tmp/ccheck.addr \
+//!     --op reduce --n 1000000 --keys 10000 --seed 7 --wait --expect verified
+//! ccheck-submit --addr-file /tmp/ccheck.addr --poll 3
+//! ccheck-submit --addr-file /tmp/ccheck.addr --shutdown
+//! ```
+//!
+//! With `--wait` the receipt is printed as one JSON line; with
+//! `--expect VERDICT` the exit code reports whether the receipt matched
+//! (0) or not (1) — the hook CI smoke tests assert on.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ccheck_service::{FaultSpec, JobSpec, ServiceClient, ServiceError};
+
+enum Action {
+    Submit { wait: bool, expect: Option<String> },
+    Poll(u64),
+    Shutdown,
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!(
+        "error: {problem}\n\
+         \n\
+         usage: ccheck-submit (--addr HOST:PORT | --addr-file PATH) ACTION [JOB OPTIONS]\n\
+         \n\
+         actions:\n\
+         \u{20} (default)           submit a job; add --wait for the receipt\n\
+         \u{20} --poll ID           query one job's status\n\
+         \u{20} --shutdown          drain and stop the service\n\
+         \n\
+         job options:\n\
+         \u{20} --op reduce|sort|zip   operation (default reduce)\n\
+         \u{20} --n N                  global elements (default 100000)\n\
+         \u{20} --keys K               distinct keys / value range (default 1000)\n\
+         \u{20} --seed S               workload seed (default 1)\n\
+         \u{20} --chunk C              streaming chunk elems (default 0 = one-shot)\n\
+         \u{20} --iterations I         checker iterations (default 4)\n\
+         \u{20} --buckets B            sum-checker buckets (default 16)\n\
+         \u{20} --log2-rhat R          sum-checker log2 r-hat (default 9)\n\
+         \u{20} --retries R            retry budget before fallback (default 2)\n\
+         \u{20} --fault KIND           inject a manipulator fault on PE 0\n\
+         \u{20} --fault-seed S         manipulator seed (default 0)\n\
+         \u{20} --wait                 block for the receipt and print it\n\
+         \u{20} --expect V             exit 1 unless the verdict is V\n\
+         \u{20}                        (verified|retried|fellback|rejected)\n\
+         \u{20} --timeout SECS         connect timeout (default 30)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut addr_file: Option<PathBuf> = None;
+    let mut action = Action::Submit {
+        wait: false,
+        expect: None,
+    };
+    let mut spec = JobSpec::default();
+    let mut fault_kind: Option<String> = None;
+    let mut fault_seed = 0u64;
+    let mut timeout = Duration::from_secs(30);
+
+    let mut iter = std::env::args().skip(1);
+    let next_value = |iter: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        iter.next()
+            .unwrap_or_else(|| usage(&format!("{flag} expects a value")))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(next_value(&mut iter, "--addr")),
+            "--addr-file" => addr_file = Some(PathBuf::from(next_value(&mut iter, "--addr-file"))),
+            "--poll" => {
+                action = Action::Poll(
+                    next_value(&mut iter, "--poll")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--poll expects a job id")),
+                )
+            }
+            "--shutdown" => action = Action::Shutdown,
+            "--wait" => {
+                if let Action::Submit { wait, .. } = &mut action {
+                    *wait = true;
+                }
+            }
+            "--expect" => {
+                let v = next_value(&mut iter, "--expect");
+                if !["verified", "retried", "fellback", "rejected"].contains(&v.as_str()) {
+                    usage(&format!("--expect: unknown verdict {v:?}"));
+                }
+                if let Action::Submit { wait, expect } = &mut action {
+                    *wait = true;
+                    *expect = Some(v);
+                }
+            }
+            "--op" => {
+                spec.op = ccheck_service::JobOp::parse(&next_value(&mut iter, "--op"))
+                    .unwrap_or_else(|e| usage(&e))
+            }
+            "--n" => spec.n = parse_num(&next_value(&mut iter, "--n"), "--n"),
+            "--keys" => spec.keys = parse_num(&next_value(&mut iter, "--keys"), "--keys"),
+            "--seed" => spec.seed = parse_num(&next_value(&mut iter, "--seed"), "--seed"),
+            "--chunk" => spec.chunk = parse_num(&next_value(&mut iter, "--chunk"), "--chunk"),
+            "--iterations" => {
+                spec.iterations =
+                    parse_num(&next_value(&mut iter, "--iterations"), "--iterations") as u32
+            }
+            "--buckets" => {
+                spec.buckets = parse_num(&next_value(&mut iter, "--buckets"), "--buckets") as u32
+            }
+            "--log2-rhat" => {
+                spec.log2_rhat =
+                    parse_num(&next_value(&mut iter, "--log2-rhat"), "--log2-rhat") as u32
+            }
+            "--retries" => {
+                spec.max_retries =
+                    parse_num(&next_value(&mut iter, "--retries"), "--retries") as u32
+            }
+            "--fault" => fault_kind = Some(next_value(&mut iter, "--fault")),
+            "--fault-seed" => {
+                fault_seed = parse_num(&next_value(&mut iter, "--fault-seed"), "--fault-seed")
+            }
+            "--timeout" => {
+                timeout =
+                    Duration::from_secs(parse_num(&next_value(&mut iter, "--timeout"), "--timeout"))
+            }
+            other => usage(&format!("unknown option {other:?}")),
+        }
+    }
+    if let Some(kind) = fault_kind {
+        spec.fault = Some(FaultSpec {
+            kind,
+            seed: fault_seed,
+        });
+    }
+
+    let client = match (&addr, &addr_file) {
+        (Some(addr), None) => ServiceClient::connect_with_retry(addr, timeout),
+        (None, Some(path)) => ServiceClient::connect_via_addr_file(path, timeout),
+        _ => usage("exactly one of --addr / --addr-file is required"),
+    };
+    let mut client = client.unwrap_or_else(|e| fail(&e));
+
+    match action {
+        Action::Shutdown => {
+            client.shutdown().unwrap_or_else(|e| fail(&e));
+            println!("{{\"ok\":true,\"status\":\"draining\"}}");
+        }
+        Action::Poll(id) => {
+            let (state, receipt) = client.poll(id).unwrap_or_else(|e| fail(&e));
+            match receipt {
+                Some(r) => println!("{}", r.to_json().render()),
+                None => println!("{{\"id\":{id},\"status\":\"{state}\"}}"),
+            }
+        }
+        Action::Submit { wait, expect } => {
+            let id = client.submit(&spec).unwrap_or_else(|e| fail(&e));
+            if !wait {
+                println!("{{\"ok\":true,\"id\":{id},\"status\":\"queued\"}}");
+                return;
+            }
+            let receipt = client.wait(id).unwrap_or_else(|e| fail(&e));
+            println!("{}", receipt.to_json().render());
+            if let Some(expect) = expect {
+                if receipt.verdict.name() != expect {
+                    eprintln!(
+                        "ccheck-submit: expected verdict {expect:?}, got {:?}",
+                        receipt.verdict.name()
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
+fn parse_num(value: &str, flag: &str) -> u64 {
+    value
+        .parse()
+        .unwrap_or_else(|_| usage(&format!("{flag} expects a number, got {value:?}")))
+}
+
+fn fail(e: &ServiceError) -> ! {
+    eprintln!("ccheck-submit: {e}");
+    std::process::exit(1);
+}

@@ -1,0 +1,182 @@
+//! Client side of the service protocol: a thin, blocking line-JSON
+//! connection to a `ccheck-serve` world's PE 0.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::job::{JobSpec, Receipt};
+use crate::json::{self, Json};
+
+/// Client-visible failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Socket trouble.
+    Io(String),
+    /// The server answered, but not with this protocol.
+    Protocol(String),
+    /// The server refused the request (`{"ok":false,"error":…}`).
+    Refused(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "service connection error: {e}"),
+            ServiceError::Protocol(e) => write!(f, "service protocol error: {e}"),
+            ServiceError::Refused(e) => write!(f, "service refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One connection to a running service. Requests are serial per
+/// connection; open several clients for concurrent submissions.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connect to a service's client socket.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServiceClient, ServiceError> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| ServiceError::Io(format!("connect: {e}")))?;
+        stream.set_nodelay(true).ok();
+        let writer = stream
+            .try_clone()
+            .map_err(|e| ServiceError::Io(format!("clone stream: {e}")))?;
+        Ok(ServiceClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Connect, retrying until `timeout` — for scripts racing service
+    /// startup.
+    pub fn connect_with_retry(
+        addr: &str,
+        timeout: Duration,
+    ) -> Result<ServiceClient, ServiceError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Read a service address from an `--addr-file`, waiting up to
+    /// `timeout` for it to appear, then connect.
+    pub fn connect_via_addr_file(
+        path: &Path,
+        timeout: Duration,
+    ) -> Result<ServiceClient, ServiceError> {
+        let deadline = Instant::now() + timeout;
+        let addr = loop {
+            match std::fs::read_to_string(path) {
+                Ok(contents) if !contents.trim().is_empty() => break contents.trim().to_string(),
+                _ if Instant::now() >= deadline => {
+                    return Err(ServiceError::Io(format!(
+                        "address file {} never appeared",
+                        path.display()
+                    )))
+                }
+                _ => std::thread::sleep(Duration::from_millis(20)),
+            }
+        };
+        let remaining = deadline.saturating_duration_since(Instant::now()) + Duration::from_secs(1);
+        Self::connect_with_retry(&addr, remaining)
+    }
+
+    /// One request/response round trip.
+    fn request(&mut self, v: &Json) -> Result<Json, ServiceError> {
+        let mut line = v.render();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| ServiceError::Io(format!("send: {e}")))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| ServiceError::Io(format!("recv: {e}")))?;
+        if n == 0 {
+            return Err(ServiceError::Io("server closed the connection".into()));
+        }
+        let parsed = json::parse(&response)
+            .map_err(|e| ServiceError::Protocol(format!("{e}: {response:?}")))?;
+        if parsed.get("ok").and_then(Json::as_bool) == Some(false) {
+            return Err(ServiceError::Refused(
+                parsed
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string(),
+            ));
+        }
+        Ok(parsed)
+    }
+
+    /// Submit a job; returns its service-assigned id.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, ServiceError> {
+        let response = self.request(&Json::obj([
+            ("cmd", Json::from("submit")),
+            ("job", spec.to_json()),
+        ]))?;
+        response
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServiceError::Protocol("submit response without id".into()))
+    }
+
+    /// Poll a job's status: `(state, receipt if done)`.
+    pub fn poll(&mut self, id: u64) -> Result<(String, Option<Receipt>), ServiceError> {
+        let response = self.request(&Json::obj([
+            ("cmd", Json::from("poll")),
+            ("id", Json::from(id)),
+        ]))?;
+        decode_status(&response)
+    }
+
+    /// Block until the job completes; returns its receipt.
+    pub fn wait(&mut self, id: u64) -> Result<Receipt, ServiceError> {
+        let response = self.request(&Json::obj([
+            ("cmd", Json::from("wait")),
+            ("id", Json::from(id)),
+        ]))?;
+        let (state, receipt) = decode_status(&response)?;
+        receipt.ok_or_else(|| {
+            ServiceError::Protocol(format!("wait returned state {state:?} without a receipt"))
+        })
+    }
+
+    /// Submit and wait in one call.
+    pub fn run(&mut self, spec: &JobSpec) -> Result<Receipt, ServiceError> {
+        let id = self.submit(spec)?;
+        self.wait(id)
+    }
+
+    /// Ask the service to drain and shut down.
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        self.request(&Json::obj([("cmd", Json::from("shutdown"))]))?;
+        Ok(())
+    }
+}
+
+fn decode_status(response: &Json) -> Result<(String, Option<Receipt>), ServiceError> {
+    let state = response
+        .get("status")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServiceError::Protocol("response without status".into()))?
+        .to_string();
+    let receipt = match response.get("receipt") {
+        None => None,
+        Some(r) => Some(Receipt::from_json(r).map_err(ServiceError::Protocol)?),
+    };
+    Ok((state, receipt))
+}

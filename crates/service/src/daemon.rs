@@ -1,0 +1,544 @@
+//! The service daemon: one long-running SPMD loop per PE.
+//!
+//! Architecture (see the crate docs for the wire protocols):
+//!
+//! ```text
+//!             clients (line-JSON over TCP, PE 0 only)
+//!                │ submit / poll / wait / shutdown
+//!        ┌───────▼────────┐
+//!        │ listener thread │──▶ registry (job → status/receipt)
+//!        └───────┬────────┘
+//!                │ submit queue (bounded)
+//!        ┌───────▼────────┐   control scope (broadcast/barrier)
+//!  PE 0: │  daemon loop    │◀═══════════════════════════════▶ PE 1..p
+//!        └───────┬────────┘
+//!                │ Admit(job, slot)
+//!        ┌───────▼────────┐
+//!        │ worker threads  │  one per in-flight job, each on its own
+//!        └────────────────┘  scoped communicator (CommMux)
+//! ```
+//!
+//! **Determinism.** Only PE 0 makes scheduling decisions; every decision
+//! is broadcast on the control scope, so all PEs admit the same jobs to
+//! the same slots in the same order. Job execution itself interleaves
+//! freely (worker threads over scoped communicators), which is safe
+//! because scopes are tag-isolated and admission re-uses a slot's scope
+//! only after a control-scope barrier proves the previous occupant is
+//! globally finished.
+//!
+//! **Backpressure.** At most `max_inflight` jobs execute concurrently
+//! (that many worker threads and tag scopes per PE); beyond that,
+//! submissions queue up to `queue_cap`, and further submissions are
+//! refused with a `busy` error — the client decides whether to retry.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ccheck_net::{Backend, Comm, StatsSnapshot};
+
+use crate::exec::{execute_job, validate_fault};
+use crate::job::{CtlMsg, JobSpec, JobStatus};
+use crate::json::{self, Json};
+
+/// Service configuration (identical on every PE; the listener fields
+/// are only used by rank 0).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Client listener bind address (rank 0). `"127.0.0.1:0"` picks an
+    /// ephemeral port; discover it via `addr_file` or `announce`.
+    pub listen: String,
+    /// If set, rank 0 writes the bound listener address to this file
+    /// (atomically, via a temp file) once it is accepting connections.
+    pub addr_file: Option<PathBuf>,
+    /// If set, rank 0 sends the bound listener address here — the
+    /// in-process discovery path for tests and benchmarks.
+    pub announce: Option<mpsc::Sender<SocketAddr>>,
+    /// Maximum concurrently executing jobs (= worker threads and tag
+    /// scopes per PE). Bounded by the scope space; keep it small.
+    pub max_inflight: usize,
+    /// Maximum queued-but-not-admitted jobs before submissions are
+    /// refused with `busy`.
+    pub queue_cap: usize,
+    /// Completed receipts retained for `poll`/`wait` (oldest evicted
+    /// first) — bounds the registry of a long-lived service. Clients
+    /// should collect receipts promptly; polling an evicted job returns
+    /// an unknown-id error.
+    pub receipt_cap: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            listen: "127.0.0.1:0".into(),
+            addr_file: None,
+            announce: None,
+            max_inflight: 4,
+            queue_cap: 64,
+            receipt_cap: 4096,
+        }
+    }
+}
+
+/// What [`run_service`] reports after a clean shutdown.
+#[derive(Debug, Clone)]
+pub struct ServiceSummary {
+    /// Jobs admitted and executed by this world.
+    pub jobs_run: u64,
+    /// Rank 0: the gathered whole-service per-PE communication totals
+    /// (control plane plus every job). `None` on other ranks.
+    pub stats: Option<StatsSnapshot>,
+    /// Rank 0: every completed job's receipt, in job-id order.
+    pub receipts: Vec<crate::job::Receipt>,
+}
+
+type Registry = Arc<Mutex<HashMap<u64, JobStatus>>>;
+
+/// One in-flight job's local state.
+struct Slot {
+    done: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+/// Shared state between PE 0's daemon loop and its listener threads.
+struct Frontend {
+    registry: Registry,
+    submit_tx: mpsc::Sender<(u64, JobSpec)>,
+    queued: AtomicUsize,
+    queue_cap: usize,
+    next_id: AtomicU64,
+    shutdown_requested: AtomicBool,
+    /// Cleared by the daemon as the final fence before it broadcasts
+    /// `Shutdown`: no submission that passed the `accepting` check can
+    /// be lost (the daemon waits for `submitting` to reach zero and
+    /// re-drains the queue before committing to shut down).
+    accepting: AtomicBool,
+    /// Number of submit handlers between the `accepting` check and the
+    /// completed enqueue.
+    submitting: AtomicUsize,
+    stopping: AtomicBool,
+    /// Completed job ids in completion order, for receipt eviction.
+    done_order: Mutex<VecDeque<u64>>,
+    receipt_cap: usize,
+}
+
+impl Frontend {
+    /// Record a completed job's receipt, evicting the oldest completed
+    /// entries beyond `receipt_cap` so the registry stays bounded over
+    /// the service's lifetime.
+    fn record_done(&self, job_id: u64, receipt: crate::job::Receipt) {
+        let mut registry = self.registry.lock().expect("registry poisoned");
+        let mut done_order = self.done_order.lock().expect("done order poisoned");
+        registry.insert(job_id, JobStatus::Done(receipt));
+        done_order.push_back(job_id);
+        while done_order.len() > self.receipt_cap {
+            let evicted = done_order.pop_front().expect("non-empty");
+            registry.remove(&evicted);
+        }
+    }
+}
+
+/// Run the service daemon on this communicator until a client requests
+/// shutdown (and the queue has drained). SPMD: every PE of the world
+/// calls this; rank 0 additionally serves the client socket.
+pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
+    assert!(cfg.max_inflight >= 1, "need at least one job slot");
+    assert!(
+        (cfg.max_inflight as u64) < ccheck_net::scope::MAX_SCOPE,
+        "max_inflight exceeds the tag scope space"
+    );
+    let rank = comm.rank();
+    let mux = comm.into_mux();
+    let mut ctl = mux.control();
+
+    // PE 0: client frontend.
+    let mut frontend: Option<Arc<Frontend>> = None;
+    let mut submit_rx: Option<mpsc::Receiver<(u64, JobSpec)>> = None;
+    let mut listener_handle: Option<JoinHandle<()>> = None;
+    if rank == 0 {
+        let (tx, rx) = mpsc::channel();
+        let fe = Arc::new(Frontend {
+            registry: Arc::new(Mutex::new(HashMap::new())),
+            submit_tx: tx,
+            queued: AtomicUsize::new(0),
+            queue_cap: cfg.queue_cap,
+            next_id: AtomicU64::new(1),
+            shutdown_requested: AtomicBool::new(false),
+            accepting: AtomicBool::new(true),
+            submitting: AtomicUsize::new(0),
+            stopping: AtomicBool::new(false),
+            done_order: Mutex::new(VecDeque::new()),
+            receipt_cap: cfg.receipt_cap,
+        });
+        listener_handle = Some(spawn_listener(cfg, Arc::clone(&fe)));
+        frontend = Some(fe);
+        submit_rx = Some(rx);
+    }
+
+    let mut slots: Vec<Option<Slot>> = Vec::new();
+    slots.resize_with(cfg.max_inflight, || None);
+    let mut pending: VecDeque<(u64, JobSpec)> = VecDeque::new();
+    let mut jobs_run = 0u64;
+
+    loop {
+        // PE 0 decides the next control action; everyone learns it via
+        // the broadcast (non-roots pass a placeholder).
+        let decision = if let (Some(fe), Some(rx)) = (&frontend, &submit_rx) {
+            next_action(fe, rx, &mut pending, &slots)
+        } else {
+            CtlMsg::Shutdown
+        };
+        let msg = ctl.broadcast(0, decision);
+        match msg {
+            CtlMsg::Admit { job_id, slot, spec } => {
+                let slot_idx = slot as usize;
+                // Reclaim the slot's previous worker (PE 0 only admits
+                // into slots whose job finished globally, so this join
+                // does not block on communication).
+                if let Some(old) = slots[slot_idx].take() {
+                    let _ = old.handle.join();
+                }
+                // Quiescence point: after this barrier, *every* PE has
+                // reclaimed the slot — its tag scope is safe to reuse.
+                ctl.barrier();
+                let job_comm = mux.scoped(slot as u64 + 1, &format!("job-{job_id}"));
+                if let Some(fe) = &frontend {
+                    fe.registry
+                        .lock()
+                        .expect("registry poisoned")
+                        .insert(job_id, JobStatus::Running);
+                }
+                let done = Arc::new(AtomicBool::new(false));
+                let worker_done = Arc::clone(&done);
+                let worker_frontend = frontend.clone();
+                let root_stats = mux.stats();
+                let handle = std::thread::Builder::new()
+                    .name(format!("ccheck-job-{job_id}"))
+                    .spawn(move || {
+                        let mut comm = job_comm;
+                        let receipt = execute_job(&mut comm, job_id, &spec);
+                        // Deregister the scope before signaling done.
+                        drop(comm);
+                        // The receipt has captured the per-job volumes;
+                        // retire the scope so a long-lived service keeps
+                        // its stats registry bounded (totals preserved).
+                        root_stats.retire_scope(&format!("job-{job_id}"));
+                        if let Some(fe) = worker_frontend {
+                            fe.record_done(job_id, receipt);
+                        }
+                        worker_done.store(true, Ordering::Release);
+                    })
+                    .expect("spawn job worker");
+                slots[slot_idx] = Some(Slot { done, handle });
+                jobs_run += 1;
+            }
+            CtlMsg::Shutdown => {
+                for slot in slots.iter_mut().filter_map(Option::take) {
+                    let _ = slot.handle.join();
+                }
+                break;
+            }
+        }
+    }
+
+    // Global quiescence, then the final accounting and teardown.
+    ctl.barrier();
+    let stats = ctl.gather_stats();
+    drop(ctl);
+    mux.shutdown();
+    if let Some(fe) = &frontend {
+        fe.stopping.store(true, Ordering::Release);
+    }
+    if let Some(handle) = listener_handle {
+        let _ = handle.join();
+    }
+    let mut receipts: Vec<crate::job::Receipt> = frontend
+        .map(|fe| {
+            let registry = fe.registry.lock().expect("registry poisoned");
+            registry
+                .values()
+                .filter_map(|status| match status {
+                    JobStatus::Done(receipt) => Some(receipt.clone()),
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    receipts.sort_by_key(|r| r.job_id);
+    ServiceSummary {
+        jobs_run,
+        stats,
+        receipts,
+    }
+}
+
+/// PE 0's scheduling loop: block until there is something to broadcast.
+fn next_action(
+    fe: &Arc<Frontend>,
+    rx: &mpsc::Receiver<(u64, JobSpec)>,
+    pending: &mut VecDeque<(u64, JobSpec)>,
+    slots: &[Option<Slot>],
+) -> CtlMsg {
+    loop {
+        while let Ok(job) = rx.try_recv() {
+            pending.push_back(job);
+        }
+        if !pending.is_empty() {
+            let free = slots.iter().position(|slot| match slot {
+                None => true,
+                Some(s) => s.done.load(Ordering::Acquire),
+            });
+            if let Some(slot) = free {
+                let (job_id, spec) = pending.pop_front().expect("non-empty");
+                fe.queued.fetch_sub(1, Ordering::AcqRel);
+                return CtlMsg::Admit {
+                    job_id,
+                    slot: slot as u32,
+                    spec,
+                };
+            }
+        }
+        let drained = pending.is_empty()
+            && slots
+                .iter()
+                .all(|s| s.as_ref().is_none_or(|s| s.done.load(Ordering::Acquire)));
+        if fe.shutdown_requested.load(Ordering::Acquire) && drained {
+            // Fence against racing submissions: stop accepting, wait out
+            // any handler already past its `accepting` check, then take
+            // one final look at the queue. Anything that slipped in gets
+            // run (it was acknowledged); only then commit to Shutdown.
+            fe.accepting.store(false, Ordering::Release);
+            while fe.submitting.load(Ordering::Acquire) > 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            while let Ok(job) = rx.try_recv() {
+                pending.push_back(job);
+            }
+            if pending.is_empty() {
+                return CtlMsg::Shutdown;
+            }
+            continue;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Bind the client listener, publish its address, and serve connections
+/// until the daemon stops.
+fn spawn_listener(cfg: &ServiceConfig, fe: Arc<Frontend>) -> JoinHandle<()> {
+    let listener = TcpListener::bind(&cfg.listen)
+        .unwrap_or_else(|e| panic!("ccheck-serve: cannot bind {}: {e}", cfg.listen));
+    let addr = listener.local_addr().expect("listener address");
+    if let Some(path) = &cfg.addr_file {
+        // Write-then-rename so watchers never read a partial address.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, format!("{addr}\n")).expect("write addr file");
+        std::fs::rename(&tmp, path).expect("publish addr file");
+    }
+    if let Some(announce) = &cfg.announce {
+        let _ = announce.send(addr);
+    }
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    std::thread::Builder::new()
+        .name("ccheck-serve-listener".into())
+        .spawn(move || {
+            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+            while !fe.stopping.load(Ordering::Acquire) {
+                // Reap closed connections so a long-lived service doesn't
+                // accumulate one handle per one-shot client forever
+                // (dropping a finished handle releases the thread).
+                handlers.retain(|h| !h.is_finished());
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let fe = Arc::clone(&fe);
+                        handlers.push(
+                            std::thread::Builder::new()
+                                .name("ccheck-serve-client".into())
+                                .spawn(move || serve_connection(stream, &fe))
+                                .expect("spawn client handler"),
+                        );
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for handler in handlers {
+                let _ = handler.join();
+            }
+        })
+        .expect("spawn listener thread")
+}
+
+fn respond(stream: &mut TcpStream, v: &Json) -> std::io::Result<()> {
+    let mut line = v.render();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+fn error_json(message: impl Into<String>) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.into())),
+    ])
+}
+
+/// One client connection: line-delimited JSON requests, one response
+/// line per request, in order.
+fn serve_connection(stream: TcpStream, fe: &Arc<Frontend>) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // Raw bytes, not read_line: the read timeout exists only to poll
+    // `stopping`, and a timeout mid-line must leave the partial request
+    // in the buffer. read_line would *discard* consumed bytes when a
+    // timeout lands inside a multi-byte UTF-8 character (its validity
+    // guard truncates on error); read_until keeps every byte, and UTF-8
+    // is validated once per complete line.
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if fe.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let response = if line.trim().is_empty() {
+            None
+        } else {
+            Some(match json::parse(&line) {
+                Err(e) => error_json(format!("bad request: {e}")),
+                Ok(request) => handle_request(&request, fe),
+            })
+        };
+        buf.clear();
+        if let Some(response) = response {
+            if respond(&mut writer, &response).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+fn status_json(id: u64, status: &JobStatus) -> Json {
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("id", Json::from(id)),
+        ("status", Json::from(status.name())),
+    ];
+    if let JobStatus::Done(receipt) = status {
+        pairs.push(("receipt", receipt.to_json()));
+    }
+    Json::obj(pairs)
+}
+
+fn handle_request(request: &Json, fe: &Arc<Frontend>) -> Json {
+    match request.get("cmd").and_then(Json::as_str) {
+        Some("submit") => {
+            let spec = match request.get("job") {
+                Some(job) => match JobSpec::from_json(job) {
+                    Ok(spec) => spec,
+                    Err(e) => return error_json(format!("bad job spec: {e}")),
+                },
+                None => return error_json("submit requires a job object"),
+            };
+            if let Err(e) = spec.validate().and_then(|()| validate_fault(&spec)) {
+                return error_json(format!("bad job spec: {e}"));
+            }
+            // Enter the submission window *before* checking `accepting`:
+            // the daemon's shutdown fence clears `accepting` and then
+            // waits for `submitting` to drain, so a submit that passes
+            // this check is guaranteed to be seen by the final queue
+            // drain — an acknowledged job is never dropped.
+            fe.submitting.fetch_add(1, Ordering::AcqRel);
+            let response = (|| {
+                if !fe.accepting.load(Ordering::Acquire) {
+                    return error_json("service is shutting down");
+                }
+                // Backpressure: refuse rather than queue without bound.
+                if fe.queued.fetch_add(1, Ordering::AcqRel) >= fe.queue_cap {
+                    fe.queued.fetch_sub(1, Ordering::AcqRel);
+                    return error_json("busy: submission queue is full, retry later");
+                }
+                let id = fe.next_id.fetch_add(1, Ordering::AcqRel);
+                fe.registry
+                    .lock()
+                    .expect("registry poisoned")
+                    .insert(id, JobStatus::Queued);
+                if fe.submit_tx.send((id, spec)).is_err() {
+                    return error_json("service is shutting down");
+                }
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("id", Json::from(id)),
+                    ("status", Json::from("queued")),
+                ])
+            })();
+            fe.submitting.fetch_sub(1, Ordering::AcqRel);
+            response
+        }
+        Some("poll") => match request.get("id").and_then(Json::as_u64) {
+            None => error_json("poll requires an id"),
+            Some(id) => match fe.registry.lock().expect("registry poisoned").get(&id) {
+                None => error_json(format!("unknown job id {id}")),
+                Some(status) => status_json(id, status),
+            },
+        },
+        Some("wait") => match request.get("id").and_then(Json::as_u64) {
+            None => error_json("wait requires an id"),
+            Some(id) => loop {
+                {
+                    let registry = fe.registry.lock().expect("registry poisoned");
+                    match registry.get(&id) {
+                        None => break error_json(format!("unknown job id {id}")),
+                        Some(status @ JobStatus::Done(_)) => break status_json(id, status),
+                        Some(_) => {}
+                    }
+                }
+                if fe.stopping.load(Ordering::Acquire) {
+                    break error_json("service shut down before the job completed");
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            },
+        },
+        Some("shutdown") => {
+            fe.shutdown_requested.store(true, Ordering::Release);
+            Json::obj([("ok", Json::Bool(true)), ("status", Json::from("draining"))])
+        }
+        other => error_json(format!("unknown cmd {other:?} (submit|poll|wait|shutdown)")),
+    }
+}
+
+/// Convenience for tests, benchmarks, and the `--transport local` mode
+/// of `ccheck-serve`: run a whole `p`-PE service world in this process
+/// (one thread per PE) on the chosen backend, returning the per-rank
+/// summaries. Blocks until a client drives the service to shutdown.
+/// (Reuses the owned-communicator harness from `ccheck_net::testing`,
+/// which is exactly this spawn/join scaffold.)
+pub fn run_service_world(backend: Backend, p: usize, cfg: &ServiceConfig) -> Vec<ServiceSummary> {
+    ccheck_net::testing::run_owned_with_stats_on(backend, p, |comm| run_service(comm, cfg)).0
+}

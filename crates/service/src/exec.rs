@@ -1,0 +1,504 @@
+//! Job execution: one SPMD function from [`JobSpec`] to [`Receipt`].
+//!
+//! [`execute_job`] is the *same* code whether it runs under the service
+//! (over a scoped communicator, interleaved with other jobs) or
+//! standalone on a dedicated world — which is what makes receipts
+//! testable: the integration tests run each spec both ways and assert
+//! verdict, digest, and per-job communication volumes are identical.
+//!
+//! Everything a job does is a pure function of its spec: datasets are
+//! regenerated from the seed with indexed PRNG generators, checker
+//! seeds derive from the spec seed, and injected faults are the
+//! deterministic manipulators of `ccheck-manip` (retried over fault
+//! seeds until one actually changes the semantics, so "inject a fault"
+//! reliably means the checker has something to catch).
+
+use std::time::Instant;
+
+use ccheck::config::SumCheckConfig;
+use ccheck::permutation::{PermCheckConfig, PermChecker};
+use ccheck::sort::check_boundaries;
+use ccheck::zip::{ZipCheckConfig, ZipChecker};
+use ccheck::SumChecker;
+use ccheck_dataflow::{
+    checked_reduce_with, checked_sort_with, reduce_by_key, reduce_by_key_chunked, sort,
+    sort_chunked, zip, zip_chunked, CheckedOutcome,
+};
+use ccheck_hashing::{Hasher, HasherKind};
+use ccheck_manip::{SortManipulator, SumManipulator, ZipManipulator};
+use ccheck_net::Comm;
+use ccheck_workloads::{local_range, uniform_ints_iter, zipf_valued_pairs_iter};
+
+use crate::job::{FaultSpec, JobOp, JobSpec, Receipt, ReceiptComm, Verdict};
+
+/// Check that a fault name is a known manipulator for the job's op.
+pub fn validate_fault(spec: &JobSpec) -> Result<(), String> {
+    let Some(fault) = &spec.fault else {
+        return Ok(());
+    };
+    let known = match spec.op {
+        JobOp::Reduce => sum_manipulator(&fault.kind).is_some(),
+        JobOp::Sort => sort_manipulator(&fault.kind).is_some(),
+        JobOp::Zip => zip_manipulator(&fault.kind).is_some(),
+    };
+    if known {
+        Ok(())
+    } else {
+        Err(format!(
+            "unknown fault {:?} for op {:?}",
+            fault.kind,
+            spec.op.name()
+        ))
+    }
+}
+
+fn sum_manipulator(kind: &str) -> Option<SumManipulator> {
+    Some(match kind {
+        "bitflip" => SumManipulator::Bitflip,
+        "randkey" => SumManipulator::RandKey,
+        "switchvalues" => SumManipulator::SwitchValues,
+        "inckey" => SumManipulator::IncKey,
+        "incdec1" => SumManipulator::IncDec(1),
+        "incdec2" => SumManipulator::IncDec(2),
+        _ => return None,
+    })
+}
+
+fn sort_manipulator(kind: &str) -> Option<SortManipulator> {
+    Some(match kind {
+        "swapadjacent" => SortManipulator::SwapAdjacent,
+        "dupneighbor" => SortManipulator::DupNeighbor,
+        "bitflip" => SortManipulator::Bitflip,
+        "randomize" => SortManipulator::Randomize,
+        _ => return None,
+    })
+}
+
+fn zip_manipulator(kind: &str) -> Option<ZipManipulator> {
+    Some(match kind {
+        "bitflip" => ZipManipulator::Bitflip,
+        "swapcomponents" => ZipManipulator::SwapComponents,
+        "swappairs" => ZipManipulator::SwapPairs,
+        "randomize" => ZipManipulator::Randomize,
+        _ => return None,
+    })
+}
+
+/// Apply a manipulator, retrying over successive seeds until it reports
+/// a real semantic change (manipulators can no-op; an injected fault
+/// that does nothing would make a fault-injection test vacuous). Gives
+/// up after 1000 seeds — only possible on degenerate data.
+fn apply_effective<T: Clone>(
+    data: &mut [T],
+    seed: u64,
+    mut apply: impl FnMut(&mut [T], u64) -> bool,
+) {
+    for offset in 0..1000 {
+        let mut attempt = data.to_vec();
+        if apply(&mut attempt, seed.wrapping_add(offset)) {
+            data.clone_from_slice(&attempt);
+            return;
+        }
+    }
+}
+
+/// Splitmix64, for digests and derived seeds.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Checker seed: a pure function of the *spec* (not the job id), so the
+/// same spec produces the same check under the service and standalone.
+fn check_seed(spec: &JobSpec) -> u64 {
+    mix(spec.seed ^ 0xC4EC_u64 ^ ((spec.op as u64) << 56))
+}
+
+/// Order-insensitive digest of a pair multiset, combined across PEs.
+fn digest_pairs(comm: &mut Comm, pairs: &[(u64, u64)]) -> u64 {
+    let local = pairs
+        .iter()
+        .fold(0u64, |acc, &(k, v)| acc.wrapping_add(mix(k ^ mix(v))));
+    comm.allreduce(local, u64::wrapping_add)
+}
+
+/// Order-*sensitive* digest of a distributed sequence (position-mixed),
+/// combined across PEs — sorted/zipped outputs are sequences, so two
+/// outputs with equal multisets but different orders must differ.
+fn digest_sequence(comm: &mut Comm, start: u64, items: impl Iterator<Item = u64>) -> u64 {
+    let local = items.enumerate().fold(0u64, |acc, (offset, x)| {
+        acc.wrapping_add(mix(x ^ mix(start + offset as u64)))
+    });
+    comm.allreduce(local, u64::wrapping_add)
+}
+
+/// Run one checking job to completion on this communicator. SPMD: every
+/// PE calls it with the same `(job_id, spec)`; every PE returns the same
+/// verdict/digest/element counts, and PE 0's receipt carries the
+/// gathered per-job communication volumes.
+pub fn execute_job(comm: &mut Comm, job_id: u64, spec: &JobSpec) -> Receipt {
+    let t0 = Instant::now();
+    let (verdict, digest, output_elems) = match (spec.op, spec.chunk) {
+        (JobOp::Reduce, 0) => reduce_oneshot(comm, spec),
+        (JobOp::Reduce, chunk) => reduce_chunked(comm, spec, chunk as usize),
+        (JobOp::Sort, 0) => sort_oneshot(comm, spec),
+        (JobOp::Sort, chunk) => sort_chunked_job(comm, spec, chunk as usize),
+        (JobOp::Zip, 0) => zip_job(comm, spec, None),
+        (JobOp::Zip, chunk) => zip_job(comm, spec, Some(chunk as usize)),
+    };
+    // Stats snapshot travels last, so it covers the whole job (minus the
+    // gather's own traffic, identically in every execution mode).
+    let stats = comm.gather_stats();
+    Receipt {
+        job_id,
+        op: spec.op,
+        verdict,
+        digest,
+        elems: spec.n,
+        output_elems,
+        wall_ms: t0.elapsed().as_millis() as u64,
+        comm: stats.map(|s| ReceiptComm {
+            total_bytes: s.total_bytes(),
+            bottleneck_bytes: s.bottleneck_volume(),
+            total_msgs: s.total_messages(),
+            max_rounds: s.max_rounds(),
+        }),
+    }
+}
+
+fn sum_cfg(spec: &JobSpec) -> SumCheckConfig {
+    SumCheckConfig::new(
+        spec.iterations as usize,
+        spec.buckets as usize,
+        spec.log2_rhat,
+        HasherKind::Tab64,
+    )
+}
+
+fn partition_hasher(spec: &JobSpec) -> Hasher {
+    Hasher::new(HasherKind::Tab64, spec.seed ^ 0x7061_7274)
+}
+
+fn outcome_verdict(outcome: CheckedOutcome) -> Verdict {
+    match outcome {
+        CheckedOutcome::FastPath => Verdict::Verified,
+        CheckedOutcome::Retried { retries } => Verdict::VerifiedAfterRetry(retries as u32),
+        CheckedOutcome::FellBack => Verdict::FellBack,
+    }
+}
+
+fn reduce_fault(spec: &JobSpec) -> Option<(SumManipulator, &FaultSpec)> {
+    spec.fault
+        .as_ref()
+        .and_then(|f| sum_manipulator(&f.kind).map(|m| (m, f)))
+}
+
+fn reduce_oneshot(comm: &mut Comm, spec: &JobSpec) -> (Verdict, u64, u64) {
+    let range = local_range(spec.n as usize, comm.rank(), comm.size());
+    let data: Vec<(u64, u64)> =
+        zipf_valued_pairs_iter(spec.seed, spec.keys, 1 << 20, range).collect();
+    let hasher = partition_hasher(spec);
+    let fault = reduce_fault(spec);
+    let (out, outcome) = checked_reduce_with(
+        comm,
+        data,
+        sum_cfg(spec),
+        check_seed(spec),
+        spec.max_retries as usize,
+        |comm, d| {
+            let mut out = reduce_by_key(comm, d, &hasher, |a, b| a.wrapping_add(b));
+            if let Some((manip, f)) = &fault {
+                if comm.rank() == 0 {
+                    apply_effective(&mut out, f.seed, |d, s| manip.apply(d, s));
+                }
+            }
+            out
+        },
+    );
+    let digest = digest_pairs(comm, &out);
+    let total_out = comm.allreduce(out.len() as u64, |a, b| a + b);
+    (outcome_verdict(outcome), digest, total_out)
+}
+
+fn reduce_chunked(comm: &mut Comm, spec: &JobSpec, chunk: usize) -> (Verdict, u64, u64) {
+    let range = local_range(spec.n as usize, comm.rank(), comm.size());
+    let input = zipf_valued_pairs_iter(spec.seed, spec.keys, 1 << 20, range);
+    let hasher = partition_hasher(spec);
+    let mut shard = reduce_by_key_chunked(comm, input.clone(), &hasher, chunk, |a, b| {
+        a.wrapping_add(b)
+    });
+    if let Some((manip, f)) = reduce_fault(spec) {
+        if comm.rank() == 0 {
+            apply_effective(&mut shard, f.seed, |d, s| manip.apply(d, s));
+        }
+    }
+    let checker = SumChecker::new(sum_cfg(spec), check_seed(spec));
+    let ok = checker.check_distributed_stream(comm, input, shard.iter().copied());
+    let verdict = if ok {
+        Verdict::Verified
+    } else {
+        Verdict::Rejected
+    };
+    let digest = digest_pairs(comm, &shard);
+    let total_out = comm.allreduce(shard.len() as u64, |a, b| a + b);
+    (verdict, digest, total_out)
+}
+
+fn perm_checker(spec: &JobSpec) -> PermChecker {
+    let mut cfg = PermCheckConfig::hash_sum(HasherKind::Tab64, 32);
+    cfg.iterations = spec.iterations as usize;
+    PermChecker::new(cfg, check_seed(spec))
+}
+
+fn sort_fault(spec: &JobSpec) -> Option<(SortManipulator, &FaultSpec)> {
+    spec.fault
+        .as_ref()
+        .and_then(|f| sort_manipulator(&f.kind).map(|m| (m, f)))
+}
+
+fn sort_oneshot(comm: &mut Comm, spec: &JobSpec) -> (Verdict, u64, u64) {
+    let range = local_range(spec.n as usize, comm.rank(), comm.size());
+    let data: Vec<u64> = uniform_ints_iter(spec.seed, spec.keys.max(2), range).collect();
+    let perm = perm_checker(spec);
+    let fault = sort_fault(spec);
+    let (out, outcome) =
+        checked_sort_with(comm, data, &perm, spec.max_retries as usize, |comm, d| {
+            let mut out = sort(comm, d);
+            if let Some((manip, f)) = &fault {
+                if comm.rank() == 0 {
+                    apply_effective(&mut out, f.seed, |d, s| manip.apply(d, s));
+                }
+            }
+            out
+        });
+    let (start, _) = comm.exclusive_prefix_sum(out.len() as u64);
+    let digest = digest_sequence(comm, start, out.iter().copied());
+    let total_out = comm.allreduce(out.len() as u64, |a, b| a + b);
+    (outcome_verdict(outcome), digest, total_out)
+}
+
+fn sort_chunked_job(comm: &mut Comm, spec: &JobSpec, chunk: usize) -> (Verdict, u64, u64) {
+    let range = local_range(spec.n as usize, comm.rank(), comm.size());
+    let input = uniform_ints_iter(spec.seed, spec.keys.max(2), range);
+    let mut out = sort_chunked(comm, input.clone(), chunk);
+    if let Some((manip, f)) = sort_fault(spec) {
+        if comm.rank() == 0 {
+            apply_effective(&mut out, f.seed, |d, s| manip.apply(d, s));
+        }
+    }
+    // The streaming mirror of `check_sorted`: permutation fingerprint
+    // over regenerated input + local/boundary sortedness. Same collective
+    // sequence on every PE (each sub-verdict is itself SPMD-consistent).
+    let perm = perm_checker(spec);
+    let is_perm = perm.check_stream(comm, input, out.iter().copied());
+    let local_ok = out.windows(2).all(|w| w[0] <= w[1]);
+    let boundaries_ok = check_boundaries(comm, &out);
+    let ok = comm.all_agree(local_ok) && boundaries_ok && is_perm;
+    let verdict = if ok {
+        Verdict::Verified
+    } else {
+        Verdict::Rejected
+    };
+    let (start, _) = comm.exclusive_prefix_sum(out.len() as u64);
+    let digest = digest_sequence(comm, start, out.iter().copied());
+    let total_out = comm.allreduce(out.len() as u64, |a, b| a + b);
+    (verdict, digest, total_out)
+}
+
+fn zip_job(comm: &mut Comm, spec: &JobSpec, chunk: Option<usize>) -> (Verdict, u64, u64) {
+    let range = local_range(spec.n as usize, comm.rank(), comm.size());
+    let a: Vec<u64> = uniform_ints_iter(spec.seed ^ 0xA11CE, u64::MAX, range.clone()).collect();
+    let b_iter = uniform_ints_iter(spec.seed ^ 0xB0B, u64::MAX, range);
+    let mut out = match chunk {
+        None => zip(comm, a.clone(), b_iter.clone().collect()),
+        Some(chunk) => zip_chunked(comm, a.clone(), (a.len() as u64, b_iter.clone()), chunk),
+    };
+    if let Some(f) = &spec.fault {
+        if let Some(manip) = zip_manipulator(&f.kind) {
+            if comm.rank() == 0 {
+                apply_effective(&mut out, f.seed, |d, s| manip.apply(d, s));
+            }
+        }
+    }
+    let checker = ZipChecker::new(
+        ZipCheckConfig {
+            hasher: HasherKind::Tab64,
+            iterations: spec.iterations as usize,
+        },
+        check_seed(spec),
+    );
+    let ok = checker.check_stream(
+        comm,
+        (a.len() as u64, a.iter().copied()),
+        (a.len() as u64, b_iter),
+        (out.len() as u64, out.iter().copied()),
+    );
+    let verdict = if ok {
+        Verdict::Verified
+    } else {
+        Verdict::Rejected
+    };
+    let (start, _) = comm.exclusive_prefix_sum(out.len() as u64);
+    let digest = digest_sequence(
+        comm,
+        start,
+        out.iter().map(|&(x, y)| mix(x).wrapping_add(y)),
+    );
+    let total_out = comm.allreduce(out.len() as u64, |a, b| a + b);
+    (verdict, digest, total_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccheck_net::run;
+
+    fn run_spec(p: usize, spec: JobSpec) -> Vec<Receipt> {
+        run(p, move |comm| execute_job(comm, 1, &spec))
+    }
+
+    #[test]
+    fn clean_jobs_verify_in_every_mode() {
+        for op in [JobOp::Reduce, JobOp::Sort, JobOp::Zip] {
+            for chunk in [0u64, 512] {
+                let spec = JobSpec {
+                    op,
+                    n: 4_000,
+                    keys: 97,
+                    seed: 11,
+                    chunk,
+                    ..JobSpec::default()
+                };
+                let receipts = run_spec(3, spec);
+                for r in &receipts {
+                    assert_eq!(
+                        r.verdict,
+                        Verdict::Verified,
+                        "{op:?} chunk={chunk} must verify"
+                    );
+                }
+                // All PEs agree on digest and counts.
+                assert!(receipts.windows(2).all(|w| {
+                    w[0].digest == w[1].digest && w[0].output_elems == w[1].output_elems
+                }));
+                // PE 0 carries the comm volumes.
+                assert!(receipts[0].comm.is_some());
+                assert!(receipts[0].comm.unwrap().total_bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_oneshot_jobs_fall_back_and_still_deliver() {
+        for (op, fault) in [
+            (JobOp::Reduce, "bitflip"),
+            (JobOp::Sort, "dupneighbor"),
+            (JobOp::Sort, "swapadjacent"),
+        ] {
+            let spec = JobSpec {
+                op,
+                n: 3_000,
+                keys: 53,
+                seed: 5,
+                max_retries: 1,
+                fault: Some(FaultSpec {
+                    kind: fault.into(),
+                    seed: 3,
+                }),
+                ..JobSpec::default()
+            };
+            let clean = JobSpec {
+                fault: None,
+                ..spec.clone()
+            };
+            let faulty_receipts = run_spec(3, spec);
+            let clean_receipts = run_spec(3, clean);
+            for r in &faulty_receipts {
+                assert_eq!(r.verdict, Verdict::FellBack, "{op:?}/{fault}");
+            }
+            // Graceful degradation: the fallback recomputed the correct
+            // result — same digest as the clean run.
+            assert_eq!(faulty_receipts[0].digest, clean_receipts[0].digest);
+        }
+    }
+
+    #[test]
+    fn faulty_chunked_and_zip_jobs_reject() {
+        for (op, chunk, fault) in [
+            (JobOp::Reduce, 256u64, "bitflip"),
+            (JobOp::Sort, 256, "dupneighbor"),
+            (JobOp::Zip, 0, "swapcomponents"),
+            (JobOp::Zip, 256, "swappairs"),
+        ] {
+            let spec = JobSpec {
+                op,
+                n: 3_000,
+                keys: 53,
+                seed: 5,
+                chunk,
+                fault: Some(FaultSpec {
+                    kind: fault.into(),
+                    seed: 3,
+                }),
+                ..JobSpec::default()
+            };
+            let receipts = run_spec(3, spec);
+            for r in &receipts {
+                assert_eq!(r.verdict, Verdict::Rejected, "{op:?}/{fault} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_and_oneshot_agree_on_digest() {
+        for op in [JobOp::Reduce, JobOp::Sort, JobOp::Zip] {
+            let oneshot = run_spec(
+                4,
+                JobSpec {
+                    op,
+                    n: 5_000,
+                    keys: 101,
+                    seed: 23,
+                    chunk: 0,
+                    ..JobSpec::default()
+                },
+            );
+            let chunked = run_spec(
+                4,
+                JobSpec {
+                    op,
+                    n: 5_000,
+                    keys: 101,
+                    seed: 23,
+                    chunk: 300,
+                    ..JobSpec::default()
+                },
+            );
+            assert_eq!(oneshot[0].digest, chunked[0].digest, "{op:?}");
+            assert_eq!(oneshot[0].output_elems, chunked[0].output_elems, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn fault_validation() {
+        let mut spec = JobSpec {
+            fault: Some(FaultSpec {
+                kind: "bitflip".into(),
+                seed: 0,
+            }),
+            ..JobSpec::default()
+        };
+        assert!(validate_fault(&spec).is_ok());
+        spec.fault = Some(FaultSpec {
+            kind: "dupneighbor".into(),
+            seed: 0,
+        });
+        assert!(validate_fault(&spec).is_err(), "sort fault on reduce op");
+        spec.op = JobOp::Sort;
+        assert!(validate_fault(&spec).is_ok());
+        spec.fault = None;
+        assert!(validate_fault(&spec).is_ok());
+    }
+}

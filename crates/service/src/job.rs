@@ -1,0 +1,710 @@
+//! The service's job model: what clients submit ([`JobSpec`]) and what
+//! they get back ([`Receipt`]).
+//!
+//! A job is a *description* of a checked computation — dataset spec,
+//! operation, check configuration, optional injected fault — never the
+//! data itself: datasets are regenerated deterministically from the
+//! seed on every PE (the workload generators are indexed PRNGs), so a
+//! submission is a few hundred bytes regardless of `n`.
+//!
+//! Specs travel on two codecs: JSON (client ↔ PE 0, line-delimited) and
+//! [`Wire`] (PE 0 → all PEs, on the control scope).
+
+use ccheck_net::Wire;
+
+use crate::json::Json;
+
+/// The operation a job runs and checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOp {
+    /// Sum aggregation (`reduce_by_key`) over a Zipf workload, verified
+    /// by the sum checker (§4).
+    Reduce,
+    /// Distributed sample sort over uniform integers, verified by the
+    /// sort checker (Theorem 7).
+    Sort,
+    /// Index-wise zip of two derived sequences, verified by the Zip
+    /// checker (Theorem 11).
+    Zip,
+}
+
+impl JobOp {
+    /// Protocol name (`"reduce"`, `"sort"`, `"zip"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobOp::Reduce => "reduce",
+            JobOp::Sort => "sort",
+            JobOp::Zip => "zip",
+        }
+    }
+
+    /// Parse a protocol name.
+    pub fn parse(name: &str) -> Result<JobOp, String> {
+        match name {
+            "reduce" => Ok(JobOp::Reduce),
+            "sort" => Ok(JobOp::Sort),
+            "zip" => Ok(JobOp::Zip),
+            other => Err(format!("unknown op {other:?} (reduce|sort|zip)")),
+        }
+    }
+}
+
+/// A deterministic fault to inject into the job's output on PE 0 —
+/// named after the manipulator applied (see `ccheck-manip`): for
+/// `reduce` one of the Table-4 sum manipulators, for `sort` a
+/// sorted-output manipulator, for `zip` a zipped-output manipulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Manipulator name, e.g. `"bitflip"`, `"dupneighbor"`.
+    pub kind: String,
+    /// Seed for the manipulator's own randomness.
+    pub seed: u64,
+}
+
+/// A complete checking-job description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Operation to run and check.
+    pub op: JobOp,
+    /// Global element count of the dataset.
+    pub n: u64,
+    /// Distinct keys (reduce) / value range (sort); ignored for zip.
+    pub keys: u64,
+    /// Workload seed; same seed + same spec = same dataset.
+    pub seed: u64,
+    /// Streaming chunk size in elements; 0 = one-shot (materialized)
+    /// execution. Chunked jobs verify with the streaming sketch paths
+    /// and report `Rejected` (no retry/fallback) on corruption.
+    pub chunk: u64,
+    /// Checker iterations (sum checker `its`; perm/zip repetitions).
+    pub iterations: u32,
+    /// Sum checker bucket count (reduce only).
+    pub buckets: u32,
+    /// Sum checker `log₂ r̂` (reduce only).
+    pub log2_rhat: u32,
+    /// Retry budget before falling back (one-shot reduce/sort only).
+    pub max_retries: u32,
+    /// Optional injected fault.
+    pub fault: Option<FaultSpec>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            op: JobOp::Reduce,
+            n: 100_000,
+            keys: 1_000,
+            seed: 1,
+            chunk: 0,
+            iterations: 4,
+            buckets: 16,
+            log2_rhat: 9,
+            max_retries: 2,
+            fault: None,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Reject obviously unusable specs before they reach the world.
+    ///
+    /// The `n` caps are memory guardrails for a shared service: only a
+    /// chunked **reduce** keeps its footprint independent of `n`
+    /// (O(distinct keys + chunk·p)); every other mode materializes
+    /// O(n/p) per PE (sort/zip hold their local share even when
+    /// chunked, and one-shot jobs hold input + output), so a huge `n`
+    /// there would OOM the whole multi-tenant world, not just the job.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("n must be positive".into());
+        }
+        let bounded_memory = self.op == JobOp::Reduce && self.chunk > 0;
+        if bounded_memory {
+            if self.n > 1 << 40 {
+                return Err("n exceeds the 2^40 cap for chunked reduce jobs".into());
+            }
+            if self.keys > 1 << 22 {
+                return Err(
+                    "keys exceeds the 2^22 cap (the distinct-key table is held in memory)".into(),
+                );
+            }
+        } else if self.n > 1 << 26 {
+            return Err(
+                "n exceeds the 2^26 cap for jobs that materialize their share \
+                 (only chunked reduce jobs run at bounded memory; cap 2^40 there)"
+                    .into(),
+            );
+        }
+        if matches!(self.op, JobOp::Reduce | JobOp::Sort) && self.keys == 0 {
+            return Err("keys must be positive".into());
+        }
+        if self.iterations == 0 || self.iterations > 64 {
+            return Err("iterations must be in 1..=64".into());
+        }
+        // Bounds mirror (and slightly tighten) the asserts in
+        // `SumCheckConfig::new`: a remote submission must be refused
+        // here, never allowed to panic a job worker.
+        if self.buckets < 2 || self.buckets > 1 << 16 || !self.buckets.is_power_of_two() {
+            return Err("buckets must be a power of two in 2..=65536".into());
+        }
+        if !(1..=62).contains(&self.log2_rhat) {
+            return Err("log2_rhat must be in 1..=62".into());
+        }
+        if self.max_retries > 8 {
+            return Err("max_retries must be at most 8".into());
+        }
+        Ok(())
+    }
+
+    /// Encode for the client protocol.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&'static str, Json)> = vec![
+            ("op", Json::from(self.op.name())),
+            ("n", Json::from(self.n)),
+            ("keys", Json::from(self.keys)),
+            ("seed", Json::from(self.seed)),
+            ("chunk", Json::from(self.chunk)),
+            ("iterations", Json::from(self.iterations as u64)),
+            ("buckets", Json::from(self.buckets as u64)),
+            ("log2_rhat", Json::from(self.log2_rhat as u64)),
+            ("max_retries", Json::from(self.max_retries as u64)),
+        ];
+        if let Some(fault) = &self.fault {
+            pairs.push((
+                "fault",
+                Json::obj([
+                    ("kind", Json::from(fault.kind.as_str())),
+                    ("seed", Json::from(fault.seed)),
+                ]),
+            ));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decode from the client protocol; absent fields take the
+    /// [`JobSpec::default`] values.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let d = JobSpec::default();
+        let u64_field = |key: &str, fallback: u64| -> Result<u64, String> {
+            match v.get(key) {
+                None => Ok(fallback),
+                Some(j) => j.as_u64().ok_or_else(|| format!("{key} must be a u64")),
+            }
+        };
+        let u32_field = |key: &str, fallback: u32| -> Result<u32, String> {
+            u64_field(key, fallback as u64)?
+                .try_into()
+                .map_err(|_| format!("{key} out of range"))
+        };
+        let op = match v.get("op") {
+            None => d.op,
+            Some(j) => JobOp::parse(j.as_str().ok_or("op must be a string")?)?,
+        };
+        let fault = match v.get("fault") {
+            None | Some(Json::Null) => None,
+            Some(f) => Some(FaultSpec {
+                kind: f
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("fault.kind must be a string")?
+                    .to_string(),
+                seed: match f.get("seed") {
+                    None => 0,
+                    Some(s) => s.as_u64().ok_or("fault.seed must be a u64")?,
+                },
+            }),
+        };
+        Ok(JobSpec {
+            op,
+            n: u64_field("n", d.n)?,
+            keys: u64_field("keys", d.keys)?,
+            seed: u64_field("seed", d.seed)?,
+            chunk: u64_field("chunk", d.chunk)?,
+            iterations: u32_field("iterations", d.iterations)?,
+            buckets: u32_field("buckets", d.buckets)?,
+            log2_rhat: u32_field("log2_rhat", d.log2_rhat)?,
+            max_retries: u32_field("max_retries", d.max_retries)?,
+            fault,
+        })
+    }
+}
+
+impl Wire for JobSpec {
+    fn write(&self, buf: &mut Vec<u8>) {
+        let op = match self.op {
+            JobOp::Reduce => 0u8,
+            JobOp::Sort => 1,
+            JobOp::Zip => 2,
+        };
+        op.write(buf);
+        (
+            self.n,
+            self.keys,
+            self.seed,
+            self.chunk,
+            (
+                self.iterations,
+                self.buckets,
+                self.log2_rhat,
+                self.max_retries,
+            ),
+        )
+            .write(buf);
+        self.fault.is_some().write(buf);
+        if let Some(fault) = &self.fault {
+            fault.kind.write(buf);
+            fault.seed.write(buf);
+        }
+    }
+
+    fn read(input: &mut &[u8]) -> Option<Self> {
+        let op = match u8::read(input)? {
+            0 => JobOp::Reduce,
+            1 => JobOp::Sort,
+            2 => JobOp::Zip,
+            _ => return None,
+        };
+        let (n, keys, seed, chunk, (iterations, buckets, log2_rhat, max_retries)) =
+            <(u64, u64, u64, u64, (u32, u32, u32, u32))>::read(input)?;
+        let fault = if bool::read(input)? {
+            Some(FaultSpec {
+                kind: String::read(input)?,
+                seed: u64::read(input)?,
+            })
+        } else {
+            None
+        };
+        Some(JobSpec {
+            op,
+            n,
+            keys,
+            seed,
+            chunk,
+            iterations,
+            buckets,
+            log2_rhat,
+            max_retries,
+            fault,
+        })
+    }
+
+    fn wire_size(&self) -> usize {
+        1 + 4 * 8 + 4 * 4 + 1 + self.fault.as_ref().map_or(0, |f| f.kind.wire_size() + 8)
+    }
+}
+
+/// How a job's check concluded. All PEs observe the same verdict (the
+/// checkers end in an all-agree reduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The operation verified on the first try.
+    Verified,
+    /// The operation verified after this many rejected attempts.
+    VerifiedAfterRetry(u32),
+    /// Every attempt was rejected; the slow reference path produced the
+    /// result (graceful degradation, §8 of the paper).
+    FellBack,
+    /// The check rejected and the execution mode has no fallback
+    /// (chunked streaming jobs, zip jobs).
+    Rejected,
+}
+
+impl Verdict {
+    /// Protocol name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::Verified => "verified",
+            Verdict::VerifiedAfterRetry(_) => "retried",
+            Verdict::FellBack => "fellback",
+            Verdict::Rejected => "rejected",
+        }
+    }
+
+    /// Whether the delivered result is trustworthy (everything except
+    /// `Rejected`: a fallback result was recomputed by the reference).
+    pub fn result_ok(&self) -> bool {
+        !matches!(self, Verdict::Rejected)
+    }
+}
+
+/// Per-job communication accounting, from the job's scoped
+/// communicator's own [`ccheck_net::CommStats`] — byte-for-byte what
+/// the job would report running alone on a dedicated world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReceiptComm {
+    /// Total payload bytes across all PEs.
+    pub total_bytes: u64,
+    /// Bottleneck communication volume (max over PEs of max(sent, recv)).
+    pub bottleneck_bytes: u64,
+    /// Total point-to-point messages.
+    pub total_msgs: u64,
+    /// Maximum latency rounds on any PE.
+    pub max_rounds: u64,
+}
+
+/// The verdict receipt a client gets back for a completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Receipt {
+    /// The service-assigned job id.
+    pub job_id: u64,
+    /// The operation that ran.
+    pub op: JobOp,
+    /// How the check concluded.
+    pub verdict: Verdict,
+    /// Digest of the delivered output, invariant under sharding (how
+    /// the output is split across PEs), so clients can compare runs.
+    /// For `reduce` it is order-insensitive (the output is a multiset);
+    /// for `sort`/`zip` it mixes in global positions (the output is a
+    /// sequence, so order damage must change the digest).
+    pub digest: u64,
+    /// Global input elements processed.
+    pub elems: u64,
+    /// Global output elements delivered.
+    pub output_elems: u64,
+    /// Wall-clock milliseconds on PE 0 (not comparable across runs).
+    pub wall_ms: u64,
+    /// Per-job communication volumes (present on PE 0's receipt).
+    pub comm: Option<ReceiptComm>,
+}
+
+impl Receipt {
+    /// Encode for the client protocol.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&'static str, Json)> = vec![
+            ("job_id", Json::from(self.job_id)),
+            ("op", Json::from(self.op.name())),
+            ("verdict", Json::from(self.verdict.name())),
+            (
+                "retries",
+                Json::from(match self.verdict {
+                    Verdict::VerifiedAfterRetry(r) => r as u64,
+                    _ => 0,
+                }),
+            ),
+            ("result_ok", Json::from(self.verdict.result_ok())),
+            ("digest", Json::from(self.digest)),
+            ("elems", Json::from(self.elems)),
+            ("output_elems", Json::from(self.output_elems)),
+            ("wall_ms", Json::from(self.wall_ms)),
+        ];
+        if let Some(comm) = &self.comm {
+            pairs.push((
+                "comm",
+                Json::obj([
+                    ("total_bytes", Json::from(comm.total_bytes)),
+                    ("bottleneck_bytes", Json::from(comm.bottleneck_bytes)),
+                    ("total_msgs", Json::from(comm.total_msgs)),
+                    ("max_rounds", Json::from(comm.max_rounds)),
+                ]),
+            ));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decode from the client protocol.
+    pub fn from_json(v: &Json) -> Result<Receipt, String> {
+        let field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("receipt missing {key}"))
+        };
+        let verdict = match v.get("verdict").and_then(Json::as_str) {
+            Some("verified") => Verdict::Verified,
+            Some("retried") => Verdict::VerifiedAfterRetry(field("retries")? as u32),
+            Some("fellback") => Verdict::FellBack,
+            Some("rejected") => Verdict::Rejected,
+            other => return Err(format!("bad verdict {other:?}")),
+        };
+        let comm = match v.get("comm") {
+            None | Some(Json::Null) => None,
+            Some(c) => {
+                let sub = |key: &str| -> Result<u64, String> {
+                    c.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("receipt comm missing {key}"))
+                };
+                Some(ReceiptComm {
+                    total_bytes: sub("total_bytes")?,
+                    bottleneck_bytes: sub("bottleneck_bytes")?,
+                    total_msgs: sub("total_msgs")?,
+                    max_rounds: sub("max_rounds")?,
+                })
+            }
+        };
+        Ok(Receipt {
+            job_id: field("job_id")?,
+            op: JobOp::parse(
+                v.get("op")
+                    .and_then(Json::as_str)
+                    .ok_or("receipt missing op")?,
+            )?,
+            verdict,
+            digest: field("digest")?,
+            elems: field("elems")?,
+            output_elems: field("output_elems")?,
+            wall_ms: field("wall_ms")?,
+            comm,
+        })
+    }
+}
+
+/// Control-plane message broadcast from PE 0 to every daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtlMsg {
+    /// Run `spec` as job `job_id` in slot `slot` (scope `slot + 1`).
+    Admit {
+        /// Service-assigned job id.
+        job_id: u64,
+        /// In-flight slot index (determines the tag scope).
+        slot: u32,
+        /// The job to run.
+        spec: JobSpec,
+    },
+    /// Drain complete: join workers, barrier, exit.
+    Shutdown,
+}
+
+impl Wire for CtlMsg {
+    fn write(&self, buf: &mut Vec<u8>) {
+        match self {
+            CtlMsg::Admit { job_id, slot, spec } => {
+                1u8.write(buf);
+                job_id.write(buf);
+                slot.write(buf);
+                spec.write(buf);
+            }
+            CtlMsg::Shutdown => 0u8.write(buf),
+        }
+    }
+
+    fn read(input: &mut &[u8]) -> Option<Self> {
+        match u8::read(input)? {
+            1 => Some(CtlMsg::Admit {
+                job_id: u64::read(input)?,
+                slot: u32::read(input)?,
+                spec: JobSpec::read(input)?,
+            }),
+            0 => Some(CtlMsg::Shutdown),
+            _ => None,
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            CtlMsg::Admit { spec, .. } => 1 + 8 + 4 + spec.wire_size(),
+            CtlMsg::Shutdown => 1,
+        }
+    }
+}
+
+/// Client-visible job status.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// Accepted, waiting for a free slot.
+    Queued,
+    /// Admitted to the world, executing.
+    Running,
+    /// Complete, receipt available.
+    Done(Receipt),
+}
+
+impl JobStatus {
+    /// Protocol name of the state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done(_) => "done",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccheck_net::wire;
+
+    fn specs() -> Vec<JobSpec> {
+        vec![
+            JobSpec::default(),
+            JobSpec {
+                op: JobOp::Sort,
+                n: 12345,
+                keys: 1 << 20,
+                seed: u64::MAX,
+                chunk: 4096,
+                iterations: 2,
+                buckets: 64,
+                log2_rhat: 12,
+                max_retries: 0,
+                fault: Some(FaultSpec {
+                    kind: "dupneighbor".into(),
+                    seed: 7,
+                }),
+            },
+            JobSpec {
+                op: JobOp::Zip,
+                chunk: 1,
+                fault: Some(FaultSpec {
+                    kind: "swappairs".into(),
+                    seed: 0,
+                }),
+                ..JobSpec::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn spec_wire_roundtrip() {
+        for spec in specs() {
+            let encoded = wire::encode(&spec);
+            assert_eq!(encoded.len(), spec.wire_size());
+            let decoded: JobSpec = wire::decode(&encoded).expect("decodes");
+            assert_eq!(decoded, spec);
+        }
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        for spec in specs() {
+            let json = spec.to_json();
+            let parsed = crate::json::parse(&json.render()).unwrap();
+            assert_eq!(JobSpec::from_json(&parsed).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn spec_json_defaults_fill_in() {
+        let parsed = crate::json::parse(r#"{"op":"sort","n":42}"#).unwrap();
+        let spec = JobSpec::from_json(&parsed).unwrap();
+        assert_eq!(spec.op, JobOp::Sort);
+        assert_eq!(spec.n, 42);
+        assert_eq!(spec.iterations, JobSpec::default().iterations);
+        assert_eq!(spec.fault, None);
+    }
+
+    #[test]
+    fn spec_validation_rejects_nonsense() {
+        let bad = [
+            JobSpec {
+                n: 0,
+                ..JobSpec::default()
+            },
+            JobSpec {
+                buckets: 3,
+                ..JobSpec::default()
+            },
+            // 1 is a power of two but below the checker's d >= 2 floor;
+            // it must be refused here, not panic inside the job worker.
+            JobSpec {
+                buckets: 1,
+                ..JobSpec::default()
+            },
+            JobSpec {
+                log2_rhat: 0,
+                ..JobSpec::default()
+            },
+            JobSpec {
+                log2_rhat: 63,
+                ..JobSpec::default()
+            },
+            JobSpec {
+                iterations: 0,
+                ..JobSpec::default()
+            },
+            // One-shot jobs materialize O(n/p) per PE: a huge n must be
+            // refused (it would OOM the shared world), even though the
+            // same n is fine for a bounded-memory chunked reduce.
+            JobSpec {
+                n: 1 << 30,
+                chunk: 0,
+                ..JobSpec::default()
+            },
+            JobSpec {
+                op: JobOp::Sort,
+                n: 1 << 30,
+                chunk: 4096,
+                ..JobSpec::default()
+            },
+            JobSpec {
+                n: 1 << 30,
+                chunk: 4096,
+                keys: 1 << 30,
+                ..JobSpec::default()
+            },
+        ];
+        for spec in bad {
+            assert!(spec.validate().is_err(), "{spec:?}");
+        }
+        assert!(JobSpec::default().validate().is_ok());
+        // The bounded-memory mode keeps its big-data cap.
+        assert!(JobSpec {
+            n: 1 << 30,
+            chunk: 4096,
+            ..JobSpec::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn ctl_msg_wire_roundtrip() {
+        for msg in [
+            CtlMsg::Shutdown,
+            CtlMsg::Admit {
+                job_id: 7,
+                slot: 3,
+                spec: specs().remove(1),
+            },
+        ] {
+            let encoded = wire::encode(&msg);
+            assert_eq!(encoded.len(), msg.wire_size());
+            assert_eq!(wire::decode::<CtlMsg>(&encoded), Some(msg));
+        }
+    }
+
+    #[test]
+    fn receipt_json_roundtrip() {
+        let receipt = Receipt {
+            job_id: 9,
+            op: JobOp::Reduce,
+            verdict: Verdict::VerifiedAfterRetry(2),
+            digest: 0xDEAD_BEEF_CAFE,
+            elems: 1_000_000,
+            output_elems: 999,
+            wall_ms: 123,
+            comm: Some(ReceiptComm {
+                total_bytes: 4096,
+                bottleneck_bytes: 1024,
+                total_msgs: 77,
+                max_rounds: 12,
+            }),
+        };
+        let parsed = crate::json::parse(&receipt.to_json().render()).unwrap();
+        assert_eq!(Receipt::from_json(&parsed).unwrap(), receipt);
+
+        let bare = Receipt {
+            comm: None,
+            verdict: Verdict::Rejected,
+            ..receipt
+        };
+        let parsed = crate::json::parse(&bare.to_json().render()).unwrap();
+        assert_eq!(Receipt::from_json(&parsed).unwrap(), bare);
+    }
+
+    #[test]
+    fn verdict_result_ok() {
+        assert!(Verdict::Verified.result_ok());
+        assert!(Verdict::VerifiedAfterRetry(1).result_ok());
+        assert!(Verdict::FellBack.result_ok());
+        assert!(!Verdict::Rejected.result_ok());
+    }
+
+    #[test]
+    fn op_names_roundtrip() {
+        for op in [JobOp::Reduce, JobOp::Sort, JobOp::Zip] {
+            assert_eq!(JobOp::parse(op.name()).unwrap(), op);
+        }
+        assert!(JobOp::parse("join").is_err());
+    }
+}

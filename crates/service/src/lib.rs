@@ -1,0 +1,60 @@
+//! # ccheck-service — checking as a service
+//!
+//! The paper frames its checkers as infrastructure "designed to become
+//! part of" a big-data framework; related work on verifiable outsourced
+//! computation (Chakrabarti et al.; Yoon & Liu) deploys exactly this
+//! shape: a **long-lived service** that accepts computations and hands
+//! back verifiable verdicts. This crate is that runtime for the ccheck
+//! workspace: a daemon running on every PE of a launched world, serving
+//! a queue of independent *checking jobs* — dataset spec + operation +
+//! check configuration — concurrently over one shared transport, and
+//! returning structured **verdict receipts** with per-job communication
+//! volumes.
+//!
+//! ## Pieces
+//!
+//! | Module | What |
+//! |---|---|
+//! | [`job`] | [`job::JobSpec`] / [`job::Receipt`] / control-plane messages |
+//! | [`exec`] | job execution: spec → receipt, same code under the service and standalone |
+//! | [`daemon`] | the SPMD service loop, PE-0 scheduler, client listener |
+//! | [`client`] | blocking line-JSON client ([`client::ServiceClient`]) |
+//! | [`json`] | the minimal offline JSON codec behind the protocol |
+//!
+//! Concurrency rests on `ccheck-net`'s scoped communicators
+//! ([`ccheck_net::CommMux`]): each in-flight job runs on its own
+//! tag-namespace `Comm` with its own statistics registry, so interleaved
+//! jobs' collectives never cross-talk and every receipt reports exactly
+//! the communication volume the job would report running alone.
+//!
+//! ## Protocol (line-delimited JSON over TCP to PE 0)
+//!
+//! ```text
+//! → {"cmd":"submit","job":{"op":"reduce","n":1000000,"keys":10000,"seed":7}}
+//! ← {"ok":true,"id":1,"status":"queued"}
+//! → {"cmd":"wait","id":1}
+//! ← {"ok":true,"id":1,"status":"done","receipt":{"verdict":"verified",
+//!     "digest":…,"comm":{"total_bytes":…,"bottleneck_bytes":…},…}}
+//! → {"cmd":"shutdown"}
+//! ← {"ok":true,"status":"draining"}
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```text
+//! $ ccheck-launch -p 4 -- target/release/ccheck-serve \
+//!       --transport tcp --listen 127.0.0.1:0 --addr-file /tmp/ccheck.addr &
+//! $ ccheck-submit --addr-file /tmp/ccheck.addr --op sort --n 1000000 --wait
+//! $ ccheck-submit --addr-file /tmp/ccheck.addr --shutdown
+//! ```
+
+pub mod client;
+pub mod daemon;
+pub mod exec;
+pub mod job;
+pub mod json;
+
+pub use client::{ServiceClient, ServiceError};
+pub use daemon::{run_service, run_service_world, ServiceConfig, ServiceSummary};
+pub use exec::execute_job;
+pub use job::{FaultSpec, JobOp, JobSpec, JobStatus, Receipt, ReceiptComm, Verdict};

@@ -1,0 +1,157 @@
+//! Job isolation property: an **arbitrary interleaving** of N concurrent
+//! jobs — mixed reduce/sort/zip, mixed chunked/one-shot, some fault-
+//! injected — produces verdicts and digests identical to running the
+//! same jobs serially, each on a dedicated world.
+//!
+//! The interleaving is genuinely arbitrary: every job is submitted from
+//! its own client thread (submission order races) and all jobs execute
+//! concurrently over one shared transport per PE, so their collectives
+//! interleave at the whim of the scheduler. Isolation (tag scoping +
+//! per-scope stats) is what makes the outcome deterministic anyway.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use ccheck_net::Backend;
+use ccheck_service::{
+    execute_job, run_service_world, FaultSpec, JobOp, JobSpec, Receipt, ServiceClient,
+    ServiceConfig, Verdict,
+};
+use proptest::prelude::*;
+
+/// Decode one proptest-drawn job description into a spec.
+/// `(op, chunk, n, seed, fault)` selectors keep the strategy on plain
+/// integer ranges (the offline proptest stand-in's vocabulary).
+fn make_spec(op_sel: u8, chunk_sel: u8, n: u64, seed: u64, fault_sel: u8) -> JobSpec {
+    let op = match op_sel % 3 {
+        0 => JobOp::Reduce,
+        1 => JobOp::Sort,
+        _ => JobOp::Zip,
+    };
+    let chunk = match chunk_sel % 3 {
+        0 => 0, // one-shot
+        1 => 128,
+        _ => 1024,
+    };
+    // Roughly half the jobs get an injected fault, drawn from the op's
+    // manipulator family.
+    let fault = match (fault_sel % 8, op) {
+        (0, JobOp::Reduce) => Some("bitflip"),
+        (1, JobOp::Reduce) => Some("switchvalues"),
+        (0, JobOp::Sort) => Some("dupneighbor"),
+        (1, JobOp::Sort) => Some("swapadjacent"),
+        (0 | 1, JobOp::Zip) => Some("swappairs"),
+        (2, _) => Some("randomize"),
+        _ => None,
+    };
+    // "randomize" only exists for sort and zip outputs.
+    let fault = match (fault, op) {
+        (Some("randomize"), JobOp::Reduce) => Some("randkey"),
+        (f, _) => f,
+    };
+    JobSpec {
+        op,
+        n: 500 + n,
+        keys: 79,
+        seed,
+        chunk,
+        iterations: 3,
+        max_retries: 1,
+        fault: fault.map(|kind| FaultSpec {
+            kind: kind.into(),
+            seed: seed ^ 0xFA,
+        }),
+        ..JobSpec::default()
+    }
+}
+
+fn serial_receipt(p: usize, spec: &JobSpec) -> Receipt {
+    let spec = spec.clone();
+    ccheck_net::run(p, move |comm| execute_job(comm, 0, &spec))
+        .into_iter()
+        .next()
+        .expect("rank 0")
+}
+
+proptest! {
+    // Each case spins up a full service world plus one standalone world
+    // per job; keep the case budget in line with the other cross-crate
+    // distributed properties.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn concurrent_jobs_equal_serial_jobs(
+        jobs in prop::collection::vec(
+            (0u8..3, 0u8..3, 0u64..2500, 0u64..10_000, 0u8..8),
+            2..=4,
+        ),
+        world_seed in 0u64..1000,
+    ) {
+        let p = 3;
+        let specs: Vec<JobSpec> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(op, chunk, n, seed, fault))| {
+                // world_seed decorrelates datasets across cases.
+                make_spec(op, chunk, n, seed ^ (world_seed << 10) ^ i as u64, fault)
+            })
+            .collect();
+
+        // Serial ground truth, each job alone on a dedicated world.
+        let serial: Vec<Receipt> = specs.iter().map(|s| serial_receipt(p, s)).collect();
+
+        // Concurrent run: all jobs in flight at once.
+        let (tx, rx) = mpsc::channel();
+        let cfg = ServiceConfig {
+            announce: Some(tx),
+            max_inflight: specs.len(),
+            ..ServiceConfig::default()
+        };
+        let world = {
+            let cfg = cfg.clone();
+            std::thread::spawn(move || run_service_world(Backend::Local, p, &cfg))
+        };
+        let addr = rx.recv_timeout(Duration::from_secs(30)).expect("address");
+        let concurrent: Vec<Receipt> = std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|spec| {
+                    let spec = spec.clone();
+                    scope.spawn(move || {
+                        let mut client = ServiceClient::connect_with_retry(
+                            &addr.to_string(),
+                            Duration::from_secs(10),
+                        )
+                        .expect("connect");
+                        client.run(&spec).expect("receipt")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        ServiceClient::connect_with_retry(&addr.to_string(), Duration::from_secs(10))
+            .expect("connect")
+            .shutdown()
+            .expect("shutdown");
+        world.join().expect("world exits");
+
+        for ((spec, serial), concurrent) in specs.iter().zip(&serial).zip(&concurrent) {
+            prop_assert_eq!(&concurrent.verdict, &serial.verdict);
+            prop_assert_eq!(concurrent.digest, serial.digest);
+            prop_assert_eq!(concurrent.output_elems, serial.output_elems);
+            // Per-job comm volumes are part of the receipt contract too.
+            prop_assert_eq!(&concurrent.comm, &serial.comm);
+            // Faulty one-shot reduce/sort jobs degrade, never lie:
+            if spec.fault.is_some() && spec.chunk == 0 && spec.op != JobOp::Zip {
+                prop_assert!(matches!(
+                    concurrent.verdict,
+                    Verdict::FellBack | Verdict::VerifiedAfterRetry(_)
+                ));
+            }
+            // Faulty chunked/zip jobs are flagged:
+            if spec.fault.is_some() && (spec.chunk != 0 || spec.op == JobOp::Zip) {
+                prop_assert_eq!(&concurrent.verdict, &Verdict::Rejected);
+            }
+        }
+    }
+}

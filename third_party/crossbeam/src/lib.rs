@@ -51,10 +51,54 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (but senders remain).
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
     impl<T> Receiver<T> {
         /// Block until a value arrives or every sender is dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Take the next value without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Drain currently available values without blocking.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter(self)
+        }
+    }
+
+    /// Iterator over the values currently in a channel
+    /// (see [`Receiver::try_iter`]).
+    pub struct TryIter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.try_recv().ok()
         }
     }
 
