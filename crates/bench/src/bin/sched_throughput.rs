@@ -1,0 +1,172 @@
+//! Scheduler throughput: jobs/second through a `ccheck-service` world
+//! under `Fifo` vs `DeadlineWfq`, same mixed multi-tenant workload —
+//! the overhead figure for the scheduling subsystem (baseline recorded
+//! in `BENCH_sched.json`; target: DeadlineWfq within 10 % of Fifo).
+//!
+//! Each phase spins up an in-process service world, drives it with
+//! `CCHECK_CLIENTS` concurrent client connections submitting a
+//! round-robin mix of reduce / sort / zip jobs (one-shot and chunked)
+//! across four tenants until `CCHECK_JOBS` receipts are in, and
+//! requires every receipt to verify.
+//!
+//! ```text
+//! CCHECK_JOBS=24 CCHECK_N=50000 target/release/sched_throughput --pes 4
+//! ```
+//!
+//! Scale knobs as in `service_throughput`: `CCHECK_JOBS`, `CCHECK_N`,
+//! `CCHECK_CLIENTS`, `--pes`, `--transport local|tcp`. Prints one
+//! `SCHED_JSON {...}` line on completion.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use ccheck_bench::env_param;
+use ccheck_net::Backend;
+use ccheck_service::{
+    run_service_world, JobOp, JobSpec, PolicyCfg, Receipt, ServiceClient, ServiceConfig, Verdict,
+};
+
+fn mixed_spec(i: u64, n: u64) -> JobSpec {
+    let op = match i % 3 {
+        0 => JobOp::Reduce,
+        1 => JobOp::Sort,
+        _ => JobOp::Zip,
+    };
+    JobSpec {
+        op,
+        n,
+        keys: 1 + n / 10,
+        seed: 0x5EED ^ i,
+        // Alternate one-shot and chunked execution.
+        chunk: if i.is_multiple_of(2) { 0 } else { 4096 },
+        // Four tenants round-robin: the DeadlineWfq phase actually
+        // exercises the quota and WFQ paths, not just their bypasses.
+        tenant: Some(format!("tenant{}", i % 4)),
+        ..JobSpec::default()
+    }
+}
+
+/// One full run: world up, `jobs` receipts in, world drained. Returns
+/// jobs/second.
+fn run_phase(
+    backend: Backend,
+    pes: usize,
+    policy: PolicyCfg,
+    jobs: u64,
+    n: u64,
+    clients: u64,
+) -> f64 {
+    let (tx, rx) = mpsc::channel();
+    let cfg = ServiceConfig {
+        announce: Some(tx),
+        max_inflight: 4,
+        queue_cap: jobs as usize + 8,
+        policy,
+        ..ServiceConfig::default()
+    };
+    let world = {
+        let cfg = cfg.clone();
+        std::thread::spawn(move || run_service_world(backend, pes, &cfg))
+    };
+    let addr = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("service address");
+
+    let next = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let receipts: Vec<Receipt> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect_with_retry(
+                        &addr.to_string(),
+                        Duration::from_secs(10),
+                    )
+                    .expect("connect");
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            return mine;
+                        }
+                        mine.push(client.run(&mixed_spec(i, n)).expect("receipt"));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    ServiceClient::connect_with_retry(&addr.to_string(), Duration::from_secs(10))
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    let summaries = world.join().expect("world exits");
+    assert_eq!(summaries[0].jobs_run, jobs);
+    let verified = receipts
+        .iter()
+        .filter(|r| r.verdict == Verdict::Verified)
+        .count() as u64;
+    assert_eq!(verified, jobs, "every clean job must verify");
+    jobs as f64 / wall
+}
+
+fn main() {
+    let mut pes = 4usize;
+    let mut backend = Backend::Local;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pes" | "-p" => {
+                pes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--pes expects a positive integer");
+                        std::process::exit(2);
+                    })
+            }
+            "--transport" => match args.next().as_deref() {
+                Some("local") => backend = Backend::Local,
+                Some("tcp") => backend = Backend::TcpLoopback,
+                other => {
+                    eprintln!("--transport expects local|tcp, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown option {other:?} (sched_throughput [--pes N] [--transport local|tcp])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let jobs = env_param("CCHECK_JOBS", 24) as u64;
+    let n = env_param("CCHECK_N", 50_000) as u64;
+    let clients = env_param("CCHECK_CLIENTS", 4).max(1) as u64;
+
+    println!(
+        "Scheduler throughput: {jobs} mixed jobs x {n} elems across 4 tenants \
+         on {pes} PE(s) ({backend:?}), {clients} client(s)"
+    );
+    let fifo = run_phase(backend, pes, PolicyCfg::Fifo, jobs, n, clients);
+    println!("  fifo:         {fifo:.1} jobs/s");
+    let wfq = run_phase(backend, pes, PolicyCfg::deadline_wfq(), jobs, n, clients);
+    println!("  deadline-wfq: {wfq:.1} jobs/s");
+    let overhead_pct = (fifo / wfq - 1.0) * 100.0;
+    println!("  deadline-wfq overhead vs fifo: {overhead_pct:.1} % (target <= 10 %)");
+
+    println!(
+        "SCHED_JSON {{\"pes\": {pes}, \"backend\": \"{backend:?}\", \"jobs\": {jobs}, \
+         \"n\": {n}, \"clients\": {clients}, \"fifo_jobs_per_sec\": {fifo:.2}, \
+         \"wfq_jobs_per_sec\": {wfq:.2}, \"overhead_pct\": {overhead_pct:.2}}}"
+    );
+}

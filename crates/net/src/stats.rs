@@ -132,21 +132,23 @@ impl CommStats {
     /// Fold the child registry labeled `label` into this registry's own
     /// counters and drop it from the per-scope breakdown. Per-PE totals
     /// are preserved exactly; only the per-scope attribution is given
-    /// up. Returns whether the scope existed.
+    /// up. Returns the retired scope's final snapshot — the last exact
+    /// record of what that unit of work cost, which callers can hand to
+    /// whatever consumes per-scope accounting (the service's scheduler
+    /// feeds it into per-job summaries) — or `None` if there was
+    /// nothing to retire.
     ///
     /// This is how a long-lived multi-tenant run (one scope per job,
     /// unbounded jobs) keeps the registry bounded: every worker calls it
     /// after dropping its scoped communicator, and the call only takes
     /// effect once the registry itself holds the last reference — so no
     /// still-live communicator can record into a retired child (returns
-    /// `false`, leaving the scope in place, while any handle remains).
-    pub fn retire_scope(&self, label: &str) -> bool {
+    /// `None`, leaving the scope in place, while any handle remains).
+    pub fn retire_scope(&self, label: &str) -> Option<StatsSnapshot> {
         let mut scopes = self.scopes.lock().expect("stats scope registry poisoned");
-        let Some(pos) = scopes.iter().position(|(l, _)| l == label) else {
-            return false;
-        };
+        let pos = scopes.iter().position(|(l, _)| l == label)?;
         if Arc::strong_count(&scopes[pos].1) > 1 {
-            return false; // a communicator still records into it
+            return None; // a communicator still records into it
         }
         let (_, child) = scopes.remove(pos);
         drop(scopes);
@@ -160,7 +162,7 @@ impl CommStats {
             pe.msgs_recv.fetch_add(row.msgs_recv, Ordering::Relaxed);
             pe.rounds.fetch_add(row.rounds, Ordering::Relaxed);
         }
-        true
+        Some(snapshot)
     }
 
     /// Capture a consistent-enough snapshot (call after all PE threads have
@@ -459,16 +461,23 @@ mod tests {
 
         // While a handle is live, retirement is refused (it could still
         // record) and the breakdown stays.
-        assert!(!root.retire_scope("job-9"));
+        assert!(root.retire_scope("job-9").is_none());
         assert_eq!(root.snapshot().scopes().len(), 1);
 
         drop(job);
-        assert!(root.retire_scope("job-9"));
+        let retired = root.retire_scope("job-9").expect("scope retires");
+        // The returned snapshot is the scope's final accounting.
+        assert_eq!(retired.per_pe()[0].bytes_sent, 100);
+        assert_eq!(retired.per_pe()[1].bytes_recv, 100);
+        assert_eq!(retired.total_bytes(), 100);
         let after = root.snapshot();
         // Totals unchanged, breakdown gone, registry bounded again.
         assert_eq!(after.per_pe(), before.per_pe());
         assert!(after.scopes().is_empty());
-        assert!(!root.retire_scope("job-9"), "second retire is a no-op");
+        assert!(
+            root.retire_scope("job-9").is_none(),
+            "second retire is a no-op"
+        );
     }
 
     #[test]

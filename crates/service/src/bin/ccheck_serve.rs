@@ -9,14 +9,25 @@
 //!   as threads of this process.
 //!
 //! Rank 0 binds the client socket (`--listen`, default ephemeral) and
-//! publishes the bound address via `--addr-file`. The daemon runs until
-//! a client sends `{"cmd":"shutdown"}`, then drains, prints the service
-//! communication summary, and exits 0.
+//! publishes the bound address via `--addr-file`. Which queued job a
+//! freed slot runs is `--policy`'s call: `fifo` (default, PR-4
+//! behavior), `priority` (strict priority with aging), or
+//! `deadline-wfq` (EDF within weighted fair queueing with per-tenant
+//! quotas and work stealing). The daemon runs until a client sends
+//! `{"cmd":"shutdown"}`, then drains, prints the per-tenant /
+//! per-verdict report and the service communication summary, and
+//! exits 0.
 
 use std::path::PathBuf;
 
 use ccheck_net::{bootstrap, Backend};
-use ccheck_service::{run_service, run_service_world, ServiceConfig, ServiceSummary};
+use ccheck_service::{
+    run_service, run_service_world, PolicyCfg, ServiceConfig, ServiceSummary, TenantAgg,
+};
+
+/// Receipt-table rows printed before the report switches to "… and N
+/// more" (the aggregates above the table stay exact at any job count).
+const RECEIPT_TABLE_CAP: usize = 50;
 
 struct Args {
     transport_tcp: bool,
@@ -31,6 +42,9 @@ fn usage(problem: &str) -> ! {
          usage: ccheck-serve [--transport local|tcp] [--pes N]\n\
          \u{20}                   [--listen ADDR] [--addr-file PATH]\n\
          \u{20}                   [--max-inflight N] [--queue N]\n\
+         \u{20}                   [--policy fifo|priority|deadline-wfq]\n\
+         \u{20}                   [--aging-ms MS] [--tenant-inflight N]\n\
+         \u{20}                   [--tenant-queue-share PCT] [--no-steal]\n\
          \n\
          --transport local   all PEs as threads of this process (default)\n\
          --transport tcp     this process is one rank of a ccheck-launch world\n\
@@ -38,7 +52,13 @@ fn usage(problem: &str) -> ! {
          --listen ADDR       client listener bind address (default 127.0.0.1:0)\n\
          --addr-file PATH    write the bound client address to PATH\n\
          --max-inflight N    concurrent jobs (default 4)\n\
-         --queue N           submission queue capacity (default 64)"
+         --queue N           submission queue capacity (default 64)\n\
+         --policy P          scheduling policy (default fifo = PR-4 behavior)\n\
+         --aging-ms MS       priority policy: queue-wait worth one level (default 200)\n\
+         --tenant-inflight N deadline-wfq: per-tenant inflight quota (default 2)\n\
+         --tenant-queue-share PCT\n\
+         \u{20}                   deadline-wfq: max queue share per tenant (default 50)\n\
+         --no-steal          deadline-wfq: idle slots never exceed tenant quotas"
     );
     std::process::exit(2);
 }
@@ -49,6 +69,13 @@ fn parse_args() -> Args {
         pes: 4,
         cfg: ServiceConfig::default(),
     };
+    // Policy knobs are collected first, then assembled, so flag order
+    // doesn't matter.
+    let mut policy = "fifo".to_string();
+    let mut aging_ms = 200u64;
+    let mut tenant_inflight = 2usize;
+    let mut tenant_queue_share = 50u32;
+    let mut steal = true;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -77,33 +104,133 @@ fn parse_args() -> Args {
                 Some(v) if v > 0 => args.cfg.queue_cap = v,
                 _ => usage("--queue expects a positive integer"),
             },
+            "--policy" => match iter.next() {
+                Some(p) if ["fifo", "priority", "deadline-wfq"].contains(&p.as_str()) => {
+                    policy = p;
+                }
+                other => usage(&format!(
+                    "--policy expects fifo|priority|deadline-wfq, got {other:?}"
+                )),
+            },
+            "--aging-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => aging_ms = v,
+                _ => usage("--aging-ms expects a positive integer"),
+            },
+            "--tenant-inflight" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => tenant_inflight = v,
+                _ => usage("--tenant-inflight expects a positive integer"),
+            },
+            "--tenant-queue-share" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if (1..=100).contains(&v) => tenant_queue_share = v,
+                _ => usage("--tenant-queue-share expects a percentage in 1..=100"),
+            },
+            "--no-steal" => steal = false,
             other => usage(&format!("unknown option {other:?}")),
         }
     }
+    args.cfg.policy = match policy.as_str() {
+        "fifo" => PolicyCfg::Fifo,
+        "priority" => PolicyCfg::PriorityAging { aging_ms },
+        "deadline-wfq" => PolicyCfg::DeadlineWfq {
+            tenant_max_inflight: tenant_inflight,
+            tenant_queue_share_pct: tenant_queue_share,
+            steal,
+            weights: Vec::new(),
+        },
+        _ => unreachable!("validated above"),
+    };
     args
 }
 
 fn report(summary: &ServiceSummary) {
     println!(
-        "ccheck-serve: clean shutdown after {} job(s)",
-        summary.jobs_run
+        "ccheck-serve: clean shutdown after {} job(s) under the {} policy \
+         ({} refused, {} stolen; {} bytes of job-scope traffic retired \
+         into this rank's totals)",
+        summary.jobs_run,
+        summary.policy,
+        summary.refused,
+        summary.stolen,
+        summary.retired_scope_bytes
     );
+
+    // Aggregates first — they stay exact and readable at any job count,
+    // unlike the per-job table below.
+    let totals = summary
+        .tenants
+        .iter()
+        .fold(TenantAgg::default(), |mut acc, (_, a)| {
+            acc.jobs += a.jobs;
+            acc.verified += a.verified;
+            acc.retried += a.retried;
+            acc.fellback += a.fellback;
+            acc.rejected += a.rejected;
+            acc.refused += a.refused;
+            acc.total_bytes += a.total_bytes;
+            acc.wall_ms += a.wall_ms;
+            acc
+        });
+    println!(
+        "verdicts: verified={} retried={} fellback={} rejected={} refused={}",
+        totals.verified, totals.retried, totals.fellback, totals.rejected, totals.refused
+    );
+    if !summary.tenants.is_empty() {
+        println!(
+            "\n{:>16} {:>6} {:>9} {:>8} {:>9} {:>9} {:>8} {:>14} {:>10}",
+            "tenant",
+            "jobs",
+            "verified",
+            "retried",
+            "fellback",
+            "rejected",
+            "refused",
+            "total bytes",
+            "avg ms"
+        );
+        for (tenant, a) in &summary.tenants {
+            println!(
+                "{:>16} {:>6} {:>9} {:>8} {:>9} {:>9} {:>8} {:>14} {:>10}",
+                if tenant.is_empty() {
+                    "(default)"
+                } else {
+                    tenant
+                },
+                a.jobs,
+                a.verified,
+                a.retried,
+                a.fellback,
+                a.rejected,
+                a.refused,
+                a.total_bytes,
+                a.wall_ms.checked_div(a.jobs).unwrap_or(0),
+            );
+        }
+    }
+
     if !summary.receipts.is_empty() {
         println!(
-            "\n{:>6} {:>8} {:>10} {:>12} {:>14} {:>14} {:>8}",
-            "job", "op", "verdict", "elems", "total bytes", "bottleneck", "ms"
+            "\n{:>6} {:>6} {:>12} {:>8} {:>10} {:>12} {:>14} {:>8}",
+            "job", "seq", "tenant", "op", "verdict", "elems", "total bytes", "ms"
         );
-        for r in &summary.receipts {
+        for r in summary.receipts.iter().take(RECEIPT_TABLE_CAP) {
             let comm = r.comm.unwrap_or_default();
             println!(
-                "{:>6} {:>8} {:>10} {:>12} {:>14} {:>14} {:>8}",
+                "{:>6} {:>6} {:>12} {:>8} {:>10} {:>12} {:>14} {:>8}",
                 r.job_id,
+                r.admit_seq,
+                r.tenant.as_deref().unwrap_or("(default)"),
                 r.op.name(),
                 r.verdict.name(),
                 r.elems,
                 comm.total_bytes,
-                comm.bottleneck_bytes,
                 r.wall_ms
+            );
+        }
+        if summary.receipts.len() > RECEIPT_TABLE_CAP {
+            println!(
+                "{:>6} … and {} more receipt(s); the aggregates above cover all jobs",
+                "",
+                summary.receipts.len() - RECEIPT_TABLE_CAP
             );
         }
     }

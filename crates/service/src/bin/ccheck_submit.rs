@@ -15,7 +15,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use ccheck_service::{FaultSpec, JobSpec, ServiceClient, ServiceError};
+use ccheck_service::{CheckMode, FaultSpec, JobSpec, ServiceClient, ServiceError};
 
 enum Action {
     Submit { wait: bool, expect: Option<String> },
@@ -46,10 +46,20 @@ fn usage(problem: &str) -> ! {
          \u{20} --retries R            retry budget before fallback (default 2)\n\
          \u{20} --fault KIND           inject a manipulator fault on PE 0\n\
          \u{20} --fault-seed S         manipulator seed (default 0)\n\
+         \u{20} --tenant T             submit under tenant T (fairness, quotas, tuning)\n\
+         \u{20} --priority P           scheduling priority (higher runs sooner)\n\
+         \u{20} --deadline-ms MS       refuse the job if still queued after MS\n\
+         \u{20}                        (needs a non-fifo ccheck-serve --policy;\n\
+         \u{20}                        the default fifo policy ignores deadlines)\n\
+         \u{20} --adaptive             let the scheduler pick (its, b, r-hat)\n\
+         \u{20}                        from this tenant's recent receipts\n\
          \u{20} --wait                 block for the receipt and print it\n\
+         \u{20} --wait-timeout SECS    give up waiting after SECS (exit 4, job keeps running)\n\
          \u{20} --expect V             exit 1 unless the verdict is V\n\
          \u{20}                        (verified|retried|fellback|rejected)\n\
-         \u{20} --timeout SECS         connect timeout (default 30)"
+         \u{20} --timeout SECS         connect timeout (default 30)\n\
+         \n\
+         busy refusals print the scheduler's retry_after_ms hint and exit 3"
     );
     std::process::exit(2);
 }
@@ -65,6 +75,7 @@ fn main() {
     let mut fault_kind: Option<String> = None;
     let mut fault_seed = 0u64;
     let mut timeout = Duration::from_secs(30);
+    let mut wait_timeout: Option<Duration> = None;
 
     let mut iter = std::env::args().skip(1);
     let next_value = |iter: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -125,6 +136,28 @@ fn main() {
             "--fault-seed" => {
                 fault_seed = parse_num(&next_value(&mut iter, "--fault-seed"), "--fault-seed")
             }
+            "--tenant" => spec.tenant = Some(next_value(&mut iter, "--tenant")),
+            "--priority" => {
+                spec.priority = parse_num(&next_value(&mut iter, "--priority"), "--priority")
+                    .try_into()
+                    .unwrap_or_else(|_| usage("--priority is out of range"))
+            }
+            "--deadline-ms" => {
+                spec.deadline_ms = Some(parse_num(
+                    &next_value(&mut iter, "--deadline-ms"),
+                    "--deadline-ms",
+                ))
+            }
+            "--adaptive" => spec.check = CheckMode::Adaptive,
+            "--wait-timeout" => {
+                wait_timeout = Some(Duration::from_secs(parse_num(
+                    &next_value(&mut iter, "--wait-timeout"),
+                    "--wait-timeout",
+                )));
+                if let Action::Submit { wait, .. } = &mut action {
+                    *wait = true;
+                }
+            }
             "--timeout" => {
                 timeout =
                     Duration::from_secs(parse_num(&next_value(&mut iter, "--timeout"), "--timeout"))
@@ -164,7 +197,16 @@ fn main() {
                 println!("{{\"ok\":true,\"id\":{id},\"status\":\"queued\"}}");
                 return;
             }
-            let receipt = client.wait(id).unwrap_or_else(|e| fail(&e));
+            let receipt = match client.wait_timeout(id, wait_timeout) {
+                Ok(Some(receipt)) => receipt,
+                Ok(None) => {
+                    // The job outlived --wait-timeout; it keeps running —
+                    // poll it later.
+                    println!("{{\"ok\":true,\"id\":{id},\"timed_out\":true}}");
+                    std::process::exit(4);
+                }
+                Err(e) => fail(&e),
+            };
             println!("{}", receipt.to_json().render());
             if let Some(expect) = expect {
                 if receipt.verdict.name() != expect {
@@ -187,5 +229,12 @@ fn parse_num(value: &str, flag: &str) -> u64 {
 
 fn fail(e: &ServiceError) -> ! {
     eprintln!("ccheck-submit: {e}");
+    // Busy refusals carry the scheduler's backoff hint: surface it on
+    // stdout as machine-readable JSON and exit 3 so scripts can
+    // distinguish "retry later" from a hard failure.
+    if let Some(hint) = e.retry_after_ms() {
+        println!("{{\"ok\":false,\"busy\":true,\"retry_after_ms\":{hint}}}");
+        std::process::exit(3);
+    }
     std::process::exit(1);
 }

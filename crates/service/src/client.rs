@@ -18,6 +18,25 @@ pub enum ServiceError {
     Protocol(String),
     /// The server refused the request (`{"ok":false,"error":…}`).
     Refused(String),
+    /// The service is at capacity and supplied a retry hint
+    /// (`{"ok":false,"error":…,"retry_after_ms":…}`) — back off for
+    /// roughly `retry_after_ms` and resubmit.
+    Busy {
+        /// The refusal message.
+        message: String,
+        /// The scheduler's estimate of when capacity frees up.
+        retry_after_ms: u64,
+    },
+}
+
+impl ServiceError {
+    /// The scheduler's suggested backoff, when the error carries one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ServiceError::Busy { retry_after_ms, .. } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -26,6 +45,13 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Io(e) => write!(f, "service connection error: {e}"),
             ServiceError::Protocol(e) => write!(f, "service protocol error: {e}"),
             ServiceError::Refused(e) => write!(f, "service refused: {e}"),
+            ServiceError::Busy {
+                message,
+                retry_after_ms,
+            } => write!(
+                f,
+                "service busy: {message} (retry after ~{retry_after_ms} ms)"
+            ),
         }
     }
 }
@@ -111,13 +137,20 @@ impl ServiceClient {
         let parsed = json::parse(&response)
             .map_err(|e| ServiceError::Protocol(format!("{e}: {response:?}")))?;
         if parsed.get("ok").and_then(Json::as_bool) == Some(false) {
-            return Err(ServiceError::Refused(
-                parsed
-                    .get("error")
-                    .and_then(Json::as_str)
-                    .unwrap_or("unspecified")
-                    .to_string(),
-            ));
+            let message = parsed
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+                .to_string();
+            // A retry hint upgrades the refusal to Busy: the scheduler
+            // expects capacity, the client should back off and retry.
+            return Err(match parsed.get("retry_after_ms").and_then(Json::as_u64) {
+                Some(retry_after_ms) => ServiceError::Busy {
+                    message,
+                    retry_after_ms,
+                },
+                None => ServiceError::Refused(message),
+            });
         }
         Ok(parsed)
     }
@@ -143,14 +176,43 @@ impl ServiceClient {
         decode_status(&response)
     }
 
-    /// Block until the job completes; returns its receipt.
+    /// Block until the job completes; returns its receipt. A job the
+    /// scheduler refused while queued (missed deadline) comes back as
+    /// [`ServiceError::Refused`] carrying the scheduler's retry hint.
     pub fn wait(&mut self, id: u64) -> Result<Receipt, ServiceError> {
-        let response = self.request(&Json::obj([
-            ("cmd", Json::from("wait")),
-            ("id", Json::from(id)),
-        ]))?;
+        self.wait_timeout(id, None).map(|receipt| {
+            receipt.expect("wait without a timeout always resolves to a final status")
+        })
+    }
+
+    /// Like [`ServiceClient::wait`], but give up after `timeout`
+    /// (server-side — no connection teardown needed): `Ok(None)` means
+    /// the job was still pending when the timeout passed; poll or wait
+    /// again later.
+    pub fn wait_timeout(
+        &mut self,
+        id: u64,
+        timeout: Option<Duration>,
+    ) -> Result<Option<Receipt>, ServiceError> {
+        let mut pairs = vec![("cmd", Json::from("wait")), ("id", Json::from(id))];
+        if let Some(timeout) = timeout {
+            pairs.push(("timeout_ms", Json::from(timeout.as_millis() as u64)));
+        }
+        let response = self.request(&Json::obj(pairs))?;
+        if response.get("timed_out").and_then(Json::as_bool) == Some(true) {
+            return Ok(None);
+        }
         let (state, receipt) = decode_status(&response)?;
-        receipt.ok_or_else(|| {
+        if state == "refused" {
+            return Err(ServiceError::Refused(
+                response
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("job refused by the scheduler")
+                    .to_string(),
+            ));
+        }
+        receipt.map(Some).ok_or_else(|| {
             ServiceError::Protocol(format!("wait returned state {state:?} without a receipt"))
         })
     }

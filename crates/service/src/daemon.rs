@@ -29,22 +29,31 @@
 //! **Backpressure.** At most `max_inflight` jobs execute concurrently
 //! (that many worker threads and tag scopes per PE); beyond that,
 //! submissions queue up to `queue_cap`, and further submissions are
-//! refused with a `busy` error — the client decides whether to retry.
+//! refused with a `busy` error — under the non-FIFO policies the
+//! refusal carries the scheduler's retry-after hint, so the client
+//! knows when capacity is expected to free up.
+//!
+//! **Scheduling.** Which queued job a freed slot runs is the
+//! [`crate::sched`] subsystem's decision: PE 0 drives a
+//! [`SchedCore`] (policy + tenant quotas + deadline expiry + adaptive
+//! checker tuning) and broadcasts each pick; the default
+//! [`crate::sched::PolicyCfg::Fifo`] reproduces the PR-4 loop exactly.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ccheck_net::{Backend, Comm, StatsSnapshot};
 
 use crate::exec::{execute_job, validate_fault};
-use crate::job::{CtlMsg, JobSpec, JobStatus};
+use crate::job::{CtlMsg, JobSpec, JobStatus, Receipt, Verdict};
 use crate::json::{self, Json};
+use crate::sched::{PolicyCfg, SchedCore};
 
 /// Service configuration (identical on every PE; the listener fields
 /// are only used by rank 0).
@@ -70,6 +79,9 @@ pub struct ServiceConfig {
     /// should collect receipts promptly; polling an evicted job returns
     /// an unknown-id error.
     pub receipt_cap: usize,
+    /// Which scheduling policy decides slot assignment. The default
+    /// [`PolicyCfg::Fifo`] is byte-identical to the PR-4 admission loop.
+    pub policy: PolicyCfg,
 }
 
 impl Default for ServiceConfig {
@@ -81,7 +93,45 @@ impl Default for ServiceConfig {
             max_inflight: 4,
             queue_cap: 64,
             receipt_cap: 4096,
+            policy: PolicyCfg::Fifo,
         }
+    }
+}
+
+/// Per-tenant outcome aggregates for the final report. Maintained
+/// incrementally on completion, so they stay exact even after old
+/// receipts are evicted under `receipt_cap`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantAgg {
+    /// Completed jobs.
+    pub jobs: u64,
+    /// `Verified` receipts.
+    pub verified: u64,
+    /// `VerifiedAfterRetry` receipts.
+    pub retried: u64,
+    /// `FellBack` receipts.
+    pub fellback: u64,
+    /// `Rejected` receipts.
+    pub rejected: u64,
+    /// Queued jobs refused (missed deadlines).
+    pub refused: u64,
+    /// Sum of per-job total communication bytes.
+    pub total_bytes: u64,
+    /// Sum of per-job wall milliseconds.
+    pub wall_ms: u64,
+}
+
+impl TenantAgg {
+    fn absorb(&mut self, receipt: &Receipt) {
+        self.jobs += 1;
+        match receipt.verdict {
+            Verdict::Verified => self.verified += 1,
+            Verdict::VerifiedAfterRetry(_) => self.retried += 1,
+            Verdict::FellBack => self.fellback += 1,
+            Verdict::Rejected => self.rejected += 1,
+        }
+        self.total_bytes += receipt.comm.map_or(0, |c| c.total_bytes);
+        self.wall_ms += receipt.wall_ms;
     }
 }
 
@@ -93,8 +143,23 @@ pub struct ServiceSummary {
     /// Rank 0: the gathered whole-service per-PE communication totals
     /// (control plane plus every job). `None` on other ranks.
     pub stats: Option<StatsSnapshot>,
-    /// Rank 0: every completed job's receipt, in job-id order.
+    /// Rank 0: every completed job's receipt, in job-id order (capped
+    /// by `receipt_cap`; the aggregates below stay exact regardless).
     pub receipts: Vec<crate::job::Receipt>,
+    /// Rank 0: per-tenant outcome breakdown, sorted by tenant (the
+    /// anonymous default tenant reports as `""`).
+    pub tenants: Vec<(String, TenantAgg)>,
+    /// Rank 0: the scheduling policy that ran.
+    pub policy: &'static str,
+    /// Rank 0: queued jobs refused for missed deadlines.
+    pub refused: u64,
+    /// Rank 0: jobs admitted over their tenant's inflight quota by
+    /// work stealing.
+    pub stolen: u64,
+    /// Payload bytes this rank's registry folded back when retiring
+    /// finished job scopes (on the in-process backend all PEs share one
+    /// registry, so rank 0 carries the whole world's figure).
+    pub retired_scope_bytes: u64,
 }
 
 type Registry = Arc<Mutex<HashMap<u64, JobStatus>>>;
@@ -108,9 +173,12 @@ struct Slot {
 /// Shared state between PE 0's daemon loop and its listener threads.
 struct Frontend {
     registry: Registry,
-    submit_tx: mpsc::Sender<(u64, JobSpec)>,
-    queued: AtomicUsize,
-    queue_cap: usize,
+    /// The scheduler state machine: listener threads enqueue (or get
+    /// refused) under this lock, the daemon loop picks, job workers
+    /// feed completions back. Never held across another Frontend lock.
+    sched: Mutex<SchedCore>,
+    /// Service-clock epoch (all scheduler times are ms since this).
+    start: Instant,
     next_id: AtomicU64,
     shutdown_requested: AtomicBool,
     /// Cleared by the daemon as the final fence before it broadcasts
@@ -122,24 +190,57 @@ struct Frontend {
     /// completed enqueue.
     submitting: AtomicUsize,
     stopping: AtomicBool,
-    /// Completed job ids in completion order, for receipt eviction.
+    /// Finished (done or refused) job ids in finish order, for
+    /// registry eviction.
     done_order: Mutex<VecDeque<u64>>,
     receipt_cap: usize,
+    /// Per-tenant outcome aggregates (exact across receipt eviction).
+    agg: Mutex<BTreeMap<String, TenantAgg>>,
 }
 
 impl Frontend {
-    /// Record a completed job's receipt, evicting the oldest completed
-    /// entries beyond `receipt_cap` so the registry stays bounded over
-    /// the service's lifetime.
-    fn record_done(&self, job_id: u64, receipt: crate::job::Receipt) {
+    /// Milliseconds on the service clock.
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// Mark a finished job in the registry and evict the oldest
+    /// finished entries beyond `receipt_cap` so the registry stays
+    /// bounded over the service's lifetime.
+    fn finish(&self, job_id: u64, status: JobStatus) {
         let mut registry = self.registry.lock().expect("registry poisoned");
         let mut done_order = self.done_order.lock().expect("done order poisoned");
-        registry.insert(job_id, JobStatus::Done(receipt));
+        registry.insert(job_id, status);
         done_order.push_back(job_id);
         while done_order.len() > self.receipt_cap {
             let evicted = done_order.pop_front().expect("non-empty");
             registry.remove(&evicted);
         }
+    }
+
+    /// Record a completed job: scheduler feedback (tenant accounting,
+    /// adaptive tuner), aggregates, then the client-visible receipt.
+    fn record_done(&self, job_id: u64, receipt: crate::job::Receipt) {
+        self.sched
+            .lock()
+            .expect("scheduler poisoned")
+            .complete(&receipt);
+        {
+            let mut agg = self.agg.lock().expect("aggregates poisoned");
+            agg.entry(receipt.tenant.clone().unwrap_or_default())
+                .or_default()
+                .absorb(&receipt);
+        }
+        self.finish(job_id, JobStatus::Done(receipt));
+    }
+
+    /// Record a queued job the scheduler refused (deadline expiry).
+    fn record_refused(&self, job_id: u64, tenant: &str, reason: String) {
+        {
+            let mut agg = self.agg.lock().expect("aggregates poisoned");
+            agg.entry(tenant.to_string()).or_default().refused += 1;
+        }
+        self.finish(job_id, JobStatus::Refused(reason));
     }
 }
 
@@ -158,15 +259,12 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
 
     // PE 0: client frontend.
     let mut frontend: Option<Arc<Frontend>> = None;
-    let mut submit_rx: Option<mpsc::Receiver<(u64, JobSpec)>> = None;
     let mut listener_handle: Option<JoinHandle<()>> = None;
     if rank == 0 {
-        let (tx, rx) = mpsc::channel();
         let fe = Arc::new(Frontend {
             registry: Arc::new(Mutex::new(HashMap::new())),
-            submit_tx: tx,
-            queued: AtomicUsize::new(0),
-            queue_cap: cfg.queue_cap,
+            sched: Mutex::new(SchedCore::new(&cfg.policy, cfg.queue_cap, cfg.max_inflight)),
+            start: Instant::now(),
             next_id: AtomicU64::new(1),
             shutdown_requested: AtomicBool::new(false),
             accepting: AtomicBool::new(true),
@@ -174,22 +272,22 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
             stopping: AtomicBool::new(false),
             done_order: Mutex::new(VecDeque::new()),
             receipt_cap: cfg.receipt_cap,
+            agg: Mutex::new(BTreeMap::new()),
         });
         listener_handle = Some(spawn_listener(cfg, Arc::clone(&fe)));
         frontend = Some(fe);
-        submit_rx = Some(rx);
     }
 
     let mut slots: Vec<Option<Slot>> = Vec::new();
     slots.resize_with(cfg.max_inflight, || None);
-    let mut pending: VecDeque<(u64, JobSpec)> = VecDeque::new();
     let mut jobs_run = 0u64;
+    let retired_scope_bytes = Arc::new(AtomicU64::new(0));
 
     loop {
         // PE 0 decides the next control action; everyone learns it via
         // the broadcast (non-roots pass a placeholder).
-        let decision = if let (Some(fe), Some(rx)) = (&frontend, &submit_rx) {
-            next_action(fe, rx, &mut pending, &slots)
+        let decision = if let Some(fe) = &frontend {
+            next_action(fe, &slots)
         } else {
             CtlMsg::Shutdown
         };
@@ -217,17 +315,28 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
                 let worker_done = Arc::clone(&done);
                 let worker_frontend = frontend.clone();
                 let root_stats = mux.stats();
+                let worker_retired = Arc::clone(&retired_scope_bytes);
+                // Every PE increments per Admit, so the admission
+                // sequence number is globally consistent without
+                // traveling on the wire.
+                jobs_run += 1;
+                let admit_seq = jobs_run;
                 let handle = std::thread::Builder::new()
                     .name(format!("ccheck-job-{job_id}"))
                     .spawn(move || {
                         let mut comm = job_comm;
-                        let receipt = execute_job(&mut comm, job_id, &spec);
+                        let mut receipt = execute_job(&mut comm, job_id, &spec);
+                        receipt.admit_seq = admit_seq;
                         // Deregister the scope before signaling done.
                         drop(comm);
                         // The receipt has captured the per-job volumes;
                         // retire the scope so a long-lived service keeps
-                        // its stats registry bounded (totals preserved).
-                        root_stats.retire_scope(&format!("job-{job_id}"));
+                        // its stats registry bounded (totals preserved —
+                        // the returned final snapshot feeds the rank's
+                        // retired-traffic tally).
+                        if let Some(snapshot) = root_stats.retire_scope(&format!("job-{job_id}")) {
+                            worker_retired.fetch_add(snapshot.total_bytes(), Ordering::Relaxed);
+                        }
                         if let Some(fe) = worker_frontend {
                             fe.record_done(job_id, receipt);
                         }
@@ -235,7 +344,6 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
                     })
                     .expect("spawn job worker");
                 slots[slot_idx] = Some(Slot { done, handle });
-                jobs_run += 1;
             }
             CtlMsg::Shutdown => {
                 for slot in slots.iter_mut().filter_map(Option::take) {
@@ -257,53 +365,76 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
     if let Some(handle) = listener_handle {
         let _ = handle.join();
     }
-    let mut receipts: Vec<crate::job::Receipt> = frontend
-        .map(|fe| {
-            let registry = fe.registry.lock().expect("registry poisoned");
-            registry
-                .values()
-                .filter_map(|status| match status {
-                    JobStatus::Done(receipt) => Some(receipt.clone()),
-                    _ => None,
-                })
-                .collect()
-        })
-        .unwrap_or_default();
+    let mut receipts: Vec<crate::job::Receipt> = Vec::new();
+    let mut tenants: Vec<(String, TenantAgg)> = Vec::new();
+    let mut policy = "";
+    let mut refused = 0;
+    let mut stolen = 0;
+    if let Some(fe) = &frontend {
+        let registry = fe.registry.lock().expect("registry poisoned");
+        receipts = registry
+            .values()
+            .filter_map(|status| match status {
+                JobStatus::Done(receipt) => Some(receipt.clone()),
+                _ => None,
+            })
+            .collect();
+        drop(registry);
+        tenants = fe
+            .agg
+            .lock()
+            .expect("aggregates poisoned")
+            .iter()
+            .map(|(t, a)| (t.clone(), a.clone()))
+            .collect();
+        let sched = fe.sched.lock().expect("scheduler poisoned");
+        policy = sched.policy_name();
+        refused = sched.refused();
+        stolen = sched.stolen();
+    }
     receipts.sort_by_key(|r| r.job_id);
     ServiceSummary {
         jobs_run,
         stats,
         receipts,
+        tenants,
+        policy,
+        refused,
+        stolen,
+        retired_scope_bytes: retired_scope_bytes.load(Ordering::Relaxed),
     }
 }
 
 /// PE 0's scheduling loop: block until there is something to broadcast.
-fn next_action(
-    fe: &Arc<Frontend>,
-    rx: &mpsc::Receiver<(u64, JobSpec)>,
-    pending: &mut VecDeque<(u64, JobSpec)>,
-    slots: &[Option<Slot>],
-) -> CtlMsg {
+/// Every decision is the [`SchedCore`]'s: deadline expiry first (jobs
+/// refused while queued), then — if a slot is free — the policy's pick.
+fn next_action(fe: &Arc<Frontend>, slots: &[Option<Slot>]) -> CtlMsg {
     loop {
-        while let Ok(job) = rx.try_recv() {
-            pending.push_back(job);
+        let now = fe.now_ms();
+        let free = slots.iter().position(|slot| match slot {
+            None => true,
+            Some(s) => s.done.load(Ordering::Acquire),
+        });
+        let (expired, admission, queue_empty) = {
+            let mut sched = fe.sched.lock().expect("scheduler poisoned");
+            let expired = sched.take_expired(now);
+            let admission = match free {
+                Some(_) => sched.pick(now),
+                None => None,
+            };
+            (expired, admission, sched.queue_is_empty())
+        };
+        for (job_id, tenant, reason) in expired {
+            fe.record_refused(job_id, &tenant, reason);
         }
-        if !pending.is_empty() {
-            let free = slots.iter().position(|slot| match slot {
-                None => true,
-                Some(s) => s.done.load(Ordering::Acquire),
-            });
-            if let Some(slot) = free {
-                let (job_id, spec) = pending.pop_front().expect("non-empty");
-                fe.queued.fetch_sub(1, Ordering::AcqRel);
-                return CtlMsg::Admit {
-                    job_id,
-                    slot: slot as u32,
-                    spec,
-                };
-            }
+        if let Some(admission) = admission {
+            return CtlMsg::Admit {
+                job_id: admission.job_id,
+                slot: free.expect("picked only with a free slot") as u32,
+                spec: admission.spec,
+            };
         }
-        let drained = pending.is_empty()
+        let drained = queue_empty
             && slots
                 .iter()
                 .all(|s| s.as_ref().is_none_or(|s| s.done.load(Ordering::Acquire)));
@@ -316,10 +447,12 @@ fn next_action(
             while fe.submitting.load(Ordering::Acquire) > 0 {
                 std::thread::sleep(Duration::from_millis(1));
             }
-            while let Ok(job) = rx.try_recv() {
-                pending.push_back(job);
-            }
-            if pending.is_empty() {
+            if fe
+                .sched
+                .lock()
+                .expect("scheduler poisoned")
+                .queue_is_empty()
+            {
                 return CtlMsg::Shutdown;
             }
             continue;
@@ -450,8 +583,10 @@ fn status_json(id: u64, status: &JobStatus) -> Json {
         ("id", Json::from(id)),
         ("status", Json::from(status.name())),
     ];
-    if let JobStatus::Done(receipt) = status {
-        pairs.push(("receipt", receipt.to_json()));
+    match status {
+        JobStatus::Done(receipt) => pairs.push(("receipt", receipt.to_json())),
+        JobStatus::Refused(reason) => pairs.push(("reason", Json::Str(reason.clone()))),
+        _ => {}
     }
     Json::obj(pairs)
 }
@@ -479,18 +614,29 @@ fn handle_request(request: &Json, fe: &Arc<Frontend>) -> Json {
                 if !fe.accepting.load(Ordering::Acquire) {
                     return error_json("service is shutting down");
                 }
-                // Backpressure: refuse rather than queue without bound.
-                if fe.queued.fetch_add(1, Ordering::AcqRel) >= fe.queue_cap {
-                    fe.queued.fetch_sub(1, Ordering::AcqRel);
-                    return error_json("busy: submission queue is full, retry later");
-                }
                 let id = fe.next_id.fetch_add(1, Ordering::AcqRel);
+                // Mark the job queued *before* the scheduler can hand it
+                // to a worker, so a completed status never gets clobbered
+                // by a stale "queued".
                 fe.registry
                     .lock()
                     .expect("registry poisoned")
                     .insert(id, JobStatus::Queued);
-                if fe.submit_tx.send((id, spec)).is_err() {
-                    return error_json("service is shutting down");
+                let enqueue =
+                    fe.sched
+                        .lock()
+                        .expect("scheduler poisoned")
+                        .try_enqueue(fe.now_ms(), id, spec);
+                if let Err(refusal) = enqueue {
+                    fe.registry.lock().expect("registry poisoned").remove(&id);
+                    let mut pairs = vec![
+                        ("ok", Json::Bool(false)),
+                        ("error", Json::Str(refusal.message)),
+                    ];
+                    if let Some(hint) = refusal.retry_after_ms {
+                        pairs.push(("retry_after_ms", Json::from(hint)));
+                    }
+                    return Json::obj(pairs);
                 }
                 Json::obj([
                     ("ok", Json::Bool(true)),
@@ -510,20 +656,40 @@ fn handle_request(request: &Json, fe: &Arc<Frontend>) -> Json {
         },
         Some("wait") => match request.get("id").and_then(Json::as_u64) {
             None => error_json("wait requires an id"),
-            Some(id) => loop {
-                {
-                    let registry = fe.registry.lock().expect("registry poisoned");
-                    match registry.get(&id) {
-                        None => break error_json(format!("unknown job id {id}")),
-                        Some(status @ JobStatus::Done(_)) => break status_json(id, status),
-                        Some(_) => {}
+            Some(id) => {
+                // Optional client-chosen bound; after it passes, answer
+                // with the job's current (non-final) status and a
+                // `timed_out` marker instead of blocking forever.
+                let deadline = request
+                    .get("timeout_ms")
+                    .and_then(Json::as_u64)
+                    .map(|ms| Instant::now() + Duration::from_millis(ms));
+                loop {
+                    {
+                        let registry = fe.registry.lock().expect("registry poisoned");
+                        match registry.get(&id) {
+                            None => break error_json(format!("unknown job id {id}")),
+                            Some(status @ (JobStatus::Done(_) | JobStatus::Refused(_))) => {
+                                break status_json(id, status)
+                            }
+                            Some(status) => {
+                                if deadline.is_some_and(|d| Instant::now() >= d) {
+                                    break Json::obj([
+                                        ("ok", Json::Bool(true)),
+                                        ("id", Json::from(id)),
+                                        ("status", Json::from(status.name())),
+                                        ("timed_out", Json::Bool(true)),
+                                    ]);
+                                }
+                            }
+                        }
                     }
+                    if fe.stopping.load(Ordering::Acquire) {
+                        break error_json("service shut down before the job completed");
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
                 }
-                if fe.stopping.load(Ordering::Acquire) {
-                    break error_json("service shut down before the job completed");
-                }
-                std::thread::sleep(Duration::from_millis(2));
-            },
+            }
         },
         Some("shutdown") => {
             fe.shutdown_requested.store(true, Ordering::Release);

@@ -154,7 +154,17 @@ pub fn execute_job(comm: &mut Comm, job_id: u64, spec: &JobSpec) -> Receipt {
     Receipt {
         job_id,
         op: spec.op,
+        tenant: spec.tenant.clone(),
+        // Standalone runs have no admission order; the daemon stamps
+        // the world's sequence number onto service receipts.
+        admit_seq: 0,
         verdict,
+        check: crate::job::CheckUsed {
+            iterations: spec.iterations,
+            buckets: spec.buckets,
+            log2_rhat: spec.log2_rhat,
+            adaptive: spec.check == crate::job::CheckMode::Adaptive,
+        },
         digest,
         elems: spec.n,
         output_elems,

@@ -61,6 +61,39 @@ pub struct FaultSpec {
     pub seed: u64,
 }
 
+/// How a job's checker configuration is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckMode {
+    /// Use the spec's own `iterations`/`buckets`/`log2_rhat` as given.
+    #[default]
+    Explicit,
+    /// Let the scheduler's per-tenant adaptive tuner pick
+    /// `(its, b, r̂)` from the tenant's recent receipts: escalate after
+    /// flagged jobs, relax toward the cheap config after a clean
+    /// streak. The resolved config is broadcast with the admitted spec
+    /// (all PEs see the same values) and recorded in the receipt.
+    Adaptive,
+}
+
+impl CheckMode {
+    /// Protocol name (`"explicit"`, `"adaptive"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CheckMode::Explicit => "explicit",
+            CheckMode::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parse a protocol name.
+    pub fn parse(name: &str) -> Result<CheckMode, String> {
+        match name {
+            "explicit" => Ok(CheckMode::Explicit),
+            "adaptive" => Ok(CheckMode::Adaptive),
+            other => Err(format!("unknown check mode {other:?} (explicit|adaptive)")),
+        }
+    }
+}
+
 /// A complete checking-job description.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
@@ -86,6 +119,19 @@ pub struct JobSpec {
     pub max_retries: u32,
     /// Optional injected fault.
     pub fault: Option<FaultSpec>,
+    /// Owning tenant, for fairness/quota accounting and adaptive
+    /// tuning. `None` is the anonymous default tenant (PR-4 semantics).
+    pub tenant: Option<String>,
+    /// Scheduling priority; higher runs sooner under `PriorityAging`.
+    /// 0 (the default) reproduces PR-4 FIFO behavior under `Fifo`.
+    pub priority: u32,
+    /// Admission deadline in milliseconds from submission: if the job
+    /// is still queued when it expires, the scheduler refuses it with a
+    /// retry hint instead of running it late. `None` = no deadline.
+    /// Ignored by the `Fifo` policy (PR-4 semantics).
+    pub deadline_ms: Option<u64>,
+    /// Whether the checker config is the spec's own or tuner-chosen.
+    pub check: CheckMode,
 }
 
 impl Default for JobSpec {
@@ -101,6 +147,10 @@ impl Default for JobSpec {
             log2_rhat: 9,
             max_retries: 2,
             fault: None,
+            tenant: None,
+            priority: 0,
+            deadline_ms: None,
+            check: CheckMode::Explicit,
         }
     }
 }
@@ -153,6 +203,17 @@ impl JobSpec {
         if self.max_retries > 8 {
             return Err("max_retries must be at most 8".into());
         }
+        if let Some(tenant) = &self.tenant {
+            if tenant.is_empty() || tenant.len() > 64 {
+                return Err("tenant must be 1..=64 characters".into());
+            }
+            if !tenant.chars().all(|c| c.is_ascii_graphic()) {
+                return Err("tenant must be printable ASCII without spaces".into());
+            }
+        }
+        if self.priority > 1_000_000 {
+            return Err("priority must be at most 1000000".into());
+        }
         Ok(())
     }
 
@@ -177,6 +238,20 @@ impl JobSpec {
                     ("seed", Json::from(fault.seed)),
                 ]),
             ));
+        }
+        // Scheduling fields are emitted only when they deviate from the
+        // PR-4 defaults, so old-style submissions render unchanged.
+        if let Some(tenant) = &self.tenant {
+            pairs.push(("tenant", Json::from(tenant.as_str())));
+        }
+        if self.priority != 0 {
+            pairs.push(("priority", Json::from(self.priority as u64)));
+        }
+        if let Some(deadline) = self.deadline_ms {
+            pairs.push(("deadline_ms", Json::from(deadline)));
+        }
+        if self.check != CheckMode::Explicit {
+            pairs.push(("check", Json::from(self.check.name())));
         }
         Json::obj(pairs)
     }
@@ -214,6 +289,18 @@ impl JobSpec {
                 },
             }),
         };
+        let tenant = match v.get("tenant") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(t.as_str().ok_or("tenant must be a string")?.to_string()),
+        };
+        let deadline_ms = match v.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(j.as_u64().ok_or("deadline_ms must be a u64")?),
+        };
+        let check = match v.get("check") {
+            None | Some(Json::Null) => CheckMode::Explicit,
+            Some(j) => CheckMode::parse(j.as_str().ok_or("check must be a string")?)?,
+        };
         Ok(JobSpec {
             op,
             n: u64_field("n", d.n)?,
@@ -225,6 +312,10 @@ impl JobSpec {
             log2_rhat: u32_field("log2_rhat", d.log2_rhat)?,
             max_retries: u32_field("max_retries", d.max_retries)?,
             fault,
+            tenant,
+            priority: u32_field("priority", 0)?,
+            deadline_ms,
+            check,
         })
     }
 }
@@ -255,6 +346,16 @@ impl Wire for JobSpec {
             fault.kind.write(buf);
             fault.seed.write(buf);
         }
+        self.tenant.is_some().write(buf);
+        if let Some(tenant) = &self.tenant {
+            tenant.write(buf);
+        }
+        self.priority.write(buf);
+        self.deadline_ms.is_some().write(buf);
+        if let Some(deadline) = self.deadline_ms {
+            deadline.write(buf);
+        }
+        matches!(self.check, CheckMode::Adaptive).write(buf);
     }
 
     fn read(input: &mut &[u8]) -> Option<Self> {
@@ -274,6 +375,22 @@ impl Wire for JobSpec {
         } else {
             None
         };
+        let tenant = if bool::read(input)? {
+            Some(String::read(input)?)
+        } else {
+            None
+        };
+        let priority = u32::read(input)?;
+        let deadline_ms = if bool::read(input)? {
+            Some(u64::read(input)?)
+        } else {
+            None
+        };
+        let check = if bool::read(input)? {
+            CheckMode::Adaptive
+        } else {
+            CheckMode::Explicit
+        };
         Some(JobSpec {
             op,
             n,
@@ -285,11 +402,24 @@ impl Wire for JobSpec {
             log2_rhat,
             max_retries,
             fault,
+            tenant,
+            priority,
+            deadline_ms,
+            check,
         })
     }
 
     fn wire_size(&self) -> usize {
-        1 + 4 * 8 + 4 * 4 + 1 + self.fault.as_ref().map_or(0, |f| f.kind.wire_size() + 8)
+        1 + 4 * 8
+            + 4 * 4
+            + 1
+            + self.fault.as_ref().map_or(0, |f| f.kind.wire_size() + 8)
+            + 1
+            + self.tenant.as_ref().map_or(0, |t| t.wire_size())
+            + 4
+            + 1
+            + self.deadline_ms.map_or(0, |_| 8)
+            + 1
     }
 }
 
@@ -342,6 +472,21 @@ pub struct ReceiptComm {
     pub max_rounds: u64,
 }
 
+/// The checker configuration a job actually ran with — the spec's own
+/// values for `CheckMode::Explicit`, or the scheduler's tuner pick for
+/// `CheckMode::Adaptive` (how clients observe the adaptive ladder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckUsed {
+    /// Checker iterations the job ran with.
+    pub iterations: u32,
+    /// Sum-checker bucket count the job ran with.
+    pub buckets: u32,
+    /// Sum-checker `log₂ r̂` the job ran with.
+    pub log2_rhat: u32,
+    /// Whether the config was tuner-chosen.
+    pub adaptive: bool,
+}
+
 /// The verdict receipt a client gets back for a completed job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Receipt {
@@ -349,8 +494,17 @@ pub struct Receipt {
     pub job_id: u64,
     /// The operation that ran.
     pub op: JobOp,
+    /// The tenant the job was submitted under, if any.
+    pub tenant: Option<String>,
+    /// 1-based position in the world's admission order (0 when the job
+    /// ran standalone, outside a service). Lets clients and tests
+    /// observe scheduling decisions: a job admitted ahead of
+    /// earlier-submitted ones has a smaller `admit_seq`.
+    pub admit_seq: u64,
     /// How the check concluded.
     pub verdict: Verdict,
+    /// The checker configuration the job actually ran with.
+    pub check: CheckUsed,
     /// Digest of the delivered output, invariant under sharding (how
     /// the output is split across PEs), so clients can compare runs.
     /// For `reduce` it is order-insensitive (the output is a multiset);
@@ -373,6 +527,7 @@ impl Receipt {
         let mut pairs: Vec<(&'static str, Json)> = vec![
             ("job_id", Json::from(self.job_id)),
             ("op", Json::from(self.op.name())),
+            ("admit_seq", Json::from(self.admit_seq)),
             ("verdict", Json::from(self.verdict.name())),
             (
                 "retries",
@@ -387,6 +542,18 @@ impl Receipt {
             ("output_elems", Json::from(self.output_elems)),
             ("wall_ms", Json::from(self.wall_ms)),
         ];
+        if let Some(tenant) = &self.tenant {
+            pairs.push(("tenant", Json::from(tenant.as_str())));
+        }
+        pairs.push((
+            "check",
+            Json::obj([
+                ("iterations", Json::from(self.check.iterations as u64)),
+                ("buckets", Json::from(self.check.buckets as u64)),
+                ("log2_rhat", Json::from(self.check.log2_rhat as u64)),
+                ("adaptive", Json::Bool(self.check.adaptive)),
+            ]),
+        ));
         if let Some(comm) = &self.comm {
             pairs.push((
                 "comm",
@@ -431,6 +598,23 @@ impl Receipt {
                 })
             }
         };
+        // Optional for protocol compatibility with pre-scheduler receipts.
+        let check = match v.get("check") {
+            None | Some(Json::Null) => CheckUsed::default(),
+            Some(c) => {
+                let sub = |key: &str| -> Result<u64, String> {
+                    c.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("receipt check missing {key}"))
+                };
+                CheckUsed {
+                    iterations: sub("iterations")? as u32,
+                    buckets: sub("buckets")? as u32,
+                    log2_rhat: sub("log2_rhat")? as u32,
+                    adaptive: c.get("adaptive").and_then(Json::as_bool).unwrap_or(false),
+                }
+            }
+        };
         Ok(Receipt {
             job_id: field("job_id")?,
             op: JobOp::parse(
@@ -438,7 +622,13 @@ impl Receipt {
                     .and_then(Json::as_str)
                     .ok_or("receipt missing op")?,
             )?,
+            tenant: match v.get("tenant") {
+                None | Some(Json::Null) => None,
+                Some(t) => Some(t.as_str().ok_or("tenant must be a string")?.to_string()),
+            },
+            admit_seq: v.get("admit_seq").and_then(Json::as_u64).unwrap_or(0),
             verdict,
+            check,
             digest: field("digest")?,
             elems: field("elems")?,
             output_elems: field("output_elems")?,
@@ -506,6 +696,10 @@ pub enum JobStatus {
     Running,
     /// Complete, receipt available.
     Done(Receipt),
+    /// Accepted but never run: the scheduler refused it while queued
+    /// (e.g. its admission deadline expired). The reason carries a
+    /// retry hint.
+    Refused(String),
 }
 
 impl JobStatus {
@@ -515,6 +709,7 @@ impl JobStatus {
             JobStatus::Queued => "queued",
             JobStatus::Running => "running",
             JobStatus::Done(_) => "done",
+            JobStatus::Refused(_) => "refused",
         }
     }
 }
@@ -541,6 +736,10 @@ mod tests {
                     kind: "dupneighbor".into(),
                     seed: 7,
                 }),
+                tenant: Some("team-a".into()),
+                priority: 7,
+                deadline_ms: Some(2_500),
+                check: CheckMode::Adaptive,
             },
             JobSpec {
                 op: JobOp::Zip,
@@ -549,6 +748,11 @@ mod tests {
                     kind: "swappairs".into(),
                     seed: 0,
                 }),
+                ..JobSpec::default()
+            },
+            JobSpec {
+                tenant: Some("b".into()),
+                deadline_ms: Some(0),
                 ..JobSpec::default()
             },
         ]
@@ -581,6 +785,21 @@ mod tests {
         assert_eq!(spec.n, 42);
         assert_eq!(spec.iterations, JobSpec::default().iterations);
         assert_eq!(spec.fault, None);
+        // Absent scheduling fields decode to the PR-4 semantics.
+        assert_eq!(spec.tenant, None);
+        assert_eq!(spec.priority, 0);
+        assert_eq!(spec.deadline_ms, None);
+        assert_eq!(spec.check, CheckMode::Explicit);
+    }
+
+    #[test]
+    fn default_spec_json_has_no_scheduling_fields() {
+        // PR-4-shape submissions render identically: the scheduling
+        // fields appear only when set.
+        let rendered = JobSpec::default().to_json().render();
+        for key in ["tenant", "priority", "deadline_ms", "check"] {
+            assert!(!rendered.contains(key), "{key} leaked into {rendered}");
+        }
     }
 
     #[test]
@@ -632,6 +851,22 @@ mod tests {
                 keys: 1 << 30,
                 ..JobSpec::default()
             },
+            JobSpec {
+                tenant: Some("".into()),
+                ..JobSpec::default()
+            },
+            JobSpec {
+                tenant: Some("has space".into()),
+                ..JobSpec::default()
+            },
+            JobSpec {
+                tenant: Some("x".repeat(65)),
+                ..JobSpec::default()
+            },
+            JobSpec {
+                priority: 1_000_001,
+                ..JobSpec::default()
+            },
         ];
         for spec in bad {
             assert!(spec.validate().is_err(), "{spec:?}");
@@ -668,7 +903,15 @@ mod tests {
         let receipt = Receipt {
             job_id: 9,
             op: JobOp::Reduce,
+            tenant: Some("team-a".into()),
+            admit_seq: 4,
             verdict: Verdict::VerifiedAfterRetry(2),
+            check: CheckUsed {
+                iterations: 4,
+                buckets: 16,
+                log2_rhat: 9,
+                adaptive: true,
+            },
             digest: 0xDEAD_BEEF_CAFE,
             elems: 1_000_000,
             output_elems: 999,
@@ -685,6 +928,7 @@ mod tests {
 
         let bare = Receipt {
             comm: None,
+            tenant: None,
             verdict: Verdict::Rejected,
             ..receipt
         };

@@ -17,7 +17,8 @@
 //! |---|---|
 //! | [`job`] | [`job::JobSpec`] / [`job::Receipt`] / control-plane messages |
 //! | [`exec`] | job execution: spec → receipt, same code under the service and standalone |
-//! | [`daemon`] | the SPMD service loop, PE-0 scheduler, client listener |
+//! | [`sched`] | the policy-driven scheduler: [`sched::SchedPolicy`] (FIFO / priority-aging / deadline-WFQ), tenant quotas, work stealing, adaptive checker tuning |
+//! | [`daemon`] | the SPMD service loop, PE-0 admission, client listener |
 //! | [`client`] | blocking line-JSON client ([`client::ServiceClient`]) |
 //! | [`json`] | the minimal offline JSON codec behind the protocol |
 //!
@@ -30,7 +31,8 @@
 //! ## Protocol (line-delimited JSON over TCP to PE 0)
 //!
 //! ```text
-//! → {"cmd":"submit","job":{"op":"reduce","n":1000000,"keys":10000,"seed":7}}
+//! → {"cmd":"submit","job":{"op":"reduce","n":1000000,"keys":10000,"seed":7,
+//!     "tenant":"team-a","priority":3,"deadline_ms":5000,"check":"adaptive"}}
 //! ← {"ok":true,"id":1,"status":"queued"}
 //! → {"cmd":"wait","id":1}
 //! ← {"ok":true,"id":1,"status":"done","receipt":{"verdict":"verified",
@@ -53,8 +55,12 @@ pub mod daemon;
 pub mod exec;
 pub mod job;
 pub mod json;
+pub mod sched;
 
 pub use client::{ServiceClient, ServiceError};
-pub use daemon::{run_service, run_service_world, ServiceConfig, ServiceSummary};
+pub use daemon::{run_service, run_service_world, ServiceConfig, ServiceSummary, TenantAgg};
 pub use exec::execute_job;
-pub use job::{FaultSpec, JobOp, JobSpec, JobStatus, Receipt, ReceiptComm, Verdict};
+pub use job::{
+    CheckMode, CheckUsed, FaultSpec, JobOp, JobSpec, JobStatus, Receipt, ReceiptComm, Verdict,
+};
+pub use sched::{PolicyCfg, SchedCore, SchedPolicy};

@@ -1,0 +1,34 @@
+//! `ccheck-sched` — the policy-driven job scheduler.
+//!
+//! PR 4's daemon admitted jobs FIFO into fixed slots. This module is
+//! the step from "a runtime that runs jobs" to "a system that decides
+//! what to run and how hard to check it":
+//!
+//! * [`policy`] — the [`policy::SchedPolicy`] trait and the three
+//!   shipped policies: [`policy::Fifo`] (exact PR-4 behavior, the
+//!   default), [`policy::PriorityAging`] (strict priority, aging
+//!   prevents starvation), and [`policy::DeadlineWfq`] (EDF within
+//!   weighted fair queueing across tenants, with quotas and work
+//!   stealing).
+//! * [`queue`] — [`queue::SchedCore`], the deterministic state machine
+//!   PE 0 drives: enqueue/refuse with retry hints, deadline expiry,
+//!   admission picks, receipt feedback.
+//! * [`tenant`] — per-tenant quotas, inflight/queue accounting, and
+//!   the WFQ virtual clock (receipt-driven cost EWMA).
+//! * [`tuner`] — the per-tenant [`tuner::AdaptiveTuner`] that picks
+//!   `(its, b, r̂)` from observed verdicts for
+//!   [`crate::job::CheckMode::Adaptive`] jobs.
+//!
+//! Determinism is inherited from the PR-4 control plane: only PE 0
+//! holds scheduler state, and every decision reaches the other PEs as
+//! a broadcast `CtlMsg::Admit` carrying the fully resolved spec.
+
+pub mod policy;
+pub mod queue;
+pub mod tenant;
+pub mod tuner;
+
+pub use policy::{DeadlineWfq, Fifo, Pick, PolicyCfg, PriorityAging, SchedPolicy};
+pub use queue::{Admission, QueuedJob, Refusal, SchedCore, MAX_TENANTS};
+pub use tenant::{TenantState, TenantTable, DEFAULT_TENANT};
+pub use tuner::{AdaptiveTuner, TunerState, LADDER, RELAX_AFTER, START_LEVEL};

@@ -1,0 +1,214 @@
+//! Per-tenant scheduling state: quotas, inflight/queue accounting, and
+//! the weighted-fair-queueing virtual clock.
+//!
+//! Every queued or running job belongs to exactly one tenant (jobs
+//! without a [`crate::JobSpec::tenant`] share the anonymous default
+//! tenant, keyed `""`). The table is the single source of truth the
+//! policies read — and, for the WFQ virtual times, write — when they
+//! decide which job gets a freed slot.
+
+use std::collections::BTreeMap;
+
+/// Key of the anonymous default tenant (jobs submitted without one).
+pub const DEFAULT_TENANT: &str = "";
+
+/// Nominal per-job cost (bytes) charged to a tenant's WFQ virtual time
+/// until its first receipt arrives and the EWMA takes over.
+pub const NOMINAL_JOB_COST: u64 = 100_000;
+
+/// One tenant's live scheduling state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantState {
+    /// Jobs accepted but not yet admitted to a slot.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub inflight: usize,
+    /// Total jobs admitted over the service lifetime.
+    pub admitted: u64,
+    /// Total jobs completed over the service lifetime.
+    pub completed: u64,
+    /// Weighted-fair-queueing virtual time: advanced by
+    /// `cost / weight` on every admission; the tenant with the
+    /// smallest value is the most underserved and goes next.
+    pub vtime: u64,
+    /// EWMA of per-job total communication bytes from this tenant's
+    /// receipts — the receipt-driven cost signal that prices future
+    /// admissions (a tenant running heavy jobs burns vtime faster).
+    pub cost_ewma: u64,
+    /// WFQ weight: a weight-2 tenant accrues vtime half as fast and so
+    /// receives twice the share of a weight-1 tenant.
+    pub weight: u64,
+}
+
+impl Default for TenantState {
+    fn default() -> Self {
+        TenantState {
+            queued: 0,
+            inflight: 0,
+            admitted: 0,
+            completed: 0,
+            vtime: 0,
+            cost_ewma: NOMINAL_JOB_COST,
+            weight: 1,
+        }
+    }
+}
+
+/// All tenants this service has seen, in deterministic (sorted) order.
+#[derive(Debug, Default)]
+pub struct TenantTable {
+    map: BTreeMap<String, TenantState>,
+}
+
+impl TenantTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        TenantTable::default()
+    }
+
+    /// Number of distinct tenants seen.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no tenant has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `tenant` already has an entry.
+    pub fn contains(&self, tenant: &str) -> bool {
+        self.map.contains_key(tenant)
+    }
+
+    /// Read one tenant's state (default state if never seen).
+    pub fn get(&self, tenant: &str) -> TenantState {
+        self.map.get(tenant).cloned().unwrap_or_default()
+    }
+
+    /// Mutable entry for one tenant, created on first use.
+    pub fn state_mut(&mut self, tenant: &str) -> &mut TenantState {
+        self.map.entry(tenant.to_string()).or_default()
+    }
+
+    /// Set a tenant's WFQ weight (≥ 1; 0 is clamped to 1).
+    pub fn set_weight(&mut self, tenant: &str, weight: u64) {
+        self.state_mut(tenant).weight = weight.max(1);
+    }
+
+    /// Iterate `(tenant, state)` in sorted tenant order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TenantState)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The smallest virtual time among tenants with work (queued or
+    /// inflight). A tenant going active again catches up to this floor,
+    /// so credit hoarded while idle cannot starve everyone else — the
+    /// standard WFQ virtual-clock reset.
+    pub fn active_vtime_floor(&self) -> u64 {
+        self.map
+            .values()
+            .filter(|s| s.queued > 0 || s.inflight > 0)
+            .map(|s| s.vtime)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Account a newly accepted job: the tenant's queue count grows and
+    /// an idle tenant's virtual clock catches up to the active floor.
+    pub fn note_enqueued(&mut self, tenant: &str) {
+        let floor = self.active_vtime_floor();
+        let state = self.state_mut(tenant);
+        if state.queued == 0 && state.inflight == 0 {
+            state.vtime = state.vtime.max(floor);
+        }
+        state.queued += 1;
+    }
+
+    /// Account a queued job leaving the queue without running (deadline
+    /// refusal).
+    pub fn note_dropped(&mut self, tenant: &str) {
+        let state = self.state_mut(tenant);
+        state.queued = state.queued.saturating_sub(1);
+    }
+
+    /// Account an admission: queued → inflight.
+    pub fn note_admitted(&mut self, tenant: &str) {
+        let state = self.state_mut(tenant);
+        state.queued = state.queued.saturating_sub(1);
+        state.inflight += 1;
+        state.admitted += 1;
+    }
+
+    /// Account a completion, folding the receipt's communication volume
+    /// into the tenant's cost EWMA (3:1 old:new — smooth but responsive).
+    pub fn note_completed(&mut self, tenant: &str, cost_bytes: u64) {
+        let state = self.state_mut(tenant);
+        state.inflight = state.inflight.saturating_sub(1);
+        state.completed += 1;
+        if cost_bytes > 0 {
+            state.cost_ewma = (3 * state.cost_ewma + cost_bytes) / 4;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_counts() {
+        let mut t = TenantTable::new();
+        t.note_enqueued("a");
+        t.note_enqueued("a");
+        assert_eq!(t.get("a").queued, 2);
+        t.note_admitted("a");
+        assert_eq!(t.get("a").queued, 1);
+        assert_eq!(t.get("a").inflight, 1);
+        assert_eq!(t.get("a").admitted, 1);
+        t.note_completed("a", 4_000);
+        assert_eq!(t.get("a").inflight, 0);
+        assert_eq!(t.get("a").completed, 1);
+        t.note_dropped("a");
+        assert_eq!(t.get("a").queued, 0);
+    }
+
+    #[test]
+    fn cost_ewma_tracks_receipts() {
+        let mut t = TenantTable::new();
+        let start = t.get("a").cost_ewma;
+        t.note_enqueued("a");
+        t.note_admitted("a");
+        t.note_completed("a", start * 9); // much heavier than nominal
+        assert!(t.get("a").cost_ewma > start);
+        // Zero-byte signal (no comm block) leaves the estimate alone.
+        let before = t.get("a").cost_ewma;
+        t.note_completed("a", 0);
+        assert_eq!(t.get("a").cost_ewma, before);
+    }
+
+    #[test]
+    fn idle_tenant_catches_up_to_active_floor() {
+        let mut t = TenantTable::new();
+        t.note_enqueued("busy");
+        t.state_mut("busy").vtime = 1_000;
+        // "idle" has hoarded no vtime; on activation it jumps to the
+        // floor of active tenants instead of starving "busy".
+        t.note_enqueued("idle");
+        assert_eq!(t.get("idle").vtime, 1_000);
+        // But an already-active tenant is never rewound.
+        t.state_mut("idle").vtime = 5_000;
+        t.note_enqueued("idle");
+        assert_eq!(t.get("idle").vtime, 5_000);
+    }
+
+    #[test]
+    fn deterministic_sorted_iteration() {
+        let mut t = TenantTable::new();
+        for name in ["zeta", "alpha", "mid"] {
+            t.note_enqueued(name);
+        }
+        let names: Vec<&str> = t.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

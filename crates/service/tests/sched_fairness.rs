@@ -1,0 +1,365 @@
+//! Scheduler fairness properties, under arbitrary mixed-tenant /
+//! priority / deadline submission interleavings against a saturated
+//! queue:
+//!
+//! (a) **No starvation under `PriorityAging`** — every accepted job is
+//!     eventually admitted, and a job is never overtaken by a
+//!     later-submitted job of equal-or-lower priority (aging only ever
+//!     widens an earlier job's lead).
+//! (b) **Quota enforcement under `DeadlineWfq`** — no tenant exceeds
+//!     its inflight quota or queue share while others queue (stealing
+//!     off), and a free slot never sits idle while an under-quota
+//!     tenant has work (work conservation).
+//! (c) **`Fifo` is byte-identical to the PR-4 serial baselines** on
+//!     both transports, even when the new scheduling fields ride along
+//!     on the spec.
+//!
+//! (a) and (b) drive the production [`SchedCore`] directly with a
+//! simulated clock — the same state machine PE 0's daemon runs, minus
+//! the worlds — so the interleavings are genuinely arbitrary *and*
+//! deterministic. (c) spins up real service worlds.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use ccheck_net::Backend;
+use ccheck_service::sched::{PolicyCfg, SchedCore};
+use ccheck_service::{
+    execute_job, run_service_world, CheckUsed, JobOp, JobSpec, Receipt, ReceiptComm, ServiceClient,
+    ServiceConfig, Verdict,
+};
+use proptest::prelude::*;
+
+/// Minimal receipt for feeding completions back into a simulated core.
+fn receipt_for(job: &JobSpec, job_id: u64) -> Receipt {
+    Receipt {
+        job_id,
+        op: job.op,
+        tenant: job.tenant.clone(),
+        admit_seq: 0,
+        verdict: Verdict::Verified,
+        check: CheckUsed::default(),
+        digest: 0,
+        elems: job.n,
+        output_elems: 0,
+        wall_ms: 20,
+        comm: Some(ReceiptComm {
+            total_bytes: 10_000,
+            ..ReceiptComm::default()
+        }),
+    }
+}
+
+fn spec_of(priority: u32, tenant_sel: u8, deadline_sel: u8) -> JobSpec {
+    JobSpec {
+        n: 1_000,
+        tenant: Some(format!("t{}", tenant_sel % 4)),
+        priority,
+        // A sprinkling of deadlines, all far enough out that only the
+        // (b) saturation scenarios can expire them.
+        deadline_ms: match deadline_sel % 4 {
+            0 => Some(5_000),
+            1 => Some(50_000),
+            _ => None,
+        },
+        ..JobSpec::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a) PriorityAging: drive an arbitrary interleaving of enqueues,
+    /// admissions, and completions over a 2-slot core; every accepted
+    /// job runs, and admission order never inverts (earlier, ≥-priority
+    /// job admitted after a later, ≤-priority one).
+    #[test]
+    fn priority_aging_never_starves_or_inverts(
+        jobs in prop::collection::vec((0u32..6, 0u8..4, 0u8..4, 0u64..40, 0u8..4), 3..=24),
+    ) {
+        let max_inflight = 2;
+        let mut core = SchedCore::new(
+            &PolicyCfg::PriorityAging { aging_ms: 50 },
+            1_000,
+            max_inflight,
+        );
+        let mut now = 0u64;
+        let mut running: Vec<(u64, JobSpec)> = Vec::new();
+        let mut admitted: Vec<u64> = Vec::new();
+        let mut submitted: Vec<(u64, u32)> = Vec::new(); // (id, priority) in enqueue order
+
+        let admit_and_maybe_complete = |core: &mut SchedCore,
+                                            now: &mut u64,
+                                            running: &mut Vec<(u64, JobSpec)>,
+                                            admitted: &mut Vec<u64>,
+                                            complete: bool| {
+            while running.len() < max_inflight {
+                match core.pick(*now) {
+                    Some(adm) => {
+                        admitted.push(adm.job_id);
+                        running.push((adm.job_id, adm.spec));
+                    }
+                    None => break,
+                }
+            }
+            if complete && !running.is_empty() {
+                let (id, spec) = running.remove(0);
+                core.complete(&receipt_for(&spec, id));
+                *now += 10;
+            }
+        };
+
+        for (i, &(priority, tenant_sel, deadline_sel, gap_ms, interleave)) in
+            jobs.iter().enumerate()
+        {
+            now += gap_ms;
+            let id = i as u64 + 1;
+            let spec = spec_of(priority, tenant_sel, deadline_sel);
+            core.try_enqueue(now, id, spec).expect("queue is deep enough");
+            submitted.push((id, priority));
+            // Arbitrary interleaving: sometimes admit/complete between
+            // submissions, sometimes let the queue saturate.
+            if interleave == 0 {
+                admit_and_maybe_complete(&mut core, &mut now, &mut running, &mut admitted, true);
+            } else if interleave == 1 {
+                admit_and_maybe_complete(&mut core, &mut now, &mut running, &mut admitted, false);
+            }
+        }
+        // Drain: every accepted job must eventually run (no starvation).
+        let mut steps = 0;
+        while !core.queue_is_empty() || !running.is_empty() {
+            admit_and_maybe_complete(&mut core, &mut now, &mut running, &mut admitted, true);
+            steps += 1;
+            prop_assert!(steps < 10_000, "drain loop did not terminate");
+        }
+        prop_assert_eq!(admitted.len(), submitted.len());
+
+        // No inversion: if X was submitted before Y with priority(X) >=
+        // priority(Y), X is admitted first — aging can only widen X's
+        // lead, and ties break toward the earlier submission.
+        let position: HashMap<u64, usize> = admitted
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, pos))
+            .collect();
+        for (xi, &(x_id, x_prio)) in submitted.iter().enumerate() {
+            for &(y_id, y_prio) in &submitted[xi + 1..] {
+                if x_prio >= y_prio {
+                    prop_assert!(
+                        position[&x_id] < position[&y_id],
+                        "job {} (prio {}) overtaken by later job {} (prio {})",
+                        x_id, x_prio, y_id, y_prio
+                    );
+                }
+            }
+        }
+    }
+
+    /// (b) DeadlineWfq with stealing off: tenant quotas hold at every
+    /// step of an arbitrary interleaving, queue shares are enforced at
+    /// admission, and slots never idle while an under-quota tenant has
+    /// work.
+    #[test]
+    fn deadline_wfq_enforces_quotas_and_conserves_work(
+        jobs in prop::collection::vec((0u32..6, 0u8..4, 0u8..4, 0u64..40, 0u8..4), 3..=24),
+        tenant_max_inflight in 1usize..3,
+    ) {
+        let queue_cap = 12;
+        let share_pct = 50u32;
+        let max_inflight = 3;
+        let mut core = SchedCore::new(
+            &PolicyCfg::DeadlineWfq {
+                tenant_max_inflight,
+                tenant_queue_share_pct: share_pct,
+                steal: false,
+                weights: vec![("t0".into(), 2)],
+            },
+            queue_cap,
+            max_inflight,
+        );
+        let mut now = 0u64;
+        let mut running: Vec<(u64, JobSpec)> = Vec::new();
+        let mut accepted = 0usize;
+        let mut ran = 0usize;
+        let share_cap = (queue_cap * share_pct as usize / 100).max(1);
+
+        let step = |core: &mut SchedCore,
+                        now: &mut u64,
+                        running: &mut Vec<(u64, JobSpec)>,
+                        ran: &mut usize,
+                        complete: bool|
+         -> Result<(), TestCaseError> {
+            core.take_expired(*now);
+            while running.len() < max_inflight {
+                match core.pick(*now) {
+                    Some(adm) => {
+                        *ran += 1;
+                        running.push((adm.job_id, adm.spec));
+                    }
+                    None => {
+                        // Work conservation: an empty pick is only legal
+                        // when every tenant with queued work is at quota.
+                        for (tenant, state) in core.tenants().iter() {
+                            prop_assert!(
+                                state.queued == 0 || state.inflight >= tenant_max_inflight,
+                                "slot idle while tenant {tenant:?} is under quota"
+                            );
+                        }
+                        break;
+                    }
+                }
+            }
+            // The quota invariant, after every admission round.
+            for (tenant, state) in core.tenants().iter() {
+                prop_assert!(
+                    state.inflight <= tenant_max_inflight,
+                    "tenant {tenant:?} exceeds its inflight quota"
+                );
+                prop_assert!(
+                    state.queued <= share_cap,
+                    "tenant {tenant:?} exceeds its queue share"
+                );
+            }
+            if complete && !running.is_empty() {
+                let (id, spec) = running.remove(0);
+                core.complete(&receipt_for(&spec, id));
+                *now += 10;
+            }
+            Ok(())
+        };
+
+        for (i, &(priority, tenant_sel, deadline_sel, gap_ms, interleave)) in
+            jobs.iter().enumerate()
+        {
+            now += gap_ms;
+            let spec = spec_of(priority, tenant_sel, deadline_sel);
+            match core.try_enqueue(now, i as u64 + 1, spec) {
+                Ok(()) => accepted += 1,
+                Err(refusal) => {
+                    // Per-tenant queue shares or the saturated global
+                    // cap; either way a busy refusal under a scheduling
+                    // policy must carry the retry hint.
+                    prop_assert!(
+                        refusal.message.contains("queue share")
+                            || refusal.message.contains("queue is full"),
+                        "{}",
+                        refusal.message
+                    );
+                    prop_assert!(refusal.retry_after_ms.is_some());
+                }
+            }
+            if interleave <= 1 {
+                step(&mut core, &mut now, &mut running, &mut ran, interleave == 0)?;
+            }
+        }
+        let mut steps = 0;
+        while !core.queue_is_empty() || !running.is_empty() {
+            step(&mut core, &mut now, &mut running, &mut ran, true)?;
+            steps += 1;
+            prop_assert!(steps < 10_000, "drain loop did not terminate");
+        }
+        // Stealing off: nothing ever ran over quota; every accepted job
+        // either ran or was expired by its deadline.
+        prop_assert_eq!(core.stolen(), 0);
+        prop_assert_eq!(ran as u64 + core.refused(), accepted as u64);
+    }
+}
+
+proptest! {
+    // Each case spins up service worlds on both backends plus one
+    // standalone world per job; keep the case budget small like the
+    // other cross-crate distributed properties.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// (c) The default Fifo policy is PR-4: verdicts, digests, output
+    /// counts, and per-job comm volumes byte-identical to serial
+    /// standalone runs on both transports — scheduling fields on the
+    /// spec ride along without changing anything.
+    #[test]
+    fn fifo_receipts_match_serial_baselines_on_both_transports(
+        jobs in prop::collection::vec((0u8..3, 0u32..5, 0u8..4, 0u64..1000), 2..=3),
+    ) {
+        let p = 3;
+        let specs: Vec<JobSpec> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(op_sel, priority, tenant_sel, seed))| JobSpec {
+                op: match op_sel % 3 {
+                    0 => JobOp::Reduce,
+                    1 => JobOp::Sort,
+                    _ => JobOp::Zip,
+                },
+                n: 900 + 150 * i as u64,
+                keys: 67,
+                seed: seed ^ (i as u64) << 32,
+                iterations: 3,
+                tenant: Some(format!("t{}", tenant_sel % 2)),
+                priority,
+                // Generous deadline: Fifo ignores it entirely, so the
+                // field must be inert.
+                deadline_ms: Some(600_000),
+                ..JobSpec::default()
+            })
+            .collect();
+
+        // Serial ground truth, each job alone on a dedicated world.
+        let serial: Vec<Receipt> = specs
+            .iter()
+            .map(|s| {
+                let s = s.clone();
+                ccheck_net::run(p, move |comm| execute_job(comm, 0, &s))
+                    .into_iter()
+                    .next()
+                    .expect("rank 0")
+            })
+            .collect();
+
+        for backend in [Backend::Local, Backend::TcpLoopback] {
+            let (tx, rx) = mpsc::channel();
+            let cfg = ServiceConfig {
+                announce: Some(tx),
+                max_inflight: specs.len(),
+                policy: PolicyCfg::Fifo,
+                ..ServiceConfig::default()
+            };
+            let world = {
+                let cfg = cfg.clone();
+                std::thread::spawn(move || run_service_world(backend, p, &cfg))
+            };
+            let addr = rx.recv_timeout(Duration::from_secs(30)).expect("address");
+            let concurrent: Vec<Receipt> = std::thread::scope(|scope| {
+                let handles: Vec<_> = specs
+                    .iter()
+                    .map(|spec| {
+                        let spec = spec.clone();
+                        scope.spawn(move || {
+                            let mut client = ServiceClient::connect_with_retry(
+                                &addr.to_string(),
+                                Duration::from_secs(10),
+                            )
+                            .expect("connect");
+                            client.run(&spec).expect("receipt")
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            ServiceClient::connect_with_retry(&addr.to_string(), Duration::from_secs(10))
+                .expect("connect")
+                .shutdown()
+                .expect("shutdown");
+            let summaries = world.join().expect("world exits");
+            prop_assert_eq!(summaries[0].policy, "fifo");
+            prop_assert_eq!(summaries[0].refused, 0);
+
+            for (serial, concurrent) in serial.iter().zip(&concurrent) {
+                prop_assert_eq!(&concurrent.verdict, &serial.verdict);
+                prop_assert_eq!(concurrent.digest, serial.digest);
+                prop_assert_eq!(concurrent.output_elems, serial.output_elems);
+                prop_assert_eq!(&concurrent.comm, &serial.comm);
+                prop_assert_eq!(&concurrent.tenant, &serial.tenant);
+            }
+        }
+    }
+}
