@@ -17,6 +17,9 @@
 //!   prime search for Lipton's polynomial identity check (Lemma 5),
 //! * [`partition`] — the bit-parallel trick of §7.1: evaluate **one** hash
 //!   function and slice its output into many small independent hash values,
+//! * [`sha256`] — FIPS 180-4 SHA-256 for the service's receipt-ledger
+//!   content hashes and per-tenant hash chains (audit-grade, unlike the
+//!   checker-grade hashes above),
 //! * [`traits`] — the seeded [`traits::Hasher`] enum unifying the
 //!   above for the checkers.
 
@@ -25,11 +28,13 @@ pub mod field;
 pub mod gf64;
 pub mod mt19937;
 pub mod partition;
+pub mod sha256;
 pub mod tabulation;
 pub mod traits;
 
 pub use crc32c::{crc32c, Crc32cHash};
 pub use mt19937::{Mt19937, Mt19937_64};
 pub use partition::PartitionedHash;
+pub use sha256::{sha256_hex, Sha256};
 pub use tabulation::{Tab32, Tab64};
 pub use traits::{Hasher, HasherKind};

@@ -214,7 +214,7 @@ impl TcpTransport {
     /// `listener` must already be bound to `peer_addrs[rank]`. The scheme
     /// is deterministic: rank `i` *connects* to every rank `j < i`
     /// (announcing itself with an 8-byte hello) and *accepts* from every
-    /// rank `j > i`. Connection attempts retry until [`CONNECT_TIMEOUT`]
+    /// rank `j > i`. Connection attempts retry until `CONNECT_TIMEOUT`
     /// so process startup order does not matter; use
     /// [`Self::connect_mesh_with_timeout`] for a caller-chosen bound
     /// (the bootstrap path passes the launcher-configured timeout).

@@ -41,6 +41,7 @@ fn usage(problem: &str) -> ! {
          \n\
          usage: ccheck-serve [--transport local|tcp] [--pes N]\n\
          \u{20}                   [--listen ADDR] [--addr-file PATH]\n\
+         \u{20}                   [--ledger PATH]\n\
          \u{20}                   [--max-inflight N] [--queue N]\n\
          \u{20}                   [--policy fifo|priority|deadline-wfq]\n\
          \u{20}                   [--aging-ms MS] [--tenant-inflight N]\n\
@@ -51,6 +52,9 @@ fn usage(problem: &str) -> ! {
          --pes N             PE count for local mode (default 4)\n\
          --listen ADDR       client listener bind address (default 127.0.0.1:0)\n\
          --addr-file PATH    write the bound client address to PATH\n\
+         --ledger PATH       durable receipt ledger (rank 0): hash-chained log,\n\
+         \u{20}                   replayed on restart; resubmitted (tenant, job_id)\n\
+         \u{20}                   pairs are answered without re-running\n\
          --max-inflight N    concurrent jobs (default 4)\n\
          --queue N           submission queue capacity (default 64)\n\
          --policy P          scheduling policy (default fifo = PR-4 behavior)\n\
@@ -95,6 +99,10 @@ fn parse_args() -> Args {
             "--addr-file" => match iter.next() {
                 Some(path) => args.cfg.addr_file = Some(PathBuf::from(path)),
                 None => usage("--addr-file expects a path"),
+            },
+            "--ledger" => match iter.next() {
+                Some(path) => args.cfg.ledger_path = Some(PathBuf::from(path)),
+                None => usage("--ledger expects a path"),
             },
             "--max-inflight" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v > 0 => args.cfg.max_inflight = v,

@@ -20,6 +20,7 @@ use ccheck_service::{CheckMode, FaultSpec, JobSpec, ServiceClient, ServiceError}
 enum Action {
     Submit { wait: bool, expect: Option<String> },
     Poll(u64),
+    Chain(String),
     Shutdown,
 }
 
@@ -32,6 +33,7 @@ fn usage(problem: &str) -> ! {
          actions:\n\
          \u{20} (default)           submit a job; add --wait for the receipt\n\
          \u{20} --poll ID           query one job's status\n\
+         \u{20} --chain TENANT      print a tenant's ledger chain summary\n\
          \u{20} --shutdown          drain and stop the service\n\
          \n\
          job options:\n\
@@ -47,6 +49,9 @@ fn usage(problem: &str) -> ! {
          \u{20} --fault KIND           inject a manipulator fault on PE 0\n\
          \u{20} --fault-seed S         manipulator seed (default 0)\n\
          \u{20} --tenant T             submit under tenant T (fairness, quotas, tuning)\n\
+         \u{20} --job-id N             client-chosen id (N >= 1): resubmitting the same\n\
+         \u{20}                        (tenant, job-id, spec) is deduplicated against the\n\
+         \u{20}                        service's ledger instead of running again\n\
          \u{20} --priority P           scheduling priority (higher runs sooner)\n\
          \u{20} --deadline-ms MS       refuse the job if still queued after MS\n\
          \u{20}                        (needs a non-fifo ccheck-serve --policy;\n\
@@ -57,6 +62,9 @@ fn usage(problem: &str) -> ! {
          \u{20} --wait-timeout SECS    give up waiting after SECS (exit 4, job keeps running)\n\
          \u{20} --expect V             exit 1 unless the verdict is V\n\
          \u{20}                        (verified|retried|fellback|rejected)\n\
+         \u{20} --verify-receipt       after the receipt arrives, re-verify it client-side\n\
+         \u{20}                        against the service's ledger chain (implies --wait;\n\
+         \u{20}                        exit 1 on any hash or chain mismatch)\n\
          \u{20} --timeout SECS         connect timeout (default 30)\n\
          \n\
          busy refusals print the scheduler's retry_after_ms hint and exit 3"
@@ -76,6 +84,7 @@ fn main() {
     let mut fault_seed = 0u64;
     let mut timeout = Duration::from_secs(30);
     let mut wait_timeout: Option<Duration> = None;
+    let mut verify_receipt = false;
 
     let mut iter = std::env::args().skip(1);
     let next_value = |iter: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -93,6 +102,7 @@ fn main() {
                         .unwrap_or_else(|_| usage("--poll expects a job id")),
                 )
             }
+            "--chain" => action = Action::Chain(next_value(&mut iter, "--chain")),
             "--shutdown" => action = Action::Shutdown,
             "--wait" => {
                 if let Action::Submit { wait, .. } = &mut action {
@@ -137,6 +147,9 @@ fn main() {
                 fault_seed = parse_num(&next_value(&mut iter, "--fault-seed"), "--fault-seed")
             }
             "--tenant" => spec.tenant = Some(next_value(&mut iter, "--tenant")),
+            "--job-id" => {
+                spec.job_id = Some(parse_num(&next_value(&mut iter, "--job-id"), "--job-id"))
+            }
             "--priority" => {
                 spec.priority = parse_num(&next_value(&mut iter, "--priority"), "--priority")
                     .try_into()
@@ -149,6 +162,12 @@ fn main() {
                 ))
             }
             "--adaptive" => spec.check = CheckMode::Adaptive,
+            "--verify-receipt" => {
+                verify_receipt = true;
+                if let Action::Submit { wait, .. } = &mut action {
+                    *wait = true;
+                }
+            }
             "--wait-timeout" => {
                 wait_timeout = Some(Duration::from_secs(parse_num(
                     &next_value(&mut iter, "--wait-timeout"),
@@ -191,23 +210,57 @@ fn main() {
                 None => println!("{{\"id\":{id},\"status\":\"{state}\"}}"),
             }
         }
+        Action::Chain(tenant) => {
+            let chain = client.chain(&tenant).unwrap_or_else(|e| fail(&e));
+            if let Err(e) = chain.verify() {
+                eprintln!("ccheck-submit: chain verification failed: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "{{\"ok\":true,\"tenant\":\"{}\",\"head\":\"{}\",\"links\":{}}}",
+                chain.tenant,
+                chain.head,
+                chain.links.len()
+            );
+        }
         Action::Submit { wait, expect } => {
-            let id = client.submit(&spec).unwrap_or_else(|e| fail(&e));
+            let ack = client.submit_acked(&spec).unwrap_or_else(|e| fail(&e));
+            let id = ack.id;
             if !wait {
-                println!("{{\"ok\":true,\"id\":{id},\"status\":\"queued\"}}");
+                let deduped = if ack.deduped { ",\"deduped\":true" } else { "" };
+                println!(
+                    "{{\"ok\":true,\"id\":{id},\"status\":\"{}\"{deduped}}}",
+                    ack.status
+                );
                 return;
             }
-            let receipt = match client.wait_timeout(id, wait_timeout) {
-                Ok(Some(receipt)) => receipt,
-                Ok(None) => {
-                    // The job outlived --wait-timeout; it keeps running —
-                    // poll it later.
-                    println!("{{\"ok\":true,\"id\":{id},\"timed_out\":true}}");
-                    std::process::exit(4);
-                }
-                Err(e) => fail(&e),
+            // A §7 dedupe of completed work hands the stored receipt
+            // back in the acknowledgement — nothing to wait for.
+            let receipt = match ack.receipt {
+                Some(receipt) => receipt,
+                None => match client.wait_timeout(id, wait_timeout) {
+                    Ok(Some(receipt)) => receipt,
+                    Ok(None) => {
+                        // The job outlived --wait-timeout; it keeps running —
+                        // poll it later.
+                        println!("{{\"ok\":true,\"id\":{id},\"timed_out\":true}}");
+                        std::process::exit(4);
+                    }
+                    Err(e) => fail(&e),
+                },
             };
             println!("{}", receipt.to_json().render());
+            if verify_receipt {
+                match client.verify_receipt(&receipt) {
+                    Ok(head) => eprintln!(
+                        "ccheck-submit: receipt verified against ledger chain head {head}"
+                    ),
+                    Err(e) => {
+                        eprintln!("ccheck-submit: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             if let Some(expect) = expect {
                 if receipt.verdict.name() != expect {
                     eprintln!(

@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 
 use crate::job::{JobSpec, Receipt};
 use crate::json::{self, Json};
+use crate::ledger::{chain_hash, GENESIS_HASH};
 
 /// Client-visible failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +58,74 @@ impl std::fmt::Display for ServiceError {
 }
 
 impl std::error::Error for ServiceError {}
+
+/// What the service answered to a submit: the assigned (or adopted) id,
+/// the job's status at acknowledgement time, whether the submission was
+/// answered from already-recorded work (`docs/PROTOCOL.md` §7), and —
+/// for a deduplicated *completed* job — the stored receipt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitAck {
+    /// The job id (service-assigned, or the client's `job_id` verbatim).
+    pub id: u64,
+    /// `"queued"`, or the duplicate's current status.
+    pub status: String,
+    /// True when the service matched an existing `(tenant, job_id)`
+    /// with the same spec fingerprint instead of enqueuing new work.
+    pub deduped: bool,
+    /// The stored receipt, when the duplicate already completed.
+    pub receipt: Option<Receipt>,
+}
+
+/// One entry of a tenant's ledger chain, as reported by the `chain`
+/// command (`docs/PROTOCOL.md` §6.3) — the hashes without the receipt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainLink {
+    /// The ledgered job.
+    pub job_id: u64,
+    /// SHA-256 of the receipt's canonical bytes.
+    pub content_hash: String,
+    /// The tenant's chain head before this entry.
+    pub prev_hash: String,
+}
+
+/// A tenant's full chain summary: every link in append order plus the
+/// advertised head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantChain {
+    /// The tenant key (`""` = the anonymous default tenant).
+    pub tenant: String,
+    /// The advertised chain head ([`GENESIS_HASH`] for an empty chain).
+    pub head: String,
+    /// Links in append order.
+    pub links: Vec<ChainLink>,
+}
+
+impl TenantChain {
+    /// Recompute the chain client-side: the first link must start at
+    /// [`GENESIS_HASH`], each later link's `prev_hash` must equal the
+    /// [`chain_hash`] of its predecessor, and folding [`chain_hash`]
+    /// over every link must land exactly on the advertised head
+    /// (`docs/PROTOCOL.md` §6.3).
+    pub fn verify(&self) -> Result<(), String> {
+        let mut head = GENESIS_HASH.to_string();
+        for (i, link) in self.links.iter().enumerate() {
+            if link.prev_hash != head {
+                return Err(format!(
+                    "link {i} (job {}): prev_hash {} does not match the running head {head}",
+                    link.job_id, link.prev_hash
+                ));
+            }
+            head = chain_hash(&link.prev_hash, &link.content_hash);
+        }
+        if head != self.head {
+            return Err(format!(
+                "advertised head {} does not match the recomputed head {head}",
+                self.head
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// One connection to a running service. Requests are serial per
 /// connection; open several clients for concurrent submissions.
@@ -157,14 +226,145 @@ impl ServiceClient {
 
     /// Submit a job; returns its service-assigned id.
     pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, ServiceError> {
+        self.submit_acked(spec).map(|ack| ack.id)
+    }
+
+    /// Submit a job and return the full acknowledgement — id, status,
+    /// and the §7 dedupe outcome. With a client-supplied
+    /// [`JobSpec::job_id`], a resubmission of already-recorded work
+    /// comes back `deduped: true` (carrying the stored receipt when the
+    /// original completed) instead of running again.
+    pub fn submit_acked(&mut self, spec: &JobSpec) -> Result<SubmitAck, ServiceError> {
         let response = self.request(&Json::obj([
             ("cmd", Json::from("submit")),
             ("job", spec.to_json()),
         ]))?;
-        response
+        let id = response
             .get("id")
             .and_then(Json::as_u64)
-            .ok_or_else(|| ServiceError::Protocol("submit response without id".into()))
+            .ok_or_else(|| ServiceError::Protocol("submit response without id".into()))?;
+        let status = response
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::Protocol("submit response without status".into()))?
+            .to_string();
+        let receipt = match response.get("receipt") {
+            None => None,
+            Some(r) => Some(Receipt::from_json(r).map_err(ServiceError::Protocol)?),
+        };
+        Ok(SubmitAck {
+            id,
+            status,
+            deduped: response.get("deduped").and_then(Json::as_bool) == Some(true),
+            receipt,
+        })
+    }
+
+    /// Fetch a tenant's ledger chain summary (`tenant: ""` = the
+    /// anonymous default tenant). Fails with [`ServiceError::Refused`]
+    /// when the service runs without a ledger.
+    pub fn chain(&mut self, tenant: &str) -> Result<TenantChain, ServiceError> {
+        let response = self.request(&Json::obj([
+            ("cmd", Json::from("chain")),
+            ("tenant", Json::from(tenant)),
+        ]))?;
+        let head = response
+            .get("head")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::Protocol("chain response without head".into()))?
+            .to_string();
+        let raw_links = match response.get("links") {
+            Some(Json::Arr(items)) => items.as_slice(),
+            _ => {
+                return Err(ServiceError::Protocol(
+                    "chain response without links".into(),
+                ))
+            }
+        };
+        let mut links = Vec::with_capacity(raw_links.len());
+        for item in raw_links {
+            let field = |key: &str| {
+                item.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| ServiceError::Protocol(format!("chain link without {key}")))
+            };
+            links.push(ChainLink {
+                job_id: item
+                    .get("job_id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ServiceError::Protocol("chain link without job_id".into()))?,
+                content_hash: field("content_hash")?,
+                prev_hash: field("prev_hash")?,
+            });
+        }
+        Ok(TenantChain {
+            tenant: tenant.to_string(),
+            head,
+            links,
+        })
+    }
+
+    /// Verify a sealed receipt end-to-end, client-side
+    /// (`docs/PROTOCOL.md` §6.2–§6.3): recompute its `content_hash`
+    /// from the canonical bytes, fetch its tenant's chain, check the
+    /// receipt's link appears there with exactly these hashes, and
+    /// recompute the whole chain up to the advertised head. Returns the
+    /// verified head hash — proof the service's ledger still commits to
+    /// this receipt.
+    ///
+    /// ```no_run
+    /// use ccheck_service::{Receipt, ServiceClient};
+    ///
+    /// let mut client = ServiceClient::connect("127.0.0.1:9999")?;
+    /// let receipt = client.wait(1)?;
+    /// let head = client.verify_receipt(&receipt)?;
+    /// assert_eq!(head.len(), 64, "chain heads are hex SHA-256");
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn verify_receipt(&mut self, receipt: &Receipt) -> Result<String, ServiceError> {
+        let verify = |ok: bool, what: String| {
+            if ok {
+                Ok(())
+            } else {
+                Err(ServiceError::Refused(format!(
+                    "receipt verification failed: {what}"
+                )))
+            }
+        };
+        let stored = receipt.content_hash.as_deref().ok_or_else(|| {
+            ServiceError::Refused("receipt verification failed: receipt is not sealed".into())
+        })?;
+        let recomputed = receipt.content_hash();
+        verify(
+            stored == recomputed,
+            format!("content hash {stored} does not match canonical bytes ({recomputed})"),
+        )?;
+        let prev = receipt.prev_hash.as_deref().ok_or_else(|| {
+            ServiceError::Refused("receipt verification failed: receipt has no prev_hash".into())
+        })?;
+        let chain = self.chain(receipt.tenant.as_deref().unwrap_or_default())?;
+        chain
+            .verify()
+            .map_err(|e| ServiceError::Refused(format!("receipt verification failed: {e}")))?;
+        let link = chain
+            .links
+            .iter()
+            .find(|l| l.job_id == receipt.job_id)
+            .ok_or_else(|| {
+                ServiceError::Refused(format!(
+                    "receipt verification failed: job {} is not in the tenant chain",
+                    receipt.job_id
+                ))
+            })?;
+        verify(
+            link.content_hash == recomputed && link.prev_hash == prev,
+            format!(
+                "ledgered link for job {} disagrees with the receipt's hashes",
+                receipt.job_id
+            ),
+        )?;
+        Ok(chain.head)
     }
 
     /// Poll a job's status: `(state, receipt if done)`.

@@ -53,6 +53,7 @@ use ccheck_net::{Backend, Comm, StatsSnapshot};
 use crate::exec::{execute_job, validate_fault};
 use crate::job::{CtlMsg, JobSpec, JobStatus, Receipt, Verdict};
 use crate::json::{self, Json};
+use crate::ledger::Ledger;
 use crate::sched::{PolicyCfg, SchedCore};
 
 /// Service configuration (identical on every PE; the listener fields
@@ -82,6 +83,15 @@ pub struct ServiceConfig {
     /// Which scheduling policy decides slot assignment. The default
     /// [`PolicyCfg::Fifo`] is byte-identical to the PR-4 admission loop.
     pub policy: PolicyCfg,
+    /// If set, rank 0 opens (or creates) the durable receipt ledger at
+    /// this path: completed receipts are sealed into per-tenant hash
+    /// chains and appended to the log, an existing log is replayed on
+    /// startup (restoring fetchable receipts, tenant aggregates, tuner
+    /// rungs, and the id/admission counters), and `(tenant, job_id)`
+    /// resubmissions are answered from the ledger without re-running
+    /// (`docs/PROTOCOL.md` §6–§7). `None` keeps receipts in memory
+    /// only.
+    pub ledger_path: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +104,7 @@ impl Default for ServiceConfig {
             queue_cap: 64,
             receipt_cap: 4096,
             policy: PolicyCfg::Fifo,
+            ledger_path: None,
         }
     }
 }
@@ -196,6 +207,19 @@ struct Frontend {
     receipt_cap: usize,
     /// Per-tenant outcome aggregates (exact across receipt eviction).
     agg: Mutex<BTreeMap<String, TenantAgg>>,
+    /// The durable receipt ledger, when configured. Lock ordering: the
+    /// ledger mutex is always taken alone, never while holding another
+    /// Frontend lock.
+    ledger: Option<Mutex<Ledger>>,
+    /// Live (queued or running) jobs' idempotency keys: job id →
+    /// `(tenant key, spec fingerprint)`. Lets a duplicate submission of
+    /// an in-flight `(tenant, job_id)` be acknowledged instead of
+    /// re-enqueued, and a conflicting one be refused.
+    pending: Mutex<HashMap<u64, (String, String)>>,
+    /// Admission sequence allocator. Starts at the ledger's replayed
+    /// maximum so a restarted world continues the dead world's
+    /// numbering (each Admit broadcasts its sequence number).
+    admit_seq: AtomicU64,
 }
 
 impl Frontend {
@@ -218,9 +242,30 @@ impl Frontend {
         }
     }
 
-    /// Record a completed job: scheduler feedback (tenant accounting,
-    /// adaptive tuner), aggregates, then the client-visible receipt.
-    fn record_done(&self, job_id: u64, receipt: crate::job::Receipt) {
+    /// Record a completed job: seal it into the ledger first (the
+    /// durable record is the authoritative one), then scheduler
+    /// feedback (tenant accounting, adaptive tuner), aggregates, and
+    /// finally the client-visible receipt.
+    fn record_done(&self, job_id: u64, mut receipt: crate::job::Receipt) {
+        // The §7 idempotency key is the *submitted* spec's fingerprint
+        // (recorded at enqueue), not the broadcast spec's — an adaptive
+        // job runs with tuner-resolved knobs, but resubmission dedupe
+        // must match what the client sent.
+        if let Some((_, fingerprint)) = self
+            .pending
+            .lock()
+            .expect("pending poisoned")
+            .remove(&job_id)
+        {
+            receipt.spec_fingerprint = Some(fingerprint);
+        }
+        if let Some(ledger) = &self.ledger {
+            let mut ledger = ledger.lock().expect("ledger poisoned");
+            match ledger.append(receipt.clone()) {
+                Ok(sealed) => receipt = sealed,
+                Err(e) => eprintln!("ccheck-serve: ledger append failed for job {job_id}: {e}"),
+            }
+        }
         self.sched
             .lock()
             .expect("scheduler poisoned")
@@ -240,7 +285,28 @@ impl Frontend {
             let mut agg = self.agg.lock().expect("aggregates poisoned");
             agg.entry(tenant.to_string()).or_default().refused += 1;
         }
+        self.pending
+            .lock()
+            .expect("pending poisoned")
+            .remove(&job_id);
         self.finish(job_id, JobStatus::Refused(reason));
+    }
+
+    /// A job's client-visible status: the live registry first, then the
+    /// ledger — replayed receipts stay fetchable across restarts and
+    /// `receipt_cap` eviction (`docs/PROTOCOL.md` §6.4).
+    fn status_of(&self, job_id: u64) -> Option<JobStatus> {
+        if let Some(status) = self
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .get(&job_id)
+        {
+            return Some(status.clone());
+        }
+        let ledger = self.ledger.as_ref()?;
+        let ledger = ledger.lock().expect("ledger poisoned");
+        ledger.get(job_id).map(|r| JobStatus::Done(r.clone()))
     }
 }
 
@@ -261,18 +327,41 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
     let mut frontend: Option<Arc<Frontend>> = None;
     let mut listener_handle: Option<JoinHandle<()>> = None;
     if rank == 0 {
+        let mut sched = SchedCore::new(&cfg.policy, cfg.queue_cap, cfg.max_inflight);
+        let mut agg: BTreeMap<String, TenantAgg> = BTreeMap::new();
+        // Open and replay the ledger before accepting any client: the
+        // restarted world must resume the dead one's adaptive-tuner
+        // rungs, tenant aggregates, and id/admission numbering exactly
+        // (`docs/PROTOCOL.md` §6.4).
+        let ledger = cfg.ledger_path.as_ref().map(|path| {
+            Ledger::open(path)
+                .unwrap_or_else(|e| panic!("ccheck-serve: cannot open ledger {path:?}: {e}"))
+        });
+        let (mut next_id, mut admit_base) = (1, 0);
+        if let Some(ledger) = &ledger {
+            for receipt in ledger.entries() {
+                let tenant = receipt.tenant.clone().unwrap_or_default();
+                sched.replay_verdict(&tenant, receipt.verdict);
+                agg.entry(tenant).or_default().absorb(receipt);
+            }
+            next_id = ledger.max_job_id() + 1;
+            admit_base = ledger.max_admit_seq();
+        }
         let fe = Arc::new(Frontend {
             registry: Arc::new(Mutex::new(HashMap::new())),
-            sched: Mutex::new(SchedCore::new(&cfg.policy, cfg.queue_cap, cfg.max_inflight)),
+            sched: Mutex::new(sched),
             start: Instant::now(),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(next_id),
             shutdown_requested: AtomicBool::new(false),
             accepting: AtomicBool::new(true),
             submitting: AtomicUsize::new(0),
             stopping: AtomicBool::new(false),
             done_order: Mutex::new(VecDeque::new()),
             receipt_cap: cfg.receipt_cap,
-            agg: Mutex::new(BTreeMap::new()),
+            agg: Mutex::new(agg),
+            ledger: ledger.map(Mutex::new),
+            pending: Mutex::new(HashMap::new()),
+            admit_seq: AtomicU64::new(admit_base),
         });
         listener_handle = Some(spawn_listener(cfg, Arc::clone(&fe)));
         frontend = Some(fe);
@@ -293,7 +382,12 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
         };
         let msg = ctl.broadcast(0, decision);
         match msg {
-            CtlMsg::Admit { job_id, slot, spec } => {
+            CtlMsg::Admit {
+                job_id,
+                slot,
+                seq,
+                spec,
+            } => {
                 let slot_idx = slot as usize;
                 // Reclaim the slot's previous worker (PE 0 only admits
                 // into slots whose job finished globally, so this join
@@ -316,17 +410,16 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
                 let worker_frontend = frontend.clone();
                 let root_stats = mux.stats();
                 let worker_retired = Arc::clone(&retired_scope_bytes);
-                // Every PE increments per Admit, so the admission
-                // sequence number is globally consistent without
-                // traveling on the wire.
                 jobs_run += 1;
-                let admit_seq = jobs_run;
                 let handle = std::thread::Builder::new()
                     .name(format!("ccheck-job-{job_id}"))
                     .spawn(move || {
                         let mut comm = job_comm;
                         let mut receipt = execute_job(&mut comm, job_id, &spec);
-                        receipt.admit_seq = admit_seq;
+                        // The admission sequence travels in the Admit
+                        // broadcast, so a restarted world continues the
+                        // ledger's numbering on every PE.
+                        receipt.admit_seq = seq;
                         // Deregister the scope before signaling done.
                         drop(comm);
                         // The receipt has captured the per-job volumes;
@@ -361,6 +454,11 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
     mux.shutdown();
     if let Some(fe) = &frontend {
         fe.stopping.store(true, Ordering::Release);
+        // Flush the fsync batch: a cleanly drained world leaves every
+        // sealed receipt durable.
+        if let Some(ledger) = &fe.ledger {
+            let _ = ledger.lock().expect("ledger poisoned").sync();
+        }
     }
     if let Some(handle) = listener_handle {
         let _ = handle.join();
@@ -431,6 +529,9 @@ fn next_action(fe: &Arc<Frontend>, slots: &[Option<Slot>]) -> CtlMsg {
             return CtlMsg::Admit {
                 job_id: admission.job_id,
                 slot: free.expect("picked only with a free slot") as u32,
+                // 1-based, continuing past the ledger's replayed
+                // maximum on a restarted world.
+                seq: fe.admit_seq.fetch_add(1, Ordering::AcqRel) + 1,
                 spec: admission.spec,
             };
         }
@@ -591,6 +692,133 @@ fn status_json(id: u64, status: &JobStatus) -> Json {
     Json::obj(pairs)
 }
 
+/// A successful submit acknowledgement; dedupe hits additionally carry
+/// `deduped: true` and (when already complete) the stored receipt.
+fn submit_ack(id: u64, status: &str, deduped: bool, receipt: Option<&Receipt>) -> Json {
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("id", Json::from(id)),
+        ("status", Json::from(status)),
+    ];
+    if deduped {
+        pairs.push(("deduped", Json::Bool(true)));
+    }
+    if let Some(receipt) = receipt {
+        pairs.push(("receipt", receipt.to_json()));
+    }
+    Json::obj(pairs)
+}
+
+/// The submit path, including the `docs/PROTOCOL.md` §7 idempotency
+/// rules for client-supplied job ids: an already-ledgered (or
+/// already-completed) `(tenant, job_id)` with the same spec fingerprint
+/// is answered from the stored receipt with zero re-execution; a live
+/// duplicate is acknowledged at its current status; any id reuse with a
+/// *different* spec is a conflict.
+fn handle_submit(fe: &Arc<Frontend>, spec: JobSpec) -> Json {
+    if !fe.accepting.load(Ordering::Acquire) {
+        return error_json("service is shutting down");
+    }
+    let tenant_key = spec.tenant.clone().unwrap_or_default();
+    let fingerprint = spec.fingerprint();
+
+    let id = match spec.job_id {
+        None => fe.next_id.fetch_add(1, Ordering::AcqRel),
+        Some(requested) => {
+            // Ledgered already? Serve the §7 dedupe (or conflict) from
+            // the durable record.
+            if let Some(ledger) = &fe.ledger {
+                let ledger = ledger.lock().expect("ledger poisoned");
+                if let Some(stored) = ledger.get_tenant_job(&tenant_key, requested) {
+                    if stored.spec_fingerprint.as_deref() == Some(fingerprint.as_str()) {
+                        return submit_ack(requested, "done", true, Some(stored));
+                    }
+                    return error_json(format!(
+                        "job_id {requested} is already ledgered for this tenant \
+                         with a different spec"
+                    ));
+                }
+                if ledger.get(requested).is_some() {
+                    return error_json(format!(
+                        "job_id {requested} is already ledgered under another tenant"
+                    ));
+                }
+            }
+            // Claim the id against concurrent submissions: the pending
+            // map is the single arbiter of live ids.
+            {
+                let mut pending = fe.pending.lock().expect("pending poisoned");
+                if let Some((live_tenant, live_fp)) = pending.get(&requested) {
+                    if *live_tenant == tenant_key && *live_fp == fingerprint {
+                        let status = fe.status_of(requested).map_or("queued", |s| s.name());
+                        return submit_ack(requested, status, true, None);
+                    }
+                    return error_json(format!("job_id {requested} is already in use"));
+                }
+                // A finished (no longer pending) id may still be in the
+                // registry: dedupe completed work, refuse other reuse.
+                match fe
+                    .registry
+                    .lock()
+                    .expect("registry poisoned")
+                    .get(&requested)
+                {
+                    Some(JobStatus::Done(stored)) => {
+                        if stored.spec_fingerprint.as_deref() == Some(fingerprint.as_str()) {
+                            let stored = stored.clone();
+                            return submit_ack(requested, "done", true, Some(&stored));
+                        }
+                        return error_json(format!(
+                            "job_id {requested} already completed with a different spec"
+                        ));
+                    }
+                    Some(_) => {
+                        return error_json(format!(
+                            "job_id {requested} is already in use (resubmit under a new id)"
+                        ));
+                    }
+                    None => {}
+                }
+                pending.insert(requested, (tenant_key.clone(), fingerprint.clone()));
+            }
+            // Keep service-assigned ids above every adopted one.
+            fe.next_id.fetch_max(requested + 1, Ordering::AcqRel);
+            requested
+        }
+    };
+    if spec.job_id.is_none() {
+        fe.pending
+            .lock()
+            .expect("pending poisoned")
+            .insert(id, (tenant_key, fingerprint));
+    }
+    // Mark the job queued *before* the scheduler can hand it to a
+    // worker, so a completed status never gets clobbered by a stale
+    // "queued".
+    fe.registry
+        .lock()
+        .expect("registry poisoned")
+        .insert(id, JobStatus::Queued);
+    let enqueue = fe
+        .sched
+        .lock()
+        .expect("scheduler poisoned")
+        .try_enqueue(fe.now_ms(), id, spec);
+    if let Err(refusal) = enqueue {
+        fe.registry.lock().expect("registry poisoned").remove(&id);
+        fe.pending.lock().expect("pending poisoned").remove(&id);
+        let mut pairs = vec![
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str(refusal.message)),
+        ];
+        if let Some(hint) = refusal.retry_after_ms {
+            pairs.push(("retry_after_ms", Json::from(hint)));
+        }
+        return Json::obj(pairs);
+    }
+    submit_ack(id, "queued", false, None)
+}
+
 fn handle_request(request: &Json, fe: &Arc<Frontend>) -> Json {
     match request.get("cmd").and_then(Json::as_str) {
         Some("submit") => {
@@ -610,48 +838,18 @@ fn handle_request(request: &Json, fe: &Arc<Frontend>) -> Json {
             // this check is guaranteed to be seen by the final queue
             // drain — an acknowledged job is never dropped.
             fe.submitting.fetch_add(1, Ordering::AcqRel);
-            let response = (|| {
-                if !fe.accepting.load(Ordering::Acquire) {
-                    return error_json("service is shutting down");
-                }
-                let id = fe.next_id.fetch_add(1, Ordering::AcqRel);
-                // Mark the job queued *before* the scheduler can hand it
-                // to a worker, so a completed status never gets clobbered
-                // by a stale "queued".
-                fe.registry
-                    .lock()
-                    .expect("registry poisoned")
-                    .insert(id, JobStatus::Queued);
-                let enqueue =
-                    fe.sched
-                        .lock()
-                        .expect("scheduler poisoned")
-                        .try_enqueue(fe.now_ms(), id, spec);
-                if let Err(refusal) = enqueue {
-                    fe.registry.lock().expect("registry poisoned").remove(&id);
-                    let mut pairs = vec![
-                        ("ok", Json::Bool(false)),
-                        ("error", Json::Str(refusal.message)),
-                    ];
-                    if let Some(hint) = refusal.retry_after_ms {
-                        pairs.push(("retry_after_ms", Json::from(hint)));
-                    }
-                    return Json::obj(pairs);
-                }
-                Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("id", Json::from(id)),
-                    ("status", Json::from("queued")),
-                ])
-            })();
+            let response = handle_submit(fe, spec);
             fe.submitting.fetch_sub(1, Ordering::AcqRel);
             response
         }
         Some("poll") => match request.get("id").and_then(Json::as_u64) {
             None => error_json("poll requires an id"),
-            Some(id) => match fe.registry.lock().expect("registry poisoned").get(&id) {
+            // `status_of` falls back to the ledger, so replayed receipts
+            // stay pollable after a restart (and across `receipt_cap`
+            // eviction).
+            Some(id) => match fe.status_of(id) {
                 None => error_json(format!("unknown job id {id}")),
-                Some(status) => status_json(id, status),
+                Some(status) => status_json(id, &status),
             },
         },
         Some("wait") => match request.get("id").and_then(Json::as_u64) {
@@ -665,22 +863,19 @@ fn handle_request(request: &Json, fe: &Arc<Frontend>) -> Json {
                     .and_then(Json::as_u64)
                     .map(|ms| Instant::now() + Duration::from_millis(ms));
                 loop {
-                    {
-                        let registry = fe.registry.lock().expect("registry poisoned");
-                        match registry.get(&id) {
-                            None => break error_json(format!("unknown job id {id}")),
-                            Some(status @ (JobStatus::Done(_) | JobStatus::Refused(_))) => {
-                                break status_json(id, status)
-                            }
-                            Some(status) => {
-                                if deadline.is_some_and(|d| Instant::now() >= d) {
-                                    break Json::obj([
-                                        ("ok", Json::Bool(true)),
-                                        ("id", Json::from(id)),
-                                        ("status", Json::from(status.name())),
-                                        ("timed_out", Json::Bool(true)),
-                                    ]);
-                                }
+                    match fe.status_of(id) {
+                        None => break error_json(format!("unknown job id {id}")),
+                        Some(status @ (JobStatus::Done(_) | JobStatus::Refused(_))) => {
+                            break status_json(id, &status)
+                        }
+                        Some(status) => {
+                            if deadline.is_some_and(|d| Instant::now() >= d) {
+                                break Json::obj([
+                                    ("ok", Json::Bool(true)),
+                                    ("id", Json::from(id)),
+                                    ("status", Json::from(status.name())),
+                                    ("timed_out", Json::Bool(true)),
+                                ]);
                             }
                         }
                     }
@@ -691,11 +886,52 @@ fn handle_request(request: &Json, fe: &Arc<Frontend>) -> Json {
                 }
             }
         },
+        Some("chain") => {
+            // A tenant's ledger chain links, oldest first — everything a
+            // client needs to audit the chain without the receipts
+            // themselves (`docs/PROTOCOL.md` §6.3).
+            let tenant = request
+                .get("tenant")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            match &fe.ledger {
+                None => error_json("service has no ledger (started without --ledger)"),
+                Some(ledger) => {
+                    let ledger = ledger.lock().expect("ledger poisoned");
+                    let links: Vec<Json> = ledger
+                        .chain(&tenant)
+                        .into_iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("job_id", Json::from(r.job_id)),
+                                (
+                                    "content_hash",
+                                    Json::Str(r.content_hash.clone().unwrap_or_default()),
+                                ),
+                                (
+                                    "prev_hash",
+                                    Json::Str(r.prev_hash.clone().unwrap_or_default()),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("tenant", Json::Str(tenant.clone())),
+                        ("head", Json::Str(ledger.head(&tenant))),
+                        ("links", Json::Arr(links)),
+                    ])
+                }
+            }
+        }
         Some("shutdown") => {
             fe.shutdown_requested.store(true, Ordering::Release);
             Json::obj([("ok", Json::Bool(true)), ("status", Json::from("draining"))])
         }
-        other => error_json(format!("unknown cmd {other:?} (submit|poll|wait|shutdown)")),
+        other => error_json(format!(
+            "unknown cmd {other:?} (submit|poll|wait|chain|shutdown)"
+        )),
     }
 }
 

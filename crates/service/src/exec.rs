@@ -175,6 +175,11 @@ pub fn execute_job(comm: &mut Comm, job_id: u64, spec: &JobSpec) -> Receipt {
             total_msgs: s.total_messages(),
             max_rounds: s.max_rounds(),
         }),
+        // Sealing fields (fingerprint + ledger hashes) are stamped by
+        // the daemon when the receipt enters the ledger, never here.
+        spec_fingerprint: None,
+        content_hash: None,
+        prev_hash: None,
     }
 }
 

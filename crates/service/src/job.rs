@@ -132,6 +132,12 @@ pub struct JobSpec {
     pub deadline_ms: Option<u64>,
     /// Whether the checker config is the spec's own or tuner-chosen.
     pub check: CheckMode,
+    /// Client-supplied job id (≥ 1) for idempotent resubmission: the
+    /// service adopts it as the job's id, and a later submission of the
+    /// same `(tenant, job_id)` with an identical spec fingerprint is
+    /// answered from the receipt ledger instead of re-running
+    /// (`docs/PROTOCOL.md` §7). `None` lets the service assign one.
+    pub job_id: Option<u64>,
 }
 
 impl Default for JobSpec {
@@ -151,6 +157,7 @@ impl Default for JobSpec {
             priority: 0,
             deadline_ms: None,
             check: CheckMode::Explicit,
+            job_id: None,
         }
     }
 }
@@ -214,7 +221,23 @@ impl JobSpec {
         if self.priority > 1_000_000 {
             return Err("priority must be at most 1000000".into());
         }
+        if self.job_id == Some(0) {
+            return Err("job_id must be positive (ids are 1-based)".into());
+        }
         Ok(())
+    }
+
+    /// Content fingerprint for idempotent resubmission: the SHA-256 of
+    /// the spec's canonical JSON with the `job_id` member removed, so
+    /// the *same work* under a different client-chosen id fingerprints
+    /// identically, and a conflicting respray of an existing id is
+    /// detectable (`docs/PROTOCOL.md` §7).
+    pub fn fingerprint(&self) -> String {
+        let mut json = self.to_json();
+        if let Json::Obj(map) = &mut json {
+            map.remove("job_id");
+        }
+        ccheck_hashing::sha256_hex(json.render().as_bytes())
     }
 
     /// Encode for the client protocol.
@@ -252,6 +275,9 @@ impl JobSpec {
         }
         if self.check != CheckMode::Explicit {
             pairs.push(("check", Json::from(self.check.name())));
+        }
+        if let Some(job_id) = self.job_id {
+            pairs.push(("job_id", Json::from(job_id)));
         }
         Json::obj(pairs)
     }
@@ -301,6 +327,10 @@ impl JobSpec {
             None | Some(Json::Null) => CheckMode::Explicit,
             Some(j) => CheckMode::parse(j.as_str().ok_or("check must be a string")?)?,
         };
+        let job_id = match v.get("job_id") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(j.as_u64().ok_or("job_id must be a u64")?),
+        };
         Ok(JobSpec {
             op,
             n: u64_field("n", d.n)?,
@@ -316,6 +346,7 @@ impl JobSpec {
             priority: u32_field("priority", 0)?,
             deadline_ms,
             check,
+            job_id,
         })
     }
 }
@@ -356,6 +387,10 @@ impl Wire for JobSpec {
             deadline.write(buf);
         }
         matches!(self.check, CheckMode::Adaptive).write(buf);
+        self.job_id.is_some().write(buf);
+        if let Some(job_id) = self.job_id {
+            job_id.write(buf);
+        }
     }
 
     fn read(input: &mut &[u8]) -> Option<Self> {
@@ -391,6 +426,11 @@ impl Wire for JobSpec {
         } else {
             CheckMode::Explicit
         };
+        let job_id = if bool::read(input)? {
+            Some(u64::read(input)?)
+        } else {
+            None
+        };
         Some(JobSpec {
             op,
             n,
@@ -406,6 +446,7 @@ impl Wire for JobSpec {
             priority,
             deadline_ms,
             check,
+            job_id,
         })
     }
 
@@ -420,6 +461,8 @@ impl Wire for JobSpec {
             + 1
             + self.deadline_ms.map_or(0, |_| 8)
             + 1
+            + 1
+            + self.job_id.map_or(0, |_| 8)
     }
 }
 
@@ -519,6 +562,18 @@ pub struct Receipt {
     pub wall_ms: u64,
     /// Per-job communication volumes (present on PE 0's receipt).
     pub comm: Option<ReceiptComm>,
+    /// SHA-256 (hex) of the spec's canonical JSON (minus `job_id`),
+    /// stamped by the daemon at completion; drives `(tenant, job_id)`
+    /// idempotency (`docs/PROTOCOL.md` §7). `None` outside a service.
+    pub spec_fingerprint: Option<String>,
+    /// SHA-256 (hex) of this receipt's canonical serialization
+    /// (`docs/PROTOCOL.md` §6.2), stamped when the receipt is sealed
+    /// into the ledger. `None` until ledgered.
+    pub content_hash: Option<String>,
+    /// Chain hash of the previous ledgered receipt from the same tenant
+    /// (the all-zeros genesis hash for the tenant's first entry), per
+    /// `docs/PROTOCOL.md` §6.3. `None` until ledgered.
+    pub prev_hash: Option<String>,
 }
 
 impl Receipt {
@@ -565,7 +620,89 @@ impl Receipt {
                 ]),
             ));
         }
+        if let Some(fp) = &self.spec_fingerprint {
+            pairs.push(("spec_fingerprint", Json::from(fp.as_str())));
+        }
+        if let Some(hash) = &self.content_hash {
+            pairs.push(("content_hash", Json::from(hash.as_str())));
+        }
+        if let Some(hash) = &self.prev_hash {
+            pairs.push(("prev_hash", Json::from(hash.as_str())));
+        }
         Json::obj(pairs)
+    }
+
+    /// The receipt's canonical serialization (`docs/PROTOCOL.md` §6.2):
+    /// the single-line JSON rendering with keys in byte-sorted order and
+    /// the `content_hash` / `prev_hash` members removed — exactly the
+    /// bytes the ledger content-hashes. Deterministic: the codec renders
+    /// object keys sorted (`BTreeMap`) and integers exactly (`i128`,
+    /// never floats), so the same receipt always produces the same
+    /// bytes.
+    pub fn canonical_json(&self) -> String {
+        let mut json = self.to_json();
+        if let Json::Obj(map) = &mut json {
+            map.remove("content_hash");
+            map.remove("prev_hash");
+        }
+        json.render()
+    }
+
+    /// SHA-256 (hex) of [`Receipt::canonical_json`] — the receipt's
+    /// identity in the ledger. Self-contained: any holder of the receipt
+    /// JSON can recompute and compare it, with no access to the service.
+    ///
+    /// ```
+    /// use ccheck_service::Receipt;
+    ///
+    /// let receipt = Receipt::example();
+    /// let hash = receipt.content_hash();
+    /// assert_eq!(hash.len(), 64, "hex-encoded SHA-256");
+    /// // The hash covers the canonical bytes, not the sealed fields:
+    /// let mut sealed = receipt.clone();
+    /// sealed.content_hash = Some(hash.clone());
+    /// assert_eq!(sealed.content_hash(), hash);
+    /// ```
+    pub fn content_hash(&self) -> String {
+        ccheck_hashing::sha256_hex(self.canonical_json().as_bytes())
+    }
+
+    /// A fixed, fully populated receipt for documentation examples and
+    /// the `docs/PROTOCOL.md` §6.2 worked example (byte-asserted in the
+    /// ledger's unit tests).
+    pub fn example() -> Receipt {
+        Receipt {
+            job_id: 7,
+            op: JobOp::Reduce,
+            tenant: Some("acme".into()),
+            admit_seq: 3,
+            verdict: Verdict::VerifiedAfterRetry(1),
+            check: CheckUsed {
+                iterations: 2,
+                buckets: 16,
+                log2_rhat: 10,
+                adaptive: true,
+            },
+            digest: 1234567890123456789,
+            elems: 100000,
+            output_elems: 1000,
+            wall_ms: 42,
+            comm: Some(ReceiptComm {
+                total_bytes: 4096,
+                bottleneck_bytes: 1024,
+                total_msgs: 77,
+                max_rounds: 12,
+            }),
+            // The fingerprint of the spec this receipt answers:
+            // `JobSpec { tenant: Some("acme"), check: CheckMode::Adaptive,
+            // job_id: Some(7), ..JobSpec::default() }` (see the
+            // fingerprint doc and `docs/PROTOCOL.md` §7).
+            spec_fingerprint: Some(
+                "3c2dda6ed69065bba00b066d354918cef719a9d24b65dbefe6a6646ca58ab73b".into(),
+            ),
+            content_hash: None,
+            prev_hash: None,
+        }
     }
 
     /// Decode from the client protocol.
@@ -634,7 +771,22 @@ impl Receipt {
             output_elems: field("output_elems")?,
             wall_ms: field("wall_ms")?,
             comm,
+            spec_fingerprint: opt_str(v, "spec_fingerprint")?,
+            content_hash: opt_str(v, "content_hash")?,
+            prev_hash: opt_str(v, "prev_hash")?,
         })
+    }
+}
+
+/// Optional string member of a JSON object (`None` when absent or null).
+fn opt_str(v: &Json, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => Ok(Some(
+            j.as_str()
+                .ok_or_else(|| format!("{key} must be a string"))?
+                .to_string(),
+        )),
     }
 }
 
@@ -647,6 +799,11 @@ pub enum CtlMsg {
         job_id: u64,
         /// In-flight slot index (determines the tag scope).
         slot: u32,
+        /// 1-based position in the world's admission order, stamped
+        /// into the receipt as `admit_seq`. Broadcast explicitly (not
+        /// derived from per-PE admit counts) so a restarted world
+        /// resumes numbering after the ledger's replayed maximum.
+        seq: u64,
         /// The job to run.
         spec: JobSpec,
     },
@@ -657,10 +814,16 @@ pub enum CtlMsg {
 impl Wire for CtlMsg {
     fn write(&self, buf: &mut Vec<u8>) {
         match self {
-            CtlMsg::Admit { job_id, slot, spec } => {
+            CtlMsg::Admit {
+                job_id,
+                slot,
+                seq,
+                spec,
+            } => {
                 1u8.write(buf);
                 job_id.write(buf);
                 slot.write(buf);
+                seq.write(buf);
                 spec.write(buf);
             }
             CtlMsg::Shutdown => 0u8.write(buf),
@@ -672,6 +835,7 @@ impl Wire for CtlMsg {
             1 => Some(CtlMsg::Admit {
                 job_id: u64::read(input)?,
                 slot: u32::read(input)?,
+                seq: u64::read(input)?,
                 spec: JobSpec::read(input)?,
             }),
             0 => Some(CtlMsg::Shutdown),
@@ -681,7 +845,7 @@ impl Wire for CtlMsg {
 
     fn wire_size(&self) -> usize {
         match self {
-            CtlMsg::Admit { spec, .. } => 1 + 8 + 4 + spec.wire_size(),
+            CtlMsg::Admit { spec, .. } => 1 + 8 + 4 + 8 + spec.wire_size(),
             CtlMsg::Shutdown => 1,
         }
     }
@@ -740,6 +904,7 @@ mod tests {
                 priority: 7,
                 deadline_ms: Some(2_500),
                 check: CheckMode::Adaptive,
+                job_id: Some(42),
             },
             JobSpec {
                 op: JobOp::Zip,
@@ -790,6 +955,7 @@ mod tests {
         assert_eq!(spec.priority, 0);
         assert_eq!(spec.deadline_ms, None);
         assert_eq!(spec.check, CheckMode::Explicit);
+        assert_eq!(spec.job_id, None);
     }
 
     #[test]
@@ -797,7 +963,7 @@ mod tests {
         // PR-4-shape submissions render identically: the scheduling
         // fields appear only when set.
         let rendered = JobSpec::default().to_json().render();
-        for key in ["tenant", "priority", "deadline_ms", "check"] {
+        for key in ["tenant", "priority", "deadline_ms", "check", "job_id"] {
             assert!(!rendered.contains(key), "{key} leaked into {rendered}");
         }
     }
@@ -867,6 +1033,10 @@ mod tests {
                 priority: 1_000_001,
                 ..JobSpec::default()
             },
+            JobSpec {
+                job_id: Some(0),
+                ..JobSpec::default()
+            },
         ];
         for spec in bad {
             assert!(spec.validate().is_err(), "{spec:?}");
@@ -889,6 +1059,7 @@ mod tests {
             CtlMsg::Admit {
                 job_id: 7,
                 slot: 3,
+                seq: 19,
                 spec: specs().remove(1),
             },
         ] {
@@ -922,6 +1093,9 @@ mod tests {
                 total_msgs: 77,
                 max_rounds: 12,
             }),
+            spec_fingerprint: Some("ab".repeat(32)),
+            content_hash: Some("cd".repeat(32)),
+            prev_hash: Some("0".repeat(64)),
         };
         let parsed = crate::json::parse(&receipt.to_json().render()).unwrap();
         assert_eq!(Receipt::from_json(&parsed).unwrap(), receipt);
@@ -930,10 +1104,53 @@ mod tests {
             comm: None,
             tenant: None,
             verdict: Verdict::Rejected,
+            spec_fingerprint: None,
+            content_hash: None,
+            prev_hash: None,
             ..receipt
         };
         let parsed = crate::json::parse(&bare.to_json().render()).unwrap();
         assert_eq!(Receipt::from_json(&parsed).unwrap(), bare);
+    }
+
+    #[test]
+    fn canonical_json_excludes_seal_fields_and_is_stable() {
+        // PROTOCOL.md §6.2: the canonical form covers every receipt
+        // member *except* content_hash/prev_hash, so sealing a receipt
+        // does not change its content hash.
+        let unsealed = Receipt::example();
+        let mut sealed = unsealed.clone();
+        sealed.content_hash = Some(unsealed.content_hash());
+        sealed.prev_hash = Some("0".repeat(64));
+        assert_eq!(sealed.canonical_json(), unsealed.canonical_json());
+        assert_eq!(sealed.content_hash(), unsealed.content_hash());
+        // But the covered fields do bind: any content change rehashes.
+        let mut tampered = sealed.clone();
+        tampered.digest ^= 1;
+        assert_ne!(tampered.content_hash(), sealed.content_hash());
+    }
+
+    #[test]
+    fn spec_fingerprint_ignores_job_id_only() {
+        // §7: the same work under different client-chosen ids must
+        // fingerprint identically…
+        let a = JobSpec {
+            job_id: Some(1),
+            ..JobSpec::default()
+        };
+        let b = JobSpec {
+            job_id: Some(2),
+            ..JobSpec::default()
+        };
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), JobSpec::default().fingerprint());
+        assert_eq!(a.fingerprint().len(), 64);
+        // …while any real spec difference must not.
+        let c = JobSpec {
+            seed: 999,
+            ..JobSpec::default()
+        };
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,693 @@
+//! Durable, append-only, hash-chained receipt ledger.
+//!
+//! The paper's checkers make a *probabilistic* promise; what turns a
+//! verdict into an **audit record** is the ability to re-verify it
+//! later. This module is the service's proof artifact: every completed
+//! job's [`Receipt`] is canonically serialized (stable key order,
+//! integer-exact — see [`Receipt::canonical_json`]), content-hashed
+//! with SHA-256, linked into its tenant's hash chain, and appended to a
+//! length-prefixed, CRC-framed, fsync-batched log file on PE 0. On
+//! daemon restart the log is replayed to restore fetchable receipts,
+//! per-tenant aggregates, and the adaptive-tuner rungs, so a restarted
+//! world resumes exactly where the dead one stopped.
+//!
+//! The normative spec lives in `docs/PROTOCOL.md`:
+//!
+//! * §6.1 — on-disk framing (magic header, `len ‖ crc ‖ payload`
+//!   records, torn-tail truncation),
+//! * §6.2 — canonical receipt serialization and `content_hash`,
+//! * §6.3 — per-tenant chain rules (`prev_hash`, [`chain_hash`],
+//!   [`GENESIS_HASH`]),
+//! * §7 — `(tenant, job_id)` idempotency keyed on the spec
+//!   fingerprint.
+//!
+//! Unit tests below cite those sections and assert the §6.2 worked
+//! example byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ccheck_hashing::{crc32c, sha256_hex};
+
+use crate::job::Receipt;
+
+/// File header identifying a receipt ledger (`docs/PROTOCOL.md` §6.1).
+pub const MAGIC: &[u8] = b"ccheck-ledger-v1\n";
+
+/// `prev_hash` of the first entry in every tenant chain: 64 ASCII
+/// zeros, the width of a hex SHA-256 (`docs/PROTOCOL.md` §6.3).
+pub const GENESIS_HASH: &str = "0000000000000000000000000000000000000000000000000000000000000000";
+
+/// Hard cap on one record's payload size. A real receipt is a few
+/// hundred bytes; a length word beyond this is framing corruption, not
+/// a giant receipt, and replay must stop rather than allocate it.
+const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// Appends between fsyncs by default (`Ledger::sync` and shutdown
+/// always flush the remainder).
+const DEFAULT_SYNC_EVERY: u32 = 8;
+
+/// The chain hash over one ledgered receipt (`docs/PROTOCOL.md` §6.3):
+/// SHA-256 over the ASCII concatenation `prev_hash ‖ content_hash`.
+/// Each tenant's chain head therefore commits to the tenant's entire
+/// receipt history, not just the newest entry.
+pub fn chain_hash(prev_hash: &str, content_hash: &str) -> String {
+    let mut bytes = Vec::with_capacity(prev_hash.len() + content_hash.len());
+    bytes.extend_from_slice(prev_hash.as_bytes());
+    bytes.extend_from_slice(content_hash.as_bytes());
+    sha256_hex(&bytes)
+}
+
+/// Verify one tenant's sealed receipts as a chain prefix, in append
+/// order: every receipt's `content_hash` must recompute from its
+/// canonical bytes, the first `prev_hash` must be [`GENESIS_HASH`], and
+/// every later `prev_hash` must equal the [`chain_hash`] of its
+/// predecessor (`docs/PROTOCOL.md` §6.3). Returns the chain head hash.
+pub fn verify_chain(receipts: &[Receipt]) -> Result<String, String> {
+    let mut head = GENESIS_HASH.to_string();
+    for (i, receipt) in receipts.iter().enumerate() {
+        let content = receipt
+            .content_hash
+            .as_deref()
+            .ok_or_else(|| format!("entry {i} (job {}): not sealed", receipt.job_id))?;
+        let recomputed = receipt.content_hash();
+        if content != recomputed {
+            return Err(format!(
+                "entry {i} (job {}): content hash mismatch: stored {content}, \
+                 canonical bytes hash to {recomputed}",
+                receipt.job_id
+            ));
+        }
+        let prev = receipt
+            .prev_hash
+            .as_deref()
+            .ok_or_else(|| format!("entry {i} (job {}): no prev_hash", receipt.job_id))?;
+        if prev != head {
+            return Err(format!(
+                "entry {i} (job {}): chain break: prev_hash {prev}, expected {head}",
+                receipt.job_id
+            ));
+        }
+        head = chain_hash(prev, content);
+    }
+    Ok(head)
+}
+
+/// The key a receipt chains under: tenants are separate chains, and the
+/// anonymous default tenant (`tenant: None`) is the empty-string chain,
+/// matching [`crate::sched::DEFAULT_TENANT`].
+fn tenant_key(receipt: &Receipt) -> String {
+    receipt.tenant.clone().unwrap_or_default()
+}
+
+/// A durable, append-only receipt ledger bound to one log file.
+///
+/// Appends seal receipts into their tenant's hash chain and frame them
+/// onto disk; opening an existing file replays it (tolerating a torn
+/// tail) so the in-memory index — receipts by id, by `(tenant,
+/// job_id)`, and per-tenant chain heads — always mirrors the durable
+/// prefix of the log.
+#[derive(Debug)]
+pub struct Ledger {
+    file: File,
+    path: PathBuf,
+    /// Sealed receipts in append order.
+    entries: Vec<Receipt>,
+    /// Service job id → index into `entries`.
+    by_id: BTreeMap<u64, usize>,
+    /// `(tenant key, job id)` → index into `entries`.
+    by_tenant_job: BTreeMap<(String, u64), usize>,
+    /// Tenant key → current chain head hash.
+    heads: BTreeMap<String, String>,
+    /// Appends since the last fsync.
+    unsynced: u32,
+    /// Fsync after this many appends (≥ 1).
+    sync_every: u32,
+}
+
+impl Ledger {
+    /// Open (or create) the ledger at `path` and replay any existing
+    /// records into the in-memory index. A torn tail — a partially
+    /// written final record from a crash — is truncated away, per
+    /// `docs/PROTOCOL.md` §6.1; everything before it is restored.
+    ///
+    /// ```
+    /// use ccheck_service::ledger::Ledger;
+    /// use ccheck_service::Receipt;
+    ///
+    /// let path = std::env::temp_dir().join(format!("doc-ledger-{}.log", std::process::id()));
+    /// # let _ = std::fs::remove_file(&path);
+    /// let mut ledger = Ledger::open(&path)?;
+    /// let sealed = ledger.append(Receipt::example())?;
+    /// assert_eq!(sealed.prev_hash.as_deref(), Some(ccheck_service::ledger::GENESIS_HASH));
+    /// drop(ledger);
+    ///
+    /// // Reopening replays the log: the receipt is back, still sealed.
+    /// let ledger = Ledger::open(&path)?;
+    /// assert_eq!(ledger.get(sealed.job_id), Some(&sealed));
+    /// # std::fs::remove_file(&path)?;
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Ledger> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut ledger = Ledger {
+            file: file.try_clone()?,
+            path,
+            entries: Vec::new(),
+            by_id: BTreeMap::new(),
+            by_tenant_job: BTreeMap::new(),
+            heads: BTreeMap::new(),
+            unsynced: 0,
+            sync_every: DEFAULT_SYNC_EVERY,
+        };
+
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            ledger.file.write_all(MAGIC)?;
+            ledger.file.sync_data()?;
+            return Ok(ledger);
+        }
+        if !bytes.starts_with(MAGIC) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a ccheck receipt ledger", ledger.path.display()),
+            ));
+        }
+        let valid_end = ledger.replay_bytes(&bytes)?;
+        if valid_end < bytes.len() {
+            // Torn tail from a mid-write crash: drop it so the next
+            // append starts on a clean record boundary.
+            ledger.file.set_len(valid_end as u64)?;
+            ledger.file.sync_data()?;
+        }
+        ledger.file.seek(SeekFrom::End(0))?;
+        Ok(ledger)
+    }
+
+    /// Read-only replay: parse every valid record of the ledger at
+    /// `path` and return the sealed receipts in append order, without
+    /// touching the file. Fails on a missing file or a bad header;
+    /// tolerates a torn tail exactly like [`Ledger::open`].
+    ///
+    /// ```
+    /// use ccheck_service::ledger::{verify_chain, Ledger};
+    /// use ccheck_service::Receipt;
+    ///
+    /// let path = std::env::temp_dir().join(format!("doc-replay-{}.log", std::process::id()));
+    /// # let _ = std::fs::remove_file(&path);
+    /// let mut ledger = Ledger::open(&path)?;
+    /// ledger.append(Receipt::example())?;
+    /// drop(ledger);
+    ///
+    /// let receipts = Ledger::replay(&path)?;
+    /// assert_eq!(receipts.len(), 1);
+    /// assert!(verify_chain(&receipts).is_ok(), "replayed entries chain-verify");
+    /// # std::fs::remove_file(&path)?;
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn replay(path: impl AsRef<Path>) -> io::Result<Vec<Receipt>> {
+        let bytes = std::fs::read(path.as_ref())?;
+        if !bytes.starts_with(MAGIC) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a ccheck receipt ledger", path.as_ref().display()),
+            ));
+        }
+        let mut receipts = Vec::new();
+        let mut offset = MAGIC.len();
+        while let Some((receipt, next)) = decode_record(&bytes, offset) {
+            receipts.push(receipt);
+            offset = next;
+        }
+        Ok(receipts)
+    }
+
+    /// Seal `receipt` into its tenant's chain and append it to the log:
+    /// stamps `content_hash` (SHA-256 of the canonical bytes, §6.2) and
+    /// `prev_hash` (the tenant's current chain head, §6.3), frames the
+    /// sealed JSON onto disk, and returns the sealed receipt. Fsyncs
+    /// are batched (every `DEFAULT_SYNC_EVERY`th append); call
+    /// [`Ledger::sync`] to force one.
+    ///
+    /// Appending a `(tenant, job_id)` that is already ledgered is a
+    /// caller bug (the daemon answers those from the ledger instead,
+    /// §7) and is refused without touching the file.
+    ///
+    /// ```
+    /// use ccheck_service::ledger::{chain_hash, Ledger, GENESIS_HASH};
+    /// use ccheck_service::Receipt;
+    ///
+    /// let path = std::env::temp_dir().join(format!("doc-append-{}.log", std::process::id()));
+    /// # let _ = std::fs::remove_file(&path);
+    /// let mut ledger = Ledger::open(&path)?;
+    /// let first = ledger.append(Receipt::example())?;
+    /// let second = ledger.append(Receipt {
+    ///     job_id: 8,
+    ///     ..Receipt::example()
+    /// })?;
+    /// // Same tenant ⇒ the second entry links to the first.
+    /// assert_eq!(
+    ///     second.prev_hash.unwrap(),
+    ///     chain_hash(GENESIS_HASH, first.content_hash.as_deref().unwrap()),
+    /// );
+    /// # std::fs::remove_file(&path)?;
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn append(&mut self, mut receipt: Receipt) -> io::Result<Receipt> {
+        let tenant = tenant_key(&receipt);
+        if self
+            .by_tenant_job
+            .contains_key(&(tenant.clone(), receipt.job_id))
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "job {} is already ledgered for tenant {tenant:?}",
+                    receipt.job_id
+                ),
+            ));
+        }
+        let prev = self
+            .heads
+            .get(&tenant)
+            .cloned()
+            .unwrap_or_else(|| GENESIS_HASH.to_string());
+        receipt.content_hash = Some(receipt.content_hash());
+        receipt.prev_hash = Some(prev.clone());
+
+        let payload = receipt.to_json().render().into_bytes();
+        debug_assert!(payload.len() < MAX_RECORD_LEN as usize);
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32c(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.unsynced += 1;
+        if self.unsynced >= self.sync_every {
+            self.sync()?;
+        }
+
+        let content = receipt.content_hash.clone().expect("just sealed");
+        self.heads
+            .insert(tenant.clone(), chain_hash(&prev, &content));
+        let index = self.entries.len();
+        self.by_id.insert(receipt.job_id, index);
+        self.by_tenant_job.insert((tenant, receipt.job_id), index);
+        self.entries.push(receipt.clone());
+        Ok(receipt)
+    }
+
+    /// Force the batched appends to durable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Fsync after this many appends (clamped to ≥ 1; 1 = every append).
+    pub fn set_sync_every(&mut self, every: u32) {
+        self.sync_every = every.max(1);
+    }
+
+    /// The ledger's log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of ledgered receipts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ledger holds no receipts yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All sealed receipts in append order.
+    pub fn entries(&self) -> &[Receipt] {
+        &self.entries
+    }
+
+    /// The sealed receipt for a service job id.
+    pub fn get(&self, job_id: u64) -> Option<&Receipt> {
+        self.by_id.get(&job_id).map(|&i| &self.entries[i])
+    }
+
+    /// The sealed receipt for `(tenant key, job id)` — the idempotency
+    /// lookup (`docs/PROTOCOL.md` §7). The anonymous default tenant is
+    /// keyed `""`.
+    pub fn get_tenant_job(&self, tenant: &str, job_id: u64) -> Option<&Receipt> {
+        self.by_tenant_job
+            .get(&(tenant.to_string(), job_id))
+            .map(|&i| &self.entries[i])
+    }
+
+    /// One tenant's chain in append order (what `verify_chain` takes).
+    pub fn chain(&self, tenant: &str) -> Vec<&Receipt> {
+        self.entries
+            .iter()
+            .filter(|r| tenant_key(r) == tenant)
+            .collect()
+    }
+
+    /// A tenant's current chain head hash ([`GENESIS_HASH`] if the
+    /// tenant has no entries).
+    pub fn head(&self, tenant: &str) -> String {
+        self.heads
+            .get(tenant)
+            .cloned()
+            .unwrap_or_else(|| GENESIS_HASH.to_string())
+    }
+
+    /// Tenant keys with at least one ledgered receipt, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        self.heads.keys().cloned().collect()
+    }
+
+    /// The largest ledgered job id (0 when empty) — the floor for the
+    /// restarted service's id allocator.
+    pub fn max_job_id(&self) -> u64 {
+        self.by_id.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// The largest ledgered admission sequence number (0 when empty) —
+    /// the restarted world continues numbering from here.
+    pub fn max_admit_seq(&self) -> u64 {
+        self.entries.iter().map(|r| r.admit_seq).max().unwrap_or(0)
+    }
+
+    /// Replay framed records from `bytes` (which begins with [`MAGIC`])
+    /// into the index; returns the offset one past the last valid
+    /// record.
+    fn replay_bytes(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        let mut offset = MAGIC.len();
+        while let Some((receipt, next)) = decode_record(bytes, offset) {
+            let tenant = tenant_key(&receipt);
+            let content = receipt.content_hash.clone().unwrap_or_default();
+            let prev = receipt.prev_hash.clone().unwrap_or_default();
+            // A record that frames correctly but breaks the chain is
+            // treated like any other tail corruption: replay stops at
+            // the last coherent prefix (§6.1).
+            if receipt.content_hash() != content || self.head(&tenant) != prev {
+                break;
+            }
+            self.heads
+                .insert(tenant.clone(), chain_hash(&prev, &content));
+            let index = self.entries.len();
+            self.by_id.insert(receipt.job_id, index);
+            self.by_tenant_job.insert((tenant, receipt.job_id), index);
+            self.entries.push(receipt);
+            offset = next;
+        }
+        Ok(offset)
+    }
+}
+
+/// Decode the record at `offset`: `Some((receipt, next_offset))` for a
+/// complete, CRC-valid, parseable record, `None` for end-of-log or any
+/// framing damage (a torn length word, short payload, CRC mismatch, or
+/// unparseable JSON all read as "the log ends here").
+fn decode_record(bytes: &[u8], offset: usize) -> Option<(Receipt, usize)> {
+    let header = bytes.get(offset..offset + 8)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_RECORD_LEN {
+        return None;
+    }
+    let start = offset + 8;
+    let payload = bytes.get(start..start + len as usize)?;
+    if crc32c(payload) != crc {
+        return None;
+    }
+    let text = std::str::from_utf8(payload).ok()?;
+    let json = crate::json::parse(text).ok()?;
+    let receipt = Receipt::from_json(&json).ok()?;
+    Some((receipt, start + len as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobSpec, Verdict};
+
+    /// Unique temp path per test (no global state, no clock).
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ccheck-ledger-{tag}-{}.log", std::process::id()))
+    }
+
+    fn sealed_pair(path: &Path) -> (Receipt, Receipt) {
+        let mut ledger = Ledger::open(path).unwrap();
+        let first = ledger.append(Receipt::example()).unwrap();
+        let second = ledger
+            .append(Receipt {
+                job_id: 8,
+                verdict: Verdict::Verified,
+                ..Receipt::example()
+            })
+            .unwrap();
+        (first, second)
+    }
+
+    #[test]
+    fn append_seals_and_links_per_protocol_6_3() {
+        let path = temp_path("seal");
+        let _ = std::fs::remove_file(&path);
+        let (first, second) = sealed_pair(&path);
+        // §6.3: genesis prev for the tenant's first entry, chain_hash
+        // linkage for the second.
+        assert_eq!(first.prev_hash.as_deref(), Some(GENESIS_HASH));
+        assert_eq!(
+            second.prev_hash.as_deref().unwrap(),
+            chain_hash(GENESIS_HASH, first.content_hash.as_deref().unwrap())
+        );
+        // §6.2: content hashes recompute from canonical bytes.
+        assert_eq!(first.content_hash.as_deref().unwrap(), first.content_hash());
+        verify_chain(&[first, second]).expect("chain verifies");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_restores_index_and_heads() {
+        let path = temp_path("reopen");
+        let _ = std::fs::remove_file(&path);
+        let (first, second) = sealed_pair(&path);
+        let ledger = Ledger::open(&path).unwrap();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.get(7), Some(&first));
+        assert_eq!(ledger.get_tenant_job("acme", 8), Some(&second));
+        assert_eq!(
+            ledger.head("acme"),
+            chain_hash(
+                second.prev_hash.as_deref().unwrap(),
+                second.content_hash.as_deref().unwrap()
+            )
+        );
+        assert_eq!(ledger.max_job_id(), 8);
+        assert_eq!(ledger.max_admit_seq(), 3);
+        assert_eq!(ledger.tenants(), vec!["acme".to_string()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tenants_chain_independently() {
+        let path = temp_path("tenants");
+        let _ = std::fs::remove_file(&path);
+        let mut ledger = Ledger::open(&path).unwrap();
+        let a1 = ledger.append(Receipt::example()).unwrap();
+        let b1 = ledger
+            .append(Receipt {
+                job_id: 9,
+                tenant: Some("beta".into()),
+                ..Receipt::example()
+            })
+            .unwrap();
+        let a2 = ledger
+            .append(Receipt {
+                job_id: 10,
+                ..Receipt::example()
+            })
+            .unwrap();
+        // §6.3: beta's first entry starts at genesis even though acme
+        // already has entries; acme's second links past beta's append.
+        assert_eq!(b1.prev_hash.as_deref(), Some(GENESIS_HASH));
+        assert_eq!(
+            a2.prev_hash.as_deref().unwrap(),
+            chain_hash(GENESIS_HASH, a1.content_hash.as_deref().unwrap())
+        );
+        verify_chain(&[a1, a2]).expect("acme chain");
+        verify_chain(&[b1]).expect("beta chain");
+        assert_eq!(ledger.chain("acme").len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_tenant_job_is_refused() {
+        let path = temp_path("dup");
+        let _ = std::fs::remove_file(&path);
+        let mut ledger = Ledger::open(&path).unwrap();
+        ledger.append(Receipt::example()).unwrap();
+        let err = ledger.append(Receipt::example()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        // The same job id under another tenant is a distinct chain key.
+        ledger
+            .append(Receipt {
+                tenant: Some("other".into()),
+                ..Receipt::example()
+            })
+            .unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let (first, second) = sealed_pair(&path);
+        let intact = std::fs::read(&path).unwrap();
+
+        // §6.1: a crash can leave any prefix of the final record. Every
+        // cut inside the last record must replay to exactly the first
+        // two receipts and truncate the garbage.
+        let second_start = intact.len() - (8 + second.to_json().render().len());
+        for cut in [second_start + 1, second_start + 7, intact.len() - 1] {
+            std::fs::write(&path, &intact[..cut]).unwrap();
+            let ledger = Ledger::open(&path).unwrap();
+            assert_eq!(ledger.len(), 1, "cut at {cut}");
+            assert_eq!(ledger.get(first.job_id), Some(&first));
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                second_start as u64,
+                "tail truncated at {cut}"
+            );
+        }
+
+        // And appending after recovery re-links from the surviving head.
+        let mut ledger = Ledger::open(&path).unwrap();
+        let replacement = ledger
+            .append(Receipt {
+                job_id: 11,
+                ..Receipt::example()
+            })
+            .unwrap();
+        assert_eq!(
+            replacement.prev_hash.as_deref().unwrap(),
+            chain_hash(GENESIS_HASH, first.content_hash.as_deref().unwrap())
+        );
+        verify_chain(&[first, replacement]).expect("recovered chain");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let path = temp_path("crc");
+        let _ = std::fs::remove_file(&path);
+        let (first, _second) = sealed_pair(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the second record: CRC-32C must
+        // catch it and replay must keep only the first receipt.
+        let len = bytes.len();
+        bytes[len - 3] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let receipts = Ledger::replay(&path).unwrap();
+        assert_eq!(receipts, vec![first]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_ledger_file_is_refused() {
+        let path = temp_path("notaledger");
+        std::fs::write(&path, b"{\"cmd\":\"submit\"}\n").unwrap();
+        assert!(Ledger::open(&path).is_err());
+        assert!(Ledger::replay(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn verify_chain_flags_tampering() {
+        let path = temp_path("tamper");
+        let _ = std::fs::remove_file(&path);
+        let (first, second) = sealed_pair(&path);
+
+        // Tampered content: stored hash no longer matches the bytes.
+        let mut forged = first.clone();
+        forged.digest ^= 1;
+        let err = verify_chain(&[forged, second.clone()]).unwrap_err();
+        assert!(err.contains("content hash mismatch"), "{err}");
+
+        // Dropped middle entry: the link to the head breaks.
+        let err = verify_chain(std::slice::from_ref(&second)).unwrap_err();
+        assert!(err.contains("chain break"), "{err}");
+
+        // Reordered entries break too — order is part of the chain.
+        let err = verify_chain(&[second, first]).unwrap_err();
+        assert!(err.contains("chain break"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_matches_protocol_7() {
+        // §7's idempotency key: the fingerprint covers the spec minus
+        // job_id, so resubmitting identical work under the same id is
+        // detectable as a pure duplicate.
+        let spec = JobSpec {
+            tenant: Some("acme".into()),
+            job_id: Some(7),
+            ..JobSpec::default()
+        };
+        let same_work = JobSpec {
+            job_id: None,
+            ..spec.clone()
+        };
+        assert_eq!(spec.fingerprint(), same_work.fingerprint());
+    }
+
+    /// `docs/PROTOCOL.md` §6.2 worked example, asserted byte-for-byte:
+    /// the canonical serialization and content hash printed there must
+    /// be exactly what the code computes.
+    #[test]
+    fn protocol_6_2_worked_example_is_byte_exact() {
+        let receipt = Receipt::example();
+        let canonical = receipt.canonical_json();
+        assert_eq!(canonical, PROTOCOL_6_2_CANONICAL);
+        assert_eq!(receipt.content_hash(), PROTOCOL_6_2_CONTENT_HASH);
+        assert_eq!(
+            chain_hash(GENESIS_HASH, PROTOCOL_6_2_CONTENT_HASH),
+            PROTOCOL_6_2_CHAIN_HASH
+        );
+        // Round-trip: parsing the documented bytes reproduces the
+        // receipt, and re-rendering reproduces the bytes.
+        let parsed = crate::json::parse(PROTOCOL_6_2_CANONICAL).unwrap();
+        let decoded = Receipt::from_json(&parsed).unwrap();
+        assert_eq!(decoded, receipt);
+        assert_eq!(decoded.canonical_json(), PROTOCOL_6_2_CANONICAL);
+    }
+
+    /// The §6.2 example's canonical bytes (single line; keys sorted).
+    const PROTOCOL_6_2_CANONICAL: &str = "{\"admit_seq\":3,\"check\":{\"adaptive\":true,\
+\"buckets\":16,\"iterations\":2,\"log2_rhat\":10},\"comm\":{\"bottleneck_bytes\":1024,\
+\"max_rounds\":12,\"total_bytes\":4096,\"total_msgs\":77},\"digest\":1234567890123456789,\
+\"elems\":100000,\"job_id\":7,\"op\":\"reduce\",\"output_elems\":1000,\"result_ok\":true,\
+\"retries\":1,\"spec_fingerprint\":\
+\"3c2dda6ed69065bba00b066d354918cef719a9d24b65dbefe6a6646ca58ab73b\",\
+\"tenant\":\"acme\",\"verdict\":\"retried\",\"wall_ms\":42}";
+
+    /// SHA-256 of `PROTOCOL_6_2_CANONICAL`.
+    const PROTOCOL_6_2_CONTENT_HASH: &str =
+        "116aea07d0917567c07ecc0954b9fc1f54b424c01beb13421cab3ebd7a9cefe8";
+
+    /// Chain hash of the example as a tenant's first entry.
+    const PROTOCOL_6_2_CHAIN_HASH: &str =
+        "451a9a23ae235927cf0c9735d85129fe7a7c74c351e9d7fdece3411c5d36262c";
+}

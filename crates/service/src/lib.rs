@@ -19,6 +19,7 @@
 //! | [`exec`] | job execution: spec → receipt, same code under the service and standalone |
 //! | [`sched`] | the policy-driven scheduler: [`sched::SchedPolicy`] (FIFO / priority-aging / deadline-WFQ), tenant quotas, work stealing, adaptive checker tuning |
 //! | [`daemon`] | the SPMD service loop, PE-0 admission, client listener |
+//! | [`ledger`] | durable hash-chained receipt ledger: crash recovery + idempotent resubmission |
 //! | [`client`] | blocking line-JSON client ([`client::ServiceClient`]) |
 //! | [`json`] | the minimal offline JSON codec behind the protocol |
 //!
@@ -55,12 +56,14 @@ pub mod daemon;
 pub mod exec;
 pub mod job;
 pub mod json;
+pub mod ledger;
 pub mod sched;
 
-pub use client::{ServiceClient, ServiceError};
+pub use client::{ChainLink, ServiceClient, ServiceError, SubmitAck, TenantChain};
 pub use daemon::{run_service, run_service_world, ServiceConfig, ServiceSummary, TenantAgg};
 pub use exec::execute_job;
 pub use job::{
     CheckMode, CheckUsed, FaultSpec, JobOp, JobSpec, JobStatus, Receipt, ReceiptComm, Verdict,
 };
+pub use ledger::Ledger;
 pub use sched::{PolicyCfg, SchedCore, SchedPolicy};

@@ -10,7 +10,7 @@
 //! simulated clock, which is what makes the scheduling invariants
 //! testable without spinning up worlds.
 
-use crate::job::{CheckMode, JobSpec, Receipt};
+use crate::job::{CheckMode, JobSpec, Receipt, Verdict};
 use crate::sched::policy::{PolicyCfg, SchedPolicy};
 use crate::sched::tenant::{TenantTable, DEFAULT_TENANT};
 use crate::sched::tuner::AdaptiveTuner;
@@ -225,6 +225,17 @@ impl SchedCore {
         self.wall_ewma_ms = (3 * self.wall_ewma_ms + receipt.wall_ms.max(1)) / 4;
     }
 
+    /// Replay one ledgered receipt's verdict into the adaptive tuner —
+    /// the restart path (`docs/PROTOCOL.md` §6.4): feeding the ledger
+    /// back in append order restores every tenant's ladder rung
+    /// exactly, because the tuner is a pure fold over the verdict
+    /// stream. Deliberately touches *only* the tuner: the replayed jobs
+    /// are not inflight and their tenant counters describe a dead
+    /// world.
+    pub fn replay_verdict(&mut self, tenant: &str, verdict: Verdict) {
+        self.tuner.observe(tenant, verdict);
+    }
+
     /// Jobs accepted but not yet admitted.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
@@ -290,6 +301,9 @@ mod tests {
                 total_bytes: 5_000,
                 ..ReceiptComm::default()
             }),
+            spec_fingerprint: None,
+            content_hash: None,
+            prev_hash: None,
         }
     }
 

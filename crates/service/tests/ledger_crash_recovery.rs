@@ -1,0 +1,292 @@
+//! Crash-recovery end-to-end: a real `ccheck-serve` world is
+//! SIGKILLed mid-life and restarted on the same ledger file, on both
+//! transports. Asserts the `docs/PROTOCOL.md` §6.4 recovery contract:
+//!
+//! * every ledgered receipt is fetchable again, byte-identical,
+//! * tenant chains verify across the restart with an unchanged head,
+//! * the adaptive tuner resumes rung-exact (a replayed escalation
+//!   history decides the next adaptive job's checker config),
+//! * §7 idempotency: resubmitting a recorded `(tenant, job_id)` is
+//!   served from the ledger with zero re-execution — proven by the
+//!   admission numbering, which must stay gap- and duplicate-free
+//!   across the crash — while id reuse with a different spec is
+//!   refused.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::Duration;
+
+use ccheck_service::ledger::{verify_chain, Ledger, GENESIS_HASH};
+use ccheck_service::{CheckMode, FaultSpec, JobOp, JobSpec, Receipt, ServiceClient, ServiceError};
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// The serve world under test, as real OS processes (one for the local
+/// transport, one per rank for TCP) — required so SIGKILL is an actual
+/// crash, not a polite teardown.
+struct World {
+    children: Vec<Child>,
+}
+
+impl World {
+    /// SIGKILL every process: no drain, no shutdown, no final fsync.
+    fn crash(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.children.clear();
+    }
+
+    fn wait_clean(&mut self) {
+        for child in &mut self.children {
+            let status = child.wait().expect("wait for serve");
+            assert!(status.success(), "serve exited with {status:?}");
+        }
+        self.children.clear();
+    }
+}
+
+impl Drop for World {
+    fn drop(&mut self) {
+        self.crash();
+    }
+}
+
+fn spawn_world(tcp: bool, addr: &Path, ledger: &Path) -> World {
+    let _ = std::fs::remove_file(addr);
+    let bin = env!("CARGO_BIN_EXE_ccheck-serve");
+    if !tcp {
+        let child = Command::new(bin)
+            .args(["--transport", "local", "--pes", "2", "--max-inflight", "2"])
+            .arg("--addr-file")
+            .arg(addr)
+            .arg("--ledger")
+            .arg(ledger)
+            .spawn()
+            .expect("spawn ccheck-serve (local)");
+        return World {
+            children: vec![child],
+        };
+    }
+    // Launcher-free TCP world: allocate distinct loopback ports, then
+    // hand every rank the static peer table (each process binds the
+    // address at its own rank).
+    let listeners: Vec<_> = (0..2)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    let peers = listeners
+        .iter()
+        .map(|l| format!("127.0.0.1:{}", l.local_addr().unwrap().port()))
+        .collect::<Vec<_>>()
+        .join(",");
+    drop(listeners);
+    let children = (0..2)
+        .map(|rank| {
+            Command::new(bin)
+                .args(["--transport", "tcp"])
+                .arg("--addr-file")
+                .arg(addr)
+                .arg("--ledger")
+                .arg(ledger)
+                .env("CCHECK_RANK", rank.to_string())
+                .env("CCHECK_WORLD", "2")
+                .env("CCHECK_PEERS", &peers)
+                .spawn()
+                .expect("spawn ccheck-serve rank (tcp)")
+        })
+        .collect();
+    World { children }
+}
+
+/// A deterministic reduce job under tenant `acme` with a client-chosen
+/// id — the §7 idempotency key is `("acme", job_id)` plus this spec's
+/// fingerprint.
+fn acme_reduce(job_id: u64, seed: u64) -> JobSpec {
+    JobSpec {
+        op: JobOp::Reduce,
+        n: 20_000,
+        keys: 500,
+        seed,
+        tenant: Some("acme".into()),
+        job_id: Some(job_id),
+        ..JobSpec::default()
+    }
+}
+
+/// An adaptive sort under tenant `esc` with a persistent fault: each
+/// one ends `fellback` and escalates the tenant one tuner rung.
+fn esc_adaptive_sort(job_id: u64) -> JobSpec {
+    JobSpec {
+        op: JobOp::Sort,
+        n: 20_000,
+        seed: 40 + job_id,
+        tenant: Some("esc".into()),
+        check: CheckMode::Adaptive,
+        job_id: Some(job_id),
+        fault: Some(FaultSpec {
+            kind: "dupneighbor".into(),
+            seed: 1,
+        }),
+        ..JobSpec::default()
+    }
+}
+
+fn scenario_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccheck-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scenario dir");
+    dir
+}
+
+fn crash_recovery_scenario(tcp: bool, tag: &str) {
+    let dir = scenario_dir(tag);
+    let addr = dir.join("addr");
+    let ledger_path = dir.join("receipts.ledger");
+
+    // ---- Phase 1: run a mixed workload, then crash the world. ----
+    let mut world = spawn_world(tcp, &addr, &ledger_path);
+    let mut client =
+        ServiceClient::connect_via_addr_file(&addr, CONNECT_TIMEOUT).expect("connect phase 1");
+
+    let mut first_receipts: Vec<Receipt> = Vec::new();
+    for id in 1..=3u64 {
+        let ack = client
+            .submit_acked(&acme_reduce(id, id * 7))
+            .expect("submit");
+        assert_eq!(ack.id, id, "client-chosen id is adopted verbatim");
+        assert!(!ack.deduped, "fresh work must not dedupe");
+        first_receipts.push(client.wait(id).expect("wait"));
+    }
+    // Two persistently faulty adaptive jobs walk tenant `esc` up two
+    // tuner rungs (START_LEVEL 1 → 3) before the crash.
+    for id in [11u64, 12] {
+        client
+            .submit(&esc_adaptive_sort(id))
+            .expect("submit faulty");
+        let receipt = client.wait(id).expect("wait faulty");
+        assert_eq!(
+            receipt.verdict.name(),
+            "fellback",
+            "persistent fault falls back"
+        );
+    }
+    // Receipts come back sealed, and verify client-side against the
+    // live chain (content hash + link + head recomputation).
+    let head_before = client
+        .verify_receipt(&first_receipts[0])
+        .expect("verify sealed receipt");
+    assert_ne!(head_before, GENESIS_HASH);
+    let max_seq_before = first_receipts
+        .iter()
+        .map(|r| r.admit_seq)
+        .max()
+        .unwrap()
+        .max(
+            [11u64, 12]
+                .iter()
+                .map(|&id| match client.poll(id).unwrap().1 {
+                    Some(r) => r.admit_seq,
+                    None => 0,
+                })
+                .max()
+                .unwrap(),
+        );
+
+    world.crash();
+
+    // ---- Phase 2: restart on the same ledger. ----
+    let mut world = spawn_world(tcp, &addr, &ledger_path);
+    let mut client =
+        ServiceClient::connect_via_addr_file(&addr, CONNECT_TIMEOUT).expect("connect phase 2");
+
+    // §6.4: every ledgered receipt is fetchable again, byte-identical.
+    for (i, id) in (1..=3u64).enumerate() {
+        let (state, receipt) = client.poll(id).expect("poll replayed");
+        assert_eq!(state, "done");
+        assert_eq!(receipt.expect("replayed receipt"), first_receipts[i]);
+    }
+    // The tenant chain survived the crash with an unchanged head.
+    let chain = client.chain("acme").expect("chain");
+    chain.verify().expect("replayed chain verifies");
+    assert_eq!(chain.head, head_before);
+    assert_eq!(chain.links.len(), 3);
+
+    // §7: identical resubmission is served from the ledger — same
+    // sealed receipt, deduped marker, no execution.
+    let ack = client.submit_acked(&acme_reduce(2, 14)).expect("resubmit");
+    assert!(ack.deduped, "recorded (tenant, job_id) must dedupe");
+    assert_eq!(ack.status, "done");
+    assert_eq!(ack.receipt.expect("stored receipt"), first_receipts[1]);
+    // …while the same id with different work is a conflict.
+    match client.submit_acked(&acme_reduce(2, 999)) {
+        Err(ServiceError::Refused(message)) => {
+            assert!(message.contains("different spec"), "got {message:?}");
+        }
+        other => panic!("conflicting spec must be refused, got {other:?}"),
+    }
+
+    // Rung-exact tuner recovery: two replayed fellbacks put `esc` on
+    // ladder rung 3 = (8, 128, 16), so a clean adaptive job must run
+    // with exactly that config.
+    let mut clean = esc_adaptive_sort(13);
+    clean.fault = None;
+    client.submit(&clean).expect("submit clean adaptive");
+    let receipt = client.wait(13).expect("wait clean adaptive");
+    assert!(receipt.check.adaptive);
+    assert_eq!(
+        (
+            receipt.check.iterations,
+            receipt.check.buckets,
+            receipt.check.log2_rhat
+        ),
+        (8, 128, 16),
+        "tuner must resume on the replayed rung"
+    );
+    // Zero re-execution: the restarted world's first admission continues
+    // the dead world's numbering — the dedupe above consumed none.
+    assert_eq!(receipt.admit_seq, max_seq_before + 1);
+
+    // Service-assigned ids allocate above every ledgered (and adopted)
+    // id — no reuse across the crash.
+    let auto = client
+        .submit_acked(&JobSpec {
+            job_id: None,
+            ..acme_reduce(0, 5)
+        })
+        .expect("auto-id submit");
+    assert_eq!(auto.id, 14);
+    client.wait(auto.id).expect("wait auto-id");
+
+    client.shutdown().expect("shutdown");
+    drop(client);
+    world.wait_clean();
+
+    // ---- Offline audit of the raw log. ----
+    let receipts = Ledger::replay(&ledger_path).expect("offline replay");
+    assert_eq!(receipts.len(), 7, "3 + 2 crashed-world jobs, 2 new ones");
+    // Admission numbering is gap- and duplicate-free across the crash:
+    // exactly one admission per executed job, none for the dedupe.
+    let mut seqs: Vec<u64> = receipts.iter().map(|r| r.admit_seq).collect();
+    seqs.sort_unstable();
+    assert_eq!(seqs, (1..=7).collect::<Vec<u64>>());
+    for tenant in ["acme", "esc"] {
+        let tenant_chain: Vec<Receipt> = receipts
+            .iter()
+            .filter(|r| r.tenant.as_deref() == Some(tenant))
+            .cloned()
+            .collect();
+        verify_chain(&tenant_chain).expect("offline chain verification");
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn crash_recovery_local_transport() {
+    crash_recovery_scenario(false, "local");
+}
+
+#[test]
+fn crash_recovery_tcp_transport() {
+    crash_recovery_scenario(true, "tcp");
+}

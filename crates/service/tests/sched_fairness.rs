@@ -48,6 +48,9 @@ fn receipt_for(job: &JobSpec, job_id: u64) -> Receipt {
             total_bytes: 10_000,
             ..ReceiptComm::default()
         }),
+        spec_fingerprint: None,
+        content_hash: None,
+        prev_hash: None,
     }
 }
 
