@@ -436,6 +436,47 @@ impl Comm {
             )
         })
     }
+
+    /// Gather every PE's `ccheck-obs` metrics snapshot to rank 0 and
+    /// merge them into one world view: `Some((world, per_pe))` at rank
+    /// 0, `None` elsewhere. Histograms merge bucket-wise — the same
+    /// mergeability trick as the paper's sketches — and snapshots from
+    /// the same OS process are counted once (in-process backends share
+    /// one registry across all PE threads).
+    pub fn gather_metrics(
+        &mut self,
+    ) -> Option<(
+        ccheck_obs::MetricsSnapshot,
+        Vec<ccheck_obs::MetricsSnapshot>,
+    )> {
+        let mine = ccheck_obs::registry().snapshot().encode();
+        self.gather(0, mine).map(|rows| {
+            let per_pe: Vec<ccheck_obs::MetricsSnapshot> = rows
+                .iter()
+                .map(|bytes| {
+                    ccheck_obs::MetricsSnapshot::decode(bytes)
+                        .expect("gathered metrics snapshot decodes")
+                })
+                .collect();
+            (ccheck_obs::metrics::merge_distinct(per_pe.iter()), per_pe)
+        })
+    }
+
+    /// Gather every PE's trace ring contents to rank 0: `Some(traces)`
+    /// at rank 0 (deduped by source process, sorted by rank), `None`
+    /// elsewhere. Drain this at the end of a run and feed it to
+    /// [`ccheck_obs::export::chrome_trace_json`].
+    pub fn gather_trace(&mut self) -> Option<Vec<ccheck_obs::TraceSnapshot>> {
+        let mine = ccheck_obs::trace_snapshot().encode();
+        self.gather(0, mine).map(|rows| {
+            let mut seen = std::collections::BTreeSet::new();
+            rows.iter()
+                .filter_map(|bytes| {
+                    ccheck_obs::TraceSnapshot::decode(bytes).filter(|t| seen.insert(t.source))
+                })
+                .collect()
+        })
+    }
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@
 //! job's own traffic, exactly as if the job had run alone.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Per-PE monotone counters. Updated by [`crate::Comm`] on every send and
 /// receive, and by the collectives for latency rounds.
@@ -39,22 +39,69 @@ pub struct PeStats {
     pub rounds: AtomicU64,
 }
 
+/// Cached handles into the global `ccheck-obs` registry. Every
+/// [`PeStats`] record call — regardless of which scope registry it
+/// lands in — also funnels through these process-wide series, so byte
+/// accounting is *one* system: `CommStats` keeps the exact per-PE /
+/// per-scope attribution, and the obs registry carries the same
+/// traffic as world-mergeable `net.*` series (plus the frame-size
+/// histogram, which scope totals cannot express).
+struct NetObs {
+    tx_bytes: Arc<ccheck_obs::Counter>,
+    tx_msgs: Arc<ccheck_obs::Counter>,
+    rx_bytes: Arc<ccheck_obs::Counter>,
+    rx_msgs: Arc<ccheck_obs::Counter>,
+    rounds: Arc<ccheck_obs::Counter>,
+    /// Sizes of *sent* frames only, so a world-wide merge counts each
+    /// frame once.
+    frame_bytes: Arc<ccheck_obs::Histogram>,
+}
+
+fn net_obs() -> &'static NetObs {
+    static OBS: OnceLock<NetObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = ccheck_obs::registry();
+        NetObs {
+            tx_bytes: reg.counter("net.tx.bytes"),
+            tx_msgs: reg.counter("net.tx.msgs"),
+            rx_bytes: reg.counter("net.rx.bytes"),
+            rx_msgs: reg.counter("net.rx.msgs"),
+            rounds: reg.counter("net.rounds"),
+            frame_bytes: reg.histogram("net.frame.bytes"),
+        }
+    })
+}
+
 impl PeStats {
     #[inline]
     pub(crate) fn record_send(&self, bytes: usize) {
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        if ccheck_obs::enabled() {
+            let obs = net_obs();
+            obs.tx_bytes.add(bytes as u64);
+            obs.tx_msgs.inc();
+            obs.frame_bytes.observe(bytes as u64);
+        }
     }
 
     #[inline]
     pub(crate) fn record_recv(&self, bytes: usize) {
         self.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
         self.msgs_recv.fetch_add(1, Ordering::Relaxed);
+        if ccheck_obs::enabled() {
+            let obs = net_obs();
+            obs.rx_bytes.add(bytes as u64);
+            obs.rx_msgs.inc();
+        }
     }
 
     #[inline]
     pub(crate) fn record_rounds(&self, rounds: u64) {
         self.rounds.fetch_add(rounds, Ordering::Relaxed);
+        if ccheck_obs::enabled() {
+            net_obs().rounds.add(rounds);
+        }
     }
 
     fn load(&self) -> PeStatsSnapshot {
@@ -300,6 +347,43 @@ impl StatsSnapshot {
         for (label, scope) in &self.scopes {
             writeln!(out, "\nscope [{label}]:").expect("write to String");
             out.push_str(&scope.render_table());
+        }
+        out
+    }
+
+    /// Export this snapshot's totals (and per-scope breakdown) as
+    /// counters in a [`ccheck_obs::MetricsSnapshot`], under `prefix`:
+    /// `{prefix}.bytes_sent`, `.bytes_recv`, `.msgs_sent`,
+    /// `.msgs_recv`, `.rounds` (world totals; rounds is the max over
+    /// PEs), `{prefix}.bottleneck_bytes`, and one
+    /// `{prefix}.scope.{label}.bytes` series per child scope. This is
+    /// how scope byte accounting joins the rest of the metrics system:
+    /// the service daemon merges the gathered world snapshot through
+    /// here, so a `metrics` response reports comm volume in the same
+    /// namespace as everything else.
+    pub fn to_metrics(&self, prefix: &str) -> ccheck_obs::MetricsSnapshot {
+        let mut out = ccheck_obs::MetricsSnapshot::new(ccheck_obs::source_id());
+        out.counters
+            .insert(format!("{prefix}.bytes_sent"), self.total_bytes());
+        out.counters.insert(
+            format!("{prefix}.bytes_recv"),
+            self.per_pe.iter().map(|s| s.bytes_recv).sum(),
+        );
+        out.counters
+            .insert(format!("{prefix}.msgs_sent"), self.total_messages());
+        out.counters.insert(
+            format!("{prefix}.msgs_recv"),
+            self.per_pe.iter().map(|s| s.msgs_recv).sum(),
+        );
+        out.counters
+            .insert(format!("{prefix}.rounds"), self.max_rounds());
+        out.counters.insert(
+            format!("{prefix}.bottleneck_bytes"),
+            self.bottleneck_volume(),
+        );
+        for (label, scope) in &self.scopes {
+            out.counters
+                .insert(format!("{prefix}.scope.{label}.bytes"), scope.total_bytes());
         }
         out
     }

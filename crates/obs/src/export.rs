@@ -1,0 +1,206 @@
+//! Exporters: Prometheus-style text exposition for metrics, Chrome
+//! `trace_event` JSON for traces.
+//!
+//! Both formats are assembled with plain string formatting — this
+//! crate stays zero-dependency, and neither format needs more than
+//! correct escaping and stable ordering (snapshots iterate `BTreeMap`s,
+//! so output is deterministic for a given snapshot).
+
+use crate::metrics::{bucket_ceil, MetricsSnapshot};
+use crate::trace::TraceSnapshot;
+
+/// Render a metrics snapshot in the Prometheus text exposition
+/// format. Metric names are sanitized (every character outside
+/// `[a-zA-Z0-9_:]` becomes `_`, so `net.tx.bytes` exposes as
+/// `net_tx_bytes`). Histograms render as cumulative `_bucket{le=…}`
+/// series over the log-bucket upper bounds, plus `_sum` and `_count`.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let name = sanitize(name);
+        writeln!(out, "# TYPE {name} counter").expect("write to String");
+        writeln!(out, "{name} {v}").expect("write to String");
+    }
+    for (name, v) in &snap.gauges {
+        let name = sanitize(name);
+        writeln!(out, "# TYPE {name} gauge").expect("write to String");
+        writeln!(out, "{name} {v}").expect("write to String");
+    }
+    for (name, h) in &snap.histograms {
+        let name = sanitize(name);
+        writeln!(out, "# TYPE {name} histogram").expect("write to String");
+        let mut cum = 0u64;
+        for (b, c) in h.counts.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            cum += c;
+            writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", bucket_ceil(b))
+                .expect("write to String");
+        }
+        writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}").expect("write to String");
+        writeln!(out, "{name}_sum {}", h.sum).expect("write to String");
+        writeln!(out, "{name}_count {cum}").expect("write to String");
+    }
+    out
+}
+
+/// Render gathered traces as Chrome `trace_event` JSON (the object
+/// form, `{"traceEvents": […]}`), loadable in `chrome://tracing` /
+/// Perfetto. Spans become complete (`"ph":"X"`) events; instants
+/// (duration 0) become instant (`"ph":"i"`) events. Each snapshot's
+/// [`TraceSnapshot::source`] is the `pid`, so multi-process worlds
+/// render one lane group per rank process.
+pub fn chrome_trace_json(traces: &[TraceSnapshot]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for trace in traces {
+        for ev in &trace.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let name = json_escape(&ev.name);
+            if ev.dur_us == 0 {
+                write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"ccheck\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{},\"pid\":{},\"tid\":{}}}",
+                    ev.start_us, trace.source, ev.tid
+                )
+                .expect("write to String");
+            } else {
+                write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"ccheck\",\"ph\":\"X\",\
+                     \"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+                    ev.start_us, ev.dur_us, trace.source, ev.tid
+                )
+                .expect("write to String");
+            }
+        }
+    }
+    // Thread-name metadata events give the viewer readable lane labels.
+    for trace in traces {
+        let mut named: std::collections::BTreeMap<u32, &str> = std::collections::BTreeMap::new();
+        for ev in &trace.events {
+            if !ev.thread.is_empty() {
+                named.entry(ev.tid).or_insert(ev.thread.as_str());
+            }
+        }
+        for (tid, thread) in named {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                trace.source,
+                json_escape(thread)
+            )
+            .expect("write to String");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::trace::TraceEvent;
+
+    #[test]
+    fn prometheus_text_exposes_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("net.tx.bytes").add(100);
+        reg.gauge("sched.queue.depth").set(3);
+        reg.histogram("exec.check_us").observe(900);
+        reg.histogram("exec.check_us").observe(5);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE net_tx_bytes counter"));
+        assert!(text.contains("net_tx_bytes 100"));
+        assert!(text.contains("# TYPE sched_queue_depth gauge"));
+        assert!(text.contains("sched_queue_depth 3"));
+        // 900 lands in [512, 1023]; cumulative count reaches 2 there.
+        assert!(
+            text.contains("exec_check_us_bucket{le=\"1023\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("exec_check_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("exec_check_us_sum 905"));
+        assert!(text.contains("exec_check_us_count 2"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let trace = TraceSnapshot {
+            source: 42,
+            events: vec![
+                TraceEvent {
+                    name: "job \"7\"".into(),
+                    tid: 1,
+                    thread: "worker".into(),
+                    start_us: 100,
+                    dur_us: 50,
+                },
+                TraceEvent {
+                    name: "mark".into(),
+                    tid: 1,
+                    thread: "worker".into(),
+                    start_us: 120,
+                    dur_us: 0,
+                },
+            ],
+        };
+        let json = chrome_trace_json(&[trace]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"pid\":42"));
+        assert!(json.contains("job \\\"7\\\""));
+        assert!(json.contains("\"thread_name\""));
+        // No trailing commas and balanced braces — parse with the
+        // service's JSON codec in the e2e tests; here a cheap check.
+        assert!(!json.contains(",]"));
+        assert!(!json.contains(",}"));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty_array() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+    }
+}

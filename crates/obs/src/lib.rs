@@ -1,0 +1,115 @@
+//! `ccheck-obs` — zero-dependency tracing and metrics for the ccheck
+//! runtime.
+//!
+//! The paper's claim is quantitative — checking costs *o(communication
+//! of the operation itself)* — so the runtime needs a measurement
+//! substrate that is cheap enough to compile into every hot seam and
+//! stay there. This crate provides one, with no dependencies beyond
+//! `std`:
+//!
+//! * **Metrics** ([`metrics`]): a process-global registry of named
+//!   [`Counter`]s, [`Gauge`]s, and log-bucketed [`Histogram`]s.
+//!   Snapshots ([`MetricsSnapshot`]) are plain values that merge
+//!   bucket-wise — the same trick the paper's sketches use — so
+//!   per-PE snapshots can be gathered with the existing collectives
+//!   and folded into one world view.
+//! * **Tracing** ([`trace`]): a [`span`]/[`event!`] API writing fixed
+//!   records into per-thread lock-free (seqlock) ring buffers with
+//!   monotonic microsecond timestamps. Draining never blocks writers.
+//! * **Exporters** ([`export`]): Chrome `trace_event` JSON for flame
+//!   views and Prometheus-style text exposition.
+//!
+//! ## Overhead discipline
+//!
+//! Collection is **off by default**. Every record site first performs
+//! one relaxed atomic load ([`enabled`]) and branches away — that load
+//! is the entire disabled-path cost, which is what keeps the
+//! instrumented-but-disabled throughput benchmarks within budget (see
+//! `docs/OBSERVABILITY.md`). Binaries opt in with `CCHECK_OBS=1`
+//! (via [`init_from_env`]) or programmatically with [`set_enabled`].
+//!
+//! ## Timestamps
+//!
+//! All timestamps are microseconds since a process-local monotonic
+//! epoch ([`now_us`]), taken on first use. They are comparable within
+//! a process, not across processes; the Chrome exporter namespaces
+//! events by source process for exactly this reason.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
+pub use trace::{instant, span, trace_snapshot, Span, TraceEvent, TraceSnapshot};
+
+/// Global collection switch. Off by default; hot paths check this with
+/// one relaxed load before doing any work.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is collection enabled? One relaxed atomic load — this is the whole
+/// cost of an instrumentation site while collection is off.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn collection on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Enable collection if the `CCHECK_OBS` environment variable is set
+/// to anything but `0` or the empty string. Returns the resulting
+/// state. Binaries call this once at startup.
+pub fn init_from_env() -> bool {
+    if matches!(std::env::var("CCHECK_OBS").as_deref(), Ok(v) if !v.is_empty() && v != "0") {
+        set_enabled(true);
+    }
+    enabled()
+}
+
+/// Process-local monotonic epoch, taken on first use.
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process-local monotonic epoch.
+#[inline]
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Identifies the process a snapshot came from. In-process worlds (the
+/// `local` backend) share one registry across all PE threads; merging
+/// gathered snapshots dedupes on this id so a shared registry is
+/// counted once, not once per rank.
+pub fn source_id() -> u64 {
+    u64::from(std::process::id())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_us_is_monotone() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn enabled_roundtrip() {
+        // Other tests may flip the global switch concurrently; assert
+        // only what a single toggle guarantees locally.
+        set_enabled(true);
+        assert!(enabled());
+    }
+}

@@ -1,0 +1,582 @@
+//! Metrics: counters, gauges, and log-bucketed histograms behind a
+//! process-global registry, with mergeable plain-value snapshots.
+//!
+//! ## Bucketing
+//!
+//! Histograms bucket by the bit length of the observed value: value
+//! `v` lands in bucket `64 - v.leading_zeros()` (bucket 0 holds only
+//! zeros, bucket `b ≥ 1` holds `[2^(b-1), 2^b)`). Bucket boundaries
+//! are therefore *identical on every PE by construction*, which is
+//! what makes bucket-wise addition an exact merge: like the paper's
+//! sketches, a histogram over a union of observation streams equals
+//! the bucket-wise sum of histograms over any partition of them —
+//! associative, commutative, loss-free. Quantiles are approximate
+//! (bucket midpoint), with relative error bounded by the bucket
+//! width, which is all the scheduler's retry hints need.
+//!
+//! ## Snapshots across PEs
+//!
+//! [`MetricsSnapshot`] is a plain value with a stable binary codec
+//! ([`MetricsSnapshot::encode`] / [`MetricsSnapshot::decode`]) so a
+//! world can `gather` per-PE snapshots as byte vectors over the
+//! existing collectives and fold them with [`MetricsSnapshot::merge`].
+//! [`merge_distinct`] additionally dedupes snapshots that came from
+//! the same OS process (in-process worlds share one registry).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets: bucket 0 for zero, buckets 1..=64 for
+/// each bit length of a `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Bucket index of a value: its bit length (0 for 0).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Smallest value in bucket `b`.
+pub fn bucket_floor(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Largest value in bucket `b`.
+pub fn bucket_ceil(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b == 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// Monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depths, inflight slots, …).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Concurrent log-bucketed histogram (the shared, hot-path form; see
+/// [`HistogramSnapshot`] for the single-threaded plain value).
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Plain-value copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::new();
+        for (b, c) in self.counts.iter().enumerate() {
+            snap.counts[b] = c.load(Ordering::Relaxed);
+        }
+        snap.sum = self.sum.load(Ordering::Relaxed);
+        snap
+    }
+}
+
+/// Plain-value log-bucketed histogram. Same bucketing as
+/// [`Histogram`], usable both as a snapshot of one and as a cheap
+/// local accumulator where no sharing is needed (the scheduler keeps
+/// these per tenant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observation count per bucket.
+    pub counts: [u64; NUM_BUCKETS],
+    /// Sum of all observed values (wrapping add on merge overflow).
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramSnapshot {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        HistogramSnapshot {
+            counts: [0; NUM_BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    /// Bucket-wise addition — the exact merge (associative and
+    /// commutative; a histogram over a union of streams equals the
+    /// merge over any partition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the midpoint of the bucket
+    /// containing the rank-`⌈q·count⌉` observation. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let lo = bucket_floor(b);
+                let hi = bucket_ceil(b);
+                return lo + (hi - lo) / 2;
+            }
+        }
+        bucket_ceil(NUM_BUCKETS - 1)
+    }
+
+    /// Median — [`HistogramSnapshot::quantile`] at 0.5.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+}
+
+/// One named metric in a registry.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Named registry of metrics. Use the process-global [`registry`];
+/// fresh instances exist for tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Empty registry (tests; production code uses [`registry`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get-or-create the counter named `name`. Panics if the name is
+    /// already registered as a different kind — metric names are a
+    /// global namespace (conventions in `docs/OBSERVABILITY.md`).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().expect("metrics registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create the gauge named `name` (panics on kind mismatch).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().expect("metrics registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create the histogram named `name` (panics on kind
+    /// mismatch).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().expect("metrics registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Plain-value snapshot of every registered metric, stamped with
+    /// this process's [`crate::source_id`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock().expect("metrics registry poisoned");
+        let mut snap = MetricsSnapshot::new(crate::source_id());
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Plain-value snapshot of a registry: mergeable, encodable, and safe
+/// to ship across PEs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Which OS process produced this snapshot ([`crate::source_id`]).
+    pub source: u64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram state by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Empty snapshot from `source`.
+    pub fn new(source: u64) -> Self {
+        MetricsSnapshot {
+            source,
+            ..Default::default()
+        }
+    }
+
+    /// Fold `other` into `self`: counters and gauges add, histograms
+    /// merge bucket-wise. Names present on either side survive.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Stable little-endian binary encoding (for gathering snapshots
+    /// across PEs with the byte-vector collectives).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(b"obsM");
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&self.source.to_le_bytes());
+        put_u32(&mut out, self.counters.len() as u32);
+        for (name, v) in &self.counters {
+            put_str(&mut out, name);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        put_u32(&mut out, self.gauges.len() as u32);
+        for (name, v) in &self.gauges {
+            put_str(&mut out, name);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        put_u32(&mut out, self.histograms.len() as u32);
+        for (name, h) in &self.histograms {
+            put_str(&mut out, name);
+            out.extend_from_slice(&h.sum.to_le_bytes());
+            let nonzero: Vec<(u8, u64)> = h
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c != 0)
+                .map(|(b, c)| (b as u8, *c))
+                .collect();
+            put_u32(&mut out, nonzero.len() as u32);
+            for (b, c) in nonzero {
+                out.push(b);
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode an [`MetricsSnapshot::encode`] buffer. Returns `None` on
+    /// any malformation (wrong magic, truncation, bad bucket index).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != b"obsM" || r.u16()? != 1 {
+            return None;
+        }
+        let mut snap = MetricsSnapshot::new(r.u64()?);
+        for _ in 0..r.u32()? {
+            let name = r.string()?;
+            let v = r.u64()?;
+            snap.counters.insert(name, v);
+        }
+        for _ in 0..r.u32()? {
+            let name = r.string()?;
+            let v = r.u64()? as i64;
+            snap.gauges.insert(name, v);
+        }
+        for _ in 0..r.u32()? {
+            let name = r.string()?;
+            let mut h = HistogramSnapshot::new();
+            h.sum = r.u64()?;
+            for _ in 0..r.u32()? {
+                let b = r.u8()? as usize;
+                if b >= NUM_BUCKETS {
+                    return None;
+                }
+                h.counts[b] = r.u64()?;
+            }
+            snap.histograms.insert(name, h);
+        }
+        Some(snap)
+    }
+}
+
+/// Merge gathered per-PE snapshots into one world view, keeping only
+/// one snapshot per distinct [`MetricsSnapshot::source`] — in-process
+/// worlds share a registry across all PE threads, so every rank
+/// gathers the same data and summing it naively would over-count.
+pub fn merge_distinct<'a>(snaps: impl IntoIterator<Item = &'a MetricsSnapshot>) -> MetricsSnapshot {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut world = MetricsSnapshot::new(0);
+    for snap in snaps {
+        if seen.insert(snap.source) {
+            world.merge(snap);
+        }
+    }
+    world
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    pub(crate) fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..NUM_BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(b)), b);
+            assert_eq!(bucket_of(bucket_ceil(b)), b);
+        }
+    }
+
+    #[test]
+    fn histogram_observe_and_quantile() {
+        let mut h = HistogramSnapshot::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 2, 3, 100, 100_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum, 100_106);
+        // Median of 5 observations is the 3rd (value 3, bucket [2, 3],
+        // whose floored midpoint is 2).
+        assert_eq!(h.p50(), 2);
+        // p100 lands in the bucket of 100_000: [2^16, 2^17).
+        let q = h.quantile(1.0);
+        assert!((bucket_floor(17)..=bucket_ceil(17)).contains(&q), "q = {q}");
+    }
+
+    #[test]
+    fn merge_is_bucketwise_sum() {
+        let mut a = HistogramSnapshot::new();
+        let mut b = HistogramSnapshot::new();
+        let mut whole = HistogramSnapshot::new();
+        for v in [5u64, 9, 13] {
+            a.observe(v);
+            whole.observe(v);
+        }
+        for v in [0u64, 1024, u64::MAX] {
+            b.observe(v);
+            whole.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn atomic_histogram_snapshots() {
+        let h = Histogram::default();
+        h.observe(7);
+        h.observe(7_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.sum, 7_007);
+    }
+
+    #[test]
+    fn registry_get_or_create_and_snapshot() {
+        let reg = Registry::new();
+        reg.counter("t.hits").add(3);
+        reg.counter("t.hits").inc();
+        reg.gauge("t.depth").set(-2);
+        reg.histogram("t.lat_us").observe(300);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["t.hits"], 4);
+        assert_eq!(snap.gauges["t.depth"], -2);
+        assert_eq!(snap.histograms["t.lat_us"].count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("t.name");
+        reg.gauge("t.name");
+    }
+
+    #[test]
+    fn snapshot_codec_roundtrips() {
+        let reg = Registry::new();
+        reg.counter("a.count").add(42);
+        reg.gauge("a.level").set(-7);
+        reg.histogram("a.ms").observe(0);
+        reg.histogram("a.ms").observe(12_345);
+        let snap = reg.snapshot();
+        let decoded = MetricsSnapshot::decode(&snap.encode()).expect("decodes");
+        assert_eq!(decoded, snap);
+        assert!(MetricsSnapshot::decode(b"junk").is_none());
+        assert!(MetricsSnapshot::decode(&snap.encode()[..9]).is_none());
+    }
+
+    #[test]
+    fn merge_distinct_dedupes_shared_registries() {
+        let mut a = MetricsSnapshot::new(1);
+        a.counters.insert("c".into(), 10);
+        let b = a.clone(); // same source: a thread-world duplicate
+        let mut c = MetricsSnapshot::new(2);
+        c.counters.insert("c".into(), 5);
+        let world = merge_distinct([&a, &b, &c]);
+        assert_eq!(world.counters["c"], 15);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the histogram merge algebra — the foundation of
+//! cross-PE metrics gathering: PE 0 folds gathered per-PE snapshots in
+//! whatever order and grouping the collective delivers them, so merge
+//! must be associative, commutative, and partition-invariant (any way
+//! of splitting one observation stream across PEs merges back to the
+//! histogram of the whole stream).
+
+use ccheck_obs::metrics::{bucket_of, NUM_BUCKETS};
+use ccheck_obs::{HistogramSnapshot, MetricsSnapshot};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    /// Any partition of an observation stream merges back to the
+    /// histogram of the whole stream — the invariant that makes
+    /// per-PE snapshots gatherable at all.
+    #[test]
+    fn partition_invariance(
+        values in prop::collection::vec(0u64..u64::MAX, 0..200),
+        cuts in prop::collection::vec(0usize..200, 0..8),
+    ) {
+        let whole = hist_of(&values);
+        // Split `values` at the (sorted, clamped) cut points.
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (values.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(values.len());
+        bounds.sort_unstable();
+        let mut merged = HistogramSnapshot::new();
+        for pair in bounds.windows(2) {
+            merged.merge(&hist_of(&values[pair[0]..pair[1]]));
+        }
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// Merge is commutative and associative (fold order across PEs is
+    /// an implementation detail of the gather).
+    #[test]
+    fn merge_commutes_and_associates(
+        a in prop::collection::vec(0u64..1 << 40, 0..60),
+        b in prop::collection::vec(0u64..1 << 40, 0..60),
+        c in prop::collection::vec(0u64..1 << 40, 0..60),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    /// The identity element is the empty histogram.
+    #[test]
+    fn empty_is_identity(values in prop::collection::vec(0u64..u64::MAX, 0..100)) {
+        let h = hist_of(&values);
+        let mut merged = h.clone();
+        merged.merge(&HistogramSnapshot::new());
+        prop_assert_eq!(&merged, &h);
+        let mut other = HistogramSnapshot::new();
+        other.merge(&h);
+        prop_assert_eq!(other, h);
+    }
+
+    /// Every observation lands in exactly one bucket and the quantile
+    /// of a bucketed value stays inside its bucket.
+    #[test]
+    fn observations_are_conserved(values in prop::collection::vec(0u64..u64::MAX, 1..100)) {
+        let h = hist_of(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let p50 = h.p50();
+        prop_assert!(bucket_of(p50) < NUM_BUCKETS);
+        // The median bucket contains at least one observed value's bucket.
+        prop_assert!(values.iter().any(|v| bucket_of(*v) == bucket_of(p50))
+            || values.is_empty());
+    }
+
+    /// The wire codec is lossless for arbitrary snapshots — gathered
+    /// bytes decode to exactly what the remote PE encoded.
+    #[test]
+    fn snapshot_codec_roundtrips(
+        counters in prop::collection::vec((0u64..1000, 0u64..u64::MAX / 2), 0..10),
+        observations in prop::collection::vec(0u64..u64::MAX, 0..100),
+        source in 0u64..u64::MAX,
+    ) {
+        let mut snap = MetricsSnapshot::new(source);
+        for (i, (k, v)) in counters.iter().enumerate() {
+            snap.counters.insert(format!("c{k}.{i}"), *v);
+            snap.gauges.insert(format!("g{k}.{i}"), *v as i64);
+        }
+        snap.histograms.insert("h".into(), hist_of(&observations));
+        prop_assert_eq!(MetricsSnapshot::decode(&snap.encode()), Some(snap));
+    }
+}

@@ -46,6 +46,7 @@ fn usage(problem: &str) -> ! {
          \u{20}                   [--policy fifo|priority|deadline-wfq]\n\
          \u{20}                   [--aging-ms MS] [--tenant-inflight N]\n\
          \u{20}                   [--tenant-queue-share PCT] [--no-steal]\n\
+         \u{20}                   [--trace-out PATH]\n\
          \n\
          --transport local   all PEs as threads of this process (default)\n\
          --transport tcp     this process is one rank of a ccheck-launch world\n\
@@ -62,7 +63,10 @@ fn usage(problem: &str) -> ! {
          --tenant-inflight N deadline-wfq: per-tenant inflight quota (default 2)\n\
          --tenant-queue-share PCT\n\
          \u{20}                   deadline-wfq: max queue share per tenant (default 50)\n\
-         --no-steal          deadline-wfq: idle slots never exceed tenant quotas"
+         --no-steal          deadline-wfq: idle slots never exceed tenant quotas\n\
+         --trace-out PATH    gather every PE's span buffer at shutdown and write\n\
+         \u{20}                   a Chrome trace_event JSON file (rank 0); implies\n\
+         \u{20}                   obs collection even without CCHECK_OBS"
     );
     std::process::exit(2);
 }
@@ -133,6 +137,10 @@ fn parse_args() -> Args {
                 _ => usage("--tenant-queue-share expects a percentage in 1..=100"),
             },
             "--no-steal" => steal = false,
+            "--trace-out" => match iter.next() {
+                Some(path) => args.cfg.trace_out = Some(PathBuf::from(path)),
+                None => usage("--trace-out expects a path"),
+            },
             other => usage(&format!("unknown option {other:?}")),
         }
     }
@@ -160,6 +168,15 @@ fn report(summary: &ServiceSummary) {
         summary.refused,
         summary.stolen,
         summary.retired_scope_bytes
+    );
+    let secs = summary.elapsed.as_secs_f64();
+    println!(
+        "elapsed: {secs:.2}s wall time ({:.1} jobs/s)",
+        if secs > 0.0 {
+            summary.jobs_run as f64 / secs
+        } else {
+            0.0
+        }
     );
 
     // Aggregates first — they stay exact and readable at any job count,
@@ -249,6 +266,12 @@ fn report(summary: &ServiceSummary) {
 
 fn main() {
     let args = parse_args();
+    // Honor CCHECK_OBS; a trace request is pointless without collection,
+    // so --trace-out switches it on regardless.
+    ccheck_obs::init_from_env();
+    if args.cfg.trace_out.is_some() {
+        ccheck_obs::set_enabled(true);
+    }
     if args.transport_tcp {
         let comm = match bootstrap::init_from_env() {
             Ok(Some(comm)) => comm,

@@ -21,6 +21,7 @@ enum Action {
     Submit { wait: bool, expect: Option<String> },
     Poll(u64),
     Chain(String),
+    Metrics,
     Shutdown,
 }
 
@@ -34,6 +35,9 @@ fn usage(problem: &str) -> ! {
          \u{20} (default)           submit a job; add --wait for the receipt\n\
          \u{20} --poll ID           query one job's status\n\
          \u{20} --chain TENANT      print a tenant's ledger chain summary\n\
+         \u{20} --metrics           print a live world-merged metrics snapshot\n\
+         \u{20}                     (Prometheus text format; obs series need the\n\
+         \u{20}                     service to run with CCHECK_OBS=1)\n\
          \u{20} --shutdown          drain and stop the service\n\
          \n\
          job options:\n\
@@ -103,6 +107,7 @@ fn main() {
                 )
             }
             "--chain" => action = Action::Chain(next_value(&mut iter, "--chain")),
+            "--metrics" => action = Action::Metrics,
             "--shutdown" => action = Action::Shutdown,
             "--wait" => {
                 if let Action::Submit { wait, .. } = &mut action {
@@ -222,6 +227,10 @@ fn main() {
                 chain.head,
                 chain.links.len()
             );
+        }
+        Action::Metrics => {
+            let text = client.metrics_prometheus().unwrap_or_else(|e| fail(&e));
+            print!("{text}");
         }
         Action::Submit { wait, expect } => {
             let ack = client.submit_acked(&spec).unwrap_or_else(|e| fail(&e));

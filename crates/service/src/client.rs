@@ -423,6 +423,30 @@ impl ServiceClient {
         self.wait(id)
     }
 
+    /// Fetch a live, world-merged metrics snapshot
+    /// (`docs/PROTOCOL.md` §2.5): PE 0 gathers every rank's counters,
+    /// gauges, and histograms over the control scope and merges them.
+    /// The response always carries the transport's `world.comm.*`
+    /// series; the obs-collected series (`net.*`, `sched.*`, `exec.*`,
+    /// `ledger.*`) are present when the service runs with `CCHECK_OBS`
+    /// enabled (`"enabled": true` in the response). The returned JSON
+    /// also embeds a ready-to-scrape Prometheus text rendering under
+    /// `"prometheus"` — see [`ServiceClient::metrics_prometheus`].
+    pub fn metrics(&mut self) -> Result<Json, ServiceError> {
+        self.request(&Json::obj([("cmd", Json::from("metrics"))]))
+    }
+
+    /// Like [`ServiceClient::metrics`], but return just the Prometheus
+    /// text-format rendering — what `ccheck-submit --metrics` prints.
+    pub fn metrics_prometheus(&mut self) -> Result<String, ServiceError> {
+        let response = self.metrics()?;
+        response
+            .get("prometheus")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ServiceError::Protocol("metrics response without prometheus".into()))
+    }
+
     /// Ask the service to drain and shut down.
     pub fn shutdown(&mut self) -> Result<(), ServiceError> {
         self.request(&Json::obj([("cmd", Json::from("shutdown"))]))?;

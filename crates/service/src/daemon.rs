@@ -92,6 +92,11 @@ pub struct ServiceConfig {
     /// (`docs/PROTOCOL.md` §6–§7). `None` keeps receipts in memory
     /// only.
     pub ledger_path: Option<PathBuf>,
+    /// If set (identically on every PE), the world gathers its trace
+    /// buffers at shutdown and rank 0 writes a Chrome `trace_event`
+    /// JSON file here (load via `chrome://tracing` or Perfetto). Spans
+    /// are only recorded while `CCHECK_OBS` collection is enabled.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -105,6 +110,7 @@ impl Default for ServiceConfig {
             receipt_cap: 4096,
             policy: PolicyCfg::Fifo,
             ledger_path: None,
+            trace_out: None,
         }
     }
 }
@@ -171,6 +177,9 @@ pub struct ServiceSummary {
     /// finished job scopes (on the in-process backend all PEs share one
     /// registry, so rank 0 carries the whole world's figure).
     pub retired_scope_bytes: u64,
+    /// Wall time from service start to clean shutdown on this rank —
+    /// the denominator of the final report's jobs-per-second figure.
+    pub elapsed: Duration,
 }
 
 type Registry = Arc<Mutex<HashMap<u64, JobStatus>>>;
@@ -220,6 +229,10 @@ struct Frontend {
     /// maximum so a restarted world continues the dead world's
     /// numbering (each Admit broadcasts its sequence number).
     admit_seq: AtomicU64,
+    /// Clients waiting on a `metrics` response: the listener parks a
+    /// sender here, the daemon loop broadcasts [`CtlMsg::Metrics`],
+    /// gathers the world snapshot, and answers every waiter at once.
+    metrics_waiters: Mutex<Vec<mpsc::Sender<Json>>>,
 }
 
 impl Frontend {
@@ -320,6 +333,7 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
         "max_inflight exceeds the tag scope space"
     );
     let rank = comm.rank();
+    let t_start = Instant::now();
     let mux = comm.into_mux();
     let mut ctl = mux.control();
 
@@ -362,6 +376,7 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
             ledger: ledger.map(Mutex::new),
             pending: Mutex::new(HashMap::new()),
             admit_seq: AtomicU64::new(admit_base),
+            metrics_waiters: Mutex::new(Vec::new()),
         });
         listener_handle = Some(spawn_listener(cfg, Arc::clone(&fe)));
         frontend = Some(fe);
@@ -386,6 +401,7 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
                 job_id,
                 slot,
                 seq,
+                queue_wait_ms,
                 spec,
             } => {
                 let slot_idx = slot as usize;
@@ -420,6 +436,12 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
                         // broadcast, so a restarted world continues the
                         // ledger's numbering on every PE.
                         receipt.admit_seq = seq;
+                        // So does the scheduler's queue-wait measurement:
+                        // every PE stamps the identical timing block the
+                        // ledger will seal.
+                        if let Some(timing) = receipt.timing.as_mut() {
+                            timing.queue_wait_ms = queue_wait_ms;
+                        }
                         // Deregister the scope before signaling done.
                         drop(comm);
                         // The receipt has captured the per-job volumes;
@@ -438,6 +460,28 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
                     .expect("spawn job worker");
                 slots[slot_idx] = Some(Slot { done, handle });
             }
+            CtlMsg::Metrics => {
+                // Two collectives, same order on every PE: the obs
+                // registries, then the world's comm-stats totals (which
+                // carry the unified transport series even when obs
+                // collection is off).
+                let gathered = ctl.gather_metrics();
+                let stats = ctl.gather_stats();
+                if let Some(fe) = &frontend {
+                    let (mut world, per_pe) =
+                        gathered.expect("rank 0 receives the gathered metrics");
+                    if let Some(stats) = &stats {
+                        world.merge(&stats.to_metrics("world.comm"));
+                    }
+                    let response = metrics_json(&world, per_pe.len());
+                    let waiters = std::mem::take(
+                        &mut *fe.metrics_waiters.lock().expect("metrics waiters poisoned"),
+                    );
+                    for waiter in waiters {
+                        let _ = waiter.send(response.clone());
+                    }
+                }
+            }
             CtlMsg::Shutdown => {
                 for slot in slots.iter_mut().filter_map(Option::take) {
                     let _ = slot.handle.join();
@@ -450,6 +494,17 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
     // Global quiescence, then the final accounting and teardown.
     ctl.barrier();
     let stats = ctl.gather_stats();
+    // Drain the world's trace buffers to rank 0 while the control scope
+    // is still alive (collective, so it must be unconditional on every
+    // PE whenever any PE writes a trace — cfg is identical world-wide).
+    if cfg.trace_out.is_some() {
+        let traces = ctl.gather_trace();
+        if let (Some(path), Some(traces)) = (&cfg.trace_out, traces) {
+            if let Err(e) = std::fs::write(path, ccheck_obs::export::chrome_trace_json(&traces)) {
+                eprintln!("ccheck-serve: cannot write trace to {path:?}: {e}");
+            }
+        }
+    }
     drop(ctl);
     mux.shutdown();
     if let Some(fe) = &frontend {
@@ -500,7 +555,52 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
         refused,
         stolen,
         retired_scope_bytes: retired_scope_bytes.load(Ordering::Relaxed),
+        elapsed: t_start.elapsed(),
     }
+}
+
+/// Render the merged world metrics for the `metrics` protocol response:
+/// every counter and gauge by name, histogram summaries (count, sum,
+/// p50/p99), plus the whole snapshot in Prometheus text exposition
+/// format for scrapers that want it verbatim.
+fn metrics_json(world: &ccheck_obs::MetricsSnapshot, sources: usize) -> Json {
+    let counters: BTreeMap<String, Json> = world
+        .counters
+        .iter()
+        .map(|(name, v)| (name.clone(), Json::from(*v)))
+        .collect();
+    let gauges: BTreeMap<String, Json> = world
+        .gauges
+        .iter()
+        .map(|(name, v)| (name.clone(), Json::Int(*v as i128)))
+        .collect();
+    let histograms: BTreeMap<String, Json> = world
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            (
+                name.clone(),
+                Json::obj([
+                    ("count", Json::from(h.count())),
+                    ("sum", Json::from(h.sum)),
+                    ("p50", Json::from(h.p50())),
+                    ("p99", Json::from(h.quantile(0.99))),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("enabled", Json::Bool(ccheck_obs::enabled())),
+        ("sources", Json::from(sources as u64)),
+        ("counters", Json::Obj(counters)),
+        ("gauges", Json::Obj(gauges)),
+        ("histograms", Json::Obj(histograms)),
+        (
+            "prometheus",
+            Json::Str(ccheck_obs::export::prometheus_text(world)),
+        ),
+    ])
 }
 
 /// PE 0's scheduling loop: block until there is something to broadcast.
@@ -508,6 +608,17 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
 /// refused while queued), then — if a slot is free — the policy's pick.
 fn next_action(fe: &Arc<Frontend>, slots: &[Option<Slot>]) -> CtlMsg {
     loop {
+        // Metrics requests preempt admissions: the gather is cheap, the
+        // waiter is a live client connection, and admissions re-run on
+        // the next loop iteration anyway.
+        if !fe
+            .metrics_waiters
+            .lock()
+            .expect("metrics waiters poisoned")
+            .is_empty()
+        {
+            return CtlMsg::Metrics;
+        }
         let now = fe.now_ms();
         let free = slots.iter().position(|slot| match slot {
             None => true,
@@ -532,6 +643,7 @@ fn next_action(fe: &Arc<Frontend>, slots: &[Option<Slot>]) -> CtlMsg {
                 // 1-based, continuing past the ledger's replayed
                 // maximum on a restarted world.
                 seq: fe.admit_seq.fetch_add(1, Ordering::AcqRel) + 1,
+                queue_wait_ms: admission.queue_wait_ms,
                 spec: admission.spec,
             };
         }
@@ -925,12 +1037,27 @@ fn handle_request(request: &Json, fe: &Arc<Frontend>) -> Json {
                 }
             }
         }
+        Some("metrics") => {
+            // Park until the daemon loop's next decision point: it
+            // broadcasts a Metrics collective, merges the world
+            // snapshot, and answers through this channel. Bounded wait:
+            // a shutting-down daemon may never run another decision.
+            let (tx, rx) = mpsc::channel();
+            fe.metrics_waiters
+                .lock()
+                .expect("metrics waiters poisoned")
+                .push(tx);
+            match rx.recv_timeout(Duration::from_secs(30)) {
+                Ok(response) => response,
+                Err(_) => error_json("metrics gather timed out (service draining?)"),
+            }
+        }
         Some("shutdown") => {
             fe.shutdown_requested.store(true, Ordering::Release);
             Json::obj([("ok", Json::Bool(true)), ("status", Json::from("draining"))])
         }
         other => error_json(format!(
-            "unknown cmd {other:?} (submit|poll|wait|chain|shutdown)"
+            "unknown cmd {other:?} (submit|poll|wait|chain|metrics|shutdown)"
         )),
     }
 }

@@ -13,6 +13,7 @@
 //! seeds until one actually changes the semantics, so "inject a fault"
 //! reliably means the checker has something to catch).
 
+use std::cell::Cell;
 use std::time::Instant;
 
 use ccheck::config::SumCheckConfig;
@@ -29,7 +30,53 @@ use ccheck_manip::{SortManipulator, SumManipulator, ZipManipulator};
 use ccheck_net::Comm;
 use ccheck_workloads::{local_range, uniform_ints_iter, zipf_valued_pairs_iter};
 
-use crate::job::{FaultSpec, JobOp, JobSpec, Receipt, ReceiptComm, Verdict};
+use crate::job::{FaultSpec, JobOp, JobSpec, Receipt, ReceiptComm, ReceiptTiming, Verdict};
+
+/// Microsecond accumulators for one job's phases. `generate` covers
+/// eager input materialization (chunked modes generate lazily inside
+/// the operation, so their generate share rides in `execute`);
+/// `execute` is the data operation itself (including injected faults
+/// and any checker-driven retries); `check` is checker time. Whatever
+/// the job spent outside all three (digests, the stats gather) is the
+/// receipt overhead, reported to the metrics registry as the remainder.
+#[derive(Debug, Default, Clone, Copy)]
+struct PhaseTimes {
+    generate_us: u64,
+    execute_us: u64,
+    check_us: u64,
+}
+
+/// Run `f`, adding its wall microseconds to `acc`.
+fn timed<T>(acc: &mut u64, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    *acc += t.elapsed().as_micros() as u64;
+    out
+}
+
+/// Cached handles for the per-phase job histograms — resolved once so
+/// the per-job cost is four atomic observes, not registry lookups.
+struct ExecObs {
+    jobs: std::sync::Arc<ccheck_obs::Counter>,
+    generate_us: std::sync::Arc<ccheck_obs::Histogram>,
+    execute_us: std::sync::Arc<ccheck_obs::Histogram>,
+    check_us: std::sync::Arc<ccheck_obs::Histogram>,
+    receipt_us: std::sync::Arc<ccheck_obs::Histogram>,
+}
+
+fn exec_obs() -> &'static ExecObs {
+    static OBS: std::sync::OnceLock<ExecObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = ccheck_obs::registry();
+        ExecObs {
+            jobs: reg.counter("exec.jobs"),
+            generate_us: reg.histogram("exec.generate_us"),
+            execute_us: reg.histogram("exec.execute_us"),
+            check_us: reg.histogram("exec.check_us"),
+            receipt_us: reg.histogram("exec.receipt_us"),
+        }
+    })
+}
 
 /// Check that a fault name is a known manipulator for the job's op.
 pub fn validate_fault(spec: &JobSpec) -> Result<(), String> {
@@ -139,18 +186,30 @@ fn digest_sequence(comm: &mut Comm, start: u64, items: impl Iterator<Item = u64>
 /// verdict/digest/element counts, and PE 0's receipt carries the
 /// gathered per-job communication volumes.
 pub fn execute_job(comm: &mut Comm, job_id: u64, spec: &JobSpec) -> Receipt {
+    let _span = ccheck_obs::span("exec.job");
     let t0 = Instant::now();
+    let mut ph = PhaseTimes::default();
     let (verdict, digest, output_elems) = match (spec.op, spec.chunk) {
-        (JobOp::Reduce, 0) => reduce_oneshot(comm, spec),
-        (JobOp::Reduce, chunk) => reduce_chunked(comm, spec, chunk as usize),
-        (JobOp::Sort, 0) => sort_oneshot(comm, spec),
-        (JobOp::Sort, chunk) => sort_chunked_job(comm, spec, chunk as usize),
-        (JobOp::Zip, 0) => zip_job(comm, spec, None),
-        (JobOp::Zip, chunk) => zip_job(comm, spec, Some(chunk as usize)),
+        (JobOp::Reduce, 0) => reduce_oneshot(comm, spec, &mut ph),
+        (JobOp::Reduce, chunk) => reduce_chunked(comm, spec, chunk as usize, &mut ph),
+        (JobOp::Sort, 0) => sort_oneshot(comm, spec, &mut ph),
+        (JobOp::Sort, chunk) => sort_chunked_job(comm, spec, chunk as usize, &mut ph),
+        (JobOp::Zip, 0) => zip_job(comm, spec, None, &mut ph),
+        (JobOp::Zip, chunk) => zip_job(comm, spec, Some(chunk as usize), &mut ph),
     };
     // Stats snapshot travels last, so it covers the whole job (minus the
     // gather's own traffic, identically in every execution mode).
     let stats = comm.gather_stats();
+    let total_us = t0.elapsed().as_micros() as u64;
+    if ccheck_obs::enabled() {
+        let obs = exec_obs();
+        obs.jobs.inc();
+        obs.generate_us.observe(ph.generate_us);
+        obs.execute_us.observe(ph.execute_us);
+        obs.check_us.observe(ph.check_us);
+        obs.receipt_us
+            .observe(total_us.saturating_sub(ph.generate_us + ph.execute_us + ph.check_us));
+    }
     Receipt {
         job_id,
         op: spec.op,
@@ -168,7 +227,16 @@ pub fn execute_job(comm: &mut Comm, job_id: u64, spec: &JobSpec) -> Receipt {
         digest,
         elems: spec.n,
         output_elems,
-        wall_ms: t0.elapsed().as_millis() as u64,
+        wall_ms: total_us / 1000,
+        // Sub-intervals of the wall clock above, so floor-to-ms keeps
+        // `exec_ms + check_ms ≤ wall_ms` — the invariant the timing
+        // e2e test asserts. Standalone runs never waited in a queue;
+        // the daemon overwrites `queue_wait_ms` from the admission.
+        timing: Some(ReceiptTiming {
+            queue_wait_ms: 0,
+            exec_ms: (ph.generate_us + ph.execute_us) / 1000,
+            check_ms: ph.check_us / 1000,
+        }),
         comm: stats.map(|s| ReceiptComm {
             total_bytes: s.total_bytes(),
             bottleneck_bytes: s.bottleneck_volume(),
@@ -210,12 +278,18 @@ fn reduce_fault(spec: &JobSpec) -> Option<(SumManipulator, &FaultSpec)> {
         .and_then(|f| sum_manipulator(&f.kind).map(|m| (m, f)))
 }
 
-fn reduce_oneshot(comm: &mut Comm, spec: &JobSpec) -> (Verdict, u64, u64) {
+fn reduce_oneshot(comm: &mut Comm, spec: &JobSpec, ph: &mut PhaseTimes) -> (Verdict, u64, u64) {
     let range = local_range(spec.n as usize, comm.rank(), comm.size());
-    let data: Vec<(u64, u64)> =
-        zipf_valued_pairs_iter(spec.seed, spec.keys, 1 << 20, range).collect();
+    let data: Vec<(u64, u64)> = timed(&mut ph.generate_us, || {
+        zipf_valued_pairs_iter(spec.seed, spec.keys, 1 << 20, range).collect()
+    });
     let hasher = partition_hasher(spec);
     let fault = reduce_fault(spec);
+    // The op closure runs *inside* the checked wrapper (and re-runs on
+    // retries), so its time is accumulated through a cell; the wrapper's
+    // remainder is checker time.
+    let op_us = Cell::new(0u64);
+    let t_checked = Instant::now();
     let (out, outcome) = checked_reduce_with(
         comm,
         data,
@@ -223,26 +297,41 @@ fn reduce_oneshot(comm: &mut Comm, spec: &JobSpec) -> (Verdict, u64, u64) {
         check_seed(spec),
         spec.max_retries as usize,
         |comm, d| {
+            let t = Instant::now();
             let mut out = reduce_by_key(comm, d, &hasher, |a, b| a.wrapping_add(b));
             if let Some((manip, f)) = &fault {
                 if comm.rank() == 0 {
                     apply_effective(&mut out, f.seed, |d, s| manip.apply(d, s));
                 }
             }
+            op_us.set(op_us.get() + t.elapsed().as_micros() as u64);
             out
         },
     );
+    let checked_us = t_checked.elapsed().as_micros() as u64;
+    ph.execute_us += op_us.get();
+    ph.check_us += checked_us.saturating_sub(op_us.get());
     let digest = digest_pairs(comm, &out);
     let total_out = comm.allreduce(out.len() as u64, |a, b| a + b);
     (outcome_verdict(outcome), digest, total_out)
 }
 
-fn reduce_chunked(comm: &mut Comm, spec: &JobSpec, chunk: usize) -> (Verdict, u64, u64) {
+fn reduce_chunked(
+    comm: &mut Comm,
+    spec: &JobSpec,
+    chunk: usize,
+    ph: &mut PhaseTimes,
+) -> (Verdict, u64, u64) {
     let range = local_range(spec.n as usize, comm.rank(), comm.size());
+    // Lazy input: generation interleaves with the chunked operation (and
+    // with the checker's replay), so it is not separable here — the
+    // execute/check phases absorb their own shares.
     let input = zipf_valued_pairs_iter(spec.seed, spec.keys, 1 << 20, range);
     let hasher = partition_hasher(spec);
-    let mut shard = reduce_by_key_chunked(comm, input.clone(), &hasher, chunk, |a, b| {
-        a.wrapping_add(b)
+    let mut shard = timed(&mut ph.execute_us, || {
+        reduce_by_key_chunked(comm, input.clone(), &hasher, chunk, |a, b| {
+            a.wrapping_add(b)
+        })
     });
     if let Some((manip, f)) = reduce_fault(spec) {
         if comm.rank() == 0 {
@@ -250,7 +339,9 @@ fn reduce_chunked(comm: &mut Comm, spec: &JobSpec, chunk: usize) -> (Verdict, u6
         }
     }
     let checker = SumChecker::new(sum_cfg(spec), check_seed(spec));
-    let ok = checker.check_distributed_stream(comm, input, shard.iter().copied());
+    let ok = timed(&mut ph.check_us, || {
+        checker.check_distributed_stream(comm, input, shard.iter().copied())
+    });
     let verdict = if ok {
         Verdict::Verified
     } else {
@@ -273,31 +364,49 @@ fn sort_fault(spec: &JobSpec) -> Option<(SortManipulator, &FaultSpec)> {
         .and_then(|f| sort_manipulator(&f.kind).map(|m| (m, f)))
 }
 
-fn sort_oneshot(comm: &mut Comm, spec: &JobSpec) -> (Verdict, u64, u64) {
+fn sort_oneshot(comm: &mut Comm, spec: &JobSpec, ph: &mut PhaseTimes) -> (Verdict, u64, u64) {
     let range = local_range(spec.n as usize, comm.rank(), comm.size());
-    let data: Vec<u64> = uniform_ints_iter(spec.seed, spec.keys.max(2), range).collect();
+    let data: Vec<u64> = timed(&mut ph.generate_us, || {
+        uniform_ints_iter(spec.seed, spec.keys.max(2), range).collect()
+    });
     let perm = perm_checker(spec);
     let fault = sort_fault(spec);
+    let op_us = Cell::new(0u64);
+    let t_checked = Instant::now();
     let (out, outcome) =
         checked_sort_with(comm, data, &perm, spec.max_retries as usize, |comm, d| {
+            let t = Instant::now();
             let mut out = sort(comm, d);
             if let Some((manip, f)) = &fault {
                 if comm.rank() == 0 {
                     apply_effective(&mut out, f.seed, |d, s| manip.apply(d, s));
                 }
             }
+            op_us.set(op_us.get() + t.elapsed().as_micros() as u64);
             out
         });
+    let checked_us = t_checked.elapsed().as_micros() as u64;
+    ph.execute_us += op_us.get();
+    ph.check_us += checked_us.saturating_sub(op_us.get());
     let (start, _) = comm.exclusive_prefix_sum(out.len() as u64);
     let digest = digest_sequence(comm, start, out.iter().copied());
     let total_out = comm.allreduce(out.len() as u64, |a, b| a + b);
     (outcome_verdict(outcome), digest, total_out)
 }
 
-fn sort_chunked_job(comm: &mut Comm, spec: &JobSpec, chunk: usize) -> (Verdict, u64, u64) {
+fn sort_chunked_job(
+    comm: &mut Comm,
+    spec: &JobSpec,
+    chunk: usize,
+    ph: &mut PhaseTimes,
+) -> (Verdict, u64, u64) {
     let range = local_range(spec.n as usize, comm.rank(), comm.size());
+    // Lazy input, as in `reduce_chunked`: generation rides inside the
+    // phases that consume the iterator.
     let input = uniform_ints_iter(spec.seed, spec.keys.max(2), range);
-    let mut out = sort_chunked(comm, input.clone(), chunk);
+    let mut out = timed(&mut ph.execute_us, || {
+        sort_chunked(comm, input.clone(), chunk)
+    });
     if let Some((manip, f)) = sort_fault(spec) {
         if comm.rank() == 0 {
             apply_effective(&mut out, f.seed, |d, s| manip.apply(d, s));
@@ -307,10 +416,12 @@ fn sort_chunked_job(comm: &mut Comm, spec: &JobSpec, chunk: usize) -> (Verdict, 
     // over regenerated input + local/boundary sortedness. Same collective
     // sequence on every PE (each sub-verdict is itself SPMD-consistent).
     let perm = perm_checker(spec);
-    let is_perm = perm.check_stream(comm, input, out.iter().copied());
-    let local_ok = out.windows(2).all(|w| w[0] <= w[1]);
-    let boundaries_ok = check_boundaries(comm, &out);
-    let ok = comm.all_agree(local_ok) && boundaries_ok && is_perm;
+    let ok = timed(&mut ph.check_us, || {
+        let is_perm = perm.check_stream(comm, input, out.iter().copied());
+        let local_ok = out.windows(2).all(|w| w[0] <= w[1]);
+        let boundaries_ok = check_boundaries(comm, &out);
+        comm.all_agree(local_ok) && boundaries_ok && is_perm
+    });
     let verdict = if ok {
         Verdict::Verified
     } else {
@@ -322,14 +433,21 @@ fn sort_chunked_job(comm: &mut Comm, spec: &JobSpec, chunk: usize) -> (Verdict, 
     (verdict, digest, total_out)
 }
 
-fn zip_job(comm: &mut Comm, spec: &JobSpec, chunk: Option<usize>) -> (Verdict, u64, u64) {
+fn zip_job(
+    comm: &mut Comm,
+    spec: &JobSpec,
+    chunk: Option<usize>,
+    ph: &mut PhaseTimes,
+) -> (Verdict, u64, u64) {
     let range = local_range(spec.n as usize, comm.rank(), comm.size());
-    let a: Vec<u64> = uniform_ints_iter(spec.seed ^ 0xA11CE, u64::MAX, range.clone()).collect();
+    let a: Vec<u64> = timed(&mut ph.generate_us, || {
+        uniform_ints_iter(spec.seed ^ 0xA11CE, u64::MAX, range.clone()).collect()
+    });
     let b_iter = uniform_ints_iter(spec.seed ^ 0xB0B, u64::MAX, range);
-    let mut out = match chunk {
+    let mut out = timed(&mut ph.execute_us, || match chunk {
         None => zip(comm, a.clone(), b_iter.clone().collect()),
         Some(chunk) => zip_chunked(comm, a.clone(), (a.len() as u64, b_iter.clone()), chunk),
-    };
+    });
     if let Some(f) = &spec.fault {
         if let Some(manip) = zip_manipulator(&f.kind) {
             if comm.rank() == 0 {
@@ -344,12 +462,14 @@ fn zip_job(comm: &mut Comm, spec: &JobSpec, chunk: Option<usize>) -> (Verdict, u
         },
         check_seed(spec),
     );
-    let ok = checker.check_stream(
-        comm,
-        (a.len() as u64, a.iter().copied()),
-        (a.len() as u64, b_iter),
-        (out.len() as u64, out.iter().copied()),
-    );
+    let ok = timed(&mut ph.check_us, || {
+        checker.check_stream(
+            comm,
+            (a.len() as u64, a.iter().copied()),
+            (a.len() as u64, b_iter),
+            (out.len() as u64, out.iter().copied()),
+        )
+    });
     let verdict = if ok {
         Verdict::Verified
     } else {

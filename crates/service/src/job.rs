@@ -515,6 +515,23 @@ pub struct ReceiptComm {
     pub max_rounds: u64,
 }
 
+/// Per-phase timing of one job, measured by the worker and sealed into
+/// the ledger with the rest of the receipt (`docs/PROTOCOL.md` §4).
+/// All values are milliseconds; `exec_ms + check_ms ≤ wall_ms` (both
+/// are sub-intervals of the receipt's wall clock), and `queue_wait_ms`
+/// precedes the wall-clock window entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReceiptTiming {
+    /// Milliseconds the job waited in the submission queue before
+    /// admission (0 for jobs run standalone, outside a service).
+    pub queue_wait_ms: u64,
+    /// Milliseconds spent generating input and running the operation
+    /// (everything except checking).
+    pub exec_ms: u64,
+    /// Milliseconds spent in the checker.
+    pub check_ms: u64,
+}
+
 /// The checker configuration a job actually ran with — the spec's own
 /// values for `CheckMode::Explicit`, or the scheduler's tuner pick for
 /// `CheckMode::Adaptive` (how clients observe the adaptive ladder).
@@ -560,6 +577,11 @@ pub struct Receipt {
     pub output_elems: u64,
     /// Wall-clock milliseconds on PE 0 (not comparable across runs).
     pub wall_ms: u64,
+    /// Per-phase timing (queue wait / execution / checking), measured
+    /// by the worker; `queue_wait_ms` is stamped from the scheduler's
+    /// admission record. Part of the canonical serialization, so it is
+    /// sealed into the ledger with everything else.
+    pub timing: Option<ReceiptTiming>,
     /// Per-job communication volumes (present on PE 0's receipt).
     pub comm: Option<ReceiptComm>,
     /// SHA-256 (hex) of the spec's canonical JSON (minus `job_id`),
@@ -609,6 +631,16 @@ impl Receipt {
                 ("adaptive", Json::Bool(self.check.adaptive)),
             ]),
         ));
+        if let Some(timing) = &self.timing {
+            pairs.push((
+                "timing",
+                Json::obj([
+                    ("queue_wait_ms", Json::from(timing.queue_wait_ms)),
+                    ("exec_ms", Json::from(timing.exec_ms)),
+                    ("check_ms", Json::from(timing.check_ms)),
+                ]),
+            ));
+        }
         if let Some(comm) = &self.comm {
             pairs.push((
                 "comm",
@@ -687,6 +719,13 @@ impl Receipt {
             elems: 100000,
             output_elems: 1000,
             wall_ms: 42,
+            // Phases nest inside the 42 ms wall clock (5 ms of queue
+            // wait precede it).
+            timing: Some(ReceiptTiming {
+                queue_wait_ms: 5,
+                exec_ms: 30,
+                check_ms: 7,
+            }),
             comm: Some(ReceiptComm {
                 total_bytes: 4096,
                 bottleneck_bytes: 1024,
@@ -718,6 +757,23 @@ impl Receipt {
             Some("fellback") => Verdict::FellBack,
             Some("rejected") => Verdict::Rejected,
             other => return Err(format!("bad verdict {other:?}")),
+        };
+        // Optional for protocol compatibility with pre-observability
+        // receipts.
+        let timing = match v.get("timing") {
+            None | Some(Json::Null) => None,
+            Some(t) => {
+                let sub = |key: &str| -> Result<u64, String> {
+                    t.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("receipt timing missing {key}"))
+                };
+                Some(ReceiptTiming {
+                    queue_wait_ms: sub("queue_wait_ms")?,
+                    exec_ms: sub("exec_ms")?,
+                    check_ms: sub("check_ms")?,
+                })
+            }
         };
         let comm = match v.get("comm") {
             None | Some(Json::Null) => None,
@@ -770,6 +826,7 @@ impl Receipt {
             elems: field("elems")?,
             output_elems: field("output_elems")?,
             wall_ms: field("wall_ms")?,
+            timing,
             comm,
             spec_fingerprint: opt_str(v, "spec_fingerprint")?,
             content_hash: opt_str(v, "content_hash")?,
@@ -804,9 +861,17 @@ pub enum CtlMsg {
         /// derived from per-PE admit counts) so a restarted world
         /// resumes numbering after the ledger's replayed maximum.
         seq: u64,
+        /// Milliseconds the job spent in the submission queue before
+        /// this admission, measured by the scheduler on PE 0 and
+        /// broadcast so every PE stamps the same receipt timing.
+        queue_wait_ms: u64,
         /// The job to run.
         spec: JobSpec,
     },
+    /// Collective metrics gather: every PE contributes its observability
+    /// snapshot over the control scope; PE 0 merges the world view and
+    /// answers the waiting `metrics` protocol clients.
+    Metrics,
     /// Drain complete: join workers, barrier, exit.
     Shutdown,
 }
@@ -818,14 +883,17 @@ impl Wire for CtlMsg {
                 job_id,
                 slot,
                 seq,
+                queue_wait_ms,
                 spec,
             } => {
                 1u8.write(buf);
                 job_id.write(buf);
                 slot.write(buf);
                 seq.write(buf);
+                queue_wait_ms.write(buf);
                 spec.write(buf);
             }
+            CtlMsg::Metrics => 2u8.write(buf),
             CtlMsg::Shutdown => 0u8.write(buf),
         }
     }
@@ -836,8 +904,10 @@ impl Wire for CtlMsg {
                 job_id: u64::read(input)?,
                 slot: u32::read(input)?,
                 seq: u64::read(input)?,
+                queue_wait_ms: u64::read(input)?,
                 spec: JobSpec::read(input)?,
             }),
+            2 => Some(CtlMsg::Metrics),
             0 => Some(CtlMsg::Shutdown),
             _ => None,
         }
@@ -845,13 +915,19 @@ impl Wire for CtlMsg {
 
     fn wire_size(&self) -> usize {
         match self {
-            CtlMsg::Admit { spec, .. } => 1 + 8 + 4 + 8 + spec.wire_size(),
+            CtlMsg::Admit { spec, .. } => 1 + 8 + 4 + 8 + 8 + spec.wire_size(),
+            CtlMsg::Metrics => 1,
             CtlMsg::Shutdown => 1,
         }
     }
 }
 
 /// Client-visible job status.
+//
+// `Done` dwarfs the other variants, but the receipt is the whole point
+// of a finished job's status and statuses live one-per-job — boxing
+// would trade an indirection on every poll/wait for nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobStatus {
     /// Accepted, waiting for a free slot.
@@ -1056,10 +1132,12 @@ mod tests {
     fn ctl_msg_wire_roundtrip() {
         for msg in [
             CtlMsg::Shutdown,
+            CtlMsg::Metrics,
             CtlMsg::Admit {
                 job_id: 7,
                 slot: 3,
                 seq: 19,
+                queue_wait_ms: 250,
                 spec: specs().remove(1),
             },
         ] {
@@ -1087,6 +1165,11 @@ mod tests {
             elems: 1_000_000,
             output_elems: 999,
             wall_ms: 123,
+            timing: Some(ReceiptTiming {
+                queue_wait_ms: 17,
+                exec_ms: 90,
+                check_ms: 33,
+            }),
             comm: Some(ReceiptComm {
                 total_bytes: 4096,
                 bottleneck_bytes: 1024,
@@ -1102,6 +1185,7 @@ mod tests {
 
         let bare = Receipt {
             comm: None,
+            timing: None,
             tenant: None,
             verdict: Verdict::Rejected,
             spec_fingerprint: None,

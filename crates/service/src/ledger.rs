@@ -33,6 +33,27 @@ use ccheck_hashing::{crc32c, sha256_hex};
 
 use crate::job::Receipt;
 
+/// Cached handles for the ledger's durability-latency histograms —
+/// appends are on the job-completion path, so each records as one
+/// atomic observe when collection is on and nothing otherwise.
+struct LedgerObs {
+    appends: std::sync::Arc<ccheck_obs::Counter>,
+    append_us: std::sync::Arc<ccheck_obs::Histogram>,
+    fsync_us: std::sync::Arc<ccheck_obs::Histogram>,
+}
+
+fn ledger_obs() -> &'static LedgerObs {
+    static OBS: std::sync::OnceLock<LedgerObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = ccheck_obs::registry();
+        LedgerObs {
+            appends: reg.counter("ledger.appends"),
+            append_us: reg.histogram("ledger.append_us"),
+            fsync_us: reg.histogram("ledger.fsync_us"),
+        }
+    })
+}
+
 /// File header identifying a receipt ledger (`docs/PROTOCOL.md` §6.1).
 pub const MAGIC: &[u8] = b"ccheck-ledger-v1\n";
 
@@ -284,6 +305,7 @@ impl Ledger {
         receipt.content_hash = Some(receipt.content_hash());
         receipt.prev_hash = Some(prev.clone());
 
+        let t_append = std::time::Instant::now();
         let payload = receipt.to_json().render().into_bytes();
         debug_assert!(payload.len() < MAX_RECORD_LEN as usize);
         let mut frame = Vec::with_capacity(8 + payload.len());
@@ -291,6 +313,11 @@ impl Ledger {
         frame.extend_from_slice(&crc32c(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
         self.file.write_all(&frame)?;
+        if ccheck_obs::enabled() {
+            let obs = ledger_obs();
+            obs.appends.inc();
+            obs.append_us.observe(t_append.elapsed().as_micros() as u64);
+        }
         self.unsynced += 1;
         if self.unsynced >= self.sync_every {
             self.sync()?;
@@ -309,7 +336,13 @@ impl Ledger {
     /// Force the batched appends to durable storage.
     pub fn sync(&mut self) -> io::Result<()> {
         if self.unsynced > 0 {
+            let t_sync = std::time::Instant::now();
             self.file.sync_data()?;
+            if ccheck_obs::enabled() {
+                ledger_obs()
+                    .fsync_us
+                    .observe(t_sync.elapsed().as_micros() as u64);
+            }
             self.unsynced = 0;
         }
         Ok(())
@@ -681,13 +714,14 @@ mod tests {
 \"elems\":100000,\"job_id\":7,\"op\":\"reduce\",\"output_elems\":1000,\"result_ok\":true,\
 \"retries\":1,\"spec_fingerprint\":\
 \"3c2dda6ed69065bba00b066d354918cef719a9d24b65dbefe6a6646ca58ab73b\",\
-\"tenant\":\"acme\",\"verdict\":\"retried\",\"wall_ms\":42}";
+\"tenant\":\"acme\",\"timing\":{\"check_ms\":7,\"exec_ms\":30,\"queue_wait_ms\":5},\
+\"verdict\":\"retried\",\"wall_ms\":42}";
 
     /// SHA-256 of `PROTOCOL_6_2_CANONICAL`.
     const PROTOCOL_6_2_CONTENT_HASH: &str =
-        "116aea07d0917567c07ecc0954b9fc1f54b424c01beb13421cab3ebd7a9cefe8";
+        "e8717ddce74912073d45fa321a51656f4e8536a43f1c9044038353f08938480f";
 
     /// Chain hash of the example as a tenant's first entry.
     const PROTOCOL_6_2_CHAIN_HASH: &str =
-        "451a9a23ae235927cf0c9735d85129fe7a7c74c351e9d7fdece3411c5d36262c";
+        "6fec159e0648945951addaec1576babf206679011c0ad00da6e1a2ad0a664b4a";
 }

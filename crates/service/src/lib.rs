@@ -63,7 +63,8 @@ pub use client::{ChainLink, ServiceClient, ServiceError, SubmitAck, TenantChain}
 pub use daemon::{run_service, run_service_world, ServiceConfig, ServiceSummary, TenantAgg};
 pub use exec::execute_job;
 pub use job::{
-    CheckMode, CheckUsed, FaultSpec, JobOp, JobSpec, JobStatus, Receipt, ReceiptComm, Verdict,
+    CheckMode, CheckUsed, FaultSpec, JobOp, JobSpec, JobStatus, Receipt, ReceiptComm,
+    ReceiptTiming, Verdict,
 };
 pub use ledger::Ledger;
 pub use sched::{PolicyCfg, SchedCore, SchedPolicy};

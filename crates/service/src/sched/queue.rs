@@ -10,10 +10,45 @@
 //! simulated clock, which is what makes the scheduling invariants
 //! testable without spinning up worlds.
 
+use ccheck_obs::HistogramSnapshot;
+
 use crate::job::{CheckMode, JobSpec, Receipt, Verdict};
 use crate::sched::policy::{PolicyCfg, SchedPolicy};
 use crate::sched::tenant::{TenantTable, DEFAULT_TENANT};
 use crate::sched::tuner::AdaptiveTuner;
+
+/// Retry-hint quantum before the first receipt arrives: with an empty
+/// wall-time histogram there is no p50 to quote, so hints assume a
+/// 250 ms service quantum (the pre-observability EWMA's seed value).
+const DEFAULT_WALL_MS: u64 = 250;
+
+/// Cached handles for the scheduler's decision counters — resolved once
+/// so the hot path is an atomic add, not a registry lookup. Counters
+/// only: the core's own histograms stay plain per-instance values (the
+/// registry is process-global, and tests run many cores in parallel).
+struct SchedObs {
+    enqueued: std::sync::Arc<ccheck_obs::Counter>,
+    admitted: std::sync::Arc<ccheck_obs::Counter>,
+    refused_busy: std::sync::Arc<ccheck_obs::Counter>,
+    expired: std::sync::Arc<ccheck_obs::Counter>,
+    stolen: std::sync::Arc<ccheck_obs::Counter>,
+    queue_wait_ms: std::sync::Arc<ccheck_obs::Histogram>,
+}
+
+fn sched_obs() -> &'static SchedObs {
+    static OBS: std::sync::OnceLock<SchedObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = ccheck_obs::registry();
+        SchedObs {
+            enqueued: reg.counter("sched.enqueued"),
+            admitted: reg.counter("sched.admitted"),
+            refused_busy: reg.counter("sched.refused.busy"),
+            expired: reg.counter("sched.expired"),
+            stolen: reg.counter("sched.stolen"),
+            queue_wait_ms: reg.histogram("sched.queue_wait_ms"),
+        }
+    })
+}
 
 /// Upper bound on distinct tenants one service tracks (tenant state,
 /// tuner state, and summary aggregates are all per-tenant; a hostile
@@ -67,6 +102,10 @@ pub struct Admission {
     pub spec: JobSpec,
     /// The pick exceeded the tenant's inflight quota (work stealing).
     pub stolen: bool,
+    /// Milliseconds the job waited queued before this pick, on the
+    /// service clock — broadcast with the admission so every PE stamps
+    /// the same receipt `timing.queue_wait_ms`.
+    pub queue_wait_ms: u64,
 }
 
 /// The PE-0 scheduler state machine. All methods take the service
@@ -82,8 +121,11 @@ pub struct SchedCore {
     inflight: usize,
     stolen: u64,
     refused: u64,
-    /// EWMA of completed-job wall milliseconds, for retry hints.
-    wall_ewma_ms: u64,
+    /// Log-bucketed histogram of completed-job wall milliseconds; retry
+    /// hints quote its p50, which a single outlier cannot drag the way
+    /// it skewed the old EWMA. Per-core (not in the global registry) so
+    /// concurrently running cores never share hint state.
+    wall_hist: HistogramSnapshot,
 }
 
 impl SchedCore {
@@ -101,7 +143,7 @@ impl SchedCore {
             inflight: 0,
             stolen: 0,
             refused: 0,
-            wall_ewma_ms: 250,
+            wall_hist: HistogramSnapshot::new(),
         }
     }
 
@@ -111,11 +153,16 @@ impl SchedCore {
     }
 
     /// Estimated milliseconds until a freed slot reaches a new
-    /// submission: one service quantum per queued-jobs-per-slot, from
-    /// the receipt-driven wall-time EWMA.
+    /// submission: one service quantum per queued-jobs-per-slot, where
+    /// the quantum is the median completed-job wall time (histogram
+    /// p50; `DEFAULT_WALL_MS` until the first receipt lands).
     pub fn retry_hint_ms(&self) -> u64 {
         let backlog = (self.queue.len() / self.max_inflight + 1) as u64;
-        (self.wall_ewma_ms.max(1)) * backlog
+        let quantum = match self.wall_hist.count() {
+            0 => DEFAULT_WALL_MS,
+            _ => self.wall_hist.p50().max(1),
+        };
+        quantum * backlog
     }
 
     /// Accept or refuse one submission. Refusals under non-FIFO
@@ -123,6 +170,9 @@ impl SchedCore {
     pub fn try_enqueue(&mut self, now_ms: u64, job_id: u64, spec: JobSpec) -> Result<(), Refusal> {
         let hint = || (self.policy.name() != "fifo").then(|| self.retry_hint_ms());
         if self.queue.len() >= self.queue_cap {
+            if ccheck_obs::enabled() {
+                sched_obs().refused_busy.inc();
+            }
             return Err(Refusal {
                 message: "busy: submission queue is full, retry later".into(),
                 retry_after_ms: hint(),
@@ -139,10 +189,16 @@ impl SchedCore {
             .policy
             .check_enqueue(&spec, &self.tenants, self.queue_cap)
         {
+            if ccheck_obs::enabled() {
+                sched_obs().refused_busy.inc();
+            }
             return Err(Refusal {
                 message,
                 retry_after_ms: hint(),
             });
+        }
+        if ccheck_obs::enabled() {
+            sched_obs().enqueued.inc();
         }
         self.tenants.note_enqueued(tenant);
         self.queue.push(QueuedJob {
@@ -169,6 +225,9 @@ impl SchedCore {
                     let job = self.queue.remove(i);
                     self.tenants.note_dropped(job.tenant());
                     self.refused += 1;
+                    if ccheck_obs::enabled() {
+                        sched_obs().expired.inc();
+                    }
                     refused.push((
                         job.job_id,
                         job.tenant().to_string(),
@@ -199,6 +258,15 @@ impl SchedCore {
         if picked.stolen {
             self.stolen += 1;
         }
+        let queue_wait_ms = now_ms.saturating_sub(job.enqueued_ms);
+        if ccheck_obs::enabled() {
+            let obs = sched_obs();
+            obs.admitted.inc();
+            if picked.stolen {
+                obs.stolen.inc();
+            }
+            obs.queue_wait_ms.observe(queue_wait_ms);
+        }
         let mut spec = job.spec;
         if spec.check == CheckMode::Adaptive {
             let (its, buckets, log2_rhat) = self.tuner.config_for(&tenant);
@@ -210,19 +278,20 @@ impl SchedCore {
             job_id: job.job_id,
             spec,
             stolen: picked.stolen,
+            queue_wait_ms,
         })
     }
 
     /// Feed one finished job's receipt back: tenant accounting, the
-    /// WFQ cost EWMA (per-scope comm volume), the adaptive tuner, and
-    /// the wall-time EWMA behind retry hints.
+    /// WFQ cost estimate (per-scope comm volume), the adaptive tuner,
+    /// and the wall-time histogram behind retry hints.
     pub fn complete(&mut self, receipt: &Receipt) {
         let tenant = receipt.tenant.as_deref().unwrap_or(DEFAULT_TENANT);
         let cost = receipt.comm.map_or(0, |c| c.total_bytes);
         self.tenants.note_completed(tenant, cost);
         self.inflight = self.inflight.saturating_sub(1);
         self.tuner.observe(tenant, receipt.verdict);
-        self.wall_ewma_ms = (3 * self.wall_ewma_ms + receipt.wall_ms.max(1)) / 4;
+        self.wall_hist.observe(receipt.wall_ms.max(1));
     }
 
     /// Replay one ledgered receipt's verdict into the adaptive tuner —
@@ -297,6 +366,7 @@ mod tests {
             elems: 0,
             output_elems: 0,
             wall_ms: 100,
+            timing: None,
             comm: Some(ReceiptComm {
                 total_bytes: 5_000,
                 ..ReceiptComm::default()

@@ -9,11 +9,13 @@
 
 use std::collections::BTreeMap;
 
+use ccheck_obs::HistogramSnapshot;
+
 /// Key of the anonymous default tenant (jobs submitted without one).
 pub const DEFAULT_TENANT: &str = "";
 
 /// Nominal per-job cost (bytes) charged to a tenant's WFQ virtual time
-/// until its first receipt arrives and the EWMA takes over.
+/// until its first receipt arrives and the cost histogram takes over.
 pub const NOMINAL_JOB_COST: u64 = 100_000;
 
 /// One tenant's live scheduling state.
@@ -31,10 +33,17 @@ pub struct TenantState {
     /// `cost / weight` on every admission; the tenant with the
     /// smallest value is the most underserved and goes next.
     pub vtime: u64,
-    /// EWMA of per-job total communication bytes from this tenant's
+    /// Median per-job total communication bytes from this tenant's
     /// receipts — the receipt-driven cost signal that prices future
     /// admissions (a tenant running heavy jobs burns vtime faster).
+    /// Derived as [`TenantState::cost_hist`]'s p50 on each completion,
+    /// so one anomalous job cannot reprice the tenant the way the old
+    /// EWMA let it. [`NOMINAL_JOB_COST`] until the first receipt.
     pub cost_ewma: u64,
+    /// Log-bucketed histogram of per-job communication bytes behind
+    /// `cost_ewma` (zero-cost receipts — jobs without a comm block —
+    /// are not observed).
+    pub cost_hist: HistogramSnapshot,
     /// WFQ weight: a weight-2 tenant accrues vtime half as fast and so
     /// receives twice the share of a weight-1 tenant.
     pub weight: u64,
@@ -49,6 +58,7 @@ impl Default for TenantState {
             completed: 0,
             vtime: 0,
             cost_ewma: NOMINAL_JOB_COST,
+            cost_hist: HistogramSnapshot::new(),
             weight: 1,
         }
     }
@@ -141,13 +151,15 @@ impl TenantTable {
     }
 
     /// Account a completion, folding the receipt's communication volume
-    /// into the tenant's cost EWMA (3:1 old:new — smooth but responsive).
+    /// into the tenant's cost histogram and repricing `cost_ewma` to
+    /// its median (robust to a single outlier job).
     pub fn note_completed(&mut self, tenant: &str, cost_bytes: u64) {
         let state = self.state_mut(tenant);
         state.inflight = state.inflight.saturating_sub(1);
         state.completed += 1;
         if cost_bytes > 0 {
-            state.cost_ewma = (3 * state.cost_ewma + cost_bytes) / 4;
+            state.cost_hist.observe(cost_bytes);
+            state.cost_ewma = state.cost_hist.p50().max(1);
         }
     }
 }

@@ -44,6 +44,7 @@ fn receipt_for(job: &JobSpec, job_id: u64) -> Receipt {
         elems: job.n,
         output_elems: 0,
         wall_ms: 20,
+        timing: None,
         comm: Some(ReceiptComm {
             total_bytes: 10_000,
             ..ReceiptComm::default()
