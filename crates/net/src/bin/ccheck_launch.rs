@@ -106,14 +106,46 @@ fn failed_child(children: &mut [(usize, Child)]) -> Option<String> {
     for (rank, child) in children.iter_mut() {
         if let Ok(Some(status)) = child.try_wait() {
             return Some(format!(
-                "worker {rank} exited with {status} before rendezvous completed"
+                "worker {rank} exited ({}) before rendezvous completed",
+                describe_exit(&status)
             ));
         }
     }
     None
 }
 
+/// Human classification of a worker's exit: the signal that killed it
+/// (named, for the common ones) or its exit code. The same vocabulary
+/// the service's `health` command uses for its Dead state, so launcher
+/// stderr and health reports read alike.
+fn describe_exit(status: &std::process::ExitStatus) -> String {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = status.signal() {
+            let name = match sig {
+                1 => " (SIGHUP)",
+                2 => " (SIGINT)",
+                4 => " (SIGILL)",
+                6 => " (SIGABRT)",
+                8 => " (SIGFPE)",
+                9 => " (SIGKILL)",
+                11 => " (SIGSEGV)",
+                13 => " (SIGPIPE)",
+                15 => " (SIGTERM)",
+                _ => "",
+            };
+            return format!("killed by signal {sig}{name}");
+        }
+    }
+    match status.code() {
+        Some(code) => format!("exit code {code}"),
+        None => format!("{status}"),
+    }
+}
+
 fn main() -> ExitCode {
+    ccheck_obs::log::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args);
 
@@ -141,7 +173,10 @@ fn main() -> ExitCode {
             .stdin(Stdio::null())
             .spawn();
         match spawned {
-            Ok(child) => children.push((rank, child)),
+            Ok(child) => {
+                ccheck_obs::debug!("launch", "spawned worker {rank} (pid {})", child.id());
+                children.push((rank, child));
+            }
             Err(e) => {
                 eprintln!(
                     "ccheck-launch: failed to spawn worker {rank} ({}): {e}",
@@ -176,14 +211,27 @@ fn main() -> ExitCode {
     // above it) forever.
     let run_deadline = opts.run_timeout.map(|t| Instant::now() + t);
     let mut failures = 0usize;
+    // The first worker to go down is usually the root cause — every
+    // other rank then dies of collective disconnection. Remember who it
+    // was and how it died, and lead the final report with it.
+    let mut first_exit: Option<(usize, String)> = None;
     let mut pending = children;
     while !pending.is_empty() {
         let mut still_running = Vec::with_capacity(pending.len());
         for (rank, mut child) in pending {
             match child.try_wait() {
-                Ok(Some(status)) if status.success() => {}
+                Ok(Some(status)) if status.success() => {
+                    ccheck_obs::info!("launch", "worker {rank} exited cleanly");
+                    if first_exit.is_none() {
+                        first_exit = Some((rank, describe_exit(&status)));
+                    }
+                }
                 Ok(Some(status)) => {
-                    eprintln!("ccheck-launch: worker {rank} failed: {status}");
+                    let how = describe_exit(&status);
+                    eprintln!("ccheck-launch: worker {rank} failed: {how}");
+                    if first_exit.is_none() {
+                        first_exit = Some((rank, how));
+                    }
                     failures += 1;
                 }
                 Ok(None) => still_running.push((rank, child)),
@@ -220,7 +268,14 @@ fn main() -> ExitCode {
         std::thread::sleep(Duration::from_millis(20));
     }
     if failures > 0 {
-        eprintln!("ccheck-launch: {failures}/{} workers failed", opts.procs);
+        match &first_exit {
+            Some((rank, how)) => eprintln!(
+                "ccheck-launch: {failures}/{} workers failed; first to exit \
+                 was worker {rank} ({how})",
+                opts.procs
+            ),
+            None => eprintln!("ccheck-launch: {failures}/{} workers failed", opts.procs),
+        }
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -235,6 +235,83 @@ impl Comm {
         })
     }
 
+    /// Like [`Comm::recv_raw`], but a dead peer is an `Err`, not a
+    /// panic. This is the receive for *supervision* traffic — e.g. the
+    /// health plane's PE-0 heartbeat collectors — where a vanished
+    /// peer is exactly the signal being watched for, not a fatal
+    /// protocol violation.
+    pub fn recv_raw_or_disconnect(&mut self, src: usize, tag: Tag) -> Result<Vec<u8>, NetError> {
+        assert!(src < self.size, "src {src} out of range 0..{}", self.size);
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|p| p.src == src && p.tag == tag)
+        {
+            let pkt = self.pending.remove(pos).expect("position valid");
+            if src != self.rank {
+                self.stats.pe(self.rank).record_recv(pkt.payload.len());
+            }
+            return Ok(pkt.payload);
+        }
+        if self.transport.is_closed(src) {
+            return Err(NetError::Disconnected { peer: src });
+        }
+        loop {
+            match self.transport.recv() {
+                Ok(pkt) => {
+                    if pkt.src == src && pkt.tag == tag {
+                        self.stats.pe(self.rank).record_recv(pkt.payload.len());
+                        return Ok(pkt.payload);
+                    }
+                    self.pending.push_back(pkt);
+                }
+                Err(NetError::Disconnected { peer }) if peer != src => continue,
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// Decoding wrapper over [`Comm::recv_raw_or_disconnect`]; a
+    /// malformed payload is reported as [`NetError::Decode`].
+    pub fn recv_or_disconnect<T: Wire>(&mut self, src: usize, tag: Tag) -> Result<T, NetError> {
+        let payload = self.recv_raw_or_disconnect(src, tag)?;
+        wire::decode(&payload).ok_or(NetError::Decode {
+            from: src,
+            tag: tag.0,
+        })
+    }
+
+    /// Receive the next `tag` message from **any** peer, reporting dead
+    /// peers as errors instead of panicking. This is the collector side
+    /// of a many-to-one supervision stream (the health plane's PE-0
+    /// heartbeat collector): blocking on one specific source would let
+    /// a single stalled peer starve everyone else's messages, and a
+    /// `Disconnected` peer is precisely the signal being watched for.
+    /// On the scoped transport each peer's closure is reported once;
+    /// keep calling to drain the remaining peers.
+    pub fn recv_any_or_disconnect<T: Wire>(&mut self, tag: Tag) -> Result<(usize, T), NetError> {
+        let pkt = match self.pending.iter().position(|p| p.tag == tag) {
+            Some(pos) => self.pending.remove(pos).expect("position valid"),
+            None => loop {
+                match self.transport.recv() {
+                    Ok(pkt) if pkt.tag == tag => break pkt,
+                    Ok(pkt) => self.pending.push_back(pkt),
+                    Err(err) => return Err(err),
+                }
+            },
+        };
+        if pkt.src != self.rank {
+            self.stats.pe(self.rank).record_recv(pkt.payload.len());
+        }
+        let src = pkt.src;
+        wire::decode(&pkt.payload)
+            .map(|v| (src, v))
+            .ok_or(NetError::Decode {
+                from: src,
+                tag: tag.0,
+            })
+    }
+
     /// Combined send+receive with a partner (full-duplex exchange, one
     /// round on the critical path — the model of §2 of the paper).
     pub fn exchange<T: Wire>(&mut self, partner: usize, tag: Tag, value: &T) -> T {
@@ -373,6 +450,34 @@ mod tests {
         assert_eq!(snap.per_pe()[0].bytes_sent, 32);
         assert_eq!(snap.per_pe()[1].bytes_recv, 32);
         assert_eq!(snap.total_messages(), 1);
+    }
+
+    #[test]
+    fn recv_or_disconnect_reports_dead_peer() {
+        let out = run_both(2, |comm| {
+            let tag = Tag::user(7);
+            if comm.rank() == 0 {
+                let first: Result<u64, _> = comm.recv_or_disconnect(1, tag);
+                assert_eq!(first.ok(), Some(99));
+                // Peer 1 exits after its one send; the next receive
+                // surfaces the death as an error, not a panic. The TCP
+                // backend reports the peer (`Disconnected`); the local
+                // backend can only see the whole domain go (`TornDown`).
+                let second: Result<u64, _> = comm.recv_or_disconnect(1, tag);
+                assert!(
+                    matches!(
+                        second,
+                        Err(NetError::Disconnected { peer: 1 }) | Err(NetError::TornDown)
+                    ),
+                    "{second:?}"
+                );
+                1
+            } else {
+                comm.send(0, tag, &99u64);
+                0
+            }
+        });
+        assert_eq!(out[0], 1);
     }
 
     #[test]

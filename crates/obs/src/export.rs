@@ -12,23 +12,30 @@ use crate::trace::TraceSnapshot;
 /// Render a metrics snapshot in the Prometheus text exposition
 /// format. Metric names are sanitized (every character outside
 /// `[a-zA-Z0-9_:]` becomes `_`, so `net.tx.bytes` exposes as
-/// `net_tx_bytes`). Histograms render as cumulative `_bucket{le=…}`
-/// series over the log-bucket upper bounds, plus `_sum` and `_count`.
+/// `net_tx_bytes`). Every family gets `# HELP` and `# TYPE` metadata;
+/// histograms render as cumulative `_bucket{le=…}` series over the
+/// log-bucket upper bounds, plus `_sum` and `_count`.
 pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     for (name, v) in &snap.counters {
+        let raw = name;
         let name = sanitize(name);
+        writeln!(out, "# HELP {name} ccheck counter {raw}").expect("write to String");
         writeln!(out, "# TYPE {name} counter").expect("write to String");
         writeln!(out, "{name} {v}").expect("write to String");
     }
     for (name, v) in &snap.gauges {
+        let raw = name;
         let name = sanitize(name);
+        writeln!(out, "# HELP {name} ccheck gauge {raw}").expect("write to String");
         writeln!(out, "# TYPE {name} gauge").expect("write to String");
         writeln!(out, "{name} {v}").expect("write to String");
     }
     for (name, h) in &snap.histograms {
+        let raw = name;
         let name = sanitize(name);
+        writeln!(out, "# HELP {name} ccheck histogram {raw}").expect("write to String");
         writeln!(out, "# TYPE {name} histogram").expect("write to String");
         let mut cum = 0u64;
         for (b, c) in h.counts.iter().enumerate() {
@@ -150,10 +157,14 @@ mod tests {
         reg.histogram("exec.check_us").observe(900);
         reg.histogram("exec.check_us").observe(5);
         let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# HELP net_tx_bytes "));
         assert!(text.contains("# TYPE net_tx_bytes counter"));
         assert!(text.contains("net_tx_bytes 100"));
+        assert!(text.contains("# HELP sched_queue_depth "));
         assert!(text.contains("# TYPE sched_queue_depth gauge"));
         assert!(text.contains("sched_queue_depth 3"));
+        assert!(text.contains("# HELP exec_check_us "));
+        assert!(text.contains("# TYPE exec_check_us histogram"));
         // 900 lands in [512, 1023]; cumulative count reaches 2 there.
         assert!(
             text.contains("exec_check_us_bucket{le=\"1023\"} 2"),
@@ -162,6 +173,110 @@ mod tests {
         assert!(text.contains("exec_check_us_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("exec_check_us_sum 905"));
         assert!(text.contains("exec_check_us_count 2"));
+    }
+
+    /// Lint-style validation of the full exposition format: every
+    /// sample belongs to a family announced by exactly one `# HELP`
+    /// and one `# TYPE` line (in that order, before any sample), names
+    /// are legal, histogram buckets are cumulative with `+Inf` equal
+    /// to `_count`, and `_sum`/`_count` exist for every histogram.
+    #[test]
+    fn prometheus_exposition_lints_clean() {
+        let reg = Registry::new();
+        reg.counter("net.tx.bytes").add(1);
+        reg.counter("sched.admitted").add(7);
+        reg.gauge("health.pe0.state").set(0);
+        reg.gauge("sched.queue.depth").set(-2);
+        let h = reg.histogram("exec.execute_us");
+        for v in [1u64, 3, 700, 700, 12_000] {
+            h.observe(v);
+        }
+        reg.histogram("sched.queue_wait_ms").observe(42);
+        let text = prometheus_text(&reg.snapshot());
+
+        fn legal_name(name: &str) -> bool {
+            !name.is_empty()
+                && !name.starts_with(|c: char| c.is_ascii_digit())
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+        // family -> (help seen, type seen, declared kind)
+        let mut families: std::collections::BTreeMap<String, (bool, bool, String)> =
+            std::collections::BTreeMap::new();
+        let mut hist_state: std::collections::BTreeMap<String, (u64, Option<u64>, Option<u64>)> =
+            std::collections::BTreeMap::new(); // family -> (last cum, +Inf, _count)
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines in the exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP has text");
+                assert!(legal_name(name), "illegal family name {name:?}");
+                assert!(!help.is_empty(), "HELP text must be non-empty");
+                let entry = families.entry(name.to_string()).or_default();
+                assert!(!entry.0, "duplicate HELP for {name}");
+                assert!(!entry.1, "HELP must precede TYPE for {name}");
+                entry.0 = true;
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE has a kind");
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind),
+                    "unknown TYPE {kind:?}"
+                );
+                let entry = families.entry(name.to_string()).or_default();
+                assert!(entry.0, "TYPE without preceding HELP for {name}");
+                assert!(!entry.1, "duplicate TYPE for {name}");
+                entry.1 = true;
+                entry.2 = kind.to_string();
+                continue;
+            }
+            // A sample line: name[{labels}] value.
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            value.parse::<i64>().expect("sample value is an integer");
+            let bare = series.split('{').next().expect("split is non-empty");
+            assert!(legal_name(bare), "illegal series name {bare:?}");
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| {
+                    let stripped = bare.strip_suffix(suffix)?;
+                    families
+                        .contains_key(stripped)
+                        .then(|| stripped.to_string())
+                })
+                .unwrap_or_else(|| bare.to_string());
+            let meta = families
+                .get(&family)
+                .unwrap_or_else(|| panic!("sample {series} has no HELP/TYPE family"));
+            assert!(meta.0 && meta.1, "family {family} missing HELP or TYPE");
+            if meta.2 == "histogram" {
+                let state = hist_state.entry(family.clone()).or_default();
+                let v = value.parse::<u64>().expect("histogram samples are u64");
+                if bare.ends_with("_bucket") {
+                    assert!(v >= state.0, "bucket counts must be cumulative in {series}");
+                    state.0 = v;
+                    if series.contains("le=\"+Inf\"") {
+                        state.1 = Some(v);
+                    }
+                } else if bare.ends_with("_count") {
+                    state.2 = Some(v);
+                } else {
+                    assert!(bare.ends_with("_sum"), "stray histogram sample {series}");
+                }
+            }
+        }
+        for (family, (_, _, kind)) in &families {
+            if kind == "histogram" {
+                let state = hist_state
+                    .get(family)
+                    .unwrap_or_else(|| panic!("histogram {family} has no samples"));
+                let inf = state.1.unwrap_or_else(|| panic!("{family} lacks +Inf"));
+                let count = state.2.unwrap_or_else(|| panic!("{family} lacks _count"));
+                assert_eq!(inf, count, "{family}: +Inf bucket must equal _count");
+            }
+        }
+        assert!(families.contains_key("exec_execute_us"));
+        assert!(families.contains_key("health_pe0_state"));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   monotonic microsecond timestamps. Draining never blocks writers.
 //! * **Exporters** ([`export`]): Chrome `trace_event` JSON for flame
 //!   views and Prometheus-style text exposition.
+//! * **Logging** ([`log`]): leveled structured logging with
+//!   per-module filters (`CCHECK_LOG=info,net=debug`) and optional
+//!   JSON-lines output — the replacement for ad-hoc `eprintln!`s.
 //!
 //! ## Overhead discipline
 //!
@@ -40,13 +43,14 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 pub mod export;
+pub mod log;
 pub mod metrics;
 pub mod trace;
 
 pub use metrics::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
 };
-pub use trace::{instant, span, trace_snapshot, Span, TraceEvent, TraceSnapshot};
+pub use trace::{instant, span, span_at, trace_snapshot, Span, TraceEvent, TraceSnapshot};
 
 /// Global collection switch. Off by default; hot paths check this with
 /// one relaxed load before doing any work.

@@ -1,0 +1,341 @@
+//! Leveled, structured logging with per-module filters.
+//!
+//! The runtime's daemons used ad-hoc `eprintln!`s for operational
+//! messages; this module replaces them with a leveled logger that is
+//! cheap when quiet and machine-readable when asked. The discipline
+//! matches the rest of the crate: the disabled path is one relaxed
+//! atomic load (the global maximum level), and everything slower —
+//! per-module filter lookup, formatting, the stderr write — happens
+//! only after a record passes that gate.
+//!
+//! ## Configuration
+//!
+//! `CCHECK_LOG` is a comma-separated filter spec: a bare level sets the
+//! default, `module=level` overrides one module tag.
+//!
+//! ```text
+//! CCHECK_LOG=info                # default info everywhere
+//! CCHECK_LOG=info,net=debug      # info, but net records down to debug
+//! CCHECK_LOG=warn,sched=off      # quiet, and nothing from sched
+//! ```
+//!
+//! `CCHECK_LOG_FORMAT=json` switches the output from the human text
+//! form to JSON lines (`{"ts_us":…,"level":…,"module":…,"msg":…}`),
+//! one object per record, suitable for `jq` or log shippers.
+//!
+//! The logger is independent of the trace/metrics switch
+//! ([`crate::enabled`]): an operator can ask for debug logs without
+//! paying for histogram collection, and vice versa.
+//!
+//! ## Recording
+//!
+//! The [`error!`](crate::error), [`warn!`](crate::warn),
+//! [`info!`](crate::info), and [`debug!`](crate::debug) macros take a
+//! module tag first, then `format!` arguments:
+//!
+//! ```
+//! ccheck_obs::log::set_spec("info,net=debug");
+//! ccheck_obs::info!("net", "listening on {}", "127.0.0.1:9999");
+//! ccheck_obs::debug!("sched", "this one is filtered out");
+//! ```
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::RwLock;
+
+/// Log severity, most severe first. `Off` silences a module entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing is recorded.
+    Off = 0,
+    /// The operation failed and someone should know.
+    Error = 1,
+    /// Something unexpected, but the service keeps going.
+    Warn = 2,
+    /// Operational milestones (startup, shutdown, admissions).
+    Info = 3,
+    /// Per-decision detail for debugging.
+    Debug = 4,
+}
+
+impl Level {
+    /// The lowercase name used in filter specs and rendered records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parse a filter-spec level name (`None` on anything unknown).
+    pub fn parse(s: &str) -> Option<Level> {
+        Some(match s {
+            "off" => Level::Off,
+            "error" => Level::Error,
+            "warn" => Level::Warn,
+            "info" => Level::Info,
+            "debug" => Level::Debug,
+            _ => return None,
+        })
+    }
+}
+
+/// Default level before any configuration: operational errors and
+/// warnings stay visible, matching the `eprintln!`s this replaced.
+const DEFAULT_LEVEL: Level = Level::Warn;
+
+/// The maximum level any module accepts — the one-atomic-load fast
+/// gate. A record strictly above this is dropped without locking or
+/// formatting.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(DEFAULT_LEVEL as u8);
+
+struct LogConfig {
+    default: Level,
+    /// `(module, level)` overrides, exact-match on the module tag.
+    modules: Vec<(String, Level)>,
+    json: bool,
+}
+
+fn config() -> &'static RwLock<LogConfig> {
+    static CONFIG: std::sync::OnceLock<RwLock<LogConfig>> = std::sync::OnceLock::new();
+    CONFIG.get_or_init(|| {
+        RwLock::new(LogConfig {
+            default: DEFAULT_LEVEL,
+            modules: Vec::new(),
+            json: false,
+        })
+    })
+}
+
+/// Fast gate used by the logging macros: could *any* module accept a
+/// record at `level`? One relaxed atomic load.
+#[inline(always)]
+pub fn level_enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Parse a `CCHECK_LOG`-style filter spec and install it. A bare level
+/// sets the default; `module=level` overrides one module tag; unknown
+/// level names are ignored. Returns the resulting maximum level.
+pub fn set_spec(spec: &str) -> Level {
+    let mut default = DEFAULT_LEVEL;
+    let mut modules = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        match part.split_once('=') {
+            Some((module, level)) => {
+                if let Some(level) = Level::parse(level.trim()) {
+                    modules.push((module.trim().to_string(), level));
+                }
+            }
+            None => {
+                if let Some(level) = Level::parse(part) {
+                    default = level;
+                }
+            }
+        }
+    }
+    let max = modules.iter().map(|(_, l)| *l).fold(default, Level::max);
+    let mut cfg = config().write().expect("log config poisoned");
+    cfg.default = default;
+    cfg.modules = modules;
+    drop(cfg);
+    MAX_LEVEL.store(max as u8, Ordering::Relaxed);
+    max
+}
+
+/// Switch between human text lines and JSON lines.
+pub fn set_json(json: bool) {
+    config().write().expect("log config poisoned").json = json;
+}
+
+/// Configure from the environment: `CCHECK_LOG` (filter spec) and
+/// `CCHECK_LOG_FORMAT=json`. Binaries call this once at startup.
+pub fn init_from_env() {
+    if let Ok(spec) = std::env::var("CCHECK_LOG") {
+        if !spec.is_empty() {
+            set_spec(&spec);
+        }
+    }
+    if matches!(std::env::var("CCHECK_LOG_FORMAT").as_deref(), Ok("json")) {
+        set_json(true);
+    }
+}
+
+/// The level `module` accepts, after filters.
+pub fn module_level(module: &str) -> Level {
+    let cfg = config().read().expect("log config poisoned");
+    cfg.modules
+        .iter()
+        .find(|(m, _)| m == module)
+        .map(|(_, l)| *l)
+        .unwrap_or(cfg.default)
+}
+
+/// Render one record the way [`write()`] would print it. Pure — the
+/// testable core of the output format.
+pub fn render_line(json: bool, ts_us: u64, level: Level, module: &str, msg: &str) -> String {
+    if json {
+        format!(
+            "{{\"ts_us\":{ts_us},\"level\":\"{}\",\"module\":\"{}\",\"msg\":\"{}\"}}",
+            level.name(),
+            escape(module),
+            escape(msg)
+        )
+    } else {
+        format!("[{ts_us:>10}us {:<5} {module}] {msg}", level.name())
+    }
+}
+
+/// Slow path behind the macros: apply the per-module filter, render,
+/// and write one line to stderr. Callers gate on [`level_enabled`]
+/// first.
+pub fn write(level: Level, module: &str, args: std::fmt::Arguments<'_>) {
+    let json = {
+        let cfg = config().read().expect("log config poisoned");
+        let effective = cfg
+            .modules
+            .iter()
+            .find(|(m, _)| m == module)
+            .map(|(_, l)| *l)
+            .unwrap_or(cfg.default);
+        if level > effective {
+            return;
+        }
+        cfg.json
+    };
+    let line = render_line(json, crate::now_us(), level, module, &args.to_string());
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    let _ = writeln!(out, "{line}");
+}
+
+/// Minimal JSON string escaping for rendered records.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Log at [`Level::Error`]: `error!("module", "fmt", args…)`.
+#[macro_export]
+macro_rules! error {
+    ($module:expr, $($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Error) {
+            $crate::log::write($crate::log::Level::Error, $module, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Warn`]: `warn!("module", "fmt", args…)`.
+#[macro_export]
+macro_rules! warn {
+    ($module:expr, $($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Warn) {
+            $crate::log::write($crate::log::Level::Warn, $module, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Info`]: `info!("module", "fmt", args…)`.
+#[macro_export]
+macro_rules! info {
+    ($module:expr, $($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Info) {
+            $crate::log::write($crate::log::Level::Info, $module, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Debug`]: `debug!("module", "fmt", args…)`.
+#[macro_export]
+macro_rules! debug {
+    ($module:expr, $($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Debug) {
+            $crate::log::write($crate::log::Level::Debug, $module, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The spec tests below rewrite the process-global config;
+    /// serialize them.
+    fn spec_guard() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spec_sets_default_and_module_overrides() {
+        let _g = spec_guard();
+        let max = set_spec("info,net=debug,sched=off");
+        assert_eq!(max, Level::Debug);
+        assert_eq!(module_level("net"), Level::Debug);
+        assert_eq!(module_level("sched"), Level::Off);
+        assert_eq!(module_level("anything-else"), Level::Info);
+        assert!(level_enabled(Level::Debug));
+        set_spec("warn");
+        assert!(!level_enabled(Level::Info));
+        assert!(level_enabled(Level::Warn));
+    }
+
+    #[test]
+    fn unknown_levels_are_ignored() {
+        let _g = spec_guard();
+        let max = set_spec("verbose,net=trace,exec=error");
+        // Neither bogus name applied; only exec=error did.
+        assert_eq!(module_level("net"), DEFAULT_LEVEL);
+        assert_eq!(module_level("exec"), Level::Error);
+        assert_eq!(max, Level::max(DEFAULT_LEVEL, Level::Error));
+        set_spec("warn");
+    }
+
+    #[test]
+    fn text_line_shape() {
+        let line = render_line(false, 1234, Level::Info, "net", "listening");
+        assert!(line.contains("1234us"), "{line}");
+        assert!(line.contains("info"), "{line}");
+        assert!(line.contains("net] listening"), "{line}");
+    }
+
+    #[test]
+    fn json_line_is_escaped_and_parseable_shape() {
+        let line = render_line(true, 7, Level::Warn, "exec", "bad \"quote\"\nnewline");
+        assert_eq!(
+            line,
+            "{\"ts_us\":7,\"level\":\"warn\",\"module\":\"exec\",\
+             \"msg\":\"bad \\\"quote\\\"\\nnewline\"}"
+        );
+    }
+
+    #[test]
+    fn level_order_and_names_roundtrip() {
+        assert!(Level::Error < Level::Debug);
+        for l in [
+            Level::Off,
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+        ] {
+            assert_eq!(Level::parse(l.name()), Some(l));
+        }
+        assert_eq!(Level::parse("nope"), None);
+    }
+}

@@ -47,6 +47,19 @@ pub fn span(name: &str) -> Span {
     }
 }
 
+/// Record an already-measured span with explicit timestamps (µs since
+/// the process epoch, as from [`crate::now_us`]). For call sites that
+/// measure first and attribute later — e.g. the executor's per-job
+/// phase lanes, whose shares are only known once the job completes.
+/// No-op while collection is disabled.
+#[inline]
+pub fn span_at(name: &str, start_us: u64, dur_us: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_ring(|ring| ring.record(intern(name), start_us, dur_us));
+}
+
 /// RAII guard for one span; see [`span`].
 #[must_use = "a span measures until it is dropped"]
 #[derive(Debug)]

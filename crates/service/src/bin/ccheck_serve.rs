@@ -47,6 +47,8 @@ fn usage(problem: &str) -> ! {
          \u{20}                   [--aging-ms MS] [--tenant-inflight N]\n\
          \u{20}                   [--tenant-queue-share PCT] [--no-steal]\n\
          \u{20}                   [--trace-out PATH]\n\
+         \u{20}                   [--heartbeat-ms MS] [--suspect-ms MS] [--dead-ms MS]\n\
+         \u{20}                   [--straggler-k K] [--straggler-min-ms MS]\n\
          \n\
          --transport local   all PEs as threads of this process (default)\n\
          --transport tcp     this process is one rank of a ccheck-launch world\n\
@@ -66,7 +68,16 @@ fn usage(problem: &str) -> ! {
          --no-steal          deadline-wfq: idle slots never exceed tenant quotas\n\
          --trace-out PATH    gather every PE's span buffer at shutdown and write\n\
          \u{20}                   a Chrome trace_event JSON file (rank 0); implies\n\
-         \u{20}                   obs collection even without CCHECK_OBS"
+         \u{20}                   obs collection even without CCHECK_OBS\n\
+         --heartbeat-ms MS   worker heartbeat send interval (default 100)\n\
+         --suspect-ms MS     heartbeat age before a PE is Suspect (default 400)\n\
+         --dead-ms MS        heartbeat age before a PE is Dead (default 1500)\n\
+         --straggler-k K     flag jobs running past K x the op's p95 (default 4)\n\
+         --straggler-min-ms MS\n\
+         \u{20}                   floor for the straggler threshold (default 200)\n\
+         \n\
+         Structured logging honors CCHECK_LOG (e.g. `info,net=debug`) and\n\
+         CCHECK_LOG_FORMAT=json; see docs/OBSERVABILITY.md"
     );
     std::process::exit(2);
 }
@@ -137,6 +148,26 @@ fn parse_args() -> Args {
                 _ => usage("--tenant-queue-share expects a percentage in 1..=100"),
             },
             "--no-steal" => steal = false,
+            "--heartbeat-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => args.cfg.health.heartbeat_interval_ms = v,
+                _ => usage("--heartbeat-ms expects a positive integer"),
+            },
+            "--suspect-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => args.cfg.health.suspect_after_ms = v,
+                _ => usage("--suspect-ms expects a positive integer"),
+            },
+            "--dead-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => args.cfg.health.dead_after_ms = v,
+                _ => usage("--dead-ms expects a positive integer"),
+            },
+            "--straggler-k" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 => args.cfg.health.straggler_k = v,
+                _ => usage("--straggler-k expects a positive number"),
+            },
+            "--straggler-min-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => args.cfg.health.straggler_min_ms = v,
+                _ => usage("--straggler-min-ms expects a positive integer"),
+            },
             "--trace-out" => match iter.next() {
                 Some(path) => args.cfg.trace_out = Some(PathBuf::from(path)),
                 None => usage("--trace-out expects a path"),
@@ -269,6 +300,7 @@ fn main() {
     // Honor CCHECK_OBS; a trace request is pointless without collection,
     // so --trace-out switches it on regardless.
     ccheck_obs::init_from_env();
+    ccheck_obs::log::init_from_env();
     if args.cfg.trace_out.is_some() {
         ccheck_obs::set_enabled(true);
     }

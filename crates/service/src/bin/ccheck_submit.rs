@@ -15,6 +15,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use ccheck_service::json::Json;
 use ccheck_service::{CheckMode, FaultSpec, JobSpec, ServiceClient, ServiceError};
 
 enum Action {
@@ -22,6 +23,8 @@ enum Action {
     Poll(u64),
     Chain(String),
     Metrics,
+    Health,
+    Timeline(u64),
     Shutdown,
 }
 
@@ -38,6 +41,13 @@ fn usage(problem: &str) -> ! {
          \u{20} --metrics           print a live world-merged metrics snapshot\n\
          \u{20}                     (Prometheus text format; obs series need the\n\
          \u{20}                     service to run with CCHECK_OBS=1)\n\
+         \u{20} --health            print the world's per-PE liveness report\n\
+         \u{20}                     (healthy/suspect/dead from heartbeat ages,\n\
+         \u{20}                     queue depth, inflight, flagged stragglers)\n\
+         \u{20} --timeline ID       print job ID's merged cross-PE timeline:\n\
+         \u{20}                     queue -> admit -> generate -> execute ->\n\
+         \u{20}                     check -> receipt lanes from every PE (the\n\
+         \u{20}                     service must run with CCHECK_OBS=1)\n\
          \u{20} --shutdown          drain and stop the service\n\
          \n\
          job options:\n\
@@ -108,6 +118,14 @@ fn main() {
             }
             "--chain" => action = Action::Chain(next_value(&mut iter, "--chain")),
             "--metrics" => action = Action::Metrics,
+            "--health" => action = Action::Health,
+            "--timeline" => {
+                action = Action::Timeline(
+                    next_value(&mut iter, "--timeline")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--timeline expects a job id")),
+                )
+            }
             "--shutdown" => action = Action::Shutdown,
             "--wait" => {
                 if let Action::Submit { wait, .. } = &mut action {
@@ -231,6 +249,67 @@ fn main() {
         Action::Metrics => {
             let text = client.metrics_prometheus().unwrap_or_else(|e| fail(&e));
             print!("{text}");
+        }
+        Action::Health => {
+            // One canonical JSON line (machine-greppable), then a
+            // per-PE table on stderr for humans.
+            let health = client.health().unwrap_or_else(|e| fail(&e));
+            println!("{}", health.render());
+            if let Some(Json::Arr(pes)) = health.get("pes") {
+                for pe in pes {
+                    let num = |k: &str| pe.get(k).and_then(Json::as_u64).unwrap_or(0);
+                    let state = pe.get("state").and_then(Json::as_str).unwrap_or("?");
+                    let exited = pe
+                        .get("exited")
+                        .and_then(Json::as_str)
+                        .map(|r| format!(" ({r})"))
+                        .unwrap_or_default();
+                    eprintln!(
+                        "ccheck-submit: PE {} {state:<8} age {} ms, inflight {}, \
+                         last seq {}{exited}",
+                        num("rank"),
+                        num("age_ms"),
+                        num("inflight"),
+                        num("last_admit_seq"),
+                    );
+                }
+            }
+        }
+        Action::Timeline(id) => {
+            let timeline = client.timeline(id).unwrap_or_else(|e| fail(&e));
+            let enabled = timeline.get("enabled").and_then(Json::as_bool) == Some(true);
+            let events = match timeline.get("events") {
+                Some(Json::Arr(events)) => events.as_slice(),
+                _ => &[],
+            };
+            if events.is_empty() {
+                eprintln!(
+                    "ccheck-submit: no trace events for job {id}{}",
+                    if enabled {
+                        " (did it run yet? rings also overwrite oldest-first)"
+                    } else {
+                        " (service trace collection is off; run ccheck-serve with CCHECK_OBS=1)"
+                    }
+                );
+                std::process::exit(1);
+            }
+            // One line per span/instant, already merged across PEs and
+            // sorted by start time. Timestamps are per-process epochs —
+            // exact within a source, approximate across sources.
+            println!("timeline for job {id} ({} events):", events.len());
+            for ev in events {
+                let num = |k: &str| ev.get(k).and_then(Json::as_u64).unwrap_or(0);
+                let text = |k: &str| ev.get(k).and_then(Json::as_str).unwrap_or("?");
+                println!(
+                    "  {:>12} us  {:>10} us  {:<9} source {:<8} {} [{}]",
+                    num("start_us"),
+                    num("dur_us"),
+                    text("phase"),
+                    num("source"),
+                    text("thread"),
+                    text("kind"),
+                );
+            }
         }
         Action::Submit { wait, expect } => {
             let ack = client.submit_acked(&spec).unwrap_or_else(|e| fail(&e));

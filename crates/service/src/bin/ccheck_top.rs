@@ -1,0 +1,244 @@
+//! `ccheck-top` — live terminal dashboard for a running service world.
+//!
+//! ```text
+//! ccheck-top --addr-file /tmp/ccheck.addr
+//! ccheck-top --addr 127.0.0.1:9400 --once      # one frame, for scripts/CI
+//! ```
+//!
+//! Long-polls the daemon's `watch` command (PE 0's periodic delta
+//! snapshots) for throughput, queue depth, latency quantiles, and
+//! per-tenant rates, and the collective-free `health` command for the
+//! per-PE liveness table and straggler list. Zero dependencies: plain
+//! ANSI escapes, no TUI library. Ctrl-C to exit.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ccheck_service::health::WatchSample;
+use ccheck_service::json::Json;
+use ccheck_service::{ServiceClient, ServiceError};
+
+struct Args {
+    addr: Option<String>,
+    addr_file: Option<PathBuf>,
+    once: bool,
+    frames: Option<u64>,
+    no_clear: bool,
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!(
+        "error: {problem}\n\
+         \n\
+         usage: ccheck-top (--addr HOST:PORT | --addr-file PATH)\n\
+         \u{20}                [--once] [--frames N] [--no-clear]\n\
+         \n\
+         --addr HOST:PORT    client socket of the service world's PE 0\n\
+         --addr-file PATH    read the address from PATH (written by ccheck-serve)\n\
+         --once              render a single frame and exit (scripts, CI)\n\
+         --frames N          exit after N frames\n\
+         --no-clear          append frames instead of redrawing in place"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        addr_file: None,
+        once: false,
+        frames: None,
+        no_clear: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => match iter.next() {
+                Some(a) => args.addr = Some(a),
+                None => usage("--addr expects HOST:PORT"),
+            },
+            "--addr-file" => match iter.next() {
+                Some(p) => args.addr_file = Some(PathBuf::from(p)),
+                None => usage("--addr-file expects a path"),
+            },
+            "--once" => args.once = true,
+            "--frames" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => args.frames = Some(n),
+                _ => usage("--frames expects a positive integer"),
+            },
+            "--no-clear" => args.no_clear = true,
+            other => usage(&format!("unknown option {other:?}")),
+        }
+    }
+    if args.addr.is_some() == args.addr_file.is_some() {
+        usage("exactly one of --addr / --addr-file is required");
+    }
+    args
+}
+
+/// jobs/s between two samples, from the monotone `jobs_done` counter.
+fn rate(prev: &WatchSample, cur: &WatchSample) -> f64 {
+    let dt_ms = cur.at_ms.saturating_sub(prev.at_ms);
+    if dt_ms == 0 {
+        return 0.0;
+    }
+    let done = cur.jobs_done.saturating_sub(prev.jobs_done);
+    done as f64 * 1000.0 / dt_ms as f64
+}
+
+fn state_color(state: &str) -> &'static str {
+    match state {
+        "healthy" => "\x1b[32m", // green
+        "suspect" => "\x1b[33m", // yellow
+        _ => "\x1b[31m",         // red
+    }
+}
+
+fn render(prev: Option<&WatchSample>, cur: &WatchSample, health: &Json, color: bool) {
+    let paint = |code: &'static str| if color { code } else { "" };
+    let reset = paint("\x1b[0m");
+    let bold = paint("\x1b[1m");
+
+    let jobs_per_s = prev.map(|p| rate(p, cur)).unwrap_or(0.0);
+    let world = health.get("world").and_then(Json::as_u64).unwrap_or(0);
+    let uptime_ms = health.get("uptime_ms").and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "{bold}ccheck-top{reset}  world={world}  up {:.1}s  sample #{} @ {} ms",
+        uptime_ms as f64 / 1000.0,
+        cur.seq,
+        cur.at_ms
+    );
+    println!(
+        "jobs: {:.1}/s  done={} refused={}  queue={} inflight={}  p50={} ms p95={} ms",
+        jobs_per_s,
+        cur.jobs_done,
+        cur.jobs_refused,
+        cur.queue_depth,
+        cur.inflight,
+        cur.p50_ms,
+        cur.p95_ms
+    );
+    let (h, s, d) = (cur.healthy, cur.suspect, cur.dead);
+    println!(
+        "PEs:  {}{h} healthy{reset}  {}{s} suspect{reset}  {}{d} dead{reset}",
+        paint("\x1b[32m"),
+        if s > 0 { paint("\x1b[33m") } else { "" },
+        if d > 0 { paint("\x1b[31m") } else { "" },
+    );
+    if let (Some(pe), Some(skew)) = (
+        health.get("lagging_pe").and_then(Json::as_u64),
+        health.get("lagging_skew").and_then(Json::as_f64),
+    ) {
+        println!("lag:  PE {pe} is {skew:.2}x the mean execute time of its peers");
+    }
+
+    println!(
+        "\n{:>5} {:>8} {:>9} {:>9} {:>9}",
+        "PE", "state", "age ms", "inflight", "last seq"
+    );
+    if let Some(Json::Arr(pes)) = health.get("pes") {
+        for pe in pes {
+            let state = pe.get("state").and_then(Json::as_str).unwrap_or("?");
+            let col = if color { state_color(state) } else { "" };
+            let exited = pe
+                .get("exited")
+                .and_then(Json::as_str)
+                .map(|r| format!("  ({r})"))
+                .unwrap_or_default();
+            println!(
+                "{:>5} {col}{:>8}{reset} {:>9} {:>9} {:>9}{exited}",
+                pe.get("rank").and_then(Json::as_u64).unwrap_or(0),
+                state,
+                pe.get("age_ms").and_then(Json::as_u64).unwrap_or(0),
+                pe.get("inflight").and_then(Json::as_u64).unwrap_or(0),
+                pe.get("last_admit_seq").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
+    }
+
+    if !cur.tenants.is_empty() {
+        println!("\n{:>16} {:>8}", "tenant", "jobs");
+        for (tenant, jobs) in &cur.tenants {
+            let name = if tenant.is_empty() {
+                "(default)"
+            } else {
+                tenant
+            };
+            println!("{name:>16} {jobs:>8}");
+        }
+    }
+
+    if let Some(Json::Arr(stragglers)) = health.get("stragglers") {
+        if !stragglers.is_empty() {
+            println!(
+                "\n{}stragglers:{reset} {:>6} {:>8} {:>11} {:>9} {:>13}",
+                paint("\x1b[33m"),
+                "job",
+                "op",
+                "running ms",
+                "p95 ms",
+                "threshold ms"
+            );
+            for s in stragglers {
+                println!(
+                    "            {:>6} {:>8} {:>11} {:>9} {:>13}",
+                    s.get("job_id").and_then(Json::as_u64).unwrap_or(0),
+                    s.get("op").and_then(Json::as_str).unwrap_or("?"),
+                    s.get("running_ms").and_then(Json::as_u64).unwrap_or(0),
+                    s.get("p95_ms").and_then(Json::as_u64).unwrap_or(0),
+                    s.get("threshold_ms").and_then(Json::as_u64).unwrap_or(0),
+                );
+            }
+        }
+    }
+}
+
+fn fail(err: ServiceError) -> ! {
+    eprintln!("ccheck-top: {err}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args = parse_args();
+    let timeout = Duration::from_secs(10);
+    let mut client = match (&args.addr, &args.addr_file) {
+        (Some(addr), None) => ServiceClient::connect_with_retry(addr, timeout),
+        (None, Some(path)) => ServiceClient::connect_via_addr_file(path, timeout),
+        _ => unreachable!("validated in parse_args"),
+    }
+    .unwrap_or_else(|e| fail(e));
+
+    // Frames redraw in place by default; TERM=dumb / piped output loses
+    // nothing because every frame is self-contained.
+    let color = !args.no_clear && std::env::var_os("NO_COLOR").is_none();
+    let mut since = 0u64;
+    let mut prev: Option<WatchSample> = None;
+    let mut frames_left = if args.once { Some(1) } else { args.frames };
+    loop {
+        let (latest, samples) = match client.watch(since) {
+            Ok(r) => r,
+            Err(e) => fail(e),
+        };
+        since = latest;
+        let Some(cur) = samples.last() else {
+            // Deadline elapsed with no new sample (idle world with a long
+            // sample interval) — poll again.
+            continue;
+        };
+        let health = match client.health() {
+            Ok(h) => h,
+            Err(e) => fail(e),
+        };
+        if !args.no_clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        render(prev.as_ref(), cur, &health, color);
+        prev = Some(cur.clone());
+        if let Some(n) = &mut frames_left {
+            *n -= 1;
+            if *n == 0 {
+                break;
+            }
+        }
+    }
+}

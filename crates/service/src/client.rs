@@ -6,6 +6,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+use crate::health::WatchSample;
 use crate::job::{JobSpec, Receipt};
 use crate::json::{self, Json};
 use crate::ledger::{chain_hash, GENESIS_HASH};
@@ -445,6 +446,57 @@ impl ServiceClient {
             .and_then(Json::as_str)
             .map(str::to_string)
             .ok_or_else(|| ServiceError::Protocol("metrics response without prometheus".into()))
+    }
+
+    /// Fetch the world's live health report (`docs/PROTOCOL.md` §2.6):
+    /// per-PE Healthy/Suspect/Dead liveness from heartbeat ages, queue
+    /// depth, inflight count, and any flagged stragglers. Answered from
+    /// PE-0-local watchdog state — no collective — so it keeps working
+    /// while a PE is stopped or dead.
+    pub fn health(&mut self) -> Result<Json, ServiceError> {
+        self.request(&Json::obj([("cmd", Json::from("health"))]))
+    }
+
+    /// Long-poll the service's time-series ring (`docs/PROTOCOL.md`
+    /// §2.7): every [`WatchSample`] newer than `since`, plus the newest
+    /// retained sequence number to pass back on the next call. An empty
+    /// vector means the bounded server-side wait expired — just call
+    /// again. This is the feed behind `ccheck-top`.
+    pub fn watch(&mut self, since: u64) -> Result<(u64, Vec<WatchSample>), ServiceError> {
+        let response = self.request(&Json::obj([
+            ("cmd", Json::from("watch")),
+            ("since", Json::from(since)),
+        ]))?;
+        let latest = response
+            .get("latest")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServiceError::Protocol("watch response without latest".into()))?;
+        let raw = match response.get("samples") {
+            Some(Json::Arr(items)) => items.as_slice(),
+            _ => {
+                return Err(ServiceError::Protocol(
+                    "watch response without samples".into(),
+                ))
+            }
+        };
+        let mut samples = Vec::with_capacity(raw.len());
+        for item in raw {
+            samples.push(WatchSample::from_json(item).map_err(ServiceError::Protocol)?);
+        }
+        Ok((latest, samples))
+    }
+
+    /// Fetch one job's merged cross-PE timeline (`docs/PROTOCOL.md`
+    /// §2.8): the daemon gathers every PE's trace ring and filters for
+    /// the job's correlation prefix, returning its queue → admit →
+    /// generate → execute → check → receipt lanes sorted by start time.
+    /// Spans exist only while the service collects (`CCHECK_OBS=1`);
+    /// check `"enabled"` in the response.
+    pub fn timeline(&mut self, id: u64) -> Result<Json, ServiceError> {
+        self.request(&Json::obj([
+            ("cmd", Json::from("timeline")),
+            ("id", Json::from(id)),
+        ]))
     }
 
     /// Ask the service to drain and shut down.

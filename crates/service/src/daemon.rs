@@ -48,13 +48,26 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ccheck_net::{Backend, Comm, StatsSnapshot};
+use ccheck_net::{Backend, Comm, NetError, StatsSnapshot, Tag};
+use ccheck_obs::HistogramSnapshot;
 
-use crate::exec::{execute_job, validate_fault};
+use crate::exec::{execute_job_traced, validate_fault, TraceCtx};
+use crate::health::{
+    HealthCfg, HealthTracker, Heartbeat, Liveness, PeHealth, SampleRing, SlowJob, StragglerWatch,
+    WatchSample,
+};
 use crate::job::{CtlMsg, JobSpec, JobStatus, Receipt, Verdict};
 use crate::json::{self, Json};
 use crate::ledger::Ledger;
 use crate::sched::{PolicyCfg, SchedCore};
+
+/// The health plane's dedicated tag scope: the very top of the scope
+/// space, which job slots (`1..=max_inflight`, with `max_inflight <
+/// MAX_SCOPE` asserted) can never reach.
+const HEALTH_SCOPE: u64 = ccheck_net::scope::MAX_SCOPE;
+
+/// The one message tag on the health scope.
+const HEARTBEAT_TAG: Tag = Tag(1);
 
 /// Service configuration (identical on every PE; the listener fields
 /// are only used by rank 0).
@@ -97,6 +110,10 @@ pub struct ServiceConfig {
     /// JSON file here (load via `chrome://tracing` or Perfetto). Spans
     /// are only recorded while `CCHECK_OBS` collection is enabled.
     pub trace_out: Option<PathBuf>,
+    /// Health-plane tuning: heartbeat cadence, the Suspect/Dead age
+    /// thresholds, and the straggler multiplier (identical on every
+    /// PE; the watchdog itself runs on rank 0).
+    pub health: HealthCfg,
 }
 
 impl Default for ServiceConfig {
@@ -111,6 +128,7 @@ impl Default for ServiceConfig {
             policy: PolicyCfg::Fifo,
             ledger_path: None,
             trace_out: None,
+            health: HealthCfg::default(),
         }
     }
 }
@@ -233,6 +251,42 @@ struct Frontend {
     /// sender here, the daemon loop broadcasts [`CtlMsg::Metrics`],
     /// gathers the world snapshot, and answers every waiter at once.
     metrics_waiters: Mutex<Vec<mpsc::Sender<Json>>>,
+    /// Clients waiting on a `timeline` response, keyed by job id: the
+    /// daemon loop broadcasts [`CtlMsg::Trace`], gathers the world's
+    /// trace rings, and answers every waiter for that job at once.
+    trace_waiters: Mutex<Vec<(u64, mpsc::Sender<Json>)>>,
+    /// World size (for the `health` report).
+    world: usize,
+    /// Health-plane tuning (the watch-sample cadence and thresholds
+    /// echoed in the `health` response).
+    health_cfg: HealthCfg,
+    /// The PE-0 watchdog: per-PE heartbeat ages and Healthy/Suspect/
+    /// Dead classification. Fed by the collector thread and rank 0's
+    /// own self-beat; read lock-free of any collective by `health`.
+    health: Mutex<HealthTracker>,
+    /// Last classification logged per PE, so liveness transitions are
+    /// logged once per change rather than once per tick.
+    pe_states: Mutex<Vec<Liveness>>,
+    /// The straggler watch: per-op wall-time history and inflight
+    /// admission times.
+    straggler: Mutex<StragglerWatch>,
+    /// Currently-flagged stragglers that are still running (cleared on
+    /// completion), for the `health` response.
+    slow_live: Mutex<Vec<SlowJob>>,
+    /// The `watch` command's time-series ring of periodic samples.
+    samples: Mutex<SampleRing>,
+    /// Service-clock ms of the last pushed watch sample.
+    last_sample_ms: AtomicU64,
+    /// Jobs currently executing on this rank (shared with the Admit
+    /// arm and job workers; also what rank 0's self-beat reports).
+    inflight: Arc<AtomicU64>,
+    /// Jobs completed since startup (receipts recorded).
+    jobs_done: AtomicU64,
+    /// Wall-time distribution of completed jobs, for the watch
+    /// samples' p50/p95.
+    wall_hist: Mutex<HistogramSnapshot>,
+    /// The most recent metrics-derived lagging-PE verdict, if any.
+    lagging: Mutex<Option<(usize, f64)>>,
 }
 
 impl Frontend {
@@ -276,13 +330,31 @@ impl Frontend {
             let mut ledger = ledger.lock().expect("ledger poisoned");
             match ledger.append(receipt.clone()) {
                 Ok(sealed) => receipt = sealed,
-                Err(e) => eprintln!("ccheck-serve: ledger append failed for job {job_id}: {e}"),
+                Err(e) => {
+                    ccheck_obs::error!("service", "ledger append failed for job {job_id}: {e}")
+                }
             }
         }
         self.sched
             .lock()
             .expect("scheduler poisoned")
             .complete(&receipt);
+        // Health-plane bookkeeping: the wall time teaches the straggler
+        // history, a flagged job stops being live, and the watch
+        // samples' latency quantiles learn the completion.
+        self.straggler
+            .lock()
+            .expect("straggler poisoned")
+            .completed(job_id, receipt.wall_ms);
+        self.slow_live
+            .lock()
+            .expect("slow live poisoned")
+            .retain(|s| s.job_id != job_id);
+        self.wall_hist
+            .lock()
+            .expect("wall hist poisoned")
+            .observe(receipt.wall_ms.max(1));
+        self.jobs_done.fetch_add(1, Ordering::Relaxed);
         {
             let mut agg = self.agg.lock().expect("aggregates poisoned");
             agg.entry(receipt.tenant.clone().unwrap_or_default())
@@ -321,6 +393,113 @@ impl Frontend {
         let ledger = ledger.lock().expect("ledger poisoned");
         ledger.get(job_id).map(|r| JobStatus::Done(r.clone()))
     }
+
+    /// One watchdog pass, run from every iteration of PE 0's scheduling
+    /// loop: rank 0's self-beat, liveness-transition logging, gauge
+    /// export, the straggler scan, and (on the heartbeat cadence) one
+    /// `watch` sample pushed into the ring.
+    fn tick(&self) {
+        let now = self.now_ms();
+        let self_beat = Heartbeat {
+            rank: 0,
+            uptime_ms: now,
+            inflight: self.inflight.load(Ordering::Relaxed),
+            last_admit_seq: self.admit_seq.load(Ordering::Relaxed),
+            bye: false,
+        };
+        let (counts, report) = {
+            let mut health = self.health.lock().expect("health poisoned");
+            health.beat(&self_beat, now);
+            health.export_gauges(now);
+            (health.counts(now), health.report(now))
+        };
+        {
+            let mut prev = self.pe_states.lock().expect("pe states poisoned");
+            for pe in &report {
+                if prev[pe.rank] != pe.state {
+                    ccheck_obs::warn!(
+                        "health",
+                        "PE {} is now {} (heartbeat age {} ms{})",
+                        pe.rank,
+                        pe.state.name(),
+                        pe.age_ms,
+                        pe.exited
+                            .as_deref()
+                            .map(|r| format!(", {r}"))
+                            .unwrap_or_default()
+                    );
+                    prev[pe.rank] = pe.state;
+                }
+            }
+        }
+        let slow = self
+            .straggler
+            .lock()
+            .expect("straggler poisoned")
+            .check(now);
+        if !slow.is_empty() {
+            for s in &slow {
+                ccheck_obs::warn!(
+                    "health",
+                    "straggler: job {} ({}) running {} ms, threshold {} ms (op p95 {} ms)",
+                    s.job_id,
+                    s.op,
+                    s.running_ms,
+                    s.threshold_ms,
+                    s.p95_ms
+                );
+                if ccheck_obs::enabled() {
+                    ccheck_obs::registry().counter("health.stragglers").inc();
+                    ccheck_obs::instant(&format!("straggler.job{}", s.job_id));
+                }
+            }
+            self.slow_live
+                .lock()
+                .expect("slow live poisoned")
+                .extend(slow);
+        }
+        // One watch sample per heartbeat interval (the tick itself runs
+        // every loop iteration, ~1 ms).
+        let interval = self.health_cfg.heartbeat_interval_ms.max(1);
+        let last = self.last_sample_ms.load(Ordering::Acquire);
+        if now >= last.saturating_add(interval)
+            && self
+                .last_sample_ms
+                .compare_exchange(last, now, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            let (queue_depth, refused) = {
+                let sched = self.sched.lock().expect("scheduler poisoned");
+                (sched.queue_len() as u64, sched.refused())
+            };
+            let (p50_ms, p95_ms) = {
+                let hist = self.wall_hist.lock().expect("wall hist poisoned");
+                (hist.quantile(0.5), hist.quantile(0.95))
+            };
+            let tenants = self
+                .agg
+                .lock()
+                .expect("aggregates poisoned")
+                .iter()
+                .map(|(t, a)| (t.clone(), a.jobs))
+                .collect();
+            let sample = WatchSample {
+                seq: 0, // stamped by the ring
+                at_ms: now,
+                jobs_done: self.jobs_done.load(Ordering::Relaxed),
+                jobs_refused: refused,
+                queue_depth,
+                inflight: self.inflight.load(Ordering::Relaxed),
+                healthy: counts.0,
+                suspect: counts.1,
+                dead: counts.2,
+                p50_ms,
+                p95_ms,
+                tenants,
+            };
+            self.samples.lock().expect("samples poisoned").push(sample);
+        }
+    }
 }
 
 /// Run the service daemon on this communicator until a client requests
@@ -333,9 +512,17 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
         "max_inflight exceeds the tag scope space"
     );
     let rank = comm.rank();
+    let size = comm.size();
     let t_start = Instant::now();
     let mux = comm.into_mux();
     let mut ctl = mux.control();
+    ccheck_obs::info!("service", "PE {rank}/{size}: service loop up");
+
+    // Per-rank live counters, shared between the admission loop, job
+    // workers, and this rank's heartbeat (rank 0's frontend holds the
+    // same `inflight` for its self-beat and the `health` response).
+    let inflight = Arc::new(AtomicU64::new(0));
+    let last_seq = Arc::new(AtomicU64::new(0));
 
     // PE 0: client frontend.
     let mut frontend: Option<Arc<Frontend>> = None;
@@ -377,9 +564,131 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
             pending: Mutex::new(HashMap::new()),
             admit_seq: AtomicU64::new(admit_base),
             metrics_waiters: Mutex::new(Vec::new()),
+            trace_waiters: Mutex::new(Vec::new()),
+            world: size,
+            health_cfg: cfg.health.clone(),
+            health: Mutex::new(HealthTracker::new(cfg.health.clone(), size, 0)),
+            pe_states: Mutex::new(vec![Liveness::Healthy; size]),
+            straggler: Mutex::new(StragglerWatch::new(&cfg.health)),
+            slow_live: Mutex::new(Vec::new()),
+            samples: Mutex::new(SampleRing::new(1024)),
+            last_sample_ms: AtomicU64::new(0),
+            inflight: Arc::clone(&inflight),
+            jobs_done: AtomicU64::new(0),
+            wall_hist: Mutex::new(HistogramSnapshot::new()),
+            lagging: Mutex::new(None),
         });
         listener_handle = Some(spawn_listener(cfg, Arc::clone(&fe)));
         frontend = Some(fe);
+    }
+
+    // Health plane: heartbeats ride a dedicated comm scope so liveness
+    // keeps flowing while the main loop blocks in a broadcast or a
+    // collective. Non-zero ranks run a sender thread; rank 0 runs one
+    // collector draining beats from *any* peer (a single stopped PE
+    // must not starve the others' beats — that stall is the signal).
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let mut hb_handle: Option<JoinHandle<()>> = None;
+    if size > 1 {
+        let mut hb_comm = mux.scoped(HEALTH_SCOPE, "health");
+        if rank == 0 {
+            let fe = Arc::clone(frontend.as_ref().expect("rank 0 has a frontend"));
+            hb_handle = Some(
+                std::thread::Builder::new()
+                    .name("ccheck-health-collect".into())
+                    .spawn(move || {
+                        let mut live = vec![true; size];
+                        live[0] = false; // rank 0 self-beats directly
+                        let mut remaining = size - 1;
+                        while remaining > 0 {
+                            match hb_comm.recv_any_or_disconnect::<Heartbeat>(HEARTBEAT_TAG) {
+                                Ok((src, hb)) => {
+                                    let now = fe.now_ms();
+                                    fe.health.lock().expect("health poisoned").beat(&hb, now);
+                                    if hb.bye && live[src] {
+                                        live[src] = false;
+                                        remaining -= 1;
+                                    }
+                                }
+                                Err(NetError::Disconnected { peer }) => {
+                                    if live[peer] {
+                                        live[peer] = false;
+                                        remaining -= 1;
+                                        fe.health
+                                            .lock()
+                                            .expect("health poisoned")
+                                            .mark_exited(peer, "connection lost");
+                                        ccheck_obs::warn!(
+                                            "health",
+                                            "PE {peer}: heartbeat connection lost"
+                                        );
+                                    }
+                                }
+                                Err(NetError::Decode { from, .. }) => {
+                                    ccheck_obs::warn!(
+                                        "health",
+                                        "malformed heartbeat from PE {from}"
+                                    );
+                                }
+                                Err(_) => {
+                                    // Whole-transport teardown (the local
+                                    // backend reports this instead of
+                                    // per-peer closes): every peer still
+                                    // marked live is gone.
+                                    let mut health = fe.health.lock().expect("health poisoned");
+                                    for (peer, alive) in live.iter_mut().enumerate() {
+                                        if *alive {
+                                            *alive = false;
+                                            health.mark_exited(peer, "transport torn down");
+                                        }
+                                    }
+                                    remaining = 0;
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn heartbeat collector"),
+            );
+        } else {
+            let stop = Arc::clone(&hb_stop);
+            let hb_inflight = Arc::clone(&inflight);
+            let hb_last_seq = Arc::clone(&last_seq);
+            let interval = cfg.health.heartbeat_interval_ms.max(1);
+            let my_rank = rank as u64;
+            hb_handle = Some(
+                std::thread::Builder::new()
+                    .name("ccheck-health-beat".into())
+                    .spawn(move || {
+                        let t0 = Instant::now();
+                        loop {
+                            let bye = stop.load(Ordering::Acquire);
+                            hb_comm.send(
+                                0,
+                                HEARTBEAT_TAG,
+                                &Heartbeat {
+                                    rank: my_rank,
+                                    uptime_ms: t0.elapsed().as_millis() as u64,
+                                    inflight: hb_inflight.load(Ordering::Relaxed),
+                                    last_admit_seq: hb_last_seq.load(Ordering::Relaxed),
+                                    bye,
+                                },
+                            );
+                            if bye {
+                                break;
+                            }
+                            // Chunked sleep so shutdown never waits out a
+                            // full heartbeat interval.
+                            let mut slept = 0;
+                            while slept < interval && !stop.load(Ordering::Acquire) {
+                                let step = (interval - slept).min(20);
+                                std::thread::sleep(Duration::from_millis(step));
+                                slept += step;
+                            }
+                        }
+                    })
+                    .expect("spawn heartbeat sender"),
+            );
+        }
     }
 
     let mut slots: Vec<Option<Slot>> = Vec::new();
@@ -415,15 +724,47 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
                 // reclaimed the slot — its tag scope is safe to reuse.
                 ctl.barrier();
                 let job_comm = mux.scoped(slot as u64 + 1, &format!("job-{job_id}"));
+                // The trace-correlation identity every span/event of
+                // this job carries, on every PE.
+                let trace_ctx = TraceCtx {
+                    job_id,
+                    tenant: spec.tenant.clone().unwrap_or_default(),
+                    admit_seq: seq,
+                };
+                last_seq.store(seq, Ordering::Relaxed);
+                inflight.fetch_add(1, Ordering::Relaxed);
                 if let Some(fe) = &frontend {
                     fe.registry
                         .lock()
                         .expect("registry poisoned")
                         .insert(job_id, JobStatus::Running);
+                    fe.straggler.lock().expect("straggler poisoned").admitted(
+                        job_id,
+                        spec.op.name(),
+                        fe.now_ms(),
+                    );
+                    // Rank 0 lays the job's queue lane retroactively:
+                    // the span ends now (admission) and started when
+                    // the scheduler first saw the job.
+                    if ccheck_obs::enabled() {
+                        let now_us = ccheck_obs::now_us();
+                        let wait_us = queue_wait_ms.saturating_mul(1000);
+                        ccheck_obs::span_at(
+                            &trace_ctx.span_name("queue"),
+                            now_us.saturating_sub(wait_us),
+                            wait_us.max(1),
+                        );
+                        ccheck_obs::instant(&trace_ctx.span_name("admit"));
+                    }
+                    ccheck_obs::debug!(
+                        "service",
+                        "admit job {job_id} (seq {seq}, slot {slot}, queued {queue_wait_ms} ms)"
+                    );
                 }
                 let done = Arc::new(AtomicBool::new(false));
                 let worker_done = Arc::clone(&done);
                 let worker_frontend = frontend.clone();
+                let worker_inflight = Arc::clone(&inflight);
                 let root_stats = mux.stats();
                 let worker_retired = Arc::clone(&retired_scope_bytes);
                 jobs_run += 1;
@@ -431,7 +772,8 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
                     .name(format!("ccheck-job-{job_id}"))
                     .spawn(move || {
                         let mut comm = job_comm;
-                        let mut receipt = execute_job(&mut comm, job_id, &spec);
+                        let mut receipt =
+                            execute_job_traced(&mut comm, job_id, &spec, Some(&trace_ctx));
                         // The admission sequence travels in the Admit
                         // broadcast, so a restarted world continues the
                         // ledger's numbering on every PE.
@@ -444,6 +786,7 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
                         }
                         // Deregister the scope before signaling done.
                         drop(comm);
+                        worker_inflight.fetch_sub(1, Ordering::Relaxed);
                         // The receipt has captured the per-job volumes;
                         // retire the scope so a long-lived service keeps
                         // its stats registry bounded (totals preserved —
@@ -473,13 +816,50 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
                     if let Some(stats) = &stats {
                         world.merge(&stats.to_metrics("world.comm"));
                     }
-                    let response = metrics_json(&world, per_pe.len());
+                    // Straggler attribution: the per-rank snapshots
+                    // expose per-PE execute-time skew — name the PE the
+                    // world is waiting on.
+                    let lag = crate::health::lagging_pe(&per_pe);
+                    if let Some((pe, skew)) = lag {
+                        if skew >= 1.5 {
+                            ccheck_obs::info!(
+                                "health",
+                                "lagging PE {pe}: {skew:.2}x its peers' mean execute time"
+                            );
+                        }
+                        if ccheck_obs::enabled() {
+                            ccheck_obs::registry()
+                                .gauge("health.lagging_pe")
+                                .set(pe as i64);
+                        }
+                    }
+                    *fe.lagging.lock().expect("lagging poisoned") = lag;
+                    let response = metrics_json(&world, per_pe.len(), lag);
                     let waiters = std::mem::take(
                         &mut *fe.metrics_waiters.lock().expect("metrics waiters poisoned"),
                     );
                     for waiter in waiters {
                         let _ = waiter.send(response.clone());
                     }
+                }
+            }
+            CtlMsg::Trace { job_id } => {
+                // Collective on every PE, like Metrics: drain the
+                // world's trace rings to rank 0 and answer the parked
+                // `timeline` clients for this job.
+                let traces = ctl.gather_trace();
+                if let Some(fe) = &frontend {
+                    let response = timeline_json(job_id, traces.as_deref().unwrap_or(&[]));
+                    let mut waiters = fe.trace_waiters.lock().expect("trace waiters poisoned");
+                    let mut rest = Vec::new();
+                    for (id, tx) in waiters.drain(..) {
+                        if id == job_id {
+                            let _ = tx.send(response.clone());
+                        } else {
+                            rest.push((id, tx));
+                        }
+                    }
+                    *waiters = rest;
                 }
             }
             CtlMsg::Shutdown => {
@@ -491,6 +871,16 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
         }
     }
 
+    // Health plane teardown first: senders sign off with a final `bye`
+    // beat, and the collector exits once every peer has said bye or
+    // vanished — all before the control scope's final collectives, so
+    // the health scope is quiet when the mux shuts down.
+    hb_stop.store(true, Ordering::Release);
+    if let Some(handle) = hb_handle {
+        let _ = handle.join();
+    }
+    ccheck_obs::info!("service", "PE {rank}: draining after {jobs_run} jobs");
+
     // Global quiescence, then the final accounting and teardown.
     ctl.barrier();
     let stats = ctl.gather_stats();
@@ -501,7 +891,7 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
         let traces = ctl.gather_trace();
         if let (Some(path), Some(traces)) = (&cfg.trace_out, traces) {
             if let Err(e) = std::fs::write(path, ccheck_obs::export::chrome_trace_json(&traces)) {
-                eprintln!("ccheck-serve: cannot write trace to {path:?}: {e}");
+                ccheck_obs::error!("service", "cannot write trace to {path:?}: {e}");
             }
         }
     }
@@ -563,7 +953,11 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
 /// every counter and gauge by name, histogram summaries (count, sum,
 /// p50/p99), plus the whole snapshot in Prometheus text exposition
 /// format for scrapers that want it verbatim.
-fn metrics_json(world: &ccheck_obs::MetricsSnapshot, sources: usize) -> Json {
+fn metrics_json(
+    world: &ccheck_obs::MetricsSnapshot,
+    sources: usize,
+    lagging: Option<(usize, f64)>,
+) -> Json {
     let counters: BTreeMap<String, Json> = world
         .counters
         .iter()
@@ -589,7 +983,7 @@ fn metrics_json(world: &ccheck_obs::MetricsSnapshot, sources: usize) -> Json {
             )
         })
         .collect();
-    Json::obj([
+    let mut pairs = vec![
         ("ok", Json::Bool(true)),
         ("enabled", Json::Bool(ccheck_obs::enabled())),
         ("sources", Json::from(sources as u64)),
@@ -600,6 +994,56 @@ fn metrics_json(world: &ccheck_obs::MetricsSnapshot, sources: usize) -> Json {
             "prometheus",
             Json::Str(ccheck_obs::export::prometheus_text(world)),
         ),
+    ];
+    if let Some((pe, skew)) = lagging {
+        pairs.push(("lagging_pe", Json::from(pe as u64)));
+        pairs.push(("lagging_skew", Json::Float(skew)));
+    }
+    Json::obj(pairs)
+}
+
+/// Merge the world's gathered trace snapshots into one job's timeline:
+/// every span and instant whose name carries the job's `job{id}.`
+/// correlation prefix — the queue/admit lanes rank 0 lays plus the
+/// generate/execute/check/receipt phase lanes every PE's worker emits —
+/// sorted by start time. Timestamps are µs since each *process's* own
+/// monotonic epoch: exactly comparable within a source, only
+/// approximately across sources (`docs/PROTOCOL.md` §2.8).
+fn timeline_json(job_id: u64, traces: &[ccheck_obs::TraceSnapshot]) -> Json {
+    let prefix = TraceCtx::prefix(job_id);
+    let mut events: Vec<(u64, Json)> = Vec::new();
+    for snap in traces {
+        for ev in &snap.events {
+            let Some(rest) = ev.name.strip_prefix(prefix.as_str()) else {
+                continue;
+            };
+            let phase = rest.split('@').next().unwrap_or(rest);
+            events.push((
+                ev.start_us,
+                Json::obj([
+                    ("source", Json::from(snap.source)),
+                    ("thread", Json::from(ev.thread.as_str())),
+                    ("name", Json::from(ev.name.as_str())),
+                    ("phase", Json::from(phase)),
+                    ("start_us", Json::from(ev.start_us)),
+                    ("dur_us", Json::from(ev.dur_us)),
+                    (
+                        "kind",
+                        Json::from(if ev.dur_us == 0 { "instant" } else { "span" }),
+                    ),
+                ]),
+            ));
+        }
+    }
+    events.sort_by_key(|(start, _)| *start);
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("id", Json::from(job_id)),
+        ("enabled", Json::Bool(ccheck_obs::enabled())),
+        (
+            "events",
+            Json::Arr(events.into_iter().map(|(_, e)| e).collect()),
+        ),
     ])
 }
 
@@ -608,6 +1052,9 @@ fn metrics_json(world: &ccheck_obs::MetricsSnapshot, sources: usize) -> Json {
 /// refused while queued), then — if a slot is free — the policy's pick.
 fn next_action(fe: &Arc<Frontend>, slots: &[Option<Slot>]) -> CtlMsg {
     loop {
+        // The watchdog pass rides the scheduling loop: self-beat,
+        // straggler scan, liveness-transition logs, watch samples.
+        fe.tick();
         // Metrics requests preempt admissions: the gather is cheap, the
         // waiter is a live client connection, and admissions re-run on
         // the next loop iteration anyway.
@@ -618,6 +1065,16 @@ fn next_action(fe: &Arc<Frontend>, slots: &[Option<Slot>]) -> CtlMsg {
             .is_empty()
         {
             return CtlMsg::Metrics;
+        }
+        // Timeline requests preempt for the same reason.
+        let trace_job = fe
+            .trace_waiters
+            .lock()
+            .expect("trace waiters poisoned")
+            .first()
+            .map(|(id, _)| *id);
+        if let Some(job_id) = trace_job {
+            return CtlMsg::Trace { job_id };
         }
         let now = fe.now_ms();
         let free = slots.iter().position(|slot| match slot {
@@ -1052,12 +1509,111 @@ fn handle_request(request: &Json, fe: &Arc<Frontend>) -> Json {
                 Err(_) => error_json("metrics gather timed out (service draining?)"),
             }
         }
+        Some("health") => {
+            // Answered from PE-0-local watchdog state only — no
+            // collective — so it keeps working while a PE is stopped
+            // or dead (`docs/PROTOCOL.md` §2.6).
+            let now = fe.now_ms();
+            let (report, counts) = {
+                let health = fe.health.lock().expect("health poisoned");
+                (health.report(now), health.counts(now))
+            };
+            let queue_depth = fe.sched.lock().expect("scheduler poisoned").queue_len() as u64;
+            let stragglers: Vec<Json> = fe
+                .slow_live
+                .lock()
+                .expect("slow live poisoned")
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("job_id", Json::from(s.job_id)),
+                        ("op", Json::from(s.op.as_str())),
+                        ("running_ms", Json::from(s.running_ms)),
+                        ("p95_ms", Json::from(s.p95_ms)),
+                        ("threshold_ms", Json::from(s.threshold_ms)),
+                    ])
+                })
+                .collect();
+            let mut pairs = vec![
+                ("ok", Json::Bool(true)),
+                ("world", Json::from(fe.world as u64)),
+                ("uptime_ms", Json::from(now)),
+                ("queue_depth", Json::from(queue_depth)),
+                ("inflight", Json::from(fe.inflight.load(Ordering::Relaxed))),
+                (
+                    "last_admit_seq",
+                    Json::from(fe.admit_seq.load(Ordering::Relaxed)),
+                ),
+                ("healthy", Json::from(counts.0)),
+                ("suspect", Json::from(counts.1)),
+                ("dead", Json::from(counts.2)),
+                (
+                    "suspect_after_ms",
+                    Json::from(fe.health_cfg.suspect_after_ms),
+                ),
+                ("dead_after_ms", Json::from(fe.health_cfg.dead_after_ms)),
+                (
+                    "pes",
+                    Json::Arr(report.iter().map(PeHealth::to_json).collect()),
+                ),
+                ("stragglers", Json::Arr(stragglers)),
+            ];
+            if let Some((pe, skew)) = *fe.lagging.lock().expect("lagging poisoned") {
+                pairs.push(("lagging_pe", Json::from(pe as u64)));
+                pairs.push(("lagging_skew", Json::Float(skew)));
+            }
+            Json::obj(pairs)
+        }
+        Some("watch") => {
+            // Long-poll the sample ring: answer as soon as a sample
+            // newer than `since` exists, or empty after a bounded wait
+            // (the dashboard just re-polls).
+            let since = request.get("since").and_then(Json::as_u64).unwrap_or(0);
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let (samples, latest) = {
+                    let ring = fe.samples.lock().expect("samples poisoned");
+                    (ring.since(since), ring.latest_seq())
+                };
+                if !samples.is_empty() || Instant::now() >= deadline {
+                    break Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("latest", Json::from(latest)),
+                        (
+                            "samples",
+                            Json::Arr(samples.iter().map(WatchSample::to_json).collect()),
+                        ),
+                    ]);
+                }
+                if fe.stopping.load(Ordering::Acquire) {
+                    break error_json("service shut down");
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        Some("timeline") => match request.get("id").and_then(Json::as_u64) {
+            None => error_json("timeline requires an id"),
+            Some(id) => {
+                // Like `metrics`: park until the daemon loop broadcasts
+                // the Trace collective and answers with the merged
+                // per-job timeline.
+                let (tx, rx) = mpsc::channel();
+                fe.trace_waiters
+                    .lock()
+                    .expect("trace waiters poisoned")
+                    .push((id, tx));
+                match rx.recv_timeout(Duration::from_secs(30)) {
+                    Ok(response) => response,
+                    Err(_) => error_json("trace gather timed out (service draining?)"),
+                }
+            }
+        },
         Some("shutdown") => {
             fe.shutdown_requested.store(true, Ordering::Release);
             Json::obj([("ok", Json::Bool(true)), ("status", Json::from("draining"))])
         }
         other => error_json(format!(
-            "unknown cmd {other:?} (submit|poll|wait|chain|metrics|shutdown)"
+            "unknown cmd {other:?} (submit|poll|wait|chain|metrics|health|watch|timeline|shutdown)"
         )),
     }
 }

@@ -181,12 +181,78 @@ fn digest_sequence(comm: &mut Comm, start: u64, items: impl Iterator<Item = u64>
     comm.allreduce(local, u64::wrapping_add)
 }
 
+/// Per-job trace-correlation id: the `(tenant, job_id, admit_seq)`
+/// triple every PE learns from `CtlMsg::Admit`. Stamped into the span
+/// names a traced job emits, so one job's events are filterable out of
+/// a whole world's rings — the basis of `ccheck-submit --timeline` and
+/// the Chrome export's per-job lanes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Service-assigned job id.
+    pub job_id: u64,
+    /// Owning tenant (`""` = the default tenant).
+    pub tenant: String,
+    /// World admission sequence number.
+    pub admit_seq: u64,
+}
+
+impl TraceCtx {
+    /// The span name for one of this job's phases:
+    /// `job{id}.{phase}@{tenant}#{admit_seq}`.
+    pub fn span_name(&self, phase: &str) -> String {
+        format!(
+            "job{}.{phase}@{}#{}",
+            self.job_id, self.tenant, self.admit_seq
+        )
+    }
+
+    /// The name prefix identifying job `job_id`'s events (`job{id}.`).
+    /// The trailing dot matters: it keeps `job3.` from matching
+    /// `job31.execute`.
+    pub fn prefix(job_id: u64) -> String {
+        format!("job{job_id}.")
+    }
+}
+
+/// Emit one job's phase lanes into the trace ring, laid end-to-end
+/// from the job's start. Durations are the measured accumulators; for
+/// chunked modes the real phases interleave, so these lanes show each
+/// phase's *cumulative share* of the wall clock, not disjoint wall
+/// intervals — same attribution the receipt `timing` block reports.
+fn emit_phase_spans(ctx: &TraceCtx, start_us: u64, total_us: u64, ph: &PhaseTimes) {
+    let mut at = start_us;
+    for (phase, dur) in [
+        ("generate", ph.generate_us),
+        ("execute", ph.execute_us),
+        ("check", ph.check_us),
+    ] {
+        ccheck_obs::span_at(&ctx.span_name(phase), at, dur.max(1));
+        at += dur;
+    }
+    let receipt_us = total_us.saturating_sub(ph.generate_us + ph.execute_us + ph.check_us);
+    ccheck_obs::span_at(&ctx.span_name("receipt"), at, receipt_us.max(1));
+}
+
 /// Run one checking job to completion on this communicator. SPMD: every
 /// PE calls it with the same `(job_id, spec)`; every PE returns the same
 /// verdict/digest/element counts, and PE 0's receipt carries the
 /// gathered per-job communication volumes.
 pub fn execute_job(comm: &mut Comm, job_id: u64, spec: &JobSpec) -> Receipt {
+    execute_job_traced(comm, job_id, spec, None)
+}
+
+/// [`execute_job`] with an optional trace-correlation id. The daemon
+/// passes the `CtlMsg::Admit` triple so every PE stamps this job's
+/// phase spans with the same `(tenant, job_id, admit_seq)`; standalone
+/// callers pass `None` and trace nothing job-specific.
+pub fn execute_job_traced(
+    comm: &mut Comm,
+    job_id: u64,
+    spec: &JobSpec,
+    trace: Option<&TraceCtx>,
+) -> Receipt {
     let _span = ccheck_obs::span("exec.job");
+    let start_us = ccheck_obs::now_us();
     let t0 = Instant::now();
     let mut ph = PhaseTimes::default();
     let (verdict, digest, output_elems) = match (spec.op, spec.chunk) {
@@ -209,6 +275,9 @@ pub fn execute_job(comm: &mut Comm, job_id: u64, spec: &JobSpec) -> Receipt {
         obs.check_us.observe(ph.check_us);
         obs.receipt_us
             .observe(total_us.saturating_sub(ph.generate_us + ph.execute_us + ph.check_us));
+        if let Some(ctx) = trace {
+            emit_phase_spans(ctx, start_us, total_us, &ph);
+        }
     }
     Receipt {
         job_id,
@@ -613,6 +682,39 @@ mod tests {
             );
             assert_eq!(oneshot[0].digest, chunked[0].digest, "{op:?}");
             assert_eq!(oneshot[0].output_elems, chunked[0].output_elems, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn traced_execution_emits_all_phase_lanes() {
+        // Not run in parallel with other obs-flag tests in this crate;
+        // the flag stays on for the duration.
+        ccheck_obs::set_enabled(true);
+        let ctx = TraceCtx {
+            job_id: 424_242,
+            tenant: "team-t".to_string(),
+            admit_seq: 9,
+        };
+        let spec = JobSpec {
+            op: JobOp::Reduce,
+            n: 2_000,
+            keys: 31,
+            seed: 3,
+            ..JobSpec::default()
+        };
+        let ctx_for_run = ctx.clone();
+        run(2, move |comm| {
+            let _ = execute_job_traced(comm, ctx_for_run.job_id, &spec, Some(&ctx_for_run));
+        });
+        let snap = ccheck_obs::trace_snapshot();
+        let prefix = TraceCtx::prefix(ctx.job_id);
+        for phase in ["generate", "execute", "check", "receipt"] {
+            let name = ctx.span_name(phase);
+            assert!(name.starts_with(&prefix), "{name}");
+            assert!(
+                snap.events.iter().any(|ev| ev.name == name),
+                "missing phase lane {name}"
+            );
         }
     }
 

@@ -1,0 +1,862 @@
+//! The world health plane: per-PE liveness from heartbeats, straggler
+//! detection from per-op wall-time history, and the time-series ring
+//! behind the `watch` command.
+//!
+//! Everything here is a **pure state machine driven by an explicit
+//! `now_ms` clock** — the same discipline as [`crate::sched`]'s
+//! `SchedCore` — so the watchdog's transitions are unit-testable with
+//! a simulated clock, no sleeps. The daemon supplies real time and the
+//! real heartbeat traffic (see `daemon.rs`: senders on every PE,
+//! per-peer collector threads on PE 0 over a dedicated comm scope).
+//!
+//! Design constraint worth stating: the `health` protocol command must
+//! keep answering while a PE is stopped or dead, so **nothing in this
+//! module ever participates in a collective**. Liveness is inferred
+//! from one-directional heartbeat age on PE 0 alone; a stopped PE
+//! simply stops beating, its age grows, and it walks
+//! Healthy → Suspect → Dead without any cooperation.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use ccheck_net::wire::Wire;
+use ccheck_obs::{HistogramSnapshot, MetricsSnapshot};
+
+use crate::json::Json;
+
+/// Health-plane tuning; all times in milliseconds.
+#[derive(Debug, Clone)]
+pub struct HealthCfg {
+    /// How often each PE sends a heartbeat to PE 0.
+    pub heartbeat_interval_ms: u64,
+    /// Heartbeat age at which a PE is reported Suspect.
+    pub suspect_after_ms: u64,
+    /// Heartbeat age at which a PE is reported Dead.
+    pub dead_after_ms: u64,
+    /// A job is a straggler when it runs longer than `k × p95` of its
+    /// op's completed-job wall-time distribution.
+    pub straggler_k: f64,
+    /// Straggler floor: never flag a job younger than this, whatever
+    /// the histogram says (protects against microsecond-scale p95s).
+    pub straggler_min_ms: u64,
+}
+
+impl Default for HealthCfg {
+    fn default() -> Self {
+        HealthCfg {
+            heartbeat_interval_ms: 100,
+            suspect_after_ms: 400,
+            dead_after_ms: 1500,
+            straggler_k: 4.0,
+            straggler_min_ms: 200,
+        }
+    }
+}
+
+/// A PE's liveness, classified from heartbeat age.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Beating within `suspect_after_ms`.
+    Healthy,
+    /// No beat for `suspect_after_ms`, but not yet given up on.
+    Suspect,
+    /// No beat for `dead_after_ms`, or the peer's connection is gone.
+    Dead,
+}
+
+impl Liveness {
+    /// Protocol name (`healthy`/`suspect`/`dead`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Liveness::Healthy => "healthy",
+            Liveness::Suspect => "suspect",
+            Liveness::Dead => "dead",
+        }
+    }
+
+    /// Gauge encoding: 0 healthy, 1 suspect, 2 dead.
+    pub fn gauge_value(self) -> i64 {
+        match self {
+            Liveness::Healthy => 0,
+            Liveness::Suspect => 1,
+            Liveness::Dead => 2,
+        }
+    }
+}
+
+/// One heartbeat, sent by every PE to PE 0 on the health scope. `bye`
+/// marks the final beat of an orderly shutdown so the collector can
+/// distinguish "left cleanly" from "vanished".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Sender's rank.
+    pub rank: u64,
+    /// Sender's uptime, ms since its service loop started.
+    pub uptime_ms: u64,
+    /// Jobs currently executing on the sender.
+    pub inflight: u64,
+    /// Highest admission sequence number the sender has seen.
+    pub last_admit_seq: u64,
+    /// Final beat of an orderly shutdown.
+    pub bye: bool,
+}
+
+impl Wire for Heartbeat {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.rank.write(buf);
+        self.uptime_ms.write(buf);
+        self.inflight.write(buf);
+        self.last_admit_seq.write(buf);
+        self.bye.write(buf);
+    }
+
+    fn read(input: &mut &[u8]) -> Option<Self> {
+        Some(Heartbeat {
+            rank: u64::read(input)?,
+            uptime_ms: u64::read(input)?,
+            inflight: u64::read(input)?,
+            last_admit_seq: u64::read(input)?,
+            bye: bool::read(input)?,
+        })
+    }
+
+    fn wire_size(&self) -> usize {
+        8 + 8 + 8 + 8 + 1
+    }
+}
+
+/// One PE's row in a health report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeHealth {
+    /// The PE.
+    pub rank: usize,
+    /// Classified liveness.
+    pub state: Liveness,
+    /// Heartbeat age at report time, ms.
+    pub age_ms: u64,
+    /// Uptime the PE last reported.
+    pub uptime_ms: u64,
+    /// Inflight jobs the PE last reported.
+    pub inflight: u64,
+    /// Highest admission seq the PE last reported.
+    pub last_admit_seq: u64,
+    /// Exit classification, when known (orderly `bye`, or the
+    /// collector's disconnect reason — the launcher prints the same
+    /// signal/code vocabulary on its side).
+    pub exited: Option<String>,
+}
+
+impl PeHealth {
+    /// Render as a protocol JSON object (`docs/PROTOCOL.md` §2.6).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("rank", Json::from(self.rank as u64)),
+            ("state", Json::from(self.state.name())),
+            ("age_ms", Json::from(self.age_ms)),
+            ("uptime_ms", Json::from(self.uptime_ms)),
+            ("inflight", Json::from(self.inflight)),
+            ("last_admit_seq", Json::from(self.last_admit_seq)),
+        ];
+        if let Some(exited) = &self.exited {
+            pairs.push(("exited", Json::from(exited.as_str())));
+        }
+        Json::obj(pairs)
+    }
+}
+
+struct PeState {
+    last_beat_ms: u64,
+    uptime_ms: u64,
+    inflight: u64,
+    last_admit_seq: u64,
+    exited: Option<String>,
+}
+
+/// PE 0's watchdog state: per-PE heartbeat bookkeeping and the
+/// age-based Healthy/Suspect/Dead classification.
+pub struct HealthTracker {
+    cfg: HealthCfg,
+    pes: Vec<PeState>,
+}
+
+impl HealthTracker {
+    /// A tracker for `size` PEs; every PE starts Healthy with a
+    /// synthetic beat at `now_ms` (the world just bootstrapped, which
+    /// proves everyone was alive moments ago).
+    pub fn new(cfg: HealthCfg, size: usize, now_ms: u64) -> Self {
+        HealthTracker {
+            cfg,
+            pes: (0..size)
+                .map(|_| PeState {
+                    last_beat_ms: now_ms,
+                    uptime_ms: 0,
+                    inflight: 0,
+                    last_admit_seq: 0,
+                    exited: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Record one heartbeat.
+    pub fn beat(&mut self, hb: &Heartbeat, now_ms: u64) {
+        let Some(pe) = self.pes.get_mut(hb.rank as usize) else {
+            return;
+        };
+        pe.last_beat_ms = now_ms;
+        pe.uptime_ms = hb.uptime_ms;
+        pe.inflight = hb.inflight;
+        pe.last_admit_seq = hb.last_admit_seq;
+        if hb.bye {
+            pe.exited = Some("clean shutdown".to_string());
+        } else {
+            // A live beat clears any earlier exit classification —
+            // e.g. a SIGCONTed PE resuming after being written off.
+            pe.exited = None;
+        }
+    }
+
+    /// Record that a PE's connection is gone, with a classification
+    /// string (the collector's disconnect reason). Does not overwrite
+    /// an orderly `bye`.
+    pub fn mark_exited(&mut self, rank: usize, reason: &str) {
+        if let Some(pe) = self.pes.get_mut(rank) {
+            if pe.exited.is_none() {
+                pe.exited = Some(reason.to_string());
+            }
+        }
+    }
+
+    /// Heartbeat age of `rank` at `now_ms`.
+    pub fn age_ms(&self, rank: usize, now_ms: u64) -> u64 {
+        self.pes
+            .get(rank)
+            .map(|pe| now_ms.saturating_sub(pe.last_beat_ms))
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Classify one PE at `now_ms`.
+    pub fn classify(&self, rank: usize, now_ms: u64) -> Liveness {
+        let Some(pe) = self.pes.get(rank) else {
+            return Liveness::Dead;
+        };
+        // A vanished or departed peer is Dead regardless of age — the
+        // collector saw its connection close. (A clean `bye` also
+        // lands here: after shutdown begins that is the truth.)
+        if pe.exited.is_some() {
+            return Liveness::Dead;
+        }
+        let age = now_ms.saturating_sub(pe.last_beat_ms);
+        if age >= self.cfg.dead_after_ms {
+            Liveness::Dead
+        } else if age >= self.cfg.suspect_after_ms {
+            Liveness::Suspect
+        } else {
+            Liveness::Healthy
+        }
+    }
+
+    /// Full per-PE report at `now_ms`, rank order.
+    pub fn report(&self, now_ms: u64) -> Vec<PeHealth> {
+        (0..self.pes.len())
+            .map(|rank| {
+                let pe = &self.pes[rank];
+                PeHealth {
+                    rank,
+                    state: self.classify(rank, now_ms),
+                    age_ms: now_ms.saturating_sub(pe.last_beat_ms),
+                    uptime_ms: pe.uptime_ms,
+                    inflight: pe.inflight,
+                    last_admit_seq: pe.last_admit_seq,
+                    exited: pe.exited.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// `(healthy, suspect, dead)` counts at `now_ms`.
+    pub fn counts(&self, now_ms: u64) -> (u64, u64, u64) {
+        let mut counts = (0, 0, 0);
+        for rank in 0..self.pes.len() {
+            match self.classify(rank, now_ms) {
+                Liveness::Healthy => counts.0 += 1,
+                Liveness::Suspect => counts.1 += 1,
+                Liveness::Dead => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Number of PEs tracked.
+    pub fn size(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// The tracker's configuration.
+    pub fn cfg(&self) -> &HealthCfg {
+        &self.cfg
+    }
+
+    /// Export per-PE liveness and age gauges (`health.pe{rank}.state`,
+    /// `health.pe{rank}.age_ms`) into the process metrics registry.
+    /// Gated on the global obs switch like every other site.
+    pub fn export_gauges(&self, now_ms: u64) {
+        if !ccheck_obs::enabled() {
+            return;
+        }
+        let registry = ccheck_obs::registry();
+        for (rank, report) in self.report(now_ms).into_iter().enumerate() {
+            registry
+                .gauge(&format!("health.pe{rank}.state"))
+                .set(report.state.gauge_value());
+            registry
+                .gauge(&format!("health.pe{rank}.age_ms"))
+                .set(report.age_ms as i64);
+        }
+    }
+}
+
+/// A flagged straggler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowJob {
+    /// The job.
+    pub job_id: u64,
+    /// Operation name (`reduce`/`sort`/`zip`).
+    pub op: String,
+    /// How long it has been running, ms.
+    pub running_ms: u64,
+    /// The op's p95 wall time the threshold was derived from, ms.
+    pub p95_ms: u64,
+    /// The threshold it exceeded (`k × p95`, floored), ms.
+    pub threshold_ms: u64,
+}
+
+struct InflightJob {
+    op: &'static str,
+    admitted_ms: u64,
+    flagged: bool,
+}
+
+/// Straggler samples needed before an op's p95 is trusted.
+const STRAGGLER_MIN_SAMPLES: u64 = 5;
+
+/// PE 0's straggler watch: per-op wall-time history from completed
+/// receipts, inflight admission times, and a `check` that flags any
+/// job exceeding `k × p95` of its op's history — once per job.
+pub struct StragglerWatch {
+    k: f64,
+    min_ms: u64,
+    per_op: BTreeMap<&'static str, HistogramSnapshot>,
+    inflight: BTreeMap<u64, InflightJob>,
+    flagged_total: u64,
+}
+
+impl StragglerWatch {
+    /// A watch with the given multiplier and floor (see [`HealthCfg`]).
+    pub fn new(cfg: &HealthCfg) -> Self {
+        StragglerWatch {
+            k: cfg.straggler_k,
+            min_ms: cfg.straggler_min_ms,
+            per_op: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            flagged_total: 0,
+        }
+    }
+
+    /// A job was admitted at `now_ms`.
+    pub fn admitted(&mut self, job_id: u64, op: &'static str, now_ms: u64) {
+        self.inflight.insert(
+            job_id,
+            InflightJob {
+                op,
+                admitted_ms: now_ms,
+                flagged: false,
+            },
+        );
+    }
+
+    /// A job completed with the given wall time; its op's history
+    /// learns the sample and the job stops being watched.
+    pub fn completed(&mut self, job_id: u64, wall_ms: u64) {
+        if let Some(job) = self.inflight.remove(&job_id) {
+            self.per_op
+                .entry(job.op)
+                .or_default()
+                // Histogram buckets are 1-indexed powers of two;
+                // observe at least 1 so zero-ms jobs still count.
+                .observe(wall_ms.max(1));
+        }
+    }
+
+    /// The flagging threshold for `op`, once enough history exists.
+    pub fn threshold_ms(&self, op: &str) -> Option<u64> {
+        let hist = self.per_op.get(op)?;
+        if hist.count() < STRAGGLER_MIN_SAMPLES {
+            return None;
+        }
+        let p95 = hist.quantile(0.95);
+        Some(((p95 as f64 * self.k) as u64).max(self.min_ms))
+    }
+
+    /// Scan inflight jobs at `now_ms`; every job past its op's
+    /// threshold is returned **once** (subsequent checks skip it).
+    pub fn check(&mut self, now_ms: u64) -> Vec<SlowJob> {
+        let mut slow = Vec::new();
+        for (job_id, job) in self.inflight.iter_mut() {
+            if job.flagged {
+                continue;
+            }
+            let Some(hist) = self.per_op.get(job.op) else {
+                continue;
+            };
+            if hist.count() < STRAGGLER_MIN_SAMPLES {
+                continue;
+            }
+            let p95 = hist.quantile(0.95);
+            let threshold = ((p95 as f64 * self.k) as u64).max(self.min_ms);
+            let running = now_ms.saturating_sub(job.admitted_ms);
+            if running > threshold {
+                job.flagged = true;
+                self.flagged_total += 1;
+                slow.push(SlowJob {
+                    job_id: *job_id,
+                    op: job.op.to_string(),
+                    running_ms: running,
+                    p95_ms: p95,
+                    threshold_ms: threshold,
+                });
+            }
+        }
+        slow
+    }
+
+    /// Stragglers flagged since startup.
+    pub fn flagged_total(&self) -> u64 {
+        self.flagged_total
+    }
+}
+
+/// Identify the lagging PE from per-PE metrics snapshots (the
+/// `gather_metrics` per-rank vector): the rank whose cumulative
+/// `exec.execute_us` is the largest, with its skew versus the mean of
+/// the other ranks. `None` without at least two ranks of signal, or
+/// when the snapshots share one registry (the local backend's threads
+/// — every rank would report identical totals, so skew is meaningless).
+pub fn lagging_pe(per_pe: &[MetricsSnapshot]) -> Option<(usize, f64)> {
+    if per_pe.len() < 2 {
+        return None;
+    }
+    if per_pe.windows(2).all(|w| w[0].source == w[1].source) {
+        return None;
+    }
+    let sums: Vec<u64> = per_pe
+        .iter()
+        .map(|snap| {
+            snap.histograms
+                .get("exec.execute_us")
+                .map(|h| h.sum)
+                .unwrap_or(0)
+        })
+        .collect();
+    let total: u64 = sums.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let (idx, &max) = sums
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &s)| s)
+        .expect("len >= 2");
+    let mean_others = (total - max) / (sums.len() as u64 - 1);
+    let skew = max as f64 / mean_others.max(1) as f64;
+    Some((idx, skew))
+}
+
+/// One periodic delta snapshot of PE-0-local service state — the unit
+/// the `watch` command streams and `ccheck-top` renders. Counters are
+/// cumulative; consumers difference consecutive samples for rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchSample {
+    /// Monotone sample number (1-based).
+    pub seq: u64,
+    /// Service-relative capture time, ms.
+    pub at_ms: u64,
+    /// Jobs completed since startup.
+    pub jobs_done: u64,
+    /// Jobs refused since startup.
+    pub jobs_refused: u64,
+    /// Queued jobs right now.
+    pub queue_depth: u64,
+    /// Executing jobs right now.
+    pub inflight: u64,
+    /// Liveness counts right now.
+    pub healthy: u64,
+    /// See `healthy`.
+    pub suspect: u64,
+    /// See `healthy`.
+    pub dead: u64,
+    /// p50 of completed-job wall time, ms (0 until the first receipt).
+    pub p50_ms: u64,
+    /// p95 of completed-job wall time, ms (0 until the first receipt).
+    pub p95_ms: u64,
+    /// Cumulative completed jobs per tenant (`""` = default tenant).
+    pub tenants: Vec<(String, u64)>,
+}
+
+impl WatchSample {
+    /// Render as a protocol JSON object (`docs/PROTOCOL.md` §2.7).
+    pub fn to_json(&self) -> Json {
+        let tenants: BTreeMap<String, Json> = self
+            .tenants
+            .iter()
+            .map(|(t, n)| (t.clone(), Json::from(*n)))
+            .collect();
+        Json::obj([
+            ("seq", Json::from(self.seq)),
+            ("at_ms", Json::from(self.at_ms)),
+            ("done", Json::from(self.jobs_done)),
+            ("refused", Json::from(self.jobs_refused)),
+            ("queue", Json::from(self.queue_depth)),
+            ("inflight", Json::from(self.inflight)),
+            ("healthy", Json::from(self.healthy)),
+            ("suspect", Json::from(self.suspect)),
+            ("dead", Json::from(self.dead)),
+            ("p50_ms", Json::from(self.p50_ms)),
+            ("p95_ms", Json::from(self.p95_ms)),
+            ("tenants", Json::Obj(tenants)),
+        ])
+    }
+
+    /// Parse a `watch` response sample (client side).
+    pub fn from_json(v: &Json) -> Result<WatchSample, String> {
+        let num = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("watch sample missing numeric {key:?}: {}", v.render()))
+        };
+        let mut tenants = Vec::new();
+        if let Some(Json::Obj(map)) = v.get("tenants") {
+            for (tenant, jobs) in map {
+                tenants.push((
+                    tenant.clone(),
+                    jobs.as_u64()
+                        .ok_or_else(|| format!("tenant {tenant:?} jobs not a number"))?,
+                ));
+            }
+        }
+        Ok(WatchSample {
+            seq: num("seq")?,
+            at_ms: num("at_ms")?,
+            jobs_done: num("done")?,
+            jobs_refused: num("refused")?,
+            queue_depth: num("queue")?,
+            inflight: num("inflight")?,
+            healthy: num("healthy")?,
+            suspect: num("suspect")?,
+            dead: num("dead")?,
+            p50_ms: num("p50_ms")?,
+            p95_ms: num("p95_ms")?,
+            tenants,
+        })
+    }
+}
+
+/// Bounded ring of [`WatchSample`]s on PE 0. `since(seq)` answers the
+/// `watch` long-poll: every retained sample newer than `seq`.
+pub struct SampleRing {
+    cap: usize,
+    next_seq: u64,
+    samples: VecDeque<WatchSample>,
+}
+
+impl SampleRing {
+    /// A ring retaining at most `cap` samples.
+    pub fn new(cap: usize) -> Self {
+        SampleRing {
+            cap: cap.max(1),
+            next_seq: 1,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Stamp `sample` with the next sequence number and retain it,
+    /// evicting the oldest past capacity. Returns the assigned seq.
+    pub fn push(&mut self, mut sample: WatchSample) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        sample.seq = seq;
+        if self.samples.len() == self.cap {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+        seq
+    }
+
+    /// Every retained sample with `seq > since`, oldest first.
+    pub fn since(&self, since: u64) -> Vec<WatchSample> {
+        self.samples
+            .iter()
+            .filter(|s| s.seq > since)
+            .cloned()
+            .collect()
+    }
+
+    /// The newest assigned seq (0 before the first push).
+    pub fn latest_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthCfg {
+        HealthCfg {
+            heartbeat_interval_ms: 100,
+            suspect_after_ms: 400,
+            dead_after_ms: 1500,
+            straggler_k: 4.0,
+            straggler_min_ms: 10,
+        }
+    }
+
+    fn beat(rank: u64) -> Heartbeat {
+        Heartbeat {
+            rank,
+            uptime_ms: 0,
+            inflight: 0,
+            last_admit_seq: 0,
+            bye: false,
+        }
+    }
+
+    #[test]
+    fn heartbeat_wire_roundtrip() {
+        let hb = Heartbeat {
+            rank: 3,
+            uptime_ms: 12345,
+            inflight: 2,
+            last_admit_seq: 99,
+            bye: true,
+        };
+        let bytes = ccheck_net::wire::encode(&hb);
+        assert_eq!(bytes.len(), hb.wire_size());
+        assert_eq!(ccheck_net::wire::decode::<Heartbeat>(&bytes), Some(hb));
+    }
+
+    #[test]
+    fn liveness_walks_healthy_suspect_dead_by_age() {
+        let mut t = HealthTracker::new(cfg(), 2, 1000);
+        assert_eq!(t.classify(1, 1000), Liveness::Healthy);
+        assert_eq!(t.classify(1, 1399), Liveness::Healthy);
+        assert_eq!(t.classify(1, 1400), Liveness::Suspect);
+        assert_eq!(t.classify(1, 2499), Liveness::Suspect);
+        assert_eq!(t.classify(1, 2500), Liveness::Dead);
+        // A beat resurrects it — the SIGCONT path. (Rank 0 never beat
+        // after the seed, so by now it has aged to Dead on its own.)
+        t.beat(&beat(1), 2600);
+        assert_eq!(t.classify(1, 2600), Liveness::Healthy);
+        assert_eq!(t.counts(2600), (1, 0, 1));
+        t.beat(&beat(0), 2600);
+        assert_eq!(t.counts(2600), (2, 0, 0));
+    }
+
+    #[test]
+    fn stopped_pe_transitions_within_configured_interval() {
+        // The e2e contract, on the simulated clock: a PE that stops
+        // beating at T is Suspect by T + suspect_after_ms and Dead by
+        // T + dead_after_ms; the others stay Healthy throughout.
+        let c = cfg();
+        let mut t = HealthTracker::new(c.clone(), 4, 0);
+        let stop_at = 10_000;
+        for now in (0..=stop_at).step_by(100) {
+            for rank in 0..4 {
+                t.beat(&beat(rank), now);
+            }
+        }
+        for now in ((stop_at + 100)..(stop_at + 3000)).step_by(100) {
+            for rank in 0..3 {
+                t.beat(&beat(rank), now);
+            }
+            let expect = if now - stop_at >= c.dead_after_ms {
+                Liveness::Dead
+            } else if now - stop_at >= c.suspect_after_ms {
+                Liveness::Suspect
+            } else {
+                Liveness::Healthy
+            };
+            assert_eq!(t.classify(3, now), expect, "at {now}");
+            assert_eq!(
+                t.counts(now).0,
+                if expect == Liveness::Healthy { 4 } else { 3 }
+            );
+        }
+    }
+
+    #[test]
+    fn disconnect_is_dead_immediately_and_bye_is_clean() {
+        let mut t = HealthTracker::new(cfg(), 3, 0);
+        t.mark_exited(2, "killed by signal 9 (SIGKILL)");
+        assert_eq!(t.classify(2, 1), Liveness::Dead);
+        let report = t.report(1);
+        assert_eq!(
+            report[2].exited.as_deref(),
+            Some("killed by signal 9 (SIGKILL)")
+        );
+        // An orderly bye also classifies Dead but reads differently.
+        t.beat(
+            &Heartbeat {
+                rank: 1,
+                uptime_ms: 50,
+                inflight: 0,
+                last_admit_seq: 7,
+                bye: true,
+            },
+            2,
+        );
+        assert_eq!(t.classify(1, 2), Liveness::Dead);
+        assert_eq!(t.report(2)[1].exited.as_deref(), Some("clean shutdown"));
+        // mark_exited must not overwrite the bye.
+        t.mark_exited(1, "peer disconnected");
+        assert_eq!(t.report(2)[1].exited.as_deref(), Some("clean shutdown"));
+    }
+
+    #[test]
+    fn report_carries_last_beat_payload() {
+        let mut t = HealthTracker::new(cfg(), 2, 0);
+        t.beat(
+            &Heartbeat {
+                rank: 1,
+                uptime_ms: 777,
+                inflight: 3,
+                last_admit_seq: 41,
+                bye: false,
+            },
+            100,
+        );
+        let report = t.report(150);
+        assert_eq!(report[1].uptime_ms, 777);
+        assert_eq!(report[1].inflight, 3);
+        assert_eq!(report[1].last_admit_seq, 41);
+        assert_eq!(report[1].age_ms, 50);
+        let json = report[1].to_json().render();
+        assert!(json.contains("\"state\":\"healthy\""), "{json}");
+        assert!(json.contains("\"last_admit_seq\":41"), "{json}");
+    }
+
+    #[test]
+    fn straggler_flags_once_after_threshold() {
+        let mut w = StragglerWatch::new(&cfg());
+        // Build history: five 100ms reduce jobs.
+        for id in 1..=5 {
+            w.admitted(id, "reduce", 0);
+            w.completed(id, 100);
+        }
+        // p95 lands at the bucket midpoint of [64,127] = 96; k=4 →
+        // threshold ≥ 10 (floor) and in the hundreds.
+        let threshold = w.threshold_ms("reduce").expect("history is deep enough");
+        assert!(threshold >= 100, "threshold {threshold}");
+        w.admitted(100, "reduce", 1000);
+        assert!(w.check(1000 + threshold).is_empty(), "not yet past it");
+        let slow = w.check(1000 + threshold + 1);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].job_id, 100);
+        assert_eq!(slow[0].op, "reduce");
+        assert_eq!(slow[0].threshold_ms, threshold);
+        // Flagged once: later checks stay quiet.
+        assert!(w.check(1000 + threshold + 50_000).is_empty());
+        assert_eq!(w.flagged_total(), 1);
+        // Completion unregisters it (and feeds the histogram).
+        w.completed(100, threshold + 5);
+        assert!(w.check(u64::MAX / 2).is_empty());
+    }
+
+    #[test]
+    fn straggler_needs_history_and_respects_floor() {
+        let c = HealthCfg {
+            straggler_min_ms: 60_000,
+            ..cfg()
+        };
+        let mut w = StragglerWatch::new(&c);
+        w.admitted(1, "sort", 0);
+        // No history at all: never flagged.
+        assert!(w.check(10_000_000).is_empty());
+        assert_eq!(w.threshold_ms("sort"), None);
+        for id in 2..=6 {
+            w.admitted(id, "sort", 0);
+            w.completed(id, 1);
+        }
+        // History exists but the floor dominates: a 50s-old job stays
+        // unflagged when the floor is 60s.
+        assert_eq!(w.threshold_ms("sort"), Some(60_000));
+        assert!(w.check(50_000).is_empty());
+        assert_eq!(w.check(60_001).len(), 1);
+    }
+
+    #[test]
+    fn lagging_pe_picks_the_skewed_rank() {
+        let mut snaps: Vec<MetricsSnapshot> = (0..4)
+            .map(|i| {
+                let mut s = MetricsSnapshot {
+                    source: 100 + i,
+                    ..Default::default()
+                };
+                let mut h = HistogramSnapshot::default();
+                h.observe(1000);
+                s.histograms.insert("exec.execute_us".to_string(), h);
+                s
+            })
+            .collect();
+        // Rank 2 is 10× slower.
+        let mut slow = HistogramSnapshot::default();
+        slow.observe(10_000);
+        snaps[2]
+            .histograms
+            .insert("exec.execute_us".to_string(), slow);
+        let (idx, skew) = lagging_pe(&snaps).expect("clear skew");
+        assert_eq!(idx, 2);
+        assert!(skew > 5.0, "skew {skew}");
+        // Shared-registry snapshots (all the same source) decline.
+        for s in &mut snaps {
+            s.source = 42;
+        }
+        assert_eq!(lagging_pe(&snaps), None);
+    }
+
+    #[test]
+    fn sample_ring_is_bounded_and_since_filters() {
+        let mut ring = SampleRing::new(3);
+        assert_eq!(ring.latest_seq(), 0);
+        let base = WatchSample {
+            seq: 0,
+            at_ms: 0,
+            jobs_done: 0,
+            jobs_refused: 0,
+            queue_depth: 0,
+            inflight: 0,
+            healthy: 4,
+            suspect: 0,
+            dead: 0,
+            p50_ms: 0,
+            p95_ms: 0,
+            tenants: vec![("team-a".to_string(), 2)],
+        };
+        for i in 0..5 {
+            let seq = ring.push(WatchSample {
+                at_ms: i * 100,
+                ..base.clone()
+            });
+            assert_eq!(seq, i + 1);
+        }
+        // Capacity 3: seqs 3, 4, 5 survive.
+        let all = ring.since(0);
+        assert_eq!(all.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(ring.since(4).len(), 1);
+        assert_eq!(ring.since(5).len(), 0);
+        assert_eq!(ring.latest_seq(), 5);
+        // JSON roundtrip of a sample.
+        let parsed = WatchSample::from_json(&all[0].to_json()).expect("roundtrip");
+        assert_eq!(parsed, all[0]);
+    }
+}

@@ -872,6 +872,14 @@ pub enum CtlMsg {
     /// snapshot over the control scope; PE 0 merges the world view and
     /// answers the waiting `metrics` protocol clients.
     Metrics,
+    /// Collective trace gather: every PE contributes its span-ring
+    /// snapshot over the control scope; PE 0 filters the named job's
+    /// events into one merged cross-PE timeline and answers the
+    /// waiting `timeline` protocol clients.
+    Trace {
+        /// The job whose timeline was requested.
+        job_id: u64,
+    },
     /// Drain complete: join workers, barrier, exit.
     Shutdown,
 }
@@ -894,6 +902,10 @@ impl Wire for CtlMsg {
                 spec.write(buf);
             }
             CtlMsg::Metrics => 2u8.write(buf),
+            CtlMsg::Trace { job_id } => {
+                3u8.write(buf);
+                job_id.write(buf);
+            }
             CtlMsg::Shutdown => 0u8.write(buf),
         }
     }
@@ -908,6 +920,9 @@ impl Wire for CtlMsg {
                 spec: JobSpec::read(input)?,
             }),
             2 => Some(CtlMsg::Metrics),
+            3 => Some(CtlMsg::Trace {
+                job_id: u64::read(input)?,
+            }),
             0 => Some(CtlMsg::Shutdown),
             _ => None,
         }
@@ -917,6 +932,7 @@ impl Wire for CtlMsg {
         match self {
             CtlMsg::Admit { spec, .. } => 1 + 8 + 4 + 8 + 8 + spec.wire_size(),
             CtlMsg::Metrics => 1,
+            CtlMsg::Trace { .. } => 1 + 8,
             CtlMsg::Shutdown => 1,
         }
     }
@@ -1133,6 +1149,7 @@ mod tests {
         for msg in [
             CtlMsg::Shutdown,
             CtlMsg::Metrics,
+            CtlMsg::Trace { job_id: 12 },
             CtlMsg::Admit {
                 job_id: 7,
                 slot: 3,

@@ -19,6 +19,7 @@
 //! | [`exec`] | job execution: spec → receipt, same code under the service and standalone |
 //! | [`sched`] | the policy-driven scheduler: [`sched::SchedPolicy`] (FIFO / priority-aging / deadline-WFQ), tenant quotas, work stealing, adaptive checker tuning |
 //! | [`daemon`] | the SPMD service loop, PE-0 admission, client listener |
+//! | [`health`] | the health plane: heartbeat liveness, straggler watch, `watch` sample ring |
 //! | [`ledger`] | durable hash-chained receipt ledger: crash recovery + idempotent resubmission |
 //! | [`client`] | blocking line-JSON client ([`client::ServiceClient`]) |
 //! | [`json`] | the minimal offline JSON codec behind the protocol |
@@ -54,6 +55,7 @@
 pub mod client;
 pub mod daemon;
 pub mod exec;
+pub mod health;
 pub mod job;
 pub mod json;
 pub mod ledger;
@@ -61,7 +63,8 @@ pub mod sched;
 
 pub use client::{ChainLink, ServiceClient, ServiceError, SubmitAck, TenantChain};
 pub use daemon::{run_service, run_service_world, ServiceConfig, ServiceSummary, TenantAgg};
-pub use exec::execute_job;
+pub use exec::{execute_job, execute_job_traced, TraceCtx};
+pub use health::{HealthCfg, HealthTracker, Heartbeat, Liveness, PeHealth, WatchSample};
 pub use job::{
     CheckMode, CheckUsed, FaultSpec, JobOp, JobSpec, JobStatus, Receipt, ReceiptComm,
     ReceiptTiming, Verdict,

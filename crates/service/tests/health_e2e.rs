@@ -1,0 +1,493 @@
+//! Health-plane end-to-end tests: heartbeat liveness over real
+//! transports, the `watch` sample stream, per-job trace timelines, and
+//! the PROTOCOL.md §2.6 worked example byte-for-byte.
+//!
+//! The SIGSTOP/SIGCONT and kill tests run a true multi-process TCP
+//! world (this test binary acts as the launcher's rendezvous server)
+//! because pausing one PE of an in-process world would pause rank 0's
+//! watchdog along with it.
+
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use ccheck_net::Backend;
+use ccheck_service::json::Json;
+use ccheck_service::{HealthCfg, JobOp, JobSpec, ServiceClient, ServiceConfig};
+
+fn start_world(
+    backend: Backend,
+    p: usize,
+    cfg: ServiceConfig,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<Vec<ccheck_service::ServiceSummary>>,
+) {
+    let (tx, rx) = mpsc::channel();
+    let cfg = ServiceConfig {
+        announce: Some(tx),
+        ..cfg
+    };
+    let world = std::thread::spawn(move || ccheck_service::run_service_world(backend, p, &cfg));
+    let addr = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("service never announced its address");
+    (addr, world)
+}
+
+fn connect(addr: std::net::SocketAddr) -> ServiceClient {
+    ServiceClient::connect_with_retry(&addr.to_string(), Duration::from_secs(10))
+        .expect("client connects")
+}
+
+fn quick_spec() -> JobSpec {
+    JobSpec {
+        op: JobOp::Reduce,
+        n: 4_000,
+        keys: 101,
+        seed: 7,
+        ..JobSpec::default()
+    }
+}
+
+/// All PEs report Healthy on an idle in-process world, on both
+/// transports, and the counts line up with the per-PE rows.
+#[test]
+fn health_reports_all_pes_healthy_both_transports() {
+    for backend in [Backend::Local, Backend::TcpLoopback] {
+        let p = 4;
+        let (addr, world) = start_world(backend, p, ServiceConfig::default());
+        let mut client = connect(addr);
+        // Give the heartbeat senders one interval to be heard.
+        std::thread::sleep(Duration::from_millis(250));
+        let health = client.health().expect("health answers");
+        assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            health.get("world").and_then(Json::as_u64),
+            Some(p as u64),
+            "{backend:?}"
+        );
+        assert_eq!(
+            health.get("healthy").and_then(Json::as_u64),
+            Some(p as u64),
+            "{backend:?}: {}",
+            health.render()
+        );
+        let Some(Json::Arr(pes)) = health.get("pes") else {
+            panic!("{backend:?}: health response has no pes array");
+        };
+        assert_eq!(pes.len(), p);
+        for pe in pes {
+            assert_eq!(
+                pe.get("state").and_then(Json::as_str),
+                Some("healthy"),
+                "{backend:?}: {}",
+                pe.render()
+            );
+        }
+        client.shutdown().expect("shutdown accepted");
+        world.join().expect("world exits cleanly");
+    }
+}
+
+/// `watch` delivers monotone samples and long-polls until a new one
+/// exists past `since`.
+#[test]
+fn watch_stream_is_monotone_and_long_polls() {
+    let cfg = ServiceConfig {
+        health: HealthCfg {
+            heartbeat_interval_ms: 50,
+            ..HealthCfg::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let (addr, world) = start_world(Backend::Local, 2, cfg);
+    let mut client = connect(addr);
+    std::thread::sleep(Duration::from_millis(200));
+
+    let (latest, samples) = client.watch(0).expect("watch answers");
+    assert!(!samples.is_empty(), "no samples after 200 ms");
+    assert_eq!(samples.last().unwrap().seq, latest);
+    for pair in samples.windows(2) {
+        assert!(pair[1].seq > pair[0].seq, "sample seqs not increasing");
+        assert!(
+            pair[1].at_ms >= pair[0].at_ms,
+            "sample clock went backwards"
+        );
+    }
+    assert_eq!(samples.last().unwrap().healthy, 2);
+
+    // Long-poll: asking for samples past the latest seq blocks until the
+    // next tick produces one.
+    let (next_latest, fresh) = client.watch(latest).expect("watch long-poll answers");
+    assert!(next_latest > latest, "long-poll returned no new sample");
+    assert!(fresh.iter().all(|s| s.seq > latest));
+
+    // Completed jobs show up in the stream's counters.
+    client.run(&quick_spec()).expect("job runs");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (l, samples) = client.watch(next_latest).expect("watch answers");
+        if samples.last().map(|s| s.jobs_done) == Some(1) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "sample stream never recorded the completed job (latest {l})"
+        );
+    }
+
+    client.shutdown().expect("shutdown accepted");
+    world.join().expect("world exits cleanly");
+}
+
+/// `timeline` merges one job's spans from every PE and covers all five
+/// phases, queue → admit → generate → execute → check → receipt.
+#[test]
+fn timeline_covers_all_phases() {
+    ccheck_obs::set_enabled(true);
+    let (addr, world) = start_world(Backend::Local, 2, ServiceConfig::default());
+    let mut client = connect(addr);
+    let receipt = client.run(&quick_spec()).expect("job runs");
+
+    let timeline = client.timeline(receipt.job_id).expect("timeline answers");
+    assert_eq!(timeline.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(timeline.get("enabled").and_then(Json::as_bool), Some(true));
+    let Some(Json::Arr(events)) = timeline.get("events") else {
+        panic!("timeline response has no events array");
+    };
+    assert!(!events.is_empty(), "timeline is empty with obs enabled");
+    for phase in ["queue", "admit", "generate", "execute", "check", "receipt"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("phase").and_then(Json::as_str) == Some(phase)),
+            "timeline is missing the {phase} phase: {}",
+            timeline.render()
+        );
+    }
+    // Events arrive start-time sorted.
+    let starts: Vec<u64> = events
+        .iter()
+        .map(|e| e.get("start_us").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert!(starts.windows(2).all(|w| w[1] >= w[0]), "events not sorted");
+
+    // A job that never ran has no lanes.
+    let missing = client.timeline(9_999).expect("timeline answers");
+    let Some(Json::Arr(none)) = missing.get("events") else {
+        panic!("timeline response has no events array");
+    };
+    assert!(none.is_empty(), "unknown job grew a timeline");
+
+    client.shutdown().expect("shutdown accepted");
+    world.join().expect("world exits cleanly");
+}
+
+/// The PROTOCOL.md §2.6 worked example, byte-for-byte (same contract as
+/// the §6.2 receipt test): a rendered per-PE health row and a rendered
+/// watch sample.
+#[test]
+fn protocol_worked_example_renders_byte_exact() {
+    use ccheck_service::health::{HealthTracker, Heartbeat, WatchSample};
+
+    let mut tracker = HealthTracker::new(HealthCfg::default(), 2, 0);
+    tracker.beat(
+        &Heartbeat {
+            rank: 1,
+            uptime_ms: 5_000,
+            inflight: 1,
+            last_admit_seq: 12,
+            bye: false,
+        },
+        5_000,
+    );
+    let row = &tracker.report(5_150)[1];
+    assert_eq!(
+        row.to_json().render(),
+        r#"{"age_ms":150,"inflight":1,"last_admit_seq":12,"rank":1,"state":"healthy","uptime_ms":5000}"#
+    );
+
+    let sample = WatchSample {
+        seq: 42,
+        at_ms: 5_150,
+        jobs_done: 17,
+        jobs_refused: 1,
+        queue_depth: 3,
+        inflight: 2,
+        healthy: 2,
+        suspect: 0,
+        dead: 0,
+        p50_ms: 12,
+        p95_ms: 48,
+        tenants: vec![("acme".to_string(), 11), ("initech".to_string(), 6)],
+    };
+    let rendered = sample.to_json().render();
+    assert_eq!(
+        rendered,
+        r#"{"at_ms":5150,"dead":0,"done":17,"healthy":2,"inflight":2,"p50_ms":12,"p95_ms":48,"queue":3,"refused":1,"seq":42,"suspect":0,"tenants":{"acme":11,"initech":6}}"#
+    );
+    let parsed =
+        WatchSample::from_json(&ccheck_service::json::parse(&rendered).expect("round-trips"))
+            .expect("decodes");
+    assert_eq!(parsed, sample);
+}
+
+// ---------------------------------------------------------------------
+// True multi-process worlds over TCP: this test acts as the launcher.
+// ---------------------------------------------------------------------
+
+/// A spawned TCP service world whose children are reaped (and killed if
+/// the test panics first) on drop.
+struct TcpWorld {
+    children: Vec<Child>,
+    addr_file: std::path::PathBuf,
+    _dir: tempdir::TempDir,
+    rendezvous: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for TcpWorld {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        if let Some(h) = self.rendezvous.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Minimal private tempdir (std-only; removed on drop).
+mod tempdir {
+    pub struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        pub fn new(tag: &str) -> TempDir {
+            let dir =
+                std::env::temp_dir().join(format!("ccheck-health-{tag}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+        pub fn path(&self) -> &std::path::Path {
+            &self.0
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+/// Spawn a `p`-process `ccheck-serve --transport tcp` world with the
+/// given health knobs, serving rendezvous from this process the way
+/// `ccheck-launch` does.
+fn spawn_tcp_world(tag: &str, p: usize, health_flags: &[&str]) -> TcpWorld {
+    let dir = tempdir::TempDir::new(tag);
+    let addr_file = dir.path().join("client.addr");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind rendezvous");
+    let rendezvous_addr = listener.local_addr().expect("rendezvous addr").to_string();
+
+    let bin = env!("CARGO_BIN_EXE_ccheck-serve");
+    let children: Vec<Child> = (0..p)
+        .map(|rank| {
+            Command::new(bin)
+                .args(["--transport", "tcp", "--addr-file"])
+                .arg(&addr_file)
+                .args(health_flags)
+                .env(ccheck_net::bootstrap::ENV_RANK, rank.to_string())
+                .env(ccheck_net::bootstrap::ENV_WORLD, p.to_string())
+                .env(ccheck_net::bootstrap::ENV_RENDEZVOUS, &rendezvous_addr)
+                .env("CCHECK_OBS", "1")
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn ccheck-serve")
+        })
+        .collect();
+
+    let world = p;
+    let rendezvous = std::thread::spawn(move || {
+        ccheck_net::bootstrap::serve_rendezvous(
+            &listener,
+            world,
+            Instant::now() + Duration::from_secs(60),
+            || None,
+        )
+        .expect("rendezvous completes");
+    });
+
+    TcpWorld {
+        children,
+        addr_file,
+        _dir: dir,
+        rendezvous: Some(rendezvous),
+    }
+}
+
+fn connect_tcp_world(world: &TcpWorld) -> ServiceClient {
+    ServiceClient::connect_via_addr_file(&world.addr_file, Duration::from_secs(30))
+        .expect("client connects to rank 0")
+}
+
+/// Poll `health` until `pred` holds, panicking past `deadline`.
+fn wait_health(
+    client: &mut ServiceClient,
+    deadline: Duration,
+    what: &str,
+    mut pred: impl FnMut(&Json) -> bool,
+) -> Json {
+    let t0 = Instant::now();
+    loop {
+        let health = client.health().expect("health answers");
+        if pred(&health) {
+            return health;
+        }
+        assert!(
+            t0.elapsed() < deadline,
+            "timed out waiting for {what}; last health: {}",
+            health.render()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn pe_state(health: &Json, rank: u64) -> Option<String> {
+    let Some(Json::Arr(pes)) = health.get("pes") else {
+        return None;
+    };
+    pes.iter()
+        .find(|pe| pe.get("rank").and_then(Json::as_u64) == Some(rank))
+        .and_then(|pe| pe.get("state").and_then(Json::as_str).map(str::to_string))
+}
+
+fn signal(child: &Child, sig: &str) {
+    let status = Command::new("kill")
+        .args([sig, &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(status.success(), "kill {sig} failed");
+}
+
+/// Acceptance: a SIGSTOPped PE transitions Healthy → Suspect within the
+/// configured interval and returns to Healthy on SIGCONT; a job's
+/// timeline over TCP covers all five phases across multiple processes.
+#[test]
+#[cfg(unix)]
+fn tcp_world_sigstop_suspect_sigcont_recovers() {
+    let p = 4;
+    // Tight heartbeat so the test is quick; dead threshold high so the
+    // stopped PE parks at Suspect instead of racing on to Dead.
+    let mut world = spawn_tcp_world(
+        "stop",
+        p,
+        &[
+            "--heartbeat-ms",
+            "50",
+            "--suspect-ms",
+            "300",
+            "--dead-ms",
+            "60000",
+        ],
+    );
+    let mut client = connect_tcp_world(&world);
+    wait_health(&mut client, Duration::from_secs(10), "4 healthy PEs", |h| {
+        h.get("healthy").and_then(Json::as_u64) == Some(p as u64)
+    });
+
+    // The timeline acceptance check while the world is all-healthy: one
+    // job, five phases, spans from more than one OS process.
+    let receipt = client.run(&quick_spec()).expect("job runs");
+    let timeline = client.timeline(receipt.job_id).expect("timeline answers");
+    let Some(Json::Arr(events)) = timeline.get("events") else {
+        panic!("timeline response has no events array");
+    };
+    for phase in ["queue", "admit", "generate", "execute", "check", "receipt"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("phase").and_then(Json::as_str) == Some(phase)),
+            "TCP timeline is missing the {phase} phase: {}",
+            timeline.render()
+        );
+    }
+    let sources: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter_map(|e| e.get("source").and_then(Json::as_u64))
+        .collect();
+    assert!(
+        sources.len() >= 2,
+        "timeline only covers {} process(es): {}",
+        sources.len(),
+        timeline.render()
+    );
+
+    // Stop a non-zero rank: its heartbeats cease, the watchdog must
+    // notice within suspect-ms plus a couple of heartbeat periods.
+    let stopped_rank = 2u64;
+    signal(&world.children[stopped_rank as usize], "-STOP");
+    let t0 = Instant::now();
+    wait_health(
+        &mut client,
+        Duration::from_secs(5),
+        "stopped PE to go suspect",
+        |h| pe_state(h, stopped_rank).as_deref() == Some("suspect"),
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "suspect detection took {:?}, bound is suspect-ms (300) + slack",
+        t0.elapsed()
+    );
+
+    // Resume: heartbeats flow again and the PE recovers to Healthy.
+    signal(&world.children[stopped_rank as usize], "-CONT");
+    wait_health(
+        &mut client,
+        Duration::from_secs(5),
+        "resumed PE to recover",
+        |h| pe_state(h, stopped_rank).as_deref() == Some("healthy"),
+    );
+
+    client.shutdown().expect("shutdown accepted");
+    for child in &mut world.children {
+        let status = child.wait().expect("child reaped");
+        assert!(status.success(), "worker exited {status}");
+    }
+}
+
+/// A killed PE is reported Dead — promptly, via the collector's
+/// connection-loss signal rather than waiting out dead-ms.
+#[test]
+#[cfg(unix)]
+fn tcp_world_killed_pe_reported_dead() {
+    let p = 4;
+    let world = spawn_tcp_world(
+        "kill",
+        p,
+        &[
+            "--heartbeat-ms",
+            "50",
+            "--suspect-ms",
+            "300",
+            "--dead-ms",
+            "60000",
+        ],
+    );
+    let mut client = connect_tcp_world(&world);
+    wait_health(&mut client, Duration::from_secs(10), "4 healthy PEs", |h| {
+        h.get("healthy").and_then(Json::as_u64) == Some(p as u64)
+    });
+
+    signal(&world.children[3], "-KILL");
+    let health = wait_health(
+        &mut client,
+        Duration::from_secs(5),
+        "killed PE to be reported dead",
+        |h| h.get("dead").and_then(Json::as_u64) == Some(1),
+    );
+    assert_eq!(pe_state(&health, 3).as_deref(), Some("dead"));
+    assert_eq!(health.get("healthy").and_then(Json::as_u64), Some(3));
+    // No clean shutdown possible with a dead PE (the control broadcast
+    // would hang on it) — TcpWorld's Drop kills the survivors.
+}
