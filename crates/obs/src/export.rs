@@ -18,6 +18,32 @@ use crate::trace::TraceSnapshot;
 pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     use std::fmt::Write;
     let mut out = String::new();
+    // Standard process/build metadata families, emitted on every
+    // scrape: `build_info` (value 1; the interesting data is in the
+    // labels, the Prometheus convention for joining by build) and
+    // `process_start_time_seconds` (lets `time() - start` express
+    // uptime and detect restarts server-side).
+    writeln!(out, "# HELP build_info ccheck build metadata").expect("write to String");
+    writeln!(out, "# TYPE build_info gauge").expect("write to String");
+    writeln!(
+        out,
+        "build_info{{version=\"{}\",toolchain=\"rust-{}\"}} 1",
+        env!("CARGO_PKG_VERSION"),
+        env!("CARGO_PKG_RUST_VERSION"),
+    )
+    .expect("write to String");
+    writeln!(
+        out,
+        "# HELP process_start_time_seconds unix time the process started"
+    )
+    .expect("write to String");
+    writeln!(out, "# TYPE process_start_time_seconds gauge").expect("write to String");
+    writeln!(
+        out,
+        "process_start_time_seconds {}",
+        crate::process_start_time_seconds()
+    )
+    .expect("write to String");
     for (name, v) in &snap.counters {
         let raw = name;
         let name = sanitize(name);
@@ -277,6 +303,26 @@ mod tests {
         }
         assert!(families.contains_key("exec_execute_us"));
         assert!(families.contains_key("health_pe0_state"));
+        // The standard process/build metadata families are present on
+        // every scrape and pass the same lints as everything else.
+        assert!(families.contains_key("build_info"));
+        assert_eq!(families["build_info"].2, "gauge");
+        assert!(families.contains_key("process_start_time_seconds"));
+        assert_eq!(families["process_start_time_seconds"].2, "gauge");
+        let build_line = text
+            .lines()
+            .find(|l| l.starts_with("build_info{"))
+            .expect("build_info sample present");
+        assert!(build_line.contains("version=\""), "{build_line}");
+        assert!(build_line.contains("toolchain=\""), "{build_line}");
+        assert!(build_line.ends_with("} 1"), "{build_line}");
+        let start = text
+            .lines()
+            .find(|l| l.starts_with("process_start_time_seconds "))
+            .and_then(|l| l.rsplit_once(' '))
+            .map(|(_, v)| v.parse::<u64>().expect("start time is integer seconds"))
+            .expect("process_start_time_seconds sample present");
+        assert!(start > 1_500_000_000, "start time is a plausible unix time");
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   monotonic microsecond timestamps. Draining never blocks writers.
 //! * **Exporters** ([`export`]): Chrome `trace_event` JSON for flame
 //!   views and Prometheus-style text exposition.
+//! * **Durable history** ([`history`]): an append-only on-disk
+//!   time-series log of metrics snapshots, watch samples, and alert
+//!   events with torn-tail crash recovery and exact downsampling
+//!   rollups, built on the shared crash-safe record framing
+//!   ([`record_log`]) that the receipt ledger proved.
 //! * **Logging** ([`log`]): leveled structured logging with
 //!   per-module filters (`CCHECK_LOG=info,net=debug`) and optional
 //!   JSON-lines output — the replacement for ad-hoc `eprintln!`s.
@@ -43,13 +48,19 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 pub mod export;
+pub mod history;
 pub mod log;
 pub mod metrics;
+pub mod record_log;
 pub mod trace;
 
+pub use history::{
+    CompactionCfg, HistoryPayload, HistoryReader, HistoryRecord, HistoryWriter, Resolution,
+};
 pub use metrics::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
 };
+pub use record_log::{RecordLog, RecordReader};
 pub use trace::{instant, span, span_at, trace_snapshot, Span, TraceEvent, TraceSnapshot};
 
 /// Global collection switch. Off by default; hot paths check this with
@@ -88,6 +99,28 @@ fn epoch() -> &'static Instant {
 #[inline]
 pub fn now_us() -> u64 {
     epoch().elapsed().as_micros() as u64
+}
+
+/// Milliseconds since the Unix epoch (wall clock). This is the
+/// timestamp durable records carry — unlike [`now_us`] it is
+/// comparable across processes and restarts, which is what history
+/// alignment needs.
+pub fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Unix time this process started, in whole seconds, anchored once on
+/// first use by subtracting the process-local monotonic age from the
+/// wall clock (the standard `process_start_time_seconds` exposition).
+pub fn process_start_time_seconds() -> u64 {
+    static START: OnceLock<u64> = OnceLock::new();
+    *START.get_or_init(|| {
+        let age_s = now_us() / 1_000_000;
+        (unix_ms() / 1000).saturating_sub(age_s)
+    })
 }
 
 /// Identifies the process a snapshot came from. In-process worlds (the

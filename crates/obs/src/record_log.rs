@@ -1,0 +1,520 @@
+//! Crash-safe record framing shared by every append-only log in the
+//! workspace.
+//!
+//! The receipt ledger (`crates/service/src/ledger.rs`) proved a framing
+//! discipline for durable logs — a magic header followed by
+//! `len:u32 LE ‖ crc32c:u32 LE ‖ payload` records, torn tails truncated
+//! on reopen, fsyncs batched — and the metrics history ([`crate::history`])
+//! needs exactly the same one. This module is that framing, extracted:
+//! [`encode_frame`] / [`decode_frame`] are the byte-level contract
+//! (asserted byte-identical to the pre-extraction ledger files by a
+//! fixture-replay regression test in the service crate), and
+//! [`RecordLog`] / [`RecordReader`] are the file-backed writer and the
+//! bounded-memory streaming reader built on it.
+//!
+//! ## Framing (normative — `docs/PROTOCOL.md` §6.1)
+//!
+//! ```text
+//! magic                                    — caller-chosen header line
+//! repeat:
+//!   len : u32, little-endian               — payload length in bytes
+//!   crc : u32, little-endian               — CRC-32C (Castagnoli) of payload
+//!   payload : len bytes
+//! ```
+//!
+//! * `len` MUST be ≤ [`MAX_RECORD_LEN`]; a larger length word is
+//!   framing corruption, and replay stops rather than allocate it.
+//! * Any framing damage — a torn length word, short payload, CRC
+//!   mismatch — reads as "the log ends here": the valid prefix wins,
+//!   matching write-ahead-log recovery semantics.
+//!
+//! ## Why the CRC lives here
+//!
+//! `ccheck-obs` is intentionally dependency-free (it must never drag
+//! the layers it measures into its own cone), so this module carries
+//! its own table-driven CRC-32C rather than importing
+//! `ccheck_hashing::crc32c`. Both implement the iSCSI/ext4 convention
+//! (polynomial `0x1EDC6F41` reflected, init `0xFFFFFFFF`, final
+//! inversion); the service crate property-tests them equal on random
+//! buffers, and the known-vector test below pins the convention.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Hard cap on one record's payload size. Real records are hundreds of
+/// bytes to a few KiB; a length word beyond this is framing corruption,
+/// not a giant record, and replay must stop rather than allocate it.
+pub const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// Bytes of framing per record ahead of the payload (`len ‖ crc`).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Appends between fsyncs by default ([`RecordLog::sync`] and clean
+/// shutdown always flush the remainder).
+pub const DEFAULT_SYNC_EVERY: u32 = 8;
+
+/// CRC-32C (Castagnoli) lookup table, reflected polynomial
+/// `0x82F63B78`, generated at compile time.
+static CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x82F6_3B78
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// One-shot CRC-32C of a byte slice (standard init `0xFFFFFFFF`, final
+/// inversion — the iSCSI/ext4 convention, equal to
+/// `ccheck_hashing::crc32c` by construction).
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut state = !0u32;
+    for &byte in data {
+        state = (state >> 8) ^ CRC_TABLE[((state ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !state
+}
+
+/// Frame one payload: `len:u32 LE ‖ crc32c:u32 LE ‖ payload`.
+///
+/// Callers must keep payloads within [`MAX_RECORD_LEN`]; a larger
+/// payload would frame fine but read back as corruption.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_RECORD_LEN as usize);
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32c(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Decode the frame at `offset` in an in-memory log image:
+/// `Some((payload, next_offset))` for a complete, CRC-valid record,
+/// `None` for end-of-log or any framing damage (a torn length word,
+/// oversized length, short payload, and a CRC mismatch all read as
+/// "the log ends here").
+pub fn decode_frame(bytes: &[u8], offset: usize) -> Option<(&[u8], usize)> {
+    let header = bytes.get(offset..offset + FRAME_HEADER_LEN)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_RECORD_LEN {
+        return None;
+    }
+    let start = offset + FRAME_HEADER_LEN;
+    let payload = bytes.get(start..start + len as usize)?;
+    if crc32c(payload) != crc {
+        return None;
+    }
+    Some((payload, start + len as usize))
+}
+
+/// An append-only framed log file: magic header, framed records,
+/// torn-tail truncation on open, batched fsync.
+///
+/// [`RecordLog`] owns only the *framing* layer; what the payloads mean
+/// is the caller's contract (receipts for the ledger, history records
+/// for [`crate::history`]). Opening scans the existing file record by
+/// record in bounded memory, truncates anything after the last valid
+/// record, and positions for append.
+#[derive(Debug)]
+pub struct RecordLog {
+    file: File,
+    path: PathBuf,
+    /// Appends since the last fsync.
+    unsynced: u32,
+    /// Fsync after this many appends (≥ 1).
+    sync_every: u32,
+    /// Valid records found on open (before any appends).
+    replayed: u64,
+}
+
+impl RecordLog {
+    /// Open (or create) the framed log at `path` under the given magic
+    /// header. A new file gets the magic written and synced; an
+    /// existing file must start with it. The record stream is scanned
+    /// in bounded memory and a torn tail — a partially written final
+    /// record from a crash — is truncated away.
+    pub fn open(path: impl AsRef<Path>, magic: &[u8]) -> io::Result<RecordLog> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let file_len = file.metadata()?.len();
+        if file_len == 0 {
+            file.write_all(magic)?;
+            file.sync_data()?;
+            return Ok(RecordLog {
+                file,
+                path,
+                unsynced: 0,
+                sync_every: DEFAULT_SYNC_EVERY,
+                replayed: 0,
+            });
+        }
+        let mut header = vec![0u8; magic.len()];
+        let ok = file_len >= magic.len() as u64 && {
+            file.read_exact(&mut header)?;
+            header == magic
+        };
+        if !ok {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a framed record log (bad magic)", path.display()),
+            ));
+        }
+        let mut reader = BufReader::new(file.try_clone()?);
+        reader.seek(SeekFrom::Start(magic.len() as u64))?;
+        let mut valid_end = magic.len() as u64;
+        let mut replayed = 0u64;
+        while let Some(payload) = read_frame(&mut reader)? {
+            valid_end += (FRAME_HEADER_LEN + payload.len()) as u64;
+            replayed += 1;
+        }
+        if valid_end < file_len {
+            // Torn tail from a mid-write crash: drop it so the next
+            // append starts on a clean record boundary.
+            file.set_len(valid_end)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(RecordLog {
+            file,
+            path,
+            unsynced: 0,
+            sync_every: DEFAULT_SYNC_EVERY,
+            replayed,
+        })
+    }
+
+    /// Append one framed record. Fsyncs are batched every
+    /// `sync_every`th append; call [`RecordLog::sync`] to force one.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_RECORD_LEN as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "record payload of {} bytes exceeds MAX_RECORD_LEN",
+                    payload.len()
+                ),
+            ));
+        }
+        self.file.write_all(&encode_frame(payload))?;
+        self.unsynced += 1;
+        if self.unsynced >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Force the batched appends to durable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Fsync after this many appends (clamped to ≥ 1; 1 = every append).
+    pub fn set_sync_every(&mut self, every: u32) {
+        self.sync_every = every.max(1);
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Valid records found when the file was opened (before appends
+    /// made through this handle).
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+}
+
+/// Read one frame from a buffered reader: `Ok(Some(payload))` for a
+/// complete CRC-valid record, `Ok(None)` at end-of-log or on any
+/// framing damage (the torn-tail rule), `Err` only for real I/O
+/// failures.
+fn read_frame(reader: &mut BufReader<File>) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    if !read_exact_or_eof(reader, &mut header)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_RECORD_LEN {
+        return Ok(None);
+    }
+    let mut payload = vec![0u8; len as usize];
+    if !read_exact_or_eof(reader, &mut payload)? {
+        return Ok(None);
+    }
+    if crc32c(&payload) != crc {
+        return Ok(None);
+    }
+    Ok(Some(payload))
+}
+
+/// Fill `buf` exactly, distinguishing "clean or torn EOF" (`false`)
+/// from a real I/O error.
+fn read_exact_or_eof(reader: &mut impl BufRead, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = reader.read(&mut buf[filled..])?;
+        if n == 0 {
+            return Ok(false);
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// Streaming reader over a framed log: yields payloads in append order
+/// in bounded memory (one record buffered at a time), stopping silently
+/// at the first framing damage — the same valid-prefix rule the writer
+/// enforces on open.
+#[derive(Debug)]
+pub struct RecordReader {
+    reader: BufReader<File>,
+    done: bool,
+}
+
+impl RecordReader {
+    /// Open the framed log at `path` for streaming reads, verifying the
+    /// magic header.
+    pub fn open(path: impl AsRef<Path>, magic: &[u8]) -> io::Result<RecordReader> {
+        let file = File::open(path.as_ref())?;
+        let mut reader = BufReader::new(file);
+        let mut header = vec![0u8; magic.len()];
+        if !read_exact_or_eof(&mut reader, &mut header)? || header != magic {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{} is not a framed record log (bad magic)",
+                    path.as_ref().display()
+                ),
+            ));
+        }
+        Ok(RecordReader {
+            reader,
+            done: false,
+        })
+    }
+}
+
+impl Iterator for RecordReader {
+    type Item = io::Result<Vec<u8>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match read_frame(&mut self.reader) {
+            Ok(Some(payload)) => Some(Ok(payload)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: &[u8] = b"ccheck-testlog-v1\n";
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ccheck-recordlog-{tag}-{}.log", std::process::id()))
+    }
+
+    /// The iSCSI/ext4 reference vectors (RFC 3720) — the same set the
+    /// `ccheck-hashing` implementation pins, so both stay the same CRC.
+    #[test]
+    fn crc32c_known_vectors() {
+        assert_eq!(crc32c(b""), 0x0000_0000);
+        assert_eq!(crc32c(b"a"), 0xC1D0_4330);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_rejects() {
+        let frame = encode_frame(b"hello");
+        assert_eq!(frame.len(), FRAME_HEADER_LEN + 5);
+        let (payload, next) = decode_frame(&frame, 0).expect("decodes");
+        assert_eq!(payload, b"hello");
+        assert_eq!(next, frame.len());
+        // Short header, short payload, flipped payload byte.
+        assert!(decode_frame(&frame[..7], 0).is_none());
+        assert!(decode_frame(&frame[..frame.len() - 1], 0).is_none());
+        let mut corrupt = frame.clone();
+        corrupt[FRAME_HEADER_LEN] ^= 1;
+        assert!(decode_frame(&corrupt, 0).is_none());
+        // An oversized length word must not allocate.
+        let mut giant = frame;
+        giant[0..4].copy_from_slice(&(MAX_RECORD_LEN + 1).to_le_bytes());
+        assert!(decode_frame(&giant, 0).is_none());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let records: Vec<Vec<u8>> = (0..20u8)
+            .map(|i| std::iter::repeat_n(i, i as usize * 7 + 1).collect())
+            .collect();
+        let mut log = RecordLog::open(&path, MAGIC).unwrap();
+        assert_eq!(log.replayed(), 0);
+        for r in &records {
+            log.append(r).unwrap();
+        }
+        log.sync().unwrap();
+        drop(log);
+        let read: Vec<Vec<u8>> = RecordReader::open(&path, MAGIC)
+            .unwrap()
+            .collect::<io::Result<_>>()
+            .unwrap();
+        assert_eq!(read, records);
+        // Reopen sees all records and appends after them.
+        let mut log = RecordLog::open(&path, MAGIC).unwrap();
+        assert_eq!(log.replayed(), 20);
+        log.append(b"tail").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let read: Vec<Vec<u8>> = RecordReader::open(&path, MAGIC)
+            .unwrap()
+            .collect::<io::Result<_>>()
+            .unwrap();
+        assert_eq!(read.len(), 21);
+        assert_eq!(read.last().unwrap(), b"tail");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// §6.1 torn-tail rule at every interesting cut: mid-header (inside
+    /// the length word and inside the CRC word) and mid-payload. Reopen
+    /// must truncate back to the last full record.
+    #[test]
+    fn torn_tail_truncates_mid_header_mid_crc_mid_payload() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut log = RecordLog::open(&path, MAGIC).unwrap();
+        log.append(b"first-record").unwrap();
+        log.append(b"second-record-with-longer-payload").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let intact = std::fs::read(&path).unwrap();
+        let second_start = MAGIC.len() + FRAME_HEADER_LEN + b"first-record".len();
+
+        // Cuts: 2 bytes into len, 2 bytes into crc, mid-payload, one
+        // byte short of complete.
+        for cut in [
+            second_start + 2,
+            second_start + 6,
+            second_start + FRAME_HEADER_LEN + 5,
+            intact.len() - 1,
+        ] {
+            std::fs::write(&path, &intact[..cut]).unwrap();
+            let log = RecordLog::open(&path, MAGIC).unwrap();
+            assert_eq!(log.replayed(), 1, "cut at {cut}");
+            drop(log);
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                second_start as u64,
+                "tail truncated at {cut}"
+            );
+            // And the reader agrees without mutating the file.
+            std::fs::write(&path, &intact[..cut]).unwrap();
+            let read: Vec<Vec<u8>> = RecordReader::open(&path, MAGIC)
+                .unwrap()
+                .collect::<io::Result<_>>()
+                .unwrap();
+            assert_eq!(read, vec![b"first-record".to_vec()], "cut at {cut}");
+        }
+
+        // Appending after recovery lands on a clean boundary.
+        std::fs::write(&path, &intact[..intact.len() - 1]).unwrap();
+        let mut log = RecordLog::open(&path, MAGIC).unwrap();
+        log.append(b"replacement").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let read: Vec<Vec<u8>> = RecordReader::open(&path, MAGIC)
+            .unwrap()
+            .collect::<io::Result<_>>()
+            .unwrap();
+        assert_eq!(
+            read,
+            vec![b"first-record".to_vec(), b"replacement".to_vec()]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_mid_log() {
+        let path = temp_path("crc");
+        let _ = std::fs::remove_file(&path);
+        let mut log = RecordLog::open(&path, MAGIC).unwrap();
+        log.append(b"keep-me").unwrap();
+        log.append(b"corrupt-me").unwrap();
+        log.append(b"unreachable").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let second_payload = MAGIC.len() + 2 * FRAME_HEADER_LEN + b"keep-me".len();
+        bytes[second_payload] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        // Valid-prefix rule: only the first record survives, even
+        // though a well-framed third record sits past the damage.
+        let read: Vec<Vec<u8>> = RecordReader::open(&path, MAGIC)
+            .unwrap()
+            .collect::<io::Result<_>>()
+            .unwrap();
+        assert_eq!(read, vec![b"keep-me".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_is_refused() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"{\"not\":\"a log\"}\n").unwrap();
+        assert!(RecordLog::open(&path, MAGIC).is_err());
+        assert!(RecordReader::open(&path, MAGIC).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn oversized_append_is_refused() {
+        let path = temp_path("oversize");
+        let _ = std::fs::remove_file(&path);
+        let mut log = RecordLog::open(&path, MAGIC).unwrap();
+        let giant = vec![0u8; MAX_RECORD_LEN as usize + 1];
+        assert!(log.append(&giant).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,588 @@
+//! `ccheck-report` — offline analytics over the durable telemetry plane.
+//!
+//! ```text
+//! ccheck-report --history /tmp/w.hist --ledger /tmp/w.ledger
+//! ccheck-report --history /tmp/w.hist --json > report.json
+//! ccheck-report --history /tmp/w.hist --ledger /tmp/w.ledger --diff base.json
+//! ```
+//!
+//! Joins the two durable artifacts a service world leaves behind — the
+//! `--history` metrics log (watch samples + alert events) and the
+//! `--ledger` receipt log — into one report: per-tenant usage (verdict
+//! mix, data/communication volumes, queue-wait and execution
+//! percentiles), an SLO compliance summary folded from the durable
+//! alert stream, and a per-window throughput trajectory.
+//!
+//! Receipts carry no wall-clock timestamp (their canonical bytes are
+//! sealed into hash chains and must not depend on the clock), so the
+//! time-window join goes through the sample stream instead: every watch
+//! sample records the **cumulative** per-tenant completion count, and a
+//! tenant's ledger entries are in completion order, so the counts at
+//! two sample timestamps bracket exactly the receipts completed between
+//! them. The join is therefore as crash-safe as the logs themselves:
+//! any durable prefix reproduces the identical report.
+//!
+//! `--diff BASE` compares the report against a previously saved
+//! `--json` output and exits nonzero (3) when a regression threshold is
+//! breached: per-tenant execution-p95 growth, rejected-rate growth, or
+//! new SLO breaches. Everything is computed from the files alone — no
+//! clocks, no randomness — so re-running on the same inputs is
+//! byte-identical.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use ccheck_obs::history::{HistoryPayload, HistoryReader};
+use ccheck_service::health::WatchSample;
+use ccheck_service::json::{self, Json};
+use ccheck_service::ledger::Ledger;
+use ccheck_service::slo::AlertEvent;
+use ccheck_service::{Receipt, Verdict};
+
+struct Args {
+    history: PathBuf,
+    ledger: Option<PathBuf>,
+    window_ms: u64,
+    tenant: Option<String>,
+    json: bool,
+    diff: Option<PathBuf>,
+    max_p95_regress_pct: u64,
+    max_rejected_delta_permille: u64,
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!(
+        "error: {problem}\n\
+         \n\
+         usage: ccheck-report --history PATH [--ledger PATH] [options]\n\
+         \n\
+         --history PATH        metrics history file written by ccheck-serve --history\n\
+         --ledger PATH         receipt ledger written by ccheck-serve --ledger\n\
+         --window SECS         trajectory window size in seconds (default 60)\n\
+         --tenant NAME         restrict per-tenant sections to one tenant\n\
+         --json                emit the report as one canonical JSON line\n\
+         --diff BASE           compare against a saved --json report; exit 3 on\n\
+         \u{20}                  threshold breach\n\
+         --max-p95-regress PCT     allowed per-tenant exec-p95 growth vs base\n\
+         \u{20}                      before --diff fails (default 50)\n\
+         --max-rejected-delta PM   allowed per-tenant rejected-rate growth vs\n\
+         \u{20}                      base, in permille (default 50)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut history = None;
+    let mut args = Args {
+        history: PathBuf::new(),
+        ledger: None,
+        window_ms: 60_000,
+        tenant: None,
+        json: false,
+        diff: None,
+        max_p95_regress_pct: 50,
+        max_rejected_delta_permille: 50,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--history" => match iter.next() {
+                Some(p) => history = Some(PathBuf::from(p)),
+                None => usage("--history expects a path"),
+            },
+            "--ledger" => match iter.next() {
+                Some(p) => args.ledger = Some(PathBuf::from(p)),
+                None => usage("--ledger expects a path"),
+            },
+            "--window" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) if s > 0 => args.window_ms = s * 1000,
+                _ => usage("--window expects a positive number of seconds"),
+            },
+            "--tenant" => match iter.next() {
+                Some(t) => args.tenant = Some(t),
+                None => usage("--tenant expects a name"),
+            },
+            "--json" => args.json = true,
+            "--diff" => match iter.next() {
+                Some(p) => args.diff = Some(PathBuf::from(p)),
+                None => usage("--diff expects a path to a saved --json report"),
+            },
+            "--max-p95-regress" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(p) => args.max_p95_regress_pct = p,
+                None => usage("--max-p95-regress expects a percentage"),
+            },
+            "--max-rejected-delta" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(p) => args.max_rejected_delta_permille = p,
+                None => usage("--max-rejected-delta expects a permille value"),
+            },
+            other => usage(&format!("unknown option {other:?}")),
+        }
+    }
+    match history {
+        Some(h) => args.history = h,
+        None => usage("--history is required"),
+    }
+    args
+}
+
+fn fail(what: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("ccheck-report: {what}: {err}");
+    std::process::exit(1);
+}
+
+/// Nearest-rank percentile over an already-sorted slice (0 when empty).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Watch samples and alert events decoded from a history file, in
+/// wall-clock order.
+struct HistoryData {
+    samples: Vec<(u64, WatchSample)>,
+    alerts: Vec<AlertEvent>,
+}
+
+fn load_history(path: &PathBuf) -> HistoryData {
+    let reader = HistoryReader::open(path).unwrap_or_else(|e| fail("open history", e));
+    let mut samples = Vec::new();
+    let mut alerts = Vec::new();
+    for record in reader {
+        let record = record.unwrap_or_else(|e| fail("read history", e));
+        match record.payload {
+            HistoryPayload::Sample(bytes) => {
+                let text = std::str::from_utf8(&bytes).unwrap_or_else(|e| fail("sample utf8", e));
+                let parsed = json::parse(text).unwrap_or_else(|e| fail("sample json", e));
+                let sample =
+                    WatchSample::from_json(&parsed).unwrap_or_else(|e| fail("sample decode", e));
+                samples.push((record.wall_ms, sample));
+            }
+            HistoryPayload::Alert(bytes) => {
+                let text = std::str::from_utf8(&bytes).unwrap_or_else(|e| fail("alert utf8", e));
+                let parsed = json::parse(text).unwrap_or_else(|e| fail("alert json", e));
+                let ev = AlertEvent::from_json(&parsed).unwrap_or_else(|e| fail("alert decode", e));
+                alerts.push(ev);
+            }
+            HistoryPayload::Metrics(_) => {}
+        }
+    }
+    samples.sort_by_key(|(wall, s)| (*wall, s.seq));
+    alerts.sort_by_key(|a| a.at_ms);
+    HistoryData { samples, alerts }
+}
+
+/// Fold the durable alert stream into per-SLO compliance: breach count,
+/// total milliseconds spent firing (an alert still firing at the end of
+/// the span is charged up to `span_end_ms`), and peak burn rate.
+fn slo_compliance(alerts: &[AlertEvent], span_end_ms: u64) -> BTreeMap<String, Json> {
+    #[derive(Default)]
+    struct Fold {
+        breaches: u64,
+        firing_ms: u64,
+        max_burn_permille: u64,
+        firing_since: Option<u64>,
+    }
+    let mut folds: BTreeMap<String, Fold> = BTreeMap::new();
+    for ev in alerts {
+        let fold = folds.entry(ev.slo.clone()).or_default();
+        fold.max_burn_permille = fold.max_burn_permille.max(ev.burn_permille);
+        if ev.firing {
+            fold.breaches += 1;
+            fold.firing_since.get_or_insert(ev.at_ms);
+        } else if let Some(since) = fold.firing_since.take() {
+            fold.firing_ms += ev.at_ms.saturating_sub(since);
+        }
+    }
+    folds
+        .into_iter()
+        .map(|(name, mut fold)| {
+            if let Some(since) = fold.firing_since.take() {
+                fold.firing_ms += span_end_ms.saturating_sub(since);
+            }
+            let body = Json::obj([
+                ("breaches", Json::from(fold.breaches)),
+                ("firing_ms", Json::from(fold.firing_ms)),
+                ("max_burn_permille", Json::from(fold.max_burn_permille)),
+            ]);
+            (name, body)
+        })
+        .collect()
+}
+
+/// Per-tenant usage rolled up from the full receipt ledger.
+fn tenant_usage(receipts: &[Receipt], only: Option<&str>) -> BTreeMap<String, Json> {
+    #[derive(Default)]
+    struct Usage {
+        jobs: u64,
+        verified: u64,
+        retried: u64,
+        fellback: u64,
+        rejected: u64,
+        elems: u64,
+        comm_bytes: u64,
+        exec_ms: Vec<u64>,
+        queue_ms: Vec<u64>,
+    }
+    let mut usage: BTreeMap<String, Usage> = BTreeMap::new();
+    for receipt in receipts {
+        let key = receipt.tenant.clone().unwrap_or_default();
+        if only.is_some_and(|t| t != key) {
+            continue;
+        }
+        let u = usage.entry(key).or_default();
+        u.jobs += 1;
+        match receipt.verdict {
+            Verdict::Verified => u.verified += 1,
+            Verdict::VerifiedAfterRetry(_) => u.retried += 1,
+            Verdict::FellBack => u.fellback += 1,
+            Verdict::Rejected => u.rejected += 1,
+        }
+        u.elems += receipt.elems;
+        u.comm_bytes += receipt.comm.as_ref().map_or(0, |c| c.total_bytes);
+        if let Some(t) = &receipt.timing {
+            u.exec_ms.push(t.exec_ms);
+            u.queue_ms.push(t.queue_wait_ms);
+        }
+    }
+    usage
+        .into_iter()
+        .map(|(tenant, mut u)| {
+            u.exec_ms.sort_unstable();
+            u.queue_ms.sort_unstable();
+            let rejected_permille = (u.rejected * 1000).checked_div(u.jobs).unwrap_or(0);
+            let body = Json::obj([
+                ("jobs", Json::from(u.jobs)),
+                ("verified", Json::from(u.verified)),
+                ("retried", Json::from(u.retried)),
+                ("fellback", Json::from(u.fellback)),
+                ("rejected", Json::from(u.rejected)),
+                ("rejected_permille", Json::from(rejected_permille)),
+                ("elems", Json::from(u.elems)),
+                ("comm_bytes", Json::from(u.comm_bytes)),
+                ("exec_p50_ms", Json::from(percentile(&u.exec_ms, 0.5))),
+                ("exec_p95_ms", Json::from(percentile(&u.exec_ms, 0.95))),
+                ("queue_p50_ms", Json::from(percentile(&u.queue_ms, 0.5))),
+                ("queue_p95_ms", Json::from(percentile(&u.queue_ms, 0.95))),
+            ]);
+            (tenant, body)
+        })
+        .collect()
+}
+
+/// The per-window trajectory: samples are bucketed by wall clock, the
+/// last sample of each bucket carries the cumulative counters, and the
+/// deltas between consecutive kept samples are the window's activity.
+/// The cumulative per-tenant counts additionally bracket each tenant's
+/// completion-ordered receipts, so every window gets the exec-p95 of
+/// exactly the receipts completed inside it.
+fn windows(
+    data: &HistoryData,
+    receipts: &[Receipt],
+    window_ms: u64,
+    only: Option<&str>,
+) -> Vec<Json> {
+    // Tenant → receipts in completion (ledger append) order.
+    let mut chains: BTreeMap<&str, Vec<&Receipt>> = BTreeMap::new();
+    for receipt in receipts {
+        chains
+            .entry(receipt.tenant.as_deref().unwrap_or(""))
+            .or_default()
+            .push(receipt);
+    }
+    // Last sample per bucket, in order.
+    let mut kept: Vec<&(u64, WatchSample)> = Vec::new();
+    for entry in &data.samples {
+        let bucket = entry.0 / window_ms;
+        match kept.last() {
+            Some(last) if last.0 / window_ms == bucket => *kept.last_mut().unwrap() = entry,
+            _ => kept.push(entry),
+        }
+    }
+    let mut out = Vec::new();
+    let mut prev: Option<&(u64, WatchSample)> = None;
+    for entry in kept {
+        let (wall, cur) = entry;
+        let (p_done, p_failed) = prev.map_or((0, 0), |(_, p)| (p.jobs_done, p.jobs_failed));
+        let mut tenants: BTreeMap<String, Json> = BTreeMap::new();
+        for (tenant, count) in &cur.tenants {
+            let count = *count;
+            if only.is_some_and(|t| t != tenant) {
+                continue;
+            }
+            let start = prev
+                .and_then(|(_, p)| p.tenants.iter().find(|(t, _)| t == tenant))
+                .map_or(0, |(_, c)| *c);
+            if count <= start {
+                continue;
+            }
+            let mut exec: Vec<u64> = chains
+                .get(tenant.as_str())
+                .map(|chain| {
+                    let lo = (start as usize).min(chain.len());
+                    let hi = (count as usize).min(chain.len());
+                    chain[lo..hi]
+                        .iter()
+                        .filter_map(|r| r.timing.as_ref().map(|t| t.exec_ms))
+                        .collect()
+                })
+                .unwrap_or_default();
+            exec.sort_unstable();
+            tenants.insert(
+                tenant.clone(),
+                Json::obj([
+                    ("jobs", Json::from(count - start)),
+                    ("exec_p95_ms", Json::from(percentile(&exec, 0.95))),
+                ]),
+            );
+        }
+        out.push(Json::obj([
+            ("at_ms", Json::from(*wall)),
+            ("done", Json::from(cur.jobs_done.saturating_sub(p_done))),
+            (
+                "failed",
+                Json::from(cur.jobs_failed.saturating_sub(p_failed)),
+            ),
+            ("p95_ms", Json::from(cur.p95_ms)),
+            ("alerts", Json::from(cur.alerts)),
+            ("tenants", Json::Obj(tenants)),
+        ]));
+        prev = Some(entry);
+    }
+    out
+}
+
+fn build_report(args: &Args, data: &HistoryData, receipts: &[Receipt]) -> Json {
+    let from_ms = data.samples.first().map_or(0, |(w, _)| *w);
+    let to_ms = data.samples.last().map_or(0, |(w, _)| *w);
+    let span_end = to_ms.max(data.alerts.last().map_or(0, |a| a.at_ms));
+    Json::obj([
+        (
+            "history",
+            Json::obj([
+                ("from_ms", Json::from(from_ms)),
+                ("to_ms", Json::from(to_ms)),
+                ("samples", Json::from(data.samples.len() as u64)),
+                ("alert_events", Json::from(data.alerts.len() as u64)),
+            ]),
+        ),
+        ("slos", Json::Obj(slo_compliance(&data.alerts, span_end))),
+        (
+            "tenants",
+            Json::Obj(tenant_usage(receipts, args.tenant.as_deref())),
+        ),
+        (
+            "windows",
+            Json::Arr(windows(
+                data,
+                receipts,
+                args.window_ms,
+                args.tenant.as_deref(),
+            )),
+        ),
+    ])
+}
+
+fn get_u64(v: &Json, path: &[&str]) -> u64 {
+    let mut cur = v;
+    for key in path {
+        match cur.get(key) {
+            Some(next) => cur = next,
+            None => return 0,
+        }
+    }
+    cur.as_u64().unwrap_or(0)
+}
+
+/// Compare `report` against a saved `--json` baseline. Returns the list
+/// of threshold breaches (empty = pass).
+fn diff(report: &Json, base: &Json, args: &Args) -> Vec<String> {
+    let mut breaches = Vec::new();
+    let (Some(Json::Obj(cur_tenants)), Some(Json::Obj(base_tenants))) =
+        (report.get("tenants"), base.get("tenants"))
+    else {
+        return vec!["base report has no tenants section".to_string()];
+    };
+    for (tenant, cur) in cur_tenants {
+        let Some(prev) = base_tenants.get(tenant) else {
+            continue; // new tenant: nothing to regress against
+        };
+        let label = if tenant.is_empty() {
+            "(default)"
+        } else {
+            tenant
+        };
+        let cur_p95 = get_u64(cur, &["exec_p95_ms"]);
+        let base_p95 = get_u64(prev, &["exec_p95_ms"]);
+        if base_p95 > 0 && get_u64(cur, &["jobs"]) > 0 {
+            let limit = base_p95 + base_p95 * args.max_p95_regress_pct / 100;
+            if cur_p95 > limit {
+                breaches.push(format!(
+                    "tenant {label}: exec p95 {cur_p95} ms exceeds base {base_p95} ms \
+                     by more than {}% (limit {limit} ms)",
+                    args.max_p95_regress_pct
+                ));
+            }
+        }
+        let cur_rej = get_u64(cur, &["rejected_permille"]);
+        let base_rej = get_u64(prev, &["rejected_permille"]);
+        if cur_rej > base_rej + args.max_rejected_delta_permille {
+            breaches.push(format!(
+                "tenant {label}: rejected rate {cur_rej}‰ exceeds base {base_rej}‰ \
+                 by more than {}‰",
+                args.max_rejected_delta_permille
+            ));
+        }
+    }
+    let total = |r: &Json| match r.get("slos") {
+        Some(Json::Obj(slos)) => slos.values().map(|s| get_u64(s, &["breaches"])).sum(),
+        _ => 0u64,
+    };
+    let (cur_breaches, base_breaches) = (total(report), total(base));
+    if cur_breaches > base_breaches {
+        breaches.push(format!(
+            "SLO breaches grew from {base_breaches} to {cur_breaches}"
+        ));
+    }
+    breaches
+}
+
+fn print_human(args: &Args, report: &Json) {
+    let h = |p: &[&str]| get_u64(report, p);
+    println!(
+        "ccheck-report  history {}{}",
+        args.history.display(),
+        args.ledger
+            .as_ref()
+            .map(|l| format!("  ledger {}", l.display()))
+            .unwrap_or_default()
+    );
+    println!(
+        "span: {} → {} ms  ({:.1} s, {} samples, {} alert events)",
+        h(&["history", "from_ms"]),
+        h(&["history", "to_ms"]),
+        h(&["history", "to_ms"]).saturating_sub(h(&["history", "from_ms"])) as f64 / 1000.0,
+        h(&["history", "samples"]),
+        h(&["history", "alert_events"]),
+    );
+    if let Some(Json::Obj(slos)) = report.get("slos") {
+        if !slos.is_empty() {
+            println!(
+                "\n{:>16} {:>9} {:>10} {:>9}",
+                "SLO", "breaches", "firing s", "max burn"
+            );
+            for (name, s) in slos {
+                println!(
+                    "{name:>16} {:>9} {:>10.1} {:>8.2}x",
+                    get_u64(s, &["breaches"]),
+                    get_u64(s, &["firing_ms"]) as f64 / 1000.0,
+                    get_u64(s, &["max_burn_permille"]) as f64 / 1000.0,
+                );
+            }
+        }
+    }
+    if let Some(Json::Obj(tenants)) = report.get("tenants") {
+        if !tenants.is_empty() {
+            println!(
+                "\n{:>16} {:>6} {:>9} {:>7} {:>8} {:>8} {:>10} {:>13} {:>14}",
+                "tenant",
+                "jobs",
+                "verified",
+                "retried",
+                "fellback",
+                "rejected",
+                "comm KiB",
+                "exec p50/p95",
+                "queue p50/p95"
+            );
+            for (tenant, u) in tenants {
+                let name = if tenant.is_empty() {
+                    "(default)"
+                } else {
+                    tenant
+                };
+                println!(
+                    "{name:>16} {:>6} {:>9} {:>7} {:>8} {:>8} {:>10} {:>6}/{:<6} {:>7}/{:<6}",
+                    get_u64(u, &["jobs"]),
+                    get_u64(u, &["verified"]),
+                    get_u64(u, &["retried"]),
+                    get_u64(u, &["fellback"]),
+                    get_u64(u, &["rejected"]),
+                    get_u64(u, &["comm_bytes"]) / 1024,
+                    get_u64(u, &["exec_p50_ms"]),
+                    get_u64(u, &["exec_p95_ms"]),
+                    get_u64(u, &["queue_p50_ms"]),
+                    get_u64(u, &["queue_p95_ms"]),
+                );
+            }
+        }
+    }
+    if let Some(Json::Arr(windows)) = report.get("windows") {
+        if !windows.is_empty() {
+            println!(
+                "\nwindows ({} s):\n{:>16} {:>6} {:>7} {:>8} {:>7}  per-tenant",
+                args.window_ms / 1000,
+                "at ms",
+                "done",
+                "failed",
+                "p95 ms",
+                "alerts"
+            );
+            for w in windows {
+                let tenants = match w.get("tenants") {
+                    Some(Json::Obj(m)) => m
+                        .iter()
+                        .map(|(t, v)| {
+                            format!(
+                                "{}={} (p95 {} ms)",
+                                if t.is_empty() { "(default)" } else { t },
+                                get_u64(v, &["jobs"]),
+                                get_u64(v, &["exec_p95_ms"]),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join("  "),
+                    _ => String::new(),
+                };
+                println!(
+                    "{:>16} {:>6} {:>7} {:>8} {:>7}  {tenants}",
+                    get_u64(w, &["at_ms"]),
+                    get_u64(w, &["done"]),
+                    get_u64(w, &["failed"]),
+                    get_u64(w, &["p95_ms"]),
+                    get_u64(w, &["alerts"]),
+                );
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let data = load_history(&args.history);
+    let receipts = match &args.ledger {
+        Some(path) => Ledger::replay(path).unwrap_or_else(|e| fail("replay ledger", e)),
+        None => Vec::new(),
+    };
+    let report = build_report(&args, &data, &receipts);
+    if args.json {
+        println!("{}", report.render());
+    } else {
+        print_human(&args, &report);
+    }
+    if let Some(base_path) = &args.diff {
+        let text =
+            std::fs::read_to_string(base_path).unwrap_or_else(|e| fail("read --diff base", e));
+        let base = json::parse(text.trim()).unwrap_or_else(|e| fail("parse --diff base", e));
+        let breaches = diff(&report, &base, &args);
+        if !breaches.is_empty() {
+            for b in &breaches {
+                eprintln!("ccheck-report: regression: {b}");
+            }
+            std::process::exit(3);
+        }
+        eprintln!("ccheck-report: diff vs {}: ok", base_path.display());
+    }
+}

@@ -41,7 +41,7 @@ fn usage(problem: &str) -> ! {
          \n\
          usage: ccheck-serve [--transport local|tcp] [--pes N]\n\
          \u{20}                   [--listen ADDR] [--addr-file PATH]\n\
-         \u{20}                   [--ledger PATH]\n\
+         \u{20}                   [--ledger PATH] [--history PATH] [--slo FILE]\n\
          \u{20}                   [--max-inflight N] [--queue N]\n\
          \u{20}                   [--policy fifo|priority|deadline-wfq]\n\
          \u{20}                   [--aging-ms MS] [--tenant-inflight N]\n\
@@ -58,6 +58,14 @@ fn usage(problem: &str) -> ! {
          --ledger PATH       durable receipt ledger (rank 0): hash-chained log,\n\
          \u{20}                   replayed on restart; resubmitted (tenant, job_id)\n\
          \u{20}                   pairs are answered without re-running\n\
+         --history PATH      durable telemetry history (rank 0): watch samples,\n\
+         \u{20}                   metrics snapshots, and SLO alerts appended on the\n\
+         \u{20}                   heartbeat cadence with downsampling retention;\n\
+         \u{20}                   replayed on restart to refold SLO burn-rate state\n\
+         --slo FILE          declarative SLOs, one JSON object per line\n\
+         \u{20}                   (latency_p95 | error_budget | availability);\n\
+         \u{20}                   breaches emit durable alerts + warn logs and\n\
+         \u{20}                   surface in health/watch/metrics responses\n\
          --max-inflight N    concurrent jobs (default 4)\n\
          --queue N           submission queue capacity (default 64)\n\
          --policy P          scheduling policy (default fifo = PR-4 behavior)\n\
@@ -118,6 +126,14 @@ fn parse_args() -> Args {
             "--ledger" => match iter.next() {
                 Some(path) => args.cfg.ledger_path = Some(PathBuf::from(path)),
                 None => usage("--ledger expects a path"),
+            },
+            "--history" => match iter.next() {
+                Some(path) => args.cfg.history_path = Some(PathBuf::from(path)),
+                None => usage("--history expects a path"),
+            },
+            "--slo" => match iter.next() {
+                Some(path) => args.cfg.slo_path = Some(PathBuf::from(path)),
+                None => usage("--slo expects a path"),
             },
             "--max-inflight" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v > 0 => args.cfg.max_inflight = v,

@@ -3,24 +3,35 @@
 //! ```text
 //! ccheck-top --addr-file /tmp/ccheck.addr
 //! ccheck-top --addr 127.0.0.1:9400 --once      # one frame, for scripts/CI
+//! ccheck-top --replay /tmp/ccheck.hist:10      # replay a history file at 10x
 //! ```
 //!
 //! Long-polls the daemon's `watch` command (PE 0's periodic delta
 //! snapshots) for throughput, queue depth, latency quantiles, and
 //! per-tenant rates, and the collective-free `health` command for the
-//! per-PE liveness table and straggler list. Zero dependencies: plain
-//! ANSI escapes, no TUI library. Ctrl-C to exit.
+//! per-PE liveness table, straggler list, and SLO alert state. With
+//! `--replay PATH[:speed]` the same render path is driven offline from
+//! the sample records of a `--history` file instead of a live daemon.
+//! Zero dependencies: plain ANSI escapes, no TUI library. Ctrl-C to
+//! exit.
 
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use ccheck_obs::history::{HistoryPayload, HistoryReader};
 use ccheck_service::health::WatchSample;
 use ccheck_service::json::Json;
+use ccheck_service::slo::AlertEvent;
 use ccheck_service::{ServiceClient, ServiceError};
+
+/// Recent alert events kept visible under the dashboard.
+const RECENT_ALERTS: usize = 5;
 
 struct Args {
     addr: Option<String>,
     addr_file: Option<PathBuf>,
+    replay: Option<(PathBuf, f64)>,
     once: bool,
     frames: Option<u64>,
     no_clear: bool,
@@ -30,22 +41,40 @@ fn usage(problem: &str) -> ! {
     eprintln!(
         "error: {problem}\n\
          \n\
-         usage: ccheck-top (--addr HOST:PORT | --addr-file PATH)\n\
+         usage: ccheck-top (--addr HOST:PORT | --addr-file PATH | --replay PATH[:SPEED])\n\
          \u{20}                [--once] [--frames N] [--no-clear]\n\
          \n\
-         --addr HOST:PORT    client socket of the service world's PE 0\n\
-         --addr-file PATH    read the address from PATH (written by ccheck-serve)\n\
-         --once              render a single frame and exit (scripts, CI)\n\
-         --frames N          exit after N frames\n\
-         --no-clear          append frames instead of redrawing in place"
+         --addr HOST:PORT      client socket of the service world's PE 0\n\
+         --addr-file PATH      read the address from PATH (written by ccheck-serve)\n\
+         --replay PATH[:SPEED] drive the dashboard from a --history file instead of\n\
+         \u{20}                  a live daemon; SPEED is a wall-clock multiplier\n\
+         \u{20}                  (default 1, 0 = as fast as possible)\n\
+         --once                render a single frame and exit (scripts, CI)\n\
+         --frames N            exit after N frames\n\
+         --no-clear            append frames instead of redrawing in place"
     );
     std::process::exit(2);
+}
+
+/// Split `PATH[:SPEED]`. Only a trailing `:SPEED` that parses as a
+/// non-negative number is treated as a speed, so paths containing `:`
+/// keep working.
+fn parse_replay(spec: &str) -> (PathBuf, f64) {
+    if let Some((path, speed)) = spec.rsplit_once(':') {
+        if let Ok(s) = speed.parse::<f64>() {
+            if s.is_finite() && s >= 0.0 && !path.is_empty() {
+                return (PathBuf::from(path), s);
+            }
+        }
+    }
+    (PathBuf::from(spec), 1.0)
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         addr: None,
         addr_file: None,
+        replay: None,
         once: false,
         frames: None,
         no_clear: false,
@@ -61,6 +90,10 @@ fn parse_args() -> Args {
                 Some(p) => args.addr_file = Some(PathBuf::from(p)),
                 None => usage("--addr-file expects a path"),
             },
+            "--replay" => match iter.next() {
+                Some(spec) => args.replay = Some(parse_replay(&spec)),
+                None => usage("--replay expects PATH[:SPEED]"),
+            },
             "--once" => args.once = true,
             "--frames" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => args.frames = Some(n),
@@ -70,8 +103,10 @@ fn parse_args() -> Args {
             other => usage(&format!("unknown option {other:?}")),
         }
     }
-    if args.addr.is_some() == args.addr_file.is_some() {
-        usage("exactly one of --addr / --addr-file is required");
+    let sources =
+        args.addr.is_some() as u8 + args.addr_file.is_some() as u8 + args.replay.is_some() as u8;
+    if sources != 1 {
+        usage("exactly one of --addr / --addr-file / --replay is required");
     }
     args
 }
@@ -94,7 +129,13 @@ fn state_color(state: &str) -> &'static str {
     }
 }
 
-fn render(prev: Option<&WatchSample>, cur: &WatchSample, health: &Json, color: bool) {
+fn render(
+    prev: Option<&WatchSample>,
+    cur: &WatchSample,
+    health: &Json,
+    recent: &VecDeque<AlertEvent>,
+    color: bool,
+) {
     let paint = |code: &'static str| if color { code } else { "" };
     let reset = paint("\x1b[0m");
     let bold = paint("\x1b[1m");
@@ -102,16 +143,22 @@ fn render(prev: Option<&WatchSample>, cur: &WatchSample, health: &Json, color: b
     let jobs_per_s = prev.map(|p| rate(p, cur)).unwrap_or(0.0);
     let world = health.get("world").and_then(Json::as_u64).unwrap_or(0);
     let uptime_ms = health.get("uptime_ms").and_then(Json::as_u64).unwrap_or(0);
+    let replay = health
+        .get("replay")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let mode = if replay { "  [REPLAY]" } else { "" };
     println!(
-        "{bold}ccheck-top{reset}  world={world}  up {:.1}s  sample #{} @ {} ms",
+        "{bold}ccheck-top{reset}{mode}  world={world}  up {:.1}s  sample #{} @ {} ms",
         uptime_ms as f64 / 1000.0,
         cur.seq,
         cur.at_ms
     );
     println!(
-        "jobs: {:.1}/s  done={} refused={}  queue={} inflight={}  p50={} ms p95={} ms",
+        "jobs: {:.1}/s  done={} failed={} refused={}  queue={} inflight={}  p50={} ms p95={} ms",
         jobs_per_s,
         cur.jobs_done,
+        cur.jobs_failed,
         cur.jobs_refused,
         cur.queue_depth,
         cur.inflight,
@@ -125,6 +172,13 @@ fn render(prev: Option<&WatchSample>, cur: &WatchSample, health: &Json, color: b
         if s > 0 { paint("\x1b[33m") } else { "" },
         if d > 0 { paint("\x1b[31m") } else { "" },
     );
+    if cur.alerts > 0 {
+        println!(
+            "{}ALERTS: {} SLO objective(s) firing{reset}",
+            paint("\x1b[31m"),
+            cur.alerts
+        );
+    }
     if let (Some(pe), Some(skew)) = (
         health.get("lagging_pe").and_then(Json::as_u64),
         health.get("lagging_skew").and_then(Json::as_f64),
@@ -168,6 +222,58 @@ fn render(prev: Option<&WatchSample>, cur: &WatchSample, health: &Json, color: b
         }
     }
 
+    // SLO table: present in `health` once the daemon runs with `--slo`.
+    if let Some(Json::Arr(slos)) = health.get("slos") {
+        if !slos.is_empty() {
+            println!(
+                "\n{:>16} {:>12} {:>9} {:>7} {:>7} {:>9}",
+                "SLO", "kind", "window s", "burn", "budget", "breaches"
+            );
+            for slo in slos {
+                let firing = slo.get("firing").and_then(Json::as_bool).unwrap_or(false);
+                let col = if !color {
+                    ""
+                } else if firing {
+                    "\x1b[31m"
+                } else {
+                    "\x1b[32m"
+                };
+                let burn = slo.get("burn_permille").and_then(Json::as_u64).unwrap_or(0);
+                let budget = slo
+                    .get("budget_remaining_permille")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                println!(
+                    "{col}{:>16} {:>12} {:>9} {:>6.2}x {:>6.1}% {:>9}{reset}",
+                    slo.get("name").and_then(Json::as_str).unwrap_or("?"),
+                    slo.get("kind").and_then(Json::as_str).unwrap_or("?"),
+                    slo.get("window_ms").and_then(Json::as_u64).unwrap_or(0) / 1000,
+                    burn as f64 / 1000.0,
+                    budget as f64 / 10.0,
+                    slo.get("breaches").and_then(Json::as_u64).unwrap_or(0),
+                );
+            }
+        }
+    }
+
+    if !recent.is_empty() {
+        println!("\nrecent alerts:");
+        for ev in recent {
+            let (word, col) = if ev.firing {
+                ("FIRING  ", paint("\x1b[31m"))
+            } else {
+                ("resolved", paint("\x1b[32m"))
+            };
+            println!(
+                "  {col}{word}{reset} {:>16} burn {:>5.2}x @ {} ms  {}",
+                ev.slo,
+                ev.burn_permille as f64 / 1000.0,
+                ev.at_ms,
+                ev.detail
+            );
+        }
+    }
+
     if let Some(Json::Arr(stragglers)) = health.get("stragglers") {
         if !stragglers.is_empty() {
             println!(
@@ -198,8 +304,92 @@ fn fail(err: ServiceError) -> ! {
     std::process::exit(1);
 }
 
+fn fail_replay(what: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("ccheck-top: replay: {what}: {err}");
+    std::process::exit(1);
+}
+
+/// Synthetic `health` document for replay frames, built from the sample
+/// itself so `render` stays a single code path.
+fn replay_health(cur: &WatchSample) -> Json {
+    Json::obj([
+        ("world", Json::from(cur.healthy + cur.suspect + cur.dead)),
+        ("uptime_ms", Json::from(cur.at_ms)),
+        ("alerts", Json::from(cur.alerts)),
+        ("replay", Json::from(true)),
+    ])
+}
+
+/// Drive the dashboard from the sample/alert records of a `--history`
+/// file. Frames are paced by the recorded wall-clock deltas divided by
+/// `speed` (capped at 5 s per gap); `speed == 0` renders flat out.
+fn run_replay(path: &PathBuf, speed: f64, args: &Args) {
+    let reader = HistoryReader::open(path).unwrap_or_else(|e| fail_replay("open", e));
+    let color = !args.no_clear && std::env::var_os("NO_COLOR").is_none();
+    let mut prev: Option<WatchSample> = None;
+    let mut recent: VecDeque<AlertEvent> = VecDeque::new();
+    let mut frames_left = if args.once { Some(1) } else { args.frames };
+    let mut last_wall: Option<u64> = None;
+    let mut rendered = 0u64;
+    for record in reader {
+        let record = record.unwrap_or_else(|e| fail_replay("read", e));
+        match record.payload {
+            HistoryPayload::Alert(bytes) => {
+                let text =
+                    std::str::from_utf8(&bytes).unwrap_or_else(|e| fail_replay("alert utf8", e));
+                let json = ccheck_service::json::parse(text)
+                    .unwrap_or_else(|e| fail_replay("alert json", e));
+                let ev =
+                    AlertEvent::from_json(&json).unwrap_or_else(|e| fail_replay("alert decode", e));
+                if recent.len() == RECENT_ALERTS {
+                    recent.pop_front();
+                }
+                recent.push_back(ev);
+            }
+            HistoryPayload::Sample(bytes) => {
+                let text =
+                    std::str::from_utf8(&bytes).unwrap_or_else(|e| fail_replay("sample utf8", e));
+                let json = ccheck_service::json::parse(text)
+                    .unwrap_or_else(|e| fail_replay("sample json", e));
+                let cur = WatchSample::from_json(&json)
+                    .unwrap_or_else(|e| fail_replay("sample decode", e));
+                if let Some(last) = last_wall {
+                    let dt_ms = record.wall_ms.saturating_sub(last);
+                    if speed > 0.0 && dt_ms > 0 {
+                        let paced = (dt_ms as f64 / speed).min(5_000.0);
+                        std::thread::sleep(Duration::from_millis(paced as u64));
+                    }
+                }
+                last_wall = Some(record.wall_ms);
+                if !args.no_clear {
+                    print!("\x1b[2J\x1b[H");
+                }
+                let health = replay_health(&cur);
+                render(prev.as_ref(), &cur, &health, &recent, color);
+                prev = Some(cur);
+                rendered += 1;
+                if let Some(n) = &mut frames_left {
+                    *n -= 1;
+                    if *n == 0 {
+                        return;
+                    }
+                }
+            }
+            HistoryPayload::Metrics(_) => {}
+        }
+    }
+    if rendered == 0 {
+        eprintln!("ccheck-top: replay: no watch samples in {}", path.display());
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if let Some((path, speed)) = args.replay.clone() {
+        run_replay(&path, speed, &args);
+        return;
+    }
     let timeout = Duration::from_secs(10);
     let mut client = match (&args.addr, &args.addr_file) {
         (Some(addr), None) => ServiceClient::connect_with_retry(addr, timeout),
@@ -213,6 +403,7 @@ fn main() {
     let color = !args.no_clear && std::env::var_os("NO_COLOR").is_none();
     let mut since = 0u64;
     let mut prev: Option<WatchSample> = None;
+    let mut recent: VecDeque<AlertEvent> = VecDeque::new();
     let mut frames_left = if args.once { Some(1) } else { args.frames };
     loop {
         let (latest, samples) = match client.watch(since) {
@@ -229,10 +420,18 @@ fn main() {
             Ok(h) => h,
             Err(e) => fail(e),
         };
+        // Recent firing/resolved transitions, shown under the SLO table.
+        // Worlds without `--slo` return an empty list.
+        if let Ok((_, _, events)) = client.alerts() {
+            recent = events.into_iter().collect();
+            while recent.len() > RECENT_ALERTS {
+                recent.pop_front();
+            }
+        }
         if !args.no_clear {
             print!("\x1b[2J\x1b[H");
         }
-        render(prev.as_ref(), cur, &health, color);
+        render(prev.as_ref(), cur, &health, &recent, color);
         prev = Some(cur.clone());
         if let Some(n) = &mut frames_left {
             *n -= 1;

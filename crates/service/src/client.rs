@@ -499,6 +499,79 @@ impl ServiceClient {
         ]))
     }
 
+    /// Fetch the tail of the durable telemetry history
+    /// (`docs/PROTOCOL.md` §2.9): up to `limit` records (newest
+    /// retained) with `wall_ms >= since_ms`, optionally filtered to one
+    /// kind (`"sample"` | `"alert"` | `"metrics"`). Fails with
+    /// [`ServiceError::Refused`] when the service runs without
+    /// `--history`.
+    pub fn history(
+        &mut self,
+        since_ms: u64,
+        limit: u64,
+        kind: Option<&str>,
+    ) -> Result<Json, ServiceError> {
+        let mut pairs = vec![
+            ("cmd", Json::from("history")),
+            ("since_ms", Json::from(since_ms)),
+            ("limit", Json::from(limit)),
+        ];
+        if let Some(kind) = kind {
+            pairs.push(("kind", Json::from(kind)));
+        }
+        self.request(&Json::obj(pairs))
+    }
+
+    /// Fetch the SLO standing (`docs/PROTOCOL.md` §2.10): per-objective
+    /// burn rates and remaining budget, the count currently firing, and
+    /// the retained alert-transition ring. Answered from PE-0-local
+    /// state like `health`. Returns
+    /// `(active, statuses, recent transitions)`.
+    pub fn alerts(
+        &mut self,
+    ) -> Result<(u64, Vec<crate::slo::SloStatus>, Vec<crate::slo::AlertEvent>), ServiceError> {
+        let response = self.request(&Json::obj([("cmd", Json::from("alerts"))]))?;
+        let active = response
+            .get("active")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServiceError::Protocol("alerts response without active".into()))?;
+        let mut statuses = Vec::new();
+        if let Some(Json::Arr(items)) = response.get("slos") {
+            for item in items {
+                let num = |key: &str| {
+                    item.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ServiceError::Protocol(format!("slo status without {key}")))
+                };
+                statuses.push(crate::slo::SloStatus {
+                    name: item
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| ServiceError::Protocol("slo status without name".into()))?
+                        .to_string(),
+                    kind: item
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    window_ms: num("window_ms")?,
+                    burn_permille: num("burn_permille")?,
+                    budget_remaining_permille: num("budget_remaining_permille")?,
+                    firing: item.get("firing").and_then(Json::as_bool) == Some(true),
+                    breaches: num("breaches")?,
+                });
+            }
+        }
+        let mut recent = Vec::new();
+        if let Some(Json::Arr(items)) = response.get("recent") {
+            for item in items {
+                recent
+                    .push(crate::slo::AlertEvent::from_json(item).map_err(ServiceError::Protocol)?);
+            }
+        }
+        Ok((active, statuses, recent))
+    }
+
     /// Ask the service to drain and shut down.
     pub fn shutdown(&mut self) -> Result<(), ServiceError> {
         self.request(&Json::obj([("cmd", Json::from("shutdown"))]))?;

@@ -49,7 +49,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ccheck_net::{Backend, Comm, NetError, StatsSnapshot, Tag};
-use ccheck_obs::HistogramSnapshot;
+use ccheck_obs::{HistogramSnapshot, HistoryPayload, HistoryReader, HistoryWriter};
 
 use crate::exec::{execute_job_traced, validate_fault, TraceCtx};
 use crate::health::{
@@ -60,6 +60,7 @@ use crate::job::{CtlMsg, JobSpec, JobStatus, Receipt, Verdict};
 use crate::json::{self, Json};
 use crate::ledger::Ledger;
 use crate::sched::{PolicyCfg, SchedCore};
+use crate::slo::{AlertEvent, SloEngine};
 
 /// The health plane's dedicated tag scope: the very top of the scope
 /// space, which job slots (`1..=max_inflight`, with `max_inflight <
@@ -114,6 +115,20 @@ pub struct ServiceConfig {
     /// thresholds, and the straggler multiplier (identical on every
     /// PE; the watchdog itself runs on rank 0).
     pub health: HealthCfg,
+    /// If set, rank 0 opens (or reopens past any torn tail) the durable
+    /// telemetry history at this path and appends every watch sample on
+    /// the heartbeat cadence, every world-merged metrics snapshot, and
+    /// every SLO alert transition (`docs/OBSERVABILITY.md` §9). On
+    /// startup the existing file is replayed to refold the SLO window
+    /// state, so burn rates continue across restarts exactly as if the
+    /// service had never died.
+    pub history_path: Option<PathBuf>,
+    /// If set, rank 0 loads declarative SLO specs from this line-JSON
+    /// file ([`crate::slo::parse_specs`]) and evaluates them against
+    /// the live sample stream, emitting durable alerts into the
+    /// history (when configured), warn logs, and the
+    /// `slo.budget_remaining.*` / `slo.breaches_total` metrics.
+    pub slo_path: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -129,6 +144,8 @@ impl Default for ServiceConfig {
             ledger_path: None,
             trace_out: None,
             health: HealthCfg::default(),
+            history_path: None,
+            slo_path: None,
         }
     }
 }
@@ -287,6 +304,19 @@ struct Frontend {
     wall_hist: Mutex<HistogramSnapshot>,
     /// The most recent metrics-derived lagging-PE verdict, if any.
     lagging: Mutex<Option<(usize, f64)>>,
+    /// The durable telemetry history, when configured. Lock ordering:
+    /// like the ledger, taken alone — tick() builds the sample and
+    /// evaluates SLOs first, then appends under this lock.
+    history: Option<Mutex<HistoryWriter>>,
+    /// The SLO evaluator (empty when no `--slo` file). Lock ordering:
+    /// taken alone.
+    slo: Mutex<SloEngine>,
+    /// Objectives currently firing — read lock-free by sample building
+    /// and the `health` response.
+    alerts_active: AtomicU64,
+    /// Wall-clock ms of the last persisted metrics snapshot (rank 0
+    /// persists its local registry on a slower cadence than samples).
+    last_metrics_wall_ms: AtomicU64,
 }
 
 impl Frontend {
@@ -476,17 +506,20 @@ impl Frontend {
                 let hist = self.wall_hist.lock().expect("wall hist poisoned");
                 (hist.quantile(0.5), hist.quantile(0.95))
             };
-            let tenants = self
-                .agg
-                .lock()
-                .expect("aggregates poisoned")
-                .iter()
-                .map(|(t, a)| (t.clone(), a.jobs))
-                .collect();
-            let sample = WatchSample {
-                seq: 0, // stamped by the ring
+            let (tenants, jobs_failed) = {
+                let agg = self.agg.lock().expect("aggregates poisoned");
+                (
+                    agg.iter().map(|(t, a)| (t.clone(), a.jobs)).collect(),
+                    agg.values().map(|a| a.fellback + a.rejected).sum(),
+                )
+            };
+            let mut sample = WatchSample {
+                seq: 0, // stamped by the ring below
                 at_ms: now,
+                wall_ms: ccheck_obs::unix_ms(),
+                alerts: self.alerts_active.load(Ordering::Relaxed),
                 jobs_done: self.jobs_done.load(Ordering::Relaxed),
+                jobs_failed,
                 jobs_refused: refused,
                 queue_depth,
                 inflight: self.inflight.load(Ordering::Relaxed),
@@ -497,7 +530,73 @@ impl Frontend {
                 p95_ms,
                 tenants,
             };
-            self.samples.lock().expect("samples poisoned").push(sample);
+            sample.seq = self
+                .samples
+                .lock()
+                .expect("samples poisoned")
+                .push(sample.clone());
+            // SLO pass over the stamped sample: breach transitions get
+            // warn logs here; gauges/counters update inside the engine.
+            let events = {
+                let mut slo = self.slo.lock().expect("slo poisoned");
+                let events = slo.observe(&sample, true);
+                self.alerts_active
+                    .store(slo.active_count(), Ordering::Relaxed);
+                events
+            };
+            for ev in &events {
+                ccheck_obs::warn!(
+                    "slo",
+                    "{} {}: {} (burn {} permille)",
+                    ev.slo,
+                    if ev.firing { "FIRING" } else { "resolved" },
+                    ev.detail,
+                    ev.burn_permille
+                );
+            }
+            self.persist_telemetry(&sample, &events);
+        }
+    }
+
+    /// Append one tick's durable telemetry — the watch sample, any
+    /// alert transitions, and (on a 10× slower cadence) rank 0's own
+    /// metrics snapshot — then let the writer run its retention pass.
+    /// No-op without `--history`.
+    fn persist_telemetry(&self, sample: &WatchSample, events: &[AlertEvent]) {
+        let Some(history) = &self.history else {
+            return;
+        };
+        let mut history = history.lock().expect("history poisoned");
+        let sample_json = sample.to_json().render();
+        if let Err(e) = history.append_sample(sample.wall_ms, sample_json.as_bytes()) {
+            ccheck_obs::error!("service", "history sample append failed: {e}");
+        }
+        for ev in events {
+            if let Err(e) = history.append_alert(ev.at_ms, ev.to_json().render().as_bytes()) {
+                ccheck_obs::error!("service", "history alert append failed: {e}");
+            }
+        }
+        // Rank 0's local registry snapshot (the world-merged snapshot
+        // additionally lands whenever a `metrics` gather runs).
+        if ccheck_obs::enabled() {
+            let cadence = self.health_cfg.heartbeat_interval_ms.max(1) * 10;
+            let last = self.last_metrics_wall_ms.load(Ordering::Acquire);
+            if sample.wall_ms >= last.saturating_add(cadence) {
+                self.last_metrics_wall_ms
+                    .store(sample.wall_ms, Ordering::Release);
+                let snap = ccheck_obs::registry().snapshot();
+                if let Err(e) = history.append_metrics(sample.wall_ms, &snap) {
+                    ccheck_obs::error!("service", "history metrics append failed: {e}");
+                }
+            }
+        }
+        match history.maybe_compact(sample.wall_ms) {
+            Ok(compacted) => {
+                if compacted {
+                    ccheck_obs::debug!("service", "history compacted ({:?})", history.path());
+                }
+            }
+            Err(e) => ccheck_obs::error!("service", "history compaction failed: {e}"),
         }
     }
 }
@@ -539,6 +638,13 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
                 .unwrap_or_else(|e| panic!("ccheck-serve: cannot open ledger {path:?}: {e}"))
         });
         let (mut next_id, mut admit_base) = (1, 0);
+        // Watch samples publish *cumulative* completion counters, and
+        // the SLO error-budget math differences them across its window.
+        // Seeding `jobs_done` from the replayed ledger keeps the
+        // counter monotone across a restart — otherwise the first live
+        // sample would appear to un-complete every pre-crash job and
+        // spuriously resolve a firing error-budget objective.
+        let mut done_base = 0u64;
         if let Some(ledger) = &ledger {
             for receipt in ledger.entries() {
                 let tenant = receipt.tenant.clone().unwrap_or_default();
@@ -547,7 +653,69 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
             }
             next_id = ledger.max_job_id() + 1;
             admit_base = ledger.max_admit_seq();
+            done_base = ledger.len() as u64;
         }
+        // SLO specs load before the history replay so the replay can
+        // refold the declared objectives' window state.
+        let mut slo_engine = SloEngine::new(match cfg.slo_path.as_ref() {
+            None => Vec::new(),
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("ccheck-serve: cannot read SLO file {path:?}: {e}"));
+                crate::slo::parse_specs(&text)
+                    .unwrap_or_else(|e| panic!("ccheck-serve: bad SLO file {path:?}: {e}"))
+            }
+        });
+        // Open the history past any torn tail, then replay it through
+        // the SLO engine: samples refold the burn-rate windows
+        // (silently — their transitions are already durable), alert
+        // records refill the retained ring. After this, live
+        // evaluation continues as if the restart never happened.
+        let history = cfg.history_path.as_ref().map(|path| {
+            let writer = HistoryWriter::open(path)
+                .unwrap_or_else(|e| panic!("ccheck-serve: cannot open history {path:?}: {e}"));
+            if writer.replayed() > 0 {
+                let reader = HistoryReader::open(path).unwrap_or_else(|e| {
+                    panic!("ccheck-serve: cannot replay history {path:?}: {e}")
+                });
+                let (mut samples, mut alerts) = (0u64, 0u64);
+                for record in reader {
+                    let Ok(record) = record else { break };
+                    match &record.payload {
+                        HistoryPayload::Sample(bytes) => {
+                            if let Some(sample) = std::str::from_utf8(bytes)
+                                .ok()
+                                .and_then(|t| crate::json::parse(t).ok())
+                                .and_then(|j| WatchSample::from_json(&j).ok())
+                            {
+                                slo_engine.observe(&sample, false);
+                                samples += 1;
+                            }
+                        }
+                        HistoryPayload::Alert(bytes) => {
+                            if let Some(ev) = std::str::from_utf8(bytes)
+                                .ok()
+                                .and_then(|t| crate::json::parse(t).ok())
+                                .and_then(|j| AlertEvent::from_json(&j).ok())
+                            {
+                                slo_engine.restore_event(ev);
+                                alerts += 1;
+                            }
+                        }
+                        HistoryPayload::Metrics(_) => {}
+                    }
+                }
+                ccheck_obs::info!(
+                    "service",
+                    "history {path:?}: replayed {} records ({samples} samples, \
+                     {alerts} alerts) into {} SLOs",
+                    writer.replayed(),
+                    slo_engine.len()
+                );
+            }
+            writer
+        });
+        let alerts_active = slo_engine.active_count();
         let fe = Arc::new(Frontend {
             registry: Arc::new(Mutex::new(HashMap::new())),
             sched: Mutex::new(sched),
@@ -574,9 +742,13 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
             samples: Mutex::new(SampleRing::new(1024)),
             last_sample_ms: AtomicU64::new(0),
             inflight: Arc::clone(&inflight),
-            jobs_done: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(done_base),
             wall_hist: Mutex::new(HistogramSnapshot::new()),
             lagging: Mutex::new(None),
+            history: history.map(Mutex::new),
+            slo: Mutex::new(slo_engine),
+            alerts_active: AtomicU64::new(alerts_active),
+            last_metrics_wall_ms: AtomicU64::new(0),
         });
         listener_handle = Some(spawn_listener(cfg, Arc::clone(&fe)));
         frontend = Some(fe);
@@ -834,6 +1006,14 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
                         }
                     }
                     *fe.lagging.lock().expect("lagging poisoned") = lag;
+                    // The world-merged snapshot is the history's richest
+                    // record — persist it whenever a gather runs.
+                    if let Some(history) = &fe.history {
+                        let mut history = history.lock().expect("history poisoned");
+                        if let Err(e) = history.append_metrics(ccheck_obs::unix_ms(), &world) {
+                            ccheck_obs::error!("service", "history metrics append failed: {e}");
+                        }
+                    }
                     let response = metrics_json(&world, per_pe.len(), lag);
                     let waiters = std::mem::take(
                         &mut *fe.metrics_waiters.lock().expect("metrics waiters poisoned"),
@@ -899,10 +1079,13 @@ pub fn run_service(comm: Comm, cfg: &ServiceConfig) -> ServiceSummary {
     mux.shutdown();
     if let Some(fe) = &frontend {
         fe.stopping.store(true, Ordering::Release);
-        // Flush the fsync batch: a cleanly drained world leaves every
-        // sealed receipt durable.
+        // Flush the fsync batches: a cleanly drained world leaves every
+        // sealed receipt and every telemetry record durable.
         if let Some(ledger) = &fe.ledger {
             let _ = ledger.lock().expect("ledger poisoned").sync();
+        }
+        if let Some(history) = &fe.history {
+            let _ = history.lock().expect("history poisoned").sync();
         }
     }
     if let Some(handle) = listener_handle {
@@ -1557,6 +1740,22 @@ fn handle_request(request: &Json, fe: &Arc<Frontend>) -> Json {
                     Json::Arr(report.iter().map(PeHealth::to_json).collect()),
                 ),
                 ("stragglers", Json::Arr(stragglers)),
+                (
+                    "alerts",
+                    Json::from(fe.alerts_active.load(Ordering::Relaxed)),
+                ),
+                (
+                    "slos",
+                    Json::Arr(
+                        fe.slo
+                            .lock()
+                            .expect("slo poisoned")
+                            .statuses()
+                            .iter()
+                            .map(crate::slo::SloStatus::to_json)
+                            .collect(),
+                    ),
+                ),
             ];
             if let Some((pe, skew)) = *fe.lagging.lock().expect("lagging poisoned") {
                 pairs.push(("lagging_pe", Json::from(pe as u64)));
@@ -1608,12 +1807,121 @@ fn handle_request(request: &Json, fe: &Arc<Frontend>) -> Json {
                 }
             }
         },
+        Some("alerts") => {
+            // PE-0-local like `health`: the SLO engine's standing and
+            // its retained transition ring (`docs/PROTOCOL.md` §2.10).
+            let slo = fe.slo.lock().expect("slo poisoned");
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("active", Json::from(slo.active_count())),
+                (
+                    "slos",
+                    Json::Arr(
+                        slo.statuses()
+                            .iter()
+                            .map(crate::slo::SloStatus::to_json)
+                            .collect(),
+                    ),
+                ),
+                (
+                    "recent",
+                    Json::Arr(slo.recent().map(AlertEvent::to_json).collect()),
+                ),
+            ])
+        }
+        Some("history") => match &fe.history {
+            // Stream the durable telemetry tail back to the client
+            // (`docs/PROTOCOL.md` §2.9). Metrics snapshots return as
+            // size summaries — the full series lives in the file for
+            // `ccheck-report`.
+            None => error_json("service has no history (started without --history)"),
+            Some(history) => {
+                let since_ms = request.get("since_ms").and_then(Json::as_u64).unwrap_or(0);
+                let limit = request
+                    .get("limit")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(32)
+                    .clamp(1, 512) as usize;
+                let kind_filter = request
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                // Flush the append batch so the scan sees every record,
+                // then scan without the lock (appends past this point
+                // land beyond the tail we return).
+                let path = {
+                    let mut history = history.lock().expect("history poisoned");
+                    let _ = history.sync();
+                    history.path().to_path_buf()
+                };
+                match HistoryReader::open(&path) {
+                    Err(e) => error_json(format!("cannot read history: {e}")),
+                    Ok(reader) => {
+                        let mut total = 0u64;
+                        let mut entries: VecDeque<Json> = VecDeque::new();
+                        for record in reader {
+                            let Ok(record) = record else { break };
+                            total += 1;
+                            if record.wall_ms < since_ms {
+                                continue;
+                            }
+                            let (kind, data) = match &record.payload {
+                                HistoryPayload::Metrics(snap) => (
+                                    "metrics",
+                                    Json::obj([
+                                        ("counters", Json::from(snap.counters.len() as u64)),
+                                        ("gauges", Json::from(snap.gauges.len() as u64)),
+                                        ("histograms", Json::from(snap.histograms.len() as u64)),
+                                    ]),
+                                ),
+                                HistoryPayload::Sample(bytes) => {
+                                    match std::str::from_utf8(bytes)
+                                        .ok()
+                                        .and_then(|t| json::parse(t).ok())
+                                    {
+                                        Some(v) => ("sample", v),
+                                        None => continue,
+                                    }
+                                }
+                                HistoryPayload::Alert(bytes) => {
+                                    match std::str::from_utf8(bytes)
+                                        .ok()
+                                        .and_then(|t| json::parse(t).ok())
+                                    {
+                                        Some(v) => ("alert", v),
+                                        None => continue,
+                                    }
+                                }
+                            };
+                            if kind_filter.as_deref().is_some_and(|f| f != kind) {
+                                continue;
+                            }
+                            entries.push_back(Json::obj([
+                                ("data", data),
+                                ("kind", Json::from(kind)),
+                                ("res", Json::from(record.res.name())),
+                                ("wall_ms", Json::from(record.wall_ms)),
+                            ]));
+                            if entries.len() > limit {
+                                entries.pop_front();
+                            }
+                        }
+                        Json::obj([
+                            ("ok", Json::Bool(true)),
+                            ("total", Json::from(total)),
+                            ("entries", Json::Arr(entries.into_iter().collect())),
+                        ])
+                    }
+                }
+            }
+        },
         Some("shutdown") => {
             fe.shutdown_requested.store(true, Ordering::Release);
             Json::obj([("ok", Json::Bool(true)), ("status", Json::from("draining"))])
         }
         other => error_json(format!(
-            "unknown cmd {other:?} (submit|poll|wait|chain|metrics|health|watch|timeline|shutdown)"
+            "unknown cmd {other:?} (submit|poll|wait|chain|metrics|health|watch|timeline|\
+             history|alerts|shutdown)"
         )),
     }
 }

@@ -481,8 +481,19 @@ pub struct WatchSample {
     pub seq: u64,
     /// Service-relative capture time, ms.
     pub at_ms: u64,
+    /// PE-0 wall clock at capture, Unix epoch ms. `seq` stays the
+    /// authoritative stream position (wall clocks can step); the wall
+    /// stamp is what aligns samples with the durable history and the
+    /// receipt ledger across restarts.
+    pub wall_ms: u64,
+    /// SLO alerts active (firing) right now.
+    pub alerts: u64,
     /// Jobs completed since startup.
     pub jobs_done: u64,
+    /// Verify-failure completions since startup (`FellBack` plus
+    /// `Rejected` verdicts). Cumulative like `jobs_done`, so the SLO
+    /// engine's error budget refolds from the sample stream alone.
+    pub jobs_failed: u64,
     /// Jobs refused since startup.
     pub jobs_refused: u64,
     /// Queued jobs right now.
@@ -514,7 +525,10 @@ impl WatchSample {
         Json::obj([
             ("seq", Json::from(self.seq)),
             ("at_ms", Json::from(self.at_ms)),
+            ("wall_ms", Json::from(self.wall_ms)),
+            ("alerts", Json::from(self.alerts)),
             ("done", Json::from(self.jobs_done)),
+            ("failed", Json::from(self.jobs_failed)),
             ("refused", Json::from(self.jobs_refused)),
             ("queue", Json::from(self.queue_depth)),
             ("inflight", Json::from(self.inflight)),
@@ -547,7 +561,10 @@ impl WatchSample {
         Ok(WatchSample {
             seq: num("seq")?,
             at_ms: num("at_ms")?,
+            wall_ms: num("wall_ms")?,
+            alerts: num("alerts")?,
             jobs_done: num("done")?,
+            jobs_failed: num("failed")?,
             jobs_refused: num("refused")?,
             queue_depth: num("queue")?,
             inflight: num("inflight")?,
@@ -831,7 +848,10 @@ mod tests {
         let base = WatchSample {
             seq: 0,
             at_ms: 0,
+            wall_ms: 1_754_000_000_000,
+            alerts: 1,
             jobs_done: 0,
+            jobs_failed: 0,
             jobs_refused: 0,
             queue_depth: 0,
             inflight: 0,

@@ -11,6 +11,14 @@
 //! per-tenant aggregates, and the adaptive-tuner rungs, so a restarted
 //! world resumes exactly where the dead one stopped.
 //!
+//! The record framing this module pioneered now lives in
+//! `ccheck_obs::record_log` (shared with the metrics history log); the
+//! ledger keeps its own replay loop because validity here is semantic —
+//! a record must also parse, re-hash, and chain — not just framed.
+//! The extraction left on-disk bytes unchanged
+//! (`tests/record_log_compat.rs` replays a pre-extraction fixture and
+//! re-produces it byte-for-byte).
+//!
 //! The normative spec lives in `docs/PROTOCOL.md`:
 //!
 //! * §6.1 — on-disk framing (magic header, `len ‖ crc ‖ payload`
@@ -29,7 +37,8 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use ccheck_hashing::{crc32c, sha256_hex};
+use ccheck_hashing::sha256_hex;
+use ccheck_obs::record_log::{decode_frame, encode_frame, MAX_RECORD_LEN};
 
 use crate::job::Receipt;
 
@@ -60,11 +69,6 @@ pub const MAGIC: &[u8] = b"ccheck-ledger-v1\n";
 /// `prev_hash` of the first entry in every tenant chain: 64 ASCII
 /// zeros, the width of a hex SHA-256 (`docs/PROTOCOL.md` §6.3).
 pub const GENESIS_HASH: &str = "0000000000000000000000000000000000000000000000000000000000000000";
-
-/// Hard cap on one record's payload size. A real receipt is a few
-/// hundred bytes; a length word beyond this is framing corruption, not
-/// a giant receipt, and replay must stop rather than allocate it.
-const MAX_RECORD_LEN: u32 = 1 << 20;
 
 /// Appends between fsyncs by default (`Ledger::sync` and shutdown
 /// always flush the remainder).
@@ -308,11 +312,11 @@ impl Ledger {
         let t_append = std::time::Instant::now();
         let payload = receipt.to_json().render().into_bytes();
         debug_assert!(payload.len() < MAX_RECORD_LEN as usize);
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32c(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
+        // The shared crash-safe framing (`ccheck_obs::record_log`,
+        // extracted from this module) — byte-identical to the
+        // pre-extraction format, asserted by the fixture-replay
+        // regression test below.
+        self.file.write_all(&encode_frame(&payload))?;
         if ccheck_obs::enabled() {
             let obs = ledger_obs();
             obs.appends.inc();
@@ -453,21 +457,11 @@ impl Ledger {
 /// framing damage (a torn length word, short payload, CRC mismatch, or
 /// unparseable JSON all read as "the log ends here").
 fn decode_record(bytes: &[u8], offset: usize) -> Option<(Receipt, usize)> {
-    let header = bytes.get(offset..offset + 8)?;
-    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
-    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
-    if len > MAX_RECORD_LEN {
-        return None;
-    }
-    let start = offset + 8;
-    let payload = bytes.get(start..start + len as usize)?;
-    if crc32c(payload) != crc {
-        return None;
-    }
+    let (payload, next) = decode_frame(bytes, offset)?;
     let text = std::str::from_utf8(payload).ok()?;
     let json = crate::json::parse(text).ok()?;
     let receipt = Receipt::from_json(&json).ok()?;
-    Some((receipt, start + len as usize))
+    Some((receipt, next))
 }
 
 #[cfg(test)]

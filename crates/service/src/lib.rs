@@ -21,6 +21,7 @@
 //! | [`daemon`] | the SPMD service loop, PE-0 admission, client listener |
 //! | [`health`] | the health plane: heartbeat liveness, straggler watch, `watch` sample ring |
 //! | [`ledger`] | durable hash-chained receipt ledger: crash recovery + idempotent resubmission |
+//! | [`slo`] | declarative service-level objectives over the watch-sample stream, with burn-rate accounting and a durable alert stream |
 //! | [`client`] | blocking line-JSON client ([`client::ServiceClient`]) |
 //! | [`json`] | the minimal offline JSON codec behind the protocol |
 //!
@@ -60,6 +61,7 @@ pub mod job;
 pub mod json;
 pub mod ledger;
 pub mod sched;
+pub mod slo;
 
 pub use client::{ChainLink, ServiceClient, ServiceError, SubmitAck, TenantChain};
 pub use daemon::{run_service, run_service_world, ServiceConfig, ServiceSummary, TenantAgg};
@@ -71,3 +73,4 @@ pub use job::{
 };
 pub use ledger::Ledger;
 pub use sched::{PolicyCfg, SchedCore, SchedPolicy};
+pub use slo::{AlertEvent, SloEngine, SloSpec, SloStatus};

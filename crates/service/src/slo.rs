@@ -1,0 +1,737 @@
+//! Declarative service-level objectives over the watch-sample stream.
+//!
+//! The paper's service story is quantitative end to end: checking cost,
+//! queue wait, verify outcomes. This module closes the loop by letting
+//! an operator *declare* the quantities that matter — exec-latency
+//! quantiles, the verify-failure error budget, per-PE heartbeat
+//! availability — and having PE 0 account for them continuously.
+//!
+//! ## Model
+//!
+//! An [`SloSpec`] is one objective over a sliding wall-clock window:
+//!
+//! * **`latency_p95`** — the completed-job wall-time p95 must stay at
+//!   or below `max_ms`. Each watch sample where it does not is a *bad*
+//!   sample.
+//! * **`error_budget`** — of the jobs completed inside the window, the
+//!   verify-failure fraction (`FellBack` + `Rejected` verdicts, the
+//!   cumulative `failed` counter differenced across the window) must
+//!   stay within `budget`.
+//! * **`availability`** — the healthy-PE fraction (from the sample's
+//!   own liveness counts, so world size needs no side channel) must
+//!   stay at or above `min_healthy`; samples below it are bad.
+//!
+//! Every objective carries a `budget`: the tolerated bad fraction of
+//! the window (for `error_budget` the tolerated failure fraction
+//! itself). The **burn rate** is `actual bad fraction / budget` — the
+//! standard SRE figure: burn 1.0 means the budget is being consumed
+//! exactly as fast as the window replenishes it; sustained burn ≥ 1.0
+//! means the objective is violated and the alert **fires**. Burn and
+//! remaining budget are reported in permille so every surface (JSON
+//! protocol, Prometheus gauges, docs examples) renders them as exact
+//! integers.
+//!
+//! ## Determinism and refold
+//!
+//! The engine consumes nothing but the [`WatchSample`] stream — every
+//! input it folds is in the durable history record — so a restarted
+//! PE 0 replays the history file through [`SloEngine::observe`] with
+//! `live = false` and arrives at bit-identical window state and burn
+//! rates, without re-emitting alerts that are already on disk (the
+//! crash-recovery e2e asserts exactly this).
+
+use std::collections::VecDeque;
+
+use crate::health::WatchSample;
+use crate::json::{self, Json};
+
+/// Permille helper: `1000 * num / den`, saturating, 0 when `den` is 0.
+fn permille(num: f64, den: f64) -> u64 {
+    if den <= 0.0 || !num.is_finite() {
+        return 0;
+    }
+    let p = (1000.0 * num / den).round();
+    if p.is_sign_negative() {
+        0
+    } else if p >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        p as u64
+    }
+}
+
+/// What a single objective measures. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloKind {
+    /// Completed-job wall p95 must be ≤ `max_ms`.
+    LatencyP95 {
+        /// The p95 ceiling, milliseconds.
+        max_ms: u64,
+    },
+    /// Windowed verify-failure fraction must be ≤ the spec's `budget`.
+    ErrorBudget,
+    /// Healthy-PE fraction must be ≥ `min_healthy` (0..=1).
+    Availability {
+        /// Minimum healthy fraction of the world.
+        min_healthy: f64,
+    },
+}
+
+impl SloKind {
+    /// The spec-file / protocol name of this kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SloKind::LatencyP95 { .. } => "latency_p95",
+            SloKind::ErrorBudget => "error_budget",
+            SloKind::Availability { .. } => "availability",
+        }
+    }
+}
+
+/// One declared objective (one line of the `--slo` file).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Operator-chosen identifier; unique per file, used in alerts,
+    /// gauges, and reports.
+    pub name: String,
+    /// What is measured.
+    pub kind: SloKind,
+    /// Sliding window, wall-clock milliseconds.
+    pub window_ms: u64,
+    /// Tolerated bad fraction of the window (0, 1]; for
+    /// [`SloKind::ErrorBudget`] the tolerated failure fraction.
+    pub budget: f64,
+}
+
+impl SloSpec {
+    /// Parse one spec line, e.g.
+    /// `{"slo":"latency_p95","name":"exec","max_ms":250,"window_ms":60000,"budget":0.1}`.
+    pub fn from_json(v: &Json) -> Result<SloSpec, String> {
+        let kind_name = v
+            .get("slo")
+            .and_then(Json::as_str)
+            .ok_or("spec line needs a \"slo\" kind")?;
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("spec line needs a \"name\"")?
+            .to_string();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!("slo name {name:?} must be [A-Za-z0-9_-]+"));
+        }
+        let window_ms = v
+            .get("window_ms")
+            .and_then(Json::as_u64)
+            .ok_or("spec line needs a numeric \"window_ms\"")?;
+        if window_ms == 0 {
+            return Err("window_ms must be positive".into());
+        }
+        let budget = v
+            .get("budget")
+            .and_then(Json::as_f64)
+            .unwrap_or(match kind_name {
+                // Binary objectives tolerate 1% bad samples by default;
+                // the failure budget has no sensible default — require it.
+                "latency_p95" | "availability" => 0.01,
+                _ => -1.0,
+            });
+        if !(budget > 0.0 && budget <= 1.0) {
+            return Err(format!(
+                "slo {name:?}: budget must be in (0, 1], got {budget}"
+            ));
+        }
+        let kind = match kind_name {
+            "latency_p95" => SloKind::LatencyP95 {
+                max_ms: v
+                    .get("max_ms")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("slo {name:?}: latency_p95 needs \"max_ms\""))?,
+            },
+            "error_budget" => SloKind::ErrorBudget,
+            "availability" => {
+                let min_healthy = v
+                    .get("min_healthy")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("slo {name:?}: availability needs \"min_healthy\""))?;
+                if !(0.0..=1.0).contains(&min_healthy) {
+                    return Err(format!(
+                        "slo {name:?}: min_healthy must be in [0, 1], got {min_healthy}"
+                    ));
+                }
+                SloKind::Availability { min_healthy }
+            }
+            other => {
+                return Err(format!(
+                    "unknown slo kind {other:?} (latency_p95|error_budget|availability)"
+                ))
+            }
+        };
+        Ok(SloSpec {
+            name,
+            kind,
+            window_ms,
+            budget,
+        })
+    }
+}
+
+/// Parse a whole `--slo` file: one JSON object per line, `#` comments
+/// and blank lines ignored. Names must be unique.
+pub fn parse_specs(text: &str) -> Result<Vec<SloSpec>, String> {
+    let mut specs: Vec<SloSpec> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("slo line {}: {e}", idx + 1))?;
+        let spec = SloSpec::from_json(&v).map_err(|e| format!("slo line {}: {e}", idx + 1))?;
+        if specs.iter().any(|s| s.name == spec.name) {
+            return Err(format!(
+                "slo line {}: duplicate name {:?}",
+                idx + 1,
+                spec.name
+            ));
+        }
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+/// A breach-state transition: the durable record appended to the
+/// history file (kind `alert`) and streamed by the `alerts` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    /// Wall clock of the transition, Unix epoch ms (the sample's
+    /// `wall_ms` — replay reproduces it exactly).
+    pub at_ms: u64,
+    /// The objective's name.
+    pub slo: String,
+    /// `true` when the objective started firing, `false` on resolve.
+    pub firing: bool,
+    /// Burn rate at the transition, permille (1000 = consuming budget
+    /// exactly at the replenishment rate).
+    pub burn_permille: u64,
+    /// Human-readable cause, e.g. `p95 812 ms > max 250 ms`.
+    pub detail: String,
+}
+
+impl AlertEvent {
+    /// Canonical protocol JSON (sorted keys, single line).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("at_ms", Json::from(self.at_ms)),
+            ("burn_permille", Json::from(self.burn_permille)),
+            ("detail", Json::from(self.detail.as_str())),
+            (
+                "kind",
+                Json::from(if self.firing { "firing" } else { "resolved" }),
+            ),
+            ("slo", Json::from(self.slo.as_str())),
+        ])
+    }
+
+    /// Parse the canonical JSON (history replay and clients).
+    pub fn from_json(v: &Json) -> Result<AlertEvent, String> {
+        let num = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("alert missing numeric {key:?}"))
+        };
+        let s = |key: &str| -> Result<String, String> {
+            Ok(v.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("alert missing string {key:?}"))?
+                .to_string())
+        };
+        let firing = match s("kind")?.as_str() {
+            "firing" => true,
+            "resolved" => false,
+            other => return Err(format!("alert kind {other:?} not firing|resolved")),
+        };
+        Ok(AlertEvent {
+            at_ms: num("at_ms")?,
+            slo: s("slo")?,
+            firing,
+            burn_permille: num("burn_permille")?,
+            detail: s("detail")?,
+        })
+    }
+}
+
+/// One sample's contribution to an objective's window.
+#[derive(Debug, Clone, Copy)]
+struct Point {
+    wall_ms: u64,
+    bad: bool,
+    done: u64,
+    failed: u64,
+}
+
+/// Live evaluation state for one objective.
+#[derive(Debug)]
+struct SloState {
+    spec: SloSpec,
+    /// Window points, oldest first. The front point may be older than
+    /// the window: it is kept as the *anchor* so cumulative counters
+    /// difference across the full window span.
+    window: VecDeque<Point>,
+    firing: bool,
+    burn_permille: u64,
+    breaches: u64,
+}
+
+impl SloState {
+    /// Fold one sample; returns the transition event, if any.
+    fn observe(&mut self, s: &WatchSample) -> Option<AlertEvent> {
+        let world = s.healthy + s.suspect + s.dead;
+        let bad = match &self.spec.kind {
+            SloKind::LatencyP95 { max_ms } => s.p95_ms > *max_ms,
+            SloKind::ErrorBudget => false, // measured via cumulative deltas
+            SloKind::Availability { min_healthy } => {
+                (s.healthy as f64) < min_healthy * world.max(1) as f64
+            }
+        };
+        self.window.push_back(Point {
+            wall_ms: s.wall_ms,
+            bad,
+            done: s.jobs_done,
+            failed: s.jobs_failed,
+        });
+        let cutoff = s.wall_ms.saturating_sub(self.spec.window_ms);
+        while self.window.len() >= 2 && self.window[1].wall_ms < cutoff {
+            self.window.pop_front();
+        }
+        let bad_fraction = match &self.spec.kind {
+            SloKind::ErrorBudget => {
+                let anchor = self.window.front().expect("just pushed");
+                let newest = self.window.back().expect("just pushed");
+                let done = newest.done.saturating_sub(anchor.done);
+                let failed = newest.failed.saturating_sub(anchor.failed);
+                if done == 0 {
+                    0.0
+                } else {
+                    failed as f64 / done as f64
+                }
+            }
+            _ => {
+                let in_window = self.window.iter().filter(|p| p.wall_ms >= cutoff);
+                let (mut total, mut bad_n) = (0u64, 0u64);
+                for p in in_window {
+                    total += 1;
+                    bad_n += u64::from(p.bad);
+                }
+                if total == 0 {
+                    0.0
+                } else {
+                    bad_n as f64 / total as f64
+                }
+            }
+        };
+        let burn = bad_fraction / self.spec.budget;
+        self.burn_permille = permille(burn, 1.0);
+        let now_firing = burn >= 1.0;
+        if now_firing == self.firing {
+            return None;
+        }
+        self.firing = now_firing;
+        if now_firing {
+            self.breaches += 1;
+        }
+        let detail = match &self.spec.kind {
+            SloKind::LatencyP95 { max_ms } => {
+                format!("p95 {} ms vs max {} ms", s.p95_ms, max_ms)
+            }
+            SloKind::ErrorBudget => format!(
+                "windowed failure fraction {} permille vs budget {} permille",
+                permille(bad_fraction, 1.0),
+                permille(self.spec.budget, 1.0)
+            ),
+            SloKind::Availability { min_healthy } => format!(
+                "{}/{} PEs healthy vs min {} permille",
+                s.healthy,
+                world,
+                permille(*min_healthy, 1.0)
+            ),
+        };
+        Some(AlertEvent {
+            at_ms: s.wall_ms,
+            slo: self.spec.name.clone(),
+            firing: now_firing,
+            burn_permille: self.burn_permille,
+            detail,
+        })
+    }
+
+    /// Remaining budget, permille of the window's allowance.
+    fn budget_remaining_permille(&self) -> u64 {
+        1000u64.saturating_sub(self.burn_permille)
+    }
+}
+
+/// One objective's current standing, for `health`/`alerts` responses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The objective's name.
+    pub name: String,
+    /// The kind name (`latency_p95` | `error_budget` | `availability`).
+    pub kind: String,
+    /// The sliding window, ms.
+    pub window_ms: u64,
+    /// Current burn rate, permille.
+    pub burn_permille: u64,
+    /// Remaining budget, permille (0 once burning at or past 1.0).
+    pub budget_remaining_permille: u64,
+    /// Is the alert currently firing?
+    pub firing: bool,
+    /// Firing transitions since startup (replayed state included).
+    pub breaches: u64,
+}
+
+impl SloStatus {
+    /// Protocol JSON (sorted keys).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "budget_remaining_permille",
+                Json::from(self.budget_remaining_permille),
+            ),
+            ("burn_permille", Json::from(self.burn_permille)),
+            ("breaches", Json::from(self.breaches)),
+            ("firing", Json::from(self.firing)),
+            ("kind", Json::from(self.kind.as_str())),
+            ("name", Json::from(self.name.as_str())),
+            ("window_ms", Json::from(self.window_ms)),
+        ])
+    }
+}
+
+/// Alert events retained in memory for the `alerts` command.
+const RECENT_CAP: usize = 128;
+
+/// The PE-0 SLO evaluator: folds the watch-sample stream through every
+/// declared objective and reports transitions. See the module docs for
+/// the refold-determinism contract.
+#[derive(Debug)]
+pub struct SloEngine {
+    slos: Vec<SloState>,
+    recent: VecDeque<AlertEvent>,
+}
+
+impl SloEngine {
+    /// An engine over `specs` (typically [`parse_specs`] of the
+    /// `--slo` file).
+    pub fn new(specs: Vec<SloSpec>) -> SloEngine {
+        SloEngine {
+            slos: specs
+                .into_iter()
+                .map(|spec| SloState {
+                    spec,
+                    window: VecDeque::new(),
+                    firing: false,
+                    burn_permille: 0,
+                    breaches: 0,
+                })
+                .collect(),
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// Fold one watch sample through every objective, returning the
+    /// breach-state transitions it caused. `live = false` is the
+    /// history-replay mode: window state, burn rates, firing flags, and
+    /// breach counts update identically, but transitions are *not*
+    /// returned or retained (the durable alert records are the replay
+    /// source for the ring — see [`SloEngine::restore_event`], which
+    /// also survives compaction of the samples that caused them) and no
+    /// metrics are touched.
+    pub fn observe(&mut self, sample: &WatchSample, live: bool) -> Vec<AlertEvent> {
+        let mut events = Vec::new();
+        for slo in &mut self.slos {
+            if let Some(ev) = slo.observe(sample) {
+                if live {
+                    events.push(ev);
+                }
+            }
+        }
+        if live {
+            for ev in &events {
+                self.push_recent(ev.clone());
+            }
+            if ccheck_obs::enabled() {
+                let registry = ccheck_obs::registry();
+                for slo in &self.slos {
+                    registry
+                        .gauge(&format!("slo.budget_remaining.{}", slo.spec.name))
+                        .set(slo.budget_remaining_permille() as i64);
+                }
+                for ev in events.iter().filter(|e| e.firing) {
+                    let _ = ev;
+                    registry.counter("slo.breaches_total").inc();
+                }
+            }
+        }
+        events
+    }
+
+    /// Restore one durable alert record into the retained ring during
+    /// history replay (alert records survive compaction verbatim, so
+    /// the ring outlives the raw samples that produced it).
+    pub fn restore_event(&mut self, ev: AlertEvent) {
+        self.push_recent(ev);
+    }
+
+    fn push_recent(&mut self, ev: AlertEvent) {
+        if self.recent.len() == RECENT_CAP {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(ev);
+    }
+
+    /// Objectives currently firing.
+    pub fn active_count(&self) -> u64 {
+        self.slos.iter().filter(|s| s.firing).count() as u64
+    }
+
+    /// Every objective's current standing, in spec-file order.
+    pub fn statuses(&self) -> Vec<SloStatus> {
+        self.slos
+            .iter()
+            .map(|s| SloStatus {
+                name: s.spec.name.clone(),
+                kind: s.spec.kind.name().to_string(),
+                window_ms: s.spec.window_ms,
+                burn_permille: s.burn_permille,
+                budget_remaining_permille: s.budget_remaining_permille(),
+                firing: s.firing,
+                breaches: s.breaches,
+            })
+            .collect()
+    }
+
+    /// The retained transition history, oldest first (bounded).
+    pub fn recent(&self) -> impl Iterator<Item = &AlertEvent> {
+        self.recent.iter()
+    }
+
+    /// Number of declared objectives.
+    pub fn len(&self) -> usize {
+        self.slos.len()
+    }
+
+    /// True when no objectives are declared.
+    pub fn is_empty(&self) -> bool {
+        self.slos.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(
+        wall_ms: u64,
+        p95: u64,
+        done: u64,
+        failed: u64,
+        healthy: u64,
+        dead: u64,
+    ) -> WatchSample {
+        WatchSample {
+            seq: 0,
+            at_ms: wall_ms,
+            wall_ms,
+            alerts: 0,
+            jobs_done: done,
+            jobs_failed: failed,
+            jobs_refused: 0,
+            queue_depth: 0,
+            inflight: 0,
+            healthy,
+            suspect: 0,
+            dead,
+            p50_ms: p95 / 2,
+            p95_ms: p95,
+            tenants: Vec::new(),
+        }
+    }
+
+    fn specs(text: &str) -> Vec<SloSpec> {
+        parse_specs(text).expect("specs parse")
+    }
+
+    #[test]
+    fn spec_file_parses_and_validates() {
+        let parsed = specs(
+            "# comment\n\
+             {\"slo\":\"latency_p95\",\"name\":\"exec\",\"max_ms\":250,\"window_ms\":60000,\"budget\":0.2}\n\
+             \n\
+             {\"slo\":\"error_budget\",\"name\":\"verify\",\"budget\":0.1,\"window_ms\":30000}\n\
+             {\"slo\":\"availability\",\"name\":\"pes\",\"min_healthy\":1.0,\"window_ms\":10000}\n",
+        );
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].kind, SloKind::LatencyP95 { max_ms: 250 });
+        assert_eq!(parsed[1].kind, SloKind::ErrorBudget);
+        assert_eq!(parsed[2].kind, SloKind::Availability { min_healthy: 1.0 });
+        assert!(
+            (parsed[2].budget - 0.01).abs() < 1e-12,
+            "binary default budget"
+        );
+
+        for bad in [
+            "{\"slo\":\"latency_p95\",\"name\":\"x\",\"window_ms\":1000}",
+            "{\"slo\":\"error_budget\",\"name\":\"x\",\"window_ms\":1000}",
+            "{\"slo\":\"availability\",\"name\":\"x\",\"min_healthy\":2.0,\"window_ms\":1000}",
+            "{\"slo\":\"nope\",\"name\":\"x\",\"window_ms\":1000}",
+            "{\"slo\":\"error_budget\",\"name\":\"bad name\",\"budget\":0.1,\"window_ms\":1000}",
+            "{\"slo\":\"error_budget\",\"name\":\"x\",\"budget\":0.1,\"window_ms\":0}",
+        ] {
+            assert!(parse_specs(bad).is_err(), "should reject: {bad}");
+        }
+        assert!(
+            parse_specs(
+                "{\"slo\":\"error_budget\",\"name\":\"x\",\"budget\":0.1,\"window_ms\":1}\n\
+                 {\"slo\":\"error_budget\",\"name\":\"x\",\"budget\":0.2,\"window_ms\":1}"
+            )
+            .is_err(),
+            "duplicate names rejected"
+        );
+    }
+
+    #[test]
+    fn latency_slo_fires_and_resolves() {
+        let mut engine = SloEngine::new(specs(
+            "{\"slo\":\"latency_p95\",\"name\":\"exec\",\"max_ms\":100,\"window_ms\":1000,\"budget\":0.5}",
+        ));
+        // Two good samples: burn 0.
+        assert!(engine
+            .observe(&sample(1000, 50, 1, 0, 4, 0), true)
+            .is_empty());
+        assert!(engine
+            .observe(&sample(1100, 80, 2, 0, 4, 0), true)
+            .is_empty());
+        assert_eq!(engine.active_count(), 0);
+        // Two bad samples push the windowed bad fraction to 2/4 = budget
+        // → burn 1.0 → firing.
+        assert!(engine
+            .observe(&sample(1200, 150, 3, 0, 4, 0), true)
+            .is_empty());
+        let events = engine.observe(&sample(1300, 160, 4, 0, 4, 0), true);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].firing);
+        assert_eq!(events[0].burn_permille, 1000);
+        assert_eq!(engine.active_count(), 1);
+        assert_eq!(engine.statuses()[0].budget_remaining_permille, 0);
+        // The window slides past the bad samples → resolved.
+        let events = engine.observe(&sample(2500, 60, 5, 0, 4, 0), true);
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].firing);
+        assert_eq!(engine.active_count(), 0);
+        assert_eq!(engine.statuses()[0].breaches, 1);
+        assert_eq!(engine.recent().count(), 2);
+    }
+
+    #[test]
+    fn error_budget_differences_cumulative_counters() {
+        let mut engine = SloEngine::new(specs(
+            "{\"slo\":\"error_budget\",\"name\":\"verify\",\"budget\":0.25,\"window_ms\":10000}",
+        ));
+        // 10 jobs, 1 failure: 10% < 25% budget.
+        assert!(engine
+            .observe(&sample(1000, 10, 0, 0, 4, 0), true)
+            .is_empty());
+        assert!(engine
+            .observe(&sample(2000, 10, 10, 1, 4, 0), true)
+            .is_empty());
+        assert_eq!(engine.statuses()[0].burn_permille, 400);
+        // 4 more failures in the window: 5/14 ≈ 36% > 25% → firing.
+        let events = engine.observe(&sample(3000, 10, 14, 5, 4, 0), true);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].firing);
+        assert!(events[0].detail.contains("permille"));
+        // Window slides beyond the failures; new clean completions
+        // resolve the alert (delta failures 0).
+        let events = engine.observe(&sample(14_000, 10, 20, 5, 4, 0), true);
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].firing);
+    }
+
+    #[test]
+    fn availability_uses_liveness_counts() {
+        let mut engine = SloEngine::new(specs(
+            "{\"slo\":\"availability\",\"name\":\"pes\",\"min_healthy\":1.0,\"window_ms\":1000,\"budget\":0.4}",
+        ));
+        assert!(engine
+            .observe(&sample(500, 10, 0, 0, 4, 0), true)
+            .is_empty());
+        // 1 dead PE of 4: a bad sample; 1/2 ≥ 0.4 → fires immediately.
+        let events = engine.observe(&sample(600, 10, 0, 0, 3, 1), true);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].firing);
+        assert!(events[0].detail.contains("3/4"));
+    }
+
+    /// The refold contract: replaying the same sample stream with
+    /// `live = false` lands on identical burn rates, firing flags, and
+    /// breach counts, and retains the same recent-event ring.
+    #[test]
+    fn replay_refolds_to_identical_state() {
+        let text = "{\"slo\":\"latency_p95\",\"name\":\"exec\",\"max_ms\":100,\"window_ms\":1000,\"budget\":0.5}\n\
+                    {\"slo\":\"error_budget\",\"name\":\"verify\",\"budget\":0.25,\"window_ms\":5000}";
+        let stream: Vec<WatchSample> = (0..200)
+            .map(|i| {
+                let wall = 1000 + i * 137;
+                let p95 = if i % 7 < 3 { 150 } else { 60 };
+                let done = i;
+                let failed = i / 3;
+                sample(wall, p95, done, failed, 4, 0)
+            })
+            .collect();
+        let mut live = SloEngine::new(specs(text));
+        let mut live_events = Vec::new();
+        for s in &stream {
+            live_events.extend(live.observe(s, true));
+        }
+        let mut replayed = SloEngine::new(specs(text));
+        for s in &stream {
+            assert!(
+                replayed.observe(s, false).is_empty(),
+                "replay emits nothing"
+            );
+        }
+        assert_eq!(live.statuses(), replayed.statuses());
+        // The ring refills from the durable alert records, landing on
+        // the exact live-run retention.
+        for ev in &live_events {
+            replayed.restore_event(ev.clone());
+        }
+        assert_eq!(
+            live.recent().cloned().collect::<Vec<_>>(),
+            replayed.recent().cloned().collect::<Vec<_>>()
+        );
+        assert!(!live_events.is_empty(), "the stream causes transitions");
+    }
+
+    #[test]
+    fn alert_event_json_roundtrip_is_canonical() {
+        let ev = AlertEvent {
+            at_ms: 1_754_000_000_000,
+            slo: "exec".into(),
+            firing: true,
+            burn_permille: 1500,
+            detail: "p95 812 ms vs max 250 ms".into(),
+        };
+        let rendered = ev.to_json().render();
+        assert_eq!(
+            rendered,
+            "{\"at_ms\":1754000000000,\"burn_permille\":1500,\
+             \"detail\":\"p95 812 ms vs max 250 ms\",\"kind\":\"firing\",\"slo\":\"exec\"}"
+        );
+        let parsed = AlertEvent::from_json(&json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(parsed, ev);
+    }
+}

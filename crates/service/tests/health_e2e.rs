@@ -212,7 +212,10 @@ fn protocol_worked_example_renders_byte_exact() {
     let sample = WatchSample {
         seq: 42,
         at_ms: 5_150,
+        wall_ms: 1_754_000_005_150,
+        alerts: 1,
         jobs_done: 17,
+        jobs_failed: 2,
         jobs_refused: 1,
         queue_depth: 3,
         inflight: 2,
@@ -226,7 +229,7 @@ fn protocol_worked_example_renders_byte_exact() {
     let rendered = sample.to_json().render();
     assert_eq!(
         rendered,
-        r#"{"at_ms":5150,"dead":0,"done":17,"healthy":2,"inflight":2,"p50_ms":12,"p95_ms":48,"queue":3,"refused":1,"seq":42,"suspect":0,"tenants":{"acme":11,"initech":6}}"#
+        r#"{"alerts":1,"at_ms":5150,"dead":0,"done":17,"failed":2,"healthy":2,"inflight":2,"p50_ms":12,"p95_ms":48,"queue":3,"refused":1,"seq":42,"suspect":0,"tenants":{"acme":11,"initech":6},"wall_ms":1754000005150}"#
     );
     let parsed =
         WatchSample::from_json(&ccheck_service::json::parse(&rendered).expect("round-trips"))

@@ -1,0 +1,388 @@
+//! Crash-recovery end-to-end for the durable telemetry plane: a real
+//! `ccheck-serve` world running with `--history`, `--slo`, and
+//! `--ledger` is SIGKILLed mid-life and restarted on the same files,
+//! on both transports. Asserts the `docs/PROTOCOL.md` §2.10 /
+//! `docs/OBSERVABILITY.md` §9 recovery contract:
+//!
+//! * the history log reopens past any torn tail: every record the dead
+//!   world acknowledged as durable is still readable, and the restarted
+//!   world appends new samples after them,
+//! * the SLO engine refolds from the durable sample stream alone — an
+//!   objective that was firing before the crash is firing after it,
+//!   with its breach count and recent-alert ring restored,
+//! * `ccheck-report` is a pure function of the files: running it twice
+//!   on the crashed artifacts is byte-identical, and `--diff` against
+//!   the pre-crash report passes (no phantom regressions from the
+//!   crash) while a doctored baseline fails with exit 3.
+
+use std::path::Path;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+use ccheck_obs::history::{HistoryPayload, HistoryReader};
+use ccheck_service::health::WatchSample;
+use ccheck_service::json::{self, Json};
+use ccheck_service::slo::{parse_specs, AlertEvent, SloEngine};
+use ccheck_service::{CheckMode, FaultSpec, JobOp, JobSpec, Ledger, ServiceClient};
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(120);
+const POLL_DEADLINE: Duration = Duration::from_secs(60);
+
+/// A verify-failure error budget tight enough that two `fellback`
+/// completions out of a handful of jobs blow it immediately, with a
+/// window far longer than the test so it never resolves on its own.
+/// The availability objective's budget is deliberately loose (half the
+/// window's samples may be bad) so shutdown-blip samples — a tick that
+/// lands while peer PEs are already exiting — can't add a breach and
+/// make the pre/post-crash reports diverge.
+const SLO_SPECS: &str = "# telemetry crash e2e objectives\n\
+    {\"slo\":\"error_budget\",\"name\":\"verify\",\"budget\":0.05,\"window_ms\":600000}\n\
+    {\"slo\":\"availability\",\"name\":\"pes\",\"min_healthy\":1.0,\"window_ms\":600000,\"budget\":0.5}\n";
+
+struct World {
+    children: Vec<Child>,
+}
+
+impl World {
+    /// SIGKILL every process: no drain, no shutdown, no final fsync.
+    fn crash(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.children.clear();
+    }
+
+    fn wait_clean(&mut self) {
+        for child in &mut self.children {
+            let status = child.wait().expect("wait for serve");
+            assert!(status.success(), "serve exited with {status:?}");
+        }
+        self.children.clear();
+    }
+}
+
+impl Drop for World {
+    fn drop(&mut self) {
+        self.crash();
+    }
+}
+
+fn spawn_world(tcp: bool, dir: &Path) -> World {
+    let addr = dir.join("addr");
+    let _ = std::fs::remove_file(&addr);
+    let bin = env!("CARGO_BIN_EXE_ccheck-serve");
+    let common = |cmd: &mut Command| {
+        cmd.arg("--addr-file")
+            .arg(&addr)
+            .arg("--ledger")
+            .arg(dir.join("receipts.ledger"))
+            .arg("--history")
+            .arg(dir.join("telemetry.hist"))
+            .arg("--slo")
+            .arg(dir.join("objectives.slo"))
+            .args(["--heartbeat-ms", "50"]);
+    };
+    if !tcp {
+        let mut cmd = Command::new(bin);
+        cmd.args(["--transport", "local", "--pes", "2", "--max-inflight", "2"]);
+        common(&mut cmd);
+        let child = cmd.spawn().expect("spawn ccheck-serve (local)");
+        return World {
+            children: vec![child],
+        };
+    }
+    let listeners: Vec<_> = (0..2)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    let peers = listeners
+        .iter()
+        .map(|l| format!("127.0.0.1:{}", l.local_addr().unwrap().port()))
+        .collect::<Vec<_>>()
+        .join(",");
+    drop(listeners);
+    let children = (0..2)
+        .map(|rank| {
+            let mut cmd = Command::new(bin);
+            cmd.args(["--transport", "tcp"]);
+            common(&mut cmd);
+            cmd.env("CCHECK_RANK", rank.to_string())
+                .env("CCHECK_WORLD", "2")
+                .env("CCHECK_PEERS", &peers)
+                .spawn()
+                .expect("spawn ccheck-serve rank (tcp)")
+        })
+        .collect();
+    World { children }
+}
+
+fn clean_reduce(job_id: u64) -> JobSpec {
+    JobSpec {
+        op: JobOp::Reduce,
+        n: 20_000,
+        keys: 500,
+        seed: job_id * 7,
+        tenant: Some("acme".into()),
+        job_id: Some(job_id),
+        ..JobSpec::default()
+    }
+}
+
+/// A persistently faulty sort: the checker catches the corruption and
+/// the job completes `fellback`, counting against the `verify` budget.
+fn faulty_sort(job_id: u64) -> JobSpec {
+    JobSpec {
+        op: JobOp::Sort,
+        n: 20_000,
+        seed: 40 + job_id,
+        tenant: Some("esc".into()),
+        check: CheckMode::Explicit,
+        job_id: Some(job_id),
+        fault: Some(FaultSpec {
+            kind: "dupneighbor".into(),
+            seed: 1,
+        }),
+        ..JobSpec::default()
+    }
+}
+
+/// Run `ccheck-report --json` on the scenario's files; returns the
+/// single-line JSON report.
+fn run_report(dir: &Path, diff: Option<&Path>) -> (String, Option<i32>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ccheck-report"));
+    cmd.arg("--history")
+        .arg(dir.join("telemetry.hist"))
+        .arg("--ledger")
+        .arg(dir.join("receipts.ledger"))
+        .arg("--json");
+    if let Some(base) = diff {
+        // Jobs here finish in single-digit milliseconds, so percentage
+        // thresholds on p95 are pure jitter at this scale — crank them
+        // up and let the SLO-breach condition carry the regression
+        // check (the doctored baseline below exercises exit 3).
+        cmd.arg("--diff").arg(base).args([
+            "--max-p95-regress",
+            "10000",
+            "--max-rejected-delta",
+            "1000",
+        ]);
+    }
+    let out = cmd.output().expect("run ccheck-report");
+    (
+        String::from_utf8(out.stdout).expect("report output is utf8"),
+        out.status.code(),
+    )
+}
+
+/// Poll `f` until it returns `Some`, or panic at the deadline.
+fn wait_for<T>(what: &str, mut f: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + POLL_DEADLINE;
+    loop {
+        if let Some(v) = f() {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Count durable history records by kind, straight off the file.
+fn history_counts(path: &Path) -> (u64, u64) {
+    let (mut samples, mut alerts) = (0, 0);
+    for record in HistoryReader::open(path).expect("reopen history") {
+        match record.expect("read history record").payload {
+            HistoryPayload::Sample(_) => samples += 1,
+            HistoryPayload::Alert(_) => alerts += 1,
+            HistoryPayload::Metrics(_) => {}
+        }
+    }
+    (samples, alerts)
+}
+
+/// Mirror the daemon's startup refold: fold the durable sample stream
+/// through a fresh engine and restore the ring from alert records.
+fn refold_engine(history: &Path) -> SloEngine {
+    let mut engine = SloEngine::new(parse_specs(SLO_SPECS).expect("specs parse"));
+    for record in HistoryReader::open(history).expect("open history for refold") {
+        match record.expect("refold record").payload {
+            HistoryPayload::Sample(bytes) => {
+                let parsed = json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+                let sample = WatchSample::from_json(&parsed).expect("sample decodes");
+                engine.observe(&sample, false);
+            }
+            HistoryPayload::Alert(bytes) => {
+                let parsed = json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+                engine.restore_event(AlertEvent::from_json(&parsed).expect("alert decodes"));
+            }
+            HistoryPayload::Metrics(_) => {}
+        }
+    }
+    engine
+}
+
+fn telemetry_crash_scenario(tcp: bool, tag: &str) {
+    let dir = std::env::temp_dir().join(format!("ccheck-telem-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scenario dir");
+    std::fs::write(dir.join("objectives.slo"), SLO_SPECS).expect("write slo file");
+    let history_path = dir.join("telemetry.hist");
+
+    // ---- Phase 1: blow the verify budget, then crash the world. ----
+    let mut world = spawn_world(tcp, &dir);
+    let mut client = ServiceClient::connect_via_addr_file(&dir.join("addr"), CONNECT_TIMEOUT)
+        .expect("connect phase 1");
+    for id in 1..=3u64 {
+        client.submit(&clean_reduce(id)).expect("submit clean");
+        client.wait(id).expect("wait clean");
+    }
+    // The error budget differences cumulative counters against the
+    // oldest point in its window, so a sample with `failed == 0` must
+    // land before the faults do — otherwise the anchor already carries
+    // the failures and the delta never trips. Real deployments have
+    // hours of pre-failure samples; this test must wait for one.
+    wait_for("a pre-failure watch sample", || {
+        let (_, samples) = client.watch(0).expect("watch");
+        (!samples.is_empty()).then_some(())
+    });
+    for id in [11u64, 12] {
+        client.submit(&faulty_sort(id)).expect("submit faulty");
+        let receipt = client.wait(id).expect("wait faulty");
+        assert_eq!(receipt.verdict.name(), "fellback");
+    }
+    // 2 failures out of 5 ≫ the 5% budget: the `verify` objective must
+    // start firing once a post-completion sample lands.
+    let statuses_before = wait_for("verify objective to fire", || {
+        let (active, statuses, recent) = client.alerts().expect("alerts cmd");
+        let verify = statuses.iter().find(|s| s.name == "verify")?;
+        (active >= 1 && verify.firing && recent.iter().any(|e| e.slo == "verify" && e.firing))
+            .then_some(statuses)
+    });
+    // …and both the firing sample and its alert record must be durable
+    // before the crash is interesting.
+    let (pre_samples, pre_alerts) = wait_for("durable sample + alert records", || {
+        let resp = client.history(0, 1, None).expect("history cmd");
+        resp.get("total").and_then(Json::as_u64)?;
+        let counts = history_counts(&history_path);
+        (counts.0 >= 3 && counts.1 >= 1).then_some(counts)
+    });
+    world.crash();
+
+    // ---- Offline: the report is a pure function of the files. ----
+    let (report_a, code_a) = run_report(&dir, None);
+    let (report_b, code_b) = run_report(&dir, None);
+    assert_eq!(code_a, Some(0));
+    assert_eq!(code_b, Some(0));
+    assert_eq!(
+        report_a, report_b,
+        "report must be byte-identical across runs on the same files"
+    );
+    let report = json::parse(report_a.trim()).expect("report parses");
+    let ledgered = Ledger::replay(dir.join("receipts.ledger")).expect("offline ledger replay");
+    let reported_jobs: u64 = match report.get("tenants") {
+        Some(Json::Obj(tenants)) => tenants
+            .values()
+            .map(|t| t.get("jobs").and_then(Json::as_u64).unwrap_or(0))
+            .sum(),
+        _ => 0,
+    };
+    assert_eq!(
+        reported_jobs,
+        ledgered.len() as u64,
+        "report accounts for every ledgered receipt"
+    );
+    let verify_breaches = report
+        .get("slos")
+        .and_then(|s| s.get("verify"))
+        .and_then(|v| v.get("breaches"))
+        .and_then(Json::as_u64)
+        .expect("verify SLO in report");
+    assert!(verify_breaches >= 1);
+
+    // The durable stream refolds to the same place the live engine was:
+    // `verify` firing, breach-for-breach.
+    let refolded = refold_engine(&history_path);
+    let live_verify = statuses_before.iter().find(|s| s.name == "verify").unwrap();
+    let refold_verify = refolded
+        .statuses()
+        .into_iter()
+        .find(|s| s.name == "verify")
+        .unwrap();
+    assert!(refold_verify.firing, "refold lands on a firing objective");
+    assert!(refold_verify.breaches >= live_verify.breaches);
+    assert!(
+        refolded.recent().any(|e| e.slo == "verify" && e.firing),
+        "alert ring restores from durable alert records"
+    );
+
+    // ---- Phase 2: restart on the same files. ----
+    let mut world = spawn_world(tcp, &dir);
+    let mut client = ServiceClient::connect_via_addr_file(&dir.join("addr"), CONNECT_TIMEOUT)
+        .expect("connect phase 2");
+    let (active, statuses, recent) = client.alerts().expect("alerts after restart");
+    assert!(active >= 1, "verify objective still firing after restart");
+    let verify = statuses
+        .iter()
+        .find(|s| s.name == "verify")
+        .expect("verify objective survives restart");
+    assert!(verify.firing);
+    assert!(verify.breaches >= refold_verify.breaches);
+    assert!(
+        recent.iter().any(|e| e.slo == "verify" && e.firing),
+        "pre-crash firing event survives in the recent-alert ring"
+    );
+    // History reopened past the torn tail (every durable pre-crash
+    // record is still there) and keeps growing.
+    wait_for("history to grow past pre-crash records", || {
+        let (samples, alerts) = history_counts(&history_path);
+        assert!(alerts >= pre_alerts, "durable alert records survived");
+        (samples > pre_samples).then_some(())
+    });
+    // Fresh live samples have now folded into the refolded window; the
+    // objective must STILL be firing — the restarted world's cumulative
+    // counters continue from the ledger replay, so the failures inside
+    // the window don't evaporate (burn-rate as if never interrupted).
+    let (active, statuses, _) = client.alerts().expect("alerts after live ticks");
+    assert!(active >= 1, "verify must stay firing across live ticks");
+    assert!(statuses.iter().any(|s| s.name == "verify" && s.firing));
+    client.submit(&clean_reduce(21)).expect("submit post-crash");
+    client.wait(21).expect("wait post-crash");
+    client.shutdown().expect("shutdown");
+    drop(client);
+    world.wait_clean();
+
+    // ---- Analytics across the whole double life. ----
+    let (final_report, code) = run_report(&dir, None);
+    assert_eq!(code, Some(0));
+    let final_json = json::parse(final_report.trim()).expect("final report parses");
+    let base_path = dir.join("base.json");
+    std::fs::write(&base_path, &report_a).expect("write base report");
+    // No phantom regressions from crash + recovery: same workload, same
+    // SLO history ⇒ --diff against the pre-crash report passes.
+    let (_, diff_code) = run_report(&dir, Some(&base_path));
+    assert_eq!(diff_code, Some(0), "diff vs pre-crash report must pass");
+    // A baseline that never saw the breach fails the diff with exit 3.
+    let mut doctored = match final_json {
+        Json::Obj(map) => map,
+        _ => panic!("report is an object"),
+    };
+    doctored.insert("slos".into(), Json::Obj(Default::default()));
+    let doctored_path = dir.join("doctored.json");
+    std::fs::write(&doctored_path, Json::Obj(doctored).render()).expect("write doctored base");
+    let (_, doctored_code) = run_report(&dir, Some(&doctored_path));
+    assert_eq!(
+        doctored_code,
+        Some(3),
+        "new SLO breaches vs baseline must exit 3"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn telemetry_crash_recovery_local_transport() {
+    telemetry_crash_scenario(false, "local");
+}
+
+#[test]
+fn telemetry_crash_recovery_tcp_transport() {
+    telemetry_crash_scenario(true, "tcp");
+}
